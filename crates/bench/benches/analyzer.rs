@@ -1,0 +1,51 @@
+//! Criterion bench: full timing-analysis cost over whole circuits, per
+//! model — the switch-level side of the paper's runtime table (E6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crystal::analyzer::{analyze, Edge, Scenario};
+use crystal::models::ModelKind;
+use crystal::tech::Technology;
+use mosnet::generators::{barrel_shifter, decoder2to4, inverter_chain, Style};
+use mosnet::units::Farads;
+use mosnet::Network;
+use std::hint::black_box;
+
+fn bench_analyzer(c: &mut Criterion) {
+    let tech = Technology::nominal();
+    let circuits: Vec<(&str, Network, Scenario)> = vec![
+        {
+            let net =
+                inverter_chain(Style::Cmos, 8, 2.0, Farads::from_femto(100.0)).expect("valid");
+            let s = Scenario::step(net.node_by_name("in").expect("in"), Edge::Rising);
+            ("inv_chain_8", net, s)
+        },
+        {
+            let net = decoder2to4(Style::Cmos, Farads::from_femto(100.0)).expect("valid");
+            let s = Scenario::step(net.node_by_name("a0").expect("a0"), Edge::Rising);
+            ("decoder2to4", net, s)
+        },
+        {
+            let net = barrel_shifter(Style::Cmos, 8, Farads::from_femto(150.0)).expect("valid");
+            let s = Scenario::step(net.node_by_name("d0").expect("d0"), Edge::Falling)
+                .with_static(net.node_by_name("sh3").expect("sh3"), true);
+            ("barrel_8", net, s)
+        },
+    ];
+
+    let mut group = c.benchmark_group("analyze");
+    group.sample_size(30);
+    for (name, net, scenario) in &circuits {
+        for model in [ModelKind::Lumped, ModelKind::Slope] {
+            group.bench_function(format!("{model}/{name}"), |b| {
+                b.iter(|| {
+                    analyze(black_box(net), &tech, model, black_box(scenario))
+                        .expect("benchmark circuit analyzes")
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analyzer);
+criterion_main!(benches);

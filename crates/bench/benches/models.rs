@@ -1,0 +1,56 @@
+//! Criterion bench: raw delay-model evaluation cost per stage — the
+//! models must be cheap enough to evaluate thousands of times per
+//! analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crystal::extract::stages_to;
+use crystal::models::{estimate, ModelKind, TriggerContext};
+use crystal::tech::{Direction, Technology};
+use crystal::Stage;
+use mosnet::generators::{inverter, pass_chain, Style};
+use mosnet::units::Farads;
+use std::hint::black_box;
+
+fn inverter_stage(tech: &Technology) -> Stage {
+    let net = inverter(Style::Cmos, Farads::from_femto(100.0));
+    let out = net.node_by_name("out").expect("generated");
+    stages_to(&net, tech, &|_| true, out, Direction::PullDown)
+        .pop()
+        .expect("stage exists")
+}
+
+fn chain_stage(tech: &Technology) -> Stage {
+    let net = pass_chain(
+        Style::Cmos,
+        8,
+        Farads::from_femto(50.0),
+        Farads::from_femto(100.0),
+    )
+    .expect("valid");
+    let out = net.node_by_name("out").expect("generated");
+    stages_to(&net, tech, &|_| true, out, Direction::PullUp)
+        .pop()
+        .expect("stage exists")
+}
+
+fn bench_models(c: &mut Criterion) {
+    let tech = Technology::nominal();
+    let small = inverter_stage(&tech);
+    let large = chain_stage(&tech);
+    let ctx = TriggerContext::step();
+
+    let mut group = c.benchmark_group("model_estimate");
+    group.sample_size(30);
+    for model in ModelKind::ALL {
+        group.bench_function(format!("{model}/inverter"), |b| {
+            b.iter(|| estimate(black_box(model), &tech, black_box(&small), ctx))
+        });
+        group.bench_function(format!("{model}/pass_chain_8"), |b| {
+            b.iter(|| estimate(black_box(model), &tech, black_box(&large), ctx))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

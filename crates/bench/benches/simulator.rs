@@ -1,0 +1,45 @@
+//! Criterion bench: reference-simulator cost — operating point and a
+//! short transient — the "simulation" side of the runtime table (E6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mosnet::generators::{inverter, nand, Style};
+use mosnet::units::Farads;
+use nanospice::devices::Waveshape;
+use nanospice::{elaborate, MosModelSet, Simulator};
+use std::collections::HashMap;
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    let models = MosModelSet::default();
+
+    let mut group = c.benchmark_group("nanospice");
+    group.sample_size(20);
+
+    // DC operating point of a NAND3.
+    let net = nand(Style::Cmos, 3, Farads::from_femto(100.0)).expect("valid");
+    let drives: HashMap<_, _> = net
+        .inputs()
+        .into_iter()
+        .map(|n| (n, Waveshape::Dc(5.0)))
+        .collect();
+    let elab = elaborate(&net, &models, &drives);
+    group.bench_function("op/nand3", |b| {
+        let sim = Simulator::new(&elab.circuit);
+        b.iter(|| black_box(sim.op().expect("converges")))
+    });
+
+    // Short transient of an inverter.
+    let net = inverter(Style::Cmos, Farads::from_femto(100.0));
+    let input = net.node_by_name("in").expect("generated");
+    let drives = HashMap::from([(input, Waveshape::ramp(0.0, 5.0, 1e-9, 2e-10))]);
+    let elab = elaborate(&net, &models, &drives);
+    group.bench_function("transient/inverter_5ns", |b| {
+        let sim = Simulator::new(&elab.circuit);
+        b.iter(|| black_box(sim.transient(5e-9, 10e-12).expect("converges")))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

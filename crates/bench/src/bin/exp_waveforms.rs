@@ -1,0 +1,79 @@
+//! **E7 (Figure B)** — waveform shapes: the slope model's piecewise-linear
+//! output approximation against the simulated waveform, for a fast and a
+//! slow input edge.
+//!
+//! Run with: `cargo run --release -p bench --bin exp_waveforms`
+
+use bench::suite;
+use crystal::analyzer::{analyze, Edge, Scenario};
+use crystal::models::ModelKind;
+use mosnet::generators::{inverter, Style};
+use mosnet::units::{Farads, Seconds};
+use nanospice::analysis::NetSim;
+use nanospice::devices::Waveshape;
+use std::collections::HashMap;
+
+fn main() {
+    eprintln!("E7: calibrating ...");
+    let (tech, models) = suite::calibrated();
+    let net = inverter(Style::Cmos, Farads::from_femto(200.0));
+    let input = net.node_by_name("in").expect("generated");
+    let output = net.node_by_name("out").expect("generated");
+
+    println!("E7 / Figure B — output waveform: simulation vs slope-model approximation");
+    let mut rows = Vec::new();
+    for (label, tr_ns) in [("fast", 0.2), ("slow", 4.0)] {
+        let scenario =
+            Scenario::step(input, Edge::Rising).with_input_transition(Seconds::from_nanos(tr_ns));
+        let result = analyze(&net, &tech, ModelKind::Slope, &scenario).expect("inverter analyzes");
+        let arrival = result.delay_to(&net, output).expect("output switches");
+
+        // Reference waveform over the same stimulus.
+        let t_edge = 2e-9;
+        let full_ramp = scenario.input_transition.value() / 0.8;
+        let drives = HashMap::from([(input, Waveshape::ramp(0.0, models.vdd, t_edge, full_ramp))]);
+        let tstop = Seconds(t_edge + full_ramp + 8.0 * arrival.time.value() + 5e-9);
+        let sim = NetSim::run(
+            &net,
+            &models,
+            &drives,
+            tstop,
+            Seconds(tstop.value() / 2000.0),
+        )
+        .expect("inverter simulates");
+        let wave = sim.voltage(output);
+
+        // The model's waveform: a linear ramp whose 50% point sits at the
+        // predicted arrival and whose 10-90% width is the predicted
+        // transition (full ramp = transition / 0.8).
+        let t_in_50 = t_edge + 0.5 * full_ramp;
+        let t_50_model = t_in_50 + arrival.time.value();
+        let model_full = arrival.transition.value() / 0.8;
+        let (v_hi, v_lo) = (models.vdd, 0.0);
+        let model_v = |t: f64| -> f64 {
+            let frac = ((t - (t_50_model - 0.5 * model_full)) / model_full).clamp(0.0, 1.0);
+            v_hi + (v_lo - v_hi) * frac
+        };
+
+        println!("\n{label} input ({tr_ns} ns 10-90%):");
+        println!("{:>10} {:>10} {:>10}", "t (ns)", "sim (V)", "model (V)");
+        let samples = 24;
+        for i in 0..=samples {
+            let t = t_edge + (i as f64 / samples as f64) * (3.0 * arrival.time.value() + full_ramp);
+            let sv = wave.value_at(t);
+            let mv = model_v(t);
+            println!("{:>10.3} {:>10.3} {:>10.3}", t * 1e9, sv, mv);
+            rows.push(format!("{label},{},{sv},{mv}", t * 1e9));
+        }
+        let t50_sim = wave
+            .crossing(0.5 * models.vdd, false, t_edge)
+            .expect("output falls");
+        println!(
+            "50% crossing: sim {:.3} ns, model {:.3} ns ({:+.1}% error)",
+            (t50_sim - t_in_50) * 1e9,
+            arrival.time.nanos(),
+            100.0 * (arrival.time.value() - (t50_sim - t_in_50)) / (t50_sim - t_in_50),
+        );
+    }
+    suite::write_csv("e7_waveforms", "case,t_ns,sim_v,model_v", &rows);
+}

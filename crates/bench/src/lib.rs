@@ -1,0 +1,10 @@
+//! Shared plumbing for the experiment binaries (`exp_*`) and criterion
+//! benches: the calibrated technology, the standard benchmark suite, and
+//! table/CSV output helpers.
+//!
+//! Each experiment binary regenerates one table or figure of the paper's
+//! evaluation; see `DESIGN.md` §3 for the experiment index.
+
+#![warn(missing_docs)]
+
+pub mod suite;

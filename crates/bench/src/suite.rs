@@ -1,0 +1,351 @@
+//! The standard benchmark suite: every circuit/scenario pair used in the
+//! paper-style evaluation, plus calibration and output helpers.
+
+use calibrate::{calibrate_technology, CalibrationConfig};
+use crystal::analyzer::{Edge, Scenario};
+use crystal::tech::Technology;
+use mos_timing::compare::{compare_scenario, Comparison, SimGrid};
+use mosnet::generators::{
+    barrel_shifter, carry_chain, decoder2to4, inverter_chain, mux_tree, nand, nor, pass_chain,
+    superbuffer, wordline, xor2, Style,
+};
+use mosnet::units::Farads;
+use mosnet::{Network, NodeId};
+use nanospice::MosModelSet;
+use std::fs;
+use std::path::Path;
+
+/// One benchmark case: circuit, scenario, and observed output.
+#[derive(Debug, Clone)]
+pub struct BenchCase {
+    /// Display name (appears in tables).
+    pub name: String,
+    /// Table family this case belongs to (E2, E3, ...).
+    pub family: &'static str,
+    /// The circuit.
+    pub net: Network,
+    /// The timing scenario.
+    pub scenario: Scenario,
+    /// The output whose delay is compared.
+    pub output: NodeId,
+}
+
+impl BenchCase {
+    fn new(
+        name: impl Into<String>,
+        family: &'static str,
+        net: Network,
+        scenario: Scenario,
+        output: &str,
+    ) -> BenchCase {
+        let output = net.node_by_name(output).expect("benchmark output exists");
+        BenchCase {
+            name: name.into(),
+            family,
+            net,
+            scenario,
+            output,
+        }
+    }
+
+    /// Runs the four-way comparison for this case.
+    ///
+    /// # Panics
+    /// Panics if either the analysis or the reference simulation fails —
+    /// a benchmark definition bug, not a runtime condition.
+    pub fn compare(&self, tech: &Technology, models: &MosModelSet) -> Comparison {
+        compare_scenario(
+            &self.net,
+            tech,
+            models,
+            &self.scenario,
+            self.output,
+            SimGrid::auto(),
+        )
+        .unwrap_or_else(|e| panic!("benchmark `{}` failed: {e}", self.name))
+    }
+}
+
+/// Calibrates the default technology against the default device physics —
+/// the setup every experiment shares. Slow-input coverage extends to
+/// ratio 32.
+pub fn calibrated() -> (Technology, MosModelSet) {
+    let models = MosModelSet::default();
+    let config = CalibrationConfig {
+        ratios: vec![0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0],
+        ..CalibrationConfig::default()
+    };
+    let tech = calibrate_technology(&models, &config).expect("default calibration succeeds");
+    (tech, models)
+}
+
+fn step_in(net: &Network, edge: Edge) -> Scenario {
+    Scenario::step(net.node_by_name("in").expect("has `in`"), edge)
+}
+
+/// E2 — inverter chains: stages × fanout × style.
+pub fn inverter_chain_cases() -> Vec<BenchCase> {
+    let mut cases = Vec::new();
+    for style in [Style::Cmos, Style::Nmos] {
+        let tag = if style == Style::Cmos { "cmos" } else { "nmos" };
+        for &(stages, fanout) in &[(2usize, 1.0f64), (3, 2.0), (4, 2.0), (3, 4.0)] {
+            let net = inverter_chain(style, stages, fanout, Farads::from_femto(100.0))
+                .expect("valid generator parameters");
+            let scenario = step_in(&net, Edge::Rising);
+            cases.push(BenchCase::new(
+                format!("inv{stages}_f{fanout:.0}_{tag}"),
+                "E2",
+                net,
+                scenario,
+                "out",
+            ));
+        }
+    }
+    cases
+}
+
+/// E3 — NAND/NOR stacks, side inputs sensitized.
+pub fn gate_cases() -> Vec<BenchCase> {
+    let mut cases = Vec::new();
+    for style in [Style::Cmos, Style::Nmos] {
+        let tag = if style == Style::Cmos { "cmos" } else { "nmos" };
+        for k in [2usize, 3, 4] {
+            let net = nand(style, k, Farads::from_femto(200.0)).expect("valid");
+            let a0 = net.node_by_name("a0").expect("input");
+            let mut scenario = Scenario::step(a0, Edge::Rising);
+            for i in 1..k {
+                scenario =
+                    scenario.with_static(net.node_by_name(&format!("a{i}")).expect("input"), true);
+            }
+            cases.push(BenchCase::new(
+                format!("nand{k}_{tag}"),
+                "E3",
+                net,
+                scenario,
+                "out",
+            ));
+
+            let net = nor(style, k, Farads::from_femto(200.0)).expect("valid");
+            let a0 = net.node_by_name("a0").expect("input");
+            let mut scenario = Scenario::step(a0, Edge::Rising);
+            for i in 1..k {
+                scenario =
+                    scenario.with_static(net.node_by_name(&format!("a{i}")).expect("input"), false);
+            }
+            cases.push(BenchCase::new(
+                format!("nor{k}_{tag}"),
+                "E3",
+                net,
+                scenario,
+                "out",
+            ));
+        }
+    }
+    cases
+}
+
+/// E4 — pass-transistor chains of growing length.
+pub fn pass_chain_cases() -> Vec<BenchCase> {
+    let mut cases = Vec::new();
+    for n in [1usize, 2, 4, 6, 8] {
+        let net = pass_chain(
+            Style::Cmos,
+            n,
+            Farads::from_femto(50.0),
+            Farads::from_femto(100.0),
+        )
+        .expect("valid");
+        let input = net.node_by_name("in").expect("in");
+        let ctl = net.node_by_name("ctl").expect("ctl");
+        let scenario = Scenario::step(input, Edge::Falling).with_static(ctl, true);
+        cases.push(BenchCase::new(
+            format!("pass{n}_cmos"),
+            "E4",
+            net,
+            scenario,
+            "out",
+        ));
+    }
+    cases
+}
+
+/// E5 — realistic circuits: barrel shifter, carry chain, superbuffer,
+/// decoder.
+pub fn circuit_cases() -> Vec<BenchCase> {
+    let mut cases = Vec::new();
+
+    let m = 4;
+    let net = barrel_shifter(Style::Cmos, m, Farads::from_femto(150.0)).expect("valid");
+    let d0 = net.node_by_name("d0").expect("d0");
+    let sh1 = net.node_by_name("sh1").expect("sh1");
+    // d0 drives bus0; with shift 1 selected, bus0 feeds q3 ((3+1) mod 4).
+    let scenario = Scenario::step(d0, Edge::Falling).with_static(sh1, true);
+    cases.push(BenchCase::new("barrel4_cmos", "E5", net, scenario, "q3"));
+
+    let bits = 8;
+    let net = carry_chain(Style::Cmos, bits, Farads::from_femto(50.0)).expect("valid");
+    let cin = net.node_by_name("cin").expect("cin");
+    let mut scenario = Scenario::step(cin, Edge::Rising);
+    for i in 1..=bits {
+        scenario = scenario
+            .with_static(net.node_by_name(&format!("p{i}")).expect("propagate"), true)
+            .with_static(net.node_by_name(&format!("g{i}")).expect("generate"), false);
+    }
+    cases.push(BenchCase::new("carry8_cmos", "E5", net, scenario, "cout"));
+
+    let net = superbuffer(Style::Cmos, 4, 3.0, Farads::from_pico(1.0)).expect("valid");
+    let scenario = step_in(&net, Edge::Rising);
+    cases.push(BenchCase::new("superbuf4_cmos", "E5", net, scenario, "out"));
+
+    let net = decoder2to4(Style::Cmos, Farads::from_femto(200.0)).expect("valid");
+    let a0 = net.node_by_name("a0").expect("a0");
+    let scenario = Scenario::step(a0, Edge::Rising);
+    cases.push(BenchCase::new(
+        "decoder2to4_cmos",
+        "E5",
+        net,
+        scenario,
+        "w1",
+    ));
+
+    // 8:1 pass-transistor mux, steering leaf 0 (all selects low).
+    let net = mux_tree(Style::Cmos, 3, Farads::from_femto(100.0)).expect("valid");
+    let d0 = net.node_by_name("d0").expect("d0");
+    let scenario = Scenario::step(d0, Edge::Falling);
+    cases.push(BenchCase::new("mux8_cmos", "E5", net, scenario, "out"));
+
+    // Word line with 8 columns of access-gate load.
+    let net = wordline(Style::Cmos, 8).expect("valid");
+    let input = net.node_by_name("in").expect("in");
+    let scenario = Scenario::step(input, Edge::Rising);
+    cases.push(BenchCase::new("wordline8_cmos", "E5", net, scenario, "wl"));
+
+    // Pass-transistor XOR, a switching with b low.
+    let net = xor2(Style::Cmos, Farads::from_femto(100.0)).expect("valid");
+    let a = net.node_by_name("a").expect("a");
+    let scenario = Scenario::step(a, Edge::Rising);
+    cases.push(BenchCase::new("xor2_cmos", "E5", net, scenario, "out"));
+
+    cases
+}
+
+/// The full pooled suite (E2 ∪ E3 ∪ E4 ∪ E5) used by E8.
+pub fn full_suite() -> Vec<BenchCase> {
+    let mut cases = inverter_chain_cases();
+    cases.extend(gate_cases());
+    cases.extend(pass_chain_cases());
+    cases.extend(circuit_cases());
+    cases
+}
+
+/// Runs every case, prints the standard four-way comparison table, writes
+/// `results/<csv_name>.csv`, and returns the raw comparisons for further
+/// shape checks.
+pub fn run_and_print(
+    title: &str,
+    csv_name: &str,
+    cases: &[BenchCase],
+    tech: &Technology,
+    models: &MosModelSet,
+) -> Vec<(String, Comparison)> {
+    use crystal::models::ModelKind;
+    println!("{title} (delays in ns)");
+    println!(
+        "{:<18} {:>8} {:>8} {:>7} {:>8} {:>7} {:>8} {:>7}",
+        "circuit", "sim", "lumped", "err%", "rctree", "err%", "slope", "err%"
+    );
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for case in cases {
+        let c = case.compare(tech, models);
+        println!(
+            "{:<18} {:>8.3} {:>8.3} {:>+6.1}% {:>8.3} {:>+6.1}% {:>8.3} {:>+6.1}%",
+            case.name,
+            c.reference.nanos(),
+            c.lumped.nanos(),
+            c.percent_error(ModelKind::Lumped),
+            c.rctree.nanos(),
+            c.percent_error(ModelKind::RcTree),
+            c.slope.nanos(),
+            c.percent_error(ModelKind::Slope),
+        );
+        rows.push(format!(
+            "{},{},{},{},{},{},{},{}",
+            case.name,
+            c.reference.nanos(),
+            c.lumped.nanos(),
+            c.percent_error(ModelKind::Lumped),
+            c.rctree.nanos(),
+            c.percent_error(ModelKind::RcTree),
+            c.slope.nanos(),
+            c.percent_error(ModelKind::Slope),
+        ));
+        out.push((case.name.clone(), c));
+    }
+    write_csv(
+        csv_name,
+        "circuit,sim_ns,lumped_ns,lumped_err,rctree_ns,rctree_err,slope_ns,slope_err",
+        &rows,
+    );
+    out
+}
+
+/// Mean of a slice (helper for shape summaries).
+pub fn mean(values: &[f64]) -> f64 {
+    values.iter().sum::<f64>() / values.len().max(1) as f64
+}
+
+/// Writes CSV rows into `results/<name>.csv` (creating the directory),
+/// best-effort: failures are reported to stderr but do not abort an
+/// experiment run.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) {
+    let dir = Path::new("results");
+    let path = dir.join(format!("{name}.csv"));
+    let body = format!("{header}\n{}\n", rows.join("\n"));
+    if let Err(e) = fs::create_dir_all(dir).and_then(|()| fs::write(&path, body)) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_is_well_formed() {
+        let cases = full_suite();
+        assert!(cases.len() >= 20, "suite has {} cases", cases.len());
+        for case in &cases {
+            // Outputs resolve and scenarios reference primary inputs.
+            assert_eq!(
+                case.net.node(case.scenario.input).kind(),
+                mosnet::NodeKind::Input,
+                "{}",
+                case.name
+            );
+            assert!(!case.name.is_empty());
+        }
+        // Names are unique.
+        let mut names: Vec<_> = cases.iter().map(|c| c.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), cases.len());
+    }
+
+    #[test]
+    fn every_case_analyzes_under_all_models() {
+        use crystal::models::ModelKind;
+        let tech = Technology::nominal();
+        for case in full_suite() {
+            for model in ModelKind::ALL {
+                let result = crystal::analyze(&case.net, &tech, model, &case.scenario)
+                    .unwrap_or_else(|e| panic!("{} ({model}): {e}", case.name));
+                result
+                    .delay_to(&case.net, case.output)
+                    .unwrap_or_else(|e| panic!("{} ({model}): {e}", case.name));
+            }
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Error type for the calibration pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while calibrating a technology.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CalibrateError {
+    /// The reference simulator failed.
+    Simulation(nanospice::SimError),
+    /// A calibration waveform could not be measured.
+    Unmeasurable {
+        /// What failed and why.
+        what: String,
+    },
+    /// The fitted points do not form a valid table.
+    BadFit {
+        /// Description of the defect.
+        message: String,
+    },
+}
+
+impl fmt::Display for CalibrateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CalibrateError::Simulation(e) => write!(f, "reference simulation failed: {e}"),
+            CalibrateError::Unmeasurable { what } => write!(f, "unmeasurable response: {what}"),
+            CalibrateError::BadFit { message } => write!(f, "bad fit: {message}"),
+        }
+    }
+}
+
+impl Error for CalibrateError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CalibrateError::Simulation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<nanospice::SimError> for CalibrateError {
+    fn from(e: nanospice::SimError) -> CalibrateError {
+        CalibrateError::Simulation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_sim_error_with_source() {
+        let e = CalibrateError::from(nanospice::SimError::BadNode { index: 1 });
+        assert!(e.to_string().contains("reference simulation failed"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

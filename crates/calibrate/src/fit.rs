@@ -1,0 +1,88 @@
+//! Table fitting: turning raw calibration measurements into the
+//! [`SlopeTable`]s the slope model consumes.
+
+use crate::error::CalibrateError;
+use crystal::tech::SlopeTable;
+
+/// Builds a [`SlopeTable`] from `(ratio, value)` samples.
+///
+/// The samples are sorted by ratio, duplicate ratios are averaged, and
+/// values are made non-decreasing by a running maximum — measurement noise
+/// must not produce a physically impossible "faster with a slower input"
+/// dip.
+///
+/// # Errors
+/// Returns [`CalibrateError::BadFit`] when no samples are given or a value
+/// is non-positive/non-finite.
+pub fn fit_monotone_table(samples: &[(f64, f64)]) -> Result<SlopeTable, CalibrateError> {
+    if samples.is_empty() {
+        return Err(CalibrateError::BadFit {
+            message: "no samples".into(),
+        });
+    }
+    if samples
+        .iter()
+        .any(|&(r, v)| !r.is_finite() || !v.is_finite() || v <= 0.0 || r < 0.0)
+    {
+        return Err(CalibrateError::BadFit {
+            message: "samples must be finite with ratios >= 0 and values > 0".into(),
+        });
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite ratios"));
+
+    // Average duplicate ratios.
+    let mut merged: Vec<(f64, f64)> = Vec::with_capacity(sorted.len());
+    for (r, v) in sorted {
+        match merged.last_mut() {
+            Some(last) if (last.0 - r).abs() < 1e-12 => {
+                last.1 = 0.5 * (last.1 + v);
+            }
+            _ => merged.push((r, v)),
+        }
+    }
+
+    // Running maximum enforces monotone non-decreasing values.
+    let mut peak = 0.0f64;
+    for point in &mut merged {
+        peak = peak.max(point.1);
+        point.1 = peak;
+    }
+
+    SlopeTable::new(merged).map_err(|e| CalibrateError::BadFit {
+        message: e.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_and_interpolates() {
+        let t = fit_monotone_table(&[(4.0, 2.0), (0.0, 1.0), (2.0, 1.5)]).unwrap();
+        assert!((t.eval(1.0) - 1.25).abs() < 1e-12);
+        assert!((t.eval(3.0) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn enforces_monotonicity_against_noise() {
+        let t = fit_monotone_table(&[(0.0, 1.0), (1.0, 1.2), (2.0, 1.15), (4.0, 1.6)]).unwrap();
+        assert!(t.is_monotone_nondecreasing());
+        // The dip at ratio 2 is flattened to the running max, 1.2.
+        assert!((t.eval(2.0) - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn averages_duplicate_ratios() {
+        let t = fit_monotone_table(&[(0.0, 1.0), (1.0, 2.0), (1.0, 4.0)]).unwrap();
+        assert!((t.eval(1.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_samples() {
+        assert!(fit_monotone_table(&[]).is_err());
+        assert!(fit_monotone_table(&[(0.0, -1.0)]).is_err());
+        assert!(fit_monotone_table(&[(f64::NAN, 1.0)]).is_err());
+    }
+}

@@ -1,0 +1,241 @@
+//! # calibrate — fitting the slope model against the reference simulator
+//!
+//! Reproduces the paper's model-calibration methodology: for every
+//! (device kind, drive direction) pair, run the reference simulator
+//! (`nanospice`, standing in for SPICE) on a canonical primitive circuit,
+//! first with a step input to pin the **static effective resistance**, and
+//! then across a sweep of input-slope ratios to fit the
+//! **effective-resistance multiplier** and **output-transition** tables —
+//! the empirical heart of the slope model.
+//!
+//! ```no_run
+//! use calibrate::{calibrate_technology, CalibrationConfig};
+//! use nanospice::MosModelSet;
+//!
+//! # fn main() -> Result<(), calibrate::CalibrateError> {
+//! let tech = calibrate_technology(&MosModelSet::default(), &CalibrationConfig::default())?;
+//! assert!(tech.name.contains("calibrated"));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod error;
+pub mod fit;
+pub mod runner;
+
+pub use error::CalibrateError;
+
+use crystal::tech::{Direction, DriveParams, Technology};
+use mosnet::units::{Ohms, Seconds, Volts};
+use mosnet::TransistorKind;
+use nanospice::MosModelSet;
+use runner::{measure, model_load_capacitance};
+
+/// Parameters of a calibration run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationConfig {
+    /// Slope ratios to sample (0 is always implied as the first point).
+    pub ratios: Vec<f64>,
+    /// Explicit calibration load (farads).
+    pub load_farads: f64,
+    /// Simulation horizon for the step measurement; slower ratios extend
+    /// it automatically.
+    pub step_horizon: Seconds,
+}
+
+impl Default for CalibrationConfig {
+    fn default() -> CalibrationConfig {
+        CalibrationConfig {
+            ratios: vec![0.5, 1.0, 2.0, 4.0, 8.0, 16.0],
+            load_farads: 200e-15,
+            step_horizon: Seconds::from_nanos(40.0),
+        }
+    }
+}
+
+impl CalibrationConfig {
+    /// A cheap configuration for tests: two ratios, shorter horizon.
+    pub fn coarse() -> CalibrationConfig {
+        CalibrationConfig {
+            ratios: vec![1.0, 4.0],
+            load_farads: 200e-15,
+            step_horizon: Seconds::from_nanos(40.0),
+        }
+    }
+}
+
+/// Calibrates all six (kind, direction) drive-parameter sets against the
+/// given device physics, returning a fitted [`Technology`].
+///
+/// The depletion pull-down configuration has no physical calibration
+/// circuit in classical MOS logic; it inherits the depletion pull-up fit
+/// (documented substitution, as in the original tool's practice of sharing
+/// load parameters).
+///
+/// # Errors
+/// Propagates simulator failures and fit defects ([`CalibrateError`]).
+pub fn calibrate_technology(
+    models: &MosModelSet,
+    config: &CalibrationConfig,
+) -> Result<Technology, CalibrateError> {
+    let mut tech = Technology::new("calibrated-4um", Volts(models.vdd));
+    tech.cox_per_area = models.cox_per_area;
+    tech.cj_per_width = models.cj_per_width;
+
+    let mut depletion_up: Option<DriveParams> = None;
+    for kind in TransistorKind::ALL {
+        for direction in Direction::ALL {
+            if kind == TransistorKind::Depletion && direction == Direction::PullDown {
+                continue; // filled from the pull-up fit below
+            }
+            let params = calibrate_drive(kind, direction, models, config)?;
+            if kind == TransistorKind::Depletion && direction == Direction::PullUp {
+                depletion_up = Some(params.clone());
+            }
+            tech.set_drive(kind, direction, params);
+        }
+    }
+    let dep = depletion_up.expect("depletion pull-up was calibrated");
+    tech.set_drive(TransistorKind::Depletion, Direction::PullDown, dep);
+    Ok(tech)
+}
+
+/// Calibrates one (kind, direction) pair.
+///
+/// # Errors
+/// See [`calibrate_technology`].
+pub fn calibrate_drive(
+    kind: TransistorKind,
+    direction: Direction,
+    models: &MosModelSet,
+    config: &CalibrationConfig,
+) -> Result<DriveParams, CalibrateError> {
+    // Step input pins the static effective resistance.
+    let step = measure(
+        kind,
+        direction,
+        models,
+        config.load_farads,
+        Seconds::ZERO,
+        config.step_horizon,
+    )?;
+    let t50 = step.delay.value();
+    if t50 <= 0.0 {
+        return Err(CalibrateError::BadFit {
+            message: format!("{kind:?}/{direction:?}: non-positive step delay"),
+        });
+    }
+    let c_model = model_load_capacitance(kind, direction, models, config.load_farads);
+    let r_device = t50 / c_model;
+    let r_square = Ohms(r_device / runner::device_squares(kind, direction));
+
+    // Ratio sweep fits the two slope tables.
+    let mut reff_points = vec![(0.0, 1.0)];
+    let mut tout_points = vec![(0.0, step.transition.value() / t50)];
+    for &ratio in &config.ratios {
+        if ratio <= 0.0 {
+            continue;
+        }
+        let input_transition = Seconds(ratio * t50);
+        // Slow edges need a longer window: settle + ramp + response.
+        let horizon = Seconds(config.step_horizon.value() + 2.0 * input_transition.value());
+        let m = measure(
+            kind,
+            direction,
+            models,
+            config.load_farads,
+            input_transition,
+            horizon,
+        )?;
+        reff_points.push((ratio, m.delay.value() / t50));
+        tout_points.push((ratio, m.transition.value() / t50));
+    }
+
+    Ok(DriveParams {
+        r_square,
+        reff: fit::fit_monotone_table(&reff_points)?,
+        tout: fit::fit_monotone_table(&tout_points)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrates_n_pulldown_with_sane_magnitudes() {
+        let p = calibrate_drive(
+            TransistorKind::NEnhancement,
+            Direction::PullDown,
+            &MosModelSet::default(),
+            &CalibrationConfig::coarse(),
+        )
+        .unwrap();
+        // A 4 µm-class unit pull-down is a few kΩ-per-square device.
+        assert!(
+            p.r_square.value() > 1_000.0 && p.r_square.value() < 100_000.0,
+            "r_square {}",
+            p.r_square.value()
+        );
+        assert!(p.reff.is_monotone_nondecreasing());
+        // Slower inputs must cost delay: the last table value exceeds 1.
+        let last = p.reff.points().last().expect("points").1;
+        assert!(last > 1.1, "reff saturates too low: {last}");
+    }
+
+    #[test]
+    fn pass_configurations_are_weaker_than_primary_drives() {
+        let models = MosModelSet::default();
+        let cfg = CalibrationConfig {
+            ratios: vec![],
+            ..CalibrationConfig::coarse()
+        };
+        let n_down = calibrate_drive(
+            TransistorKind::NEnhancement,
+            Direction::PullDown,
+            &models,
+            &cfg,
+        )
+        .unwrap();
+        let n_up = calibrate_drive(
+            TransistorKind::NEnhancement,
+            Direction::PullUp,
+            &models,
+            &cfg,
+        )
+        .unwrap();
+        assert!(
+            n_up.r_square.value() > n_down.r_square.value(),
+            "passing high ({}) must be weaker than pulling down ({})",
+            n_up.r_square.value(),
+            n_down.r_square.value()
+        );
+    }
+
+    #[test]
+    fn full_technology_calibration_fills_all_pairs() {
+        let tech = calibrate_technology(
+            &MosModelSet::default(),
+            &CalibrationConfig {
+                ratios: vec![2.0],
+                ..CalibrationConfig::coarse()
+            },
+        )
+        .unwrap();
+        for kind in TransistorKind::ALL {
+            for direction in Direction::ALL {
+                let d = tech.drive(kind, direction);
+                assert!(d.r_square.value() > 0.0, "{kind:?}/{direction:?}");
+                assert!(d.reff.is_monotone_nondecreasing());
+            }
+        }
+        // Depletion pull-down mirrors pull-up by construction.
+        assert_eq!(
+            tech.drive(TransistorKind::Depletion, Direction::PullDown),
+            tech.drive(TransistorKind::Depletion, Direction::PullUp)
+        );
+    }
+}

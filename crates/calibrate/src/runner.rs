@@ -1,0 +1,331 @@
+//! Calibration circuits and their measurement.
+//!
+//! Each (device kind, drive direction) pair has a canonical primitive
+//! circuit, built directly at the `nanospice` level so preconditioning
+//! resistors can set the initial state:
+//!
+//! * **n pull-down / p pull-up** — a CMOS inverter driven by a ramp;
+//! * **n pull-up / p pull-down** — a single pass device from the rail to
+//!   the load, with a megohm preconditioning resistor establishing the
+//!   opposite initial level;
+//! * **depletion pull-up** — an nMOS inverter (the load charges the output
+//!   once the ramped input releases the pull-down).
+//!
+//! The measured quantities follow the paper's procedure: the 50% delay
+//! from the gate edge, and the 10–90% output transition time.
+
+use crate::error::CalibrateError;
+use crystal::tech::Direction;
+use mosnet::units::Seconds;
+use mosnet::TransistorKind;
+use nanospice::circuit::{Circuit, MosModelSet};
+use nanospice::devices::{NodeRef, Waveshape};
+use nanospice::engine::Simulator;
+
+/// Geometry used for the switching device in each calibration circuit
+/// (microns): the unit pull-down of the generators' sizing discipline.
+pub const CAL_W_UM: f64 = 8.0;
+/// Drawn length of the switching device (microns).
+pub const CAL_L_UM: f64 = 2.0;
+/// CMOS pull-up width (microns).
+pub const CAL_WP_UM: f64 = 16.0;
+/// Depletion-load geometry (microns).
+pub const CAL_WDEP_UM: f64 = 2.0;
+/// Depletion-load length (microns).
+pub const CAL_LDEP_UM: f64 = 8.0;
+/// Preconditioning resistance (Ω) — weak enough not to disturb the fit.
+const PRECONDITION_OHMS: f64 = 2e6;
+
+/// One calibration measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// 50% (input) → 50% (output swing) delay.
+    pub delay: Seconds,
+    /// 10–90% output transition time.
+    pub transition: Seconds,
+}
+
+/// `L/W` of the switching device in each calibration circuit — the
+/// geometry that converts the fitted device resistance into a
+/// per-square value. The p pull-up fit switches the 16/2 pMOS of the
+/// inverter; every other enhancement configuration switches the 8/2
+/// device; depletion uses its 2/8 load geometry.
+pub fn device_squares(kind: TransistorKind, direction: Direction) -> f64 {
+    match (kind, direction) {
+        (TransistorKind::PEnhancement, Direction::PullUp) => CAL_L_UM / CAL_WP_UM,
+        (TransistorKind::Depletion, _) => CAL_LDEP_UM / CAL_WDEP_UM,
+        _ => CAL_L_UM / CAL_W_UM,
+    }
+}
+
+/// The capacitance the *model* will attribute to the calibration load:
+/// the explicit load plus the diffusion of every device touching it.
+/// Keeping this identical to the simulator's loading makes the fitted
+/// resistance land in the model's frame.
+pub fn model_load_capacitance(
+    kind: TransistorKind,
+    direction: Direction,
+    models: &MosModelSet,
+    load_farads: f64,
+) -> f64 {
+    let cj = models.cj_per_width;
+    let diffusion = match (kind, direction) {
+        // CMOS inverter: both devices touch the output.
+        (TransistorKind::NEnhancement, Direction::PullDown)
+        | (TransistorKind::PEnhancement, Direction::PullUp) => cj * (CAL_W_UM + CAL_WP_UM) * 1e-6,
+        // Single pass device.
+        (TransistorKind::NEnhancement, Direction::PullUp)
+        | (TransistorKind::PEnhancement, Direction::PullDown) => cj * CAL_W_UM * 1e-6,
+        // nMOS inverter: pull-down + load.
+        (TransistorKind::Depletion, _) => cj * (CAL_W_UM + CAL_WDEP_UM) * 1e-6,
+    };
+    load_farads + diffusion
+}
+
+/// Builds the calibration circuit for a (kind, direction) pair and returns
+/// `(circuit, gate_shape_slot)` where the gate source must be driven with
+/// the supplied shape. Node order: `0 = vdd`, `1 = gate`, `2 = out`.
+fn build_circuit(
+    kind: TransistorKind,
+    direction: Direction,
+    models: &MosModelSet,
+    load_farads: f64,
+    gate_shape: Waveshape,
+) -> Result<Circuit, CalibrateError> {
+    let mut ckt = Circuit::new();
+    let vdd = ckt.add_node("vdd");
+    let gate = ckt.add_node("gate");
+    let out = ckt.add_node("out");
+    ckt.add_vsource(vdd, NodeRef::Ground, Waveshape::Dc(models.vdd));
+    ckt.add_vsource(gate, NodeRef::Ground, gate_shape);
+
+    let um = 1e-6;
+    let cap = model_load_capacitance(kind, direction, models, load_farads);
+    ckt.add_capacitor(out, NodeRef::Ground, cap);
+
+    match (kind, direction) {
+        (TransistorKind::NEnhancement, Direction::PullDown) => {
+            // CMOS inverter: gate ramps up, out falls.
+            ckt.add_mosfet(
+                out,
+                gate,
+                NodeRef::Ground,
+                CAL_W_UM * um,
+                CAL_L_UM * um,
+                models.nmos,
+            );
+            ckt.add_mosfet(out, gate, vdd, CAL_WP_UM * um, CAL_L_UM * um, models.pmos);
+        }
+        (TransistorKind::PEnhancement, Direction::PullUp) => {
+            // Same inverter, gate ramps down, out rises.
+            ckt.add_mosfet(
+                out,
+                gate,
+                NodeRef::Ground,
+                CAL_W_UM * um,
+                CAL_L_UM * um,
+                models.nmos,
+            );
+            ckt.add_mosfet(out, gate, vdd, CAL_WP_UM * um, CAL_L_UM * um, models.pmos);
+        }
+        (TransistorKind::NEnhancement, Direction::PullUp) => {
+            // n pass device charging the load from vdd (threshold drop).
+            ckt.add_mosfet(vdd, gate, out, CAL_W_UM * um, CAL_L_UM * um, models.nmos);
+            ckt.add_resistor(out, NodeRef::Ground, PRECONDITION_OHMS);
+        }
+        (TransistorKind::PEnhancement, Direction::PullDown) => {
+            // p pass device discharging the load to ground.
+            ckt.add_mosfet(
+                out,
+                gate,
+                NodeRef::Ground,
+                CAL_W_UM * um,
+                CAL_L_UM * um,
+                models.pmos,
+            );
+            ckt.add_resistor(out, vdd, PRECONDITION_OHMS);
+        }
+        (TransistorKind::Depletion, _) => {
+            // nMOS inverter: gate ramps down, the load pulls out up.
+            ckt.add_mosfet(
+                out,
+                gate,
+                NodeRef::Ground,
+                CAL_W_UM * um,
+                CAL_L_UM * um,
+                models.nmos,
+            );
+            ckt.add_mosfet(
+                vdd,
+                out,
+                out,
+                CAL_WDEP_UM * um,
+                CAL_LDEP_UM * um,
+                models.depletion,
+            );
+        }
+    }
+    Ok(ckt)
+}
+
+/// Whether the calibration gate ramps up or down for this pair.
+fn gate_rises(kind: TransistorKind, direction: Direction) -> bool {
+    match (kind, direction) {
+        (TransistorKind::NEnhancement, _) => true,
+        (TransistorKind::PEnhancement, _) => false,
+        // The trigger is the pull-down's gate falling.
+        (TransistorKind::Depletion, _) => false,
+    }
+}
+
+/// Runs one calibration point: ramp the gate over `input_transition`
+/// (10–90% time) and measure the output response.
+///
+/// # Errors
+/// Propagates simulator failures and reports
+/// [`CalibrateError::Unmeasurable`] when the output never completes its
+/// transition within the simulation window.
+pub fn measure(
+    kind: TransistorKind,
+    direction: Direction,
+    models: &MosModelSet,
+    load_farads: f64,
+    input_transition: Seconds,
+    horizon: Seconds,
+) -> Result<Measurement, CalibrateError> {
+    // Convert the 10–90% input transition into a full-ramp duration.
+    let full_ramp = (input_transition.value() / 0.8).max(1e-12);
+    let t_edge = 0.25 * horizon.value();
+    let (v0, v1) = if gate_rises(kind, direction) {
+        (0.0, models.vdd)
+    } else {
+        (models.vdd, 0.0)
+    };
+    let shape = Waveshape::ramp(v0, v1, t_edge, full_ramp);
+    let ckt = build_circuit(kind, direction, models, load_farads, shape)?;
+    let sim = Simulator::new(&ckt);
+    let tstop = horizon.value() + full_ramp;
+    let dt = (tstop / 4000.0).max(0.5e-12);
+    let result = sim.transient(tstop, dt)?;
+    let out = result.voltage_by_name("out").expect("circuit has `out`");
+
+    let t_in_50 = t_edge + 0.5 * full_ramp;
+    let v_initial = out.value_at(t_edge);
+    let v_final = out.last();
+    let swing = v_final - v_initial;
+    let rising = direction == Direction::PullUp;
+    if swing.abs() < 0.05 * models.vdd || (swing > 0.0) != rising {
+        return Err(CalibrateError::Unmeasurable {
+            what: format!(
+                "{kind:?}/{direction:?}: output swing {swing:.3} V inconsistent with direction"
+            ),
+        });
+    }
+    let midpoint = v_initial + 0.5 * swing;
+    let t_out_50 =
+        out.crossing(midpoint, rising, t_edge)
+            .ok_or_else(|| CalibrateError::Unmeasurable {
+                what: format!("{kind:?}/{direction:?}: no midpoint crossing"),
+            })?;
+    let transition = out
+        .transition_time(v_initial, v_final, 0.1, 0.9, t_edge)
+        .ok_or_else(|| CalibrateError::Unmeasurable {
+            what: format!("{kind:?}/{direction:?}: transition incomplete"),
+        })?;
+    Ok(Measurement {
+        delay: Seconds(t_out_50 - t_in_50),
+        transition: Seconds(transition),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn models() -> MosModelSet {
+        MosModelSet::default()
+    }
+
+    #[test]
+    fn n_pulldown_step_measures() {
+        let m = measure(
+            TransistorKind::NEnhancement,
+            Direction::PullDown,
+            &models(),
+            200e-15,
+            Seconds::ZERO,
+            Seconds::from_nanos(20.0),
+        )
+        .unwrap();
+        assert!(m.delay.value() > 0.0);
+        assert!(m.delay.nanos() < 5.0, "delay {} ns", m.delay.nanos());
+        assert!(m.transition.value() > 0.0);
+    }
+
+    #[test]
+    fn all_six_pairs_measure() {
+        for kind in TransistorKind::ALL {
+            for direction in Direction::ALL {
+                let m = measure(
+                    kind,
+                    direction,
+                    &models(),
+                    200e-15,
+                    Seconds::ZERO,
+                    Seconds::from_nanos(60.0),
+                );
+                // Depletion pull-down is a physically odd configuration:
+                // accept either a measurement or a clean error.
+                match m {
+                    Ok(m) => assert!(m.delay.value() > 0.0, "{kind:?}/{direction:?}"),
+                    Err(e) => {
+                        assert!(
+                            kind == TransistorKind::Depletion && direction == Direction::PullDown,
+                            "{kind:?}/{direction:?} unexpectedly failed: {e}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slow_input_slows_the_stage() {
+        let fast = measure(
+            TransistorKind::NEnhancement,
+            Direction::PullDown,
+            &models(),
+            200e-15,
+            Seconds::ZERO,
+            Seconds::from_nanos(20.0),
+        )
+        .unwrap();
+        let slow = measure(
+            TransistorKind::NEnhancement,
+            Direction::PullDown,
+            &models(),
+            200e-15,
+            Seconds(8.0 * fast.delay.value()),
+            Seconds::from_nanos(30.0),
+        )
+        .unwrap();
+        assert!(
+            slow.delay.value() > 1.3 * fast.delay.value(),
+            "slow {} vs fast {}",
+            slow.delay.nanos(),
+            fast.delay.nanos()
+        );
+    }
+
+    #[test]
+    fn model_load_capacitance_counts_diffusion() {
+        let c = model_load_capacitance(
+            TransistorKind::NEnhancement,
+            Direction::PullDown,
+            &models(),
+            200e-15,
+        );
+        // 200 fF + (8 + 16) µm × 1 fF/µm = 224 fF.
+        assert!((c - 224e-15).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,403 @@
+//! `crystal-cli` — command-line switch-level timing analysis.
+//!
+//! ```text
+//! crystal-cli lint   <file.sim>
+//! crystal-cli logic  <file.sim> [--set NAME=0|1]...
+//! crystal-cli report <file.sim> --input NAME --edge rise|fall
+//!                    [--model lumped|rctree|slope] [--transition NS]
+//!                    [--set NAME=0|1]... [--output NAME] [--tech FILE]
+//! crystal-cli sweep  <file.sim> [--model ...] [--transition NS]
+//! crystal-cli spice  <file.sim>
+//! ```
+//!
+//! Exit status 0 on success, 1 with a message on stderr otherwise.
+
+use crystal::analyzer::{analyze, Edge, Scenario};
+use crystal::models::ModelKind;
+use crystal::report::{critical_path_report, full_report};
+use crystal::sweep::{sweep_exhaustive, sweep_inputs, MAX_EXHAUSTIVE_INPUTS};
+use crystal::tech::Technology;
+use mosnet::units::Seconds;
+use mosnet::{sim_format, spice_format, validate, Network, NodeId};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("crystal-cli: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: crystal-cli <lint|logic|report|sweep|spice> <file.sim> [options]
+  --input NAME          switching input (report)
+  --edge rise|fall      input edge direction (report)
+  --model lumped|rctree|slope   delay model (default slope)
+  --transition NS       input 10-90% transition time in ns (default 0)
+  --set NAME=0|1        static input level (repeatable)
+  --output NAME         report only this output (default: all arrivals)
+  --tech FILE           calibrated technology file (default: built-in nominal)
+";
+
+/// Parsed common options.
+struct Options {
+    model: ModelKind,
+    transition: Seconds,
+    statics: Vec<(String, bool)>,
+    input: Option<String>,
+    edge: Option<Edge>,
+    output: Option<String>,
+    tech: Option<String>,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        model: ModelKind::Slope,
+        transition: Seconds::ZERO,
+        statics: Vec::new(),
+        input: None,
+        edge: None,
+        output: None,
+        tech: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{what} needs a value"))
+        };
+        match arg.as_str() {
+            "--model" => {
+                options.model = match value("--model")?.as_str() {
+                    "lumped" => ModelKind::Lumped,
+                    "rctree" | "rc-tree" => ModelKind::RcTree,
+                    "slope" => ModelKind::Slope,
+                    other => return Err(format!("unknown model `{other}`")),
+                };
+            }
+            "--transition" => {
+                let ns: f64 = value("--transition")?
+                    .parse()
+                    .map_err(|_| "cannot parse --transition".to_string())?;
+                if !(ns >= 0.0 && ns.is_finite()) {
+                    return Err("--transition must be a non-negative number of ns".into());
+                }
+                options.transition = Seconds::from_nanos(ns);
+            }
+            "--set" => {
+                let pair = value("--set")?;
+                let (name, level) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("--set expects NAME=0|1, got `{pair}`"))?;
+                let level = match level {
+                    "0" => false,
+                    "1" => true,
+                    other => return Err(format!("--set level must be 0 or 1, got `{other}`")),
+                };
+                options.statics.push((name.to_string(), level));
+            }
+            "--input" => options.input = Some(value("--input")?),
+            "--tech" => options.tech = Some(value("--tech")?),
+            "--output" => options.output = Some(value("--output")?),
+            "--edge" => {
+                options.edge = Some(match value("--edge")?.as_str() {
+                    "rise" | "rising" => Edge::Rising,
+                    "fall" | "falling" => Edge::Falling,
+                    other => return Err(format!("unknown edge `{other}`")),
+                });
+            }
+            other => return Err(format!("unknown option `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(options)
+}
+
+fn load_technology(options: &Options) -> Result<Technology, String> {
+    match options.tech.as_deref() {
+        None => Ok(Technology::nominal()),
+        Some(path) => {
+            let text =
+                fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            crystal::tech_format::parse(&text).map_err(|e| format!("{path}: {e}"))
+        }
+    }
+}
+
+fn load(path: &str) -> Result<Network, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let name = path.rsplit('/').next().unwrap_or(path);
+    sim_format::parse(&text, name).map_err(|e| format!("{path}: {e}"))
+}
+
+fn resolve(net: &Network, name: &str) -> Result<NodeId, String> {
+    net.node_by_name(name)
+        .ok_or_else(|| format!("no node named `{name}` in the netlist"))
+}
+
+/// Runs a full CLI invocation; returns the stdout text.
+fn run(args: &[String]) -> Result<String, String> {
+    let (command, rest) = args.split_first().ok_or(USAGE.to_string())?;
+    let (path, rest) = rest
+        .split_first()
+        .ok_or_else(|| format!("`{command}` needs a netlist file\n{USAGE}"))?;
+    let net = load(path)?;
+    let options = parse_options(rest)?;
+
+    match command.as_str() {
+        "lint" => {
+            let warnings = validate::validate(&net).map_err(|e| e.to_string())?;
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "{}: {} nodes, {} transistors",
+                net.name(),
+                net.node_count(),
+                net.transistor_count()
+            );
+            if warnings.is_empty() {
+                out.push_str("clean\n");
+            } else {
+                for w in &warnings {
+                    let _ = writeln!(out, "warning: {w:?}");
+                }
+            }
+            Ok(out)
+        }
+        "logic" => {
+            let mut levels = HashMap::new();
+            for (name, level) in &options.statics {
+                levels.insert(resolve(&net, name)?, *level);
+            }
+            let state = crystal::logic::solve(&net, &levels);
+            let mut out = String::new();
+            for (id, node) in net.nodes() {
+                let _ = writeln!(out, "{:<16} {}", node.name(), state.value(id));
+            }
+            Ok(out)
+        }
+        "report" => {
+            let input_name = options
+                .input
+                .as_deref()
+                .ok_or("`report` needs --input NAME")?;
+            let edge = options.edge.ok_or("`report` needs --edge rise|fall")?;
+            let input = resolve(&net, input_name)?;
+            let mut scenario =
+                Scenario::step(input, edge).with_input_transition(options.transition);
+            for (name, level) in &options.statics {
+                scenario = scenario.with_static(resolve(&net, name)?, *level);
+            }
+            let tech = load_technology(&options)?;
+            let result =
+                analyze(&net, &tech, options.model, &scenario).map_err(|e| e.to_string())?;
+            match options.output.as_deref() {
+                Some(name) => {
+                    let output = resolve(&net, name)?;
+                    Ok(critical_path_report(&net, &result, output))
+                }
+                None => Ok(full_report(&net, &result)),
+            }
+        }
+        "sweep" => {
+            let tech = load_technology(&options)?;
+            let sweep = if net.inputs().len() <= MAX_EXHAUSTIVE_INPUTS {
+                sweep_exhaustive(&net, &tech, options.model, options.transition)
+            } else {
+                sweep_inputs(
+                    &net,
+                    &tech,
+                    options.model,
+                    options.transition,
+                    &HashMap::new(),
+                )
+            }
+            .map_err(|e| e.to_string())?;
+            let mut out = String::new();
+            let _ = writeln!(out, "{} scenarios analyzed", sweep.runs().len());
+            match sweep.worst_output_arrival(&net) {
+                Some((node, arrival, idx)) => {
+                    let (scenario, result) = &sweep.runs()[idx];
+                    let _ = writeln!(
+                        out,
+                        "worst output arrival: `{}` at {:.4} ns (input `{}` {})",
+                        net.node(node).name(),
+                        arrival.time.nanos(),
+                        net.node(scenario.input).name(),
+                        if scenario.edge == Edge::Rising {
+                            "rising"
+                        } else {
+                            "falling"
+                        },
+                    );
+                    out.push_str(&critical_path_report(&net, result, node));
+                }
+                None => out.push_str("no output ever switches\n"),
+            }
+            Ok(out)
+        }
+        "spice" => Ok(spice_format::write(&net)),
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    const INVERTER_CHAIN: &str = "| two inverters\ni a\no y\n\
+        n a m gnd 2 8\np a m vdd 2 16\nC m 20\n\
+        n m y gnd 2 8\np m y vdd 2 16\nC y 100\n";
+
+    fn fixture(name: &str, contents: &str) -> PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("crystal_cli_{name}_{}.sim", std::process::id()));
+        fs::write(&path, contents).expect("temp file writes");
+        path
+    }
+
+    fn cli(parts: &[&str]) -> Result<String, String> {
+        let args: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
+        run(&args)
+    }
+
+    #[test]
+    fn lint_reports_clean_circuit() {
+        let path = fixture("lint", INVERTER_CHAIN);
+        let out = cli(&["lint", path.to_str().expect("utf8 path")]).unwrap();
+        assert!(out.contains("clean"));
+        assert!(out.contains("4 transistors"), "{out}");
+    }
+
+    #[test]
+    fn logic_prints_steady_state() {
+        let path = fixture("logic", INVERTER_CHAIN);
+        let out = cli(&["logic", path.to_str().unwrap(), "--set", "a=1"]).unwrap();
+        // a=1 -> m=0 -> y=1.
+        assert!(out.contains('m'));
+        let line_of = |node: &str| {
+            out.lines()
+                .find(|l| l.starts_with(&format!("{node} ")))
+                .unwrap_or_else(|| panic!("missing {node}"))
+                .to_string()
+        };
+        assert!(line_of("m").ends_with('0'));
+        assert!(line_of("y").ends_with('1'));
+    }
+
+    #[test]
+    fn report_prints_critical_path() {
+        let path = fixture("report", INVERTER_CHAIN);
+        let out = cli(&[
+            "report",
+            path.to_str().unwrap(),
+            "--input",
+            "a",
+            "--edge",
+            "rise",
+            "--output",
+            "y",
+            "--transition",
+            "1.0",
+        ])
+        .unwrap();
+        assert!(out.contains("critical path to `y`"));
+        assert!(out.contains("slope model"));
+    }
+
+    #[test]
+    fn report_honors_model_choice() {
+        let path = fixture("model", INVERTER_CHAIN);
+        let out = cli(&[
+            "report",
+            path.to_str().unwrap(),
+            "--input",
+            "a",
+            "--edge",
+            "fall",
+            "--model",
+            "lumped",
+        ])
+        .unwrap();
+        assert!(out.contains("lumped model"));
+    }
+
+    #[test]
+    fn sweep_finds_worst_output() {
+        let path = fixture("sweep", INVERTER_CHAIN);
+        let out = cli(&["sweep", path.to_str().unwrap()]).unwrap();
+        assert!(out.contains("worst output arrival: `y`"));
+        // 1 input × 1 static vector × 2 edges.
+        assert!(out.contains("2 scenarios"));
+    }
+
+    #[test]
+    fn report_accepts_a_technology_file() {
+        let tech_text = crystal::tech_format::write(&Technology::nominal());
+        let tech_path = std::env::temp_dir().join(format!(
+            "crystal_cli_tech_{}.tech",
+            std::process::id()
+        ));
+        fs::write(&tech_path, tech_text).expect("tech file writes");
+        let path = fixture("techfile", INVERTER_CHAIN);
+        let out = cli(&[
+            "report",
+            path.to_str().unwrap(),
+            "--input",
+            "a",
+            "--edge",
+            "rise",
+            "--tech",
+            tech_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("arrivals"));
+        // A corrupt file is a clean error.
+        fs::write(&tech_path, "garbage record\n").expect("tech file writes");
+        assert!(cli(&[
+            "report",
+            path.to_str().unwrap(),
+            "--input",
+            "a",
+            "--edge",
+            "rise",
+            "--tech",
+            tech_path.to_str().unwrap(),
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn spice_emits_deck() {
+        let path = fixture("spice", INVERTER_CHAIN);
+        let out = cli(&["spice", path.to_str().unwrap()]).unwrap();
+        assert!(out.contains(".model NMOS"));
+        assert!(out.contains(".end"));
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        assert!(cli(&[]).is_err());
+        assert!(cli(&["lint"]).is_err());
+        assert!(cli(&["lint", "/nonexistent/file.sim"]).is_err());
+        let path = fixture("err", INVERTER_CHAIN);
+        let p = path.to_str().unwrap();
+        assert!(cli(&["report", p]).is_err()); // missing --input
+        assert!(cli(&["report", p, "--input", "zzz", "--edge", "rise"]).is_err());
+        assert!(cli(&["report", p, "--input", "a", "--edge", "sideways"]).is_err());
+        assert!(cli(&["report", p, "--input", "a", "--edge", "rise", "--model", "x"]).is_err());
+        assert!(cli(&["frobnicate", p]).is_err());
+        assert!(cli(&["lint", p, "--set", "a"]).is_err());
+        assert!(cli(&["lint", p, "--transition", "-1"]).is_err());
+    }
+}

@@ -1,0 +1,337 @@
+//! Charge-sharing analysis for dynamic (pass-transistor) nodes.
+//!
+//! When a pass transistor turns on and connects a small floating node that
+//! stores a logic value to a larger discharged (or charged) floating
+//! network, the stored charge redistributes:
+//!
+//! ```text
+//! v_after = Σ C_i·v_i / Σ C_i
+//! ```
+//!
+//! and the stored value can droop past the switching threshold — a
+//! functional failure that switch-level timing alone does not see. This
+//! module enumerates the charge-sharing events a single transistor
+//! turn-on could cause in a given state, the companion check tools of the
+//! Crystal generation shipped alongside delay analysis.
+
+use crate::logic::{self, LogicValue};
+use crate::tech::Technology;
+use mosnet::{Network, NodeId, TransistorId};
+use std::collections::HashMap;
+
+/// One potential charge-sharing event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChargeSharingEvent {
+    /// The transistor whose turn-on merges the two floating groups.
+    pub transistor: TransistorId,
+    /// Nodes of the merged group, sorted by id.
+    pub group: Vec<NodeId>,
+    /// Node whose stored value droops the most.
+    pub victim: NodeId,
+    /// Victim voltage before the merge (volts).
+    pub v_before: f64,
+    /// Post-redistribution voltage of the merged group (volts).
+    pub v_after: f64,
+}
+
+impl ChargeSharingEvent {
+    /// Magnitude of the victim's voltage change (volts).
+    pub fn droop(&self) -> f64 {
+        (self.v_before - self.v_after).abs()
+    }
+}
+
+/// Finds the floating channel group containing `start` under the current
+/// conduction state. Returns `None` if the group touches a rail or an
+/// externally driven node (such a group cannot float).
+fn floating_group(net: &Network, state: &logic::LogicState, start: NodeId) -> Option<Vec<NodeId>> {
+    let mut group = vec![start];
+    let mut seen = vec![false; net.node_count()];
+    seen[start.index()] = true;
+    let mut queue = vec![start];
+    while let Some(n) = queue.pop() {
+        if net.node(n).kind().is_driven_externally() {
+            return None;
+        }
+        for &tid in net.channel_neighbors(n) {
+            if !state.transistor_on(net, tid) {
+                continue;
+            }
+            let other = net.transistor(tid).other_terminal(n);
+            if seen[other.index()] {
+                continue;
+            }
+            seen[other.index()] = true;
+            group.push(other);
+            queue.push(other);
+        }
+    }
+    group.sort();
+    Some(group)
+}
+
+/// Stored voltage of a floating node: its logic value if the relaxation
+/// knows it, else the caller-supplied assumption, else `None`.
+fn stored_voltage(
+    state: &logic::LogicState,
+    stored: &HashMap<NodeId, bool>,
+    node: NodeId,
+    vdd: f64,
+) -> Option<f64> {
+    match state.value(node) {
+        LogicValue::One => Some(vdd),
+        LogicValue::Zero => Some(0.0),
+        LogicValue::X => stored.get(&node).map(|&b| if b { vdd } else { 0.0 }),
+    }
+}
+
+/// Enumerates the charge-sharing events that turning on any single
+/// currently-off transistor would cause in the state reached with
+/// `inputs`, keeping events whose victim droops by more than
+/// `threshold_fraction × vdd`.
+///
+/// `stored` supplies assumed values for floating (X) nodes — the charge
+/// they retained from earlier operation; floating nodes without an
+/// assumption are skipped (nothing to corrupt).
+pub fn charge_sharing_events(
+    net: &Network,
+    tech: &Technology,
+    inputs: &HashMap<NodeId, bool>,
+    stored: &HashMap<NodeId, bool>,
+    threshold_fraction: f64,
+) -> Vec<ChargeSharingEvent> {
+    let state = logic::solve(net, inputs);
+    let vdd = tech.vdd.value();
+    let mut events = Vec::new();
+
+    for (tid, t) in net.transistors() {
+        if state.transistor_on(net, tid) {
+            continue; // already conducting — nothing new happens
+        }
+        let (a, b) = (t.source(), t.drain());
+        let group_a = floating_group(net, &state, a);
+        let group_b = floating_group(net, &state, b);
+        // Charge sharing needs both sides floating; a driven side rewrites
+        // the other (a normal write, handled by timing analysis).
+        let (Some(group_a), Some(group_b)) = (group_a, group_b) else {
+            continue;
+        };
+        if group_a.contains(&b) {
+            continue; // already the same group through another path
+        }
+
+        let mut total_c = 0.0;
+        let mut total_q = 0.0;
+        let mut known = true;
+        for node in group_a.iter().chain(&group_b) {
+            let c = tech.node_capacitance(net, *node).value();
+            match stored_voltage(&state, stored, *node, vdd) {
+                Some(v) => {
+                    total_c += c;
+                    total_q += c * v;
+                }
+                None => {
+                    known = false;
+                    break;
+                }
+            }
+        }
+        if !known || total_c <= 0.0 {
+            continue;
+        }
+        let v_after = total_q / total_c;
+
+        // The victim is whichever node moves the most.
+        let mut victim = None;
+        let mut worst = 0.0;
+        for node in group_a.iter().chain(&group_b) {
+            let v_before = stored_voltage(&state, stored, *node, vdd).expect("checked above");
+            let droop = (v_before - v_after).abs();
+            if droop > worst {
+                worst = droop;
+                victim = Some((*node, v_before));
+            }
+        }
+        let Some((victim, v_before)) = victim else {
+            continue;
+        };
+        if worst > threshold_fraction * vdd {
+            let mut group: Vec<NodeId> = group_a.iter().chain(&group_b).copied().collect();
+            group.sort();
+            events.push(ChargeSharingEvent {
+                transistor: tid,
+                group,
+                victim,
+                v_before,
+                v_after,
+            });
+        }
+    }
+    events.sort_by_key(|e| e.transistor);
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosnet::network::NetworkBuilder;
+    use mosnet::node::NodeKind;
+    use mosnet::units::Farads;
+    use mosnet::{Geometry, TransistorKind};
+
+    /// A small dynamic node `a` (10 fF, stores 1) behind an off pass
+    /// transistor from a large discharged node `b` (90 fF, stores 0).
+    fn dynamic_pair(ca_ff: f64, cb_ff: f64) -> Network {
+        let mut b = NetworkBuilder::new("dyn");
+        b.power();
+        b.ground();
+        let en = b.node("en", NodeKind::Input);
+        let na = b.node("a", NodeKind::Internal);
+        let nb = b.node("b", NodeKind::Internal);
+        b.set_capacitance(na, Farads::from_femto(ca_ff));
+        b.set_capacitance(nb, Farads::from_femto(cb_ff));
+        b.add_transistor(
+            TransistorKind::NEnhancement,
+            en,
+            na,
+            nb,
+            Geometry::default(),
+        );
+        b.build().expect("valid")
+    }
+
+    fn tech() -> Technology {
+        let mut t = Technology::nominal();
+        // Zero parasitics keep the arithmetic exact for the tests.
+        t.cox_per_area = 0.0;
+        t.cj_per_width = 0.0;
+        t
+    }
+
+    #[test]
+    fn detects_droop_onto_large_discharged_node() {
+        let net = dynamic_pair(10.0, 90.0);
+        let en = net.node_by_name("en").unwrap();
+        let a = net.node_by_name("a").unwrap();
+        let b = net.node_by_name("b").unwrap();
+        let stored = HashMap::from([(a, true), (b, false)]);
+        let events =
+            charge_sharing_events(&net, &tech(), &HashMap::from([(en, false)]), &stored, 0.2);
+        assert_eq!(events.len(), 1);
+        let e = &events[0];
+        assert_eq!(e.victim, a);
+        assert!((e.v_before - 5.0).abs() < 1e-9);
+        // 10 fF at 5 V into 100 fF total: 0.5 V.
+        assert!((e.v_after - 0.5).abs() < 1e-9, "v_after {}", e.v_after);
+        assert!((e.droop() - 4.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn balanced_capacitance_still_reported_at_low_threshold() {
+        let net = dynamic_pair(50.0, 50.0);
+        let a = net.node_by_name("a").unwrap();
+        let b = net.node_by_name("b").unwrap();
+        let en = net.node_by_name("en").unwrap();
+        let stored = HashMap::from([(a, true), (b, false)]);
+        let inputs = HashMap::from([(en, false)]);
+        let events = charge_sharing_events(&net, &tech(), &inputs, &stored, 0.4);
+        // Both nodes move by 2.5 V = 0.5 vdd > 0.4 vdd.
+        assert_eq!(events.len(), 1);
+        // With a stricter threshold the event disappears.
+        let events = charge_sharing_events(&net, &tech(), &inputs, &stored, 0.6);
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn driven_side_suppresses_event() {
+        // If `b` hangs on a conducting path to ground, turning on the pass
+        // gate is a write, not charge sharing.
+        let mut bld = NetworkBuilder::new("driven");
+        bld.power();
+        let gnd = bld.ground();
+        let en = bld.node("en", NodeKind::Input);
+        let hold = bld.node("hold", NodeKind::Input);
+        let na = bld.node("a", NodeKind::Internal);
+        let nb = bld.node("b", NodeKind::Internal);
+        bld.set_capacitance(na, Farads::from_femto(10.0));
+        bld.set_capacitance(nb, Farads::from_femto(90.0));
+        bld.add_transistor(
+            TransistorKind::NEnhancement,
+            en,
+            na,
+            nb,
+            Geometry::default(),
+        );
+        bld.add_transistor(
+            TransistorKind::NEnhancement,
+            hold,
+            nb,
+            gnd,
+            Geometry::default(),
+        );
+        let net = bld.build().unwrap();
+        let a = net.node_by_name("a").unwrap();
+        let stored = HashMap::from([(a, true)]);
+        // hold = 1 drives b low: no event.
+        let inputs = HashMap::from([(en, false), (hold, true)]);
+        let events = charge_sharing_events(&net, &tech(), &inputs, &stored, 0.2);
+        assert!(events.is_empty());
+        // hold = 0 leaves b floating: event appears (if b's value assumed).
+        let b = net.node_by_name("b").unwrap();
+        let stored = HashMap::from([(a, true), (b, false)]);
+        let inputs = HashMap::from([(en, false), (hold, false)]);
+        let events = charge_sharing_events(&net, &tech(), &inputs, &stored, 0.2);
+        assert_eq!(events.len(), 1);
+    }
+
+    #[test]
+    fn unknown_floating_values_are_skipped() {
+        let net = dynamic_pair(10.0, 90.0);
+        let en = net.node_by_name("en").unwrap();
+        let inputs = HashMap::from([(en, false)]);
+        // No stored assumptions: nothing to corrupt, no events.
+        let events = charge_sharing_events(&net, &tech(), &inputs, &HashMap::new(), 0.1);
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn conducting_transistors_produce_no_events() {
+        let net = dynamic_pair(10.0, 90.0);
+        let en = net.node_by_name("en").unwrap();
+        let a = net.node_by_name("a").unwrap();
+        let b = net.node_by_name("b").unwrap();
+        let stored = HashMap::from([(a, true), (b, false)]);
+        // en = 1: the pass gate is already on; the groups are merged.
+        let inputs = HashMap::from([(en, true)]);
+        let events = charge_sharing_events(&net, &tech(), &inputs, &stored, 0.1);
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn pass_chain_taps_share_with_isolated_head() {
+        use mosnet::generators::{pass_chain, Style};
+        // ctl off: the chain taps float. Assume the head (drv) stores 1
+        // and the taps store 0; turning on the first pass transistor
+        // would droop drv... but drv is driven by the inverter, so the
+        // real events come from tap-to-tap merges deeper in the chain.
+        let net = pass_chain(
+            Style::Cmos,
+            3,
+            Farads::from_femto(50.0),
+            Farads::from_femto(50.0),
+        )
+        .unwrap();
+        let ctl = net.node_by_name("ctl").unwrap();
+        let p1 = net.node_by_name("p1").unwrap();
+        let p2 = net.node_by_name("p2").unwrap();
+        let out = net.node_by_name("out").unwrap();
+        let stored = HashMap::from([(p1, true), (p2, false), (out, false)]);
+        let inputs = HashMap::from([(ctl, false)]);
+        let events = charge_sharing_events(&net, &Technology::nominal(), &inputs, &stored, 0.3);
+        // p1 (stores 1) merging into p2 or out (store 0) must be flagged.
+        assert!(
+            events.iter().any(|e| e.victim == p1),
+            "expected a droop event for p1, got {events:?}"
+        );
+    }
+}

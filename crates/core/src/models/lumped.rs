@@ -1,0 +1,75 @@
+//! The lumped RC model: the simplest delay estimate the paper starts from.
+//!
+//! Every transistor on the stage path contributes its full static
+//! effective resistance, every capacitance in the stage (path *and* side
+//! branches) counts against that total resistance:
+//!
+//! ```text
+//! delay = (Σ R_path) × (Σ C_all)
+//! ```
+//!
+//! Cheap and direction-correct, but pessimistic on distributed chains
+//! (roughly 2× for long pass chains) and blind to input slope.
+
+use crate::models::StageDelay;
+use crate::stage::Stage;
+
+/// Conventional ratio of a 10–90% transition to the 50% delay for a
+/// single-pole response (`ln(9)/ln(2)`), used to synthesize an output
+/// transition estimate for models that do not track slopes.
+pub(crate) const TRANSITION_PER_DELAY: f64 = 3.17;
+
+/// Evaluates the lumped RC model on a stage.
+pub fn estimate(stage: &Stage) -> StageDelay {
+    let (r, c) = stage.tree.lumped(stage.target_index);
+    let delay = r * c;
+    StageDelay {
+        delay,
+        output_transition: delay * TRANSITION_PER_DELAY,
+        bounds: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rctree::uniform_ladder;
+    use crate::tech::Direction;
+    use mosnet::units::{Farads, Ohms};
+    use mosnet::NodeId;
+
+    fn ladder_stage(n: usize) -> Stage {
+        let (tree, target_index) = uniform_ladder(n, Ohms(1000.0), Farads(1e-13), Farads(1e-13));
+        Stage {
+            target: NodeId::from_index(0),
+            direction: Direction::PullDown,
+            tree,
+            target_index,
+            path: Vec::new(),
+            path_gates: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn single_segment_is_rc() {
+        let d = estimate(&ladder_stage(1));
+        assert!((d.delay.value() - 1e-10).abs() < 1e-22);
+        assert!(d.bounds.is_none());
+    }
+
+    #[test]
+    fn grows_quadratically_with_chain_length() {
+        let d2 = estimate(&ladder_stage(2)).delay.value();
+        let d4 = estimate(&ladder_stage(4)).delay.value();
+        // R and C both double: delay quadruples.
+        assert!((d4 / d2 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transition_scales_with_delay() {
+        let d = estimate(&ladder_stage(3));
+        assert!(
+            (d.output_transition.value() / d.delay.value() - TRANSITION_PER_DELAY).abs() < 1e-12
+        );
+    }
+}

@@ -1,0 +1,202 @@
+//! The three switch-level delay models the paper compares.
+//!
+//! | Model | Delay | Input slope | Distributed RC |
+//! |-------|-------|-------------|----------------|
+//! | [`lumped`] | `R_path · C_total` | ignored | ignored (pessimistic) |
+//! | [`rctree`] | Elmore `T_P` + Penfield–Rubinstein bounds | ignored | yes |
+//! | [`slope`]  | `m(r) · T_P`, `r` = slope ratio | **yes** | yes |
+//!
+//! All three consume the same extracted [`Stage`], so
+//! differences in their predictions come purely from the model, exactly as
+//! in the paper's comparison.
+
+pub mod lumped;
+pub mod rctree;
+pub mod slope;
+
+use crate::stage::Stage;
+use crate::tech::Technology;
+use mosnet::units::Seconds;
+use mosnet::TransistorKind;
+use std::fmt;
+
+/// Which delay model to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Lumped RC: total path resistance × total capacitance.
+    Lumped,
+    /// RC-tree: Elmore first moment with Penfield–Rubinstein bounds.
+    RcTree,
+    /// The paper's slope model: RC-tree drive modulated by the ratio of
+    /// input transition time to intrinsic stage delay.
+    Slope,
+}
+
+impl ModelKind {
+    /// All models, in comparison order.
+    pub const ALL: [ModelKind; 3] = [ModelKind::Lumped, ModelKind::RcTree, ModelKind::Slope];
+}
+
+impl fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ModelKind::Lumped => "lumped",
+            ModelKind::RcTree => "rc-tree",
+            ModelKind::Slope => "slope",
+        })
+    }
+}
+
+/// A stage delay estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageDelay {
+    /// Estimated 50% delay of the stage, measured from its trigger.
+    pub delay: Seconds,
+    /// Estimated 10–90% transition time of the target node (propagated to
+    /// downstream stages by the slope model).
+    pub output_transition: Seconds,
+    /// Lower/upper 50% bounds where the model provides them (RC-tree).
+    pub bounds: Option<(Seconds, Seconds)>,
+}
+
+/// Everything a model may consult about the triggering transition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TriggerContext {
+    /// 10–90% transition time of the triggering input.
+    pub input_transition: Seconds,
+    /// Device kind of the trigger transistor (selects the slope table).
+    pub trigger_kind: TransistorKind,
+}
+
+impl TriggerContext {
+    /// A step input through an n-enhancement trigger — the default when no
+    /// context is known.
+    pub fn step() -> TriggerContext {
+        TriggerContext {
+            input_transition: Seconds::ZERO,
+            trigger_kind: TransistorKind::NEnhancement,
+        }
+    }
+}
+
+/// Evaluates `stage` under the chosen model.
+pub fn estimate(
+    model: ModelKind,
+    tech: &Technology,
+    stage: &Stage,
+    ctx: TriggerContext,
+) -> StageDelay {
+    match model {
+        ModelKind::Lumped => lumped::estimate(stage),
+        ModelKind::RcTree => rctree::estimate(stage),
+        ModelKind::Slope => slope::estimate(tech, stage, ctx),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::stages_to;
+    use crate::tech::Direction;
+    use mosnet::generators::{inverter, pass_chain, Style};
+    use mosnet::units::Farads;
+    use mosnet::TransistorId;
+
+    const ALL_ON: fn(TransistorId) -> bool = |_| true;
+
+    fn inverter_stage() -> Stage {
+        let net = inverter(Style::Cmos, Farads::from_femto(100.0));
+        let tech = Technology::nominal();
+        let out = net.node_by_name("out").unwrap();
+        stages_to(&net, &tech, &ALL_ON, out, Direction::PullDown)
+            .pop()
+            .expect("inverter has a pull-down stage")
+    }
+
+    #[test]
+    fn models_agree_on_single_stage_with_step_input() {
+        // With one lumped segment, lumped R·C equals Elmore, and the slope
+        // model at ratio 0 multiplies by reff(0) = 1.
+        let tech = Technology::nominal();
+        let stage = inverter_stage();
+        let l = estimate(ModelKind::Lumped, &tech, &stage, TriggerContext::step());
+        let r = estimate(ModelKind::RcTree, &tech, &stage, TriggerContext::step());
+        let s = estimate(ModelKind::Slope, &tech, &stage, TriggerContext::step());
+        assert!((l.delay.value() - r.delay.value()).abs() < 1e-15);
+        assert!((r.delay.value() - s.delay.value()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn model_divergence_on_pass_chains() {
+        // Lumped > Elmore on a distributed chain (the paper's headline
+        // observation for Table 3).
+        let net = pass_chain(
+            Style::Cmos,
+            6,
+            Farads::from_femto(50.0),
+            Farads::from_femto(100.0),
+        )
+        .unwrap();
+        let tech = Technology::nominal();
+        let out = net.node_by_name("out").unwrap();
+        let stage = stages_to(&net, &tech, &ALL_ON, out, Direction::PullUp)
+            .pop()
+            .unwrap();
+        let l = estimate(ModelKind::Lumped, &tech, &stage, TriggerContext::step());
+        let r = estimate(ModelKind::RcTree, &tech, &stage, TriggerContext::step());
+        assert!(
+            l.delay.value() > 1.4 * r.delay.value(),
+            "lumped {} vs rc-tree {}",
+            l.delay.nanos(),
+            r.delay.nanos()
+        );
+    }
+
+    #[test]
+    fn slope_model_grows_with_input_transition() {
+        let tech = Technology::nominal();
+        let stage = inverter_stage();
+        let fast = estimate(ModelKind::Slope, &tech, &stage, TriggerContext::step());
+        let slow_ctx = TriggerContext {
+            input_transition: Seconds::from_nanos(50.0),
+            trigger_kind: TransistorKind::NEnhancement,
+        };
+        let slow = estimate(ModelKind::Slope, &tech, &stage, slow_ctx);
+        assert!(slow.delay > fast.delay);
+        assert!(slow.output_transition > fast.output_transition);
+    }
+
+    #[test]
+    fn lumped_and_rctree_ignore_input_transition() {
+        let tech = Technology::nominal();
+        let stage = inverter_stage();
+        let slow_ctx = TriggerContext {
+            input_transition: Seconds::from_nanos(50.0),
+            trigger_kind: TransistorKind::NEnhancement,
+        };
+        for model in [ModelKind::Lumped, ModelKind::RcTree] {
+            let a = estimate(model, &tech, &stage, TriggerContext::step());
+            let b = estimate(model, &tech, &stage, slow_ctx);
+            assert_eq!(a.delay, b.delay, "{model} must ignore input slope");
+        }
+    }
+
+    #[test]
+    fn rctree_provides_bounds_that_bracket_its_estimate() {
+        let tech = Technology::nominal();
+        let stage = inverter_stage();
+        let r = estimate(ModelKind::RcTree, &tech, &stage, TriggerContext::step());
+        let (lo, hi) = r.bounds.expect("rc-tree model reports bounds");
+        assert!(lo <= hi);
+        // The Elmore estimate is well-known to exceed the true 50% point;
+        // it must lie at or above the lower bound.
+        assert!(r.delay >= lo);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ModelKind::Lumped.to_string(), "lumped");
+        assert_eq!(ModelKind::RcTree.to_string(), "rc-tree");
+        assert_eq!(ModelKind::Slope.to_string(), "slope");
+    }
+}

@@ -1,0 +1,73 @@
+//! The RC-tree model: Elmore first-moment delay with
+//! Penfield–Rubinstein-style bounds.
+//!
+//! Fixes the lumped model's pessimism on distributed paths — capacitance
+//! hanging near the driver only counts against the resistance it actually
+//! shares with the target — but, like the lumped model, ignores the input
+//! waveform.
+
+use crate::models::{lumped::TRANSITION_PER_DELAY, StageDelay};
+use crate::stage::Stage;
+
+/// Evaluates the RC-tree model on a stage. The delay estimate is the
+/// Elmore delay `T_P`; `bounds` carries the 50%-point lower/upper bounds.
+pub fn estimate(stage: &Stage) -> StageDelay {
+    let delay = stage.tree.elmore(stage.target_index);
+    let bounds = stage.tree.delay_bounds(stage.target_index, 0.5);
+    StageDelay {
+        delay,
+        output_transition: delay * TRANSITION_PER_DELAY,
+        bounds: Some(bounds),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rctree::uniform_ladder;
+    use crate::tech::Direction;
+    use mosnet::units::{Farads, Ohms};
+    use mosnet::NodeId;
+
+    fn ladder_stage(n: usize) -> Stage {
+        let (tree, target_index) = uniform_ladder(n, Ohms(1000.0), Farads(1e-13), Farads(1e-13));
+        Stage {
+            target: NodeId::from_index(0),
+            direction: Direction::PullDown,
+            tree,
+            target_index,
+            path: Vec::new(),
+            path_gates: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn elmore_beats_lumped_on_chains() {
+        for n in 2..=8 {
+            let stage = ladder_stage(n);
+            let rc = estimate(&stage).delay.value();
+            let lumped = crate::models::lumped::estimate(&stage).delay.value();
+            assert!(rc < lumped, "n={n}: elmore {rc} vs lumped {lumped}");
+        }
+    }
+
+    #[test]
+    fn chain_elmore_is_n_n_plus_one_over_two() {
+        // Uniform ladder Elmore: Σ_{k=1..n} kRC = n(n+1)/2 · RC.
+        let rc = 1000.0 * 1e-13;
+        for n in 1..=6 {
+            let d = estimate(&ladder_stage(n)).delay.value();
+            let expect = (n * (n + 1)) as f64 / 2.0 * rc;
+            assert!((d - expect).abs() < 1e-18, "n={n}");
+        }
+    }
+
+    #[test]
+    fn bounds_bracket_and_are_reported() {
+        let stage = ladder_stage(4);
+        let d = estimate(&stage);
+        let (lo, hi) = d.bounds.expect("bounds reported");
+        assert!(lo <= hi);
+        assert!(d.delay >= lo);
+    }
+}

@@ -1,0 +1,145 @@
+//! The slope model — the paper's primary contribution.
+//!
+//! The weakness shared by the lumped and RC-tree models is that a MOS
+//! transistor is not a fixed resistor: while its gate input is still
+//! ramping, the device is only partially on, so a *slow input makes a weak
+//! driver*. The slope model captures this with one empirical scalar: the
+//! **slope ratio**
+//!
+//! ```text
+//! r = t_input / T_P
+//! ```
+//!
+//! the input's 10–90% transition time over the stage's intrinsic (Elmore)
+//! drive time. Two fitted tables per (device kind, direction) — calibrated
+//! against the reference simulator by the `calibrate` crate — then give
+//!
+//! * `delay = reff(r) · T_P` — the effective-resistance multiplier, and
+//! * `t_out = tout(r) · T_P` — the output transition time,
+//!
+//! and `t_out` propagates to downstream stages, making the whole analysis
+//! slope-aware at switch-level cost.
+
+use crate::models::{StageDelay, TriggerContext};
+use crate::stage::Stage;
+use crate::tech::Technology;
+use mosnet::units::Seconds;
+
+/// Evaluates the slope model on a stage.
+///
+/// A zero-capacitance (degenerate) stage yields zero delay with a zero
+/// output transition.
+pub fn estimate(tech: &Technology, stage: &Stage, ctx: TriggerContext) -> StageDelay {
+    let t_p = stage.tree.elmore(stage.target_index);
+    if t_p.value() <= 0.0 {
+        return StageDelay {
+            delay: Seconds::ZERO,
+            output_transition: Seconds::ZERO,
+            bounds: None,
+        };
+    }
+    let ratio = (ctx.input_transition / t_p).max(0.0);
+    let drive = tech.drive(ctx.trigger_kind, stage.direction);
+    let delay = t_p * drive.reff.eval(ratio);
+    let output_transition = t_p * drive.tout.eval(ratio);
+    StageDelay {
+        delay,
+        output_transition,
+        bounds: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rctree::{uniform_ladder, RcTree};
+    use crate::tech::Direction;
+    use mosnet::units::{Farads, Ohms};
+    use mosnet::{NodeId, TransistorKind};
+
+    fn stage(direction: Direction) -> Stage {
+        let (tree, target_index) = uniform_ladder(1, Ohms(10_000.0), Farads(1e-13), Farads(1e-13));
+        Stage {
+            target: NodeId::from_index(0),
+            direction,
+            tree,
+            target_index,
+            path: Vec::new(),
+            path_gates: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn step_input_reduces_to_elmore() {
+        let tech = Technology::nominal();
+        let s = stage(Direction::PullDown);
+        let d = estimate(&tech, &s, TriggerContext::step());
+        let t_p = s.tree.elmore(s.target_index);
+        assert!((d.delay.value() - t_p.value()).abs() < 1e-18);
+    }
+
+    #[test]
+    fn delay_is_monotone_in_input_transition() {
+        let tech = Technology::nominal();
+        let s = stage(Direction::PullDown);
+        let mut last = Seconds::ZERO;
+        for t_in_ns in [0.0, 0.5, 1.0, 2.0, 5.0, 10.0, 50.0] {
+            let ctx = TriggerContext {
+                input_transition: Seconds::from_nanos(t_in_ns),
+                trigger_kind: TransistorKind::NEnhancement,
+            };
+            let d = estimate(&tech, &s, ctx).delay;
+            assert!(d >= last, "monotonicity violated at {t_in_ns} ns");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn multiplier_saturates_beyond_table_range() {
+        let tech = Technology::nominal();
+        let s = stage(Direction::PullDown);
+        let huge = TriggerContext {
+            input_transition: Seconds::from_nanos(1e6),
+            trigger_kind: TransistorKind::NEnhancement,
+        };
+        let astronomically_huge = TriggerContext {
+            input_transition: Seconds::from_nanos(1e9),
+            trigger_kind: TransistorKind::NEnhancement,
+        };
+        let a = estimate(&tech, &s, huge).delay;
+        let b = estimate(&tech, &s, astronomically_huge).delay;
+        assert_eq!(a, b, "table must clamp at its last breakpoint");
+    }
+
+    #[test]
+    fn direction_selects_different_tables() {
+        let mut tech = Technology::nominal();
+        // Make pull-up tables distinctive.
+        let up = crate::tech::DriveParams {
+            r_square: Ohms(1.0),
+            reff: crate::tech::SlopeTable::constant(7.0),
+            tout: crate::tech::SlopeTable::constant(1.0),
+        };
+        tech.set_drive(TransistorKind::NEnhancement, Direction::PullUp, up);
+        let s_up = stage(Direction::PullUp);
+        let s_down = stage(Direction::PullDown);
+        let d_up = estimate(&tech, &s_up, TriggerContext::step()).delay;
+        let d_down = estimate(&tech, &s_down, TriggerContext::step()).delay;
+        assert!((d_up.value() / d_down.value() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_stage_is_zero() {
+        let tech = Technology::nominal();
+        let s = Stage {
+            target: NodeId::from_index(0),
+            direction: Direction::PullDown,
+            tree: RcTree::new(),
+            target_index: 0,
+            path: Vec::new(),
+            path_gates: Vec::new(),
+        };
+        let d = estimate(&tech, &s, TriggerContext::step());
+        assert_eq!(d.delay, Seconds::ZERO);
+    }
+}

@@ -1,0 +1,42 @@
+//! Stages: the unit of switch-level delay calculation.
+//!
+//! A *stage* is one resistive path from a strong source (a supply rail)
+//! through conducting transistor channels to a target node, together with
+//! the capacitive side branches hanging off that path. When the stage's
+//! trigger transistor turns on (or a holding path releases), the path
+//! charges or discharges the target; the delay models in
+//! [`crate::models`] turn the stage's RC tree into a delay estimate.
+
+use crate::rctree::RcTree;
+use crate::tech::Direction;
+use mosnet::{NodeId, TransistorId};
+
+/// One extracted stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stage {
+    /// The node this stage drives.
+    pub target: NodeId,
+    /// Whether the stage charges ([`Direction::PullUp`]) or discharges the
+    /// target.
+    pub direction: Direction,
+    /// The stage's RC tree, rooted at the driving rail.
+    pub tree: RcTree,
+    /// Tree index of the target within [`Stage::tree`].
+    pub target_index: usize,
+    /// Transistors along the root→target path, in order from the rail.
+    pub path: Vec<TransistorId>,
+    /// Gate nodes of the path transistors, parallel to [`Stage::path`].
+    pub path_gates: Vec<NodeId>,
+}
+
+impl Stage {
+    /// Number of series transistors between the rail and the target.
+    pub fn path_length(&self) -> usize {
+        self.path.len()
+    }
+
+    /// Total capacitance the stage must move.
+    pub fn total_capacitance(&self) -> mosnet::units::Farads {
+        self.tree.total_capacitance()
+    }
+}

@@ -1,0 +1,223 @@
+//! Worst-case sweeps: run many single-input scenarios and keep the
+//! latest arrival — how a Crystal-class tool finds a circuit's critical
+//! path without being told which input matters.
+
+use crate::analyzer::{analyze, Arrival, Edge, Scenario, TimingResult};
+use crate::error::TimingError;
+use crate::models::ModelKind;
+use crate::tech::Technology;
+use mosnet::units::Seconds;
+use mosnet::{Network, NodeId};
+use std::collections::HashMap;
+
+/// Upper bound on primary inputs for the exhaustive sweep (2^(n−1) static
+/// vectors per switching input would explode beyond this).
+pub const MAX_EXHAUSTIVE_INPUTS: usize = 12;
+
+/// The outcome of a sweep: every analyzed scenario with its result.
+#[derive(Debug)]
+pub struct SweepResult {
+    runs: Vec<(Scenario, TimingResult)>,
+}
+
+impl SweepResult {
+    /// All `(scenario, result)` pairs, in execution order.
+    pub fn runs(&self) -> &[(Scenario, TimingResult)] {
+        &self.runs
+    }
+
+    /// The worst (latest) arrival at any primary output across all runs:
+    /// `(output, arrival, scenario index)`.
+    pub fn worst_output_arrival(&self, net: &Network) -> Option<(NodeId, Arrival, usize)> {
+        let outputs = net.outputs();
+        let mut worst: Option<(NodeId, Arrival, usize)> = None;
+        for (i, (_, result)) in self.runs.iter().enumerate() {
+            for &out in &outputs {
+                if let Some(a) = result.arrival(out) {
+                    if worst.as_ref().is_none_or(|w| a.time > w.1.time) {
+                        worst = Some((out, *a, i));
+                    }
+                }
+            }
+        }
+        worst
+    }
+
+    /// The worst arrival at a specific node across all runs.
+    pub fn worst_arrival_at(&self, node: NodeId) -> Option<(Arrival, usize)> {
+        let mut worst: Option<(Arrival, usize)> = None;
+        for (i, (_, result)) in self.runs.iter().enumerate() {
+            if let Some(a) = result.arrival(node) {
+                if worst.as_ref().is_none_or(|w| a.time > w.0.time) {
+                    worst = Some((*a, i));
+                }
+            }
+        }
+        worst
+    }
+}
+
+/// Sweeps both edges of every primary input, holding the remaining inputs
+/// at `base_statics` (unlisted inputs low).
+///
+/// # Errors
+/// Propagates analyzer failures; scenarios in which nothing switches are
+/// kept (their results simply carry no arrivals).
+pub fn sweep_inputs(
+    net: &Network,
+    tech: &Technology,
+    model: ModelKind,
+    input_transition: Seconds,
+    base_statics: &HashMap<NodeId, bool>,
+) -> Result<SweepResult, TimingError> {
+    let mut runs = Vec::new();
+    for input in net.inputs() {
+        for edge in [Edge::Rising, Edge::Falling] {
+            let mut scenario = Scenario::step(input, edge).with_input_transition(input_transition);
+            for (&n, &v) in base_statics {
+                if n != input {
+                    scenario = scenario.with_static(n, v);
+                }
+            }
+            let result = analyze(net, tech, model, &scenario)?;
+            runs.push((scenario, result));
+        }
+    }
+    Ok(SweepResult { runs })
+}
+
+/// Exhaustive sweep: for every primary input, both edges, over **all**
+/// static assignments of the remaining inputs — the true worst case for
+/// circuits with few inputs.
+///
+/// # Errors
+/// Returns [`TimingError::BadParameter`] when the circuit has more than
+/// [`MAX_EXHAUSTIVE_INPUTS`] primary inputs; propagates analyzer errors.
+pub fn sweep_exhaustive(
+    net: &Network,
+    tech: &Technology,
+    model: ModelKind,
+    input_transition: Seconds,
+) -> Result<SweepResult, TimingError> {
+    let inputs = net.inputs();
+    if inputs.len() > MAX_EXHAUSTIVE_INPUTS {
+        return Err(TimingError::BadParameter {
+            message: format!(
+                "exhaustive sweep limited to {MAX_EXHAUSTIVE_INPUTS} inputs, circuit has {}",
+                inputs.len()
+            ),
+        });
+    }
+    let mut runs = Vec::new();
+    for &input in inputs.iter() {
+        let others: Vec<NodeId> = inputs.iter().copied().filter(|&n| n != input).collect();
+        for vector in 0u64..(1u64 << others.len()) {
+            for edge in [Edge::Rising, Edge::Falling] {
+                let mut scenario =
+                    Scenario::step(input, edge).with_input_transition(input_transition);
+                for (bit, &other) in others.iter().enumerate() {
+                    scenario = scenario.with_static(other, vector >> bit & 1 == 1);
+                }
+                let result = analyze(net, tech, model, &scenario)?;
+                runs.push((scenario, result));
+            }
+        }
+    }
+    Ok(SweepResult { runs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosnet::generators::{decoder2to4, inverter_chain, nand, Style};
+    use mosnet::units::Farads;
+
+    fn tech() -> Technology {
+        Technology::nominal()
+    }
+
+    #[test]
+    fn sweep_covers_both_edges_of_each_input() {
+        let net = inverter_chain(Style::Cmos, 2, 1.0, Farads::from_femto(100.0)).unwrap();
+        let sweep = sweep_inputs(
+            &net,
+            &tech(),
+            ModelKind::Slope,
+            Seconds::ZERO,
+            &HashMap::new(),
+        )
+        .unwrap();
+        assert_eq!(sweep.runs().len(), 2); // one input × two edges
+        let (out, arrival, _) = sweep.worst_output_arrival(&net).expect("output switches");
+        assert_eq!(net.node(out).name(), "out");
+        assert!(arrival.time.value() > 0.0);
+    }
+
+    #[test]
+    fn exhaustive_finds_sensitized_nand_path() {
+        // A plain sweep with all-low statics never sensitizes a NAND
+        // (side inputs must be high); the exhaustive sweep must find it.
+        let net = nand(Style::Cmos, 3, Farads::from_femto(100.0)).unwrap();
+        let out = net.node_by_name("out").unwrap();
+        let plain = sweep_inputs(
+            &net,
+            &tech(),
+            ModelKind::Slope,
+            Seconds::ZERO,
+            &HashMap::new(),
+        )
+        .unwrap();
+        assert!(plain.worst_arrival_at(out).is_none());
+
+        let full = sweep_exhaustive(&net, &tech(), ModelKind::Slope, Seconds::ZERO).unwrap();
+        // 3 inputs × 4 static vectors × 2 edges = 24 runs.
+        assert_eq!(full.runs().len(), 24);
+        let (arrival, idx) = full.worst_arrival_at(out).expect("sensitized path found");
+        assert!(arrival.time.value() > 0.0);
+        // The winning scenario must hold both side inputs high.
+        let (scenario, _) = &full.runs()[idx];
+        assert!(scenario.statics.values().all(|&v| v));
+    }
+
+    #[test]
+    fn decoder_worst_case_is_a_word_line() {
+        let net = decoder2to4(Style::Cmos, Farads::from_femto(150.0)).unwrap();
+        let sweep = sweep_exhaustive(&net, &tech(), ModelKind::Slope, Seconds::ZERO).unwrap();
+        // 2 inputs × 2 vectors × 2 edges = 8 runs.
+        assert_eq!(sweep.runs().len(), 8);
+        let (node, arrival, _) = sweep.worst_output_arrival(&net).expect("decodes");
+        assert!(net.node(node).name().starts_with('w'));
+        assert!(arrival.time.value() > 0.0);
+    }
+
+    #[test]
+    fn exhaustive_rejects_too_many_inputs() {
+        use mosnet::generators::barrel_shifter;
+        // A 8×8 shifter has 16 inputs.
+        let net = barrel_shifter(Style::Cmos, 8, Farads::from_femto(100.0)).unwrap();
+        assert!(matches!(
+            sweep_exhaustive(&net, &tech(), ModelKind::Slope, Seconds::ZERO),
+            Err(TimingError::BadParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn worst_arrival_is_max_over_runs() {
+        let net = inverter_chain(Style::Cmos, 3, 1.0, Farads::from_femto(100.0)).unwrap();
+        let out = net.node_by_name("out").unwrap();
+        let sweep = sweep_inputs(
+            &net,
+            &tech(),
+            ModelKind::Slope,
+            Seconds::ZERO,
+            &HashMap::new(),
+        )
+        .unwrap();
+        let (worst, _) = sweep.worst_arrival_at(out).unwrap();
+        for (_, result) in sweep.runs() {
+            if let Some(a) = result.arrival(out) {
+                assert!(a.time <= worst.time);
+            }
+        }
+    }
+}

@@ -1,0 +1,363 @@
+//! Technology description: the abstract electrical parameters the delay
+//! models consume.
+//!
+//! The heart of the slope model lives here: per device-kind,
+//! per-drive-direction **slope tables**, each mapping the ratio
+//!
+//! ```text
+//! r = input transition time / intrinsic stage drive time
+//! ```
+//!
+//! to a multiplier on the stage's effective resistance (and a second table
+//! for the output transition time). The paper fits these tables from SPICE
+//! runs; the `calibrate` crate reproduces that fit against `nanospice`.
+//! [`Technology::nominal`] provides uncalibrated hand values so the models
+//! are usable without running a calibration.
+
+use crate::error::TimingError;
+use mosnet::units::{Ohms, Volts};
+use mosnet::TransistorKind;
+use std::fmt;
+
+/// Which way a stage moves its target node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Charging the target toward VDD.
+    PullUp,
+    /// Discharging the target toward ground.
+    PullDown,
+}
+
+impl Direction {
+    /// Both directions, for sweeping tables.
+    pub const ALL: [Direction; 2] = [Direction::PullUp, Direction::PullDown];
+
+    /// Dense index for per-direction tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Direction::PullUp => 0,
+            Direction::PullDown => 1,
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Direction::PullUp => "pull-up",
+            Direction::PullDown => "pull-down",
+        })
+    }
+}
+
+/// A monotone piecewise-linear table over the slope ratio, clamped at both
+/// ends.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlopeTable {
+    points: Vec<(f64, f64)>,
+}
+
+impl SlopeTable {
+    /// Creates a table from `(ratio, value)` breakpoints.
+    ///
+    /// # Errors
+    /// Returns [`TimingError::BadParameter`] if fewer than one point is
+    /// given, ratios are not strictly increasing, or any value is
+    /// non-finite or non-positive.
+    pub fn new(points: Vec<(f64, f64)>) -> Result<SlopeTable, TimingError> {
+        if points.is_empty() {
+            return Err(TimingError::BadParameter {
+                message: "slope table needs at least one point".into(),
+            });
+        }
+        for w in points.windows(2) {
+            if w[1].0 <= w[0].0 {
+                return Err(TimingError::BadParameter {
+                    message: format!(
+                        "slope table ratios must be strictly increasing ({} then {})",
+                        w[0].0, w[1].0
+                    ),
+                });
+            }
+        }
+        if points
+            .iter()
+            .any(|&(r, v)| !r.is_finite() || !v.is_finite() || v <= 0.0 || r < 0.0)
+        {
+            return Err(TimingError::BadParameter {
+                message: "slope table entries must be finite, ratios >= 0, values > 0".into(),
+            });
+        }
+        Ok(SlopeTable { points })
+    }
+
+    /// A constant table (no slope dependence).
+    pub fn constant(value: f64) -> SlopeTable {
+        SlopeTable {
+            points: vec![(0.0, value)],
+        }
+    }
+
+    /// The breakpoints.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Evaluates the table at `ratio` (linear interpolation, clamped).
+    pub fn eval(&self, ratio: f64) -> f64 {
+        let pts = &self.points;
+        if ratio <= pts[0].0 {
+            return pts[0].1;
+        }
+        if ratio >= pts[pts.len() - 1].0 {
+            return pts[pts.len() - 1].1;
+        }
+        for w in pts.windows(2) {
+            let ((r0, v0), (r1, v1)) = (w[0], w[1]);
+            if ratio <= r1 {
+                return v0 + (v1 - v0) * (ratio - r0) / (r1 - r0);
+            }
+        }
+        pts[pts.len() - 1].1
+    }
+
+    /// `true` when every successive value is no smaller than the previous
+    /// (the physically expected shape for effective-resistance tables).
+    pub fn is_monotone_nondecreasing(&self) -> bool {
+        self.points.windows(2).all(|w| w[1].1 >= w[0].1)
+    }
+}
+
+/// Drive parameters for one (device kind, direction) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriveParams {
+    /// Static effective resistance per square (Ω); a device contributes
+    /// `r_square × L/W`. Calibrated such that `R × C_load` equals the
+    /// measured 50% step-input delay of a single stage.
+    pub r_square: Ohms,
+    /// Effective-resistance multiplier vs slope ratio (`1.0` at ratio 0).
+    pub reff: SlopeTable,
+    /// Output 10–90% transition time as a multiple of the stage's Elmore
+    /// delay, vs slope ratio.
+    pub tout: SlopeTable,
+}
+
+/// The full technology: supply, capacitance model, and one
+/// [`DriveParams`] per (kind, direction).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Technology {
+    /// Human-readable name.
+    pub name: String,
+    /// Supply voltage.
+    pub vdd: Volts,
+    /// Gate capacitance per area (F/m²).
+    pub cox_per_area: f64,
+    /// Diffusion capacitance per channel width (F/m).
+    pub cj_per_width: f64,
+    drives: Vec<DriveParams>, // indexed kind.index() * 2 + direction.index()
+}
+
+impl Technology {
+    /// Assembles a technology from six [`DriveParams`] supplied through the
+    /// setter; starts with every pair set to `nominal`'s values.
+    pub fn new(name: impl Into<String>, vdd: Volts) -> Technology {
+        let mut t = Technology::nominal();
+        t.name = name.into();
+        t.vdd = vdd;
+        t
+    }
+
+    /// Uncalibrated nominal parameters for a 4 µm-class, 5 V process.
+    /// Sensible shapes but hand-estimated magnitudes; run the `calibrate`
+    /// crate for fitted values.
+    pub fn nominal() -> Technology {
+        let gentle = SlopeTable::new(vec![
+            (0.0, 1.0),
+            (1.0, 1.1),
+            (2.0, 1.3),
+            (4.0, 1.7),
+            (8.0, 2.4),
+            (16.0, 3.8),
+        ])
+        .expect("static table is valid");
+        let tout = SlopeTable::new(vec![(0.0, 2.2), (4.0, 2.6), (16.0, 3.2)])
+            .expect("static table is valid");
+        let mk = |r: f64| DriveParams {
+            r_square: Ohms(r),
+            reff: gentle.clone(),
+            tout: tout.clone(),
+        };
+        // Order: [kind][direction] flattened, kind in TransistorKind::ALL
+        // order, direction in Direction::ALL order (PullUp, PullDown).
+        let drives = vec![
+            mk(25_000.0), // n-enh pull-up (pass transistor, threshold drop)
+            mk(7_000.0),  // n-enh pull-down (the strong case)
+            mk(18_000.0), // p-enh pull-up
+            mk(45_000.0), // p-enh pull-down (weak)
+            mk(20_000.0), // depletion pull-up (nMOS load)
+            mk(20_000.0), // depletion pull-down
+        ];
+        Technology {
+            name: "nominal-4um".to_string(),
+            vdd: Volts(5.0),
+            cox_per_area: 7e-4,
+            cj_per_width: 1e-9,
+            drives,
+        }
+    }
+
+    /// The drive parameters for a (kind, direction) pair.
+    pub fn drive(&self, kind: TransistorKind, direction: Direction) -> &DriveParams {
+        &self.drives[kind.index() * 2 + direction.index()]
+    }
+
+    /// Replaces the drive parameters for a (kind, direction) pair.
+    pub fn set_drive(&mut self, kind: TransistorKind, direction: Direction, params: DriveParams) {
+        self.drives[kind.index() * 2 + direction.index()] = params;
+    }
+
+    /// Static effective resistance of a device with the given geometry
+    /// driving in `direction`.
+    pub fn resistance(
+        &self,
+        kind: TransistorKind,
+        direction: Direction,
+        geometry: mosnet::Geometry,
+    ) -> Ohms {
+        self.drive(kind, direction).r_square * geometry.squares()
+    }
+
+    /// Total capacitance hanging on `node` in `net`: explicit node
+    /// capacitance plus gate capacitance of the transistors it gates and
+    /// diffusion capacitance of the channels touching it.
+    ///
+    /// This is the same accounting the `nanospice` elaboration uses, so
+    /// the delay models and the reference simulator agree on loading.
+    pub fn node_capacitance(
+        &self,
+        net: &mosnet::Network,
+        node: mosnet::NodeId,
+    ) -> mosnet::units::Farads {
+        let mut c = net.node(node).capacitance().value();
+        for &tid in net.gated_by(node) {
+            c += self.cox_per_area * net.transistor(tid).geometry().gate_area();
+        }
+        for &tid in net.channel_neighbors(node) {
+            let t = net.transistor(tid);
+            // Self-loops touch with both terminals but are indexed once.
+            let touches = (t.source() == node) as u32 + (t.drain() == node) as u32;
+            c += self.cj_per_width * t.geometry().width.value() * touches as f64;
+        }
+        mosnet::units::Farads(c)
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Technology {
+        Technology::nominal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosnet::Geometry;
+
+    #[test]
+    fn slope_table_interpolates_and_clamps() {
+        let t = SlopeTable::new(vec![(0.0, 1.0), (2.0, 2.0), (4.0, 4.0)]).unwrap();
+        assert_eq!(t.eval(-1.0), 1.0);
+        assert_eq!(t.eval(0.0), 1.0);
+        assert!((t.eval(1.0) - 1.5).abs() < 1e-12);
+        assert!((t.eval(3.0) - 3.0).abs() < 1e-12);
+        assert_eq!(t.eval(100.0), 4.0);
+        assert!(t.is_monotone_nondecreasing());
+    }
+
+    #[test]
+    fn slope_table_rejects_bad_points() {
+        assert!(SlopeTable::new(vec![]).is_err());
+        assert!(SlopeTable::new(vec![(0.0, 1.0), (0.0, 2.0)]).is_err());
+        assert!(SlopeTable::new(vec![(0.0, -1.0)]).is_err());
+        assert!(SlopeTable::new(vec![(0.0, f64::NAN)]).is_err());
+    }
+
+    #[test]
+    fn constant_table() {
+        let t = SlopeTable::constant(2.2);
+        assert_eq!(t.eval(0.0), 2.2);
+        assert_eq!(t.eval(50.0), 2.2);
+    }
+
+    #[test]
+    fn nominal_orders_strengths_sensibly() {
+        let t = Technology::nominal();
+        let n_down = t.drive(TransistorKind::NEnhancement, Direction::PullDown);
+        let n_up = t.drive(TransistorKind::NEnhancement, Direction::PullUp);
+        let p_up = t.drive(TransistorKind::PEnhancement, Direction::PullUp);
+        let p_down = t.drive(TransistorKind::PEnhancement, Direction::PullDown);
+        // n pulls down harder than it passes high; p mirrors that.
+        assert!(n_down.r_square < n_up.r_square);
+        assert!(p_up.r_square < p_down.r_square);
+    }
+
+    #[test]
+    fn resistance_scales_with_squares() {
+        let t = Technology::nominal();
+        let unit = t.resistance(
+            TransistorKind::NEnhancement,
+            Direction::PullDown,
+            Geometry::from_microns(2.0, 2.0),
+        );
+        let wide = t.resistance(
+            TransistorKind::NEnhancement,
+            Direction::PullDown,
+            Geometry::from_microns(8.0, 2.0),
+        );
+        assert!((unit.value() / wide.value() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_capacitance_accounts_gate_and_diffusion() {
+        use mosnet::network::NetworkBuilder;
+        use mosnet::node::NodeKind;
+        use mosnet::units::Farads;
+        let mut b = NetworkBuilder::new("c");
+        b.power();
+        let gnd = b.ground();
+        let a = b.node("a", NodeKind::Input);
+        let y = b.node("y", NodeKind::Output);
+        b.set_capacitance(y, Farads::from_femto(10.0));
+        b.add_transistor(
+            TransistorKind::NEnhancement,
+            a,
+            y,
+            gnd,
+            Geometry::from_microns(8.0, 2.0),
+        );
+        let net = b.build().unwrap();
+        let t = Technology::nominal();
+        // y: 10 fF explicit + 8 µm × 1 fF/µm diffusion = 18 fF.
+        let cy = t.node_capacitance(&net, y);
+        assert!((cy.femto() - 18.0).abs() < 1e-9, "got {}", cy.femto());
+        // a: gate cap = 0.7 fF/µm² × 16 µm² = 11.2 fF.
+        let ca = t.node_capacitance(&net, a);
+        assert!((ca.femto() - 11.2).abs() < 1e-9, "got {}", ca.femto());
+    }
+
+    #[test]
+    fn set_drive_roundtrips() {
+        let mut t = Technology::nominal();
+        let custom = DriveParams {
+            r_square: Ohms(12345.0),
+            reff: SlopeTable::constant(1.0),
+            tout: SlopeTable::constant(2.0),
+        };
+        t.set_drive(TransistorKind::Depletion, Direction::PullUp, custom.clone());
+        assert_eq!(
+            t.drive(TransistorKind::Depletion, Direction::PullUp),
+            &custom
+        );
+    }
+}

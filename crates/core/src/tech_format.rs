@@ -1,0 +1,256 @@
+//! Plain-text serialization for [`Technology`] — lets a calibration run
+//! be saved once and reused by the CLI and experiments.
+//!
+//! The format is line-oriented and self-describing:
+//!
+//! ```text
+//! # comment
+//! technology <name>
+//! vdd <volts>
+//! cox <F/m^2>
+//! cj <F/m>
+//! drive <kind> <direction> r_square <ohms>
+//! reff <kind> <direction> <ratio> <multiplier>
+//! tout <kind> <direction> <ratio> <multiplier>
+//! ```
+//!
+//! `kind ∈ {n, p, d}`, `direction ∈ {up, down}`. Every (kind, direction)
+//! pair must have a `drive` line and at least one `reff` and `tout` point.
+
+use crate::error::TimingError;
+use crate::tech::{Direction, DriveParams, SlopeTable, Technology};
+use mosnet::units::{Ohms, Volts};
+use mosnet::TransistorKind;
+use std::fmt::Write as _;
+
+fn kind_code(kind: TransistorKind) -> char {
+    kind.code()
+}
+
+fn direction_code(direction: Direction) -> &'static str {
+    match direction {
+        Direction::PullUp => "up",
+        Direction::PullDown => "down",
+    }
+}
+
+fn parse_kind(text: &str) -> Option<TransistorKind> {
+    text.chars().next().and_then(TransistorKind::from_code)
+}
+
+fn parse_direction(text: &str) -> Option<Direction> {
+    match text {
+        "up" => Some(Direction::PullUp),
+        "down" => Some(Direction::PullDown),
+        _ => None,
+    }
+}
+
+/// Serializes a technology to the text format above.
+pub fn write(tech: &Technology) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# crystal technology file");
+    let _ = writeln!(out, "technology {}", tech.name);
+    let _ = writeln!(out, "vdd {}", tech.vdd.value());
+    let _ = writeln!(out, "cox {}", tech.cox_per_area);
+    let _ = writeln!(out, "cj {}", tech.cj_per_width);
+    for kind in TransistorKind::ALL {
+        for direction in Direction::ALL {
+            let d = tech.drive(kind, direction);
+            let (k, dir) = (kind_code(kind), direction_code(direction));
+            let _ = writeln!(out, "drive {k} {dir} r_square {}", d.r_square.value());
+            for &(ratio, value) in d.reff.points() {
+                let _ = writeln!(out, "reff {k} {dir} {ratio} {value}");
+            }
+            for &(ratio, value) in d.tout.points() {
+                let _ = writeln!(out, "tout {k} {dir} {ratio} {value}");
+            }
+        }
+    }
+    out
+}
+
+/// Parses a technology file produced by [`write()`] (or hand-written in
+/// the same format).
+///
+/// # Errors
+/// Returns [`TimingError::BadParameter`] with a line number for malformed
+/// records, and for missing `drive`/`reff`/`tout` coverage of any
+/// (kind, direction) pair.
+pub fn parse(source: &str) -> Result<Technology, TimingError> {
+    let mut tech = Technology::nominal();
+    let mut r_square = [[None::<f64>; 2]; 3];
+    let mut reff_points: Vec<Vec<(f64, f64)>> = vec![Vec::new(); 6];
+    let mut tout_points: Vec<Vec<(f64, f64)>> = vec![Vec::new(); 6];
+    let bad = |line: usize, message: String| TimingError::BadParameter {
+        message: format!("technology file line {line}: {message}"),
+    };
+
+    for (idx, raw) in source.lines().enumerate() {
+        let line = idx + 1;
+        let text = raw.trim();
+        if text.is_empty() || text.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = text.split_whitespace().collect();
+        match fields[0] {
+            "technology" => {
+                tech.name = fields.get(1..).map(|f| f.join(" ")).unwrap_or_default();
+                if tech.name.is_empty() {
+                    return Err(bad(line, "technology needs a name".into()));
+                }
+            }
+            "vdd" | "cox" | "cj" => {
+                let value: f64 = fields
+                    .get(1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad(line, format!("{} needs a number", fields[0])))?;
+                if !(value > 0.0 && value.is_finite()) {
+                    return Err(bad(line, format!("{} must be positive", fields[0])));
+                }
+                match fields[0] {
+                    "vdd" => tech.vdd = Volts(value),
+                    "cox" => tech.cox_per_area = value,
+                    _ => tech.cj_per_width = value,
+                }
+            }
+            "drive" => {
+                if fields.len() != 5 || fields[3] != "r_square" {
+                    return Err(bad(line, "expected: drive <k> <dir> r_square <ohms>".into()));
+                }
+                let kind = parse_kind(fields[1])
+                    .ok_or_else(|| bad(line, format!("unknown kind `{}`", fields[1])))?;
+                let direction = parse_direction(fields[2])
+                    .ok_or_else(|| bad(line, format!("unknown direction `{}`", fields[2])))?;
+                let value: f64 = fields[4]
+                    .parse()
+                    .map_err(|_| bad(line, "cannot parse resistance".into()))?;
+                if !(value > 0.0 && value.is_finite()) {
+                    return Err(bad(line, "resistance must be positive".into()));
+                }
+                r_square[kind.index()][direction.index()] = Some(value);
+            }
+            table @ ("reff" | "tout") => {
+                if fields.len() != 5 {
+                    return Err(bad(
+                        line,
+                        format!("expected: {table} <k> <dir> <ratio> <value>"),
+                    ));
+                }
+                let kind = parse_kind(fields[1])
+                    .ok_or_else(|| bad(line, format!("unknown kind `{}`", fields[1])))?;
+                let direction = parse_direction(fields[2])
+                    .ok_or_else(|| bad(line, format!("unknown direction `{}`", fields[2])))?;
+                let ratio: f64 = fields[3]
+                    .parse()
+                    .map_err(|_| bad(line, "cannot parse ratio".into()))?;
+                let value: f64 = fields[4]
+                    .parse()
+                    .map_err(|_| bad(line, "cannot parse value".into()))?;
+                let slot = kind.index() * 2 + direction.index();
+                if table == "reff" {
+                    reff_points[slot].push((ratio, value));
+                } else {
+                    tout_points[slot].push((ratio, value));
+                }
+            }
+            other => return Err(bad(line, format!("unknown record `{other}`"))),
+        }
+    }
+
+    for kind in TransistorKind::ALL {
+        for direction in Direction::ALL {
+            let slot = kind.index() * 2 + direction.index();
+            let missing = |what: &str| TimingError::BadParameter {
+                message: format!(
+                    "technology file lacks {what} for {kind} {}",
+                    direction_code(direction)
+                ),
+            };
+            let r = r_square[kind.index()][direction.index()]
+                .ok_or_else(|| missing("a drive record"))?;
+            let mut reff = std::mem::take(&mut reff_points[slot]);
+            let mut tout = std::mem::take(&mut tout_points[slot]);
+            if reff.is_empty() {
+                return Err(missing("reff points"));
+            }
+            if tout.is_empty() {
+                return Err(missing("tout points"));
+            }
+            reff.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite ratios"));
+            tout.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite ratios"));
+            tech.set_drive(
+                kind,
+                direction,
+                DriveParams {
+                    r_square: Ohms(r),
+                    reff: SlopeTable::new(reff)?,
+                    tout: SlopeTable::new(tout)?,
+                },
+            );
+        }
+    }
+    Ok(tech)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let mut original = Technology::nominal();
+        original.name = "roundtrip-test".into();
+        original.vdd = Volts(3.3);
+        let text = write(&original);
+        let parsed = parse(&text).expect("own output parses");
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let text = "technology t\nvdd nope\n";
+        match parse(text) {
+            Err(TimingError::BadParameter { message }) => {
+                assert!(message.contains("line 2"), "{message}");
+            }
+            other => panic!("expected BadParameter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detects_missing_coverage() {
+        // Header only: every drive record missing.
+        let text = "technology t\nvdd 5\ncox 7e-4\ncj 1e-9\n";
+        match parse(text) {
+            Err(TimingError::BadParameter { message }) => {
+                assert!(message.contains("lacks a drive record"), "{message}");
+            }
+            other => panic!("expected BadParameter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_records_and_kinds() {
+        assert!(parse("frobnicate 1\n").is_err());
+        assert!(parse("drive z up r_square 100\n").is_err());
+        assert!(parse("drive n sideways r_square 100\n").is_err());
+        assert!(parse("drive n up r_square -5\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored_and_points_sorted() {
+        let mut text = String::from("# header\n\ntechnology t\nvdd 5\ncox 7e-4\ncj 1e-9\n");
+        for k in ["n", "p", "d"] {
+            for d in ["up", "down"] {
+                text.push_str(&format!("drive {k} {d} r_square 1000\n"));
+                // Deliberately out of order.
+                text.push_str(&format!("reff {k} {d} 4 2.0\nreff {k} {d} 0 1.0\n"));
+                text.push_str(&format!("tout {k} {d} 0 2.2\n"));
+            }
+        }
+        let tech = parse(&text).expect("parses");
+        let d = tech.drive(TransistorKind::NEnhancement, Direction::PullUp);
+        assert!((d.reff.eval(2.0) - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,84 @@
+//! Error types for network construction and netlist parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or parsing a network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetworkError {
+    /// A node name was declared twice with conflicting roles.
+    DuplicateNode {
+        /// The conflicting name.
+        name: String,
+    },
+    /// A referenced node name is unknown.
+    UnknownNode {
+        /// The missing name.
+        name: String,
+    },
+    /// The network declares more than one node for a supply rail.
+    DuplicateRail {
+        /// `"power"` or `"ground"`.
+        rail: &'static str,
+    },
+    /// A required supply rail is missing.
+    MissingRail {
+        /// `"power"` or `"ground"`.
+        rail: &'static str,
+    },
+    /// A netlist line could not be parsed.
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// A structural validation check failed (see [`crate::validate`]).
+    Invalid {
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::DuplicateNode { name } => {
+                write!(f, "node `{name}` declared twice with conflicting roles")
+            }
+            NetworkError::UnknownNode { name } => write!(f, "unknown node `{name}`"),
+            NetworkError::DuplicateRail { rail } => {
+                write!(f, "more than one {rail} rail declared")
+            }
+            NetworkError::MissingRail { rail } => write!(f, "network has no {rail} rail"),
+            NetworkError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            NetworkError::Invalid { message } => write!(f, "invalid network: {message}"),
+        }
+    }
+}
+
+impl Error for NetworkError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let e = NetworkError::Parse {
+            line: 3,
+            message: "expected 6 fields".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at line 3: expected 6 fields");
+        let e = NetworkError::UnknownNode { name: "x1".into() };
+        assert!(e.to_string().contains("x1"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_error<E: std::error::Error>(_: E) {}
+        takes_error(NetworkError::MissingRail { rail: "power" });
+    }
+}

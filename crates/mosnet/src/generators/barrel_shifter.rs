@@ -1,0 +1,124 @@
+//! A pass-transistor barrel shifter — the classic "hard case" circuit for
+//! MOS timing analysis (long pass-transistor paths with heavy diffusion
+//! loading), used in the Table 4 experiments (E5).
+
+use super::{emit_inverter, Sizing, Style};
+use crate::error::NetworkError;
+use crate::network::{Network, NetworkBuilder};
+use crate::node::NodeKind;
+use crate::transistor::{Geometry, TransistorKind};
+use crate::units::Farads;
+
+/// An `m × m` barrel shifter.
+///
+/// Each data input `d<i>` is buffered by a 2× inverter onto an internal bus
+/// line `bus<i>`; output `q<j>` connects through one n-channel pass
+/// transistor per shift amount `s` (gated by the one-hot control `sh<s>`)
+/// to `bus<(j+s) mod m>`. Every bus line carries wiring capacitance
+/// proportional to `m` (it crosses the whole array) and every output
+/// carries `load`.
+///
+/// Node names: `d<i>`, `bus<i>`, `q<j>`, `sh<s>` for `i, j, s ∈ 0..m`.
+///
+/// # Errors
+/// Returns [`NetworkError::Invalid`] unless `2 <= m <= 32`.
+pub fn barrel_shifter(style: Style, m: usize, load: Farads) -> Result<Network, NetworkError> {
+    if !(2..=32).contains(&m) {
+        return Err(NetworkError::Invalid {
+            message: format!("barrel shifter size must be 2..=32, got {m}"),
+        });
+    }
+    let s = Sizing::default();
+    let mut b = NetworkBuilder::new(format!(
+        "barrel_{}x{m}",
+        if style == Style::Cmos { "cmos" } else { "nmos" }
+    ));
+    b.power();
+    b.ground();
+
+    // Buffered data inputs onto bus lines.
+    for i in 0..m {
+        let d = b.node(&format!("d{i}"), NodeKind::Input);
+        let bus = b.node(&format!("bus{i}"), NodeKind::Internal);
+        emit_inverter(&mut b, style, s, d, bus, 2.0);
+        // Bus wiring crosses the full array: ~8 fF per crossing.
+        b.add_capacitance(bus, Farads::from_femto(8.0 * m as f64));
+    }
+
+    // Shift controls and the pass-transistor matrix.
+    for shift in 0..m {
+        let ctl = b.node(&format!("sh{shift}"), NodeKind::Input);
+        for j in 0..m {
+            let bus = b.node(&format!("bus{}", (j + shift) % m), NodeKind::Internal);
+            let q = b.node(&format!("q{j}"), NodeKind::Output);
+            b.add_transistor(
+                TransistorKind::NEnhancement,
+                ctl,
+                bus,
+                q,
+                Geometry::from_microns(s.n_width_um, s.length_um),
+            );
+        }
+    }
+    for j in 0..m {
+        let q = b.node(&format!("q{j}"), NodeKind::Output);
+        b.add_capacitance(q, load);
+    }
+    Ok(b.build().expect("generator produces a valid network"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+
+    #[test]
+    fn shifter_counts() {
+        for m in [2, 4, 8] {
+            let net = barrel_shifter(Style::Cmos, m, Farads::from_femto(100.0)).unwrap();
+            // m buffers (2 devices each) + m*m pass transistors
+            assert_eq!(net.transistor_count(), 2 * m + m * m);
+            assert!(validate(&net).unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn every_output_touches_m_pass_transistors() {
+        let m = 4;
+        let net = barrel_shifter(Style::Cmos, m, Farads::ZERO).unwrap();
+        for j in 0..m {
+            let q = net.node_by_name(&format!("q{j}")).unwrap();
+            assert_eq!(net.channel_neighbors(q).len(), m);
+        }
+    }
+
+    #[test]
+    fn shift_wiring_is_modular() {
+        let m = 4;
+        let net = barrel_shifter(Style::Cmos, m, Farads::ZERO).unwrap();
+        // sh1 must connect q3 to bus0 ((3+1) % 4).
+        let sh1 = net.node_by_name("sh1").unwrap();
+        let q3 = net.node_by_name("q3").unwrap();
+        let bus0 = net.node_by_name("bus0").unwrap();
+        let found = net.gated_by(sh1).iter().any(|&tid| {
+            let t = net.transistor(tid);
+            t.touches_channel(q3) && t.touches_channel(bus0)
+        });
+        assert!(found);
+    }
+
+    #[test]
+    fn bus_capacitance_scales_with_size() {
+        let net2 = barrel_shifter(Style::Cmos, 2, Farads::ZERO).unwrap();
+        let net8 = barrel_shifter(Style::Cmos, 8, Farads::ZERO).unwrap();
+        let c2 = net2.node(net2.node_by_name("bus0").unwrap()).capacitance();
+        let c8 = net8.node(net8.node_by_name("bus0").unwrap()).capacitance();
+        assert!(c8 > c2);
+    }
+
+    #[test]
+    fn rejects_degenerate_sizes() {
+        assert!(barrel_shifter(Style::Cmos, 1, Farads::ZERO).is_err());
+        assert!(barrel_shifter(Style::Cmos, 33, Farads::ZERO).is_err());
+    }
+}

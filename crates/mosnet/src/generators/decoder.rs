@@ -1,0 +1,137 @@
+//! A 2-to-4 address decoder (NAND + inverter per output line) — part of the
+//! Table 4 experiments (E5).
+
+use super::{emit_inverter, Sizing, Style};
+use crate::error::NetworkError;
+use crate::network::{Network, NetworkBuilder};
+use crate::node::{NodeId, NodeKind};
+use crate::transistor::{Geometry, TransistorKind};
+use crate::units::Farads;
+
+/// Emits a 2-input NAND with inputs `a`, `b` and output `y`.
+fn emit_nand2(
+    b: &mut NetworkBuilder,
+    style: Style,
+    s: Sizing,
+    a: NodeId,
+    bb: NodeId,
+    y: NodeId,
+    stack_name: &str,
+) {
+    let vdd = b.power();
+    let gnd = b.ground();
+    let mid = b.node(stack_name, NodeKind::Internal);
+    b.add_transistor(
+        TransistorKind::NEnhancement,
+        a,
+        y,
+        mid,
+        Geometry::from_microns(s.n_width_um * 2.0, s.length_um),
+    );
+    b.add_transistor(
+        TransistorKind::NEnhancement,
+        bb,
+        mid,
+        gnd,
+        Geometry::from_microns(s.n_width_um * 2.0, s.length_um),
+    );
+    match style {
+        Style::Cmos => {
+            for &g in &[a, bb] {
+                b.add_transistor(
+                    TransistorKind::PEnhancement,
+                    g,
+                    y,
+                    vdd,
+                    Geometry::from_microns(s.p_width_um, s.length_um),
+                );
+            }
+        }
+        Style::Nmos => {
+            b.add_transistor(
+                TransistorKind::Depletion,
+                y,
+                y,
+                vdd,
+                Geometry::from_microns(s.load_width_um, s.load_length_um),
+            );
+        }
+    }
+}
+
+/// A 2-to-4 decoder: address inputs `a0`, `a1`; complement lines `na0`,
+/// `na1` (through inverters); each word line `w<k>` is NAND of the selected
+/// polarities followed by an inverting word-line driver.
+///
+/// Node names: `a0`, `a1`, `na0`, `na1`, `nw0..nw3` (NAND outputs),
+/// `w0..w3` (decoded outputs, each loaded with `load`).
+///
+/// # Errors
+/// This generator is fixed-size and currently always succeeds; the
+/// `Result` return keeps its signature uniform with the other generators.
+pub fn decoder2to4(style: Style, load: Farads) -> Result<Network, NetworkError> {
+    let s = Sizing::default();
+    let mut b = NetworkBuilder::new(format!(
+        "decoder2to4_{}",
+        if style == Style::Cmos { "cmos" } else { "nmos" }
+    ));
+    b.power();
+    b.ground();
+
+    let a0 = b.node("a0", NodeKind::Input);
+    let a1 = b.node("a1", NodeKind::Input);
+    let na0 = b.node("na0", NodeKind::Internal);
+    let na1 = b.node("na1", NodeKind::Internal);
+    b.add_capacitance(na0, Farads::from_femto(10.0));
+    b.add_capacitance(na1, Farads::from_femto(10.0));
+    emit_inverter(&mut b, style, s, a0, na0, 1.0);
+    emit_inverter(&mut b, style, s, a1, na1, 1.0);
+
+    for k in 0..4usize {
+        let in0 = if k & 1 == 0 { na0 } else { a0 };
+        let in1 = if k & 2 == 0 { na1 } else { a1 };
+        let nw = b.node(&format!("nw{k}"), NodeKind::Internal);
+        b.add_capacitance(nw, Farads::from_femto(8.0));
+        emit_nand2(&mut b, style, s, in0, in1, nw, &format!("dst{k}"));
+        let w = b.node(&format!("w{k}"), NodeKind::Output);
+        b.add_capacitance(w, load);
+        emit_inverter(&mut b, style, s, nw, w, 2.0);
+    }
+    Ok(b.build().expect("generator produces a valid network"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+
+    #[test]
+    fn decoder_structure() {
+        let net = decoder2to4(Style::Cmos, Farads::from_femto(200.0)).unwrap();
+        // 2 input inverters (2 dev) + 4 NAND2 (4 dev) + 4 drivers (2 dev)
+        assert_eq!(net.transistor_count(), 2 * 2 + 4 * 4 + 4 * 2);
+        assert!(validate(&net).unwrap().is_empty());
+        assert_eq!(net.outputs().len(), 4);
+    }
+
+    #[test]
+    fn nmos_decoder_structure() {
+        let net = decoder2to4(Style::Nmos, Farads::ZERO).unwrap();
+        // 2 inverters (2 dev) + 4 NAND2 (3 dev) + 4 drivers (2 dev)
+        assert_eq!(net.transistor_count(), 2 * 2 + 4 * 3 + 4 * 2);
+        assert!(validate(&net).unwrap().is_empty());
+    }
+
+    #[test]
+    fn word_lines_select_correct_polarities() {
+        let net = decoder2to4(Style::Cmos, Farads::ZERO).unwrap();
+        // w3's NAND takes the true polarities a0 and a1 as gate inputs.
+        let a0 = net.node_by_name("a0").unwrap();
+        let nw3 = net.node_by_name("nw3").unwrap();
+        let gated = net.gated_by(a0);
+        let drives_nw3 = gated
+            .iter()
+            .any(|&tid| net.transistor(tid).touches_channel(nw3));
+        assert!(drives_nw3);
+    }
+}

@@ -1,0 +1,145 @@
+//! Inverter chains — the workhorse circuit of the paper's Table 1
+//! experiments (E2).
+
+use super::{emit_inverter, Sizing, Style};
+use crate::error::NetworkError;
+use crate::network::{Network, NetworkBuilder};
+use crate::node::NodeKind;
+use crate::units::Farads;
+
+/// A single inverter `in -> out` with an explicit output load.
+///
+/// Node names: `in`, `out`.
+pub fn inverter(style: Style, load: Farads) -> Network {
+    let mut b = NetworkBuilder::new(match style {
+        Style::Cmos => "inverter_cmos",
+        Style::Nmos => "inverter_nmos",
+    });
+    b.power();
+    b.ground();
+    let a = b.node("in", NodeKind::Input);
+    let y = b.node("out", NodeKind::Output);
+    b.set_capacitance(y, load);
+    emit_inverter(&mut b, style, Sizing::default(), a, y, 1.0);
+    b.build().expect("generator produces a valid network")
+}
+
+/// A chain of `stages` inverters, each `fanout`× wider than the previous
+/// (fanout-of-f sizing), terminated by `load`.
+///
+/// Node names: `in`, `s1` … `s<stages-1>` (intermediate nets), `out`.
+/// Intermediate nets carry a small wiring capacitance (5 fF) so that even an
+/// unloaded chain has nonzero delay per stage.
+///
+/// # Errors
+/// Returns [`NetworkError::Invalid`] when `stages == 0` or `fanout <= 0`.
+pub fn inverter_chain(
+    style: Style,
+    stages: usize,
+    fanout: f64,
+    load: Farads,
+) -> Result<Network, NetworkError> {
+    if stages == 0 {
+        return Err(NetworkError::Invalid {
+            message: "inverter chain needs at least one stage".into(),
+        });
+    }
+    if !(fanout > 0.0 && fanout.is_finite()) {
+        return Err(NetworkError::Invalid {
+            message: format!("fanout must be positive, got {fanout}"),
+        });
+    }
+    let mut b = NetworkBuilder::new(format!(
+        "inv_chain_{}x{stages}_f{fanout}",
+        match style {
+            Style::Cmos => "cmos",
+            Style::Nmos => "nmos",
+        }
+    ));
+    b.power();
+    b.ground();
+    let sizing = Sizing::default();
+    let mut prev = b.node("in", NodeKind::Input);
+    let mut scale = 1.0;
+    for i in 0..stages {
+        let is_last = i + 1 == stages;
+        let next = if is_last {
+            b.node("out", NodeKind::Output)
+        } else {
+            b.node(&format!("s{}", i + 1), NodeKind::Internal)
+        };
+        emit_inverter(&mut b, style, sizing, prev, next, scale);
+        if is_last {
+            b.add_capacitance(next, load);
+        } else {
+            b.add_capacitance(next, Farads::from_femto(5.0));
+        }
+        prev = next;
+        scale *= fanout;
+    }
+    Ok(b.build().expect("generator produces a valid network"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transistor::TransistorKind;
+    use crate::validate::validate;
+
+    #[test]
+    fn single_inverter_structure() {
+        let net = inverter(Style::Cmos, Farads::from_femto(100.0));
+        assert_eq!(net.transistor_count(), 2);
+        let out = net.node_by_name("out").unwrap();
+        assert!((net.node(out).capacitance().femto() - 100.0).abs() < 1e-9);
+        assert!(validate(&net).unwrap().is_empty());
+    }
+
+    #[test]
+    fn chain_counts_scale_with_stages() {
+        for stages in 1..=8 {
+            let net = inverter_chain(Style::Cmos, stages, 2.0, Farads::from_femto(50.0)).unwrap();
+            assert_eq!(net.transistor_count(), 2 * stages);
+            // in, out, stages-1 internals, 2 rails
+            assert_eq!(net.node_count(), stages + 3);
+            assert!(validate(&net).unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn fanout_grows_widths_geometrically() {
+        let net = inverter_chain(Style::Cmos, 3, 4.0, Farads::ZERO).unwrap();
+        let n_widths: Vec<f64> = net
+            .transistors()
+            .filter(|(_, t)| t.kind() == TransistorKind::NEnhancement)
+            .map(|(_, t)| t.geometry().width.microns())
+            .collect();
+        assert_eq!(n_widths.len(), 3);
+        assert!((n_widths[1] / n_widths[0] - 4.0).abs() < 1e-9);
+        assert!((n_widths[2] / n_widths[1] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nmos_chain_uses_depletion_loads() {
+        let net = inverter_chain(Style::Nmos, 4, 1.0, Farads::ZERO).unwrap();
+        let loads = net
+            .transistors()
+            .filter(|(_, t)| t.kind() == TransistorKind::Depletion)
+            .count();
+        assert_eq!(loads, 4);
+    }
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        assert!(inverter_chain(Style::Cmos, 0, 2.0, Farads::ZERO).is_err());
+        assert!(inverter_chain(Style::Cmos, 2, 0.0, Farads::ZERO).is_err());
+        assert!(inverter_chain(Style::Cmos, 2, f64::NAN, Farads::ZERO).is_err());
+    }
+
+    #[test]
+    fn intermediate_nets_have_wiring_cap() {
+        let net = inverter_chain(Style::Cmos, 3, 1.0, Farads::ZERO).unwrap();
+        let s1 = net.node_by_name("s1").unwrap();
+        assert!(net.node(s1).capacitance().femto() > 0.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Exponentially-tapered buffer chains ("superbuffers") driving large
+//! loads — part of the Table 4 realistic-circuit experiments (E5).
+
+use super::{emit_inverter, Sizing, Style};
+use crate::error::NetworkError;
+use crate::network::{Network, NetworkBuilder};
+use crate::node::NodeKind;
+use crate::units::Farads;
+
+/// A driver for a large capacitive load: `stages` inverters, each `taper`×
+/// wider than the previous, ending in `load` (e.g. 1 pF of bus wiring).
+///
+/// Node names: `in`, `b1..b<stages-1>`, `out`.
+///
+/// # Errors
+/// Returns [`NetworkError::Invalid`] when `stages == 0` or `taper <= 1`.
+pub fn superbuffer(
+    style: Style,
+    stages: usize,
+    taper: f64,
+    load: Farads,
+) -> Result<Network, NetworkError> {
+    if stages == 0 {
+        return Err(NetworkError::Invalid {
+            message: "superbuffer needs at least one stage".into(),
+        });
+    }
+    if !(taper > 1.0 && taper.is_finite()) {
+        return Err(NetworkError::Invalid {
+            message: format!("taper must exceed 1, got {taper}"),
+        });
+    }
+    let mut b = NetworkBuilder::new(format!(
+        "superbuffer_{}x{stages}_t{taper}",
+        if style == Style::Cmos { "cmos" } else { "nmos" }
+    ));
+    b.power();
+    b.ground();
+    let sizing = Sizing::default();
+    let mut prev = b.node("in", NodeKind::Input);
+    let mut scale = 1.0;
+    for i in 0..stages {
+        let is_last = i + 1 == stages;
+        let next = if is_last {
+            b.node("out", NodeKind::Output)
+        } else {
+            b.node(&format!("b{}", i + 1), NodeKind::Internal)
+        };
+        emit_inverter(&mut b, style, sizing, prev, next, scale);
+        if is_last {
+            b.add_capacitance(next, load);
+        } else {
+            b.add_capacitance(next, Farads::from_femto(5.0));
+        }
+        prev = next;
+        scale *= taper;
+    }
+    Ok(b.build().expect("generator produces a valid network"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transistor::TransistorKind;
+    use crate::validate::validate;
+
+    #[test]
+    fn superbuffer_structure() {
+        let net = superbuffer(Style::Cmos, 4, 3.0, Farads::from_pico(1.0)).unwrap();
+        assert_eq!(net.transistor_count(), 8);
+        assert!(validate(&net).unwrap().is_empty());
+        let out = net.node_by_name("out").unwrap();
+        assert!((net.node(out).capacitance().femto() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn widths_taper_exponentially() {
+        let net = superbuffer(Style::Cmos, 3, 3.0, Farads::ZERO.max(Farads(1e-13))).unwrap();
+        let widths: Vec<f64> = net
+            .transistors()
+            .filter(|(_, t)| t.kind() == TransistorKind::NEnhancement)
+            .map(|(_, t)| t.geometry().width.microns())
+            .collect();
+        assert!((widths[1] / widths[0] - 3.0).abs() < 1e-9);
+        assert!((widths[2] / widths[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(superbuffer(Style::Cmos, 0, 3.0, Farads::ZERO).is_err());
+        assert!(superbuffer(Style::Cmos, 3, 1.0, Farads::ZERO).is_err());
+        assert!(superbuffer(Style::Cmos, 3, f64::INFINITY, Farads::ZERO).is_err());
+    }
+}

@@ -1,0 +1,94 @@
+//! A memory word line: a tapered driver into a heavily gate-loaded wire —
+//! the fanout-dominated load case (every column hangs two access-gate
+//! capacitances on the line).
+
+use super::{emit_inverter, Sizing, Style};
+use crate::error::NetworkError;
+use crate::network::{Network, NetworkBuilder};
+use crate::node::NodeKind;
+use crate::transistor::{Geometry, TransistorKind};
+use crate::units::Farads;
+
+/// A word line with `columns` memory cells.
+///
+/// `in` drives a two-stage tapered buffer onto the word line `wl`; every
+/// column contributes two access transistors gated by `wl` (channels
+/// between the column's bit nets `bit<i>`/`nbit<i>` and cell nets
+/// `cell<i>`/`ncell<i>`), plus 2 fF of wire per column.
+///
+/// Node names: `in`, `buf`, `wl` (output), `bit<i>`, `nbit<i>`,
+/// `cell<i>`, `ncell<i>`.
+///
+/// # Errors
+/// Returns [`NetworkError::Invalid`] unless `1 <= columns <= 256`.
+pub fn wordline(style: Style, columns: usize) -> Result<Network, NetworkError> {
+    if !(1..=256).contains(&columns) {
+        return Err(NetworkError::Invalid {
+            message: format!("wordline needs 1..=256 columns, got {columns}"),
+        });
+    }
+    let s = Sizing::default();
+    let mut b = NetworkBuilder::new(format!(
+        "wordline{columns}_{}",
+        if style == Style::Cmos { "cmos" } else { "nmos" }
+    ));
+    b.power();
+    b.ground();
+
+    let input = b.node("in", NodeKind::Input);
+    let buf = b.node("buf", NodeKind::Internal);
+    b.add_capacitance(buf, Farads::from_femto(10.0));
+    emit_inverter(&mut b, style, s, input, buf, 2.0);
+    let wl = b.node("wl", NodeKind::Output);
+    emit_inverter(&mut b, style, s, buf, wl, 6.0);
+    b.add_capacitance(wl, Farads::from_femto(2.0 * columns as f64));
+
+    for i in 0..columns {
+        let bit = b.node(&format!("bit{i}"), NodeKind::Internal);
+        let nbit = b.node(&format!("nbit{i}"), NodeKind::Internal);
+        let cell = b.node(&format!("cell{i}"), NodeKind::Internal);
+        let ncell = b.node(&format!("ncell{i}"), NodeKind::Internal);
+        b.add_capacitance(bit, Farads::from_femto(100.0));
+        b.add_capacitance(nbit, Farads::from_femto(100.0));
+        b.add_capacitance(cell, Farads::from_femto(5.0));
+        b.add_capacitance(ncell, Farads::from_femto(5.0));
+        let access = Geometry::from_microns(4.0, s.length_um);
+        b.add_transistor(TransistorKind::NEnhancement, wl, bit, cell, access);
+        b.add_transistor(TransistorKind::NEnhancement, wl, nbit, ncell, access);
+    }
+    Ok(b.build().expect("generator produces a valid network"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+
+    #[test]
+    fn structure_scales_with_columns() {
+        for cols in [1, 16, 64] {
+            let net = wordline(Style::Cmos, cols).unwrap();
+            // 2 buffer inverters (2 dev each) + 2 access per column.
+            assert_eq!(net.transistor_count(), 4 + 2 * cols);
+            assert!(validate(&net).unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn wordline_gate_fanout_grows() {
+        let small = wordline(Style::Cmos, 4).unwrap();
+        let large = wordline(Style::Cmos, 64).unwrap();
+        let f = |net: &Network| {
+            let wl = net.node_by_name("wl").unwrap();
+            net.gated_by(wl).len()
+        };
+        assert_eq!(f(&small), 8); // two access gates per column
+        assert_eq!(f(&large), 128);
+    }
+
+    #[test]
+    fn rejects_bad_sizes() {
+        assert!(wordline(Style::Cmos, 0).is_err());
+        assert!(wordline(Style::Cmos, 257).is_err());
+    }
+}

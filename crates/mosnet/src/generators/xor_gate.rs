@@ -1,0 +1,83 @@
+//! A pass-transistor XOR — the textbook example of logic done with
+//! channels instead of gates, and a source of both threshold-dropped
+//! levels and charge-sharing hazards.
+
+use super::{emit_inverter, Sizing, Style};
+use crate::error::NetworkError;
+use crate::network::{Network, NetworkBuilder};
+use crate::node::NodeKind;
+use crate::transistor::{Geometry, TransistorKind};
+use crate::units::Farads;
+
+/// A two-input pass-transistor XOR: `out = a·b̄ + ā·b`.
+///
+/// Inverters produce `na` and `nb`; four n-channel pass transistors steer
+/// the buffered `b`/`nb` levels onto `out` under control of `a`/`na`.
+///
+/// Node names: `a`, `b`, `na`, `nb`, `bb` (buffered b), `nbb`, `out`.
+///
+/// # Errors
+/// Currently always succeeds; the `Result` keeps the generator signature
+/// uniform.
+pub fn xor2(style: Style, load: Farads) -> Result<Network, NetworkError> {
+    let s = Sizing::default();
+    let mut bld = NetworkBuilder::new(format!(
+        "xor2_{}",
+        if style == Style::Cmos { "cmos" } else { "nmos" }
+    ));
+    bld.power();
+    bld.ground();
+
+    let a = bld.node("a", NodeKind::Input);
+    let b = bld.node("b", NodeKind::Input);
+    let na = bld.node("na", NodeKind::Internal);
+    let nb = bld.node("nb", NodeKind::Internal);
+    let bb = bld.node("bb", NodeKind::Internal);
+    let nbb = bld.node("nbb", NodeKind::Internal);
+    for n in [na, nb, bb, nbb] {
+        bld.add_capacitance(n, Farads::from_femto(8.0));
+    }
+    emit_inverter(&mut bld, style, s, a, na, 1.0);
+    emit_inverter(&mut bld, style, s, b, nb, 1.0);
+    // Buffered true/complement of b to drive the pass network strongly.
+    emit_inverter(&mut bld, style, s, nb, bb, 1.0);
+    emit_inverter(&mut bld, style, s, b, nbb, 1.0);
+
+    let out = bld.node("out", NodeKind::Output);
+    bld.add_capacitance(out, load);
+    let pass = Geometry::from_microns(s.n_width_um, s.length_um);
+    // a = 1 selects b̄; a = 0 selects b.
+    bld.add_transistor(TransistorKind::NEnhancement, a, nbb, out, pass);
+    bld.add_transistor(TransistorKind::NEnhancement, na, bb, out, pass);
+    Ok(bld.build().expect("generator produces a valid network"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+
+    #[test]
+    fn xor_structure() {
+        let net = xor2(Style::Cmos, Farads::from_femto(50.0)).unwrap();
+        // 4 inverters × 2 devices + 2 pass transistors.
+        assert_eq!(net.transistor_count(), 10);
+        assert!(validate(&net).unwrap().is_empty());
+    }
+
+    #[test]
+    fn steering_gates_are_complementary() {
+        let net = xor2(Style::Cmos, Farads::ZERO).unwrap();
+        let a = net.node_by_name("a").unwrap();
+        let na = net.node_by_name("na").unwrap();
+        let out = net.node_by_name("out").unwrap();
+        let steer_by = |gate| {
+            net.gated_by(gate)
+                .iter()
+                .filter(|&&t| net.transistor(t).touches_channel(out))
+                .count()
+        };
+        assert_eq!(steer_by(a), 1);
+        assert_eq!(steer_by(na), 1);
+    }
+}

@@ -1,0 +1,309 @@
+//! Graph utilities over the channel connectivity of a network.
+//!
+//! The *channel graph* has an edge between the source and drain of every
+//! transistor. Its connected components — computed while treating the supply
+//! rails as barriers — are the classical *channel-connected components*
+//! (also called "stages" or "transistor groups") that switch-level tools
+//! partition a circuit into.
+
+use crate::network::Network;
+use crate::node::NodeId;
+use crate::transistor::TransistorId;
+use std::collections::VecDeque;
+
+/// The channel-connected components of a network.
+///
+/// Rails belong to no component (component id `NONE`); every other node has
+/// exactly one component id, and every transistor belongs to the component
+/// of its channel terminals.
+#[derive(Debug, Clone)]
+pub struct ChannelComponents {
+    component_of: Vec<u32>,
+    members: Vec<Vec<NodeId>>,
+}
+
+const NONE: u32 = u32::MAX;
+
+impl ChannelComponents {
+    /// Partitions `net` into channel-connected components.
+    pub fn compute(net: &Network) -> ChannelComponents {
+        let mut component_of = vec![NONE; net.node_count()];
+        let mut members: Vec<Vec<NodeId>> = Vec::new();
+        let power = net.power();
+        let ground = net.ground();
+
+        for (start, _) in net.nodes() {
+            if start == power || start == ground || component_of[start.index()] != NONE {
+                continue;
+            }
+            let id = members.len() as u32;
+            let mut group = Vec::new();
+            let mut queue = VecDeque::new();
+            component_of[start.index()] = id;
+            queue.push_back(start);
+            while let Some(n) = queue.pop_front() {
+                group.push(n);
+                for &tid in net.channel_neighbors(n) {
+                    let other = net.transistor(tid).other_terminal(n);
+                    if other == power || other == ground {
+                        continue;
+                    }
+                    if component_of[other.index()] == NONE {
+                        component_of[other.index()] = id;
+                        queue.push_back(other);
+                    }
+                }
+            }
+            group.sort();
+            members.push(group);
+        }
+
+        ChannelComponents {
+            component_of,
+            members,
+        }
+    }
+
+    /// Number of components.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The component id of `node`, or `None` for rails.
+    pub fn component(&self, node: NodeId) -> Option<usize> {
+        let c = self.component_of[node.index()];
+        (c != NONE).then_some(c as usize)
+    }
+
+    /// The member nodes of component `id`, sorted by node id.
+    ///
+    /// # Panics
+    /// Panics if `id >= self.count()`.
+    pub fn members(&self, id: usize) -> &[NodeId] {
+        &self.members[id]
+    }
+
+    /// `true` when the two nodes are channel-connected (and neither is a
+    /// rail).
+    pub fn connected(&self, a: NodeId, b: NodeId) -> bool {
+        match (self.component(a), self.component(b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+}
+
+/// Breadth-first search over channel edges from `start`, stopping at rails.
+///
+/// Returns `(node, via)` pairs in visit order, where `via` is the transistor
+/// crossed to first reach `node` (`None` for `start` itself).
+pub fn channel_bfs(net: &Network, start: NodeId) -> Vec<(NodeId, Option<TransistorId>)> {
+    let mut seen = vec![false; net.node_count()];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    seen[start.index()] = true;
+    queue.push_back((start, None));
+    let power = net.power();
+    let ground = net.ground();
+    while let Some((n, via)) = queue.pop_front() {
+        order.push((n, via));
+        if n == power || n == ground {
+            continue;
+        }
+        for &tid in net.channel_neighbors(n) {
+            let other = net.transistor(tid).other_terminal(n);
+            if !seen[other.index()] {
+                seen[other.index()] = true;
+                queue.push_back((other, Some(tid)));
+            }
+        }
+    }
+    order
+}
+
+/// Enumerates every acyclic channel path from `from` to `to` as sequences of
+/// transistor ids, up to `limit` paths (guarding against the exponential
+/// worst case).
+///
+/// Paths never pass *through* a rail: a rail may only be an endpoint.
+pub fn channel_paths(
+    net: &Network,
+    from: NodeId,
+    to: NodeId,
+    limit: usize,
+) -> Vec<Vec<TransistorId>> {
+    let mut paths = Vec::new();
+    let mut visited = vec![false; net.node_count()];
+    let mut stack = Vec::new();
+    visited[from.index()] = true;
+    dfs_paths(net, from, to, limit, &mut visited, &mut stack, &mut paths);
+    paths
+}
+
+fn dfs_paths(
+    net: &Network,
+    at: NodeId,
+    to: NodeId,
+    limit: usize,
+    visited: &mut [bool],
+    stack: &mut Vec<TransistorId>,
+    paths: &mut Vec<Vec<TransistorId>>,
+) {
+    if paths.len() >= limit {
+        return;
+    }
+    if at == to {
+        paths.push(stack.clone());
+        return;
+    }
+    // Do not route *through* rails.
+    if (at == net.power() || at == net.ground()) && !stack.is_empty() {
+        return;
+    }
+    for &tid in net.channel_neighbors(at) {
+        let other = net.transistor(tid).other_terminal(at);
+        if visited[other.index()] {
+            continue;
+        }
+        visited[other.index()] = true;
+        stack.push(tid);
+        dfs_paths(net, other, to, limit, visited, stack, paths);
+        stack.pop();
+        visited[other.index()] = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkBuilder;
+    use crate::node::NodeKind;
+    use crate::transistor::{Geometry, TransistorKind};
+
+    /// Two independent inverters: two channel components of one node each.
+    fn two_inverters() -> Network {
+        let mut b = NetworkBuilder::new("two");
+        let vdd = b.power();
+        let gnd = b.ground();
+        for i in 0..2 {
+            let a = b.node(&format!("a{i}"), NodeKind::Input);
+            let y = b.node(&format!("y{i}"), NodeKind::Output);
+            b.add_transistor(TransistorKind::NEnhancement, a, y, gnd, Geometry::default());
+            b.add_transistor(TransistorKind::PEnhancement, a, y, vdd, Geometry::default());
+        }
+        b.build().unwrap()
+    }
+
+    /// A 3-transistor pass chain: in -> x1 -> x2 -> out (one component).
+    fn pass_chain() -> Network {
+        let mut b = NetworkBuilder::new("chain");
+        let vdd = b.power();
+        b.ground();
+        let mut prev = b.node("in", NodeKind::Input);
+        for i in 0..3 {
+            let next = b.node(&format!("x{i}"), NodeKind::Internal);
+            b.add_transistor(
+                TransistorKind::NEnhancement,
+                vdd,
+                prev,
+                next,
+                Geometry::default(),
+            );
+            prev = next;
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn components_split_at_rails() {
+        let net = two_inverters();
+        let cc = ChannelComponents::compute(&net);
+        // a0, a1 have no channel edges => singleton components; y0, y1 are
+        // isolated from each other because paths would go through rails.
+        assert_eq!(cc.count(), 4);
+        let y0 = net.node_by_name("y0").unwrap();
+        let y1 = net.node_by_name("y1").unwrap();
+        assert!(!cc.connected(y0, y1));
+        assert!(cc.component(net.power()).is_none());
+        assert!(cc.component(net.ground()).is_none());
+    }
+
+    #[test]
+    fn chain_is_single_component() {
+        let net = pass_chain();
+        let cc = ChannelComponents::compute(&net);
+        let inn = net.node_by_name("in").unwrap();
+        let out = net.node_by_name("x2").unwrap();
+        assert!(cc.connected(inn, out));
+        let comp = cc.component(inn).unwrap();
+        assert_eq!(cc.members(comp).len(), 4); // in, x0, x1, x2
+    }
+
+    #[test]
+    fn bfs_visits_whole_chain() {
+        let net = pass_chain();
+        let inn = net.node_by_name("in").unwrap();
+        let order = channel_bfs(&net, inn);
+        assert_eq!(order.len(), 4);
+        assert_eq!(order[0], (inn, None));
+        // Every later entry records the transistor used to reach it.
+        assert!(order[1..].iter().all(|(_, via)| via.is_some()));
+    }
+
+    #[test]
+    fn paths_enumerate_and_respect_limit() {
+        let net = pass_chain();
+        let inn = net.node_by_name("in").unwrap();
+        let out = net.node_by_name("x2").unwrap();
+        let paths = channel_paths(&net, inn, out, 10);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].len(), 3);
+        assert!(channel_paths(&net, inn, out, 0).is_empty());
+    }
+
+    #[test]
+    fn parallel_branches_yield_multiple_paths() {
+        // in ==(two parallel transistors)== out
+        let mut b = NetworkBuilder::new("par");
+        let vdd = b.power();
+        b.ground();
+        let inn = b.node("in", NodeKind::Input);
+        let out = b.node("out", NodeKind::Output);
+        b.add_transistor(
+            TransistorKind::NEnhancement,
+            vdd,
+            inn,
+            out,
+            Geometry::default(),
+        );
+        b.add_transistor(
+            TransistorKind::NEnhancement,
+            vdd,
+            inn,
+            out,
+            Geometry::default(),
+        );
+        let net = b.build().unwrap();
+        let paths = channel_paths(&net, inn, out, 10);
+        assert_eq!(paths.len(), 2);
+    }
+
+    #[test]
+    fn paths_do_not_route_through_rails() {
+        // a -- t1 -- vdd -- t2 -- b : no a->b path exists because it would
+        // pass through the rail.
+        let mut b = NetworkBuilder::new("rail");
+        let vdd = b.power();
+        b.ground();
+        let a = b.node("a", NodeKind::Input);
+        let c = b.node("c", NodeKind::Output);
+        let g = b.node("g", NodeKind::Input);
+        b.add_transistor(TransistorKind::NEnhancement, g, a, vdd, Geometry::default());
+        b.add_transistor(TransistorKind::NEnhancement, g, vdd, c, Geometry::default());
+        let net = b.build().unwrap();
+        assert!(channel_paths(&net, a, c, 10).is_empty());
+        // But a path *ending* at the rail is found.
+        assert_eq!(channel_paths(&net, a, vdd, 10).len(), 1);
+    }
+}

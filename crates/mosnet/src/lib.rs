@@ -1,0 +1,53 @@
+//! # mosnet — switch-level MOS network model
+//!
+//! The substrate crate of the *mos-timing* workspace: a typed in-memory
+//! representation of digital MOS circuits at the switch level (transistors
+//! as switches, nodes with lumped capacitance), together with
+//!
+//! * netlist I/O — a Berkeley-style [`sim_format`] dialect and a
+//!   [`spice_format`] deck subset;
+//! * [`generators`] for the benchmark circuits used in the reproduction of
+//!   Ousterhout's *"Switch-level delay models for digital MOS VLSI"*
+//!   (DAC 1984): inverter chains, NAND/NOR stacks, pass-transistor chains,
+//!   superbuffers, a barrel shifter, a Manchester carry chain, a decoder;
+//! * [`graph`] utilities (channel-connected components, path enumeration);
+//! * structural [`validate`] lint.
+//!
+//! Higher layers build on this: `nanospice` simulates a [`network::Network`]
+//! with real device physics, and `crystal` runs switch-level timing
+//! analysis over it.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use mosnet::generators::{inverter_chain, Style};
+//! use mosnet::units::Farads;
+//!
+//! # fn main() -> Result<(), mosnet::error::NetworkError> {
+//! let net = inverter_chain(Style::Cmos, 4, 2.0, Farads::from_femto(100.0))?;
+//! assert_eq!(net.transistor_count(), 8);
+//! let text = mosnet::sim_format::write(&net);
+//! let back = mosnet::sim_format::parse(&text, "roundtrip")?;
+//! assert_eq!(back.transistor_count(), 8);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod error;
+pub mod generators;
+pub mod graph;
+pub mod network;
+pub mod node;
+pub mod sim_format;
+pub mod spice_format;
+pub mod transistor;
+pub mod units;
+pub mod validate;
+
+pub use error::NetworkError;
+pub use network::{Network, NetworkBuilder};
+pub use node::{Node, NodeId, NodeKind};
+pub use transistor::{Geometry, Transistor, TransistorId, TransistorKind};

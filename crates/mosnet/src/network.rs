@@ -1,0 +1,465 @@
+//! The switch-level network: nodes plus transistors, with the adjacency
+//! indices every analysis needs.
+
+use crate::error::NetworkError;
+use crate::node::{Node, NodeId, NodeKind};
+use crate::transistor::{Geometry, Transistor, TransistorId, TransistorKind};
+use crate::units::Farads;
+use std::collections::HashMap;
+
+/// Conventional names accepted for the power rail by the builder's
+/// name-based lookup helpers.
+pub const POWER_NAMES: &[&str] = &["vdd", "VDD", "Vdd", "vcc", "VCC"];
+/// Conventional names accepted for the ground rail.
+pub const GROUND_NAMES: &[&str] = &["gnd", "GND", "Gnd", "vss", "VSS", "0"];
+
+/// An immutable switch-level network.
+///
+/// Construct one with [`NetworkBuilder`] or by parsing a netlist
+/// ([`crate::sim_format`], [`crate::spice_format`]). A network always has
+/// exactly one power rail and one ground rail.
+///
+/// ```
+/// use mosnet::network::NetworkBuilder;
+/// use mosnet::node::NodeKind;
+/// use mosnet::transistor::{Geometry, TransistorKind};
+/// use mosnet::units::Farads;
+///
+/// # fn main() -> Result<(), mosnet::error::NetworkError> {
+/// let mut b = NetworkBuilder::new("inverter");
+/// let vdd = b.power();
+/// let gnd = b.ground();
+/// let a = b.node("a", NodeKind::Input);
+/// let out = b.node("out", NodeKind::Output);
+/// b.set_capacitance(out, Farads::from_femto(50.0));
+/// b.add_transistor(TransistorKind::NEnhancement, a, out, gnd,
+///                  Geometry::from_microns(8.0, 2.0));
+/// b.add_transistor(TransistorKind::PEnhancement, a, out, vdd,
+///                  Geometry::from_microns(16.0, 2.0));
+/// let net = b.build()?;
+/// assert_eq!(net.node_count(), 4);
+/// assert_eq!(net.transistor_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Network {
+    name: String,
+    nodes: Vec<Node>,
+    transistors: Vec<Transistor>,
+    by_name: HashMap<String, NodeId>,
+    power: NodeId,
+    ground: NodeId,
+    /// For each node: transistors whose source or drain touches it.
+    channel_index: Vec<Vec<TransistorId>>,
+    /// For each node: transistors whose gate it drives.
+    gate_index: Vec<Vec<TransistorId>>,
+}
+
+impl Network {
+    /// The network's name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nodes, including the two rails.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of transistors.
+    #[inline]
+    pub fn transistor_count(&self) -> usize {
+        self.transistors.len()
+    }
+
+    /// The power rail.
+    #[inline]
+    pub fn power(&self) -> NodeId {
+        self.power
+    }
+
+    /// The ground rail.
+    #[inline]
+    pub fn ground(&self) -> NodeId {
+        self.ground
+    }
+
+    /// Looks a node up by netlist name.
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Returns the node data for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` does not belong to this network.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Returns the transistor data for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` does not belong to this network.
+    #[inline]
+    pub fn transistor(&self, id: TransistorId) -> &Transistor {
+        &self.transistors[id.index()]
+    }
+
+    /// Iterates over `(NodeId, &Node)` in id order.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    /// Iterates over `(TransistorId, &Transistor)` in id order.
+    pub fn transistors(&self) -> impl Iterator<Item = (TransistorId, &Transistor)> {
+        self.transistors
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TransistorId(i as u32), t))
+    }
+
+    /// Transistors whose channel (source or drain) touches `node`.
+    #[inline]
+    pub fn channel_neighbors(&self, node: NodeId) -> &[TransistorId] {
+        &self.channel_index[node.index()]
+    }
+
+    /// Transistors whose gate is driven by `node`.
+    #[inline]
+    pub fn gated_by(&self, node: NodeId) -> &[TransistorId] {
+        &self.gate_index[node.index()]
+    }
+
+    /// All primary inputs, in id order.
+    pub fn inputs(&self) -> Vec<NodeId> {
+        self.nodes()
+            .filter(|(_, n)| n.kind() == NodeKind::Input)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// All primary outputs, in id order.
+    pub fn outputs(&self) -> Vec<NodeId> {
+        self.nodes()
+            .filter(|(_, n)| n.kind() == NodeKind::Output)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Total explicit capacitance in the network (diagnostic).
+    pub fn total_capacitance(&self) -> Farads {
+        self.nodes.iter().map(|n| n.capacitance()).sum()
+    }
+}
+
+/// Incrementally builds a [`Network`].
+///
+/// Node names must be unique; [`NetworkBuilder::node`] returns the existing
+/// id when called again with the same name and a compatible kind, so
+/// generator code can freely re-reference nets by name.
+#[derive(Debug, Clone)]
+pub struct NetworkBuilder {
+    name: String,
+    nodes: Vec<Node>,
+    transistors: Vec<Transistor>,
+    by_name: HashMap<String, NodeId>,
+    power: Option<NodeId>,
+    ground: Option<NodeId>,
+}
+
+impl NetworkBuilder {
+    /// Starts an empty network with the given name.
+    pub fn new(name: impl Into<String>) -> NetworkBuilder {
+        NetworkBuilder {
+            name: name.into(),
+            nodes: Vec::new(),
+            transistors: Vec::new(),
+            by_name: HashMap::new(),
+            power: None,
+            ground: None,
+        }
+    }
+
+    /// Returns the power rail, creating a node named `vdd` on first use.
+    pub fn power(&mut self) -> NodeId {
+        if let Some(id) = self.power {
+            return id;
+        }
+        let id = self.insert_node("vdd", NodeKind::Power);
+        self.power = Some(id);
+        id
+    }
+
+    /// Returns the ground rail, creating a node named `gnd` on first use.
+    pub fn ground(&mut self) -> NodeId {
+        if let Some(id) = self.ground {
+            return id;
+        }
+        let id = self.insert_node("gnd", NodeKind::Ground);
+        self.ground = Some(id);
+        id
+    }
+
+    /// Returns the node named `name`, creating it with `kind` if new.
+    ///
+    /// Re-declaring an existing node upgrades `Internal` to a more specific
+    /// kind but never downgrades; conventional rail names (`vdd`, `gnd`,
+    /// `vss`, ...) are routed to the corresponding rail.
+    pub fn node(&mut self, name: &str, kind: NodeKind) -> NodeId {
+        if POWER_NAMES.contains(&name) {
+            return self.power_named(name);
+        }
+        if GROUND_NAMES.contains(&name) {
+            return self.ground_named(name);
+        }
+        if let Some(&id) = self.by_name.get(name) {
+            if self.nodes[id.index()].kind() == NodeKind::Internal && kind != NodeKind::Internal {
+                self.nodes[id.index()].set_kind(kind);
+            }
+            return id;
+        }
+        self.insert_node(name, kind)
+    }
+
+    /// Declares the power rail under an arbitrary name (netlists may use
+    /// nonconventional rail names). Returns the rail's id; if a rail
+    /// already exists the name becomes an alias for it.
+    pub fn declare_power(&mut self, name: &str) -> NodeId {
+        self.power_named(name)
+    }
+
+    /// Declares the ground rail under an arbitrary name; see
+    /// [`Self::declare_power`].
+    pub fn declare_ground(&mut self, name: &str) -> NodeId {
+        self.ground_named(name)
+    }
+
+    fn power_named(&mut self, name: &str) -> NodeId {
+        if let Some(id) = self.power {
+            // Register the alias so later name lookups resolve.
+            self.by_name.entry(name.to_string()).or_insert(id);
+            return id;
+        }
+        let id = self.insert_node(name, NodeKind::Power);
+        self.power = Some(id);
+        id
+    }
+
+    fn ground_named(&mut self, name: &str) -> NodeId {
+        if let Some(id) = self.ground {
+            self.by_name.entry(name.to_string()).or_insert(id);
+            return id;
+        }
+        let id = self.insert_node(name, NodeKind::Ground);
+        self.ground = Some(id);
+        id
+    }
+
+    fn insert_node(&mut self, name: &str, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node::new(name, kind, Farads::ZERO));
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Sets the explicit capacitance of `node`, replacing any prior value.
+    pub fn set_capacitance(&mut self, node: NodeId, c: Farads) {
+        self.nodes[node.index()].set_capacitance(c);
+    }
+
+    /// Adds capacitance to `node` on top of its current value.
+    pub fn add_capacitance(&mut self, node: NodeId, c: Farads) {
+        self.nodes[node.index()].add_capacitance(c);
+    }
+
+    /// Adds a transistor and returns its id.
+    pub fn add_transistor(
+        &mut self,
+        kind: TransistorKind,
+        gate: NodeId,
+        source: NodeId,
+        drain: NodeId,
+        geometry: Geometry,
+    ) -> TransistorId {
+        let id = TransistorId(self.transistors.len() as u32);
+        self.transistors
+            .push(Transistor::new(kind, gate, source, drain, geometry));
+        id
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of transistors added so far.
+    pub fn transistor_count(&self) -> usize {
+        self.transistors.len()
+    }
+
+    /// Finishes the network, building adjacency indices.
+    ///
+    /// # Errors
+    /// Returns [`NetworkError::MissingRail`] if no power or ground node was
+    /// ever created. (Rails are created implicitly by [`Self::power`],
+    /// [`Self::ground`], or by naming a node `vdd`/`gnd`.)
+    pub fn build(self) -> Result<Network, NetworkError> {
+        let power = self
+            .power
+            .ok_or(NetworkError::MissingRail { rail: "power" })?;
+        let ground = self
+            .ground
+            .ok_or(NetworkError::MissingRail { rail: "ground" })?;
+
+        let mut channel_index = vec![Vec::new(); self.nodes.len()];
+        let mut gate_index = vec![Vec::new(); self.nodes.len()];
+        for (i, t) in self.transistors.iter().enumerate() {
+            let tid = TransistorId(i as u32);
+            channel_index[t.source().index()].push(tid);
+            if t.drain() != t.source() {
+                channel_index[t.drain().index()].push(tid);
+            }
+            gate_index[t.gate().index()].push(tid);
+        }
+
+        Ok(Network {
+            name: self.name,
+            nodes: self.nodes,
+            transistors: self.transistors,
+            by_name: self.by_name,
+            power,
+            ground,
+            channel_index,
+            gate_index,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inverter() -> Network {
+        let mut b = NetworkBuilder::new("inv");
+        let vdd = b.power();
+        let gnd = b.ground();
+        let a = b.node("a", NodeKind::Input);
+        let out = b.node("out", NodeKind::Output);
+        b.set_capacitance(out, Farads::from_femto(50.0));
+        b.add_transistor(
+            TransistorKind::NEnhancement,
+            a,
+            out,
+            gnd,
+            Geometry::default(),
+        );
+        b.add_transistor(
+            TransistorKind::PEnhancement,
+            a,
+            out,
+            vdd,
+            Geometry::default(),
+        );
+        b.build().expect("valid inverter")
+    }
+
+    #[test]
+    fn builds_inverter_with_indices() {
+        let net = inverter();
+        assert_eq!(net.node_count(), 4);
+        assert_eq!(net.transistor_count(), 2);
+        let a = net.node_by_name("a").unwrap();
+        let out = net.node_by_name("out").unwrap();
+        // Both transistors are gated by `a` and touch `out`.
+        assert_eq!(net.gated_by(a).len(), 2);
+        assert_eq!(net.channel_neighbors(out).len(), 2);
+        assert_eq!(net.gated_by(out).len(), 0);
+    }
+
+    #[test]
+    fn rails_are_unique_and_aliased() {
+        let mut b = NetworkBuilder::new("t");
+        let vdd = b.power();
+        let also_vdd = b.node("VDD", NodeKind::Internal);
+        assert_eq!(vdd, also_vdd);
+        let gnd = b.node("vss", NodeKind::Internal);
+        let also_gnd = b.ground();
+        assert_eq!(gnd, also_gnd);
+        let net = b.build().unwrap();
+        assert_eq!(net.power(), vdd);
+        assert_eq!(net.ground(), gnd);
+        assert_eq!(net.node_by_name("VDD"), Some(vdd));
+    }
+
+    #[test]
+    fn node_kind_upgrades_but_never_downgrades() {
+        let mut b = NetworkBuilder::new("t");
+        b.power();
+        b.ground();
+        let x = b.node("x", NodeKind::Internal);
+        let x2 = b.node("x", NodeKind::Output);
+        assert_eq!(x, x2);
+        let x3 = b.node("x", NodeKind::Internal);
+        assert_eq!(x, x3);
+        let net = b.build().unwrap();
+        assert_eq!(net.node(x).kind(), NodeKind::Output);
+    }
+
+    #[test]
+    fn build_requires_rails() {
+        let b = NetworkBuilder::new("empty");
+        assert_eq!(
+            b.build().unwrap_err(),
+            NetworkError::MissingRail { rail: "power" }
+        );
+        let mut b = NetworkBuilder::new("half");
+        b.power();
+        assert_eq!(
+            b.build().unwrap_err(),
+            NetworkError::MissingRail { rail: "ground" }
+        );
+    }
+
+    #[test]
+    fn capacitance_accumulates() {
+        let mut b = NetworkBuilder::new("c");
+        b.power();
+        b.ground();
+        let x = b.node("x", NodeKind::Internal);
+        b.set_capacitance(x, Farads::from_femto(10.0));
+        b.add_capacitance(x, Farads::from_femto(5.0));
+        let net = b.build().unwrap();
+        assert!((net.node(x).capacitance().femto() - 15.0).abs() < 1e-9);
+        assert!((net.total_capacitance().femto() - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inputs_and_outputs_enumerate() {
+        let net = inverter();
+        assert_eq!(net.inputs().len(), 1);
+        assert_eq!(net.outputs().len(), 1);
+        assert_eq!(net.node(net.inputs()[0]).name(), "a");
+        assert_eq!(net.node(net.outputs()[0]).name(), "out");
+    }
+
+    #[test]
+    fn self_loop_channel_indexed_once() {
+        // A degenerate transistor with source == drain must not appear twice
+        // in the channel index of that node.
+        let mut b = NetworkBuilder::new("loop");
+        b.power();
+        let gnd = b.ground();
+        let x = b.node("x", NodeKind::Internal);
+        b.add_transistor(TransistorKind::NEnhancement, gnd, x, x, Geometry::default());
+        let net = b.build().unwrap();
+        assert_eq!(net.channel_neighbors(x).len(), 1);
+    }
+}

@@ -1,0 +1,310 @@
+//! MOS transistors viewed as switches with geometry.
+
+use crate::node::NodeId;
+use crate::units::Metres;
+use std::fmt;
+
+/// Index of a transistor within a [`Network`](crate::network::Network).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TransistorId(pub(crate) u32);
+
+impl TransistorId {
+    /// Returns the dense index of this transistor.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Constructs a `TransistorId` from a dense index (see
+    /// [`NodeId::from_index`](crate::node::NodeId::from_index) for caveats).
+    #[inline]
+    pub fn from_index(index: usize) -> TransistorId {
+        TransistorId(index as u32)
+    }
+}
+
+impl fmt::Display for TransistorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// The three device kinds of classical digital MOS.
+///
+/// nMOS logic uses [`NEnhancement`](TransistorKind::NEnhancement) pull-downs
+/// with a [`Depletion`](TransistorKind::Depletion) load whose gate is tied to
+/// its source; CMOS pairs n- and p-enhancement devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransistorKind {
+    /// n-channel enhancement device (conducts when its gate is high).
+    NEnhancement,
+    /// p-channel enhancement device (conducts when its gate is low).
+    PEnhancement,
+    /// n-channel depletion device (always on; the classic nMOS load).
+    Depletion,
+}
+
+impl TransistorKind {
+    /// All kinds, in a stable order (useful for per-kind tables).
+    pub const ALL: [TransistorKind; 3] = [
+        TransistorKind::NEnhancement,
+        TransistorKind::PEnhancement,
+        TransistorKind::Depletion,
+    ];
+
+    /// Dense index for per-kind lookup tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            TransistorKind::NEnhancement => 0,
+            TransistorKind::PEnhancement => 1,
+            TransistorKind::Depletion => 2,
+        }
+    }
+
+    /// One-letter code used by the `.sim` netlist dialect.
+    #[inline]
+    pub fn code(self) -> char {
+        match self {
+            TransistorKind::NEnhancement => 'n',
+            TransistorKind::PEnhancement => 'p',
+            TransistorKind::Depletion => 'd',
+        }
+    }
+
+    /// Parses a `.sim` one-letter device code.
+    pub fn from_code(c: char) -> Option<TransistorKind> {
+        match c {
+            'n' | 'e' => Some(TransistorKind::NEnhancement),
+            'p' => Some(TransistorKind::PEnhancement),
+            'd' => Some(TransistorKind::Depletion),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TransistorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TransistorKind::NEnhancement => "n-enhancement",
+            TransistorKind::PEnhancement => "p-enhancement",
+            TransistorKind::Depletion => "depletion",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Channel geometry: drawn width and length.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Geometry {
+    /// Channel width.
+    pub width: Metres,
+    /// Channel length.
+    pub length: Metres,
+}
+
+impl Geometry {
+    /// Creates a geometry from microns, the customary layout unit.
+    ///
+    /// # Panics
+    /// Panics if either dimension is not strictly positive and finite.
+    pub fn from_microns(width_um: f64, length_um: f64) -> Geometry {
+        assert!(
+            width_um > 0.0 && width_um.is_finite(),
+            "transistor width must be positive, got {width_um}"
+        );
+        assert!(
+            length_um > 0.0 && length_um.is_finite(),
+            "transistor length must be positive, got {length_um}"
+        );
+        Geometry {
+            width: Metres::from_microns(width_um),
+            length: Metres::from_microns(length_um),
+        }
+    }
+
+    /// Width-to-length ratio; drive strength scales with this.
+    #[inline]
+    pub fn aspect(self) -> f64 {
+        self.width / self.length
+    }
+
+    /// Length-to-width ratio; channel resistance scales with this.
+    #[inline]
+    pub fn squares(self) -> f64 {
+        self.length / self.width
+    }
+
+    /// Gate area (`W × L`), the dominant term of the gate capacitance.
+    #[inline]
+    pub fn gate_area(self) -> f64 {
+        self.width.value() * self.length.value()
+    }
+}
+
+impl Default for Geometry {
+    /// A minimum-size 4 µm-process device: W = L = 4 µm.
+    fn default() -> Geometry {
+        Geometry::from_microns(4.0, 4.0)
+    }
+}
+
+/// A MOS transistor: a voltage-controlled switch between `source` and
+/// `drain`, controlled by `gate`.
+///
+/// Source and drain are interchangeable at the switch level; analyses that
+/// care about signal direction (pass-transistor flow) determine it from
+/// context rather than from which terminal was listed first.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transistor {
+    kind: TransistorKind,
+    gate: NodeId,
+    source: NodeId,
+    drain: NodeId,
+    geometry: Geometry,
+}
+
+impl Transistor {
+    /// Creates a transistor. Prefer
+    /// [`NetworkBuilder::add_transistor`](crate::network::NetworkBuilder::add_transistor).
+    pub fn new(
+        kind: TransistorKind,
+        gate: NodeId,
+        source: NodeId,
+        drain: NodeId,
+        geometry: Geometry,
+    ) -> Transistor {
+        Transistor {
+            kind,
+            gate,
+            source,
+            drain,
+            geometry,
+        }
+    }
+
+    /// Device kind.
+    #[inline]
+    pub fn kind(&self) -> TransistorKind {
+        self.kind
+    }
+
+    /// Gate terminal.
+    #[inline]
+    pub fn gate(&self) -> NodeId {
+        self.gate
+    }
+
+    /// Source terminal (interchangeable with drain at the switch level).
+    #[inline]
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Drain terminal (interchangeable with source at the switch level).
+    #[inline]
+    pub fn drain(&self) -> NodeId {
+        self.drain
+    }
+
+    /// Channel geometry.
+    #[inline]
+    pub fn geometry(&self) -> Geometry {
+        self.geometry
+    }
+
+    /// Given one channel terminal, returns the opposite one.
+    ///
+    /// # Panics
+    /// Panics if `node` is neither the source nor the drain.
+    pub fn other_terminal(&self, node: NodeId) -> NodeId {
+        if node == self.source {
+            self.drain
+        } else if node == self.drain {
+            self.source
+        } else {
+            panic!("{node} is not a channel terminal of this transistor");
+        }
+    }
+
+    /// `true` if `node` is the source or the drain.
+    #[inline]
+    pub fn touches_channel(&self, node: NodeId) -> bool {
+        self.source == node || self.drain == node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids() -> (NodeId, NodeId, NodeId) {
+        (
+            NodeId::from_index(0),
+            NodeId::from_index(1),
+            NodeId::from_index(2),
+        )
+    }
+
+    #[test]
+    fn kind_codes_roundtrip() {
+        for kind in TransistorKind::ALL {
+            assert_eq!(TransistorKind::from_code(kind.code()), Some(kind));
+        }
+        // 'e' is the legacy esim alias for an enhancement device.
+        assert_eq!(
+            TransistorKind::from_code('e'),
+            Some(TransistorKind::NEnhancement)
+        );
+        assert_eq!(TransistorKind::from_code('x'), None);
+    }
+
+    #[test]
+    fn kind_indices_are_dense_and_distinct() {
+        let mut seen = [false; 3];
+        for kind in TransistorKind::ALL {
+            assert!(!seen[kind.index()]);
+            seen[kind.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn geometry_ratios() {
+        let g = Geometry::from_microns(8.0, 2.0);
+        assert!((g.aspect() - 4.0).abs() < 1e-12);
+        assert!((g.squares() - 0.25).abs() < 1e-12);
+        assert!((g.gate_area() - 16e-12).abs() < 1e-22);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn geometry_rejects_zero_width() {
+        let _ = Geometry::from_microns(0.0, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length must be positive")]
+    fn geometry_rejects_negative_length() {
+        let _ = Geometry::from_microns(2.0, -1.0);
+    }
+
+    #[test]
+    fn other_terminal_swaps() {
+        let (g, s, d) = ids();
+        let t = Transistor::new(TransistorKind::NEnhancement, g, s, d, Geometry::default());
+        assert_eq!(t.other_terminal(s), d);
+        assert_eq!(t.other_terminal(d), s);
+        assert!(t.touches_channel(s));
+        assert!(t.touches_channel(d));
+        assert!(!t.touches_channel(g));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a channel terminal")]
+    fn other_terminal_rejects_gate() {
+        let (g, s, d) = ids();
+        let t = Transistor::new(TransistorKind::NEnhancement, g, s, d, Geometry::default());
+        let _ = t.other_terminal(g);
+    }
+}

@@ -1,0 +1,350 @@
+//! Strongly-typed physical quantities used throughout the workspace.
+//!
+//! All values are stored in SI base units (`f64`). Newtypes keep ohms,
+//! farads, volts, seconds, and metres from being mixed up, while the few
+//! physically meaningful products (e.g. `Ohms * Farads = Seconds`) are
+//! provided as operator overloads.
+//!
+//! ```
+//! use mosnet::units::{Farads, Ohms};
+//!
+//! let tau = Ohms(10_000.0) * Farads(50e-15);
+//! assert!((tau.0 - 5e-10).abs() < 1e-22);
+//! ```
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Implements the standard arithmetic surface shared by every unit newtype.
+macro_rules! unit_type {
+    ($(#[$meta:meta])* $name:ident, $suffix:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The zero value of this quantity.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Returns the raw `f64` value in SI base units.
+            #[inline]
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the absolute value.
+            #[inline]
+            pub fn abs(self) -> $name {
+                $name(self.0.abs())
+            }
+
+            /// Returns the larger of `self` and `other`.
+            #[inline]
+            pub fn max(self, other: $name) -> $name {
+                $name(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[inline]
+            pub fn min(self, other: $name) -> $name {
+                $name(self.0.min(other.0))
+            }
+
+            /// `true` when the underlying value is finite (not NaN/inf).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            #[inline]
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            #[inline]
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: $name) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = $name;
+            #[inline]
+            fn neg(self) -> $name {
+                $name(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            #[inline]
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            /// Dividing two like quantities yields a dimensionless ratio.
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                $name(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $suffix)
+            }
+        }
+    };
+}
+
+unit_type!(
+    /// Electrical resistance in ohms.
+    Ohms,
+    "ohm"
+);
+unit_type!(
+    /// Capacitance in farads.
+    Farads,
+    "F"
+);
+unit_type!(
+    /// Electric potential in volts.
+    Volts,
+    "V"
+);
+unit_type!(
+    /// Time in seconds.
+    Seconds,
+    "s"
+);
+unit_type!(
+    /// Length in metres (device geometry is usually given in microns).
+    Metres,
+    "m"
+);
+unit_type!(
+    /// Current in amperes.
+    Amperes,
+    "A"
+);
+
+impl Mul<Farads> for Ohms {
+    type Output = Seconds;
+    /// The RC product — the fundamental time constant of a stage.
+    #[inline]
+    fn mul(self, rhs: Farads) -> Seconds {
+        Seconds(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Ohms> for Farads {
+    type Output = Seconds;
+    #[inline]
+    fn mul(self, rhs: Ohms) -> Seconds {
+        Seconds(self.0 * rhs.0)
+    }
+}
+
+impl Div<Ohms> for Volts {
+    type Output = Amperes;
+    #[inline]
+    fn div(self, rhs: Ohms) -> Amperes {
+        Amperes(self.0 / rhs.0)
+    }
+}
+
+impl Div<Amperes> for Volts {
+    type Output = Ohms;
+    #[inline]
+    fn div(self, rhs: Amperes) -> Ohms {
+        Ohms(self.0 / rhs.0)
+    }
+}
+
+impl Metres {
+    /// Constructs a length from microns (the customary layout unit).
+    ///
+    /// ```
+    /// use mosnet::units::Metres;
+    /// assert!((Metres::from_microns(4.0).value() - 4.0e-6).abs() < 1e-18);
+    /// ```
+    #[inline]
+    pub fn from_microns(um: f64) -> Metres {
+        Metres(um * 1e-6)
+    }
+
+    /// Returns this length expressed in microns.
+    #[inline]
+    pub fn microns(self) -> f64 {
+        self.0 * 1e6
+    }
+}
+
+impl Farads {
+    /// Constructs a capacitance from femtofarads.
+    #[inline]
+    pub fn from_femto(ff: f64) -> Farads {
+        Farads(ff * 1e-15)
+    }
+
+    /// Constructs a capacitance from picofarads.
+    #[inline]
+    pub fn from_pico(pf: f64) -> Farads {
+        Farads(pf * 1e-12)
+    }
+
+    /// Returns this capacitance in femtofarads.
+    #[inline]
+    pub fn femto(self) -> f64 {
+        self.0 * 1e15
+    }
+}
+
+impl Seconds {
+    /// Constructs a time from nanoseconds.
+    #[inline]
+    pub fn from_nanos(ns: f64) -> Seconds {
+        Seconds(ns * 1e-9)
+    }
+
+    /// Constructs a time from picoseconds.
+    #[inline]
+    pub fn from_picos(ps: f64) -> Seconds {
+        Seconds(ps * 1e-12)
+    }
+
+    /// Returns this time in nanoseconds.
+    #[inline]
+    pub fn nanos(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// Returns this time in picoseconds.
+    #[inline]
+    pub fn picos(self) -> f64 {
+        self.0 * 1e12
+    }
+}
+
+impl Ohms {
+    /// Constructs a resistance from kilohms.
+    #[inline]
+    pub fn from_kilo(kohm: f64) -> Ohms {
+        Ohms(kohm * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rc_product_is_seconds() {
+        let tau = Ohms(1e4) * Farads(1e-13);
+        assert!((tau.value() - 1e-9).abs() < 1e-21);
+        let tau2 = Farads(1e-13) * Ohms(1e4);
+        assert_eq!(tau, tau2);
+    }
+
+    #[test]
+    fn ratio_of_like_units_is_dimensionless() {
+        let r = Seconds(4.0) / Seconds(2.0);
+        assert_eq!(r, 2.0);
+    }
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let mut c = Farads::from_femto(50.0);
+        c += Farads::from_femto(25.0);
+        c -= Farads::from_femto(15.0);
+        assert!((c.femto() - 60.0).abs() < 1e-9);
+        assert_eq!((-c).abs(), c);
+    }
+
+    #[test]
+    fn scalar_multiplication_both_sides() {
+        assert_eq!(2.0 * Ohms(3.0), Ohms(3.0) * 2.0);
+        assert_eq!(Ohms(6.0) / 2.0, Ohms(3.0));
+    }
+
+    #[test]
+    fn unit_conversions() {
+        assert!((Metres::from_microns(2.0).microns() - 2.0).abs() < 1e-12);
+        assert!((Seconds::from_nanos(3.0).picos() - 3000.0).abs() < 1e-9);
+        assert!((Farads::from_pico(1.0).femto() - 1000.0).abs() < 1e-9);
+        assert!((Ohms::from_kilo(2.0).value() - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ordering_and_extrema() {
+        assert!(Seconds(1.0) < Seconds(2.0));
+        assert_eq!(Seconds(1.0).max(Seconds(2.0)), Seconds(2.0));
+        assert_eq!(Seconds(1.0).min(Seconds(2.0)), Seconds(1.0));
+    }
+
+    #[test]
+    fn sum_of_units() {
+        let total: Farads = [Farads(1.0), Farads(2.0), Farads(3.0)].into_iter().sum();
+        assert_eq!(total, Farads(6.0));
+    }
+
+    #[test]
+    fn ohms_law_helpers() {
+        let i = Volts(5.0) / Ohms(1000.0);
+        assert!((i.value() - 0.005).abs() < 1e-12);
+        let r = Volts(5.0) / Amperes(0.005);
+        assert!((r.value() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_includes_suffix() {
+        assert_eq!(format!("{}", Volts(5.0)), "5 V");
+        assert_eq!(format!("{}", Ohms(10.0)), "10 ohm");
+    }
+}

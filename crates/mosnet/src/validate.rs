@@ -1,0 +1,206 @@
+//! Structural lint for networks: catches netlist mistakes before analysis.
+
+use crate::error::NetworkError;
+use crate::network::Network;
+use crate::node::NodeKind;
+use crate::transistor::TransistorKind;
+
+/// A non-fatal structural finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Warning {
+    /// A node with no channel connection and no gate fanout.
+    DanglingNode {
+        /// Name of the node.
+        node: String,
+    },
+    /// A transistor whose source and drain are the same node (no effect).
+    ShortedChannel {
+        /// Index of the transistor.
+        transistor: usize,
+    },
+    /// A transistor channel directly bridging VDD and GND (crowbar).
+    RailToRail {
+        /// Index of the transistor.
+        transistor: usize,
+    },
+    /// An internal node whose gate fanout exists but which no channel can
+    /// ever drive (a floating gate input).
+    UndrivenGate {
+        /// Name of the node.
+        node: String,
+    },
+    /// A depletion load whose gate is not tied to its source or a rail —
+    /// legal but almost always a netlist mistake in nMOS.
+    SuspiciousDepletionGate {
+        /// Index of the transistor.
+        transistor: usize,
+    },
+}
+
+/// Runs all structural checks.
+///
+/// # Errors
+/// Returns [`NetworkError::Invalid`] for fatal problems (currently: a
+/// transistor gated by its own channel terminal in a way that shorts the
+/// network is *not* fatal; only malformed ids would be, and those cannot be
+/// constructed through the public API). The `Ok` value carries the list of
+/// warnings, which may be empty.
+pub fn validate(net: &Network) -> Result<Vec<Warning>, NetworkError> {
+    let mut warnings = Vec::new();
+
+    for (id, node) in net.nodes() {
+        if node.kind().is_rail() {
+            continue;
+        }
+        let has_channel = !net.channel_neighbors(id).is_empty();
+        let has_fanout = !net.gated_by(id).is_empty();
+        if !has_channel && !has_fanout && node.kind() == NodeKind::Internal {
+            warnings.push(Warning::DanglingNode {
+                node: node.name().to_string(),
+            });
+        }
+        // A node that gates transistors but can never be driven: no channel
+        // connection and not externally driven.
+        if has_fanout && !has_channel && !node.kind().is_driven_externally() {
+            warnings.push(Warning::UndrivenGate {
+                node: node.name().to_string(),
+            });
+        }
+    }
+
+    for (tid, t) in net.transistors() {
+        if t.source() == t.drain() {
+            warnings.push(Warning::ShortedChannel {
+                transistor: tid.index(),
+            });
+        }
+        let touches_power = t.source() == net.power() || t.drain() == net.power();
+        let touches_ground = t.source() == net.ground() || t.drain() == net.ground();
+        if touches_power && touches_ground {
+            warnings.push(Warning::RailToRail {
+                transistor: tid.index(),
+            });
+        }
+        if t.kind() == TransistorKind::Depletion {
+            let gate_ok = t.gate() == t.source()
+                || t.gate() == t.drain()
+                || t.gate() == net.power()
+                || t.gate() == net.ground();
+            if !gate_ok {
+                warnings.push(Warning::SuspiciousDepletionGate {
+                    transistor: tid.index(),
+                });
+            }
+        }
+    }
+
+    Ok(warnings)
+}
+
+/// Convenience wrapper that turns any warning into a hard error.
+///
+/// # Errors
+/// Returns [`NetworkError::Invalid`] describing the first warning if the
+/// network is not perfectly clean.
+pub fn validate_strict(net: &Network) -> Result<(), NetworkError> {
+    let warnings = validate(net)?;
+    if let Some(w) = warnings.first() {
+        return Err(NetworkError::Invalid {
+            message: format!("{w:?}"),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkBuilder;
+    use crate::node::NodeKind;
+    use crate::transistor::{Geometry, TransistorKind};
+
+    #[test]
+    fn clean_inverter_has_no_warnings() {
+        let mut b = NetworkBuilder::new("inv");
+        let vdd = b.power();
+        let gnd = b.ground();
+        let a = b.node("a", NodeKind::Input);
+        let y = b.node("y", NodeKind::Output);
+        b.add_transistor(TransistorKind::NEnhancement, a, y, gnd, Geometry::default());
+        b.add_transistor(TransistorKind::PEnhancement, a, y, vdd, Geometry::default());
+        let net = b.build().unwrap();
+        assert!(validate(&net).unwrap().is_empty());
+        assert!(validate_strict(&net).is_ok());
+    }
+
+    #[test]
+    fn detects_dangling_node() {
+        let mut b = NetworkBuilder::new("d");
+        b.power();
+        b.ground();
+        b.node("orphan", NodeKind::Internal);
+        let net = b.build().unwrap();
+        let ws = validate(&net).unwrap();
+        assert!(ws.contains(&Warning::DanglingNode {
+            node: "orphan".into()
+        }));
+        assert!(validate_strict(&net).is_err());
+    }
+
+    #[test]
+    fn detects_shorted_channel_and_rail_to_rail() {
+        let mut b = NetworkBuilder::new("s");
+        let vdd = b.power();
+        let gnd = b.ground();
+        let a = b.node("a", NodeKind::Input);
+        b.add_transistor(TransistorKind::NEnhancement, a, a, a, Geometry::default());
+        b.add_transistor(
+            TransistorKind::NEnhancement,
+            a,
+            vdd,
+            gnd,
+            Geometry::default(),
+        );
+        let net = b.build().unwrap();
+        let ws = validate(&net).unwrap();
+        assert!(ws.contains(&Warning::ShortedChannel { transistor: 0 }));
+        assert!(ws.contains(&Warning::RailToRail { transistor: 1 }));
+    }
+
+    #[test]
+    fn detects_undriven_gate() {
+        let mut b = NetworkBuilder::new("u");
+        let vdd = b.power();
+        b.ground();
+        // `ctl` gates a transistor but nothing can ever drive it.
+        let ctl = b.node("ctl", NodeKind::Internal);
+        let x = b.node("x", NodeKind::Output);
+        b.add_transistor(
+            TransistorKind::NEnhancement,
+            ctl,
+            vdd,
+            x,
+            Geometry::default(),
+        );
+        let net = b.build().unwrap();
+        let ws = validate(&net).unwrap();
+        assert!(ws.contains(&Warning::UndrivenGate { node: "ctl".into() }));
+    }
+
+    #[test]
+    fn depletion_gate_conventions() {
+        let mut b = NetworkBuilder::new("dep");
+        let vdd = b.power();
+        b.ground();
+        let y = b.node("y", NodeKind::Output);
+        let a = b.node("a", NodeKind::Input);
+        // Proper nMOS load: gate tied to source.
+        b.add_transistor(TransistorKind::Depletion, y, y, vdd, Geometry::default());
+        // Suspicious: gate tied to an unrelated input.
+        b.add_transistor(TransistorKind::Depletion, a, y, vdd, Geometry::default());
+        let net = b.build().unwrap();
+        let ws = validate(&net).unwrap();
+        assert!(!ws.contains(&Warning::SuspiciousDepletionGate { transistor: 0 }));
+        assert!(ws.contains(&Warning::SuspiciousDepletionGate { transistor: 1 }));
+    }
+}

@@ -1,0 +1,515 @@
+//! High-level measurement helpers: drive a switch-level network with an
+//! input edge and measure propagation delay and output transition time —
+//! exactly the procedure the paper uses to calibrate and judge the
+//! switch-level delay models against circuit simulation.
+
+use crate::circuit::{elaborate, Elaboration, MosModelSet};
+use crate::devices::Waveshape;
+use crate::engine::{Options, Simulator, TranResult};
+use crate::error::SimError;
+use crate::waveform::Waveform;
+use mosnet::units::Seconds;
+use mosnet::{Network, NodeId};
+use std::collections::HashMap;
+
+/// A transient simulation of a switch-level network, queryable by
+/// `mosnet` node id or name.
+#[derive(Debug, Clone)]
+pub struct NetSim {
+    elaboration: Elaboration,
+    result: TranResult,
+}
+
+impl NetSim {
+    /// Runs a transient simulation of `net` with the given input drives.
+    ///
+    /// Inputs not mentioned in `drives` are held at 0 V.
+    ///
+    /// # Errors
+    /// Propagates solver errors ([`SimError::NoConvergence`],
+    /// [`SimError::SingularMatrix`], [`SimError::BadParameter`]).
+    pub fn run(
+        net: &Network,
+        models: &MosModelSet,
+        drives: &HashMap<NodeId, Waveshape>,
+        tstop: Seconds,
+        dt: Seconds,
+    ) -> Result<NetSim, SimError> {
+        Self::run_with_options(net, models, drives, tstop, dt, Options::default())
+    }
+
+    /// Like [`NetSim::run`] with explicit solver options.
+    ///
+    /// # Errors
+    /// See [`NetSim::run`].
+    pub fn run_with_options(
+        net: &Network,
+        models: &MosModelSet,
+        drives: &HashMap<NodeId, Waveshape>,
+        tstop: Seconds,
+        dt: Seconds,
+        options: Options,
+    ) -> Result<NetSim, SimError> {
+        let elaboration = elaborate(net, models, drives);
+        let sim = Simulator::with_options(&elaboration.circuit, options);
+        let result = sim.transient(tstop.value(), dt.value())?;
+        Ok(NetSim {
+            elaboration,
+            result,
+        })
+    }
+
+    /// The waveform of a network node.
+    pub fn voltage(&self, node: NodeId) -> Waveform {
+        self.result.voltage(self.elaboration.terminal(node))
+    }
+
+    /// The raw transient result.
+    pub fn result(&self) -> &TranResult {
+        &self.result
+    }
+}
+
+/// Solves the DC operating point of a network with the given input levels
+/// (volts; unlisted inputs held at 0 V) and returns every node's settled
+/// voltage, indexed by `NodeId`.
+///
+/// # Errors
+/// Propagates solver failures ([`SimError::NoConvergence`],
+/// [`SimError::SingularMatrix`]).
+pub fn operating_voltages(
+    net: &Network,
+    models: &MosModelSet,
+    levels: &HashMap<NodeId, f64>,
+) -> Result<Vec<f64>, SimError> {
+    let drives: HashMap<NodeId, Waveshape> = net
+        .inputs()
+        .into_iter()
+        .map(|n| (n, Waveshape::Dc(levels.get(&n).copied().unwrap_or(0.0))))
+        .collect();
+    let elaboration = elaborate(net, models, &drives);
+    let sim = Simulator::new(&elaboration.circuit);
+    let x = sim.op()?;
+    Ok((0..net.node_count())
+        .map(
+            |i| match elaboration.terminal(mosnet::NodeId::from_index(i)) {
+                crate::devices::NodeRef::Ground => 0.0,
+                crate::devices::NodeRef::Node(k) => x[k],
+            },
+        )
+        .collect())
+}
+
+/// Sweeps one input across `values` (volts), DC-solving at every point,
+/// and returns `output`'s voltage per point — the classic transfer-curve
+/// analysis.
+///
+/// Other inputs are held at their `statics` level (unlisted inputs at
+/// 0 V). Each point reuses the circuit elaboration; convergence of every
+/// point is required.
+///
+/// # Errors
+/// Propagates solver failures; returns [`SimError::BadParameter`] for an
+/// empty sweep.
+pub fn dc_sweep(
+    net: &Network,
+    models: &MosModelSet,
+    swept: NodeId,
+    values: &[f64],
+    statics: &HashMap<NodeId, f64>,
+    output: NodeId,
+) -> Result<Vec<f64>, SimError> {
+    if values.is_empty() {
+        return Err(SimError::BadParameter {
+            message: "dc sweep needs at least one point".into(),
+        });
+    }
+    let mut curve = Vec::with_capacity(values.len());
+    for &v in values {
+        let mut levels = statics.clone();
+        levels.insert(swept, v);
+        let voltages = operating_voltages(net, models, &levels)?;
+        curve.push(voltages[output.index()]);
+    }
+    Ok(curve)
+}
+
+/// The input voltage at which `output` crosses `vdd/2` on a rising input
+/// sweep — the inverter switching threshold.
+///
+/// # Errors
+/// Propagates [`dc_sweep`] errors; returns [`SimError::BadParameter`]
+/// when the output never crosses midrail within the sweep.
+pub fn switching_threshold(
+    net: &Network,
+    models: &MosModelSet,
+    input: NodeId,
+    output: NodeId,
+    points: usize,
+) -> Result<f64, SimError> {
+    let values: Vec<f64> = (0..points)
+        .map(|i| models.vdd * i as f64 / (points - 1).max(1) as f64)
+        .collect();
+    let curve = dc_sweep(net, models, input, &values, &HashMap::new(), output)?;
+    let mid = models.vdd / 2.0;
+    for w in 0..curve.len() - 1 {
+        let (a, b) = (curve[w], curve[w + 1]);
+        if (a >= mid && b < mid) || (a <= mid && b > mid) {
+            let frac = (mid - a) / (b - a);
+            return Ok(values[w] + frac * (values[w + 1] - values[w]));
+        }
+    }
+    Err(SimError::BadParameter {
+        message: "output never crosses midrail in the sweep".into(),
+    })
+}
+
+/// Which transition to apply/observe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Edge {
+    /// Low-to-high transition.
+    Rising,
+    /// High-to-low transition.
+    Falling,
+}
+
+impl Edge {
+    /// `true` for [`Edge::Rising`].
+    #[inline]
+    pub fn is_rising(self) -> bool {
+        self == Edge::Rising
+    }
+
+    /// The opposite edge.
+    #[inline]
+    pub fn inverted(self) -> Edge {
+        match self {
+            Edge::Rising => Edge::Falling,
+            Edge::Falling => Edge::Rising,
+        }
+    }
+}
+
+/// Specification of one delay measurement.
+#[derive(Debug, Clone)]
+pub struct TransitionSpec {
+    /// The switching input.
+    pub input: NodeId,
+    /// Direction of the input edge.
+    pub input_edge: Edge,
+    /// Input 10–90% transition time (0 for an ideal step); the edge is a
+    /// linear ramp sized so its 10–90% interval equals this value.
+    pub input_transition: Seconds,
+    /// The observed output.
+    pub output: NodeId,
+    /// Expected direction of the output transition.
+    pub output_edge: Edge,
+    /// Static voltage levels for the non-switching inputs (volts).
+    pub statics: HashMap<NodeId, f64>,
+    /// The output's settled final voltage, when known (e.g. from a DC
+    /// operating point at the final input vector). Supplying it makes the
+    /// 50% measurement immune to slow settling tails — important for
+    /// threshold-dropped pass-transistor outputs. `None` falls back to
+    /// the last simulated sample.
+    pub expected_final: Option<f64>,
+}
+
+/// A measured input-to-output transition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayMeasurement {
+    /// 50%-of-input to 50%-of-output propagation delay.
+    pub delay: Seconds,
+    /// 10–90% output transition time (of the observed swing).
+    pub output_transition: Seconds,
+    /// Output voltage before the edge.
+    pub v_initial: f64,
+    /// Output voltage at the end of the simulation.
+    pub v_final: f64,
+}
+
+/// Fraction of `tstop` spent settling before the input edge fires.
+const SETTLE_FRACTION: f64 = 0.25;
+
+/// Drives `spec.input` with a ramp and measures the delay to `spec.output`.
+///
+/// The input sits at its initial level for the first quarter of `tstop`
+/// (letting the circuit settle), then ramps over `spec.input_transition`.
+/// Delay is measured from the input's 50% point to the output's 50% point
+/// of its *observed* swing (so ratioed-logic levels are handled correctly);
+/// the output transition time is the 10–90% interval of that swing.
+///
+/// # Errors
+/// Returns [`SimError::BadParameter`] if the output never completes the
+/// expected transition within `tstop`, plus any solver error.
+pub fn measure_transition(
+    net: &Network,
+    models: &MosModelSet,
+    spec: &TransitionSpec,
+    tstop: Seconds,
+    dt: Seconds,
+) -> Result<DelayMeasurement, SimError> {
+    let t_edge = tstop.value() * SETTLE_FRACTION;
+    let (v0, v1) = match spec.input_edge {
+        Edge::Rising => (0.0, models.vdd),
+        Edge::Falling => (models.vdd, 0.0),
+    };
+    // A linear 0–100% ramp of length T has a 10–90% interval of 0.8·T.
+    let full_ramp = spec.input_transition.value() / 0.8;
+    let mut drives: HashMap<NodeId, Waveshape> = spec
+        .statics
+        .iter()
+        .map(|(&n, &v)| (n, Waveshape::Dc(v)))
+        .collect();
+    drives.insert(spec.input, Waveshape::ramp(v0, v1, t_edge, full_ramp));
+
+    let sim = NetSim::run(net, models, &drives, tstop, dt)?;
+    let out = sim.voltage(spec.output);
+
+    let t_in_50 = t_edge + 0.5 * full_ramp;
+    let v_initial = out.value_at(t_edge);
+    let v_final = spec.expected_final.unwrap_or_else(|| out.last());
+    let swing = v_final - v_initial;
+    let expected_sign = if spec.output_edge.is_rising() {
+        1.0
+    } else {
+        -1.0
+    };
+    if swing * expected_sign <= 0.0 || swing.abs() < 0.1 * models.vdd {
+        return Err(SimError::BadParameter {
+            message: format!(
+                "output did not complete the expected {:?} transition \
+                 (swing {swing:.3} V)",
+                spec.output_edge
+            ),
+        });
+    }
+    let midpoint = v_initial + 0.5 * swing;
+    let t_out_50 = out
+        .crossing(midpoint, spec.output_edge.is_rising(), t_edge)
+        .ok_or_else(|| SimError::BadParameter {
+            message: "output never crossed its midpoint".into(),
+        })?;
+    let transition = out
+        .transition_time(v_initial, v_final, 0.1, 0.9, t_edge)
+        // With a supplied asymptote the 90% level may lie beyond the
+        // simulated window; fall back to the observed swing for the
+        // transition-time measurement only.
+        .or_else(|| out.transition_time(v_initial, out.last(), 0.1, 0.9, t_edge))
+        .ok_or_else(|| SimError::BadParameter {
+            message: "output never completed its 10-90% transition".into(),
+        })?;
+
+    Ok(DelayMeasurement {
+        delay: Seconds(t_out_50 - t_in_50),
+        output_transition: Seconds(transition),
+        v_initial,
+        v_final,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosnet::generators::{inverter, inverter_chain, Style};
+    use mosnet::units::Farads;
+
+    fn spec_for_inverter(net: &Network, edge: Edge) -> TransitionSpec {
+        TransitionSpec {
+            input: net.node_by_name("in").expect("in"),
+            input_edge: edge,
+            input_transition: Seconds::from_nanos(0.5),
+            output: net.node_by_name("out").expect("out"),
+            output_edge: edge.inverted(),
+            statics: HashMap::new(),
+            expected_final: None,
+        }
+    }
+
+    #[test]
+    fn cmos_inverter_delay_is_positive_and_sane() {
+        let net = inverter(Style::Cmos, Farads::from_femto(100.0));
+        let models = MosModelSet::default();
+        let m = measure_transition(
+            &net,
+            &models,
+            &spec_for_inverter(&net, Edge::Rising),
+            Seconds::from_nanos(20.0),
+            Seconds::from_picos(20.0),
+        )
+        .unwrap();
+        assert!(m.delay.value() > 0.0);
+        assert!(m.delay.nanos() < 5.0, "delay {} ns", m.delay.nanos());
+        assert!(m.output_transition.value() > 0.0);
+        // Full CMOS swing.
+        assert!(m.v_initial > 4.5);
+        assert!(m.v_final < 0.5);
+    }
+
+    #[test]
+    fn heavier_load_means_longer_delay() {
+        let models = MosModelSet::default();
+        let light = inverter(Style::Cmos, Farads::from_femto(50.0));
+        let heavy = inverter(Style::Cmos, Farads::from_femto(400.0));
+        let d_light = measure_transition(
+            &light,
+            &models,
+            &spec_for_inverter(&light, Edge::Rising),
+            Seconds::from_nanos(30.0),
+            Seconds::from_picos(30.0),
+        )
+        .unwrap()
+        .delay;
+        let d_heavy = measure_transition(
+            &heavy,
+            &models,
+            &spec_for_inverter(&heavy, Edge::Rising),
+            Seconds::from_nanos(30.0),
+            Seconds::from_picos(30.0),
+        )
+        .unwrap()
+        .delay;
+        assert!(
+            d_heavy.value() > 2.0 * d_light.value(),
+            "heavy {} vs light {}",
+            d_heavy.nanos(),
+            d_light.nanos()
+        );
+    }
+
+    #[test]
+    fn slower_input_means_longer_delay() {
+        // The core slope-model phenomenon: input transition time matters.
+        let models = MosModelSet::default();
+        let net = inverter(Style::Cmos, Farads::from_femto(100.0));
+        let mut fast_spec = spec_for_inverter(&net, Edge::Rising);
+        fast_spec.input_transition = Seconds::from_picos(100.0);
+        let mut slow_spec = spec_for_inverter(&net, Edge::Rising);
+        slow_spec.input_transition = Seconds::from_nanos(8.0);
+        let fast = measure_transition(
+            &net,
+            &models,
+            &fast_spec,
+            Seconds::from_nanos(40.0),
+            Seconds::from_picos(40.0),
+        )
+        .unwrap();
+        let slow = measure_transition(
+            &net,
+            &models,
+            &slow_spec,
+            Seconds::from_nanos(40.0),
+            Seconds::from_picos(40.0),
+        )
+        .unwrap();
+        assert!(
+            slow.delay.value() > fast.delay.value(),
+            "slow {} vs fast {}",
+            slow.delay.nanos(),
+            fast.delay.nanos()
+        );
+    }
+
+    #[test]
+    fn two_stage_chain_output_follows_input_direction() {
+        // Two inversions: rising input ⇒ rising output.
+        let net = inverter_chain(Style::Cmos, 2, 2.0, Farads::from_femto(100.0)).unwrap();
+        let models = MosModelSet::default();
+        let spec = TransitionSpec {
+            input: net.node_by_name("in").unwrap(),
+            input_edge: Edge::Rising,
+            input_transition: Seconds::from_picos(500.0),
+            output: net.node_by_name("out").unwrap(),
+            output_edge: Edge::Rising,
+            statics: HashMap::new(),
+            expected_final: None,
+        };
+        let m = measure_transition(
+            &net,
+            &models,
+            &spec,
+            Seconds::from_nanos(30.0),
+            Seconds::from_picos(30.0),
+        )
+        .unwrap();
+        assert!(m.v_final > m.v_initial);
+        assert!(m.delay.value() > 0.0);
+    }
+
+    #[test]
+    fn wrong_expected_direction_is_detected() {
+        let net = inverter(Style::Cmos, Farads::from_femto(100.0));
+        let models = MosModelSet::default();
+        let mut spec = spec_for_inverter(&net, Edge::Rising);
+        spec.output_edge = Edge::Rising; // inverter actually falls
+        assert!(matches!(
+            measure_transition(
+                &net,
+                &models,
+                &spec,
+                Seconds::from_nanos(20.0),
+                Seconds::from_picos(20.0),
+            ),
+            Err(SimError::BadParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn dc_sweep_traces_monotone_inverter_transfer() {
+        let net = inverter(Style::Cmos, Farads::from_femto(10.0));
+        let models = MosModelSet::default();
+        let input = net.node_by_name("in").unwrap();
+        let output = net.node_by_name("out").unwrap();
+        let values: Vec<f64> = (0..=20).map(|i| 0.25 * i as f64).collect();
+        let curve = dc_sweep(&net, &models, input, &values, &HashMap::new(), output).unwrap();
+        assert!(curve[0] > 4.9, "low input -> high output");
+        assert!(curve[20] < 0.1, "high input -> low output");
+        // Monotone non-increasing within solver tolerance (each point is
+        // an independent Newton solve with ~5 mV reltol).
+        for w in curve.windows(2) {
+            assert!(w[1] <= w[0] + 0.02, "{} then {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn switching_threshold_is_midrange() {
+        let net = inverter(Style::Cmos, Farads::from_femto(10.0));
+        let models = MosModelSet::default();
+        let input = net.node_by_name("in").unwrap();
+        let output = net.node_by_name("out").unwrap();
+        let vth = switching_threshold(&net, &models, input, output, 51).unwrap();
+        // Our p-device is weaker per width (kp 10 vs 25 µA/V²) even at 2×
+        // width, so the threshold sits below midrail but well inside the
+        // transition region.
+        assert!(vth > 1.0 && vth < 3.5, "threshold {vth}");
+    }
+
+    #[test]
+    fn dc_sweep_rejects_empty() {
+        let net = inverter(Style::Cmos, Farads::from_femto(10.0));
+        let models = MosModelSet::default();
+        let input = net.node_by_name("in").unwrap();
+        let output = net.node_by_name("out").unwrap();
+        assert!(matches!(
+            dc_sweep(&net, &models, input, &[], &HashMap::new(), output),
+            Err(SimError::BadParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn nmos_inverter_ratioed_levels_are_handled() {
+        let net = inverter(Style::Nmos, Farads::from_femto(100.0));
+        let models = MosModelSet::default();
+        let m = measure_transition(
+            &net,
+            &models,
+            &spec_for_inverter(&net, Edge::Rising),
+            Seconds::from_nanos(40.0),
+            Seconds::from_picos(40.0),
+        )
+        .unwrap();
+        // Low level is above ground (ratioed), high level near vdd.
+        assert!(m.v_initial > 4.0);
+        assert!(m.v_final < 1.5);
+        assert!(m.delay.value() > 0.0);
+    }
+}

@@ -1,0 +1,413 @@
+//! Simulator-side circuit representation and the mapping from a
+//! switch-level [`mosnet::Network`].
+
+use crate::devices::{
+    Capacitor, Device, MosParams, Mosfet, NodeRef, Polarity, Resistor, VSource, Waveshape,
+};
+use crate::error::SimError;
+use mosnet::{Network, NodeId, NodeKind, TransistorKind};
+use std::collections::HashMap;
+
+/// Physics parameters mapping a switch-level network onto level-1 devices —
+/// the simulator's equivalent of a SPICE model card set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MosModelSet {
+    /// n-enhancement parameters.
+    pub nmos: MosParams,
+    /// p-enhancement parameters.
+    pub pmos: MosParams,
+    /// Depletion-load parameters.
+    pub depletion: MosParams,
+    /// Gate-oxide capacitance per area (F/m²), lumped gate-to-ground.
+    pub cox_per_area: f64,
+    /// Source/drain diffusion capacitance per channel width (F/m).
+    pub cj_per_width: f64,
+    /// Supply voltage (V).
+    pub vdd: f64,
+}
+
+impl Default for MosModelSet {
+    /// A representative 4 µm-class process at VDD = 5 V.
+    fn default() -> MosModelSet {
+        MosModelSet {
+            nmos: MosParams::nmos_default(),
+            pmos: MosParams::pmos_default(),
+            depletion: MosParams::depletion_default(),
+            cox_per_area: 7e-4, // 0.7 fF/µm²
+            cj_per_width: 1e-9, // 1 fF/µm of width
+            vdd: 5.0,
+        }
+    }
+}
+
+impl MosModelSet {
+    /// A faster scaled process (2 µm-class): double the transconductance,
+    /// lower thresholds, thinner oxide. Used to show that the calibration
+    /// pipeline adapts the slope model to a different technology without
+    /// any code change.
+    pub fn scaled_2um() -> MosModelSet {
+        MosModelSet {
+            nmos: MosParams {
+                vt0: 0.8,
+                kp: 50e-6,
+                lambda: 0.03,
+                polarity: Polarity::N,
+            },
+            pmos: MosParams {
+                vt0: -0.8,
+                kp: 20e-6,
+                lambda: 0.03,
+                polarity: Polarity::P,
+            },
+            depletion: MosParams {
+                vt0: -2.5,
+                kp: 50e-6,
+                lambda: 0.03,
+                polarity: Polarity::N,
+            },
+            cox_per_area: 1.1e-3, // 1.1 fF/µm²
+            cj_per_width: 0.8e-9,
+            vdd: 5.0,
+        }
+    }
+
+    /// Parameters for a given switch-level device kind.
+    pub fn params_for(&self, kind: TransistorKind) -> MosParams {
+        match kind {
+            TransistorKind::NEnhancement => self.nmos,
+            TransistorKind::PEnhancement => self.pmos,
+            TransistorKind::Depletion => self.depletion,
+        }
+    }
+}
+
+/// A flat simulator circuit: named unknown nodes plus devices.
+#[derive(Debug, Clone, Default)]
+pub struct Circuit {
+    names: Vec<String>,
+    devices: Vec<Device>,
+    n_branches: usize,
+}
+
+impl Circuit {
+    /// Creates an empty circuit.
+    pub fn new() -> Circuit {
+        Circuit::default()
+    }
+
+    /// Adds an unknown node with a diagnostic name.
+    pub fn add_node(&mut self, name: impl Into<String>) -> NodeRef {
+        let id = self.names.len();
+        self.names.push(name.into());
+        NodeRef::Node(id)
+    }
+
+    /// Number of unknown (non-ground) nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of voltage-source branch unknowns.
+    #[inline]
+    pub fn branch_count(&self) -> usize {
+        self.n_branches
+    }
+
+    /// Total system dimension: nodes + branches.
+    #[inline]
+    pub fn unknown_count(&self) -> usize {
+        self.names.len() + self.n_branches
+    }
+
+    /// Diagnostic name of node `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.node_count()`.
+    pub fn node_name(&self, i: usize) -> &str {
+        &self.names[i]
+    }
+
+    /// Finds a node by name.
+    pub fn find_node(&self, name: &str) -> Option<NodeRef> {
+        self.names.iter().position(|n| n == name).map(NodeRef::Node)
+    }
+
+    /// The devices in insertion order.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// Adds a resistor.
+    ///
+    /// # Panics
+    /// Panics if `ohms` is not strictly positive and finite.
+    pub fn add_resistor(&mut self, a: NodeRef, b: NodeRef, ohms: f64) {
+        self.devices
+            .push(Device::Resistor(Resistor::new(a, b, ohms)));
+    }
+
+    /// Adds a capacitor.
+    ///
+    /// # Panics
+    /// Panics if `farads` is not strictly positive and finite.
+    pub fn add_capacitor(&mut self, a: NodeRef, b: NodeRef, farads: f64) {
+        self.devices
+            .push(Device::Capacitor(Capacitor::new(a, b, farads)));
+    }
+
+    /// Adds an independent voltage source; returns its branch index.
+    pub fn add_vsource(&mut self, pos: NodeRef, neg: NodeRef, shape: Waveshape) -> usize {
+        let branch = self.n_branches;
+        self.n_branches += 1;
+        self.devices.push(Device::VSource(VSource {
+            pos,
+            neg,
+            shape,
+            branch,
+        }));
+        branch
+    }
+
+    /// Adds a MOSFET.
+    ///
+    /// # Panics
+    /// Panics if the geometry is not strictly positive and finite.
+    pub fn add_mosfet(
+        &mut self,
+        d: NodeRef,
+        g: NodeRef,
+        s: NodeRef,
+        w: f64,
+        l: f64,
+        params: MosParams,
+    ) {
+        self.devices
+            .push(Device::Mosfet(Mosfet::new(d, g, s, w, l, params)));
+    }
+
+    /// Validates that every device terminal references an existing node.
+    ///
+    /// # Errors
+    /// Returns [`SimError::BadNode`] for the first out-of-range reference.
+    pub fn check(&self) -> Result<(), SimError> {
+        let check_ref = |r: NodeRef| -> Result<(), SimError> {
+            if let NodeRef::Node(i) = r {
+                if i >= self.names.len() {
+                    return Err(SimError::BadNode { index: i });
+                }
+            }
+            Ok(())
+        };
+        for d in &self.devices {
+            match d {
+                Device::Resistor(r) => {
+                    check_ref(r.a)?;
+                    check_ref(r.b)?;
+                }
+                Device::Capacitor(c) => {
+                    check_ref(c.a)?;
+                    check_ref(c.b)?;
+                }
+                Device::VSource(v) => {
+                    check_ref(v.pos)?;
+                    check_ref(v.neg)?;
+                }
+                Device::Mosfet(m) => {
+                    check_ref(m.d)?;
+                    check_ref(m.g)?;
+                    check_ref(m.s)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The result of elaborating a switch-level network for simulation: the
+/// circuit plus the node-id mapping.
+#[derive(Debug, Clone)]
+pub struct Elaboration {
+    /// The simulator circuit.
+    pub circuit: Circuit,
+    /// For each `mosnet` node: its simulator terminal (ground maps to
+    /// [`NodeRef::Ground`]).
+    pub node_map: Vec<NodeRef>,
+}
+
+impl Elaboration {
+    /// The simulator terminal corresponding to a network node.
+    #[inline]
+    pub fn terminal(&self, node: NodeId) -> NodeRef {
+        self.node_map[node.index()]
+    }
+}
+
+/// Minimum capacitance added to every floating unknown node, keeping the
+/// transient system well conditioned (1 fF).
+pub const C_MIN: f64 = 1e-15;
+
+/// Elaborates a switch-level network into a simulator circuit.
+///
+/// * Ground maps to the reference; the power rail gets a DC source at
+///   `models.vdd`.
+/// * Every primary input is driven by a voltage source: the waveshape from
+///   `drives` if present, otherwise DC 0.
+/// * Explicit node capacitance becomes a capacitor to ground; every node
+///   additionally receives gate capacitance (`cox·W·L`, lumped at the gate)
+///   and diffusion capacitance (`cj·W` at source and drain) from the
+///   transistors touching it, plus [`C_MIN`].
+pub fn elaborate(
+    net: &Network,
+    models: &MosModelSet,
+    drives: &HashMap<NodeId, Waveshape>,
+) -> Elaboration {
+    let mut circuit = Circuit::new();
+    let mut node_map = vec![NodeRef::Ground; net.node_count()];
+    // Accumulated capacitance to ground per mosnet node.
+    let mut caps = vec![0.0f64; net.node_count()];
+
+    for (id, node) in net.nodes() {
+        match node.kind() {
+            NodeKind::Ground => {
+                node_map[id.index()] = NodeRef::Ground;
+            }
+            _ => {
+                node_map[id.index()] = circuit.add_node(node.name());
+                caps[id.index()] += node.capacitance().value();
+            }
+        }
+    }
+
+    // Rails and input drives.
+    let power_ref = node_map[net.power().index()];
+    circuit.add_vsource(power_ref, NodeRef::Ground, Waveshape::Dc(models.vdd));
+    for input in net.inputs() {
+        let shape = drives.get(&input).cloned().unwrap_or(Waveshape::Dc(0.0));
+        circuit.add_vsource(node_map[input.index()], NodeRef::Ground, shape);
+    }
+
+    // Transistors plus their parasitic capacitances.
+    for (_, t) in net.transistors() {
+        let g = t.geometry();
+        let params = models.params_for(t.kind());
+        circuit.add_mosfet(
+            node_map[t.drain().index()],
+            node_map[t.gate().index()],
+            node_map[t.source().index()],
+            g.width.value(),
+            g.length.value(),
+            params,
+        );
+        caps[t.gate().index()] += models.cox_per_area * g.gate_area();
+        caps[t.source().index()] += models.cj_per_width * g.width.value();
+        caps[t.drain().index()] += models.cj_per_width * g.width.value();
+    }
+
+    for (id, _) in net.nodes() {
+        if let NodeRef::Node(_) = node_map[id.index()] {
+            let c = caps[id.index()] + C_MIN;
+            circuit.add_capacitor(node_map[id.index()], NodeRef::Ground, c);
+        }
+    }
+
+    Elaboration { circuit, node_map }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mosnet::generators::{inverter, Style};
+    use mosnet::units::Farads;
+
+    #[test]
+    fn circuit_bookkeeping() {
+        let mut c = Circuit::new();
+        let a = c.add_node("a");
+        let b = c.add_node("b");
+        c.add_resistor(a, b, 1000.0);
+        c.add_capacitor(b, NodeRef::Ground, 1e-12);
+        c.add_vsource(a, NodeRef::Ground, Waveshape::Dc(5.0));
+        assert_eq!(c.node_count(), 2);
+        assert_eq!(c.branch_count(), 1);
+        assert_eq!(c.unknown_count(), 3);
+        assert_eq!(c.find_node("b"), Some(b));
+        assert_eq!(c.find_node("zzz"), None);
+        assert!(c.check().is_ok());
+    }
+
+    #[test]
+    fn check_catches_bad_references() {
+        let mut c = Circuit::new();
+        let a = c.add_node("a");
+        c.add_resistor(a, NodeRef::Node(99), 100.0);
+        assert_eq!(c.check(), Err(SimError::BadNode { index: 99 }));
+    }
+
+    #[test]
+    fn elaborates_inverter() {
+        let net = inverter(Style::Cmos, Farads::from_femto(50.0));
+        let models = MosModelSet::default();
+        let elab = elaborate(&net, &models, &HashMap::new());
+        // 3 unknown nodes (vdd, in, out), 2 sources (vdd + input)
+        assert_eq!(elab.circuit.node_count(), 3);
+        assert_eq!(elab.circuit.branch_count(), 2);
+        assert_eq!(elab.terminal(net.ground()), NodeRef::Ground);
+        assert!(matches!(elab.terminal(net.power()), NodeRef::Node(_)));
+        // Devices: 2 MOSFETs + 2 sources + 3 caps.
+        let mosfets = elab
+            .circuit
+            .devices()
+            .iter()
+            .filter(|d| matches!(d, Device::Mosfet(_)))
+            .count();
+        let caps = elab
+            .circuit
+            .devices()
+            .iter()
+            .filter(|d| matches!(d, Device::Capacitor(_)))
+            .count();
+        assert_eq!(mosfets, 2);
+        assert_eq!(caps, 3);
+        assert!(elab.circuit.check().is_ok());
+    }
+
+    #[test]
+    fn parasitics_accumulate_on_output() {
+        let net = inverter(Style::Cmos, Farads::from_femto(50.0));
+        let models = MosModelSet::default();
+        let elab = elaborate(&net, &models, &HashMap::new());
+        let out = net.node_by_name("out").unwrap();
+        let out_ref = elab.terminal(out);
+        let cap = elab
+            .circuit
+            .devices()
+            .iter()
+            .find_map(|d| match d {
+                Device::Capacitor(c) if c.a == out_ref => Some(c.farads),
+                _ => None,
+            })
+            .expect("output has a capacitor");
+        // 50 fF explicit + diffusion of both devices (8 µm + 16 µm widths
+        // at 1 fF/µm = 24 fF) + C_MIN.
+        let expect = 50e-15 + 24e-15 + C_MIN;
+        assert!(
+            (cap - expect).abs() < 1e-18,
+            "got {cap:e}, expected {expect:e}"
+        );
+    }
+
+    #[test]
+    fn input_drive_is_honored() {
+        let net = inverter(Style::Cmos, Farads::from_femto(10.0));
+        let a = net.node_by_name("in").unwrap();
+        let mut drives = HashMap::new();
+        drives.insert(a, Waveshape::Dc(5.0));
+        let elab = elaborate(&net, &MosModelSet::default(), &drives);
+        let found = elab.circuit.devices().iter().any(|d| {
+            matches!(d, Device::VSource(v)
+                if v.pos == elab.terminal(a) && v.shape == Waveshape::Dc(5.0))
+        });
+        assert!(found);
+    }
+}

@@ -1,0 +1,71 @@
+//! Linear capacitor with a backward-Euler companion model.
+
+use super::NodeRef;
+
+/// A linear capacitor between two terminals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Capacitor {
+    /// First terminal (positive for the stored voltage convention).
+    pub a: NodeRef,
+    /// Second terminal.
+    pub b: NodeRef,
+    /// Capacitance in farads (must be positive).
+    pub farads: f64,
+}
+
+impl Capacitor {
+    /// Creates a capacitor.
+    ///
+    /// # Panics
+    /// Panics if `farads` is not strictly positive and finite.
+    pub fn new(a: NodeRef, b: NodeRef, farads: f64) -> Capacitor {
+        assert!(
+            farads > 0.0 && farads.is_finite(),
+            "capacitance must be positive, got {farads}"
+        );
+        Capacitor { a, b, farads }
+    }
+
+    /// Backward-Euler companion: conductance `C/dt` and an equivalent
+    /// current source `(C/dt)·v_prev` (flowing b→a) where `v_prev` is last
+    /// step's voltage across the device.
+    ///
+    /// Returns `(g_eq, i_eq)`.
+    #[inline]
+    pub fn companion_be(&self, v_prev: f64, dt: f64) -> (f64, f64) {
+        let g = self.farads / dt;
+        (g, g * v_prev)
+    }
+
+    /// Trapezoidal companion: `i_{n+1} = (2C/dt)(v_{n+1} − v_n) − i_n`,
+    /// i.e. conductance `2C/dt` and equivalent source
+    /// `(2C/dt)·v_n + i_n`, where `i_prev` is the device current at the
+    /// previous accepted step. Second-order accurate (versus first-order
+    /// for backward Euler).
+    ///
+    /// Returns `(g_eq, i_eq)`.
+    #[inline]
+    pub fn companion_trapezoidal(&self, v_prev: f64, i_prev: f64, dt: f64) -> (f64, f64) {
+        let g = 2.0 * self.farads / dt;
+        (g, g * v_prev + i_prev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn companion_values() {
+        let c = Capacitor::new(NodeRef::Node(0), NodeRef::Ground, 1e-12);
+        let (g, ieq) = c.companion_be(2.5, 1e-9);
+        assert!((g - 1e-3).abs() < 1e-12);
+        assert!((ieq - 2.5e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacitance must be positive")]
+    fn rejects_negative_capacitance() {
+        let _ = Capacitor::new(NodeRef::Node(0), NodeRef::Ground, -1e-15);
+    }
+}

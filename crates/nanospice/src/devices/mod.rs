@@ -1,0 +1,67 @@
+//! Device models and their MNA companion stamps.
+
+pub mod capacitor;
+pub mod mosfet;
+pub mod resistor;
+pub mod vsource;
+
+pub use capacitor::Capacitor;
+pub use mosfet::{MosParams, Mosfet, Polarity};
+pub use resistor::Resistor;
+pub use vsource::{VSource, Waveshape};
+
+/// A terminal reference: either the ground reference or an unknown node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeRef {
+    /// The 0 V reference node (not an unknown).
+    Ground,
+    /// Unknown node with the given dense index.
+    Node(usize),
+}
+
+impl NodeRef {
+    /// The unknown index, or `None` for ground.
+    #[inline]
+    pub fn index(self) -> Option<usize> {
+        match self {
+            NodeRef::Ground => None,
+            NodeRef::Node(i) => Some(i),
+        }
+    }
+
+    /// Reads this terminal's voltage from the solution vector.
+    #[inline]
+    pub fn voltage(self, x: &[f64]) -> f64 {
+        match self {
+            NodeRef::Ground => 0.0,
+            NodeRef::Node(i) => x[i],
+        }
+    }
+}
+
+/// Any simulator device.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Device {
+    /// Linear resistor.
+    Resistor(Resistor),
+    /// Linear capacitor.
+    Capacitor(Capacitor),
+    /// Independent voltage source (owns an extra branch-current unknown).
+    VSource(VSource),
+    /// Level-1 MOSFET.
+    Mosfet(Mosfet),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_ref_voltage_lookup() {
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(NodeRef::Ground.voltage(&x), 0.0);
+        assert_eq!(NodeRef::Node(2).voltage(&x), 3.0);
+        assert_eq!(NodeRef::Ground.index(), None);
+        assert_eq!(NodeRef::Node(1).index(), Some(1));
+    }
+}

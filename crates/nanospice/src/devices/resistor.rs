@@ -1,0 +1,51 @@
+//! Linear resistor.
+
+use super::NodeRef;
+
+/// A linear resistor between two terminals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Resistor {
+    /// First terminal.
+    pub a: NodeRef,
+    /// Second terminal.
+    pub b: NodeRef,
+    /// Resistance in ohms (must be positive).
+    pub ohms: f64,
+}
+
+impl Resistor {
+    /// Creates a resistor.
+    ///
+    /// # Panics
+    /// Panics if `ohms` is not strictly positive and finite.
+    pub fn new(a: NodeRef, b: NodeRef, ohms: f64) -> Resistor {
+        assert!(
+            ohms > 0.0 && ohms.is_finite(),
+            "resistance must be positive, got {ohms}"
+        );
+        Resistor { a, b, ohms }
+    }
+
+    /// The conductance this device stamps.
+    #[inline]
+    pub fn conductance(&self) -> f64 {
+        1.0 / self.ohms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conductance_is_reciprocal() {
+        let r = Resistor::new(NodeRef::Node(0), NodeRef::Ground, 2000.0);
+        assert!((r.conductance() - 5e-4).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "resistance must be positive")]
+    fn rejects_zero_resistance() {
+        let _ = Resistor::new(NodeRef::Node(0), NodeRef::Ground, 0.0);
+    }
+}

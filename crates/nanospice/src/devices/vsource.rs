@@ -1,0 +1,185 @@
+//! Independent voltage sources with DC, pulse, and piecewise-linear
+//! waveshapes.
+
+use super::NodeRef;
+
+/// Time-dependent source value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Waveshape {
+    /// Constant value.
+    Dc(f64),
+    /// SPICE-style pulse.
+    Pulse {
+        /// Initial value.
+        v0: f64,
+        /// Pulsed value.
+        v1: f64,
+        /// Delay before the first edge (s).
+        delay: f64,
+        /// Rise time (s).
+        rise: f64,
+        /// Fall time (s).
+        fall: f64,
+        /// Pulse width at `v1` (s).
+        width: f64,
+        /// Repetition period (s); `f64::INFINITY` for a single pulse.
+        period: f64,
+    },
+    /// Piecewise-linear `(time, value)` breakpoints, sorted by time; the
+    /// value is held flat before the first and after the last point.
+    Pwl(Vec<(f64, f64)>),
+}
+
+impl Waveshape {
+    /// A single rising ramp from `v0` to `v1` starting at `delay` and
+    /// lasting `rise` seconds — the canonical slope-model stimulus.
+    pub fn ramp(v0: f64, v1: f64, delay: f64, rise: f64) -> Waveshape {
+        if rise <= 0.0 {
+            // A zero-length ramp is a step.
+            return Waveshape::Pwl(vec![(delay, v0), (delay + 1e-15, v1)]);
+        }
+        Waveshape::Pwl(vec![(delay, v0), (delay + rise, v1)])
+    }
+
+    /// Evaluates the source at time `t`.
+    pub fn value(&self, t: f64) -> f64 {
+        match self {
+            Waveshape::Dc(v) => *v,
+            Waveshape::Pulse {
+                v0,
+                v1,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => {
+                if t < *delay {
+                    return *v0;
+                }
+                let mut tau = t - delay;
+                if period.is_finite() && *period > 0.0 {
+                    tau %= period;
+                }
+                if tau < *rise {
+                    if *rise <= 0.0 {
+                        return *v1;
+                    }
+                    v0 + (v1 - v0) * tau / rise
+                } else if tau < rise + width {
+                    *v1
+                } else if tau < rise + width + fall {
+                    if *fall <= 0.0 {
+                        return *v0;
+                    }
+                    v1 + (v0 - v1) * (tau - rise - width) / fall
+                } else {
+                    *v0
+                }
+            }
+            Waveshape::Pwl(points) => {
+                if points.is_empty() {
+                    return 0.0;
+                }
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                for pair in points.windows(2) {
+                    let (t0, v0) = pair[0];
+                    let (t1, v1) = pair[1];
+                    if t <= t1 {
+                        if t1 <= t0 {
+                            return v1;
+                        }
+                        return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+                    }
+                }
+                points[points.len() - 1].1
+            }
+        }
+    }
+}
+
+/// An independent voltage source from `pos` to `neg`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VSource {
+    /// Positive terminal.
+    pub pos: NodeRef,
+    /// Negative terminal.
+    pub neg: NodeRef,
+    /// Source waveform.
+    pub shape: Waveshape,
+    /// Index of this source's branch-current unknown (set by the circuit).
+    pub branch: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_constant() {
+        let w = Waveshape::Dc(5.0);
+        assert_eq!(w.value(0.0), 5.0);
+        assert_eq!(w.value(1.0), 5.0);
+    }
+
+    #[test]
+    fn pulse_phases() {
+        let w = Waveshape::Pulse {
+            v0: 0.0,
+            v1: 5.0,
+            delay: 1.0,
+            rise: 1.0,
+            fall: 1.0,
+            width: 2.0,
+            period: f64::INFINITY,
+        };
+        assert_eq!(w.value(0.5), 0.0); // before delay
+        assert!((w.value(1.5) - 2.5).abs() < 1e-12); // mid-rise
+        assert_eq!(w.value(2.5), 5.0); // plateau
+        assert!((w.value(4.5) - 2.5).abs() < 1e-12); // mid-fall
+        assert_eq!(w.value(10.0), 0.0); // after
+    }
+
+    #[test]
+    fn pulse_repeats_with_period() {
+        let w = Waveshape::Pulse {
+            v0: 0.0,
+            v1: 1.0,
+            delay: 0.0,
+            rise: 0.0,
+            fall: 0.0,
+            width: 1.0,
+            period: 2.0,
+        };
+        assert_eq!(w.value(0.5), 1.0);
+        assert_eq!(w.value(1.5), 0.0);
+        assert_eq!(w.value(2.5), 1.0);
+    }
+
+    #[test]
+    fn pwl_interpolates_and_clamps() {
+        let w = Waveshape::Pwl(vec![(1.0, 0.0), (2.0, 10.0)]);
+        assert_eq!(w.value(0.0), 0.0);
+        assert!((w.value(1.5) - 5.0).abs() < 1e-12);
+        assert_eq!(w.value(3.0), 10.0);
+    }
+
+    #[test]
+    fn ramp_helper() {
+        let w = Waveshape::ramp(0.0, 5.0, 1e-9, 2e-9);
+        assert_eq!(w.value(0.0), 0.0);
+        assert!((w.value(2e-9) - 2.5).abs() < 1e-12);
+        assert_eq!(w.value(4e-9), 5.0);
+        // Degenerate rise time becomes a step.
+        let s = Waveshape::ramp(0.0, 5.0, 1e-9, 0.0);
+        assert_eq!(s.value(0.999e-9), 0.0);
+        assert_eq!(s.value(1.1e-9), 5.0);
+    }
+
+    #[test]
+    fn empty_pwl_is_zero() {
+        assert_eq!(Waveshape::Pwl(Vec::new()).value(1.0), 0.0);
+    }
+}

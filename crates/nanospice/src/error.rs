@@ -1,0 +1,78 @@
+//! Error types for the simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by circuit assembly or simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The MNA matrix is singular — typically a floating subcircuit or a
+    /// loop of ideal voltage sources.
+    SingularMatrix {
+        /// Column at which factorization failed.
+        column: usize,
+    },
+    /// Newton–Raphson failed to converge even after step-size reduction.
+    NoConvergence {
+        /// Simulation time at which convergence was lost (seconds).
+        time: f64,
+        /// Iterations performed in the final attempt.
+        iterations: usize,
+    },
+    /// A device references a node index the circuit does not have.
+    BadNode {
+        /// The offending index.
+        index: usize,
+    },
+    /// Invalid analysis parameters (non-positive step or stop time, ...).
+    BadParameter {
+        /// Human-readable description.
+        message: String,
+    },
+    /// The requested waveform/node does not exist in the result set.
+    UnknownSignal {
+        /// The requested name.
+        name: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::SingularMatrix { column } => {
+                write!(f, "singular circuit matrix at column {column}")
+            }
+            SimError::NoConvergence { time, iterations } => write!(
+                f,
+                "newton iteration failed to converge at t = {time:.3e} s after {iterations} iterations"
+            ),
+            SimError::BadNode { index } => write!(f, "device references unknown node {index}"),
+            SimError::BadParameter { message } => write!(f, "bad parameter: {message}"),
+            SimError::UnknownSignal { name } => write!(f, "unknown signal `{name}`"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_context() {
+        let e = SimError::NoConvergence {
+            time: 1e-9,
+            iterations: 50,
+        };
+        let s = e.to_string();
+        assert!(s.contains("1.000e-9") || s.contains("1e-9"), "{s}");
+        assert!(s.contains("50"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync>(_: E) {}
+        assert_err(SimError::BadNode { index: 3 });
+    }
+}

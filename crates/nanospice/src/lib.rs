@@ -1,0 +1,67 @@
+//! # nanospice — a small MOS level-1 transient circuit simulator
+//!
+//! The reference-simulation substrate of the *mos-timing* workspace. The
+//! original paper calibrates and evaluates its switch-level delay models
+//! against SPICE; this crate plays that role, implementing
+//!
+//! * modified nodal analysis with a dense LU solver ([`matrix`]);
+//! * device models ([`devices`]): resistors, capacitors, independent
+//!   voltage sources (DC / pulse / PWL), and a symmetric Shichman–Hodges
+//!   (level-1) MOSFET with channel-length modulation;
+//! * a Newton–Raphson DC operating point with gmin stepping and a
+//!   backward-Euler transient loop with automatic sub-stepping
+//!   ([`engine`]);
+//! * waveform measurement ([`waveform`]) and high-level delay measurement
+//!   of switch-level networks ([`analysis`]).
+//!
+//! ## Quick example: inverter propagation delay
+//!
+//! ```
+//! use mosnet::generators::{inverter, Style};
+//! use mosnet::units::{Farads, Seconds};
+//! use nanospice::analysis::{measure_transition, Edge, TransitionSpec};
+//! use nanospice::circuit::MosModelSet;
+//! use std::collections::HashMap;
+//!
+//! # fn main() -> Result<(), nanospice::error::SimError> {
+//! let net = inverter(Style::Cmos, Farads::from_femto(100.0));
+//! let spec = TransitionSpec {
+//!     input: net.node_by_name("in").expect("generated"),
+//!     input_edge: Edge::Rising,
+//!     input_transition: Seconds::from_picos(500.0),
+//!     output: net.node_by_name("out").expect("generated"),
+//!     output_edge: Edge::Falling,
+//!     statics: HashMap::new(),
+//!     expected_final: None,
+//! };
+//! let m = measure_transition(
+//!     &net,
+//!     &MosModelSet::default(),
+//!     &spec,
+//!     Seconds::from_nanos(20.0),
+//!     Seconds::from_picos(50.0),
+//! )?;
+//! assert!(m.delay.value() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analysis;
+pub mod circuit;
+pub mod devices;
+pub mod engine;
+pub mod error;
+pub mod matrix;
+pub mod waveform;
+
+pub use analysis::{
+    dc_sweep, measure_transition, operating_voltages, switching_threshold, DelayMeasurement, Edge,
+    NetSim, TransitionSpec,
+};
+pub use circuit::{elaborate, Circuit, Elaboration, MosModelSet};
+pub use engine::{Integration, Options, Simulator, TranResult};
+pub use error::SimError;
+pub use waveform::Waveform;

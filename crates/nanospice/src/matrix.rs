@@ -1,0 +1,284 @@
+//! Dense linear algebra: just enough for modified nodal analysis.
+//!
+//! Circuit matrices at this scale (tens to a few hundred unknowns) are
+//! fastest with a cache-friendly dense LU; no external solver is needed.
+
+use crate::error::SimError;
+
+/// A dense row-major square-capable matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reads entry `(r, c)`.
+    ///
+    /// # Panics
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Writes entry `(r, c)`.
+    ///
+    /// # Panics
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Adds `v` to entry `(r, c)` — the MNA "stamp" primitive.
+    ///
+    /// # Panics
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn add(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] += v;
+    }
+
+    /// Resets every entry to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.cols()`.
+    #[allow(clippy::needless_range_loop)] // index loops mirror the math
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols);
+        let mut y = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            y[r] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        y
+    }
+}
+
+/// An LU factorization with partial pivoting of a square matrix.
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    lu: Matrix,
+    perm: Vec<usize>,
+}
+
+impl LuFactors {
+    /// Factors `a` (consumed) into `P·A = L·U`.
+    ///
+    /// # Errors
+    /// Returns [`SimError::SingularMatrix`] when no usable pivot exists in
+    /// some column (the circuit matrix is structurally or numerically
+    /// singular, e.g. a floating subcircuit).
+    pub fn factor(mut a: Matrix) -> Result<LuFactors, SimError> {
+        assert_eq!(a.rows, a.cols, "LU needs a square matrix");
+        let n = a.rows;
+        let mut perm: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // Partial pivot: largest magnitude in column k at or below row k.
+            let mut pivot_row = k;
+            let mut pivot_mag = a.get(k, k).abs();
+            for r in (k + 1)..n {
+                let mag = a.get(r, k).abs();
+                if mag > pivot_mag {
+                    pivot_mag = mag;
+                    pivot_row = r;
+                }
+            }
+            if pivot_mag < 1e-300 {
+                return Err(SimError::SingularMatrix { column: k });
+            }
+            if pivot_row != k {
+                for c in 0..n {
+                    let tmp = a.get(k, c);
+                    a.set(k, c, a.get(pivot_row, c));
+                    a.set(pivot_row, c, tmp);
+                }
+                perm.swap(k, pivot_row);
+            }
+            let pivot = a.get(k, k);
+            for r in (k + 1)..n {
+                let factor = a.get(r, k) / pivot;
+                a.set(r, k, factor);
+                if factor != 0.0 {
+                    for c in (k + 1)..n {
+                        let v = a.get(r, c) - factor * a.get(k, c);
+                        a.set(r, c, v);
+                    }
+                }
+            }
+        }
+        Ok(LuFactors { lu: a, perm })
+    }
+
+    /// Solves `A·x = b` using the stored factors.
+    ///
+    /// # Panics
+    /// Panics if `b.len()` does not match the matrix dimension.
+    #[allow(clippy::needless_range_loop)] // index loops mirror the math
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.lu.rows;
+        assert_eq!(b.len(), n);
+        // Apply permutation.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        // Forward substitution (L has implicit unit diagonal).
+        for r in 1..n {
+            let mut sum = x[r];
+            for c in 0..r {
+                sum -= self.lu.get(r, c) * x[c];
+            }
+            x[r] = sum;
+        }
+        // Back substitution.
+        for r in (0..n).rev() {
+            let mut sum = x[r];
+            for c in (r + 1)..n {
+                sum -= self.lu.get(r, c) * x[c];
+            }
+            x[r] = sum / self.lu.get(r, r);
+        }
+        x
+    }
+}
+
+/// Convenience: factor and solve in one call.
+///
+/// # Errors
+/// Propagates [`SimError::SingularMatrix`] from the factorization.
+pub fn solve(a: Matrix, b: &[f64]) -> Result<Vec<f64>, SimError> {
+    Ok(LuFactors::factor(a)?.solve(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(vals: &[&[f64]]) -> Matrix {
+        let n = vals.len();
+        let m = vals[0].len();
+        let mut a = Matrix::zeros(n, m);
+        for (r, row) in vals.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                a.set(r, c, v);
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn solves_identity() {
+        let a = mat(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let x = solve(a, &[3.0, 4.0]).unwrap();
+        assert_eq!(x, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn solves_hand_computed_system() {
+        // 2x + y = 5 ; x + 3y = 10  =>  x = 1, y = 3
+        let a = mat(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x = solve(a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // Leading zero forces a row swap.
+        let a = mat(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = solve(a, &[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_singular() {
+        let a = mat(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(
+            solve(a, &[1.0, 2.0]),
+            Err(SimError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn residual_is_small_for_random_spd_like_system() {
+        // Build a diagonally dominant system (like a conductance matrix).
+        let n = 12;
+        let mut a = Matrix::zeros(n, n);
+        let mut b = vec![0.0; n];
+        let mut seed = 12345u64;
+        let mut next = || {
+            // xorshift
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed % 1000) as f64 / 1000.0
+        };
+        for r in 0..n {
+            for c in 0..n {
+                if r != c {
+                    let g = next() * 0.1;
+                    a.add(r, c, -g);
+                    a.add(r, r, g);
+                }
+            }
+            a.add(r, r, 1.0);
+            b[r] = next();
+        }
+        let factors = LuFactors::factor(a.clone()).unwrap();
+        let x = factors.solve(&b);
+        let ax = a.mul_vec(&x);
+        for (lhs, rhs) in ax.iter().zip(&b) {
+            assert!((lhs - rhs).abs() < 1e-9, "residual too large");
+        }
+    }
+
+    #[test]
+    fn stamp_accumulates() {
+        let mut a = Matrix::zeros(2, 2);
+        a.add(0, 0, 1.0);
+        a.add(0, 0, 2.5);
+        assert_eq!(a.get(0, 0), 3.5);
+        a.clear();
+        assert_eq!(a.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn solve_after_clear_reuses_allocation() {
+        let mut a = Matrix::zeros(2, 2);
+        a.set(0, 0, 2.0);
+        a.set(1, 1, 4.0);
+        let x = solve(a.clone(), &[2.0, 8.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0]);
+    }
+}

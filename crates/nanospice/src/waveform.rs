@@ -1,0 +1,258 @@
+//! Sampled waveforms and the timing measurements taken on them.
+
+use crate::error::SimError;
+
+/// A sampled waveform: strictly increasing times with one value each.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Waveform {
+    times: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl Waveform {
+    /// Creates a waveform from parallel time/value vectors.
+    ///
+    /// # Panics
+    /// Panics if the vectors differ in length, are empty, or the times are
+    /// not strictly increasing.
+    pub fn new(times: Vec<f64>, values: Vec<f64>) -> Waveform {
+        assert_eq!(times.len(), values.len(), "times/values length mismatch");
+        assert!(!times.is_empty(), "waveform must have at least one sample");
+        assert!(
+            times.windows(2).all(|w| w[1] > w[0]),
+            "times must be strictly increasing"
+        );
+        Waveform { times, values }
+    }
+
+    /// The sample times.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// The sample values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// `true` when there is exactly one sample (a constant).
+    pub fn is_empty(&self) -> bool {
+        false // invariant: never empty
+    }
+
+    /// First sampled value.
+    pub fn first(&self) -> f64 {
+        self.values[0]
+    }
+
+    /// Last sampled value.
+    pub fn last(&self) -> f64 {
+        *self.values.last().expect("nonempty")
+    }
+
+    /// Linear interpolation at time `t`, clamped to the ends.
+    pub fn value_at(&self, t: f64) -> f64 {
+        if t <= self.times[0] {
+            return self.values[0];
+        }
+        if t >= *self.times.last().expect("nonempty") {
+            return self.last();
+        }
+        // Binary search for the bracketing interval.
+        let idx = match self
+            .times
+            .binary_search_by(|probe| probe.partial_cmp(&t).expect("finite times"))
+        {
+            Ok(i) => return self.values[i],
+            Err(i) => i,
+        };
+        let (t0, t1) = (self.times[idx - 1], self.times[idx]);
+        let (v0, v1) = (self.values[idx - 1], self.values[idx]);
+        v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+    }
+
+    /// The first time the waveform crosses `level` in the given direction,
+    /// at or after `t_start`, located by linear interpolation.
+    pub fn crossing(&self, level: f64, rising: bool, t_start: f64) -> Option<f64> {
+        for w in 0..self.times.len() - 1 {
+            let (t0, t1) = (self.times[w], self.times[w + 1]);
+            if t1 < t_start {
+                continue;
+            }
+            let (v0, v1) = (self.values[w], self.values[w + 1]);
+            let crosses = if rising {
+                v0 < level && v1 >= level
+            } else {
+                v0 > level && v1 <= level
+            };
+            if crosses {
+                let t = t0 + (t1 - t0) * (level - v0) / (v1 - v0);
+                if t >= t_start {
+                    return Some(t);
+                }
+            }
+        }
+        None
+    }
+
+    /// Transition time between the `lo_frac` and `hi_frac` fractions of the
+    /// swing `v_from → v_to` (e.g. 0.1/0.9 for a 10–90% rise time). Works
+    /// for both rising (`v_to > v_from`) and falling edges.
+    ///
+    /// Returns `None` if the waveform never completes the transition.
+    pub fn transition_time(
+        &self,
+        v_from: f64,
+        v_to: f64,
+        lo_frac: f64,
+        hi_frac: f64,
+        t_start: f64,
+    ) -> Option<f64> {
+        let swing = v_to - v_from;
+        let first_level = v_from + lo_frac * swing;
+        let second_level = v_from + hi_frac * swing;
+        let rising = swing > 0.0;
+        let t1 = self.crossing(first_level, rising, t_start)?;
+        let t2 = self.crossing(second_level, rising, t1)?;
+        Some(t2 - t1)
+    }
+
+    /// 50%-to-50% delay from an input edge to this waveform's response.
+    ///
+    /// `t_input_50` is when the driving signal crossed its midpoint;
+    /// `midpoint` is this waveform's 50% level; `rising` is the expected
+    /// direction of this waveform's transition.
+    pub fn delay_from(&self, t_input_50: f64, midpoint: f64, rising: bool) -> Option<f64> {
+        self.crossing(midpoint, rising, t_input_50)
+            .map(|t| t - t_input_50)
+    }
+
+    /// Maximum absolute difference against another waveform, compared on
+    /// this waveform's grid.
+    ///
+    /// # Errors
+    /// Returns [`SimError::BadParameter`] when the other waveform does not
+    /// overlap this one's span at all.
+    pub fn max_difference(&self, other: &Waveform) -> Result<f64, SimError> {
+        let start = self.times[0].max(other.times[0]);
+        let end = self
+            .times
+            .last()
+            .expect("nonempty")
+            .min(*other.times.last().expect("nonempty"));
+        if end <= start {
+            return Err(SimError::BadParameter {
+                message: "waveforms do not overlap in time".into(),
+            });
+        }
+        let mut max = 0.0f64;
+        for (&t, &v) in self.times.iter().zip(&self.values) {
+            if t < start || t > end {
+                continue;
+            }
+            max = max.max((v - other.value_at(t)).abs());
+        }
+        Ok(max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> Waveform {
+        // 0 V at t=0 rising linearly to 5 V at t=10.
+        Waveform::new(vec![0.0, 10.0], vec![0.0, 5.0])
+    }
+
+    #[test]
+    fn interpolation_and_clamping() {
+        let w = ramp();
+        assert_eq!(w.value_at(-1.0), 0.0);
+        assert_eq!(w.value_at(5.0), 2.5);
+        assert_eq!(w.value_at(20.0), 5.0);
+        assert_eq!(w.first(), 0.0);
+        assert_eq!(w.last(), 5.0);
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn rising_crossing() {
+        let w = ramp();
+        let t = w.crossing(2.5, true, 0.0).unwrap();
+        assert!((t - 5.0).abs() < 1e-12);
+        assert_eq!(w.crossing(2.5, false, 0.0), None);
+    }
+
+    #[test]
+    fn falling_crossing() {
+        let w = Waveform::new(vec![0.0, 10.0], vec![5.0, 0.0]);
+        let t = w.crossing(2.5, false, 0.0).unwrap();
+        assert!((t - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crossing_respects_start_time() {
+        // Two rising crossings of 0.5: at t=0.5 and t=2.5.
+        let w = Waveform::new(vec![0.0, 1.0, 2.0, 3.0], vec![0.0, 1.0, 0.0, 1.0]);
+        let first = w.crossing(0.5, true, 0.0).unwrap();
+        assert!((first - 0.5).abs() < 1e-12);
+        let second = w.crossing(0.5, true, 1.5).unwrap();
+        assert!((second - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rise_time_10_90() {
+        let w = ramp();
+        // 10% = 0.5 V at t=1; 90% = 4.5 V at t=9 ⇒ 8 time units.
+        let tr = w.transition_time(0.0, 5.0, 0.1, 0.9, 0.0).unwrap();
+        assert!((tr - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fall_time_via_negative_swing() {
+        let w = Waveform::new(vec![0.0, 10.0], vec![5.0, 0.0]);
+        let tf = w.transition_time(5.0, 0.0, 0.1, 0.9, 0.0).unwrap();
+        assert!((tf - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incomplete_transition_is_none() {
+        let w = Waveform::new(vec![0.0, 10.0], vec![0.0, 2.0]);
+        assert!(w.transition_time(0.0, 5.0, 0.1, 0.9, 0.0).is_none());
+    }
+
+    #[test]
+    fn delay_from_input_edge() {
+        let w = ramp();
+        // Input crossed 50% at t=1; output (this ramp) crosses 2.5 at t=5.
+        let d = w.delay_from(1.0, 2.5, true).unwrap();
+        assert!((d - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_difference_between_waveforms() {
+        let a = ramp();
+        let b = Waveform::new(vec![0.0, 10.0], vec![0.5, 5.0]);
+        let d = a.max_difference(&b).unwrap();
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_overlapping_waveforms_error() {
+        let a = Waveform::new(vec![0.0, 1.0], vec![0.0, 1.0]);
+        let b = Waveform::new(vec![5.0, 6.0], vec![0.0, 1.0]);
+        assert!(a.max_difference(&b).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_times() {
+        let _ = Waveform::new(vec![0.0, 0.0], vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,59 @@
+//! Time a pass-transistor barrel shifter — the classic hard case for MOS
+//! timing (long pass chains, heavy diffusion loading) the paper's tools
+//! were built for.
+//!
+//! Run with: `cargo run --release --example barrel_shifter`
+
+use crystal::analyzer::{analyze, Edge, Scenario};
+use crystal::models::ModelKind;
+use crystal::report::critical_path_report;
+use crystal::tech::Technology;
+use mosnet::generators::{barrel_shifter, Style};
+use mosnet::units::Farads;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let m = 8;
+    let net = barrel_shifter(Style::Cmos, m, Farads::from_femto(150.0))?;
+    println!(
+        "{}×{} barrel shifter: {} nodes, {} transistors",
+        m,
+        m,
+        net.node_count(),
+        net.transistor_count()
+    );
+
+    let tech = Technology::nominal();
+    // Data input d0 falls while shift amount 3 is selected.
+    let d0 = net.node_by_name("d0").expect("generated");
+    let sh3 = net.node_by_name("sh3").expect("generated");
+    let scenario = Scenario::step(d0, Edge::Falling).with_static(sh3, true);
+
+    // With shift 3 selected, d0 reaches output q(0-3 mod 8) = q5.
+    let q5 = net.node_by_name("q5").expect("generated");
+    for model in ModelKind::ALL {
+        let result = analyze(&net, &tech, model, &scenario)?;
+        let a = result.delay_to(&net, q5)?;
+        println!(
+            "{model:>8}: d0 -> q5 delay {:.3} ns ({} edge)",
+            a.time.nanos(),
+            if a.edge == Edge::Rising {
+                "rising"
+            } else {
+                "falling"
+            }
+        );
+    }
+
+    let result = analyze(&net, &tech, ModelKind::Slope, &scenario)?;
+    println!("\n{}", critical_path_report(&net, &result, q5));
+
+    // The worst arrival across all outputs is the shifter's critical path.
+    if let Some((node, a)) = result.max_arrival() {
+        println!(
+            "latest switching node: `{}` at {:.3} ns",
+            net.node(node).name(),
+            a.time.nanos()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! Calibrate a technology against the reference simulator, print the
+//! fitted effective-resistance and output-transition tables — the data
+//! behind the paper's slope-model figures (experiment E1) — and save the
+//! result to `calibrated.tech` for reuse with
+//! `crystal-cli --tech calibrated.tech`.
+//!
+//! Run with: `cargo run --release --example calibrate_tech`
+
+use calibrate::{calibrate_technology, CalibrationConfig};
+use crystal::tech::Direction;
+use mosnet::TransistorKind;
+use nanospice::MosModelSet;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let models = MosModelSet::default();
+    eprintln!("running calibration sweeps against nanospice ...");
+    let tech = calibrate_technology(&models, &CalibrationConfig::default())?;
+
+    println!("technology `{}` (vdd = {})", tech.name, tech.vdd);
+    for kind in TransistorKind::ALL {
+        for direction in Direction::ALL {
+            let d = tech.drive(kind, direction);
+            println!("\n{kind} / {direction}:");
+            println!("  static resistance: {:.0} ohm/square", d.r_square.value());
+            println!("  slope ratio -> effective-resistance multiplier:");
+            for &(r, v) in d.reff.points() {
+                println!("    {r:>6.2} -> {v:.3}");
+            }
+            println!("  slope ratio -> output transition (x Elmore):");
+            for &(r, v) in d.tout.points() {
+                println!("    {r:>6.2} -> {v:.3}");
+            }
+        }
+    }
+
+    let path = "calibrated.tech";
+    std::fs::write(path, crystal::tech_format::write(&tech))?;
+    eprintln!("\nsaved fitted technology to {path}");
+    Ok(())
+}

@@ -1,0 +1,94 @@
+//! Compare all three delay models against the reference simulator on a
+//! selection of circuits, after calibrating the technology — a miniature
+//! version of the paper's whole evaluation.
+//!
+//! Run with: `cargo run --release --example compare_models`
+
+use calibrate::{calibrate_technology, CalibrationConfig};
+use crystal::models::ModelKind;
+use crystal::{Edge, Scenario};
+use mos_timing::compare::{compare_scenario, SimGrid};
+use mosnet::generators::{inverter_chain, nand, pass_chain, Style};
+use mosnet::units::{Farads, Seconds};
+use mosnet::Network;
+use nanospice::MosModelSet;
+
+struct Case {
+    name: &'static str,
+    net: Network,
+    scenario_of: fn(&Network) -> Scenario,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let models = MosModelSet::default();
+    eprintln!("calibrating technology against nanospice ...");
+    let tech = calibrate_technology(&models, &CalibrationConfig::default())?;
+    eprintln!("calibrated: {}", tech.name);
+
+    let cases = vec![
+        Case {
+            name: "inv_chain_3_f2 (cmos)",
+            net: inverter_chain(Style::Cmos, 3, 2.0, Farads::from_femto(100.0))?,
+            scenario_of: |net| Scenario::step(net.node_by_name("in").expect("in"), Edge::Rising),
+        },
+        Case {
+            name: "inv_chain_3_f2 slow input",
+            net: inverter_chain(Style::Cmos, 3, 2.0, Farads::from_femto(100.0))?,
+            scenario_of: |net| {
+                Scenario::step(net.node_by_name("in").expect("in"), Edge::Rising)
+                    .with_input_transition(Seconds::from_nanos(10.0))
+            },
+        },
+        Case {
+            name: "nand3 (cmos)",
+            net: nand(Style::Cmos, 3, Farads::from_femto(200.0))?,
+            scenario_of: |net| {
+                let mut s = Scenario::step(net.node_by_name("a0").expect("a0"), Edge::Rising);
+                for other in ["a1", "a2"] {
+                    s = s.with_static(net.node_by_name(other).expect("input"), true);
+                }
+                s
+            },
+        },
+        Case {
+            name: "pass_chain_4 (cmos)",
+            net: pass_chain(
+                Style::Cmos,
+                4,
+                Farads::from_femto(50.0),
+                Farads::from_femto(100.0),
+            )?,
+            scenario_of: |net| {
+                Scenario::step(net.node_by_name("in").expect("in"), Edge::Falling)
+                    .with_static(net.node_by_name("ctl").expect("ctl"), true)
+            },
+        },
+        Case {
+            name: "inv_chain_3 (nmos)",
+            net: inverter_chain(Style::Nmos, 3, 1.0, Farads::from_femto(100.0))?,
+            scenario_of: |net| Scenario::step(net.node_by_name("in").expect("in"), Edge::Rising),
+        },
+    ];
+
+    println!(
+        "{:<28} {:>9} {:>9} {:>7} {:>9} {:>7} {:>9} {:>7}",
+        "circuit", "sim (ns)", "lump", "err%", "rctree", "err%", "slope", "err%"
+    );
+    for case in &cases {
+        let scenario = (case.scenario_of)(&case.net);
+        let out = case.net.node_by_name("out").expect("all cases have `out`");
+        let c = compare_scenario(&case.net, &tech, &models, &scenario, out, SimGrid::auto())?;
+        println!(
+            "{:<28} {:>9.3} {:>9.3} {:>+6.1}% {:>9.3} {:>+6.1}% {:>9.3} {:>+6.1}%",
+            case.name,
+            c.reference.nanos(),
+            c.lumped.nanos(),
+            c.percent_error(ModelKind::Lumped),
+            c.rctree.nanos(),
+            c.percent_error(ModelKind::RcTree),
+            c.slope.nanos(),
+            c.percent_error(ModelKind::Slope),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! Netlist I/O tour: parse a `.sim` netlist, lint it, evaluate its logic,
+//! time it, and emit a SPICE deck for an external simulator.
+//!
+//! Run with: `cargo run --example netlist_io`
+
+use crystal::analyzer::{analyze, Edge, Scenario};
+use crystal::logic;
+use crystal::models::ModelKind;
+use crystal::tech::Technology;
+use mosnet::{sim_format, spice_format, validate};
+use std::collections::HashMap;
+
+/// A hand-written two-stage circuit: NAND2 into an inverter.
+const NETLIST: &str = "\
+| nand2 + inverter, 4um cmos
+i a
+i b
+o y
+| pull-down stack of the nand
+n a w st 2 16
+n b st gnd 2 16
+| parallel pull-ups
+p a w vdd 2 16
+p b w vdd 2 16
+| output inverter
+n w y gnd 2 8
+p w y vdd 2 16
+C w 20
+C y 120
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let net = sim_format::parse(NETLIST, "nand2_inv")?;
+    println!(
+        "parsed `{}`: {} nodes, {} transistors",
+        net.name(),
+        net.node_count(),
+        net.transistor_count()
+    );
+
+    // Structural lint.
+    let warnings = validate::validate(&net)?;
+    if warnings.is_empty() {
+        println!("lint: clean");
+    } else {
+        for w in &warnings {
+            println!("lint: {w:?}");
+        }
+    }
+
+    // Switch-level logic: y = a AND b.
+    let a = net.node_by_name("a").expect("declared input");
+    let b = net.node_by_name("b").expect("declared input");
+    let y = net.node_by_name("y").expect("declared output");
+    println!("\ntruth table (y = a AND b):");
+    for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
+        let state = logic::solve(&net, &HashMap::from([(a, va), (b, vb)]));
+        println!("  a={} b={} -> y={}", va as u8, vb as u8, state.value(y));
+    }
+
+    // Timing: a rises with b held high.
+    let tech = Technology::nominal();
+    let scenario = Scenario::step(a, Edge::Rising).with_static(b, true);
+    let result = analyze(&net, &tech, ModelKind::Slope, &scenario)?;
+    let arrival = result.delay_to(&net, y)?;
+    println!(
+        "\nslope-model delay a -> y: {:.3} ns ({} edge)",
+        arrival.time.nanos(),
+        if arrival.edge == Edge::Rising {
+            "rising"
+        } else {
+            "falling"
+        }
+    );
+
+    // Interchange: emit the same circuit as a SPICE deck.
+    println!("\nSPICE deck:\n{}", spice_format::write(&net));
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Quickstart: build a circuit, run the slope-model timing analysis, and
+//! print the critical path — the 30-second tour of the library.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use crystal::analyzer::{analyze, Edge, Scenario};
+use crystal::models::ModelKind;
+use crystal::report::critical_path_report;
+use crystal::tech::Technology;
+use mosnet::generators::{inverter_chain, Style};
+use mosnet::units::{Farads, Seconds};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 4-stage CMOS inverter chain, fanout-of-2, driving 100 fF.
+    let net = inverter_chain(Style::Cmos, 4, 2.0, Farads::from_femto(100.0))?;
+    println!(
+        "circuit `{}`: {} nodes, {} transistors",
+        net.name(),
+        net.node_count(),
+        net.transistor_count()
+    );
+
+    // Nominal (uncalibrated) 4 µm technology; run the `calibrate` crate or
+    // the calibrate_tech example for fitted parameters.
+    let tech = Technology::nominal();
+
+    let input = net.node_by_name("in").expect("generated name");
+    let output = net.node_by_name("out").expect("generated name");
+
+    // The input rises with a 1 ns (10-90%) edge; all three models.
+    let scenario =
+        Scenario::step(input, Edge::Rising).with_input_transition(Seconds::from_nanos(1.0));
+    for model in ModelKind::ALL {
+        let result = analyze(&net, &tech, model, &scenario)?;
+        let arrival = result.delay_to(&net, output)?;
+        println!(
+            "{model:>8} model: delay to `out` = {:.3} ns ({} edge)",
+            arrival.time.nanos(),
+            if arrival.edge == Edge::Rising {
+                "rising"
+            } else {
+                "falling"
+            },
+        );
+    }
+
+    // Full critical-path report for the slope model.
+    let result = analyze(&net, &tech, ModelKind::Slope, &scenario)?;
+    println!("\n{}", critical_path_report(&net, &result, output));
+    Ok(())
+}

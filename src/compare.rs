@@ -1,0 +1,288 @@
+//! Model-vs-reference comparison: the measurement harness behind every
+//! table in the paper's evaluation.
+//!
+//! [`compare_scenario`] runs one timing scenario through all three
+//! switch-level models *and* through the reference transient simulator,
+//! returning the four delays side by side.
+
+use crystal::analyzer::{analyze, Scenario, TimingResult};
+use crystal::models::ModelKind;
+use crystal::tech::Technology;
+use crystal::TimingError;
+use mosnet::units::Seconds;
+use mosnet::{Network, NodeId};
+use nanospice::analysis::{measure_transition, Edge as SimEdge, TransitionSpec};
+use nanospice::{MosModelSet, SimError};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the comparison harness.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompareError {
+    /// The switch-level analysis failed.
+    Timing(TimingError),
+    /// The reference simulation failed.
+    Simulation(SimError),
+}
+
+impl fmt::Display for CompareError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompareError::Timing(e) => write!(f, "timing analysis failed: {e}"),
+            CompareError::Simulation(e) => write!(f, "reference simulation failed: {e}"),
+        }
+    }
+}
+
+impl Error for CompareError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CompareError::Timing(e) => Some(e),
+            CompareError::Simulation(e) => Some(e),
+        }
+    }
+}
+
+impl From<TimingError> for CompareError {
+    fn from(e: TimingError) -> CompareError {
+        CompareError::Timing(e)
+    }
+}
+
+impl From<SimError> for CompareError {
+    fn from(e: SimError) -> CompareError {
+        CompareError::Simulation(e)
+    }
+}
+
+/// Simulation grid control for the reference run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimGrid {
+    /// Derive the window from the slope model's own estimate (8× its
+    /// delay, floor 10 ns) and use 4000 output steps.
+    Auto,
+    /// Explicit `(tstop, dt)`.
+    Fixed(Seconds, Seconds),
+}
+
+impl SimGrid {
+    /// The automatic grid.
+    pub fn auto() -> SimGrid {
+        SimGrid::Auto
+    }
+}
+
+/// One scenario measured four ways.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Comparison {
+    /// Reference (transient simulation) 50%→50% delay.
+    pub reference: Seconds,
+    /// Lumped RC model prediction.
+    pub lumped: Seconds,
+    /// RC-tree (Elmore) model prediction.
+    pub rctree: Seconds,
+    /// Slope model prediction.
+    pub slope: Seconds,
+    /// RC-tree model 50% bounds, where defined for the output's stage.
+    pub rctree_bounds: Option<(Seconds, Seconds)>,
+}
+
+impl Comparison {
+    /// The prediction of a given model.
+    pub fn prediction(&self, model: ModelKind) -> Seconds {
+        match model {
+            ModelKind::Lumped => self.lumped,
+            ModelKind::RcTree => self.rctree,
+            ModelKind::Slope => self.slope,
+        }
+    }
+
+    /// Signed percent error of a model against the reference.
+    pub fn percent_error(&self, model: ModelKind) -> f64 {
+        percent_error(self.prediction(model), self.reference)
+    }
+}
+
+/// Signed percent error of `estimate` against `reference`.
+pub fn percent_error(estimate: Seconds, reference: Seconds) -> f64 {
+    100.0 * (estimate.value() - reference.value()) / reference.value()
+}
+
+/// Runs `scenario` through all three models and the reference simulator,
+/// comparing delays to `output`.
+///
+/// # Errors
+/// Fails if the output does not switch in the scenario, or if the
+/// reference simulation cannot complete ([`CompareError`]).
+pub fn compare_scenario(
+    net: &Network,
+    tech: &Technology,
+    models: &MosModelSet,
+    scenario: &Scenario,
+    output: NodeId,
+    grid: SimGrid,
+) -> Result<Comparison, CompareError> {
+    // Switch-level analyses.
+    let mut delays = [Seconds::ZERO; 3];
+    let mut output_edge = crystal::Edge::Rising;
+    for (slot, model) in ModelKind::ALL.into_iter().enumerate() {
+        let result: TimingResult = analyze(net, tech, model, scenario)?;
+        let arrival = result.delay_to(net, output)?;
+        delays[slot] = arrival.time;
+        output_edge = arrival.edge;
+    }
+    let [lumped, rctree, slope] = delays;
+
+    // Reference simulation window.
+    let (tstop, dt) = match grid {
+        SimGrid::Fixed(tstop, dt) => (tstop, dt),
+        SimGrid::Auto => {
+            let horizon = (8.0 * slope.value())
+                .max(10e-9)
+                .max(4.0 * scenario.input_transition.value())
+                + 2.0 * scenario.input_transition.value();
+            (Seconds(horizon), Seconds(horizon / 4000.0))
+        }
+    };
+
+    let statics: HashMap<NodeId, f64> = scenario
+        .statics
+        .iter()
+        .map(|(&n, &b)| (n, if b { models.vdd } else { 0.0 }))
+        .collect();
+    // The exact settled output level comes from a DC operating point at
+    // the final input vector, making the 50% measurement immune to slow
+    // settling tails (threshold-dropped pass outputs, ratioed lows).
+    let mut final_levels = statics.clone();
+    final_levels.insert(
+        scenario.input,
+        if scenario.edge == crystal::Edge::Rising {
+            models.vdd
+        } else {
+            0.0
+        },
+    );
+    let expected_final = nanospice::analysis::operating_voltages(net, models, &final_levels)
+        .ok()
+        .map(|v| v[output.index()]);
+    let spec = TransitionSpec {
+        input: scenario.input,
+        input_edge: match scenario.edge {
+            crystal::Edge::Rising => SimEdge::Rising,
+            crystal::Edge::Falling => SimEdge::Falling,
+        },
+        input_transition: scenario.input_transition,
+        output,
+        output_edge: match output_edge {
+            crystal::Edge::Rising => SimEdge::Rising,
+            crystal::Edge::Falling => SimEdge::Falling,
+        },
+        statics,
+        expected_final,
+    };
+    let reference = measure_transition(net, models, &spec, tstop, dt)?.delay;
+
+    Ok(Comparison {
+        reference,
+        lumped,
+        rctree,
+        slope,
+        rctree_bounds: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crystal::Edge;
+    use mosnet::generators::{inverter, Style};
+    use mosnet::units::Farads;
+
+    #[test]
+    fn comparison_accessors() {
+        let c = Comparison {
+            reference: Seconds(2.0),
+            lumped: Seconds(3.0),
+            rctree: Seconds(2.5),
+            slope: Seconds(2.1),
+            rctree_bounds: None,
+        };
+        assert_eq!(c.prediction(ModelKind::Lumped), Seconds(3.0));
+        assert!((c.percent_error(ModelKind::Lumped) - 50.0).abs() < 1e-9);
+        assert!((c.percent_error(ModelKind::Slope) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percent_error_signs() {
+        assert!(percent_error(Seconds(1.5), Seconds(1.0)) > 0.0);
+        assert!(percent_error(Seconds(0.5), Seconds(1.0)) < 0.0);
+    }
+
+    #[test]
+    fn inverter_comparison_runs_end_to_end() {
+        let net = inverter(Style::Cmos, Farads::from_femto(100.0));
+        let input = net.node_by_name("in").unwrap();
+        let output = net.node_by_name("out").unwrap();
+        let c = compare_scenario(
+            &net,
+            &Technology::nominal(),
+            &MosModelSet::default(),
+            &Scenario::step(input, Edge::Rising),
+            output,
+            SimGrid::auto(),
+        )
+        .unwrap();
+        assert!(c.reference.value() > 0.0);
+        assert!(c.slope.value() > 0.0);
+    }
+
+    #[test]
+    fn fixed_grid_matches_auto_grid() {
+        use mosnet::units::Seconds;
+        let net = inverter(Style::Cmos, Farads::from_femto(100.0));
+        let input = net.node_by_name("in").unwrap();
+        let output = net.node_by_name("out").unwrap();
+        let scenario = Scenario::step(input, Edge::Rising);
+        let auto = compare_scenario(
+            &net,
+            &Technology::nominal(),
+            &MosModelSet::default(),
+            &scenario,
+            output,
+            SimGrid::auto(),
+        )
+        .unwrap();
+        let fixed = compare_scenario(
+            &net,
+            &Technology::nominal(),
+            &MosModelSet::default(),
+            &scenario,
+            output,
+            SimGrid::Fixed(Seconds::from_nanos(12.0), Seconds::from_picos(6.0)),
+        )
+        .unwrap();
+        let diff = (auto.reference.value() - fixed.reference.value()).abs();
+        assert!(
+            diff < 0.03 * auto.reference.value(),
+            "auto {} vs fixed {}",
+            auto.reference.nanos(),
+            fixed.reference.nanos()
+        );
+    }
+
+    #[test]
+    fn error_on_non_switching_output() {
+        let net = inverter(Style::Cmos, Farads::from_femto(100.0));
+        let input = net.node_by_name("in").unwrap();
+        let c = compare_scenario(
+            &net,
+            &Technology::nominal(),
+            &MosModelSet::default(),
+            &Scenario::step(input, Edge::Rising),
+            net.power(),
+            SimGrid::auto(),
+        );
+        assert!(matches!(c, Err(CompareError::Timing(_))));
+    }
+}

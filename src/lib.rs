@@ -1,0 +1,47 @@
+//! # mos-timing — reproduction of *Switch-level delay models for digital MOS VLSI* (DAC 1984)
+//!
+//! This facade crate ties the workspace together and hosts the
+//! model-vs-simulator comparison plumbing every experiment uses:
+//!
+//! * [`mosnet`] — the switch-level network substrate (netlists, circuit
+//!   generators, graph utilities);
+//! * [`nanospice`] — the MOS level-1 transient simulator standing in for
+//!   SPICE as the reference;
+//! * [`crystal`] — the paper's contribution: stage extraction, the lumped
+//!   RC / RC-tree / slope delay models, and the static timing analyzer;
+//! * [`calibrate`] — fits the slope tables from reference simulations;
+//! * [`compare`] — runs all three models *and* the reference simulator on
+//!   one scenario and reports delays plus percent errors.
+//!
+//! ```no_run
+//! use mos_timing::compare::{compare_scenario, SimGrid};
+//! use crystal::{Edge, Scenario, Technology};
+//! use mosnet::generators::{inverter_chain, Style};
+//! use mosnet::units::Farads;
+//! use nanospice::MosModelSet;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let net = inverter_chain(Style::Cmos, 3, 2.0, Farads::from_femto(100.0))?;
+//! let input = net.node_by_name("in").expect("generated");
+//! let output = net.node_by_name("out").expect("generated");
+//! let comparison = compare_scenario(
+//!     &net,
+//!     &Technology::nominal(),
+//!     &MosModelSet::default(),
+//!     &Scenario::step(input, Edge::Rising),
+//!     output,
+//!     SimGrid::auto(),
+//! )?;
+//! println!("slope model error: {:+.1}%", comparison.percent_error(crystal::ModelKind::Slope));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use calibrate;
+pub use crystal;
+pub use mosnet;
+pub use nanospice;
+
+pub mod compare;

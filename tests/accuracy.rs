@@ -1,0 +1,135 @@
+//! Cross-crate accuracy gates: the slope model, calibrated against the
+//! reference simulator, must beat the lumped model on every benchmark
+//! class and stay within a reproduction tolerance — the paper's central
+//! claim, enforced as a test.
+
+use calibrate::{calibrate_technology, CalibrationConfig};
+use crystal::models::ModelKind;
+use crystal::{Edge, Scenario, Technology};
+use mos_timing::compare::{compare_scenario, Comparison, SimGrid};
+use mosnet::generators::{inverter_chain, nand, pass_chain, Style};
+use mosnet::units::{Farads, Seconds};
+use mosnet::Network;
+use nanospice::MosModelSet;
+use std::sync::OnceLock;
+
+fn tech() -> &'static Technology {
+    static TECH: OnceLock<Technology> = OnceLock::new();
+    TECH.get_or_init(|| {
+        calibrate_technology(
+            &MosModelSet::default(),
+            &CalibrationConfig {
+                ratios: vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0],
+                ..CalibrationConfig::default()
+            },
+        )
+        .expect("calibration succeeds on the default models")
+    })
+}
+
+fn compare(net: &Network, scenario: &Scenario) -> Comparison {
+    let out = net
+        .node_by_name("out")
+        .expect("benchmarks name the output `out`");
+    compare_scenario(
+        net,
+        tech(),
+        &MosModelSet::default(),
+        scenario,
+        out,
+        SimGrid::auto(),
+    )
+    .expect("comparison completes")
+}
+
+#[test]
+fn slope_model_tracks_simulator_on_cmos_chain() {
+    let net = inverter_chain(Style::Cmos, 3, 2.0, Farads::from_femto(100.0)).unwrap();
+    let input = net.node_by_name("in").unwrap();
+    let c = compare(&net, &Scenario::step(input, Edge::Rising));
+    let slope_err = c.percent_error(ModelKind::Slope).abs();
+    let lumped_err = c.percent_error(ModelKind::Lumped).abs();
+    assert!(slope_err < 15.0, "slope error {slope_err:.1}%");
+    assert!(
+        slope_err < lumped_err,
+        "slope {slope_err:.1}% must beat lumped {lumped_err:.1}%"
+    );
+}
+
+#[test]
+fn slope_model_handles_slow_inputs_where_lumped_collapses() {
+    let net = inverter_chain(Style::Cmos, 2, 2.0, Farads::from_femto(100.0)).unwrap();
+    let input = net.node_by_name("in").unwrap();
+    let scenario =
+        Scenario::step(input, Edge::Rising).with_input_transition(Seconds::from_nanos(8.0));
+    let c = compare(&net, &scenario);
+    let slope_err = c.percent_error(ModelKind::Slope).abs();
+    let lumped_err = c.percent_error(ModelKind::Lumped).abs();
+    assert!(slope_err < 30.0, "slope error {slope_err:.1}%");
+    assert!(
+        lumped_err > 2.0 * slope_err,
+        "slow input must wreck the lumped model (lumped {lumped_err:.1}%, slope {slope_err:.1}%)"
+    );
+}
+
+#[test]
+fn lumped_model_is_pessimistic_on_pass_chains_and_rctree_fixes_it() {
+    let net = pass_chain(
+        Style::Cmos,
+        6,
+        Farads::from_femto(50.0),
+        Farads::from_femto(100.0),
+    )
+    .unwrap();
+    let input = net.node_by_name("in").unwrap();
+    let ctl = net.node_by_name("ctl").unwrap();
+    let scenario = Scenario::step(input, Edge::Falling).with_static(ctl, true);
+    let c = compare(&net, &scenario);
+    // The paper's Table-3 shape: lumped roughly doubles the true delay.
+    let lumped_err = c.percent_error(ModelKind::Lumped);
+    let rctree_err = c.percent_error(ModelKind::RcTree);
+    assert!(lumped_err > 60.0, "lumped error {lumped_err:.1}%");
+    assert!(
+        rctree_err < lumped_err / 2.0,
+        "rc-tree {rctree_err:.1}% must remove most of the lumped pessimism {lumped_err:.1}%"
+    );
+    assert!(rctree_err.abs() < 40.0);
+}
+
+#[test]
+fn gate_stacks_stay_conservative_but_close() {
+    let net = nand(Style::Cmos, 3, Farads::from_femto(200.0)).unwrap();
+    let a0 = net.node_by_name("a0").unwrap();
+    let mut scenario = Scenario::step(a0, Edge::Rising);
+    for other in ["a1", "a2"] {
+        scenario = scenario.with_static(net.node_by_name(other).unwrap(), true);
+    }
+    let c = compare(&net, &scenario);
+    let slope_err = c.percent_error(ModelKind::Slope);
+    // Worst-case tools must not be optimistic by much, nor wildly
+    // pessimistic.
+    assert!(slope_err > -10.0, "too optimistic: {slope_err:.1}%");
+    assert!(slope_err < 30.0, "too pessimistic: {slope_err:.1}%");
+}
+
+#[test]
+fn nmos_chain_within_tolerance() {
+    let net = inverter_chain(Style::Nmos, 2, 1.0, Farads::from_femto(100.0)).unwrap();
+    let input = net.node_by_name("in").unwrap();
+    let c = compare(&net, &Scenario::step(input, Edge::Rising));
+    let slope_err = c.percent_error(ModelKind::Slope).abs();
+    let lumped_err = c.percent_error(ModelKind::Lumped).abs();
+    assert!(slope_err < 30.0, "slope error {slope_err:.1}%");
+    assert!(slope_err < lumped_err);
+}
+
+#[test]
+fn all_models_predict_positive_delays_everywhere() {
+    let net = inverter_chain(Style::Cmos, 4, 2.0, Farads::from_femto(50.0)).unwrap();
+    let input = net.node_by_name("in").unwrap();
+    let c = compare(&net, &Scenario::step(input, Edge::Falling));
+    for model in ModelKind::ALL {
+        assert!(c.prediction(model).value() > 0.0, "{model}");
+    }
+    assert!(c.reference.value() > 0.0);
+}

@@ -1,0 +1,97 @@
+//! Calibration generality: the same pipeline must adapt the slope model
+//! to a different (faster, scaled) process and still track that process's
+//! own reference simulations — nothing in the model is hard-wired to one
+//! technology.
+
+use calibrate::{calibrate_technology, CalibrationConfig};
+use crystal::models::ModelKind;
+use crystal::tech::Direction;
+use crystal::{Edge, Scenario, Technology};
+use mos_timing::compare::{compare_scenario, SimGrid};
+use mosnet::generators::{inverter_chain, Style};
+use mosnet::units::Farads;
+use mosnet::TransistorKind;
+use nanospice::MosModelSet;
+use std::sync::OnceLock;
+
+fn techs() -> &'static (Technology, Technology) {
+    static TECHS: OnceLock<(Technology, Technology)> = OnceLock::new();
+    TECHS.get_or_init(|| {
+        let config = CalibrationConfig {
+            ratios: vec![1.0, 4.0, 16.0],
+            ..CalibrationConfig::default()
+        };
+        let slow = calibrate_technology(&MosModelSet::default(), &config)
+            .expect("default process calibrates");
+        let fast = calibrate_technology(&MosModelSet::scaled_2um(), &config)
+            .expect("scaled process calibrates");
+        (slow, fast)
+    })
+}
+
+#[test]
+fn scaled_process_fits_smaller_resistances() {
+    let (slow, fast) = techs();
+    for kind in [TransistorKind::NEnhancement, TransistorKind::PEnhancement] {
+        for direction in Direction::ALL {
+            let r_slow = slow.drive(kind, direction).r_square.value();
+            let r_fast = fast.drive(kind, direction).r_square.value();
+            assert!(
+                r_fast < r_slow,
+                "{kind:?}/{direction:?}: scaled process must be stronger \
+                 ({r_fast:.0} vs {r_slow:.0} ohm/sq)"
+            );
+        }
+    }
+}
+
+#[test]
+fn slope_model_tracks_the_scaled_process() {
+    let (_, fast_tech) = techs();
+    let models = MosModelSet::scaled_2um();
+    let net = inverter_chain(Style::Cmos, 3, 2.0, Farads::from_femto(100.0)).unwrap();
+    let input = net.node_by_name("in").unwrap();
+    let out = net.node_by_name("out").unwrap();
+    let c = compare_scenario(
+        &net,
+        fast_tech,
+        &models,
+        &Scenario::step(input, Edge::Rising),
+        out,
+        SimGrid::auto(),
+    )
+    .unwrap();
+    let err = c.percent_error(ModelKind::Slope).abs();
+    assert!(err < 15.0, "scaled-process slope error {err:.1}%");
+    // And the circuit really is faster than on the default process.
+    assert!(
+        c.reference.nanos() < 1.0,
+        "scaled chain {} ns",
+        c.reference.nanos()
+    );
+}
+
+#[test]
+fn mixing_technologies_mispredicts() {
+    // Using the slow technology's tables against the fast process must be
+    // visibly wrong — evidence the fit carries real information.
+    let (slow_tech, _) = techs();
+    let models = MosModelSet::scaled_2um();
+    let net = inverter_chain(Style::Cmos, 3, 2.0, Farads::from_femto(100.0)).unwrap();
+    let input = net.node_by_name("in").unwrap();
+    let out = net.node_by_name("out").unwrap();
+    let c = compare_scenario(
+        &net,
+        slow_tech,
+        &models,
+        &Scenario::step(input, Edge::Rising),
+        out,
+        SimGrid::auto(),
+    )
+    .unwrap();
+    let err = c.percent_error(ModelKind::Slope);
+    assert!(
+        err > 40.0,
+        "mismatched technology should overestimate strongly, got {err:+.1}%"
+    );
+}

@@ -1,0 +1,141 @@
+//! Failure injection: every defective input must come back as a clean
+//! `Err`, never a panic or a silent wrong answer.
+
+use crystal::analyzer::{analyze, Edge, Scenario};
+use crystal::models::ModelKind;
+use crystal::tech::Technology;
+use mosnet::generators::{random_network, RandomNetworkConfig, Style};
+use nanospice::devices::{NodeRef, Waveshape};
+use nanospice::engine::Options;
+use nanospice::{Circuit, MosModelSet, SimError, Simulator};
+
+#[test]
+fn parallel_ideal_sources_report_singular_matrix() {
+    // Two ideal voltage sources across the same pair of nodes make the
+    // MNA matrix rank-deficient.
+    let mut ckt = Circuit::new();
+    let a = ckt.add_node("a");
+    ckt.add_vsource(a, NodeRef::Ground, Waveshape::Dc(1.0));
+    ckt.add_vsource(a, NodeRef::Ground, Waveshape::Dc(2.0));
+    let sim = Simulator::new(&ckt);
+    assert!(matches!(sim.op(), Err(SimError::SingularMatrix { .. })));
+}
+
+#[test]
+fn starved_newton_budget_reports_no_convergence() {
+    use nanospice::devices::MosParams;
+    // A nonlinear circuit cannot settle in a single Newton iteration.
+    let mut ckt = Circuit::new();
+    let vdd = ckt.add_node("vdd");
+    let inp = ckt.add_node("in");
+    let out = ckt.add_node("out");
+    ckt.add_vsource(vdd, NodeRef::Ground, Waveshape::Dc(5.0));
+    ckt.add_vsource(inp, NodeRef::Ground, Waveshape::Dc(2.5));
+    ckt.add_mosfet(
+        out,
+        inp,
+        NodeRef::Ground,
+        8e-6,
+        2e-6,
+        MosParams::nmos_default(),
+    );
+    ckt.add_mosfet(out, inp, vdd, 16e-6, 2e-6, MosParams::pmos_default());
+    let sim = Simulator::with_options(
+        &ckt,
+        Options {
+            max_nr_iterations: 1,
+            ..Options::default()
+        },
+    );
+    assert!(matches!(sim.op(), Err(SimError::NoConvergence { .. })));
+}
+
+#[test]
+fn bad_device_reference_is_reported_before_solving() {
+    let mut ckt = Circuit::new();
+    let a = ckt.add_node("a");
+    ckt.add_resistor(a, NodeRef::Node(999), 100.0);
+    let sim = Simulator::new(&ckt);
+    assert!(matches!(sim.op(), Err(SimError::BadNode { index: 999 })));
+    assert!(matches!(
+        sim.transient(1e-9, 1e-12),
+        Err(SimError::BadNode { index: 999 })
+    ));
+}
+
+#[test]
+fn analyzer_never_panics_on_random_networks() {
+    // Random networks include rail-to-rail shorts, floating gates, and
+    // pass meshes; the analyzer must always return cleanly.
+    let tech = Technology::nominal();
+    for seed in 0..60u64 {
+        let net = random_network(RandomNetworkConfig {
+            nodes: 14,
+            transistors: 24,
+            style: if seed % 2 == 0 { Style::Cmos } else { Style::Nmos },
+            seed,
+        })
+        .expect("valid config");
+        for &input in net.inputs().iter().take(2) {
+            for edge in [Edge::Rising, Edge::Falling] {
+                for model in ModelKind::ALL {
+                    // Any Ok/Err outcome is acceptable; panics are not.
+                    let _ = analyze(&net, &tech, model, &Scenario::step(input, edge));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn charge_analysis_never_panics_on_random_networks() {
+    use std::collections::HashMap;
+    let tech = Technology::nominal();
+    for seed in 0..30u64 {
+        let net = random_network(RandomNetworkConfig {
+            seed,
+            ..Default::default()
+        })
+        .expect("valid config");
+        let stored: HashMap<_, _> = net
+            .nodes()
+            .filter(|(_, n)| n.kind() == mosnet::NodeKind::Internal)
+            .map(|(id, _)| (id, seed % 2 == 0))
+            .collect();
+        let _ = crystal::charge::charge_sharing_events(
+            &net,
+            &tech,
+            &HashMap::new(),
+            &stored,
+            0.1,
+        );
+    }
+}
+
+#[test]
+fn simulator_survives_random_networks_or_fails_cleanly() {
+    use std::collections::HashMap;
+    let models = MosModelSet::default();
+    for seed in 0..10u64 {
+        let net = random_network(RandomNetworkConfig {
+            nodes: 8,
+            transistors: 12,
+            style: Style::Cmos,
+            seed,
+        })
+        .expect("valid config");
+        // Random networks can short the rails through always-on devices;
+        // the simulator must still produce a result or a typed error.
+        let result = nanospice::NetSim::run(
+            &net,
+            &models,
+            &HashMap::new(),
+            mosnet::units::Seconds::from_nanos(1.0),
+            mosnet::units::Seconds::from_picos(10.0),
+        );
+        if let Err(e) = result {
+            let rendered = e.to_string();
+            assert!(!rendered.is_empty());
+        }
+    }
+}

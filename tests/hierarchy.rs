@@ -1,0 +1,84 @@
+//! Hierarchical netlists end to end: parse a subcircuit-based design,
+//! time it with the slope model, and confirm against the reference
+//! simulator — the full downstream-user workflow.
+
+use calibrate::{calibrate_technology, CalibrationConfig};
+use crystal::models::ModelKind;
+use crystal::{Edge, Scenario};
+use mos_timing::compare::{compare_scenario, SimGrid};
+use mosnet::sim_format;
+use nanospice::MosModelSet;
+
+/// Three buffer stages (each two inverters) built hierarchically.
+const DESIGN: &str = "\
+| hierarchical repeater chain
+subckt inv a y
+n a y gnd 2 8
+p a y vdd 2 16
+ends
+subckt buf a y
+x g1 inv a m
+x g2 inv m y
+C m 8
+ends
+i in
+o out
+x b0 buf in w1
+x b1 buf w1 w2
+x b2 buf w2 out
+C w1 30
+C w2 30
+C out 120
+";
+
+#[test]
+fn hierarchical_design_parses_and_flattens() {
+    let net = sim_format::parse(DESIGN, "repeater").unwrap();
+    assert_eq!(net.transistor_count(), 12); // 3 bufs × 2 invs × 2 devices
+    for inst in ["b0", "b1", "b2"] {
+        assert!(
+            net.node_by_name(&format!("{inst}.m")).is_some(),
+            "{inst} internal net exists"
+        );
+    }
+    assert!(mosnet::validate::validate(&net).unwrap().is_empty());
+}
+
+#[test]
+fn hierarchical_design_times_accurately() {
+    let net = sim_format::parse(DESIGN, "repeater").unwrap();
+    let models = MosModelSet::default();
+    let tech = calibrate_technology(
+        &models,
+        &CalibrationConfig {
+            ratios: vec![1.0, 4.0, 16.0],
+            ..CalibrationConfig::default()
+        },
+    )
+    .expect("calibration succeeds");
+    let input = net.node_by_name("in").unwrap();
+    let out = net.node_by_name("out").unwrap();
+    let c = compare_scenario(
+        &net,
+        &tech,
+        &models,
+        &Scenario::step(input, Edge::Rising),
+        out,
+        SimGrid::auto(),
+    )
+    .unwrap();
+    let err = c.percent_error(ModelKind::Slope).abs();
+    assert!(err < 12.0, "hierarchical chain slope error {err:.1}%");
+    // Six inversions: output follows the input's direction.
+    let arrival = crystal::analyze(&net, &tech, ModelKind::Slope, &Scenario::step(input, Edge::Rising))
+        .unwrap()
+        .delay_to(&net, out)
+        .unwrap();
+    assert_eq!(arrival.edge, crystal::Edge::Rising);
+    // The critical path runs through every buffer's internal node.
+    let result =
+        crystal::analyze(&net, &tech, ModelKind::Slope, &Scenario::step(input, Edge::Rising))
+            .unwrap();
+    let path = result.critical_path(out);
+    assert_eq!(path.len(), 7); // in, b0.m, w1, b1.m, w2, b2.m, out
+}

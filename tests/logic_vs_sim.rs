@@ -1,0 +1,108 @@
+//! The switch-level logic simulator must agree with the circuit
+//! simulator's DC operating point on every steady state of the benchmark
+//! gates — `crystal::logic` is the analyzer's ground truth for which
+//! nodes switch, so it has to match the device physics.
+
+use crystal::logic::{self, LogicValue};
+use mosnet::generators::{decoder2to4, inverter, nand, nor, Style};
+use mosnet::units::Farads;
+use mosnet::{Network, NodeId};
+use nanospice::devices::Waveshape;
+use nanospice::{elaborate, MosModelSet, Simulator};
+use std::collections::HashMap;
+
+/// DC-solves the network with the given input levels and returns each
+/// requested node's voltage.
+fn op_voltages(net: &Network, inputs: &HashMap<NodeId, bool>, probe: &[NodeId]) -> Vec<f64> {
+    let models = MosModelSet::default();
+    let drives: HashMap<NodeId, Waveshape> = net
+        .inputs()
+        .into_iter()
+        .map(|n| {
+            let level = inputs.get(&n).copied().unwrap_or(false);
+            (n, Waveshape::Dc(if level { models.vdd } else { 0.0 }))
+        })
+        .collect();
+    let elab = elaborate(net, &models, &drives);
+    let sim = Simulator::new(&elab.circuit);
+    let x = sim.op().expect("operating point converges");
+    probe
+        .iter()
+        .map(|&n| match elab.terminal(n) {
+            nanospice::devices::NodeRef::Ground => 0.0,
+            nanospice::devices::NodeRef::Node(i) => x[i],
+        })
+        .collect()
+}
+
+/// Checks logic-vs-OP agreement for one circuit over all input vectors.
+fn check_all_vectors(net: &Network, outputs: &[&str]) {
+    let inputs = net.inputs();
+    assert!(inputs.len() <= 4, "exhaustive check limited to 4 inputs");
+    let probes: Vec<NodeId> = outputs
+        .iter()
+        .map(|name| net.node_by_name(name).expect("output exists"))
+        .collect();
+    for vector in 0..(1u32 << inputs.len()) {
+        let assignment: HashMap<NodeId, bool> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, vector >> i & 1 == 1))
+            .collect();
+        let state = logic::solve(net, &assignment);
+        let voltages = op_voltages(net, &assignment, &probes);
+        for (&probe, &v) in probes.iter().zip(&voltages) {
+            let expected = state.value(probe);
+            // Ratioed logic leaves the low level above ground; use the
+            // midpoint as the discriminator.
+            let simulated = if v > 2.5 {
+                LogicValue::One
+            } else {
+                LogicValue::Zero
+            };
+            if expected.is_known() {
+                assert_eq!(
+                    expected,
+                    simulated,
+                    "{}: vector {vector:b}, node {}, v = {v:.2}",
+                    net.name(),
+                    net.node(probe).name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn inverters_agree() {
+    for style in [Style::Cmos, Style::Nmos] {
+        let net = inverter(style, Farads::from_femto(20.0));
+        check_all_vectors(&net, &["out"]);
+    }
+}
+
+#[test]
+fn nand_gates_agree() {
+    for style in [Style::Cmos, Style::Nmos] {
+        for k in [2, 3] {
+            let net = nand(style, k, Farads::from_femto(20.0)).unwrap();
+            check_all_vectors(&net, &["out"]);
+        }
+    }
+}
+
+#[test]
+fn nor_gates_agree() {
+    for style in [Style::Cmos, Style::Nmos] {
+        for k in [2, 3] {
+            let net = nor(style, k, Farads::from_femto(20.0)).unwrap();
+            check_all_vectors(&net, &["out"]);
+        }
+    }
+}
+
+#[test]
+fn decoder_agrees() {
+    let net = decoder2to4(Style::Cmos, Farads::from_femto(20.0)).unwrap();
+    check_all_vectors(&net, &["w0", "w1", "w2", "w3"]);
+}

@@ -1,0 +1,117 @@
+//! Physics validation of the RC-tree machinery: on randomly generated
+//! pure-RC trees, the simulated 50% step-response time must fall inside
+//! the Penfield–Rubinstein-style bounds computed by `crystal::rctree`,
+//! with the Elmore delay at or above the lower bound.
+//!
+//! Because the circuits are linear, `nanospice` solves them essentially
+//! exactly, making this a strong check of the bound formulas.
+
+use crystal::rctree::RcTree;
+use mosnet::units::{Farads, Ohms};
+use nanospice::devices::{NodeRef, Waveshape};
+use nanospice::{Circuit, Simulator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random RC tree plus the matching nanospice circuit. Returns
+/// `(tree, target_index, circuit, target_node_name)`.
+fn random_tree(seed: u64) -> (RcTree, usize, Circuit) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(2..9);
+    let mut tree = RcTree::new();
+    let mut ckt = Circuit::new();
+    let root = ckt.add_node("root");
+    // Ideal step at the root.
+    ckt.add_vsource(
+        root,
+        NodeRef::Ground,
+        Waveshape::Pwl(vec![(0.0, 0.0), (1e-15, 1.0)]),
+    );
+    let mut sim_nodes = vec![root];
+    let mut tree_nodes = vec![tree.root()];
+    for i in 0..n {
+        let parent = rng.gen_range(0..tree_nodes.len());
+        let r = rng.gen_range(100.0..10_000.0);
+        let c = rng.gen_range(10e-15..500e-15);
+        let t_idx = tree.add_child(tree_nodes[parent], Ohms(r), Farads(c), None);
+        let s_node = ckt.add_node(format!("n{i}"));
+        ckt.add_resistor(sim_nodes[parent], s_node, r);
+        ckt.add_capacitor(s_node, NodeRef::Ground, c);
+        tree_nodes.push(t_idx);
+        sim_nodes.push(s_node);
+    }
+    // Target: the deepest node added last (always a real tree node).
+    let target = *tree_nodes.last().expect("at least one child");
+    (tree, target, ckt)
+}
+
+#[test]
+fn simulated_t50_falls_within_pr_bounds() {
+    for seed in 0..24u64 {
+        let (tree, target, ckt) = random_tree(seed);
+        let (lower, upper) = tree.delay_bounds(target, 0.5);
+        let elmore = tree.elmore(target);
+
+        // Simulate long enough for the slowest plausible settling.
+        let tstop = (10.0 * tree.t_di().value()).max(1e-9);
+        let dt = tstop / 8000.0;
+        let sim = Simulator::new(&ckt);
+        let result = sim.transient(tstop, dt).expect("linear circuit converges");
+        let name = format!("n{}", tree.len() - 2); // last added child
+        let wave = result.voltage_by_name(&name).expect("target exists");
+        let t50 = wave
+            .crossing(0.5, true, 0.0)
+            .expect("step response reaches 50%");
+
+        let tol = 2.0 * dt; // discretization slack
+        assert!(
+            t50 >= lower.value() - tol,
+            "seed {seed}: t50 {t50:.3e} below lower bound {:.3e}",
+            lower.value()
+        );
+        assert!(
+            t50 <= upper.value() + tol,
+            "seed {seed}: t50 {t50:.3e} above upper bound {:.3e}",
+            upper.value()
+        );
+        // Elmore (the first moment) is a classical upper estimate of t50
+        // for RC trees under step input.
+        assert!(
+            elmore.value() >= t50 - tol,
+            "seed {seed}: elmore {:.3e} below simulated t50 {t50:.3e}",
+            elmore.value()
+        );
+    }
+}
+
+#[test]
+fn bounds_tighten_for_single_segment() {
+    // Degenerate check: one RC, bounds collapse to the exact answer.
+    let mut tree = RcTree::new();
+    let t = tree.add_child(tree.root(), Ohms(1000.0), Farads(100e-15), None);
+    let (lower, upper) = tree.delay_bounds(t, 0.5);
+    assert!((upper.value() - lower.value()) < 1e-15 * 1e3);
+
+    let mut ckt = Circuit::new();
+    let root = ckt.add_node("root");
+    ckt.add_vsource(
+        root,
+        NodeRef::Ground,
+        Waveshape::Pwl(vec![(0.0, 0.0), (1e-15, 1.0)]),
+    );
+    let out = ckt.add_node("out");
+    ckt.add_resistor(root, out, 1000.0);
+    ckt.add_capacitor(out, NodeRef::Ground, 100e-15);
+    let sim = Simulator::new(&ckt);
+    let result = sim.transient(2e-9, 0.25e-12).unwrap();
+    let t50 = result
+        .voltage_by_name("out")
+        .unwrap()
+        .crossing(0.5, true, 0.0)
+        .unwrap();
+    assert!(
+        (t50 - lower.value()).abs() < 2e-12,
+        "t50 {t50:.3e} vs exact {:.3e}",
+        lower.value()
+    );
+}

@@ -1,0 +1,176 @@
+//! Property-based tests over the core data structures and analyses.
+
+use crystal::analyzer::{analyze, Edge, Scenario};
+use crystal::models::ModelKind;
+use crystal::rctree::{uniform_ladder, RcTree};
+use crystal::tech::{SlopeTable, Technology};
+use mosnet::generators::{inverter_chain, pass_chain, random_network, RandomNetworkConfig, Style};
+use mosnet::units::{Farads, Ohms, Seconds};
+use mosnet::{sim_format, spice_format};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any random network survives a `.sim` write/parse round trip with
+    /// identical structure.
+    #[test]
+    fn sim_format_roundtrip(seed in 0u64..500, nodes in 3usize..20, ts in 1usize..30) {
+        let net = random_network(RandomNetworkConfig {
+            nodes,
+            transistors: ts,
+            style: Style::Cmos,
+            seed,
+        }).expect("valid config");
+        let text = sim_format::write(&net);
+        let back = sim_format::parse(&text, net.name()).expect("own output parses");
+        prop_assert_eq!(net.node_count(), back.node_count());
+        prop_assert_eq!(net.transistor_count(), back.transistor_count());
+        for (id, n) in net.nodes() {
+            let id2 = back.node_by_name(n.name()).expect("name preserved");
+            prop_assert_eq!(n.kind(), back.node(id2).kind());
+            prop_assert!((n.capacitance().femto() - back.node(id2).capacitance().femto()).abs() < 1e-6);
+            let _ = id;
+        }
+    }
+
+    /// SPICE round trip preserves device counts and kinds.
+    #[test]
+    fn spice_format_roundtrip(seed in 0u64..500) {
+        let net = random_network(RandomNetworkConfig { seed, ..Default::default() })
+            .expect("valid config");
+        let deck = spice_format::write(&net);
+        let back = spice_format::parse(&deck, net.name()).expect("own deck parses");
+        prop_assert_eq!(net.transistor_count(), back.transistor_count());
+        let kinds = |n: &mosnet::Network| {
+            let mut v: Vec<_> = n.transistors().map(|(_, t)| t.kind()).collect();
+            v.sort_by_key(|k| k.index());
+            v
+        };
+        prop_assert_eq!(kinds(&net), kinds(&back));
+    }
+
+    /// Elmore delay always lies between the Penfield–Rubinstein bounds'
+    /// lower edge and the lumped product, on arbitrary random trees.
+    #[test]
+    fn tree_delay_orderings(seed in 0u64..1000) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut tree = RcTree::new();
+        let mut nodes = vec![tree.root()];
+        for _ in 0..rng.gen_range(1..10) {
+            let parent = nodes[rng.gen_range(0..nodes.len())];
+            let idx = tree.add_child(
+                parent,
+                Ohms(rng.gen_range(10.0..1e5)),
+                Farads(rng.gen_range(1e-15..1e-12)),
+                None,
+            );
+            nodes.push(idx);
+        }
+        let target = *nodes.last().expect("nonempty");
+        let elmore = tree.elmore(target);
+        let (r, c) = tree.lumped(target);
+        let lumped = r * c;
+        let (lower, upper) = tree.delay_bounds(target, 0.5);
+        prop_assert!(lower <= upper);
+        prop_assert!(elmore.value() <= lumped.value() + 1e-18);
+        prop_assert!(lower.value() <= elmore.value() + 1e-18);
+    }
+
+    /// Slope tables evaluate monotonically after a monotone fit.
+    #[test]
+    fn slope_table_eval_monotone(points in prop::collection::vec((0.0f64..100.0, 0.1f64..10.0), 1..8)) {
+        let fitted = calibrate::fit::fit_monotone_table(&points);
+        prop_assume!(fitted.is_ok());
+        let table: SlopeTable = fitted.expect("checked");
+        let mut last = f64::MIN;
+        for i in 0..200 {
+            let v = table.eval(i as f64 * 0.6);
+            prop_assert!(v >= last - 1e-12);
+            last = v;
+        }
+    }
+
+    /// Analyzer delays grow monotonically with output load for every
+    /// model (more capacitance can never be faster).
+    #[test]
+    fn analyzer_monotone_in_load(load_femto in 20.0f64..500.0) {
+        let tech = Technology::nominal();
+        let small = inverter_chain(Style::Cmos, 2, 2.0, Farads::from_femto(load_femto)).expect("valid");
+        let large = inverter_chain(Style::Cmos, 2, 2.0, Farads::from_femto(load_femto * 2.0)).expect("valid");
+        for model in ModelKind::ALL {
+            let d = |net: &mosnet::Network| {
+                let input = net.node_by_name("in").expect("in");
+                let out = net.node_by_name("out").expect("out");
+                analyze(net, &tech, model, &Scenario::step(input, Edge::Rising))
+                    .expect("analyzes")
+                    .delay_to(net, out)
+                    .expect("switches")
+                    .time
+            };
+            prop_assert!(d(&large) > d(&small), "{} not monotone in load", model);
+        }
+    }
+
+    /// Slope-model delay is monotone in the input transition time.
+    #[test]
+    fn slope_monotone_in_input_transition(t1 in 0.0f64..5.0, dt in 0.1f64..10.0) {
+        let tech = Technology::nominal();
+        let net = inverter_chain(Style::Cmos, 1, 1.0, Farads::from_femto(100.0)).expect("valid");
+        let input = net.node_by_name("in").expect("in");
+        let out = net.node_by_name("out").expect("out");
+        let d = |tr: f64| {
+            let s = Scenario::step(input, Edge::Rising)
+                .with_input_transition(Seconds::from_nanos(tr));
+            analyze(&net, &tech, ModelKind::Slope, &s)
+                .expect("analyzes")
+                .delay_to(&net, out)
+                .expect("switches")
+                .time
+        };
+        prop_assert!(d(t1 + dt) >= d(t1));
+    }
+
+    /// Pass-chain delay is strictly increasing in chain length for all
+    /// models, and superlinear for the lumped model.
+    #[test]
+    fn pass_chain_length_scaling(base in 1usize..4) {
+        let tech = Technology::nominal();
+        let d = |n: usize, model: ModelKind| {
+            let net = pass_chain(
+                Style::Cmos,
+                n,
+                Farads::from_femto(50.0),
+                Farads::from_femto(100.0),
+            ).expect("valid");
+            let input = net.node_by_name("in").expect("in");
+            let ctl = net.node_by_name("ctl").expect("ctl");
+            let out = net.node_by_name("out").expect("out");
+            let s = Scenario::step(input, Edge::Falling).with_static(ctl, true);
+            analyze(&net, &tech, model, &s)
+                .expect("analyzes")
+                .delay_to(&net, out)
+                .expect("switches")
+                .time
+                .value()
+        };
+        for model in ModelKind::ALL {
+            prop_assert!(d(base + 1, model) > d(base, model));
+        }
+        // Lumped grows faster than linearly: d(2n) > 2 d(n).
+        prop_assert!(d(base * 2, ModelKind::Lumped) > 2.0 * d(base, ModelKind::Lumped));
+    }
+}
+
+/// Ladder helper sanity outside proptest: uniform ladders match the
+/// closed-form Elmore sum for many sizes.
+#[test]
+fn ladder_closed_form() {
+    for n in 1..=20 {
+        let (tree, e) = uniform_ladder(n, Ohms(500.0), Farads(2e-14), Farads(2e-14));
+        let rc = 500.0 * 2e-14;
+        let expect = (n * (n + 1)) as f64 / 2.0 * rc;
+        assert!((tree.elmore(e).value() - expect).abs() < 1e-18, "n={n}");
+    }
+}

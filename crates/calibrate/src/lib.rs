@@ -24,15 +24,18 @@
 
 pub mod error;
 pub mod fit;
+pub mod report;
 pub mod runner;
 
 pub use error::CalibrateError;
+pub use report::{relaxed_options, CalibrationReport, PointOutcome, PointRecord, MAX_RELAX_LEVEL};
 
 use crystal::tech::{Direction, DriveParams, Technology};
 use mosnet::units::{Ohms, Seconds, Volts};
 use mosnet::TransistorKind;
+use nanospice::engine::Options as SimOptions;
 use nanospice::MosModelSet;
-use runner::{measure, model_load_capacitance};
+use runner::{measure_with_options, model_load_capacitance, Measurement};
 
 /// Parameters of a calibration run.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,6 +47,9 @@ pub struct CalibrationConfig {
     /// Simulation horizon for the step measurement; slower ratios extend
     /// it automatically.
     pub step_horizon: Seconds,
+    /// Base reference-simulator options. Failed points are retried under
+    /// progressive relaxations of these (see [`relaxed_options`]).
+    pub sim_options: SimOptions,
 }
 
 impl Default for CalibrationConfig {
@@ -52,6 +58,7 @@ impl Default for CalibrationConfig {
             ratios: vec![0.5, 1.0, 2.0, 4.0, 8.0, 16.0],
             load_farads: 200e-15,
             step_horizon: Seconds::from_nanos(40.0),
+            sim_options: SimOptions::default(),
         }
     }
 }
@@ -61,10 +68,42 @@ impl CalibrationConfig {
     pub fn coarse() -> CalibrationConfig {
         CalibrationConfig {
             ratios: vec![1.0, 4.0],
-            load_farads: 200e-15,
-            step_horizon: Seconds::from_nanos(40.0),
+            ..CalibrationConfig::default()
         }
     }
+}
+
+/// Measures one calibration point, climbing the relaxation ladder on
+/// failure. Returns the measurement and the level that produced it
+/// (0 = the base options).
+///
+/// # Errors
+/// Returns the deepest level's error when every rung fails.
+pub fn measure_resilient(
+    kind: TransistorKind,
+    direction: Direction,
+    models: &MosModelSet,
+    load_farads: f64,
+    input_transition: Seconds,
+    horizon: Seconds,
+    base: &SimOptions,
+) -> Result<(Measurement, usize), CalibrateError> {
+    let mut last_err = None;
+    for level in 0..=MAX_RELAX_LEVEL {
+        match measure_with_options(
+            kind,
+            direction,
+            models,
+            load_farads,
+            input_transition,
+            horizon,
+            relaxed_options(base, level),
+        ) {
+            Ok(m) => return Ok((m, level)),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err.expect("at least one level was attempted"))
 }
 
 /// Calibrates all six (kind, direction) drive-parameter sets against the
@@ -81,9 +120,27 @@ pub fn calibrate_technology(
     models: &MosModelSet,
     config: &CalibrationConfig,
 ) -> Result<Technology, CalibrateError> {
+    calibrate_technology_with_report(models, config).map(|(tech, _)| tech)
+}
+
+/// Like [`calibrate_technology`], but fail-soft: a (kind, direction) pair
+/// whose calibration is irrecoverable keeps the nominal drive parameters
+/// instead of aborting the run, and the returned [`CalibrationReport`]
+/// lists every point that was retried under relaxed solver options or
+/// skipped outright.
+///
+/// # Errors
+/// Currently never fails — the `Result` reserves room for future defects
+/// that cannot be substituted away.
+pub fn calibrate_technology_with_report(
+    models: &MosModelSet,
+    config: &CalibrationConfig,
+) -> Result<(Technology, CalibrationReport), CalibrateError> {
     let mut tech = Technology::new("calibrated-4um", Volts(models.vdd));
     tech.cox_per_area = models.cox_per_area;
     tech.cj_per_width = models.cj_per_width;
+    let nominal = Technology::nominal();
+    let mut report = CalibrationReport::default();
 
     let mut depletion_up: Option<DriveParams> = None;
     for kind in TransistorKind::ALL {
@@ -91,7 +148,23 @@ pub fn calibrate_technology(
             if kind == TransistorKind::Depletion && direction == Direction::PullDown {
                 continue; // filled from the pull-up fit below
             }
-            let params = calibrate_drive(kind, direction, models, config)?;
+            let params =
+                match calibrate_drive_with_report(kind, direction, models, config, &mut report) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        // The whole pair is irrecoverable: fall back to the
+                        // nominal parameters so the rest of the technology
+                        // still calibrates, and record the substitution.
+                        report.record(PointRecord {
+                            kind,
+                            direction,
+                            ratio: None,
+                            outcome: PointOutcome::Skipped,
+                            detail: Some(format!("pair substituted with nominal parameters: {e}")),
+                        });
+                        nominal.drive(kind, direction).clone()
+                    }
+                };
             if kind == TransistorKind::Depletion && direction == Direction::PullUp {
                 depletion_up = Some(params.clone());
             }
@@ -100,7 +173,7 @@ pub fn calibrate_technology(
     }
     let dep = depletion_up.expect("depletion pull-up was calibrated");
     tech.set_drive(TransistorKind::Depletion, Direction::PullDown, dep);
-    Ok(tech)
+    Ok((tech, report))
 }
 
 /// Calibrates one (kind, direction) pair.
@@ -113,15 +186,55 @@ pub fn calibrate_drive(
     models: &MosModelSet,
     config: &CalibrationConfig,
 ) -> Result<DriveParams, CalibrateError> {
-    // Step input pins the static effective resistance.
-    let step = measure(
+    calibrate_drive_with_report(
+        kind,
+        direction,
+        models,
+        config,
+        &mut CalibrationReport::default(),
+    )
+}
+
+/// Calibrates one (kind, direction) pair, retrying failed points up the
+/// relaxation ladder and recording every point's fate in `report`.
+///
+/// Ratio points that stay irrecoverable are dropped from the fit (the
+/// table is fitted through the remaining points) and recorded as
+/// [`PointOutcome::Skipped`].
+///
+/// # Errors
+/// Fails when the step measurement — which pins the static resistance
+/// every other point is normalized by — is irrecoverable, or when the
+/// surviving points do not form a valid table.
+pub fn calibrate_drive_with_report(
+    kind: TransistorKind,
+    direction: Direction,
+    models: &MosModelSet,
+    config: &CalibrationConfig,
+    report: &mut CalibrationReport,
+) -> Result<DriveParams, CalibrateError> {
+    let outcome_for = |level: usize| match level {
+        0 => PointOutcome::Measured,
+        relax_level => PointOutcome::Recovered { relax_level },
+    };
+    // Step input pins the static effective resistance. Without it no
+    // ratio point can even be scheduled, so its failure fails the pair.
+    let (step, level) = measure_resilient(
         kind,
         direction,
         models,
         config.load_farads,
         Seconds::ZERO,
         config.step_horizon,
+        &config.sim_options,
     )?;
+    report.record(PointRecord {
+        kind,
+        direction,
+        ratio: None,
+        outcome: outcome_for(level),
+        detail: None,
+    });
     let t50 = step.delay.value();
     if t50 <= 0.0 {
         return Err(CalibrateError::BadFit {
@@ -142,16 +255,38 @@ pub fn calibrate_drive(
         let input_transition = Seconds(ratio * t50);
         // Slow edges need a longer window: settle + ramp + response.
         let horizon = Seconds(config.step_horizon.value() + 2.0 * input_transition.value());
-        let m = measure(
+        match measure_resilient(
             kind,
             direction,
             models,
             config.load_farads,
             input_transition,
             horizon,
-        )?;
-        reff_points.push((ratio, m.delay.value() / t50));
-        tout_points.push((ratio, m.transition.value() / t50));
+            &config.sim_options,
+        ) {
+            Ok((m, level)) => {
+                report.record(PointRecord {
+                    kind,
+                    direction,
+                    ratio: Some(ratio),
+                    outcome: outcome_for(level),
+                    detail: None,
+                });
+                reff_points.push((ratio, m.delay.value() / t50));
+                tout_points.push((ratio, m.transition.value() / t50));
+            }
+            Err(e) => {
+                // One stubborn point must not sink the pair: fit through
+                // the surviving points and say so.
+                report.record(PointRecord {
+                    kind,
+                    direction,
+                    ratio: Some(ratio),
+                    outcome: PointOutcome::Skipped,
+                    detail: Some(e.to_string()),
+                });
+            }
+        }
     }
 
     Ok(DriveParams {
@@ -213,6 +348,88 @@ mod tests {
             n_up.r_square.value(),
             n_down.r_square.value()
         );
+    }
+
+    #[test]
+    fn healthy_calibration_reports_clean() {
+        let mut report = CalibrationReport::default();
+        calibrate_drive_with_report(
+            TransistorKind::NEnhancement,
+            Direction::PullDown,
+            &MosModelSet::default(),
+            &CalibrationConfig::coarse(),
+            &mut report,
+        )
+        .unwrap();
+        assert!(report.is_clean(), "{report}");
+        // One step point + two ratio points.
+        assert_eq!(report.records.len(), 3);
+    }
+
+    #[test]
+    fn starved_solver_recovers_up_the_ladder() {
+        // One Newton iteration per solve cannot converge the calibration
+        // circuit; level 1 quadruples the budget and must succeed.
+        let starved = nanospice::Options {
+            max_nr_iterations: 1,
+            ..nanospice::Options::default()
+        };
+        let (m, level) = measure_resilient(
+            TransistorKind::NEnhancement,
+            Direction::PullDown,
+            &MosModelSet::default(),
+            200e-15,
+            Seconds::ZERO,
+            Seconds::from_nanos(20.0),
+            &starved,
+        )
+        .expect("the relaxation ladder rescues a starved solver");
+        assert!(level >= 1, "level {level} should not be the base");
+        // The recovered measurement matches a healthy one closely.
+        let healthy = runner::measure(
+            TransistorKind::NEnhancement,
+            Direction::PullDown,
+            &MosModelSet::default(),
+            200e-15,
+            Seconds::ZERO,
+            Seconds::from_nanos(20.0),
+        )
+        .unwrap();
+        let rel = (m.delay.value() - healthy.delay.value()).abs() / healthy.delay.value();
+        assert!(rel < 0.05, "recovered delay off by {:.1}%", 100.0 * rel);
+    }
+
+    #[test]
+    fn irrecoverable_pair_is_substituted_with_nominal_params() {
+        // Zero tolerances make Newton convergence unsatisfiable at every
+        // relaxation level (relaxing multiplies them, and 0 × k = 0), so
+        // every pair is irrecoverable.
+        let impossible = CalibrationConfig {
+            ratios: vec![],
+            sim_options: nanospice::Options {
+                abstol: 0.0,
+                reltol: 0.0,
+                ..nanospice::Options::default()
+            },
+            ..CalibrationConfig::coarse()
+        };
+        let (tech, report) =
+            calibrate_technology_with_report(&MosModelSet::default(), &impossible).unwrap();
+        // Every calibrated pair fell back to nominal parameters…
+        let nominal = Technology::nominal();
+        for kind in TransistorKind::ALL {
+            for direction in Direction::ALL {
+                assert_eq!(
+                    tech.drive(kind, direction),
+                    nominal.drive(kind, direction),
+                    "{kind:?}/{direction:?}"
+                );
+            }
+        }
+        // …and the report says so, once per attempted pair.
+        assert!(!report.is_clean());
+        assert_eq!(report.skipped().count(), 5, "{report}");
+        assert!(report.to_string().contains("substituted with nominal"));
     }
 
     #[test]

@@ -1,0 +1,216 @@
+//! Per-point accounting of a calibration run.
+//!
+//! Calibration is a batch of independent simulator measurements, and a
+//! single stubborn point must not abort the whole technology fit. The
+//! resilient drivers retry each failed point under progressively relaxed
+//! solver options ([`relaxed_options`]) and, when a point stays
+//! irrecoverable, drop it from the fit and record the skip. The
+//! [`CalibrationReport`] lists every point with its outcome so degraded
+//! fits are loud instead of silent.
+
+use crystal::tech::Direction;
+use mosnet::TransistorKind;
+use nanospice::engine::Options;
+use std::fmt;
+
+/// The deepest relaxation level [`relaxed_options`] defines.
+pub const MAX_RELAX_LEVEL: usize = 3;
+
+/// The simulator options for one rung of the calibration retry ladder.
+///
+/// Level 0 returns `base` unchanged; each further level loosens the
+/// solver monotonically — more Newton iterations and step halvings
+/// first, then wider tolerances and a larger `gmin`. Levels beyond
+/// [`MAX_RELAX_LEVEL`] saturate at the loosest setting.
+pub fn relaxed_options(base: &Options, level: usize) -> Options {
+    let mut o = *base;
+    if level >= 1 {
+        o.max_nr_iterations = o.max_nr_iterations.max(50).saturating_mul(4);
+        o.max_step_halvings += 2;
+    }
+    if level >= 2 {
+        o.abstol *= 10.0;
+        o.reltol *= 10.0;
+        o.gmin *= 10.0;
+    }
+    if level >= 3 {
+        o.abstol *= 10.0;
+        o.reltol *= 10.0;
+        o.gmin *= 100.0;
+        o.max_step_halvings += 2;
+    }
+    o
+}
+
+/// How one calibration point fared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PointOutcome {
+    /// Measured cleanly under the configured options.
+    Measured,
+    /// Measured only after relaxing the solver to `relax_level`.
+    Recovered {
+        /// The retry-ladder level that succeeded (≥ 1).
+        relax_level: usize,
+    },
+    /// Irrecoverable even at the deepest relaxation; dropped from the fit.
+    Skipped,
+}
+
+/// One calibration point and its outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointRecord {
+    /// Device kind of the point's calibration circuit.
+    pub kind: TransistorKind,
+    /// Drive direction of the point's calibration circuit.
+    pub direction: Direction,
+    /// Slope ratio of the point; `None` for the step measurement that
+    /// pins the static resistance.
+    pub ratio: Option<f64>,
+    /// What happened.
+    pub outcome: PointOutcome,
+    /// The final error for skips (and substitutions), if any.
+    pub detail: Option<String>,
+}
+
+impl fmt::Display for PointRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}/{:?} ", self.kind, self.direction)?;
+        match self.ratio {
+            Some(r) => write!(f, "ratio {r}")?,
+            None => f.write_str("step")?,
+        }
+        match &self.outcome {
+            PointOutcome::Measured => f.write_str(": ok"),
+            PointOutcome::Recovered { relax_level } => {
+                write!(f, ": recovered at relax level {relax_level}")
+            }
+            PointOutcome::Skipped => match &self.detail {
+                Some(d) => write!(f, ": skipped ({d})"),
+                None => f.write_str(": skipped"),
+            },
+        }
+    }
+}
+
+/// The point-by-point ledger of one calibration run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CalibrationReport {
+    /// Every point attempted, in measurement order.
+    pub records: Vec<PointRecord>,
+}
+
+impl CalibrationReport {
+    /// Appends one record.
+    pub fn record(&mut self, record: PointRecord) {
+        self.records.push(record);
+    }
+
+    /// Points that needed a relaxed solver.
+    pub fn degraded(&self) -> impl Iterator<Item = &PointRecord> {
+        self.records
+            .iter()
+            .filter(|r| matches!(r.outcome, PointOutcome::Recovered { .. }))
+    }
+
+    /// Points dropped from the fit.
+    pub fn skipped(&self) -> impl Iterator<Item = &PointRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.outcome == PointOutcome::Skipped)
+    }
+
+    /// `true` when every point measured cleanly at level 0.
+    pub fn is_clean(&self) -> bool {
+        self.records
+            .iter()
+            .all(|r| r.outcome == PointOutcome::Measured)
+    }
+}
+
+impl fmt::Display for CalibrationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let clean = self
+            .records
+            .iter()
+            .filter(|r| r.outcome == PointOutcome::Measured)
+            .count();
+        let degraded = self.degraded().count();
+        let skipped = self.skipped().count();
+        writeln!(
+            f,
+            "calibration: {clean} points clean, {degraded} recovered, {skipped} skipped"
+        )?;
+        for r in self
+            .records
+            .iter()
+            .filter(|r| r.outcome != PointOutcome::Measured)
+        {
+            writeln!(f, "  {r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relaxation_level_zero_is_the_base() {
+        let base = Options::default();
+        assert_eq!(relaxed_options(&base, 0), base);
+    }
+
+    #[test]
+    fn relaxation_loosens_monotonically() {
+        let base = Options::default();
+        let mut prev = base;
+        for level in 1..=MAX_RELAX_LEVEL {
+            let o = relaxed_options(&base, level);
+            assert!(
+                o.max_nr_iterations >= prev.max_nr_iterations,
+                "level {level}"
+            );
+            assert!(o.abstol >= prev.abstol, "level {level}");
+            assert!(o.reltol >= prev.reltol, "level {level}");
+            assert!(o.gmin >= prev.gmin, "level {level}");
+            assert!(
+                o.max_step_halvings >= prev.max_step_halvings,
+                "level {level}"
+            );
+            prev = o;
+        }
+        // Beyond the ladder it saturates.
+        assert_eq!(
+            relaxed_options(&base, MAX_RELAX_LEVEL),
+            relaxed_options(&base, MAX_RELAX_LEVEL + 5)
+        );
+    }
+
+    #[test]
+    fn report_classifies_and_summarizes() {
+        let mut report = CalibrationReport::default();
+        let mk = |ratio, outcome| PointRecord {
+            kind: TransistorKind::NEnhancement,
+            direction: Direction::PullDown,
+            ratio,
+            outcome,
+            detail: None,
+        };
+        report.record(mk(None, PointOutcome::Measured));
+        assert!(report.is_clean());
+        report.record(mk(Some(2.0), PointOutcome::Recovered { relax_level: 1 }));
+        report.record(PointRecord {
+            detail: Some("no midpoint crossing".into()),
+            ..mk(Some(8.0), PointOutcome::Skipped)
+        });
+        assert!(!report.is_clean());
+        assert_eq!(report.degraded().count(), 1);
+        assert_eq!(report.skipped().count(), 1);
+        let s = report.to_string();
+        assert!(s.contains("1 points clean"), "{s}");
+        assert!(s.contains("recovered at relax level 1"), "{s}");
+        assert!(s.contains("no midpoint crossing"), "{s}");
+    }
+}

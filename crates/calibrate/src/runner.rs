@@ -20,7 +20,7 @@ use mosnet::units::Seconds;
 use mosnet::TransistorKind;
 use nanospice::circuit::{Circuit, MosModelSet};
 use nanospice::devices::{NodeRef, Waveshape};
-use nanospice::engine::Simulator;
+use nanospice::engine::{Options, Simulator};
 
 /// Geometry used for the switching device in each calibration circuit
 /// (microns): the unit pull-down of the generators' sizing discipline.
@@ -193,6 +193,32 @@ pub fn measure(
     input_transition: Seconds,
     horizon: Seconds,
 ) -> Result<Measurement, CalibrateError> {
+    measure_with_options(
+        kind,
+        direction,
+        models,
+        load_farads,
+        input_transition,
+        horizon,
+        Options::default(),
+    )
+}
+
+/// Like [`measure`], but running the reference simulator under explicit
+/// [`Options`] — the hook the calibration relaxation ladder uses to retry
+/// a failed point with progressively looser solver settings.
+///
+/// # Errors
+/// See [`measure`].
+pub fn measure_with_options(
+    kind: TransistorKind,
+    direction: Direction,
+    models: &MosModelSet,
+    load_farads: f64,
+    input_transition: Seconds,
+    horizon: Seconds,
+    options: Options,
+) -> Result<Measurement, CalibrateError> {
     // Convert the 10–90% input transition into a full-ramp duration.
     let full_ramp = (input_transition.value() / 0.8).max(1e-12);
     let t_edge = 0.25 * horizon.value();
@@ -203,7 +229,7 @@ pub fn measure(
     };
     let shape = Waveshape::ramp(v0, v1, t_edge, full_ramp);
     let ckt = build_circuit(kind, direction, models, load_farads, shape)?;
-    let sim = Simulator::new(&ckt);
+    let sim = Simulator::with_options(&ckt, options);
     let tstop = horizon.value() + full_ramp;
     let dt = (tstop / 4000.0).max(0.5e-12);
     let result = sim.transient(tstop, dt)?;

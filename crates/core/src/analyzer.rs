@@ -16,10 +16,11 @@
 //!
 //! Arrival times are 50%-crossing times; stage delays are 50%→50%.
 
+use crate::budget::{AnalysisBudget, BudgetTracker, PartialTiming};
 use crate::error::TimingError;
 use crate::extract::stages_to_full;
 use crate::logic::{self, LogicState, LogicValue};
-use crate::models::{estimate, ModelKind, TriggerContext};
+use crate::models::{estimate, estimate_with_fallback, ModelKind, TriggerContext};
 use crate::stage::Stage;
 use crate::tech::{Direction, Technology};
 use mosnet::units::Seconds;
@@ -58,6 +59,16 @@ pub struct AnalyzerOptions {
     pub non_switching_cap_weight: f64,
     /// Latest- or earliest-arrival analysis.
     pub mode: AnalysisMode,
+    /// Hard caps on the work this analysis may perform; unlimited by
+    /// default. When a cap fires the analyzer returns
+    /// [`TimingError::BudgetExhausted`] carrying every arrival computed
+    /// so far.
+    pub budget: AnalysisBudget,
+    /// Degrade a stage down the model chain (slope → rc-tree → lumped)
+    /// when the requested model cannot produce a usable estimate for it,
+    /// recording the substitute in [`Arrival::model`]. `false` restores
+    /// the strict single-model behavior.
+    pub model_fallback: bool,
 }
 
 impl Default for AnalyzerOptions {
@@ -65,6 +76,8 @@ impl Default for AnalyzerOptions {
         AnalyzerOptions {
             non_switching_cap_weight: NON_SWITCHING_CAP_WEIGHT,
             mode: AnalysisMode::WorstCase,
+            budget: AnalysisBudget::unlimited(),
+            model_fallback: true,
         }
     }
 }
@@ -147,13 +160,27 @@ pub struct Arrival {
     /// The gate node whose transition triggered the driving stage
     /// (`None` for the scenario input itself).
     pub cause: Option<NodeId>,
+    /// The delay model that actually produced this arrival. Matches the
+    /// requested model unless fallback degraded the driving stage.
+    pub model: ModelKind,
 }
 
 /// The outcome of a timing analysis.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimingResult {
-    arrivals: Vec<Option<Arrival>>,
-    model: ModelKind,
+    pub(crate) arrivals: Vec<Option<Arrival>>,
+    pub(crate) model: ModelKind,
+}
+
+#[cfg(test)]
+impl TimingResult {
+    /// An empty result for error-formatting tests.
+    pub(crate) fn empty_for_tests() -> TimingResult {
+        TimingResult {
+            arrivals: Vec::new(),
+            model: ModelKind::Slope,
+        }
+    }
 }
 
 impl TimingResult {
@@ -290,6 +317,33 @@ pub fn analyze_with_options(
         }
     };
 
+    // The input arrival is seeded before any budgeted work so that a
+    // budget-exhausted partial result is never empty.
+    let mut arrivals: Vec<Option<Arrival>> = vec![None; net.node_count()];
+    arrivals[scenario.input.index()] = Some(Arrival {
+        time: Seconds::ZERO,
+        transition: scenario.input_transition,
+        edge: scenario.edge,
+        cause: None,
+        model,
+    });
+    let mut tracker = BudgetTracker::new(options.budget);
+    // Packages whatever has been computed so far into the partial-result
+    // error, preserving the prefix property: arrivals are only added or
+    // refined, never removed, so the partial node set is a subset of what
+    // an unbudgeted run would produce.
+    let exhausted = |arrivals: Vec<Option<Arrival>>,
+                     exceeded: crate::budget::BudgetExceeded,
+                     rounds_completed: usize| {
+        TimingError::BudgetExhausted {
+            partial: Box::new(PartialTiming {
+                result: TimingResult { arrivals, model },
+                exceeded,
+                rounds_completed,
+            }),
+        }
+    };
+
     // Pre-extract the driving stages of every switching non-input node.
     let mut work: Vec<(NodeId, Edge, Vec<Stage>)> = Vec::new();
     for (&node, &edge) in &edge_of {
@@ -312,6 +366,9 @@ pub fn analyze_with_options(
                 && before.value(n) == LogicValue::One
                 && after.value(n) == LogicValue::One
         };
+        if let Err(e) = tracker.check_deadline() {
+            return Err(exhausted(arrivals, e, 0));
+        }
         let stages = stages_to_full(
             net,
             tech,
@@ -321,23 +378,24 @@ pub fn analyze_with_options(
             &cap_scale,
             &reservoir,
         );
+        if let Err(e) = tracker.check_paths(stages.len()) {
+            return Err(exhausted(arrivals, e, 0));
+        }
         work.push((node, edge, stages));
     }
     // Deterministic processing order.
     work.sort_by_key(|(n, _, _)| *n);
 
-    let mut arrivals: Vec<Option<Arrival>> = vec![None; net.node_count()];
-    arrivals[scenario.input.index()] = Some(Arrival {
-        time: Seconds::ZERO,
-        transition: scenario.input_transition,
-        edge: scenario.edge,
-        cause: None,
-    });
-
     let max_rounds = work.len() + 2;
     for round in 0..=max_rounds {
         let mut changed = false;
         for (node, edge, stages) in &work {
+            if let Err(e) = tracker.check_deadline() {
+                return Err(exhausted(arrivals, e, round));
+            }
+            if let Err(e) = tracker.charge_stage_evals(stages.len()) {
+                return Err(exhausted(arrivals, e, round));
+            }
             let candidate = evaluate_node(
                 net,
                 tech,
@@ -350,6 +408,7 @@ pub fn analyze_with_options(
                 *edge,
                 stages,
                 options.mode,
+                options.model_fallback,
             );
             if let Some(candidate) = candidate {
                 let update = match &arrivals[node.index()] {
@@ -393,6 +452,7 @@ fn evaluate_node(
     _edge: Edge,
     stages: &[Stage],
     mode: AnalysisMode,
+    model_fallback: bool,
 ) -> Option<Arrival> {
     let trigger_wins = |candidate: Seconds, best: Seconds| match mode {
         AnalysisMode::WorstCase => candidate > best,
@@ -464,14 +524,28 @@ fn evaluate_node(
             input_transition: transition,
             trigger_kind: kind,
         };
-        let d = estimate(model, tech, stage, ctx);
+        let (d, used_model) = if model_fallback {
+            match estimate_with_fallback(model, tech, stage, ctx) {
+                Ok(pair) => pair,
+                // Fail-soft: when even the lumped model cannot produce a
+                // usable number for this stage, skip it rather than
+                // poisoning the whole analysis with NaN/negative times.
+                Err(_) => continue,
+            }
+        } else {
+            (estimate(model, tech, stage, ctx), model)
+        };
         let candidate = Arrival {
             time: t_trig + d.delay,
             transition: d.output_transition,
             edge: _edge,
             cause: if cause == node { None } else { Some(cause) },
+            model: used_model,
         };
-        if worst.as_ref().is_none_or(|w| trigger_wins(candidate.time, w.time)) {
+        if worst
+            .as_ref()
+            .is_none_or(|w| trigger_wins(candidate.time, w.time))
+        {
             worst = Some(candidate);
         }
     }
@@ -712,8 +786,7 @@ mod tests {
         use mosnet::generators::barrel_shifter;
         let circuits: Vec<(mosnet::Network, &str, Scenario)> = vec![
             {
-                let net =
-                    inverter_chain(Style::Cmos, 3, 2.0, Farads::from_femto(100.0)).unwrap();
+                let net = inverter_chain(Style::Cmos, 3, 2.0, Farads::from_femto(100.0)).unwrap();
                 let s = Scenario::step(net.node_by_name("in").unwrap(), Edge::Rising);
                 (net, "out", s)
             },
@@ -859,6 +932,161 @@ mod tests {
         .unwrap()
         .time;
         assert_eq!(best, worst);
+    }
+
+    #[test]
+    fn unlimited_budget_matches_plain_analyze() {
+        let net = decoder2to4(Style::Cmos, Farads::from_femto(100.0)).unwrap();
+        let a0 = net.node_by_name("a0").unwrap();
+        let s = Scenario::step(a0, Edge::Rising);
+        let plain = analyze(&net, &tech(), ModelKind::Slope, &s).unwrap();
+        let budgeted = analyze_with_options(
+            &net,
+            &tech(),
+            ModelKind::Slope,
+            &s,
+            AnalyzerOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(plain, budgeted);
+    }
+
+    #[test]
+    fn stage_eval_cap_returns_nonempty_partial_prefix() {
+        use crate::budget::{AnalysisBudget, BudgetExceeded};
+        let net = decoder2to4(Style::Cmos, Farads::from_femto(100.0)).unwrap();
+        let a0 = net.node_by_name("a0").unwrap();
+        let s = Scenario::step(a0, Edge::Rising);
+        let full = analyze(&net, &tech(), ModelKind::Slope, &s).unwrap();
+        let options = AnalyzerOptions {
+            budget: AnalysisBudget {
+                max_stage_evals: Some(2),
+                ..AnalysisBudget::default()
+            },
+            ..AnalyzerOptions::default()
+        };
+        let err = analyze_with_options(&net, &tech(), ModelKind::Slope, &s, options)
+            .expect_err("a 2-eval cap cannot finish a decoder");
+        let TimingError::BudgetExhausted { partial } = err else {
+            panic!("expected BudgetExhausted, got {err:?}");
+        };
+        assert_eq!(partial.exceeded, BudgetExceeded::StageEvals { limit: 2 });
+        // Non-empty: at least the input arrival is present…
+        let partial_nodes: Vec<_> = partial.result.arrivals().map(|(n, _)| n).collect();
+        assert!(!partial_nodes.is_empty());
+        // …and every partial node also switches in the full result.
+        for node in partial_nodes {
+            assert!(
+                full.arrival(node).is_some(),
+                "partial arrival at {node:?} missing from the full result"
+            );
+        }
+    }
+
+    #[test]
+    fn paths_per_node_cap_fires_during_extraction() {
+        use crate::budget::{AnalysisBudget, BudgetExceeded};
+        let net = decoder2to4(Style::Cmos, Farads::from_femto(100.0)).unwrap();
+        let a0 = net.node_by_name("a0").unwrap();
+        let s = Scenario::step(a0, Edge::Rising);
+        let options = AnalyzerOptions {
+            budget: AnalysisBudget {
+                max_paths_per_node: Some(0),
+                ..AnalysisBudget::default()
+            },
+            ..AnalyzerOptions::default()
+        };
+        let err = analyze_with_options(&net, &tech(), ModelKind::Slope, &s, options)
+            .expect_err("a zero-path cap fires on the first extracted node");
+        let TimingError::BudgetExhausted { partial } = err else {
+            panic!("expected BudgetExhausted, got {err:?}");
+        };
+        assert!(matches!(
+            partial.exceeded,
+            BudgetExceeded::PathsPerNode { limit: 0, .. }
+        ));
+        assert_eq!(partial.rounds_completed, 0);
+        // The input arrival was seeded before extraction, so even this
+        // earliest possible stop carries a non-empty partial.
+        assert!(partial.result.arrival(a0).is_some());
+    }
+
+    #[test]
+    fn expired_deadline_stops_immediately_with_partial() {
+        use crate::budget::{AnalysisBudget, BudgetExceeded};
+        use std::time::Duration;
+        let net = decoder2to4(Style::Cmos, Farads::from_femto(100.0)).unwrap();
+        let a0 = net.node_by_name("a0").unwrap();
+        let s = Scenario::step(a0, Edge::Rising);
+        let options = AnalyzerOptions {
+            budget: AnalysisBudget {
+                deadline: Some(Duration::ZERO),
+                ..AnalysisBudget::default()
+            },
+            ..AnalyzerOptions::default()
+        };
+        let err = analyze_with_options(&net, &tech(), ModelKind::Slope, &s, options)
+            .expect_err("an already-expired deadline must stop the analysis");
+        let TimingError::BudgetExhausted { partial } = err else {
+            panic!("expected BudgetExhausted, got {err:?}");
+        };
+        assert!(matches!(partial.exceeded, BudgetExceeded::Deadline { .. }));
+        assert!(partial.result.arrival(a0).is_some());
+    }
+
+    /// A technology whose slope reff tables are all non-monotone, so every
+    /// slope-model stage must degrade to rc-tree.
+    fn broken_slope_tech() -> Technology {
+        use crate::tech::{DriveParams, SlopeTable};
+        use mosnet::units::Ohms;
+        use mosnet::TransistorKind;
+        let mut t = Technology::nominal();
+        let broken = DriveParams {
+            r_square: Ohms(20_000.0),
+            reff: SlopeTable::new(vec![(0.0, 1.0), (1.0, 3.0), (2.0, 0.5)])
+                .expect("non-monotone values pass construction"),
+            tout: SlopeTable::constant(1.0),
+        };
+        for kind in [
+            TransistorKind::NEnhancement,
+            TransistorKind::PEnhancement,
+            TransistorKind::Depletion,
+        ] {
+            for dir in [Direction::PullUp, Direction::PullDown] {
+                t.set_drive(kind, dir, broken.clone());
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn arrival_records_fallback_model() {
+        let net = inverter(Style::Cmos, Farads::from_femto(100.0));
+        let inp = net.node_by_name("in").unwrap();
+        let out = net.node_by_name("out").unwrap();
+        let s = Scenario::step(inp, Edge::Rising);
+        // Healthy technology: the requested model is recorded.
+        let healthy = analyze(&net, &tech(), ModelKind::Slope, &s).unwrap();
+        assert_eq!(healthy.delay_to(&net, out).unwrap().model, ModelKind::Slope);
+        // Broken slope tables: the stage degrades to rc-tree and says so.
+        let degraded = analyze(&net, &broken_slope_tech(), ModelKind::Slope, &s).unwrap();
+        let a = degraded.delay_to(&net, out).unwrap();
+        assert_eq!(a.model, ModelKind::RcTree);
+        assert!(a.time.value() > 0.0);
+        // With fallback disabled the strict single-model path is used and
+        // the (unvalidated) slope estimate is recorded as such.
+        let strict = analyze_with_options(
+            &net,
+            &broken_slope_tech(),
+            ModelKind::Slope,
+            &s,
+            AnalyzerOptions {
+                model_fallback: false,
+                ..AnalyzerOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(strict.delay_to(&net, out).unwrap().model, ModelKind::Slope);
     }
 
     #[test]

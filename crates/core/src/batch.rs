@@ -1,0 +1,239 @@
+//! Fail-soft batch execution of timing scenarios.
+//!
+//! A batch run (the CLI's `batch` command, regression sweeps) must not
+//! lose nineteen good results because the twentieth scenario fails — or
+//! worse, panics inside a model. [`run_batch_with`] isolates every
+//! scenario behind [`std::panic::catch_unwind`], records each outcome,
+//! and keeps going (unless `fail_fast` is set). The resulting
+//! [`BatchRun`] separates successes from failures and renders a
+//! structured summary for exit reporting.
+
+use crate::analyzer::{analyze_with_options, AnalyzerOptions, Scenario, TimingResult};
+use crate::error::TimingError;
+use crate::models::ModelKind;
+use crate::tech::Technology;
+use mosnet::Network;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Why one batch item produced no result.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BatchFailure<E> {
+    /// The scenario returned an ordinary error.
+    Error(E),
+    /// The scenario panicked; the panic was caught and the batch
+    /// continued.
+    Panicked {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+}
+
+impl<E: fmt::Display> fmt::Display for BatchFailure<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchFailure::Error(e) => write!(f, "{e}"),
+            BatchFailure::Panicked { message } => write!(f, "panicked: {message}"),
+        }
+    }
+}
+
+/// The outcome of one batch: per-item results in input order.
+#[derive(Debug)]
+pub struct BatchRun<T, E> {
+    /// `(label, outcome)` for every item that was attempted.
+    pub results: Vec<(String, Result<T, BatchFailure<E>>)>,
+    /// `true` when `fail_fast` stopped the batch before the last item.
+    pub aborted_early: bool,
+}
+
+impl<T, E> BatchRun<T, E> {
+    /// `true` when every attempted item succeeded and none were skipped.
+    pub fn all_ok(&self) -> bool {
+        !self.aborted_early && self.results.iter().all(|(_, r)| r.is_ok())
+    }
+
+    /// The failed items.
+    pub fn failures(&self) -> impl Iterator<Item = (&str, &BatchFailure<E>)> {
+        self.results
+            .iter()
+            .filter_map(|(label, r)| r.as_ref().err().map(|e| (label.as_str(), e)))
+    }
+}
+
+impl<T, E: fmt::Display> BatchRun<T, E> {
+    /// A structured multi-line failure summary: a count line followed by
+    /// one line per failure. Empty when everything succeeded.
+    pub fn failure_summary(&self) -> String {
+        let failed = self.failures().count();
+        if failed == 0 && !self.aborted_early {
+            return String::new();
+        }
+        let mut out = format!(
+            "{failed} of {} attempted scenarios failed{}\n",
+            self.results.len(),
+            if self.aborted_early {
+                " (batch aborted early by --fail-fast)"
+            } else {
+                ""
+            }
+        );
+        for (label, failure) in self.failures() {
+            out.push_str(&format!("  {label}: {failure}\n"));
+        }
+        out
+    }
+}
+
+/// Runs `f` over every labelled item, catching panics so one bad item
+/// cannot take down the batch. With `fail_fast`, stops after the first
+/// failure (marking the run aborted when items remain).
+pub fn run_batch_with<S, T, E, F>(
+    items: &[(String, S)],
+    mut f: F,
+    fail_fast: bool,
+) -> BatchRun<T, E>
+where
+    F: FnMut(&S) -> Result<T, E>,
+{
+    let mut results = Vec::with_capacity(items.len());
+    let mut aborted_early = false;
+    for (i, (label, item)) in items.iter().enumerate() {
+        let outcome = match catch_unwind(AssertUnwindSafe(|| f(item))) {
+            Ok(Ok(v)) => Ok(v),
+            Ok(Err(e)) => Err(BatchFailure::Error(e)),
+            Err(payload) => Err(BatchFailure::Panicked {
+                message: panic_message(payload.as_ref()),
+            }),
+        };
+        let failed = outcome.is_err();
+        results.push((label.clone(), outcome));
+        if failed && fail_fast {
+            aborted_early = i + 1 < items.len();
+            break;
+        }
+    }
+    BatchRun {
+        results,
+        aborted_early,
+    }
+}
+
+/// Analyzes every labelled scenario against one network, fail-soft.
+pub fn run_batch(
+    net: &Network,
+    tech: &Technology,
+    model: ModelKind,
+    scenarios: &[(String, Scenario)],
+    options: AnalyzerOptions,
+    fail_fast: bool,
+) -> BatchRun<TimingResult, TimingError> {
+    run_batch_with(
+        scenarios,
+        |scenario| analyze_with_options(net, tech, model, scenario, options),
+        fail_fast,
+    )
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::Edge;
+    use mosnet::generators::{inverter, Style};
+    use mosnet::units::Farads;
+
+    fn items(n: usize) -> Vec<(String, usize)> {
+        (0..n).map(|i| (format!("item{i}"), i)).collect()
+    }
+
+    #[test]
+    fn batch_continues_past_errors_and_panics() {
+        let run = run_batch_with(
+            &items(5),
+            |&i| match i {
+                1 => Err("ordinary failure".to_string()),
+                3 => panic!("injected panic {i}"),
+                _ => Ok(i * 10),
+            },
+            false,
+        );
+        assert_eq!(run.results.len(), 5, "every item was attempted");
+        assert!(!run.all_ok());
+        assert!(!run.aborted_early);
+        let failures: Vec<_> = run.failures().collect();
+        assert_eq!(failures.len(), 2);
+        assert_eq!(failures[0].0, "item1");
+        assert!(
+            matches!(failures[1].1, BatchFailure::Panicked { message } if message.contains("injected panic 3"))
+        );
+        // The summary names both.
+        let summary = run.failure_summary();
+        assert!(summary.contains("2 of 5"), "{summary}");
+        assert!(summary.contains("item3: panicked"), "{summary}");
+    }
+
+    #[test]
+    fn fail_fast_stops_at_the_first_failure() {
+        let mut attempted = Vec::new();
+        let run = run_batch_with(
+            &items(4),
+            |&i| {
+                attempted.push(i);
+                if i == 1 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(i)
+                }
+            },
+            true,
+        );
+        assert_eq!(attempted, vec![0, 1], "items after the failure are skipped");
+        assert_eq!(run.results.len(), 2);
+        assert!(run.aborted_early);
+        assert!(run
+            .failure_summary()
+            .contains("aborted early by --fail-fast"));
+    }
+
+    #[test]
+    fn clean_batch_has_empty_summary() {
+        let run = run_batch_with(&items(3), |&i| Ok::<_, String>(i), false);
+        assert!(run.all_ok());
+        assert_eq!(run.failure_summary(), "");
+    }
+
+    #[test]
+    fn timing_batch_analyzes_scenarios() {
+        let net = inverter(Style::Cmos, Farads::from_femto(100.0));
+        let inp = net.node_by_name("in").unwrap();
+        let out = net.node_by_name("out").unwrap();
+        let scenarios = vec![
+            ("in rise".to_string(), Scenario::step(inp, Edge::Rising)),
+            ("in fall".to_string(), Scenario::step(inp, Edge::Falling)),
+        ];
+        let run = run_batch(
+            &net,
+            &Technology::nominal(),
+            ModelKind::Slope,
+            &scenarios,
+            AnalyzerOptions::default(),
+            false,
+        );
+        assert!(run.all_ok());
+        for (_, result) in &run.results {
+            let result = result.as_ref().unwrap();
+            assert!(result.arrival(out).is_some());
+        }
+    }
+}

@@ -12,7 +12,9 @@
 //!
 //! Exit status 0 on success, 1 with a message on stderr otherwise.
 
-use crystal::analyzer::{analyze, Edge, Scenario};
+use crystal::analyzer::{analyze_with_options, AnalyzerOptions, Edge, Scenario};
+use crystal::batch::run_batch;
+use crystal::budget::AnalysisBudget;
 use crystal::models::ModelKind;
 use crystal::report::{critical_path_report, full_report};
 use crystal::sweep::{sweep_exhaustive, sweep_inputs, MAX_EXHAUSTIVE_INPUTS};
@@ -23,6 +25,7 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::fs;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,7 +41,7 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: crystal-cli <lint|logic|report|sweep|spice> <file.sim> [options]
+const USAGE: &str = "usage: crystal-cli <lint|logic|report|sweep|batch|spice> <file.sim> [options]
   --input NAME          switching input (report)
   --edge rise|fall      input edge direction (report)
   --model lumped|rctree|slope   delay model (default slope)
@@ -46,6 +49,10 @@ const USAGE: &str = "usage: crystal-cli <lint|logic|report|sweep|spice> <file.si
   --set NAME=0|1        static input level (repeatable)
   --output NAME         report only this output (default: all arrivals)
   --tech FILE           calibrated technology file (default: built-in nominal)
+  --max-stages N        analysis budget: max stage evaluations per scenario
+  --max-paths N         analysis budget: max driving paths per node
+  --deadline-ms MS      analysis budget: wall-clock deadline per scenario
+  --fail-fast           batch: stop at the first failing scenario
 ";
 
 /// Parsed common options.
@@ -57,6 +64,17 @@ struct Options {
     edge: Option<Edge>,
     output: Option<String>,
     tech: Option<String>,
+    budget: AnalysisBudget,
+    fail_fast: bool,
+}
+
+impl Options {
+    fn analyzer_options(&self) -> AnalyzerOptions {
+        AnalyzerOptions {
+            budget: self.budget,
+            ..AnalyzerOptions::default()
+        }
+    }
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -68,6 +86,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         edge: None,
         output: None,
         tech: None,
+        budget: AnalysisBudget::unlimited(),
+        fail_fast: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -106,6 +126,28 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 };
                 options.statics.push((name.to_string(), level));
             }
+            "--max-stages" => {
+                let n: usize = value("--max-stages")?
+                    .parse()
+                    .map_err(|_| "cannot parse --max-stages".to_string())?;
+                options.budget.max_stage_evals = Some(n);
+            }
+            "--max-paths" => {
+                let n: usize = value("--max-paths")?
+                    .parse()
+                    .map_err(|_| "cannot parse --max-paths".to_string())?;
+                options.budget.max_paths_per_node = Some(n);
+            }
+            "--deadline-ms" => {
+                let ms: f64 = value("--deadline-ms")?
+                    .parse()
+                    .map_err(|_| "cannot parse --deadline-ms".to_string())?;
+                if !(ms >= 0.0 && ms.is_finite()) {
+                    return Err("--deadline-ms must be a non-negative number".into());
+                }
+                options.budget.deadline = Some(Duration::from_secs_f64(ms / 1e3));
+            }
+            "--fail-fast" => options.fail_fast = true,
             "--input" => options.input = Some(value("--input")?),
             "--tech" => options.tech = Some(value("--tech")?),
             "--output" => options.output = Some(value("--output")?),
@@ -198,8 +240,14 @@ fn run(args: &[String]) -> Result<String, String> {
                 scenario = scenario.with_static(resolve(&net, name)?, *level);
             }
             let tech = load_technology(&options)?;
-            let result =
-                analyze(&net, &tech, options.model, &scenario).map_err(|e| e.to_string())?;
+            let result = analyze_with_options(
+                &net,
+                &tech,
+                options.model,
+                &scenario,
+                options.analyzer_options(),
+            )
+            .map_err(|e| e.to_string())?;
             match options.output.as_deref() {
                 Some(name) => {
                     let output = resolve(&net, name)?;
@@ -244,6 +292,73 @@ fn run(args: &[String]) -> Result<String, String> {
                 None => out.push_str("no output ever switches\n"),
             }
             Ok(out)
+        }
+        "batch" => {
+            let tech = load_technology(&options)?;
+            // Every (input × edge) scenario; unlisted inputs sit at their
+            // --set level (default 0).
+            let mut statics = HashMap::new();
+            for (name, level) in &options.statics {
+                statics.insert(resolve(&net, name)?, *level);
+            }
+            let mut scenarios: Vec<(String, Scenario)> = Vec::new();
+            for input in net.inputs() {
+                for edge in [Edge::Rising, Edge::Falling] {
+                    let label = format!(
+                        "{} {}",
+                        net.node(input).name(),
+                        if edge == Edge::Rising { "rise" } else { "fall" }
+                    );
+                    let mut scenario =
+                        Scenario::step(input, edge).with_input_transition(options.transition);
+                    for (&node, &level) in &statics {
+                        if node != input {
+                            scenario = scenario.with_static(node, level);
+                        }
+                    }
+                    scenarios.push((label, scenario));
+                }
+            }
+            if scenarios.is_empty() {
+                return Err("netlist has no primary inputs to batch over".into());
+            }
+            let batch = run_batch(
+                &net,
+                &tech,
+                options.model,
+                &scenarios,
+                options.analyzer_options(),
+                options.fail_fast,
+            );
+            let mut out = String::new();
+            for (label, outcome) in &batch.results {
+                match outcome {
+                    Ok(result) => match result.max_arrival() {
+                        Some((node, arrival)) => {
+                            let _ = writeln!(
+                                out,
+                                "{label}: ok, latest `{}` at {:.4} ns",
+                                net.node(node).name(),
+                                arrival.time.nanos()
+                            );
+                        }
+                        None => {
+                            let _ = writeln!(out, "{label}: ok, nothing switches");
+                        }
+                    },
+                    Err(failure) => {
+                        let _ = writeln!(out, "{label}: FAILED ({failure})");
+                    }
+                }
+            }
+            if batch.all_ok() {
+                let _ = writeln!(out, "{} scenarios, all ok", batch.results.len());
+                Ok(out)
+            } else {
+                // Completed scenarios stay visible; the failure summary
+                // drives the non-zero exit.
+                Err(format!("{out}{}", batch.failure_summary()))
+            }
         }
         "spice" => Ok(spice_format::write(&net)),
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
@@ -344,10 +459,8 @@ mod tests {
     #[test]
     fn report_accepts_a_technology_file() {
         let tech_text = crystal::tech_format::write(&Technology::nominal());
-        let tech_path = std::env::temp_dir().join(format!(
-            "crystal_cli_tech_{}.tech",
-            std::process::id()
-        ));
+        let tech_path =
+            std::env::temp_dir().join(format!("crystal_cli_tech_{}.tech", std::process::id()));
         fs::write(&tech_path, tech_text).expect("tech file writes");
         let path = fixture("techfile", INVERTER_CHAIN);
         let out = cli(&[
@@ -375,6 +488,63 @@ mod tests {
             tech_path.to_str().unwrap(),
         ])
         .is_err());
+    }
+
+    #[test]
+    fn batch_analyzes_every_input_edge_pair() {
+        let path = fixture("batch", INVERTER_CHAIN);
+        let out = cli(&["batch", path.to_str().unwrap()]).unwrap();
+        // One input × two edges.
+        assert!(out.contains("a rise: ok"), "{out}");
+        assert!(out.contains("a fall: ok"), "{out}");
+        assert!(out.contains("2 scenarios, all ok"), "{out}");
+    }
+
+    #[test]
+    fn batch_with_tight_budget_fails_soft_with_summary() {
+        let path = fixture("batch_budget", INVERTER_CHAIN);
+        let err = cli(&["batch", path.to_str().unwrap(), "--max-stages", "0"])
+            .expect_err("a zero-stage budget fails every scenario");
+        // Both scenarios were still attempted (fail-soft)…
+        assert!(err.contains("a rise: FAILED"), "{err}");
+        assert!(err.contains("a fall: FAILED"), "{err}");
+        assert!(err.contains("budget exhausted"), "{err}");
+        // …and the structured summary counts them.
+        assert!(err.contains("2 of 2 attempted scenarios failed"), "{err}");
+    }
+
+    #[test]
+    fn batch_fail_fast_stops_at_the_first_failure() {
+        let path = fixture("batch_ff", INVERTER_CHAIN);
+        let err = cli(&[
+            "batch",
+            path.to_str().unwrap(),
+            "--max-stages",
+            "0",
+            "--fail-fast",
+        ])
+        .expect_err("failures propagate");
+        assert!(err.contains("1 of 1 attempted scenarios failed"), "{err}");
+        assert!(err.contains("aborted early"), "{err}");
+        // The second scenario never ran.
+        assert!(!err.contains("a fall"), "{err}");
+    }
+
+    #[test]
+    fn report_honors_budget_flags() {
+        let path = fixture("report_budget", INVERTER_CHAIN);
+        let p = path.to_str().unwrap();
+        let base = ["report", p, "--input", "a", "--edge", "rise"];
+        // Unlimited: succeeds.
+        assert!(cli(&base).is_ok());
+        // A zero-stage cap: budget-exhausted error.
+        let mut capped = base.to_vec();
+        capped.extend(["--max-stages", "0"]);
+        let err = cli(&capped).expect_err("budget fires");
+        assert!(err.contains("budget exhausted"), "{err}");
+        // Bad values are parse errors.
+        assert!(cli(&["report", p, "--max-stages", "x"]).is_err());
+        assert!(cli(&["report", p, "--deadline-ms", "-5"]).is_err());
     }
 
     #[test]

@@ -1,0 +1,218 @@
+//! Hard work budgets for the analyzer.
+//!
+//! Crystal's promise is that switch-level analysis stays cheap; a
+//! pathological pass-transistor mesh must not be able to silently turn
+//! it expensive. An [`AnalysisBudget`] caps the stage evaluations, the
+//! extracted paths per node, and the wall-clock time of one analysis.
+//! When a cap is hit the analyzer stops immediately and returns
+//! [`TimingError::BudgetExhausted`](crate::error::TimingError::BudgetExhausted)
+//! carrying a [`PartialTiming`] — every arrival computed so far plus
+//! which cap fired — instead of an all-or-nothing abort.
+//!
+//! Partial results are a *prefix* of the unbudgeted analysis: arrivals
+//! are only ever added or refined during propagation, never removed, so
+//! every node present in the partial result also switches in the full
+//! result.
+
+use crate::analyzer::TimingResult;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Caps on the work one analysis may perform. `None` means unlimited;
+/// the default budget is fully unlimited, matching historical behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AnalysisBudget {
+    /// Maximum stage (model) evaluations across all propagation rounds.
+    pub max_stage_evals: Option<usize>,
+    /// Maximum extracted driving paths tolerated for any single node.
+    pub max_paths_per_node: Option<usize>,
+    /// Wall-clock deadline for the whole analysis.
+    pub deadline: Option<Duration>,
+}
+
+impl AnalysisBudget {
+    /// No caps at all (the default).
+    pub fn unlimited() -> AnalysisBudget {
+        AnalysisBudget::default()
+    }
+
+    /// `true` when no cap is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_stage_evals.is_none()
+            && self.max_paths_per_node.is_none()
+            && self.deadline.is_none()
+    }
+}
+
+/// Which budget cap fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BudgetExceeded {
+    /// The stage-evaluation cap was reached.
+    StageEvals {
+        /// The configured cap.
+        limit: usize,
+    },
+    /// One node's extracted path count exceeded the cap.
+    PathsPerNode {
+        /// The configured cap.
+        limit: usize,
+        /// Paths actually extracted for the offending node.
+        found: usize,
+    },
+    /// The wall-clock deadline passed.
+    Deadline {
+        /// The configured deadline.
+        limit: Duration,
+    },
+}
+
+impl fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetExceeded::StageEvals { limit } => {
+                write!(f, "stage-evaluation cap of {limit} reached")
+            }
+            BudgetExceeded::PathsPerNode { limit, found } => {
+                write!(
+                    f,
+                    "a node has {found} driving paths, over the cap of {limit}"
+                )
+            }
+            BudgetExceeded::Deadline { limit } => {
+                write!(f, "wall-clock deadline of {limit:?} passed")
+            }
+        }
+    }
+}
+
+/// A budget-limited analysis outcome: everything computed before the cap
+/// fired.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialTiming {
+    /// Arrivals computed so far; a prefix (node-subset) of the result an
+    /// unbudgeted run would produce.
+    pub result: TimingResult,
+    /// The cap that stopped the analysis.
+    pub exceeded: BudgetExceeded,
+    /// Completed propagation rounds before the stop.
+    pub rounds_completed: usize,
+}
+
+/// Run-scoped enforcement state: the budget plus the start instant and
+/// the evaluation counter.
+#[derive(Debug)]
+pub(crate) struct BudgetTracker {
+    budget: AnalysisBudget,
+    started: Instant,
+    stage_evals: usize,
+}
+
+impl BudgetTracker {
+    pub(crate) fn new(budget: AnalysisBudget) -> BudgetTracker {
+        BudgetTracker {
+            budget,
+            started: Instant::now(),
+            stage_evals: 0,
+        }
+    }
+
+    /// Errors once the wall-clock deadline has passed.
+    pub(crate) fn check_deadline(&self) -> Result<(), BudgetExceeded> {
+        match self.budget.deadline {
+            Some(limit) if self.started.elapsed() >= limit => {
+                Err(BudgetExceeded::Deadline { limit })
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Charges `n` stage evaluations, erroring when the cap is crossed.
+    pub(crate) fn charge_stage_evals(&mut self, n: usize) -> Result<(), BudgetExceeded> {
+        self.stage_evals = self.stage_evals.saturating_add(n);
+        match self.budget.max_stage_evals {
+            Some(limit) if self.stage_evals > limit => Err(BudgetExceeded::StageEvals { limit }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Errors when one node's path count exceeds the per-node cap.
+    pub(crate) fn check_paths(&self, found: usize) -> Result<(), BudgetExceeded> {
+        match self.budget.max_paths_per_node {
+            Some(limit) if found > limit => Err(BudgetExceeded::PathsPerNode { limit, found }),
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_budget_is_unlimited() {
+        assert!(AnalysisBudget::default().is_unlimited());
+        assert!(AnalysisBudget::unlimited().is_unlimited());
+        let capped = AnalysisBudget {
+            max_stage_evals: Some(10),
+            ..AnalysisBudget::default()
+        };
+        assert!(!capped.is_unlimited());
+    }
+
+    #[test]
+    fn tracker_charges_stage_evals() {
+        let mut t = BudgetTracker::new(AnalysisBudget {
+            max_stage_evals: Some(5),
+            ..AnalysisBudget::default()
+        });
+        assert!(t.charge_stage_evals(3).is_ok());
+        assert!(t.charge_stage_evals(2).is_ok()); // exactly at the cap
+        assert_eq!(
+            t.charge_stage_evals(1),
+            Err(BudgetExceeded::StageEvals { limit: 5 })
+        );
+    }
+
+    #[test]
+    fn tracker_checks_paths_per_node() {
+        let t = BudgetTracker::new(AnalysisBudget {
+            max_paths_per_node: Some(4),
+            ..AnalysisBudget::default()
+        });
+        assert!(t.check_paths(4).is_ok());
+        assert_eq!(
+            t.check_paths(5),
+            Err(BudgetExceeded::PathsPerNode { limit: 4, found: 5 })
+        );
+    }
+
+    #[test]
+    fn tracker_enforces_deadline() {
+        let t = BudgetTracker::new(AnalysisBudget {
+            deadline: Some(Duration::ZERO),
+            ..AnalysisBudget::default()
+        });
+        assert!(matches!(
+            t.check_deadline(),
+            Err(BudgetExceeded::Deadline { .. })
+        ));
+        let unlimited = BudgetTracker::new(AnalysisBudget::default());
+        assert!(unlimited.check_deadline().is_ok());
+    }
+
+    #[test]
+    fn exceeded_displays_name_the_cap() {
+        assert!(BudgetExceeded::StageEvals { limit: 9 }
+            .to_string()
+            .contains("9"));
+        assert!(BudgetExceeded::PathsPerNode { limit: 2, found: 7 }
+            .to_string()
+            .contains("7"));
+        assert!(BudgetExceeded::Deadline {
+            limit: Duration::from_millis(50)
+        }
+        .to_string()
+        .contains("deadline"));
+    }
+}

@@ -1,10 +1,16 @@
 //! Error types for the timing analyzer.
 
+use crate::budget::PartialTiming;
 use std::error::Error;
 use std::fmt;
 
 /// Errors produced by timing analysis.
+///
+/// Marked `#[non_exhaustive]`: downstream crates must keep a wildcard
+/// arm so future failure modes (like [`TimingError::BudgetExhausted`],
+/// added after the first release) are not breaking changes.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum TimingError {
     /// The scenario references a node that is not in the network.
     UnknownNode {
@@ -34,6 +40,12 @@ pub enum TimingError {
         /// Iterations performed.
         iterations: usize,
     },
+    /// A configured [`AnalysisBudget`](crate::budget::AnalysisBudget) cap
+    /// fired; the partial result carries every arrival computed so far.
+    BudgetExhausted {
+        /// The work done before the cap fired.
+        partial: Box<PartialTiming>,
+    },
     /// A malformed parameter.
     BadParameter {
         /// Description.
@@ -60,6 +72,16 @@ impl fmt::Display for TimingError {
                     "timing iteration failed to settle after {iterations} rounds"
                 )
             }
+            TimingError::BudgetExhausted { partial } => {
+                write!(
+                    f,
+                    "analysis budget exhausted ({}); partial result carries {} arrivals \
+                     from {} completed rounds",
+                    partial.exceeded,
+                    partial.result.arrivals().count(),
+                    partial.rounds_completed
+                )
+            }
             TimingError::BadParameter { message } => write!(f, "bad parameter: {message}"),
         }
     }
@@ -70,6 +92,62 @@ impl Error for TimingError {}
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::budget::BudgetExceeded;
+
+    /// Every variant must Display with its payload context intact and
+    /// round-trip through the `Error` trait object.
+    #[test]
+    fn display_round_trip_every_variant() {
+        let partial = PartialTiming {
+            result: crate::analyzer::TimingResult::empty_for_tests(),
+            exceeded: BudgetExceeded::StageEvals { limit: 12 },
+            rounds_completed: 3,
+        };
+        let cases: Vec<(TimingError, &[&str])> = vec![
+            (
+                TimingError::UnknownNode { name: "n42".into() },
+                &["unknown node", "n42"],
+            ),
+            (
+                TimingError::NotAnInput { name: "out".into() },
+                &["not a primary input", "out"],
+            ),
+            (
+                TimingError::MissingDriveParams {
+                    what: "p-pull-up".into(),
+                },
+                &["drive parameters", "p-pull-up"],
+            ),
+            (
+                TimingError::NoArrival { name: "w3".into() },
+                &["never switches", "w3"],
+            ),
+            (
+                TimingError::NoFixpoint { iterations: 17 },
+                &["failed to settle", "17"],
+            ),
+            (
+                TimingError::BudgetExhausted {
+                    partial: Box::new(partial),
+                },
+                &["budget exhausted", "12", "3 completed rounds"],
+            ),
+            (
+                TimingError::BadParameter {
+                    message: "negative load".into(),
+                },
+                &["bad parameter", "negative load"],
+            ),
+        ];
+        for (err, needles) in cases {
+            let direct = err.to_string();
+            let via_trait = (&err as &dyn Error).to_string();
+            assert_eq!(direct, via_trait, "{err:?}");
+            for needle in needles {
+                assert!(direct.contains(needle), "{direct:?} missing {needle:?}");
+            }
+        }
+    }
 
     #[test]
     fn display_is_informative() {

@@ -48,6 +48,8 @@
 #![warn(missing_debug_implementations)]
 
 pub mod analyzer;
+pub mod batch;
+pub mod budget;
 pub mod charge;
 pub mod error;
 pub mod extract;
@@ -64,8 +66,10 @@ pub use analyzer::{
     analyze, analyze_with_options, AnalysisMode, AnalyzerOptions, Arrival, Edge, Scenario,
     TimingResult,
 };
+pub use batch::{run_batch, run_batch_with, BatchFailure, BatchRun};
+pub use budget::{AnalysisBudget, BudgetExceeded, PartialTiming};
 pub use error::TimingError;
-pub use models::{ModelKind, StageDelay};
+pub use models::{estimate_with_fallback, try_estimate, ModelFailure, ModelKind, StageDelay};
 pub use rctree::RcTree;
 pub use stage::Stage;
 pub use tech::{Direction, DriveParams, SlopeTable, Technology};

@@ -35,6 +35,17 @@ pub enum ModelKind {
 impl ModelKind {
     /// All models, in comparison order.
     pub const ALL: [ModelKind; 3] = [ModelKind::Lumped, ModelKind::RcTree, ModelKind::Slope];
+
+    /// The next model down the graceful-degradation chain:
+    /// slope → rc-tree → lumped → (none). Each step drops a modeling
+    /// refinement but keeps the analysis alive.
+    pub fn fallback(self) -> Option<ModelKind> {
+        match self {
+            ModelKind::Slope => Some(ModelKind::RcTree),
+            ModelKind::RcTree => Some(ModelKind::Lumped),
+            ModelKind::Lumped => None,
+        }
+    }
 }
 
 impl fmt::Display for ModelKind {
@@ -90,6 +101,88 @@ pub fn estimate(
         ModelKind::Lumped => lumped::estimate(stage),
         ModelKind::RcTree => rctree::estimate(stage),
         ModelKind::Slope => slope::estimate(tech, stage, ctx),
+    }
+}
+
+/// Why a model could not produce a usable estimate for a stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelFailure {
+    /// The model that failed.
+    pub model: ModelKind,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl fmt::Display for ModelFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} model failed: {}", self.model, self.reason)
+    }
+}
+
+/// Evaluates `stage` under `model`, validating that the result is
+/// physically usable.
+///
+/// # Errors
+/// Returns [`ModelFailure`] when the model produces a non-finite or
+/// negative delay/transition, or (slope model only) when the calibrated
+/// effective-resistance table for the trigger is non-monotone — the
+/// model's core assumption that slower inputs mean weaker drive no
+/// longer holds, so its numbers cannot be trusted.
+pub fn try_estimate(
+    model: ModelKind,
+    tech: &Technology,
+    stage: &Stage,
+    ctx: TriggerContext,
+) -> Result<StageDelay, ModelFailure> {
+    if model == ModelKind::Slope {
+        let drive = tech.drive(ctx.trigger_kind, stage.direction);
+        if !drive.reff.is_monotone_nondecreasing() {
+            return Err(ModelFailure {
+                model,
+                reason: format!(
+                    "effective-resistance table for {:?}/{:?} is not monotone",
+                    ctx.trigger_kind, stage.direction
+                ),
+            });
+        }
+    }
+    let d = estimate(model, tech, stage, ctx);
+    let bad = |what: &str, v: Seconds| ModelFailure {
+        model,
+        reason: format!("{what} is {} s (non-finite or negative)", v.value()),
+    };
+    if !d.delay.value().is_finite() || d.delay.value() < 0.0 {
+        return Err(bad("delay", d.delay));
+    }
+    if !d.output_transition.value().is_finite() || d.output_transition.value() < 0.0 {
+        return Err(bad("output transition", d.output_transition));
+    }
+    Ok(d)
+}
+
+/// Evaluates `stage` under `model`, degrading down the fallback chain
+/// (slope → rc-tree → lumped) when a higher-fidelity model fails.
+/// Returns the estimate together with the model that actually produced
+/// it, so callers can record the degradation.
+///
+/// # Errors
+/// Returns the *last* [`ModelFailure`] when even the lumped model cannot
+/// produce a usable number.
+pub fn estimate_with_fallback(
+    model: ModelKind,
+    tech: &Technology,
+    stage: &Stage,
+    ctx: TriggerContext,
+) -> Result<(StageDelay, ModelKind), ModelFailure> {
+    let mut at = model;
+    loop {
+        match try_estimate(at, tech, stage, ctx) {
+            Ok(d) => return Ok((d, at)),
+            Err(failure) => match at.fallback() {
+                Some(next) => at = next,
+                None => return Err(failure),
+            },
+        }
     }
 }
 
@@ -198,5 +291,78 @@ mod tests {
         assert_eq!(ModelKind::Lumped.to_string(), "lumped");
         assert_eq!(ModelKind::RcTree.to_string(), "rc-tree");
         assert_eq!(ModelKind::Slope.to_string(), "slope");
+    }
+
+    #[test]
+    fn fallback_chain_descends_to_lumped() {
+        assert_eq!(ModelKind::Slope.fallback(), Some(ModelKind::RcTree));
+        assert_eq!(ModelKind::RcTree.fallback(), Some(ModelKind::Lumped));
+        assert_eq!(ModelKind::Lumped.fallback(), None);
+    }
+
+    /// A technology whose slope reff table is non-monotone: physically
+    /// impossible (slower input would mean *stronger* drive), so the
+    /// slope model must refuse it.
+    fn broken_slope_tech() -> Technology {
+        use crate::tech::{Direction, DriveParams, SlopeTable};
+        use mosnet::units::Ohms;
+        let mut tech = Technology::nominal();
+        let broken = DriveParams {
+            r_square: Ohms(20_000.0),
+            reff: SlopeTable::new(vec![(0.0, 1.0), (1.0, 3.0), (2.0, 0.5)])
+                .expect("non-monotone values pass construction"),
+            tout: SlopeTable::constant(1.0),
+        };
+        for kind in [
+            TransistorKind::NEnhancement,
+            TransistorKind::PEnhancement,
+            TransistorKind::Depletion,
+        ] {
+            for dir in [Direction::PullUp, Direction::PullDown] {
+                tech.set_drive(kind, dir, broken.clone());
+            }
+        }
+        tech
+    }
+
+    #[test]
+    fn try_estimate_rejects_non_monotone_slope_table() {
+        let tech = broken_slope_tech();
+        let stage = inverter_stage();
+        let err = try_estimate(ModelKind::Slope, &tech, &stage, TriggerContext::step())
+            .expect_err("non-monotone table must fail");
+        assert_eq!(err.model, ModelKind::Slope);
+        assert!(err.to_string().contains("monotone"), "{err}");
+        // The healthy nominal technology passes.
+        let ok = try_estimate(
+            ModelKind::Slope,
+            &Technology::nominal(),
+            &stage,
+            TriggerContext::step(),
+        );
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn fallback_degrades_slope_to_rctree() {
+        let tech = broken_slope_tech();
+        let stage = inverter_stage();
+        let (d, used) =
+            estimate_with_fallback(ModelKind::Slope, &tech, &stage, TriggerContext::step())
+                .expect("rc-tree rescues the stage");
+        assert_eq!(used, ModelKind::RcTree);
+        let reference = estimate(ModelKind::RcTree, &tech, &stage, TriggerContext::step());
+        assert_eq!(d.delay, reference.delay);
+    }
+
+    #[test]
+    fn fallback_keeps_requested_model_when_healthy() {
+        let tech = Technology::nominal();
+        let stage = inverter_stage();
+        for model in ModelKind::ALL {
+            let (_, used) =
+                estimate_with_fallback(model, &tech, &stage, TriggerContext::step()).unwrap();
+            assert_eq!(used, model);
+        }
     }
 }

@@ -230,10 +230,12 @@ impl RcTree {
         let upper_log = tdi - tri + tp * (1.0 / q).ln();
         let upper = upper_simple.min(upper_log);
 
-        // Lower candidates.
+        // Lower candidates (Rubinstein–Penfield table: the log branch
+        // applies when 1−v ≤ T_RI/T_DI and must use T_DI, not T_P, in
+        // the logarithm — T_P there would overshoot the true bound).
         let lower_linear = (tp - tdi * q).max(0.0);
-        let lower_log = if tri > 0.0 && tri >= tp * q {
-            tp - tri + tri * (tri / (tp * q)).ln()
+        let lower_log = if tri > 0.0 && tri >= tdi * q {
+            tp - tri + tri * (tri / (tdi * q)).ln()
         } else {
             0.0
         };

@@ -116,7 +116,10 @@ pub fn parse(source: &str) -> Result<Technology, TimingError> {
             }
             "drive" => {
                 if fields.len() != 5 || fields[3] != "r_square" {
-                    return Err(bad(line, "expected: drive <k> <dir> r_square <ohms>".into()));
+                    return Err(bad(
+                        line,
+                        "expected: drive <k> <dir> r_square <ohms>".into(),
+                    ));
                 }
                 let kind = parse_kind(fields[1])
                     .ok_or_else(|| bad(line, format!("unknown kind `{}`", fields[1])))?;

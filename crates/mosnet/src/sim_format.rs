@@ -519,7 +519,7 @@ C out 100
         let mid = net.node_by_name("mid").expect("shared net exists");
         assert_eq!(net.channel_neighbors(mid).len(), 2); // u1's output pair
         assert_eq!(net.gated_by(mid).len(), 2); // u2's input gates
-        // u1.m has its local capacitance.
+                                                // u1.m has its local capacitance.
         let m1 = net.node_by_name("u1.m").unwrap();
         assert!((net.node(m1).capacitance().femto() - 10.0).abs() < 1e-9);
     }
@@ -564,7 +564,10 @@ x top buf2 in out
         let src = "subckt inv a y\nends\nsubckt inv a y\nends\n";
         assert!(matches!(parse(src, "e"), Err(NetworkError::Parse { .. })));
         // `ends` without `subckt`.
-        assert!(matches!(parse("ends\n", "e"), Err(NetworkError::Parse { .. })));
+        assert!(matches!(
+            parse("ends\n", "e"),
+            Err(NetworkError::Parse { .. })
+        ));
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::circuit::Circuit;
 use crate::devices::{Device, NodeRef};
 use crate::error::SimError;
 use crate::matrix::{LuFactors, Matrix};
+use crate::recovery::{RecoveryLog, RecoveryPolicy, RescueStrategy};
 use crate::waveform::Waveform;
 
 /// Time-integration method for the transient analysis.
@@ -158,28 +159,105 @@ impl<'a> Simulator<'a> {
     /// See [`Self::op`].
     pub fn op_at(&self, t: f64) -> Result<Vec<f64>, SimError> {
         self.circuit.check()?;
+        let budget = self.options.max_nr_iterations;
         let n = self.circuit.unknown_count();
         let mut x = vec![0.0; n];
-        match self.newton(t, None, &mut x, self.options.gmin) {
+        match self.newton(t, None, &mut x, self.options.gmin, budget, 1.0) {
             Ok(()) => Ok(x),
             Err(_) => {
                 // gmin stepping: start heavily damped, relax gradually.
                 x.fill(0.0);
                 let mut gmin = 1e-2;
                 while gmin > self.options.gmin {
-                    self.newton(t, None, &mut x, gmin).map_err(|e| match e {
-                        SimError::NoConvergence { .. } => SimError::NoConvergence {
-                            time: t,
-                            iterations: self.options.max_nr_iterations,
-                        },
-                        other => other,
-                    })?;
+                    self.newton(t, None, &mut x, gmin, budget, 1.0)
+                        .map_err(|e| match e {
+                            SimError::NoConvergence { .. } => SimError::NoConvergence {
+                                time: t,
+                                iterations: budget,
+                            },
+                            other => other,
+                        })?;
                     gmin *= 1e-2;
                 }
-                self.newton(t, None, &mut x, self.options.gmin)?;
+                self.newton(t, None, &mut x, self.options.gmin, budget, 1.0)?;
                 Ok(x)
             }
         }
+    }
+
+    /// DC operating point with the convergence-rescue ladder: when the
+    /// plain solve (including its built-in gmin stepping) fails, retries
+    /// under `policy` with gmin stepping at a boosted iteration budget,
+    /// then source stepping. Every rung is recorded in the returned
+    /// [`RecoveryLog`]; an empty log means no rescue was needed.
+    ///
+    /// # Errors
+    /// Returns [`SimError::RecoveryExhausted`] listing the attempted
+    /// strategies when every rung fails (or the original error when the
+    /// policy is disabled), and passes through structural errors like
+    /// [`SimError::SingularMatrix`] unchanged.
+    pub fn op_recovered(
+        &self,
+        policy: &RecoveryPolicy,
+    ) -> Result<(Vec<f64>, RecoveryLog), SimError> {
+        let mut log = RecoveryLog::new();
+        let x = self.op_rescued(0.0, policy, &mut log)?;
+        Ok((x, log))
+    }
+
+    /// The rescue ladder for a DC solve at time `t`, appending attempts
+    /// to `log`.
+    fn op_rescued(
+        &self,
+        t: f64,
+        policy: &RecoveryPolicy,
+        log: &mut RecoveryLog,
+    ) -> Result<Vec<f64>, SimError> {
+        let base = match self.op_at(t) {
+            Ok(x) => return Ok(x),
+            Err(e @ (SimError::SingularMatrix { .. } | SimError::BadNode { .. })) => return Err(e),
+            Err(e) => e,
+        };
+        if !policy.enabled {
+            return Err(base);
+        }
+        let n = self.circuit.unknown_count();
+        let budget = policy.nr_iterations.max(1);
+
+        // Rung 1: gmin stepping with the policy's (boosted) budget.
+        let mut x = vec![0.0; n];
+        let mut gmin = policy.gmin_start;
+        let rung = loop {
+            if self.newton(t, None, &mut x, gmin, budget, 1.0).is_err() {
+                break Err(());
+            }
+            if gmin <= self.options.gmin {
+                break Ok(());
+            }
+            gmin = (gmin * policy.gmin_reduction).max(self.options.gmin);
+        };
+        log.record(RescueStrategy::GminStepping, rung.is_ok(), t);
+        if rung.is_ok() {
+            return Ok(x);
+        }
+
+        // Rung 2: source stepping — ramp the excitation from zero,
+        // re-converging at each scale from the previous solution.
+        let mut x = vec![0.0; n];
+        let steps = policy.source_steps.max(1);
+        let rung = (1..=steps).try_for_each(|k| {
+            let scale = k as f64 / steps as f64;
+            self.newton(t, None, &mut x, self.options.gmin, budget, scale)
+                .map_err(|_| ())
+        });
+        log.record(RescueStrategy::SourceStepping, rung.is_ok(), t);
+        if rung.is_ok() {
+            return Ok(x);
+        }
+
+        Err(SimError::RecoveryExhausted {
+            attempts: log.strategies_tried(),
+        })
     }
 
     /// Fixed-grid transient analysis from `0` to `tstop` with output step
@@ -191,7 +269,30 @@ impl<'a> Simulator<'a> {
     /// and [`SimError::NoConvergence`] if a step cannot be completed even
     /// at the smallest sub-step.
     pub fn transient(&self, tstop: f64, dt: f64) -> Result<TranResult, SimError> {
-        self.transient_impl(tstop, dt, None)
+        self.transient_impl(tstop, dt, None, None)
+    }
+
+    /// [`Self::transient`] with the convergence-rescue ladder: when a
+    /// step fails even after the ordinary halvings, the engine retries
+    /// the step with gmin stepping at a boosted iteration budget, then
+    /// keeps halving through `policy.max_extra_halvings` further
+    /// reductions (exponential backoff) before giving up. The initial DC
+    /// point is solved through the full DC ladder (gmin stepping, then
+    /// source stepping). Every rung is recorded in the returned
+    /// [`RecoveryLog`].
+    ///
+    /// # Errors
+    /// As [`Self::transient`], with terminal convergence failures
+    /// reported as [`SimError::RecoveryExhausted`].
+    pub fn transient_recovered(
+        &self,
+        tstop: f64,
+        dt: f64,
+        policy: &RecoveryPolicy,
+    ) -> Result<(TranResult, RecoveryLog), SimError> {
+        let mut log = RecoveryLog::new();
+        let result = self.transient_impl(tstop, dt, None, Some((policy, &mut log)))?;
+        Ok((result, log))
     }
 
     /// Transient analysis "use initial conditions" style: instead of a DC
@@ -215,7 +316,7 @@ impl<'a> Simulator<'a> {
                 return Err(SimError::BadNode { index: node });
             }
         }
-        self.transient_impl(tstop, dt, Some(initial))
+        self.transient_impl(tstop, dt, Some(initial), None)
     }
 
     fn transient_impl(
@@ -223,6 +324,7 @@ impl<'a> Simulator<'a> {
         tstop: f64,
         dt: f64,
         initial: Option<&[(usize, f64)]>,
+        mut rescue: Option<(&RecoveryPolicy, &mut RecoveryLog)>,
     ) -> Result<TranResult, SimError> {
         if !(tstop > 0.0 && tstop.is_finite()) {
             return Err(SimError::BadParameter {
@@ -236,7 +338,10 @@ impl<'a> Simulator<'a> {
         }
         let n_nodes = self.circuit.node_count();
         let mut x = match initial {
-            None => self.op()?,
+            None => match rescue.as_mut() {
+                Some((policy, log)) => self.op_rescued(0.0, policy, log)?,
+                None => self.op()?,
+            },
             Some(ics) => {
                 self.circuit.check()?;
                 let mut x = vec![0.0; self.circuit.unknown_count()];
@@ -267,6 +372,11 @@ impl<'a> Simulator<'a> {
             let mut t_now = (step - 1) as f64 * dt;
             let mut sub_dt = dt;
             let mut halvings = 0u32;
+            // Rescue bookkeeping for this output step: the gmin rung runs
+            // at most once, and entering the extra-halving region switches
+            // to the policy's boosted Newton budget.
+            let mut gmin_rescue_tried = false;
+            let mut in_reduction = false;
             while t_now < t_target - 1e-18 {
                 let t_next = (t_now + sub_dt).min(t_target);
                 let h = t_next - t_now;
@@ -283,22 +393,84 @@ impl<'a> Simulator<'a> {
                     cap_currents: &cap_currents,
                     method,
                 };
-                match self.newton(t_next, Some(ctx), &mut x_try, self.options.gmin) {
+                let budget = match (&rescue, in_reduction) {
+                    (Some((policy, _)), true) => policy.nr_iterations.max(1),
+                    _ => self.options.max_nr_iterations,
+                };
+                match self.newton(
+                    t_next,
+                    Some(ctx),
+                    &mut x_try,
+                    self.options.gmin,
+                    budget,
+                    1.0,
+                ) {
                     Ok(()) => {
+                        if in_reduction {
+                            if let Some((_, log)) = rescue.as_mut() {
+                                log.record(RescueStrategy::TimestepReduction, true, t_next);
+                            }
+                            in_reduction = false;
+                        }
                         self.update_cap_currents(&x_prev, &x_try, h, method, &mut cap_currents);
                         x = x_try;
                         t_now = t_next;
                         first_step = false;
+                        // Regrow a previously halved step so one hard spot
+                        // does not pin the rest of the run to tiny steps.
+                        if halvings > 0 {
+                            sub_dt = (sub_dt * 2.0).min(dt);
+                            halvings -= 1;
+                        }
+                        gmin_rescue_tried = false;
                     }
                     Err(SimError::NoConvergence { .. }) => {
                         halvings += 1;
-                        if halvings > self.options.max_step_halvings {
+                        if halvings <= self.options.max_step_halvings {
+                            sub_dt *= 0.5;
+                            continue;
+                        }
+                        let Some((policy, log)) = rescue.as_mut().filter(|(p, _)| p.enabled) else {
                             return Err(SimError::NoConvergence {
                                 time: t_next,
                                 iterations: self.options.max_nr_iterations,
                             });
+                        };
+                        let policy = *policy;
+                        if !gmin_rescue_tried {
+                            gmin_rescue_tried = true;
+                            let rescued = self.step_gmin_rescue(t_next, ctx, policy);
+                            log.record(RescueStrategy::GminStepping, rescued.is_some(), t_next);
+                            if let Some(x_new) = rescued {
+                                self.update_cap_currents(
+                                    &x_prev,
+                                    &x_new,
+                                    h,
+                                    method,
+                                    &mut cap_currents,
+                                );
+                                x = x_new;
+                                t_now = t_next;
+                                first_step = false;
+                                if halvings > 0 {
+                                    sub_dt = (sub_dt * 2.0).min(dt);
+                                    halvings -= 1;
+                                }
+                                gmin_rescue_tried = false;
+                                continue;
+                            }
                         }
-                        sub_dt *= 0.5;
+                        // Timestep reduction: exponential backoff past the
+                        // ordinary halving budget, at the boosted budget.
+                        if halvings <= self.options.max_step_halvings + policy.max_extra_halvings {
+                            in_reduction = true;
+                            sub_dt *= 0.5;
+                        } else {
+                            log.record(RescueStrategy::TimestepReduction, false, t_next);
+                            return Err(SimError::RecoveryExhausted {
+                                attempts: log.strategies_tried(),
+                            });
+                        }
                     }
                     Err(other) => return Err(other),
                 }
@@ -314,6 +486,29 @@ impl<'a> Simulator<'a> {
             times,
             data,
         })
+    }
+
+    /// The gmin-stepping rescue rung for one implicit transient step:
+    /// re-solves the same step starting from a large gmin shunt, relaxing
+    /// geometrically back to the nominal value, all at the policy's
+    /// boosted iteration budget. Returns the converged solution or `None`.
+    fn step_gmin_rescue(
+        &self,
+        t: f64,
+        ctx: DynamicCtx<'_>,
+        policy: &RecoveryPolicy,
+    ) -> Option<Vec<f64>> {
+        let budget = policy.nr_iterations.max(1);
+        let mut x_try = ctx.prev.to_vec();
+        let mut gmin = policy.gmin_start;
+        loop {
+            self.newton(t, Some(ctx), &mut x_try, gmin, budget, 1.0)
+                .ok()?;
+            if gmin <= self.options.gmin {
+                return Some(x_try);
+            }
+            gmin = (gmin * policy.gmin_reduction).max(self.options.gmin);
+        }
     }
 
     /// Recomputes the capacitor branch currents after an accepted step
@@ -430,7 +625,14 @@ impl<'a> Simulator<'a> {
                     cap_currents: from_i,
                     method,
                 };
-                self.newton(at, Some(ctx), target_x, self.options.gmin)
+                self.newton(
+                    at,
+                    Some(ctx),
+                    target_x,
+                    self.options.gmin,
+                    self.options.max_nr_iterations,
+                    1.0,
+                )
             };
             let mut x_full = Vec::new();
             let full = attempt(&mut x_full, &x, &cap_currents, h_eff, t + h_eff);
@@ -470,13 +672,7 @@ impl<'a> Simulator<'a> {
                     let mut i_new = cap_currents.clone();
                     if let Some(Ok((_, x_half, i_half))) = half_result {
                         i_new = i_half;
-                        self.update_cap_currents(
-                            &x_half,
-                            &x_new,
-                            h_eff / 2.0,
-                            method,
-                            &mut i_new,
-                        );
+                        self.update_cap_currents(&x_half, &x_new, h_eff / 2.0, method, &mut i_new);
                     }
                     let t_new = t + h_eff;
                     // Emit output samples crossed by this step.
@@ -529,23 +725,28 @@ impl<'a> Simulator<'a> {
 
     /// One Newton solve at time `t`. `dynamic` carries the previous
     /// solution and the step size for capacitor companions; `None` means DC
-    /// (capacitors open).
+    /// (capacitors open). `budget` caps the iterations (rescue rungs pass
+    /// a boosted budget independent of the base options) and
+    /// `source_scale` scales every independent source (1.0 outside the
+    /// source-stepping rescue rung).
     fn newton(
         &self,
         t: f64,
         dynamic: Option<DynamicCtx<'_>>,
         x: &mut [f64],
         gmin: f64,
+        budget: usize,
+        source_scale: f64,
     ) -> Result<(), SimError> {
         let n = self.circuit.unknown_count();
         let n_nodes = self.circuit.node_count();
         let mut a = Matrix::zeros(n, n);
         let mut rhs = vec![0.0; n];
 
-        for iteration in 0..self.options.max_nr_iterations {
+        for iteration in 0..budget {
             a.clear();
             rhs.fill(0.0);
-            self.assemble(t, dynamic, x, gmin, &mut a, &mut rhs);
+            self.assemble(t, dynamic, x, gmin, source_scale, &mut a, &mut rhs);
             let x_new = LuFactors::factor(a.clone())?.solve(&rhs);
 
             // Damped update with convergence check on node voltages.
@@ -575,17 +776,19 @@ impl<'a> Simulator<'a> {
         }
         Err(SimError::NoConvergence {
             time: t,
-            iterations: self.options.max_nr_iterations,
+            iterations: budget,
         })
     }
 
     /// Assembles the linearized MNA system at the current iterate.
+    #[allow(clippy::too_many_arguments)]
     fn assemble(
         &self,
         t: f64,
         dynamic: Option<DynamicCtx<'_>>,
         x: &[f64],
         gmin: f64,
+        source_scale: f64,
         a: &mut Matrix,
         rhs: &mut [f64],
     ) {
@@ -629,7 +832,7 @@ impl<'a> Simulator<'a> {
                         a.add(m, row, -1.0);
                         a.add(row, m, -1.0);
                     }
-                    rhs[row] += v.shape.value(t);
+                    rhs[row] += source_scale * v.shape.value(t);
                 }
                 Device::Mosfet(m) => {
                     let vd = m.d.voltage(x);
@@ -1067,6 +1270,166 @@ mod tests {
         assert!(out.value_at(0.9e-6) < 0.01); // before pulse
         assert!(out.value_at(3.0e-6) > 0.8); // charged during pulse
         assert!(out.value_at(5.0e-6) < 0.5); // discharging after
+    }
+
+    /// A CMOS inverter mid-transition: nonlinear enough that Newton needs
+    /// several iterations, so a starved budget genuinely fails.
+    fn inverter_circuit(vin: f64) -> Circuit {
+        use crate::devices::MosParams;
+        let mut ckt = Circuit::new();
+        let vdd = ckt.add_node("vdd");
+        let inp = ckt.add_node("in");
+        let out = ckt.add_node("out");
+        ckt.add_vsource(vdd, NodeRef::Ground, Waveshape::Dc(5.0));
+        ckt.add_vsource(inp, NodeRef::Ground, Waveshape::Dc(vin));
+        ckt.add_mosfet(
+            out,
+            inp,
+            NodeRef::Ground,
+            8e-6,
+            2e-6,
+            MosParams::nmos_default(),
+        );
+        ckt.add_mosfet(out, inp, vdd, 16e-6, 2e-6, MosParams::pmos_default());
+        ckt
+    }
+
+    fn starved_options() -> Options {
+        Options {
+            max_nr_iterations: 1,
+            ..Options::default()
+        }
+    }
+
+    #[test]
+    fn starved_op_fails_without_rescue() {
+        let ckt = inverter_circuit(2.5);
+        let sim = Simulator::with_options(&ckt, starved_options());
+        assert!(sim.op().is_err());
+        let err = sim
+            .op_recovered(&crate::recovery::RecoveryPolicy::disabled())
+            .expect_err("disabled policy must pass the failure through");
+        assert!(matches!(err, SimError::NoConvergence { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn starved_op_rescued_by_default_policy() {
+        let ckt = inverter_circuit(2.5);
+        let starved = Simulator::with_options(&ckt, starved_options());
+        let policy = crate::recovery::RecoveryPolicy::default();
+        let (x, log) = starved.op_recovered(&policy).expect("ladder converges");
+        assert!(log.needed_rescue());
+        assert_eq!(
+            log.succeeded_with(),
+            Some(crate::recovery::RescueStrategy::GminStepping)
+        );
+        // The rescued solution matches the unconstrained solve.
+        let reference = Simulator::new(&ckt).op().expect("healthy solve");
+        for (a, b) in x.iter().zip(&reference) {
+            assert!((a - b).abs() < 1e-3, "rescued {a} vs reference {b}");
+        }
+    }
+
+    #[test]
+    fn healthy_op_needs_no_rescue() {
+        let ckt = inverter_circuit(0.0);
+        let sim = Simulator::new(&ckt);
+        let (_, log) = sim
+            .op_recovered(&crate::recovery::RecoveryPolicy::default())
+            .expect("converges directly");
+        assert!(!log.needed_rescue());
+        assert_eq!(log.to_string(), "no rescue needed");
+    }
+
+    #[test]
+    fn impossible_tolerance_exhausts_the_ladder() {
+        // abstol = reltol = 0 makes the convergence test unsatisfiable, so
+        // every rung fails and the typed exhaustion error lists them all.
+        let ckt = inverter_circuit(2.5);
+        let sim = Simulator::with_options(
+            &ckt,
+            Options {
+                abstol: 0.0,
+                reltol: 0.0,
+                max_nr_iterations: 5,
+                ..Options::default()
+            },
+        );
+        let err = sim
+            .op_recovered(&crate::recovery::RecoveryPolicy::default())
+            .expect_err("cannot converge");
+        match err {
+            SimError::RecoveryExhausted { attempts } => {
+                assert_eq!(
+                    attempts,
+                    vec![
+                        crate::recovery::RescueStrategy::GminStepping,
+                        crate::recovery::RescueStrategy::SourceStepping,
+                    ]
+                );
+            }
+            other => panic!("expected RecoveryExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn starved_transient_rescued_matches_healthy_run() {
+        // An inverter driven through its switching edge: the starved
+        // budget fails every step, the ladder still completes the run and
+        // lands on the same waveform as a healthy simulator.
+        use crate::devices::MosParams;
+        let mut ckt = Circuit::new();
+        let vdd = ckt.add_node("vdd");
+        let inp = ckt.add_node("in");
+        let out = ckt.add_node("out");
+        ckt.add_vsource(vdd, NodeRef::Ground, Waveshape::Dc(5.0));
+        ckt.add_vsource(inp, NodeRef::Ground, Waveshape::ramp(0.0, 5.0, 1e-9, 5e-10));
+        ckt.add_mosfet(
+            out,
+            inp,
+            NodeRef::Ground,
+            8e-6,
+            2e-6,
+            MosParams::nmos_default(),
+        );
+        ckt.add_mosfet(out, inp, vdd, 16e-6, 2e-6, MosParams::pmos_default());
+        ckt.add_capacitor(out, NodeRef::Ground, 100e-15);
+
+        let policy = crate::recovery::RecoveryPolicy::default();
+        let starved = Simulator::with_options(&ckt, starved_options());
+        assert!(starved.transient(6e-9, 10e-12).is_err());
+        let (result, log) = starved
+            .transient_recovered(6e-9, 10e-12, &policy)
+            .expect("ladder completes the run");
+        assert!(log.needed_rescue());
+        assert!(log.succeeded_with().is_some());
+
+        let healthy = Simulator::new(&ckt).transient(6e-9, 10e-12).unwrap();
+        let w_rescued = result.voltage_by_name("out").unwrap();
+        let w_healthy = healthy.voltage_by_name("out").unwrap();
+        for k in 1..=5 {
+            let t = k as f64 * 1e-9;
+            assert!(
+                (w_rescued.value_at(t) - w_healthy.value_at(t)).abs() < 0.05,
+                "at {t:e}: rescued {} vs healthy {}",
+                w_rescued.value_at(t),
+                w_healthy.value_at(t)
+            );
+        }
+    }
+
+    #[test]
+    fn healthy_transient_recovered_logs_nothing() {
+        let ckt = rc_circuit(1e3, 1e-9, Waveshape::Pwl(vec![(0.0, 0.0), (1e-12, 1.0)]));
+        let sim = Simulator::new(&ckt);
+        let (result, log) = sim
+            .transient_recovered(3e-6, 1e-8, &crate::recovery::RecoveryPolicy::default())
+            .unwrap();
+        assert!(!log.needed_rescue());
+        let plain = sim.transient(3e-6, 1e-8).unwrap();
+        let a = result.voltage_by_name("out").unwrap().value_at(2e-6);
+        let b = plain.voltage_by_name("out").unwrap().value_at(2e-6);
+        assert!((a - b).abs() < 1e-9, "recovered path must not perturb");
     }
 
     #[test]

@@ -1,10 +1,16 @@
 //! Error types for the simulator.
 
+use crate::recovery::RescueStrategy;
 use std::error::Error;
 use std::fmt;
 
 /// Errors produced by circuit assembly or simulation.
+///
+/// Marked `#[non_exhaustive]`: downstream crates must keep a wildcard
+/// arm so future failure modes (like [`SimError::RecoveryExhausted`],
+/// added after the first release) are not breaking changes.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum SimError {
     /// The MNA matrix is singular — typically a floating subcircuit or a
     /// loop of ideal voltage sources.
@@ -18,6 +24,12 @@ pub enum SimError {
         time: f64,
         /// Iterations performed in the final attempt.
         iterations: usize,
+    },
+    /// Newton–Raphson failed even after the convergence-rescue ladder
+    /// (see [`recovery`](crate::recovery)) climbed every applicable rung.
+    RecoveryExhausted {
+        /// The rescue strategies attempted, in order.
+        attempts: Vec<RescueStrategy>,
     },
     /// A device references a node index the circuit does not have.
     BadNode {
@@ -46,6 +58,20 @@ impl fmt::Display for SimError {
                 f,
                 "newton iteration failed to converge at t = {time:.3e} s after {iterations} iterations"
             ),
+            SimError::RecoveryExhausted { attempts } => {
+                write!(f, "convergence rescue exhausted after trying ")?;
+                if attempts.is_empty() {
+                    write!(f, "no strategies")
+                } else {
+                    for (i, s) in attempts.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{s}")?;
+                    }
+                    Ok(())
+                }
+            }
             SimError::BadNode { index } => write!(f, "device references unknown node {index}"),
             SimError::BadParameter { message } => write!(f, "bad parameter: {message}"),
             SimError::UnknownSignal { name } => write!(f, "unknown signal `{name}`"),
@@ -59,6 +85,56 @@ impl Error for SimError {}
 mod tests {
     use super::*;
 
+    /// Every variant must Display with its payload context intact and
+    /// round-trip through the `Error` trait object.
+    #[test]
+    fn display_round_trip_every_variant() {
+        let cases: Vec<(SimError, &[&str])> = vec![
+            (SimError::SingularMatrix { column: 7 }, &["singular", "7"]),
+            (
+                SimError::NoConvergence {
+                    time: 1e-9,
+                    iterations: 50,
+                },
+                &["converge", "50"],
+            ),
+            (
+                SimError::RecoveryExhausted {
+                    attempts: vec![
+                        RescueStrategy::GminStepping,
+                        RescueStrategy::SourceStepping,
+                        RescueStrategy::TimestepReduction,
+                    ],
+                },
+                &[
+                    "rescue exhausted",
+                    "gmin stepping",
+                    "source stepping",
+                    "timestep reduction",
+                ],
+            ),
+            (SimError::BadNode { index: 3 }, &["unknown node", "3"]),
+            (
+                SimError::BadParameter {
+                    message: "dt must be positive".into(),
+                },
+                &["bad parameter", "dt must be positive"],
+            ),
+            (
+                SimError::UnknownSignal { name: "out".into() },
+                &["unknown signal", "out"],
+            ),
+        ];
+        for (err, needles) in cases {
+            let direct = err.to_string();
+            let via_trait = (&err as &dyn Error).to_string();
+            assert_eq!(direct, via_trait, "{err:?}");
+            for needle in needles {
+                assert!(direct.contains(needle), "{direct:?} missing {needle:?}");
+            }
+        }
+    }
+
     #[test]
     fn messages_carry_context() {
         let e = SimError::NoConvergence {
@@ -68,6 +144,12 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("1.000e-9") || s.contains("1e-9"), "{s}");
         assert!(s.contains("50"));
+    }
+
+    #[test]
+    fn recovery_exhausted_with_no_attempts_displays() {
+        let e = SimError::RecoveryExhausted { attempts: vec![] };
+        assert!(e.to_string().contains("no strategies"));
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod devices;
 pub mod engine;
 pub mod error;
 pub mod matrix;
+pub mod recovery;
 pub mod waveform;
 
 pub use analysis::{
@@ -64,4 +65,5 @@ pub use analysis::{
 pub use circuit::{elaborate, Circuit, Elaboration, MosModelSet};
 pub use engine::{Integration, Options, Simulator, TranResult};
 pub use error::SimError;
+pub use recovery::{RecoveryAttempt, RecoveryLog, RecoveryPolicy, RescueStrategy};
 pub use waveform::Waveform;

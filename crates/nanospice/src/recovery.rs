@@ -1,0 +1,251 @@
+//! Convergence-rescue policies and logs.
+//!
+//! Newton–Raphson on stiff MOS circuits can fail for reasons that have
+//! nothing to do with the circuit being unsolvable: a starved iteration
+//! budget, a hard nonlinearity at the operating point, a source
+//! discontinuity crossing a step. Instead of surfacing
+//! [`SimError::NoConvergence`](crate::error::SimError::NoConvergence)
+//! immediately, the engine can climb a **rescue ladder** — gmin stepping,
+//! then source stepping, then timestep reduction with exponential
+//! backoff — controlled by a [`RecoveryPolicy`] and reported through a
+//! [`RecoveryLog`] so callers can see what it took to converge.
+//!
+//! The entry points are
+//! [`Simulator::op_recovered`](crate::engine::Simulator::op_recovered)
+//! and
+//! [`Simulator::transient_recovered`](crate::engine::Simulator::transient_recovered).
+
+use std::fmt;
+
+/// One rung of the convergence-rescue ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum RescueStrategy {
+    /// Re-solve with a large gmin shunt, relaxing it geometrically back
+    /// to the nominal value (continuation in conductance).
+    GminStepping,
+    /// Ramp all independent sources from zero to full value, re-solving
+    /// at each scale (continuation in excitation). DC only.
+    SourceStepping,
+    /// Halve the transient sub-step beyond the ordinary halving budget,
+    /// with a boosted Newton iteration budget. Transient only.
+    TimestepReduction,
+}
+
+impl fmt::Display for RescueStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            RescueStrategy::GminStepping => "gmin stepping",
+            RescueStrategy::SourceStepping => "source stepping",
+            RescueStrategy::TimestepReduction => "timestep reduction",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Controls whether and how hard the engine fights non-convergence.
+///
+/// The default policy is enabled with budgets that rescue the common
+/// pathologies (starved iteration budgets, stiff operating points)
+/// without letting a truly broken circuit burn unbounded time. Use
+/// [`RecoveryPolicy::disabled`] to reproduce the bare solver behavior.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Master switch; when `false` every rescue rung is skipped and the
+    /// original error surfaces unchanged.
+    pub enabled: bool,
+    /// Newton iteration budget used *inside rescue rungs*, independent of
+    /// [`Options::max_nr_iterations`](crate::engine::Options::max_nr_iterations)
+    /// so a starved base budget can still be rescued.
+    pub nr_iterations: usize,
+    /// Initial gmin for the gmin-stepping rung (S).
+    pub gmin_start: f64,
+    /// Factor applied to gmin per rung step (must be in `(0, 1)`).
+    pub gmin_reduction: f64,
+    /// Number of source-ramp points for the source-stepping rung.
+    pub source_steps: usize,
+    /// Extra sub-step halvings allowed beyond
+    /// [`Options::max_step_halvings`](crate::engine::Options::max_step_halvings)
+    /// during the timestep-reduction rung.
+    pub max_extra_halvings: u32,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> RecoveryPolicy {
+        RecoveryPolicy {
+            enabled: true,
+            nr_iterations: 200,
+            gmin_start: 1e-2,
+            gmin_reduction: 1e-2,
+            source_steps: 8,
+            max_extra_halvings: 8,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// A policy that never rescues: failures surface exactly as the bare
+    /// solver reports them.
+    pub fn disabled() -> RecoveryPolicy {
+        RecoveryPolicy {
+            enabled: false,
+            ..RecoveryPolicy::default()
+        }
+    }
+}
+
+/// One attempted rescue rung and its outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryAttempt {
+    /// The rung that was climbed.
+    pub strategy: RescueStrategy,
+    /// Whether this rung produced a converged solution.
+    pub succeeded: bool,
+    /// Simulation time at which the rescue ran (seconds; `0.0` for DC).
+    pub time: f64,
+}
+
+/// Per-run record of every rescue attempt, in the order tried.
+///
+/// An empty log means the run converged without rescue.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryLog {
+    attempts: Vec<RecoveryAttempt>,
+}
+
+impl RecoveryLog {
+    /// Creates an empty log.
+    pub fn new() -> RecoveryLog {
+        RecoveryLog::default()
+    }
+
+    /// Records one rescue attempt.
+    pub fn record(&mut self, strategy: RescueStrategy, succeeded: bool, time: f64) {
+        self.attempts.push(RecoveryAttempt {
+            strategy,
+            succeeded,
+            time,
+        });
+    }
+
+    /// Every attempt, in the order tried.
+    pub fn attempts(&self) -> &[RecoveryAttempt] {
+        &self.attempts
+    }
+
+    /// `true` when at least one rescue rung ran (the base solve failed
+    /// somewhere).
+    pub fn needed_rescue(&self) -> bool {
+        !self.attempts.is_empty()
+    }
+
+    /// The strategy of the last successful attempt, if any.
+    pub fn succeeded_with(&self) -> Option<RescueStrategy> {
+        self.attempts
+            .iter()
+            .rev()
+            .find(|a| a.succeeded)
+            .map(|a| a.strategy)
+    }
+
+    /// The distinct strategies tried, in first-tried order.
+    pub fn strategies_tried(&self) -> Vec<RescueStrategy> {
+        let mut seen = Vec::new();
+        for a in &self.attempts {
+            if !seen.contains(&a.strategy) {
+                seen.push(a.strategy);
+            }
+        }
+        seen
+    }
+
+    /// Merges another log's attempts onto the end of this one.
+    pub fn absorb(&mut self, other: RecoveryLog) {
+        self.attempts.extend(other.attempts);
+    }
+}
+
+impl fmt::Display for RecoveryLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.attempts.is_empty() {
+            return f.write_str("no rescue needed");
+        }
+        for (i, a) in self.attempts.iter().enumerate() {
+            if i > 0 {
+                f.write_str("; ")?;
+            }
+            write!(
+                f,
+                "{} at t={:.3e}: {}",
+                a.strategy,
+                a.time,
+                if a.succeeded { "converged" } else { "failed" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_enabled_and_bounded() {
+        let p = RecoveryPolicy::default();
+        assert!(p.enabled);
+        assert!(p.nr_iterations > 0);
+        assert!(p.gmin_start > 0.0);
+        assert!(p.gmin_reduction > 0.0 && p.gmin_reduction < 1.0);
+        assert!(p.source_steps > 0);
+        assert!(!RecoveryPolicy::disabled().enabled);
+    }
+
+    #[test]
+    fn log_tracks_attempts_and_winner() {
+        let mut log = RecoveryLog::new();
+        assert!(!log.needed_rescue());
+        assert_eq!(log.succeeded_with(), None);
+        log.record(RescueStrategy::GminStepping, false, 0.0);
+        log.record(RescueStrategy::SourceStepping, true, 0.0);
+        assert!(log.needed_rescue());
+        assert_eq!(log.succeeded_with(), Some(RescueStrategy::SourceStepping));
+        assert_eq!(
+            log.strategies_tried(),
+            vec![RescueStrategy::GminStepping, RescueStrategy::SourceStepping]
+        );
+        let text = log.to_string();
+        assert!(text.contains("gmin stepping"), "{text}");
+        assert!(text.contains("source stepping"), "{text}");
+    }
+
+    #[test]
+    fn strategies_tried_deduplicates() {
+        let mut log = RecoveryLog::new();
+        log.record(RescueStrategy::TimestepReduction, false, 1e-9);
+        log.record(RescueStrategy::TimestepReduction, true, 1e-9);
+        assert_eq!(
+            log.strategies_tried(),
+            vec![RescueStrategy::TimestepReduction]
+        );
+        assert_eq!(
+            log.succeeded_with(),
+            Some(RescueStrategy::TimestepReduction)
+        );
+    }
+
+    #[test]
+    fn absorb_concatenates() {
+        let mut a = RecoveryLog::new();
+        a.record(RescueStrategy::GminStepping, true, 0.0);
+        let mut b = RecoveryLog::new();
+        b.record(RescueStrategy::TimestepReduction, true, 2e-9);
+        a.absorb(b);
+        assert_eq!(a.attempts().len(), 2);
+    }
+
+    #[test]
+    fn empty_log_displays_cleanly() {
+        assert_eq!(RecoveryLog::new().to_string(), "no rescue needed");
+    }
+}

@@ -64,6 +64,203 @@ fn bad_device_reference_is_reported_before_solving() {
 }
 
 #[test]
+fn rescue_ladder_recovers_starved_operating_points() {
+    use nanospice::devices::MosParams;
+    use nanospice::RecoveryPolicy;
+    // Inverter bias points across the transfer curve: healthy defaults
+    // converge, a one-iteration Newton budget does not, and the rescue
+    // ladder must close the gap and name the winning strategy.
+    for vin in [0.5, 2.0, 2.5, 3.0, 4.5] {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.add_node("vdd");
+        let inp = ckt.add_node("in");
+        let out = ckt.add_node("out");
+        ckt.add_vsource(vdd, NodeRef::Ground, Waveshape::Dc(5.0));
+        ckt.add_vsource(inp, NodeRef::Ground, Waveshape::Dc(vin));
+        ckt.add_mosfet(
+            out,
+            inp,
+            NodeRef::Ground,
+            8e-6,
+            2e-6,
+            MosParams::nmos_default(),
+        );
+        ckt.add_mosfet(out, inp, vdd, 16e-6, 2e-6, MosParams::pmos_default());
+        let healthy = Simulator::new(&ckt)
+            .op()
+            .expect("healthy defaults converge");
+        let starved = Simulator::with_options(
+            &ckt,
+            Options {
+                max_nr_iterations: 1,
+                ..Options::default()
+            },
+        );
+        assert!(
+            matches!(starved.op(), Err(SimError::NoConvergence { .. })),
+            "vin={vin}: the starved budget should fail on its own"
+        );
+        let (rescued, log) = starved
+            .op_recovered(&RecoveryPolicy::default())
+            .unwrap_or_else(|e| panic!("vin={vin}: rescue ladder failed: {e}"));
+        assert!(log.needed_rescue(), "vin={vin}");
+        let strategy = log.succeeded_with().expect("a strategy won");
+        assert!(!strategy.to_string().is_empty());
+        for (a, b) in rescued.iter().zip(&healthy) {
+            assert!(
+                (a - b).abs() < 1e-3,
+                "vin={vin}: rescued {a} vs healthy {b}"
+            );
+        }
+    }
+}
+
+/// A random 24-transistor pass mesh: a CMOS inverter anchors the mesh to
+/// the rails, and every mesh node hangs off a randomly chosen earlier
+/// node through an n-pass device gated by `ctl`. With `ctl` high, a
+/// rising input drains the whole mesh through the inverter's pull-down —
+/// two dozen switching nodes for the budget to interrupt.
+fn random_pass_mesh(seed: u64) -> mosnet::Network {
+    use mosnet::network::NetworkBuilder;
+    use mosnet::units::Farads;
+    use mosnet::{Geometry, NodeKind, TransistorKind};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = NetworkBuilder::new("pass-mesh");
+    let vdd = b.power();
+    let gnd = b.ground();
+    let inp = b.node("in", NodeKind::Input);
+    let ctl = b.node("ctl", NodeKind::Input);
+    let drv = b.node("drv", NodeKind::Internal);
+    b.set_capacitance(drv, Farads::from_femto(20.0));
+    b.add_transistor(
+        TransistorKind::NEnhancement,
+        inp,
+        drv,
+        gnd,
+        Geometry::from_microns(8.0, 2.0),
+    );
+    b.add_transistor(
+        TransistorKind::PEnhancement,
+        inp,
+        drv,
+        vdd,
+        Geometry::from_microns(16.0, 2.0),
+    );
+    let mut nodes = vec![drv];
+    for i in 0..22 {
+        let kind = if i == 21 {
+            NodeKind::Output
+        } else {
+            NodeKind::Internal
+        };
+        let n = b.node(&format!("m{i}"), kind);
+        b.set_capacitance(n, Farads::from_femto(rng.gen_range(20.0..120.0)));
+        let from = nodes[rng.gen_range(0..nodes.len())];
+        b.add_transistor(
+            TransistorKind::NEnhancement,
+            ctl,
+            from,
+            n,
+            Geometry::from_microns(8.0, 2.0),
+        );
+        nodes.push(n);
+    }
+    b.build().expect("pass mesh is a valid network")
+}
+
+#[test]
+fn budget_exhausted_partial_is_a_prefix_of_the_full_result() {
+    use crystal::analyzer::{analyze_with_options, AnalyzerOptions};
+    use crystal::budget::AnalysisBudget;
+    use crystal::TimingError;
+    use std::time::{Duration, Instant};
+    // Random 24-transistor pass meshes: a one-evaluation budget must stop
+    // the analysis promptly and hand back a non-empty subset of the
+    // arrivals an unbudgeted run produces.
+    let tech = Technology::nominal();
+    for seed in 0..10u64 {
+        let net = random_pass_mesh(seed);
+        let inp = net.node_by_name("in").unwrap();
+        let ctl = net.node_by_name("ctl").unwrap();
+        let scenario = Scenario::step(inp, Edge::Rising).with_static(ctl, true);
+        let full = analyze(&net, &tech, ModelKind::Slope, &scenario)
+            .unwrap_or_else(|e| panic!("seed {seed}: unbudgeted analysis failed: {e}"));
+        assert!(
+            full.arrivals().count() >= 20,
+            "seed {seed}: the whole mesh should switch, got {}",
+            full.arrivals().count()
+        );
+        let options = AnalyzerOptions {
+            budget: AnalysisBudget {
+                max_stage_evals: Some(1),
+                ..AnalysisBudget::default()
+            },
+            ..AnalyzerOptions::default()
+        };
+        let started = Instant::now();
+        match analyze_with_options(&net, &tech, ModelKind::Slope, &scenario, options) {
+            Err(TimingError::BudgetExhausted { partial }) => {
+                assert!(
+                    started.elapsed() < Duration::from_secs(5),
+                    "seed {seed}: budgeted analysis must stop promptly"
+                );
+                let nodes: Vec<_> = partial.result.arrivals().map(|(n, _)| n).collect();
+                assert!(!nodes.is_empty(), "seed {seed}: partial must be non-empty");
+                for n in nodes {
+                    assert!(
+                        full.arrival(n).is_some(),
+                        "seed {seed}: partial arrival missing from full result"
+                    );
+                }
+            }
+            Ok(_) => panic!("seed {seed}: a 1-eval budget cannot finish a 24-node mesh"),
+            Err(e) => panic!("seed {seed}: unexpected error {e}"),
+        }
+    }
+}
+
+#[test]
+fn batch_survives_injected_panics() {
+    use crystal::batch::{run_batch_with, BatchFailure};
+    let items: Vec<(String, usize)> = (0..6).map(|i| (format!("scenario{i}"), i)).collect();
+    let run = run_batch_with(
+        &items,
+        |&i| {
+            if i == 2 {
+                panic!("injected panic in scenario {i}");
+            }
+            Ok::<usize, String>(i)
+        },
+        false,
+    );
+    // Every scenario after the panic still ran.
+    assert_eq!(run.results.len(), 6);
+    assert!(!run.all_ok());
+    let failures: Vec<_> = run.failures().collect();
+    assert_eq!(failures.len(), 1);
+    assert_eq!(failures[0].0, "scenario2");
+    assert!(matches!(
+        failures[0].1,
+        BatchFailure::Panicked { message } if message.contains("injected panic")
+    ));
+    // With fail-fast, the batch stops right after the panic instead.
+    let run = run_batch_with(
+        &items,
+        |&i| {
+            if i == 2 {
+                panic!("injected panic");
+            }
+            Ok::<usize, String>(i)
+        },
+        true,
+    );
+    assert_eq!(run.results.len(), 3);
+    assert!(run.aborted_early);
+    assert!(run.failure_summary().contains("aborted early"));
+}
+
+#[test]
 fn analyzer_never_panics_on_random_networks() {
     // Random networks include rail-to-rail shorts, floating gates, and
     // pass meshes; the analyzer must always return cleanly.
@@ -72,7 +269,11 @@ fn analyzer_never_panics_on_random_networks() {
         let net = random_network(RandomNetworkConfig {
             nodes: 14,
             transistors: 24,
-            style: if seed % 2 == 0 { Style::Cmos } else { Style::Nmos },
+            style: if seed % 2 == 0 {
+                Style::Cmos
+            } else {
+                Style::Nmos
+            },
             seed,
         })
         .expect("valid config");
@@ -102,13 +303,7 @@ fn charge_analysis_never_panics_on_random_networks() {
             .filter(|(_, n)| n.kind() == mosnet::NodeKind::Internal)
             .map(|(id, _)| (id, seed % 2 == 0))
             .collect();
-        let _ = crystal::charge::charge_sharing_events(
-            &net,
-            &tech,
-            &HashMap::new(),
-            &stored,
-            0.1,
-        );
+        let _ = crystal::charge::charge_sharing_events(&net, &tech, &HashMap::new(), &stored, 0.1);
     }
 }
 

@@ -70,15 +70,24 @@ fn hierarchical_design_times_accurately() {
     let err = c.percent_error(ModelKind::Slope).abs();
     assert!(err < 12.0, "hierarchical chain slope error {err:.1}%");
     // Six inversions: output follows the input's direction.
-    let arrival = crystal::analyze(&net, &tech, ModelKind::Slope, &Scenario::step(input, Edge::Rising))
-        .unwrap()
-        .delay_to(&net, out)
-        .unwrap();
+    let arrival = crystal::analyze(
+        &net,
+        &tech,
+        ModelKind::Slope,
+        &Scenario::step(input, Edge::Rising),
+    )
+    .unwrap()
+    .delay_to(&net, out)
+    .unwrap();
     assert_eq!(arrival.edge, crystal::Edge::Rising);
     // The critical path runs through every buffer's internal node.
-    let result =
-        crystal::analyze(&net, &tech, ModelKind::Slope, &Scenario::step(input, Edge::Rising))
-            .unwrap();
+    let result = crystal::analyze(
+        &net,
+        &tech,
+        ModelKind::Slope,
+        &Scenario::step(input, Edge::Rising),
+    )
+    .unwrap();
     let path = result.critical_path(out);
     assert_eq!(path.len(), 7); // in, b0.m, w1, b1.m, w2, b2.m, out
 }

@@ -1,0 +1,385 @@
+//! **PR2 smoke bench** — wall-clock and cache behaviour of the parallel
+//! batch engine with the stage-evaluation memo cache.
+//!
+//! Runs the `run_batch` scenario fan-out over three netlists
+//! (inverter chain, random pass mesh, Manchester-carry adder) at 1, 2,
+//! and all hardware threads, and writes the measurements to
+//! `BENCH_pr2.json` for the CI artifact.
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_smoke -- [options]
+//!   --out PATH            output file (default BENCH_pr2.json)
+//!   --reps N              timing repetitions, best-of (default 3)
+//!   --check               gate: parallel runs must not be slower than
+//!                         serial beyond a noise tolerance, and parallel
+//!                         results must be bit-identical to serial
+//!   --require-speedup X   gate: pass-mesh batch speedup at max threads
+//!                         must reach X (skipped on hosts with fewer
+//!                         than 4 hardware threads)
+//! ```
+//!
+//! Exit status 0 when all requested gates pass, 1 otherwise.
+
+use crystal::analyzer::{AnalyzerOptions, Edge, Scenario};
+use crystal::batch::run_batch;
+use crystal::memo::{CacheStats, StageCache};
+use crystal::models::ModelKind;
+use crystal::pool::available_parallelism;
+use crystal::tech::Technology;
+use mosnet::generators::{carry_chain, inverter_chain, Style};
+use mosnet::network::NetworkBuilder;
+use mosnet::units::{Farads, Seconds};
+use mosnet::{Geometry, Network, NodeKind, TransistorKind};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Noise tolerance for the "parallel is not slower than serial" gate:
+/// on a single-core container the parallel path is pure overhead, so we
+/// only fail when it costs more than this factor.
+const SLOWDOWN_TOLERANCE: f64 = 1.35;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_pr2.json".to_string();
+    let mut reps = 3usize;
+    let mut check = false;
+    let mut require_speedup: Option<f64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out_path = it.next().expect("--out needs a value").clone(),
+            "--reps" => {
+                reps = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--reps needs a positive integer");
+            }
+            "--check" => check = true,
+            "--require-speedup" => {
+                require_speedup = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--require-speedup needs a number"),
+                );
+            }
+            other => {
+                eprintln!("bench_smoke: unknown option `{other}`");
+                std::process::exit(1);
+            }
+        }
+    }
+    let reps = reps.max(1);
+
+    let hw = available_parallelism();
+    let mut thread_counts = vec![1, 2, hw];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+
+    let tech = Technology::nominal();
+    let circuits = circuits();
+    let mut failures: Vec<String> = Vec::new();
+    let mut json_circuits: Vec<String> = Vec::new();
+
+    println!("PR2 smoke bench — {hw} hardware thread(s), best of {reps} rep(s)");
+    println!(
+        "{:<16} {:>8} {:>10} {:>8} {:>12} {:>9} {:>10}",
+        "circuit", "threads", "wall (ms)", "speedup", "cache h/m", "hit rate", "identical"
+    );
+
+    for (name, net, scenarios) in &circuits {
+        let mut serial_ms = 0.0;
+        let mut serial_run: Option<Vec<(String, crystal::analyzer::TimingResult)>> = None;
+        let mut json_runs: Vec<String> = Vec::new();
+        for &threads in &thread_counts {
+            let (secs, stats, run) = measure(net, &tech, scenarios, threads, reps);
+            let wall_ms = secs * 1e3;
+            let speedup = if threads == 1 || wall_ms <= 0.0 {
+                1.0
+            } else {
+                serial_ms / wall_ms
+            };
+            // Arrivals must be bit-identical to the serial run at every
+            // thread count (cache counters are excluded from equality).
+            let identical = match &serial_run {
+                Some(s) => runs_identical(s, &run),
+                None => true, // this IS the serial run
+            };
+            if threads == 1 {
+                serial_ms = wall_ms;
+                serial_run = Some(run);
+            }
+            println!(
+                "{:<16} {:>8} {:>10.2} {:>7.2}x {:>12} {:>8.1}% {:>10}",
+                name,
+                threads,
+                wall_ms,
+                speedup,
+                format!("{}/{}", stats.hits, stats.misses),
+                stats.hit_rate() * 100.0,
+                if identical { "yes" } else { "NO" }
+            );
+            if !identical {
+                failures.push(format!(
+                    "{name}: results at {threads} threads differ from serial"
+                ));
+            }
+            if check && threads > 1 && wall_ms > serial_ms * SLOWDOWN_TOLERANCE {
+                failures.push(format!(
+                    "{name}: {threads} threads took {wall_ms:.2} ms vs {serial_ms:.2} ms serial \
+                     (more than {SLOWDOWN_TOLERANCE}x slower)"
+                ));
+            }
+            if let Some(min) = require_speedup {
+                let max_threads = *thread_counts.last().expect("non-empty");
+                if *name == "pass-mesh" && threads == max_threads && threads >= 4 {
+                    if speedup < min {
+                        failures.push(format!(
+                            "{name}: speedup {speedup:.2}x at {threads} threads is below \
+                             the required {min:.2}x"
+                        ));
+                    }
+                } else if *name == "pass-mesh" && threads == max_threads {
+                    println!(
+                        "  (speedup gate skipped: only {threads} hardware thread(s), \
+                         need at least 4)"
+                    );
+                }
+            }
+            json_runs.push(format!(
+                "{{\"threads\": {threads}, \"wall_ms\": {wall_ms:.4}, \
+                 \"speedup\": {speedup:.4}, \"cache_hits\": {}, \"cache_misses\": {}, \
+                 \"cache_evictions\": {}, \"cache_hit_rate\": {:.4}, \
+                 \"identical_to_serial\": {identical}}}",
+                stats.hits,
+                stats.misses,
+                stats.evictions,
+                stats.hit_rate()
+            ));
+        }
+        json_circuits.push(format!(
+            "{{\"name\": \"{name}\", \"transistors\": {}, \"scenarios\": {}, \"runs\": [{}]}}",
+            net.transistor_count(),
+            scenarios.len(),
+            json_runs.join(", ")
+        ));
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"pr2_smoke\",");
+    let _ = writeln!(json, "  \"hardware_threads\": {hw},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(json, "  \"circuits\": [");
+    for (i, c) in json_circuits.iter().enumerate() {
+        let comma = if i + 1 < json_circuits.len() { "," } else { "" };
+        let _ = writeln!(json, "    {c}{comma}");
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    std::fs::write(&out_path, &json).expect("bench output file writes");
+    println!("wrote {out_path}");
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("bench_smoke: FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+    if check || require_speedup.is_some() {
+        println!("all gates passed");
+    }
+}
+
+/// Times one batch configuration, best-of-`reps`, with a fresh shared
+/// cache per repetition (so the hit rate reflects a single batch, not
+/// earlier repetitions). Returns the best wall-clock seconds, the cache
+/// counters, and the results of the final repetition.
+fn measure(
+    net: &Network,
+    tech: &Technology,
+    scenarios: &[(String, Scenario)],
+    threads: usize,
+    reps: usize,
+) -> (
+    f64,
+    CacheStats,
+    Vec<(String, crystal::analyzer::TimingResult)>,
+) {
+    let mut best = f64::INFINITY;
+    let mut stats = CacheStats::default();
+    let mut results = Vec::new();
+    for _ in 0..reps {
+        let cache = Arc::new(StageCache::new());
+        let options = AnalyzerOptions {
+            threads,
+            cache: Some(Arc::clone(&cache)),
+            ..AnalyzerOptions::default()
+        };
+        let start = Instant::now();
+        let run = run_batch(net, tech, ModelKind::Slope, scenarios, options, false);
+        let secs = start.elapsed().as_secs_f64();
+        best = best.min(secs);
+        stats = cache.stats();
+        results = run
+            .results
+            .into_iter()
+            .map(|(label, outcome)| {
+                let result = outcome.unwrap_or_else(|e| panic!("scenario `{label}` failed: {e}"));
+                (label, result)
+            })
+            .collect();
+    }
+    (best, stats, results)
+}
+
+fn runs_identical(
+    a: &[(String, crystal::analyzer::TimingResult)],
+    b: &[(String, crystal::analyzer::TimingResult)],
+) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|((la, ra), (lb, rb))| la == lb && ra == rb)
+}
+
+/// The three benchmark netlists with their scenario batches.
+#[allow(clippy::type_complexity)]
+fn circuits() -> Vec<(&'static str, Network, Vec<(String, Scenario)>)> {
+    let load = Farads::from_femto(100.0);
+
+    // A 24-stage inverter chain; scenarios vary the input transition so
+    // the batch has enough items to fan out, while topologically
+    // identical stages feed the memo cache.
+    let chain = inverter_chain(Style::Cmos, 24, 2.0, load).expect("chain generates");
+    let chain_scenarios = transition_scenarios(&chain, "in", &[], 16);
+
+    // A random 24-transistor pass mesh (the same construction the
+    // failure-injection suite uses): every mesh node hangs off a random
+    // earlier node through an n-pass device gated by `ctl`.
+    let mesh = random_pass_mesh(7);
+    let mesh_scenarios = {
+        let ctl = mesh.node_by_name("ctl").expect("mesh has ctl");
+        transition_scenarios(&mesh, "in", &[(ctl, true)], 16)
+    };
+
+    // A 12-bit Manchester carry adder chain: every input switched on both
+    // edges with the propagate inputs held high and the generates low —
+    // the carry path stays sensitized.
+    let adder = carry_chain(Style::Cmos, 12, load).expect("adder generates");
+    let adder_scenarios = {
+        let statics: Vec<(mosnet::NodeId, bool)> = adder
+            .inputs()
+            .into_iter()
+            .map(|n| (n, adder.node(n).name().starts_with('p')))
+            .collect();
+        let mut scenarios = Vec::new();
+        for input in adder.inputs() {
+            for edge in [Edge::Rising, Edge::Falling] {
+                let mut scenario = Scenario::step(input, edge);
+                for &(node, level) in &statics {
+                    if node != input {
+                        scenario = scenario.with_static(node, level);
+                    }
+                }
+                let label = format!(
+                    "{} {}",
+                    adder.node(input).name(),
+                    if edge == Edge::Rising { "rise" } else { "fall" }
+                );
+                scenarios.push((label, scenario));
+            }
+        }
+        scenarios
+    };
+
+    vec![
+        ("inverter-chain", chain, chain_scenarios),
+        ("pass-mesh", mesh, mesh_scenarios),
+        ("adder", adder, adder_scenarios),
+    ]
+}
+
+/// Both edges of `input` at `steps` evenly spaced input transitions
+/// (0 .. 0.25·steps ns), with the given statics applied.
+fn transition_scenarios(
+    net: &Network,
+    input: &str,
+    statics: &[(mosnet::NodeId, bool)],
+    steps: usize,
+) -> Vec<(String, Scenario)> {
+    let input = net.node_by_name(input).expect("input exists");
+    let mut scenarios = Vec::new();
+    for step in 0..steps {
+        let transition = Seconds::from_nanos(0.25 * step as f64);
+        for edge in [Edge::Rising, Edge::Falling] {
+            let mut scenario = Scenario::step(input, edge).with_input_transition(transition);
+            for &(node, level) in statics {
+                scenario = scenario.with_static(node, level);
+            }
+            let label = format!(
+                "tr{step} {}",
+                if edge == Edge::Rising { "rise" } else { "fall" }
+            );
+            scenarios.push((label, scenario));
+        }
+    }
+    scenarios
+}
+
+/// The failure-injection suite's random pass mesh, with an inline
+/// SplitMix64 in place of a PRNG dependency: a CMOS inverter anchors the
+/// mesh to the rails and 22 nodes hang off random earlier nodes through
+/// `ctl`-gated n-pass devices.
+fn random_pass_mesh(seed: u64) -> Network {
+    let mut state = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let mut b = NetworkBuilder::new("pass-mesh");
+    let vdd = b.power();
+    let gnd = b.ground();
+    let inp = b.node("in", NodeKind::Input);
+    let ctl = b.node("ctl", NodeKind::Input);
+    let drv = b.node("drv", NodeKind::Internal);
+    b.set_capacitance(drv, Farads::from_femto(20.0));
+    b.add_transistor(
+        TransistorKind::NEnhancement,
+        inp,
+        drv,
+        gnd,
+        Geometry::from_microns(8.0, 2.0),
+    );
+    b.add_transistor(
+        TransistorKind::PEnhancement,
+        inp,
+        drv,
+        vdd,
+        Geometry::from_microns(16.0, 2.0),
+    );
+    let mut nodes = vec![drv];
+    for i in 0..22 {
+        let kind = if i == 21 {
+            NodeKind::Output
+        } else {
+            NodeKind::Internal
+        };
+        let n = b.node(&format!("m{i}"), kind);
+        let femto = 20.0 + (next() % 1000) as f64 * 0.1; // 20–120 fF
+        b.set_capacitance(n, Farads::from_femto(femto));
+        let from = nodes[next() as usize % nodes.len()];
+        b.add_transistor(
+            TransistorKind::NEnhancement,
+            ctl,
+            from,
+            n,
+            Geometry::from_microns(8.0, 2.0),
+        );
+        nodes.push(n);
+    }
+    b.build().expect("pass mesh is a valid network")
+}

@@ -20,12 +20,15 @@ use crate::budget::{AnalysisBudget, BudgetTracker, PartialTiming};
 use crate::error::TimingError;
 use crate::extract::stages_to_full;
 use crate::logic::{self, LogicState, LogicValue};
+use crate::memo::{stage_fingerprint, tech_stamp, CacheStats, CachedEval, StageCache, StageKey};
 use crate::models::{estimate, estimate_with_fallback, ModelKind, TriggerContext};
+use crate::pool::ThreadPool;
 use crate::stage::Stage;
 use crate::tech::{Direction, Technology};
 use mosnet::units::Seconds;
 use mosnet::{Network, NodeId, NodeKind, TransistorKind};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Weight applied to the capacitance of stage nodes whose logic value is
 /// the same before and after the transition. Such nodes (e.g. the
@@ -52,7 +55,7 @@ pub enum AnalysisMode {
 
 /// Tunable knobs of the analysis; [`AnalyzerOptions::default`] matches
 /// the behavior of [`analyze`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct AnalyzerOptions {
     /// Capacitance weight for nodes whose logic value does not change
     /// across the transition (see [`NON_SWITCHING_CAP_WEIGHT`]).
@@ -69,6 +72,20 @@ pub struct AnalyzerOptions {
     /// recording the substitute in [`Arrival::model`]. `false` restores
     /// the strict single-model behavior.
     pub model_fallback: bool,
+    /// Worker threads for stage extraction and per-node evaluation:
+    /// `1` (the default) runs serially, `0` uses every hardware thread,
+    /// any other value is taken literally. Arrivals — including partial
+    /// results from a tripped budget — are **bit-identical for every
+    /// thread count**: propagation always uses snapshot (Jacobi) rounds
+    /// and budgets are committed in node order before parallel dispatch.
+    pub threads: usize,
+    /// Shared stage-evaluation memo cache. `None` (the default) disables
+    /// memoization; pass a clone of one [`Arc<StageCache>`] to every
+    /// analysis that should pool its evaluations. Cached results are
+    /// bit-identical to fresh ones (keys include the exact input-slope
+    /// bits and a technology content stamp), so attaching a cache never
+    /// changes arrivals.
+    pub cache: Option<Arc<StageCache>>,
 }
 
 impl Default for AnalyzerOptions {
@@ -78,7 +95,24 @@ impl Default for AnalyzerOptions {
             mode: AnalysisMode::WorstCase,
             budget: AnalysisBudget::unlimited(),
             model_fallback: true,
+            threads: 1,
+            cache: None,
         }
+    }
+}
+
+impl PartialEq for AnalyzerOptions {
+    fn eq(&self, other: &AnalyzerOptions) -> bool {
+        self.non_switching_cap_weight == other.non_switching_cap_weight
+            && self.mode == other.mode
+            && self.budget == other.budget
+            && self.model_fallback == other.model_fallback
+            && self.threads == other.threads
+            && match (&self.cache, &other.cache) {
+                (None, None) => true,
+                (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                _ => false,
+            }
     }
 }
 
@@ -166,10 +200,23 @@ pub struct Arrival {
 }
 
 /// The outcome of a timing analysis.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality compares arrivals and the model only: cache statistics are
+/// observability data whose exact counts depend on thread interleaving
+/// (two workers can miss on the same key simultaneously), so they are
+/// excluded from `==` to keep "same analysis ⇒ equal results" true under
+/// concurrency.
+#[derive(Debug, Clone)]
 pub struct TimingResult {
     pub(crate) arrivals: Vec<Option<Arrival>>,
     pub(crate) model: ModelKind,
+    pub(crate) cache_stats: Option<CacheStats>,
+}
+
+impl PartialEq for TimingResult {
+    fn eq(&self, other: &TimingResult) -> bool {
+        self.arrivals == other.arrivals && self.model == other.model
+    }
 }
 
 #[cfg(test)]
@@ -179,6 +226,7 @@ impl TimingResult {
         TimingResult {
             arrivals: Vec::new(),
             model: ModelKind::Slope,
+            cache_stats: None,
         }
     }
 }
@@ -187,6 +235,13 @@ impl TimingResult {
     /// The model that produced this result.
     pub fn model(&self) -> ModelKind {
         self.model
+    }
+
+    /// Stage-cache hit/miss/eviction counts accrued by *this* analysis
+    /// (a delta, not the cache's lifetime totals). `None` when the
+    /// analysis ran without a cache.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache_stats
     }
 
     /// The arrival at `node`, if it switches in this scenario.
@@ -327,7 +382,14 @@ pub fn analyze_with_options(
         cause: None,
         model,
     });
-    let mut tracker = BudgetTracker::new(options.budget);
+    let tracker = BudgetTracker::new(options.budget);
+    let pool = ThreadPool::new(options.threads);
+    let cache_ref: Option<&StageCache> = options.cache.as_deref();
+    let cache_ctx: Option<(&StageCache, u64)> = cache_ref.map(|c| (c, tech_stamp(tech)));
+    let stats_before = cache_ref.map(|c| c.stats()).unwrap_or_default();
+    // This analysis's share of the cache counters (a delta, since the
+    // cache is typically shared across a whole batch).
+    let cache_stats_now = || cache_ref.map(|c| c.stats().delta_since(&stats_before));
     // Packages whatever has been computed so far into the partial-result
     // error, preserving the prefix property: arrivals are only added or
     // refined, never removed, so the partial node set is a subset of what
@@ -337,38 +399,53 @@ pub fn analyze_with_options(
                      rounds_completed: usize| {
         TimingError::BudgetExhausted {
             partial: Box::new(PartialTiming {
-                result: TimingResult { arrivals, model },
+                result: TimingResult {
+                    arrivals,
+                    model,
+                    cache_stats: cache_stats_now(),
+                },
                 exceeded,
                 rounds_completed,
             }),
         }
     };
 
-    // Pre-extract the driving stages of every switching non-input node.
-    let mut work: Vec<(NodeId, Edge, Vec<Stage>)> = Vec::new();
-    for (&node, &edge) in &edge_of {
-        if node == scenario.input || net.node(node).kind().is_driven_externally() {
-            continue;
-        }
+    // Targets of stage extraction, in deterministic node order.
+    let mut targets: Vec<(NodeId, Edge)> = edge_of
+        .iter()
+        .filter(|&(&node, _)| {
+            node != scenario.input && !net.node(node).kind().is_driven_externally()
+        })
+        .map(|(&node, &edge)| (node, edge))
+        .collect();
+    targets.sort_by_key(|&(node, _)| node);
+
+    if let Err(e) = tracker.check_deadline() {
+        return Err(exhausted(arrivals, e, 0));
+    }
+    // Extraction is independent per target node — fan it across the
+    // pool. Budget violations are collected and reported afterwards in
+    // node order, so which violation surfaces does not depend on worker
+    // scheduling.
+    type Extracted = Result<(Vec<Stage>, Vec<u128>), crate::budget::BudgetExceeded>;
+    let extracted: Vec<Extracted> = pool.map(&targets, |_, &(node, edge)| {
+        tracker.check_deadline()?;
         let direction = if edge == Edge::Rising {
             Direction::PullUp
         } else {
             Direction::PullDown
         };
         // A path node already sitting (and staying) at logic One is a
-        // charge reservoir for a pull-up stage: its stored charge (C·Vdd)
-        // supplies the early transition. The discount applies only to
-        // charging — a discharged node holds no charge to donate, and
-        // treating it as a source makes pull-down stacks optimistic (see
-        // `extract::stages_to_full`).
+        // charge reservoir for a pull-up stage: its stored charge
+        // (C·Vdd) supplies the early transition. The discount applies
+        // only to charging — a discharged node holds no charge to
+        // donate, and treating it as a source makes pull-down stacks
+        // optimistic (see `extract::stages_to_full`).
         let reservoir = |n: NodeId| -> bool {
             edge == Edge::Rising
                 && before.value(n) == LogicValue::One
                 && after.value(n) == LogicValue::One
         };
-        if let Err(e) = tracker.check_deadline() {
-            return Err(exhausted(arrivals, e, 0));
-        }
         let stages = stages_to_full(
             net,
             tech,
@@ -378,25 +455,54 @@ pub fn analyze_with_options(
             &cap_scale,
             &reservoir,
         );
-        if let Err(e) = tracker.check_paths(stages.len()) {
-            return Err(exhausted(arrivals, e, 0));
+        tracker.check_paths(stages.len())?;
+        let fingerprints = if cache_ctx.is_some() {
+            stages.iter().map(stage_fingerprint).collect()
+        } else {
+            Vec::new()
+        };
+        Ok((stages, fingerprints))
+    });
+    let mut work: Vec<NodeWork> = Vec::with_capacity(targets.len());
+    for (&(node, edge), outcome) in targets.iter().zip(extracted) {
+        match outcome {
+            Ok((stages, fingerprints)) => work.push(NodeWork {
+                node,
+                edge,
+                stages,
+                fingerprints,
+            }),
+            Err(e) => return Err(exhausted(arrivals, e, 0)),
         }
-        work.push((node, edge, stages));
     }
-    // Deterministic processing order.
-    work.sort_by_key(|(n, _, _)| *n);
 
+    // Propagation runs in Jacobi (snapshot) rounds for *every* thread
+    // count, serial included: each round evaluates all ready nodes
+    // against the previous round's arrivals, then merges the updates in
+    // node order. In-round (Gauss-Seidel) updates would make results
+    // depend on evaluation order and thus on the worker count; snapshot
+    // rounds cost at most a few extra rounds and make `threads = N`
+    // bit-identical to `threads = 1`.
     let max_rounds = work.len() + 2;
     for round in 0..=max_rounds {
-        let mut changed = false;
-        for (node, edge, stages) in &work {
-            if let Err(e) = tracker.check_deadline() {
-                return Err(exhausted(arrivals, e, round));
+        if let Err(e) = tracker.check_deadline() {
+            return Err(exhausted(arrivals, e, round));
+        }
+        // Budget is committed serially, in node order, *before* parallel
+        // dispatch: the round evaluates exactly the prefix of nodes whose
+        // charges fit, so a tripped budget yields the same partial result
+        // at any thread count.
+        let mut cutoff = work.len();
+        let mut tripped = None;
+        for (i, w) in work.iter().enumerate() {
+            if let Err(e) = tracker.charge_stage_evals(w.stages.len()) {
+                cutoff = i;
+                tripped = Some(e);
+                break;
             }
-            if let Err(e) = tracker.charge_stage_evals(stages.len()) {
-                return Err(exhausted(arrivals, e, round));
-            }
-            let candidate = evaluate_node(
+        }
+        let candidates: Vec<Option<Arrival>> = pool.map(&work[..cutoff], |_, w| {
+            evaluate_node(
                 net,
                 tech,
                 model,
@@ -404,14 +510,16 @@ pub fn analyze_with_options(
                 &after,
                 &edge_of,
                 &arrivals,
-                *node,
-                *edge,
-                stages,
+                w,
                 options.mode,
                 options.model_fallback,
-            );
+                cache_ctx,
+            )
+        });
+        let mut changed = false;
+        for (w, candidate) in work[..cutoff].iter().zip(candidates) {
             if let Some(candidate) = candidate {
-                let update = match &arrivals[node.index()] {
+                let update = match &arrivals[w.node.index()] {
                     None => true,
                     Some(prev) => {
                         (candidate.time.value() - prev.time.value()).abs() > 1e-18
@@ -420,13 +528,20 @@ pub fn analyze_with_options(
                     }
                 };
                 if update {
-                    arrivals[node.index()] = Some(candidate);
+                    arrivals[w.node.index()] = Some(candidate);
                     changed = true;
                 }
             }
         }
+        if let Some(e) = tripped {
+            return Err(exhausted(arrivals, e, round));
+        }
         if !changed {
-            return Ok(TimingResult { arrivals, model });
+            return Ok(TimingResult {
+                arrivals,
+                model,
+                cache_stats: cache_stats_now(),
+            });
         }
         if round == max_rounds {
             return Err(TimingError::NoFixpoint {
@@ -435,6 +550,15 @@ pub fn analyze_with_options(
         }
     }
     unreachable!("loop always returns");
+}
+
+/// One switching node's propagation work: its driving stages plus (when
+/// caching) their precomputed fingerprints, parallel to `stages`.
+struct NodeWork {
+    node: NodeId,
+    edge: Edge,
+    stages: Vec<Stage>,
+    fingerprints: Vec<u128>,
 }
 
 /// Computes the worst-case arrival of one switching node, or `None` if no
@@ -448,18 +572,19 @@ fn evaluate_node(
     after: &LogicState,
     edge_of: &HashMap<NodeId, Edge>,
     arrivals: &[Option<Arrival>],
-    node: NodeId,
-    _edge: Edge,
-    stages: &[Stage],
+    work: &NodeWork,
     mode: AnalysisMode,
     model_fallback: bool,
+    cache: Option<(&StageCache, u64)>,
 ) -> Option<Arrival> {
+    let node = work.node;
+    let _edge = work.edge;
     let trigger_wins = |candidate: Seconds, best: Seconds| match mode {
         AnalysisMode::WorstCase => candidate > best,
         AnalysisMode::BestCase => candidate < best,
     };
     let mut worst: Option<Arrival> = None;
-    for stage in stages {
+    for (stage_index, stage) in work.stages.iter().enumerate() {
         // Trigger candidates: switching gates along the path (self-gates —
         // a load whose gate is the target itself — excluded)…
         let mut trigger: Option<(Seconds, Seconds, TransistorKind, NodeId)> = None;
@@ -524,16 +649,51 @@ fn evaluate_node(
             input_transition: transition,
             trigger_kind: kind,
         };
-        let (d, used_model) = if model_fallback {
-            match estimate_with_fallback(model, tech, stage, ctx) {
-                Ok(pair) => pair,
-                // Fail-soft: when even the lumped model cannot produce a
-                // usable number for this stage, skip it rather than
-                // poisoning the whole analysis with NaN/negative times.
-                Err(_) => continue,
+        // The memo key covers everything the models consume (stage
+        // topology, technology stamp, exact slope bits, model, trigger
+        // kind, fallback flag), so a hit is bit-identical to a fresh
+        // evaluation. Failed evaluations are not cached: they are rare
+        // (broken technology tables) and skipping them is cheap.
+        let key = cache.map(|(_, stamp)| {
+            StageKey::new(
+                work.fingerprints[stage_index],
+                stamp,
+                ctx.input_transition,
+                model,
+                ctx.trigger_kind,
+                model_fallback,
+            )
+        });
+        let memoized = match (cache, &key) {
+            (Some((c, _)), Some(k)) => c.lookup(k).map(|v| (v.delay, v.used_model)),
+            _ => None,
+        };
+        let (d, used_model) = match memoized {
+            Some(pair) => pair,
+            None => {
+                let computed = if model_fallback {
+                    match estimate_with_fallback(model, tech, stage, ctx) {
+                        Ok(pair) => pair,
+                        // Fail-soft: when even the lumped model cannot
+                        // produce a usable number for this stage, skip it
+                        // rather than poisoning the whole analysis with
+                        // NaN/negative times.
+                        Err(_) => continue,
+                    }
+                } else {
+                    (estimate(model, tech, stage, ctx), model)
+                };
+                if let (Some((c, _)), Some(k)) = (cache, &key) {
+                    c.insert(
+                        *k,
+                        CachedEval {
+                            delay: computed.0,
+                            used_model: computed.1,
+                        },
+                    );
+                }
+                computed
             }
-        } else {
-            (estimate(model, tech, stage, ctx), model)
         };
         let candidate = Arrival {
             time: t_trig + d.delay,

@@ -11,6 +11,7 @@
 use crate::analyzer::{analyze_with_options, AnalyzerOptions, Scenario, TimingResult};
 use crate::error::TimingError;
 use crate::models::ModelKind;
+use crate::pool::ThreadPool;
 use crate::tech::Technology;
 use mosnet::Network;
 use std::fmt;
@@ -120,7 +121,84 @@ where
     }
 }
 
+/// Parallel [`run_batch_with`]: fans the items across `threads` workers
+/// (`0` = every hardware thread, `1` = the serial path) while keeping
+/// the serial contract intact — per-item `catch_unwind` isolation,
+/// results in input order, and with `fail_fast` an output that stops at
+/// the first failure *in input order* (a later-indexed item failing
+/// first on another worker never masks it).
+///
+/// With `fail_fast`, items are dispatched in bounded chunks; items in
+/// the chunk containing the first failure may have executed even though
+/// their results are discarded, but the observable [`BatchRun`] is
+/// identical to the serial one whenever at most one item fails — and
+/// always truncates at the input-order-first failure.
+pub fn run_batch_par_with<S, T, E, F>(
+    items: &[(String, S)],
+    f: F,
+    fail_fast: bool,
+    threads: usize,
+) -> BatchRun<T, E>
+where
+    S: Sync,
+    T: Send,
+    E: Send,
+    F: Fn(&S) -> Result<T, E> + Sync,
+{
+    let pool = ThreadPool::new(threads);
+    if pool.workers() <= 1 || items.len() <= 1 {
+        return run_batch_with(items, |s| f(s), fail_fast);
+    }
+    // Catching inside the worker closure (rather than letting the pool
+    // re-raise) preserves the fail-soft contract: one panicking scenario
+    // becomes a recorded failure, not a batch abort.
+    let one = |item: &(String, S)| -> Result<T, BatchFailure<E>> {
+        match catch_unwind(AssertUnwindSafe(|| f(&item.1))) {
+            Ok(Ok(v)) => Ok(v),
+            Ok(Err(e)) => Err(BatchFailure::Error(e)),
+            Err(payload) => Err(BatchFailure::Panicked {
+                message: panic_message(payload.as_ref()),
+            }),
+        }
+    };
+    if !fail_fast {
+        let outcomes = pool.map(items, |_, item| one(item));
+        return BatchRun {
+            results: items
+                .iter()
+                .zip(outcomes)
+                .map(|((label, _), outcome)| (label.clone(), outcome))
+                .collect(),
+            aborted_early: false,
+        };
+    }
+    // Fail-fast: dispatch bounded chunks and truncate at the first
+    // failure in input order.
+    let chunk_size = pool.workers() * 2;
+    let mut results = Vec::with_capacity(items.len());
+    'chunks: for chunk in items.chunks(chunk_size) {
+        let outcomes = pool.map(chunk, |_, item| one(item));
+        for ((label, _), outcome) in chunk.iter().zip(outcomes) {
+            let failed = outcome.is_err();
+            results.push((label.clone(), outcome));
+            if failed {
+                break 'chunks;
+            }
+        }
+    }
+    let aborted_early = results.len() < items.len();
+    BatchRun {
+        results,
+        aborted_early,
+    }
+}
+
 /// Analyzes every labelled scenario against one network, fail-soft.
+///
+/// `options.threads` parallelizes across *scenarios* (the coarsest, most
+/// profitable grain); each individual analysis then runs serially so the
+/// workers don't oversubscribe the machine. A shared `options.cache`
+/// pools stage evaluations across all scenarios of the batch.
 pub fn run_batch(
     net: &Network,
     tech: &Technology,
@@ -129,10 +207,16 @@ pub fn run_batch(
     options: AnalyzerOptions,
     fail_fast: bool,
 ) -> BatchRun<TimingResult, TimingError> {
-    run_batch_with(
+    let threads = options.threads;
+    let per_scenario = AnalyzerOptions {
+        threads: 1,
+        ..options
+    };
+    run_batch_par_with(
         scenarios,
-        |scenario| analyze_with_options(net, tech, model, scenario, options),
+        |scenario| analyze_with_options(net, tech, model, scenario, per_scenario.clone()),
         fail_fast,
+        threads,
     )
 }
 
@@ -211,6 +295,47 @@ mod tests {
         let run = run_batch_with(&items(3), |&i| Ok::<_, String>(i), false);
         assert!(run.all_ok());
         assert_eq!(run.failure_summary(), "");
+    }
+
+    #[test]
+    fn parallel_batch_matches_serial_output() {
+        let f = |&i: &usize| match i {
+            2 => Err(format!("error {i}")),
+            5 => panic!("panic {i}"),
+            _ => Ok(i * 7),
+        };
+        let serial = run_batch_with(&items(12), f, false);
+        for threads in [2, 3, 8] {
+            let par = run_batch_par_with(&items(12), f, false, threads);
+            assert_eq!(par.aborted_early, serial.aborted_early);
+            assert_eq!(par.results.len(), serial.results.len());
+            for ((la, ra), (lb, rb)) in par.results.iter().zip(&serial.results) {
+                assert_eq!(la, lb);
+                assert_eq!(ra, rb, "threads={threads}, item {la}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_fail_fast_stops_at_first_input_order_failure() {
+        let f = |&i: &usize| {
+            if i == 3 {
+                Err("boom".to_string())
+            } else {
+                Ok(i)
+            }
+        };
+        let serial = run_batch_with(&items(20), f, true);
+        for threads in [2, 4] {
+            let par = run_batch_par_with(&items(20), f, true, threads);
+            assert_eq!(par.results.len(), serial.results.len(), "threads={threads}");
+            assert!(par.aborted_early);
+            assert_eq!(par.results.last().unwrap().0, "item3");
+            for ((la, ra), (lb, rb)) in par.results.iter().zip(&serial.results) {
+                assert_eq!(la, lb);
+                assert_eq!(ra, rb);
+            }
+        }
     }
 
     #[test]

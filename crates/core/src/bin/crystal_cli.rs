@@ -15,9 +15,12 @@
 use crystal::analyzer::{analyze_with_options, AnalyzerOptions, Edge, Scenario};
 use crystal::batch::run_batch;
 use crystal::budget::AnalysisBudget;
+use crystal::memo::StageCache;
 use crystal::models::ModelKind;
 use crystal::report::{critical_path_report, full_report};
-use crystal::sweep::{sweep_exhaustive, sweep_inputs, MAX_EXHAUSTIVE_INPUTS};
+use crystal::sweep::{
+    sweep_exhaustive_with_options, sweep_inputs_with_options, MAX_EXHAUSTIVE_INPUTS,
+};
 use crystal::tech::Technology;
 use mosnet::units::Seconds;
 use mosnet::{sim_format, spice_format, validate, Network, NodeId};
@@ -25,6 +28,7 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::fs;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn main() -> ExitCode {
@@ -53,6 +57,9 @@ const USAGE: &str = "usage: crystal-cli <lint|logic|report|sweep|batch|spice> <f
   --max-paths N         analysis budget: max driving paths per node
   --deadline-ms MS      analysis budget: wall-clock deadline per scenario
   --fail-fast           batch: stop at the first failing scenario
+  --threads N           worker threads (1 = serial default, 0 = all hardware threads);
+                        batch fans out across scenarios, report across trigger nodes
+  --no-cache            disable the shared stage-evaluation memo cache
 ";
 
 /// Parsed common options.
@@ -66,12 +73,20 @@ struct Options {
     tech: Option<String>,
     budget: AnalysisBudget,
     fail_fast: bool,
+    threads: usize,
+    no_cache: bool,
 }
 
 impl Options {
     fn analyzer_options(&self) -> AnalyzerOptions {
         AnalyzerOptions {
             budget: self.budget,
+            threads: self.threads,
+            cache: if self.no_cache {
+                None
+            } else {
+                Some(Arc::new(StageCache::new()))
+            },
             ..AnalyzerOptions::default()
         }
     }
@@ -88,6 +103,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         tech: None,
         budget: AnalysisBudget::unlimited(),
         fail_fast: false,
+        threads: 1,
+        no_cache: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -147,6 +164,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 }
                 options.budget.deadline = Some(Duration::from_secs_f64(ms / 1e3));
             }
+            "--threads" => {
+                options.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| "cannot parse --threads".to_string())?;
+            }
+            "--no-cache" => options.no_cache = true,
             "--fail-fast" => options.fail_fast = true,
             "--input" => options.input = Some(value("--input")?),
             "--tech" => options.tech = Some(value("--tech")?),
@@ -258,15 +281,25 @@ fn run(args: &[String]) -> Result<String, String> {
         }
         "sweep" => {
             let tech = load_technology(&options)?;
+            // One shared cache (and thread setting) across the whole
+            // sweep: repeated stages amortize beautifully here.
+            let analyzer_options = options.analyzer_options();
             let sweep = if net.inputs().len() <= MAX_EXHAUSTIVE_INPUTS {
-                sweep_exhaustive(&net, &tech, options.model, options.transition)
+                sweep_exhaustive_with_options(
+                    &net,
+                    &tech,
+                    options.model,
+                    options.transition,
+                    &analyzer_options,
+                )
             } else {
-                sweep_inputs(
+                sweep_inputs_with_options(
                     &net,
                     &tech,
                     options.model,
                     options.transition,
                     &HashMap::new(),
+                    &analyzer_options,
                 )
             }
             .map_err(|e| e.to_string())?;
@@ -545,6 +578,43 @@ mod tests {
         // Bad values are parse errors.
         assert!(cli(&["report", p, "--max-stages", "x"]).is_err());
         assert!(cli(&["report", p, "--deadline-ms", "-5"]).is_err());
+    }
+
+    #[test]
+    fn report_cache_flag_controls_cache_stats_line() {
+        let path = fixture("cacheline", INVERTER_CHAIN);
+        let p = path.to_str().unwrap();
+        let base = ["report", p, "--input", "a", "--edge", "rise"];
+        // Default: cached analysis, stats surfaced in the report.
+        let cached = cli(&base).unwrap();
+        assert!(cached.contains("stage cache:"), "{cached}");
+        // --no-cache: no stats line.
+        let mut plain = base.to_vec();
+        plain.push("--no-cache");
+        let uncached = cli(&plain).unwrap();
+        assert!(!uncached.contains("stage cache:"), "{uncached}");
+        // The arrivals themselves are identical either way.
+        let rows = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("stage cache:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(rows(&cached), rows(&uncached));
+    }
+
+    #[test]
+    fn batch_threads_flag_matches_serial_output() {
+        let path = fixture("batch_threads", INVERTER_CHAIN);
+        let p = path.to_str().unwrap();
+        let serial = cli(&["batch", p]).unwrap();
+        for threads in ["0", "2", "4"] {
+            let par = cli(&["batch", p, "--threads", threads]).unwrap();
+            assert_eq!(par, serial, "--threads {threads}");
+        }
+        // Bad values are parse errors.
+        assert!(cli(&["batch", p, "--threads", "lots"]).is_err());
+        assert!(cli(&["batch", p, "--threads"]).is_err());
     }
 
     #[test]

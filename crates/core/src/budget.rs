@@ -16,6 +16,7 @@
 
 use crate::analyzer::TimingResult;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Caps on the work one analysis may perform. `None` means unlimited;
@@ -100,12 +101,14 @@ pub struct PartialTiming {
 }
 
 /// Run-scoped enforcement state: the budget plus the start instant and
-/// the evaluation counter.
+/// the evaluation counter. The counter is atomic, so one tracker can be
+/// shared by reference across the analyzer's worker threads; every
+/// charge is observed exactly once no matter which thread makes it.
 #[derive(Debug)]
 pub(crate) struct BudgetTracker {
     budget: AnalysisBudget,
     started: Instant,
-    stage_evals: usize,
+    stage_evals: AtomicUsize,
 }
 
 impl BudgetTracker {
@@ -113,7 +116,7 @@ impl BudgetTracker {
         BudgetTracker {
             budget,
             started: Instant::now(),
-            stage_evals: 0,
+            stage_evals: AtomicUsize::new(0),
         }
     }
 
@@ -128,10 +131,19 @@ impl BudgetTracker {
     }
 
     /// Charges `n` stage evaluations, erroring when the cap is crossed.
-    pub(crate) fn charge_stage_evals(&mut self, n: usize) -> Result<(), BudgetExceeded> {
-        self.stage_evals = self.stage_evals.saturating_add(n);
+    /// Shared-reference so concurrent workers can charge the same
+    /// tracker; the saturating fetch-add makes every unit of work count
+    /// exactly once even under contention.
+    pub(crate) fn charge_stage_evals(&self, n: usize) -> Result<(), BudgetExceeded> {
+        let total = self
+            .stage_evals
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_add(n))
+            })
+            .expect("fetch_update closure never returns None")
+            .saturating_add(n);
         match self.budget.max_stage_evals {
-            Some(limit) if self.stage_evals > limit => Err(BudgetExceeded::StageEvals { limit }),
+            Some(limit) if total > limit => Err(BudgetExceeded::StageEvals { limit }),
             _ => Ok(()),
         }
     }
@@ -162,7 +174,7 @@ mod tests {
 
     #[test]
     fn tracker_charges_stage_evals() {
-        let mut t = BudgetTracker::new(AnalysisBudget {
+        let t = BudgetTracker::new(AnalysisBudget {
             max_stage_evals: Some(5),
             ..AnalysisBudget::default()
         });
@@ -172,6 +184,29 @@ mod tests {
             t.charge_stage_evals(1),
             Err(BudgetExceeded::StageEvals { limit: 5 })
         );
+    }
+
+    #[test]
+    fn concurrent_charges_count_each_unit_exactly_once() {
+        let t = BudgetTracker::new(AnalysisBudget {
+            max_stage_evals: Some(1000),
+            ..AnalysisBudget::default()
+        });
+        let rejected: usize = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        (0..300)
+                            .filter(|_| t.charge_stage_evals(1).is_err())
+                            .count()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        // 1200 single-unit charges against a cap of 1000: exactly 200
+        // must be rejected, regardless of interleaving.
+        assert_eq!(rejected, 200);
     }
 
     #[test]

@@ -54,7 +54,9 @@ pub mod charge;
 pub mod error;
 pub mod extract;
 pub mod logic;
+pub mod memo;
 pub mod models;
+pub mod pool;
 pub mod rctree;
 pub mod report;
 pub mod stage;
@@ -66,10 +68,12 @@ pub use analyzer::{
     analyze, analyze_with_options, AnalysisMode, AnalyzerOptions, Arrival, Edge, Scenario,
     TimingResult,
 };
-pub use batch::{run_batch, run_batch_with, BatchFailure, BatchRun};
+pub use batch::{run_batch, run_batch_par_with, run_batch_with, BatchFailure, BatchRun};
 pub use budget::{AnalysisBudget, BudgetExceeded, PartialTiming};
 pub use error::TimingError;
+pub use memo::{stage_fingerprint, tech_stamp, CacheStats, StageCache};
 pub use models::{estimate_with_fallback, try_estimate, ModelFailure, ModelKind, StageDelay};
+pub use pool::ThreadPool;
 pub use rctree::RcTree;
 pub use stage::Stage;
 pub use tech::{Direction, DriveParams, SlopeTable, Technology};

@@ -1,0 +1,272 @@
+//! A dependency-free work-stealing thread pool for the timing engine.
+//!
+//! The build environment is offline, so no `rayon`: this module provides
+//! the small slice of data parallelism crystal needs — an ordered
+//! parallel map over a slice — on plain [`std::thread::scope`] workers.
+//!
+//! Design:
+//!
+//! * jobs (item indices) are pre-split into one contiguous deque per
+//!   worker; a worker pops from the **front** of its own deque and, once
+//!   empty, steals from the **back** of its siblings', so imbalanced
+//!   workloads (one pathological scenario among many cheap ones) still
+//!   keep every core busy;
+//! * results carry their item index and are re-assembled in input order,
+//!   so the output of [`ThreadPool::map`] is **bit-identical for any
+//!   worker count** — the determinism guarantee the analyzer and batch
+//!   runner build on;
+//! * a panic inside the closure is caught on the worker, and the payload
+//!   of the **lowest-indexed** panicking item is re-raised on the calling
+//!   thread after every worker has drained — exactly what a serial
+//!   left-to-right loop would have surfaced, so `catch_unwind` isolation
+//!   in [`crate::batch`] keeps working unchanged.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+/// The number of hardware threads, with a serial fallback when the
+/// platform cannot say.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Resolves a user-facing thread-count knob: `0` means "use every
+/// hardware thread", anything else is taken literally (minimum 1).
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        available_parallelism()
+    } else {
+        threads
+    }
+}
+
+/// A configured worker count plus the machinery to fan a slice across it.
+///
+/// The pool is scoped: workers are spawned per [`ThreadPool::map`] call
+/// with [`std::thread::scope`], so closures may borrow from the caller's
+/// stack freely and no worker outlives the call. For the coarse jobs this
+/// workspace runs (whole timing scenarios, whole stage extractions) the
+/// spawn cost is noise; what matters is the stealing, which keeps the
+/// last slow job from serializing the tail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadPool {
+    workers: usize,
+}
+
+impl ThreadPool {
+    /// A pool with exactly `workers` workers (clamped to at least 1).
+    /// `0` resolves to the hardware thread count.
+    pub fn new(workers: usize) -> ThreadPool {
+        ThreadPool {
+            workers: resolve_threads(workers).max(1),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Applies `f` to every item and returns the results **in input
+    /// order**, regardless of which worker ran which item.
+    ///
+    /// # Panics
+    /// If `f` panics for one or more items, the payload of the
+    /// lowest-indexed panicking item is re-raised on the calling thread
+    /// (matching what a serial loop would have done first).
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let workers = self.workers.min(items.len());
+        if workers <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+
+        // One deque of item indices per worker, pre-filled with contiguous
+        // chunks so unstolen work retains memory locality.
+        let queues: Vec<Mutex<VecDeque<usize>>> = split_indices(items.len(), workers)
+            .into_iter()
+            .map(Mutex::new)
+            .collect();
+
+        type Caught = Box<dyn std::any::Any + Send + 'static>;
+        let mut slots: Vec<Option<Result<R, Caught>>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let queues = &queues;
+                    let f = &f;
+                    s.spawn(move || {
+                        let mut out: Vec<(usize, Result<R, Caught>)> = Vec::new();
+                        while let Some(i) = next_job(queues, w) {
+                            out.push((i, catch_unwind(AssertUnwindSafe(|| f(i, &items[i])))));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            let mut slots: Vec<Option<Result<R, Caught>>> =
+                (0..items.len()).map(|_| None).collect();
+            for handle in handles {
+                // A worker thread itself cannot panic: the closure runs
+                // under catch_unwind. join() errors are thus unreachable.
+                for (i, r) in handle.join().expect("worker threads never panic") {
+                    slots[i] = Some(r);
+                }
+            }
+            slots
+        });
+
+        // Re-raise the earliest panic, matching serial left-to-right order.
+        if let Some(first_panic) = slots.iter().position(|s| matches!(s, Some(Err(_)))) {
+            match slots.swap_remove(first_panic) {
+                Some(Err(payload)) => resume_unwind(payload),
+                _ => unreachable!("position() found an Err slot"),
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| match s.expect("every index was executed") {
+                Ok(r) => r,
+                Err(_) => unreachable!("panics re-raised above"),
+            })
+            .collect()
+    }
+}
+
+impl Default for ThreadPool {
+    fn default() -> ThreadPool {
+        ThreadPool::new(0)
+    }
+}
+
+/// Splits `0..len` into `workers` contiguous runs (sizes differing by at
+/// most one).
+fn split_indices(len: usize, workers: usize) -> Vec<VecDeque<usize>> {
+    let base = len / workers;
+    let extra = len % workers;
+    let mut start = 0;
+    (0..workers)
+        .map(|w| {
+            let size = base + usize::from(w < extra);
+            let q: VecDeque<usize> = (start..start + size).collect();
+            start += size;
+            q
+        })
+        .collect()
+}
+
+/// Pops the next job for worker `w`: front of its own deque, else steal
+/// from the back of a sibling's. Returns `None` when every deque is empty
+/// — no job spawns further jobs, so empty-everywhere is terminal.
+fn next_job(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
+    if let Some(i) = queues[w].lock().expect("queue lock").pop_front() {
+        return Some(i);
+    }
+    let n = queues.len();
+    for offset in 1..n {
+        let victim = (w + offset) % n;
+        if let Some(i) = queues[victim].lock().expect("queue lock").pop_back() {
+            return Some(i);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_preserves_order_for_any_worker_count() {
+        let items: Vec<usize> = (0..100).collect();
+        let expect: Vec<usize> = items.iter().map(|x| x * 3).collect();
+        for workers in [1, 2, 3, 4, 8] {
+            let pool = ThreadPool::new(workers);
+            let got = pool.map(&items, |_, &x| x * 3);
+            assert_eq!(got, expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn map_handles_tiny_inputs() {
+        let pool = ThreadPool::new(4);
+        assert_eq!(pool.map(&[] as &[usize], |_, &x| x), Vec::<usize>::new());
+        assert_eq!(pool.map(&[7usize], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let counters: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        let items: Vec<usize> = (0..64).collect();
+        ThreadPool::new(4).map(&items, |_, &i| {
+            counters[i].fetch_add(1, Ordering::SeqCst);
+        });
+        for (i, c) in counters.iter().enumerate() {
+            assert_eq!(c.load(Ordering::SeqCst), 1, "item {i}");
+        }
+    }
+
+    #[test]
+    fn unbalanced_work_is_stolen() {
+        // One expensive item at the front of worker 0's chunk: the rest of
+        // the chunk must be stolen while worker 0 grinds. We can't observe
+        // the stealing directly, but the run must complete with correct
+        // results (a non-stealing pool with per-worker fixed chunks also
+        // passes; this is a smoke check that heavy skew is safe).
+        let items: Vec<u64> = (0..32).map(|i| if i == 0 { 200_000 } else { 10 }).collect();
+        let got = ThreadPool::new(4).map(&items, |_, &spin| {
+            let mut acc = 0u64;
+            for k in 0..spin {
+                acc = acc.wrapping_add(k ^ (acc << 1));
+            }
+            std::hint::black_box(acc);
+            spin
+        });
+        assert_eq!(got, items);
+    }
+
+    #[test]
+    fn lowest_index_panic_wins() {
+        let items: Vec<usize> = (0..32).collect();
+        let result = std::panic::catch_unwind(|| {
+            ThreadPool::new(4).map(&items, |_, &i| {
+                if i == 5 || i == 20 {
+                    panic!("boom {i}");
+                }
+                i
+            })
+        });
+        let payload = result.expect_err("panic propagates");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert_eq!(message, "boom 5");
+    }
+
+    #[test]
+    fn zero_resolves_to_hardware_threads() {
+        assert_eq!(ThreadPool::new(0).workers(), available_parallelism());
+        assert_eq!(resolve_threads(0), available_parallelism());
+        assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn split_covers_all_indices() {
+        for len in [0usize, 1, 5, 16, 17] {
+            for workers in [1usize, 2, 3, 7] {
+                let qs = split_indices(len, workers);
+                let mut all: Vec<usize> = qs.iter().flatten().copied().collect();
+                all.sort_unstable();
+                assert_eq!(all, (0..len).collect::<Vec<_>>());
+            }
+        }
+    }
+}

@@ -94,6 +94,22 @@ impl RcTree {
         self.label[index]
     }
 
+    /// The parent of `index` (`None` for the root).
+    pub fn parent(&self, index: usize) -> Option<usize> {
+        self.parent[index]
+    }
+
+    /// Series resistance of the edge entering `index` from its parent
+    /// (zero for the root).
+    pub fn edge_resistance(&self, index: usize) -> Ohms {
+        self.resistance[index]
+    }
+
+    /// The capacitance loaded at `index`.
+    pub fn capacitance(&self, index: usize) -> Farads {
+        self.capacitance[index]
+    }
+
     /// Finds the tree index labeled with `node`.
     pub fn find_label(&self, node: NodeId) -> Option<usize> {
         self.label.iter().position(|&l| l == Some(node))

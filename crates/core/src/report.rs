@@ -75,6 +75,18 @@ pub fn full_report(net: &Network, result: &TimingResult) -> String {
             }
         );
     }
+    // Only analyses run with a stage cache carry statistics; reports for
+    // uncached runs are unchanged.
+    if let Some(stats) = result.cache_stats() {
+        let _ = writeln!(
+            out,
+            "stage cache: {} hits, {} misses, {} evictions ({:.1}% hit rate)",
+            stats.hits,
+            stats.misses,
+            stats.evictions,
+            stats.hit_rate() * 100.0
+        );
+    }
     out
 }
 
@@ -207,5 +219,32 @@ mod tests {
         let text = full_report(&net, &result);
         // 4 arrivals (in, s1, s2, out) + 2 header lines.
         assert_eq!(text.lines().count(), 6);
+    }
+
+    #[test]
+    fn full_report_appends_cache_line_only_when_cached() {
+        use crate::analyzer::{analyze_with_options, AnalyzerOptions};
+        use crate::memo::StageCache;
+        use std::sync::Arc;
+        let net = inverter_chain(Style::Cmos, 3, 1.0, Farads::from_femto(100.0)).unwrap();
+        let inp = net.node_by_name("in").unwrap();
+        let scenario = Scenario::step(inp, Edge::Rising);
+        let options = AnalyzerOptions {
+            cache: Some(Arc::new(StageCache::new())),
+            ..AnalyzerOptions::default()
+        };
+        let cached = analyze_with_options(
+            &net,
+            &Technology::nominal(),
+            ModelKind::Slope,
+            &scenario,
+            options,
+        )
+        .unwrap();
+        let text = full_report(&net, &cached);
+        assert!(text.contains("stage cache:"), "{text}");
+        assert!(text.contains("hit rate"), "{text}");
+        // 4 arrivals + 2 headers + 1 cache line.
+        assert_eq!(text.lines().count(), 7);
     }
 }

@@ -2,7 +2,9 @@
 //! latest arrival — how a Crystal-class tool finds a circuit's critical
 //! path without being told which input matters.
 
-use crate::analyzer::{analyze, Arrival, Edge, Scenario, TimingResult};
+use crate::analyzer::{
+    analyze_with_options, AnalyzerOptions, Arrival, Edge, Scenario, TimingResult,
+};
 use crate::error::TimingError;
 use crate::models::ModelKind;
 use crate::tech::Technology;
@@ -70,6 +72,30 @@ pub fn sweep_inputs(
     input_transition: Seconds,
     base_statics: &HashMap<NodeId, bool>,
 ) -> Result<SweepResult, TimingError> {
+    sweep_inputs_with_options(
+        net,
+        tech,
+        model,
+        input_transition,
+        base_statics,
+        &AnalyzerOptions::default(),
+    )
+}
+
+/// [`sweep_inputs`] with explicit [`AnalyzerOptions`] — in particular a
+/// shared stage cache, which pays off across a sweep's many
+/// near-identical scenarios.
+///
+/// # Errors
+/// See [`sweep_inputs`].
+pub fn sweep_inputs_with_options(
+    net: &Network,
+    tech: &Technology,
+    model: ModelKind,
+    input_transition: Seconds,
+    base_statics: &HashMap<NodeId, bool>,
+    options: &AnalyzerOptions,
+) -> Result<SweepResult, TimingError> {
     let mut runs = Vec::new();
     for input in net.inputs() {
         for edge in [Edge::Rising, Edge::Falling] {
@@ -79,7 +105,7 @@ pub fn sweep_inputs(
                     scenario = scenario.with_static(n, v);
                 }
             }
-            let result = analyze(net, tech, model, &scenario)?;
+            let result = analyze_with_options(net, tech, model, &scenario, options.clone())?;
             runs.push((scenario, result));
         }
     }
@@ -98,6 +124,26 @@ pub fn sweep_exhaustive(
     tech: &Technology,
     model: ModelKind,
     input_transition: Seconds,
+) -> Result<SweepResult, TimingError> {
+    sweep_exhaustive_with_options(
+        net,
+        tech,
+        model,
+        input_transition,
+        &AnalyzerOptions::default(),
+    )
+}
+
+/// [`sweep_exhaustive`] with explicit [`AnalyzerOptions`].
+///
+/// # Errors
+/// See [`sweep_exhaustive`].
+pub fn sweep_exhaustive_with_options(
+    net: &Network,
+    tech: &Technology,
+    model: ModelKind,
+    input_transition: Seconds,
+    options: &AnalyzerOptions,
 ) -> Result<SweepResult, TimingError> {
     let inputs = net.inputs();
     if inputs.len() > MAX_EXHAUSTIVE_INPUTS {
@@ -118,7 +164,7 @@ pub fn sweep_exhaustive(
                 for (bit, &other) in others.iter().enumerate() {
                     scenario = scenario.with_static(other, vector >> bit & 1 == 1);
                 }
-                let result = analyze(net, tech, model, &scenario)?;
+                let result = analyze_with_options(net, tech, model, &scenario, options.clone())?;
                 runs.push((scenario, result));
             }
         }

@@ -1,0 +1,179 @@
+//! End-to-end properties of the stage-evaluation memo cache: cached
+//! analyses reproduce fresh ones bit-for-bit, technology edits
+//! invalidate by content, and the hit/miss/eviction counters account
+//! for every lookup.
+
+use crystal::analyzer::{analyze_with_options, AnalyzerOptions, Edge, Scenario};
+use crystal::memo::StageCache;
+use crystal::models::ModelKind;
+use crystal::tech::{Direction, DriveParams, Technology};
+use mosnet::generators::{carry_chain, inverter_chain, Style};
+use mosnet::units::{Farads, Ohms, Seconds};
+use mosnet::{Network, TransistorKind};
+use std::sync::Arc;
+
+fn chain() -> Network {
+    inverter_chain(Style::Cmos, 8, 2.0, Farads::from_femto(100.0)).expect("chain generates")
+}
+
+fn scenario(net: &Network) -> Scenario {
+    let inp = net.node_by_name("in").unwrap();
+    Scenario::step(inp, Edge::Rising).with_input_transition(Seconds::from_nanos(1.0))
+}
+
+fn with_cache(cache: &Arc<StageCache>) -> AnalyzerOptions {
+    AnalyzerOptions {
+        cache: Some(Arc::clone(cache)),
+        ..AnalyzerOptions::default()
+    }
+}
+
+#[test]
+fn cached_analysis_matches_fresh_bit_for_bit() {
+    let tech = Technology::nominal();
+    let net = chain();
+    let scenario = scenario(&net);
+    for model in [ModelKind::Lumped, ModelKind::RcTree, ModelKind::Slope] {
+        let fresh = analyze_with_options(&net, &tech, model, &scenario, AnalyzerOptions::default())
+            .expect("fresh analysis succeeds");
+        let cache = Arc::new(StageCache::new());
+        let cold = analyze_with_options(&net, &tech, model, &scenario, with_cache(&cache))
+            .expect("cold cached analysis succeeds");
+        let warm = analyze_with_options(&net, &tech, model, &scenario, with_cache(&cache))
+            .expect("warm cached analysis succeeds");
+        assert_eq!(cold, fresh, "{model:?}: cold run must match uncached");
+        assert_eq!(warm, fresh, "{model:?}: warm run must match uncached");
+        assert!(
+            cache.stats().hits > 0,
+            "{model:?}: the warm run should hit the cache"
+        );
+    }
+}
+
+#[test]
+fn per_run_counters_account_for_every_lookup() {
+    let tech = Technology::nominal();
+    let net = chain();
+    let scenario = scenario(&net);
+    let cache = Arc::new(StageCache::new());
+    let cold = analyze_with_options(&net, &tech, ModelKind::Slope, &scenario, with_cache(&cache))
+        .expect("cold run succeeds");
+    let warm = analyze_with_options(&net, &tech, ModelKind::Slope, &scenario, with_cache(&cache))
+        .expect("warm run succeeds");
+    let cold_stats = cold.cache_stats().expect("cached runs carry stats");
+    let warm_stats = warm.cache_stats().expect("cached runs carry stats");
+    assert!(cold_stats.misses > 0, "a cold cache must miss");
+    // Identical work: the warm run performs the same lookups and every
+    // one of them now hits.
+    assert_eq!(warm_stats.misses, 0, "{warm_stats:?}");
+    assert_eq!(warm_stats.hits, cold_stats.hits + cold_stats.misses);
+    // Every miss of a successful run inserted an entry; nothing was
+    // evicted at default capacity.
+    assert_eq!(cold_stats.evictions, 0);
+    assert_eq!(cache.len() as u64, cold_stats.misses);
+    // The cache's cumulative counters equal the sum of the per-run deltas.
+    let total = cache.stats();
+    assert_eq!(total.hits, cold_stats.hits + warm_stats.hits);
+    assert_eq!(total.misses, cold_stats.misses + warm_stats.misses);
+}
+
+#[test]
+fn technology_edits_invalidate_by_content() {
+    let nominal = Technology::nominal();
+    let net = chain();
+    let scenario = scenario(&net);
+    // A technology with doubled n-pulldown resistance: same name, new
+    // drive tables.
+    let mut slow = Technology::nominal();
+    let params = slow
+        .drive(TransistorKind::NEnhancement, Direction::PullDown)
+        .clone();
+    slow.set_drive(
+        TransistorKind::NEnhancement,
+        Direction::PullDown,
+        DriveParams {
+            r_square: Ohms(params.r_square.0 * 2.0),
+            ..params
+        },
+    );
+
+    let cache = Arc::new(StageCache::new());
+    let with_nominal = analyze_with_options(
+        &net,
+        &nominal,
+        ModelKind::Slope,
+        &scenario,
+        with_cache(&cache),
+    )
+    .expect("nominal run succeeds");
+    let with_slow =
+        analyze_with_options(&net, &slow, ModelKind::Slope, &scenario, with_cache(&cache))
+            .expect("edited-tech run succeeds");
+    // The edited-technology run must not reuse nominal entries: its
+    // results equal a fresh uncached analysis under the edited tech...
+    let fresh_slow = analyze_with_options(
+        &net,
+        &slow,
+        ModelKind::Slope,
+        &scenario,
+        AnalyzerOptions::default(),
+    )
+    .expect("fresh edited-tech run succeeds");
+    assert_eq!(with_slow, fresh_slow, "stale hits would skew arrivals");
+    assert_ne!(
+        with_slow, with_nominal,
+        "doubling the pulldown resistance must change the timing"
+    );
+    // ...and its lookups all missed (a different content stamp keys a
+    // disjoint part of the cache).
+    let slow_stats = with_slow.cache_stats().expect("cached runs carry stats");
+    let nominal_stats = with_nominal.cache_stats().expect("cached runs carry stats");
+    assert_eq!(slow_stats.hits, nominal_stats.hits, "only intra-run reuse");
+    assert!(slow_stats.misses > 0);
+    // Returning to the nominal technology hits the original entries.
+    let back = analyze_with_options(
+        &net,
+        &nominal,
+        ModelKind::Slope,
+        &scenario,
+        with_cache(&cache),
+    )
+    .expect("second nominal run succeeds");
+    assert_eq!(back, with_nominal);
+    assert_eq!(back.cache_stats().expect("stats").misses, 0);
+}
+
+#[test]
+fn tiny_capacity_evicts_but_stays_correct() {
+    let tech = Technology::nominal();
+    let net = carry_chain(Style::Cmos, 12, Farads::from_femto(100.0)).expect("chain generates");
+    let cin = net.node_by_name("cin").unwrap();
+    let mut scenario = Scenario::step(cin, Edge::Rising);
+    for input in net.inputs() {
+        if input != cin {
+            scenario = scenario.with_static(input, net.node(input).name().starts_with('p'));
+        }
+    }
+    let fresh = analyze_with_options(
+        &net,
+        &tech,
+        ModelKind::Slope,
+        &scenario,
+        AnalyzerOptions::default(),
+    )
+    .expect("fresh analysis succeeds");
+    // A cache far too small for the run: correctness must survive
+    // constant eviction, and the counters must record it.
+    let cache = Arc::new(StageCache::with_capacity(4));
+    for _ in 0..2 {
+        let result =
+            analyze_with_options(&net, &tech, ModelKind::Slope, &scenario, with_cache(&cache))
+                .expect("capacity-starved run succeeds");
+        assert_eq!(result, fresh);
+    }
+    let stats = cache.stats();
+    assert!(stats.evictions > 0, "{stats:?}");
+    assert!(cache.len() <= cache.capacity());
+    // Inserts = survivors + evictions; only misses insert.
+    assert_eq!(cache.len() as u64 + stats.evictions, stats.misses);
+}

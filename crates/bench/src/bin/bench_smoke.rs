@@ -16,7 +16,13 @@
 //!   --require-speedup X   gate: pass-mesh batch speedup at max threads
 //!                         must reach X (skipped on hosts with fewer
 //!                         than 4 hardware threads)
+//!   --trace PREFIX        write a JSON-lines analysis trace per circuit
+//!                         (max threads) to PREFIX.<circuit>.jsonl
 //! ```
+//!
+//! Per-run phase breakdowns (extraction/evaluation/propagation/cache
+//! span times and counters, from an untimed instrumented run) are
+//! embedded in the BENCH JSON under `"phases"`.
 //!
 //! Exit status 0 when all requested gates pass, 1 otherwise.
 
@@ -24,6 +30,7 @@ use crystal::analyzer::{AnalyzerOptions, Edge, Scenario};
 use crystal::batch::run_batch;
 use crystal::memo::{CacheStats, StageCache};
 use crystal::models::ModelKind;
+use crystal::obs::{Metrics, TraceSink};
 use crystal::pool::available_parallelism;
 use crystal::tech::Technology;
 use mosnet::generators::{carry_chain, inverter_chain, Style};
@@ -45,10 +52,12 @@ fn main() {
     let mut reps = 3usize;
     let mut check = false;
     let mut require_speedup: Option<f64> = None;
+    let mut trace_prefix: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--out" => out_path = it.next().expect("--out needs a value").clone(),
+            "--trace" => trace_prefix = Some(it.next().expect("--trace needs a value").clone()),
             "--reps" => {
                 reps = it
                     .next()
@@ -146,15 +155,26 @@ fn main() {
                     );
                 }
             }
+            // Phase-level timing breakdown from a separate instrumented
+            // run, so the tracing mutexes never contaminate the wall
+            // clock measured above.
+            let (metrics, trace_lines) = traced_metrics(net, &tech, scenarios, threads);
+            if let (Some(prefix), true) = (&trace_prefix, threads == *thread_counts.last().unwrap())
+            {
+                let path = format!("{prefix}.{name}.jsonl");
+                std::fs::write(&path, trace_lines).expect("trace file writes");
+                println!("  wrote {path}");
+            }
             json_runs.push(format!(
                 "{{\"threads\": {threads}, \"wall_ms\": {wall_ms:.4}, \
                  \"speedup\": {speedup:.4}, \"cache_hits\": {}, \"cache_misses\": {}, \
                  \"cache_evictions\": {}, \"cache_hit_rate\": {:.4}, \
-                 \"identical_to_serial\": {identical}}}",
+                 \"identical_to_serial\": {identical}, \"phases\": {}}}",
                 stats.hits,
                 stats.misses,
                 stats.evictions,
-                stats.hit_rate()
+                stats.hit_rate(),
+                phases_json(&metrics)
             ));
         }
         json_circuits.push(format!(
@@ -231,6 +251,51 @@ fn measure(
             .collect();
     }
     (best, stats, results)
+}
+
+/// One instrumented (untimed) batch run: returns the per-phase metrics
+/// and the raw JSON-lines trace.
+fn traced_metrics(
+    net: &Network,
+    tech: &Technology,
+    scenarios: &[(String, Scenario)],
+    threads: usize,
+) -> (Metrics, String) {
+    let sink = Arc::new(TraceSink::new());
+    let options = AnalyzerOptions {
+        threads,
+        cache: Some(Arc::new(StageCache::new())),
+        trace: Some(Arc::clone(&sink)),
+        ..AnalyzerOptions::default()
+    };
+    let run = run_batch(net, tech, ModelKind::Slope, scenarios, options, false);
+    assert!(run.all_ok(), "instrumented run failed");
+    (sink.metrics(), sink.to_json_lines())
+}
+
+/// The `"phases"` JSON array for one run: span counts, total span time
+/// and counters per analysis phase.
+fn phases_json(metrics: &Metrics) -> String {
+    let entries: Vec<String> = metrics
+        .phases
+        .iter()
+        .map(|p| {
+            let counters = p
+                .counters
+                .iter()
+                .map(|(n, v)| format!("\"{n}\": {v}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{{\"phase\": \"{}\", \"spans\": {}, \"total_ms\": {:.4}, \
+                 \"counters\": {{{counters}}}}}",
+                p.phase.name(),
+                p.spans,
+                p.total_ns as f64 / 1e6
+            )
+        })
+        .collect();
+    format!("[{}]", entries.join(", "))
 }
 
 fn runs_identical(

@@ -20,8 +20,9 @@ use crate::budget::{AnalysisBudget, BudgetTracker, PartialTiming};
 use crate::error::TimingError;
 use crate::extract::stages_to_full;
 use crate::logic::{self, LogicState, LogicValue};
-use crate::memo::{stage_fingerprint, tech_stamp, CacheStats, CachedEval, StageCache, StageKey};
+use crate::memo::{stage_fingerprint, tech_stamp, CacheStats, CachedEval, StageCache};
 use crate::models::{estimate, estimate_with_fallback, ModelKind, TriggerContext};
+use crate::obs::{Phase, TraceSink};
 use crate::pool::ThreadPool;
 use crate::stage::Stage;
 use crate::tech::{Direction, Technology};
@@ -86,6 +87,11 @@ pub struct AnalyzerOptions {
     /// bits and a technology content stamp), so attaching a cache never
     /// changes arrivals.
     pub cache: Option<Arc<StageCache>>,
+    /// Observability sink ([`crate::obs`]). `None` (the default) records
+    /// nothing; pass a shared [`Arc<TraceSink>`] to collect span timings
+    /// and per-phase counters for the logic, extraction, evaluation,
+    /// propagation, and cache phases. Tracing never affects arrivals.
+    pub trace: Option<Arc<TraceSink>>,
 }
 
 impl Default for AnalyzerOptions {
@@ -97,6 +103,7 @@ impl Default for AnalyzerOptions {
             model_fallback: true,
             threads: 1,
             cache: None,
+            trace: None,
         }
     }
 }
@@ -109,6 +116,11 @@ impl PartialEq for AnalyzerOptions {
             && self.model_fallback == other.model_fallback
             && self.threads == other.threads
             && match (&self.cache, &other.cache) {
+                (None, None) => true,
+                (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                _ => false,
+            }
+            && match (&self.trace, &other.trace) {
                 (None, None) => true,
                 (Some(a), Some(b)) => Arc::ptr_eq(a, b),
                 _ => false,
@@ -331,13 +343,20 @@ pub fn analyze_with_options(
         });
     }
 
+    let trace: Option<&TraceSink> = options.trace.as_deref();
+
     // Steady states before and after the input edge.
     let mut before_inputs = scenario.statics.clone();
     before_inputs.insert(scenario.input, !scenario.edge.final_value());
     let mut after_inputs = scenario.statics.clone();
     after_inputs.insert(scenario.input, scenario.edge.final_value());
-    let before = logic::solve(net, &before_inputs);
-    let after = logic::solve(net, &after_inputs);
+    let (before, after) = {
+        let _span = trace.map(|t| t.span(Phase::Logic, "steady_states"));
+        (
+            logic::solve(net, &before_inputs),
+            logic::solve(net, &after_inputs),
+        )
+    };
 
     // Switching set with final edges.
     let mut edge_of: HashMap<NodeId, Edge> = HashMap::new();
@@ -388,8 +407,17 @@ pub fn analyze_with_options(
     let cache_ctx: Option<(&StageCache, u64)> = cache_ref.map(|c| (c, tech_stamp(tech)));
     let stats_before = cache_ref.map(|c| c.stats()).unwrap_or_default();
     // This analysis's share of the cache counters (a delta, since the
-    // cache is typically shared across a whole batch).
-    let cache_stats_now = || cache_ref.map(|c| c.stats().delta_since(&stats_before));
+    // cache is typically shared across a whole batch). Recorded into the
+    // trace sink on every exit path, success or budget-exhausted alike.
+    let cache_stats_now = || {
+        let stats = cache_ref.map(|c| c.stats().delta_since(&stats_before));
+        if let (Some(t), Some(s)) = (trace, stats.as_ref()) {
+            t.count(Phase::Cache, "hits", s.hits);
+            t.count(Phase::Cache, "misses", s.misses);
+            t.count(Phase::Cache, "evictions", s.evictions);
+        }
+        stats
+    };
     // Packages whatever has been computed so far into the partial-result
     // error, preserving the prefix property: arrivals are only added or
     // refined, never removed, so the partial node set is a subset of what
@@ -428,41 +456,48 @@ pub fn analyze_with_options(
     // node order, so which violation surfaces does not depend on worker
     // scheduling.
     type Extracted = Result<(Vec<Stage>, Vec<u128>), crate::budget::BudgetExceeded>;
-    let extracted: Vec<Extracted> = pool.map(&targets, |_, &(node, edge)| {
-        tracker.check_deadline()?;
-        let direction = if edge == Edge::Rising {
-            Direction::PullUp
-        } else {
-            Direction::PullDown
-        };
-        // A path node already sitting (and staying) at logic One is a
-        // charge reservoir for a pull-up stage: its stored charge
-        // (C·Vdd) supplies the early transition. The discount applies
-        // only to charging — a discharged node holds no charge to
-        // donate, and treating it as a source makes pull-down stacks
-        // optimistic (see `extract::stages_to_full`).
-        let reservoir = |n: NodeId| -> bool {
-            edge == Edge::Rising
-                && before.value(n) == LogicValue::One
-                && after.value(n) == LogicValue::One
-        };
-        let stages = stages_to_full(
-            net,
-            tech,
-            &conducting,
-            node,
-            direction,
-            &cap_scale,
-            &reservoir,
-        );
-        tracker.check_paths(stages.len())?;
-        let fingerprints = if cache_ctx.is_some() {
-            stages.iter().map(stage_fingerprint).collect()
-        } else {
-            Vec::new()
-        };
-        Ok((stages, fingerprints))
+    let extract_span = trace.map(|t| {
+        let mut span = t.span(Phase::Extraction, "extract");
+        span.field("targets", targets.len());
+        span
     });
+    let extracted: Vec<Extracted> =
+        pool.map_traced(trace, "extract_fanout", &targets, |_, &(node, edge)| {
+            tracker.check_deadline()?;
+            let direction = if edge == Edge::Rising {
+                Direction::PullUp
+            } else {
+                Direction::PullDown
+            };
+            // A path node already sitting (and staying) at logic One is a
+            // charge reservoir for a pull-up stage: its stored charge
+            // (C·Vdd) supplies the early transition. The discount applies
+            // only to charging — a discharged node holds no charge to
+            // donate, and treating it as a source makes pull-down stacks
+            // optimistic (see `extract::stages_to_full`).
+            let reservoir = |n: NodeId| -> bool {
+                edge == Edge::Rising
+                    && before.value(n) == LogicValue::One
+                    && after.value(n) == LogicValue::One
+            };
+            let stages = stages_to_full(
+                net,
+                tech,
+                &conducting,
+                node,
+                direction,
+                &cap_scale,
+                &reservoir,
+            );
+            tracker.check_paths(stages.len())?;
+            let fingerprints = if cache_ctx.is_some() {
+                stages.iter().map(stage_fingerprint).collect()
+            } else {
+                Vec::new()
+            };
+            Ok((stages, fingerprints))
+        });
+    drop(extract_span);
     let mut work: Vec<NodeWork> = Vec::with_capacity(targets.len());
     for (&(node, edge), outcome) in targets.iter().zip(extracted) {
         match outcome {
@@ -475,6 +510,10 @@ pub fn analyze_with_options(
             Err(e) => return Err(exhausted(arrivals, e, 0)),
         }
     }
+    if let Some(t) = trace {
+        let stages: usize = work.iter().map(|w| w.stages.len()).sum();
+        t.count(Phase::Extraction, "stages_extracted", stages as u64);
+    }
 
     // Propagation runs in Jacobi (snapshot) rounds for *every* thread
     // count, serial included: each round evaluates all ready nodes
@@ -485,6 +524,11 @@ pub fn analyze_with_options(
     // bit-identical to `threads = 1`.
     let max_rounds = work.len() + 2;
     for round in 0..=max_rounds {
+        let _round_span = trace.map(|t| {
+            let mut span = t.span(Phase::Propagation, "round");
+            span.field("round", round);
+            span
+        });
         if let Err(e) = tracker.check_deadline() {
             return Err(exhausted(arrivals, e, round));
         }
@@ -501,21 +545,32 @@ pub fn analyze_with_options(
                 break;
             }
         }
-        let candidates: Vec<Option<Arrival>> = pool.map(&work[..cutoff], |_, w| {
-            evaluate_node(
-                net,
-                tech,
-                model,
-                &before,
-                &after,
-                &edge_of,
-                &arrivals,
-                w,
-                options.mode,
-                options.model_fallback,
-                cache_ctx,
-            )
+        if let Some(t) = trace {
+            let evals: usize = work[..cutoff].iter().map(|w| w.stages.len()).sum();
+            t.count(Phase::Evaluation, "stage_evals_charged", evals as u64);
+        }
+        let eval_span = trace.map(|t| {
+            let mut span = t.span(Phase::Evaluation, "evaluate");
+            span.field("nodes", cutoff);
+            span
         });
+        let candidates: Vec<Option<Arrival>> =
+            pool.map_traced(trace, "evaluate_fanout", &work[..cutoff], |_, w| {
+                evaluate_node(
+                    net,
+                    tech,
+                    model,
+                    &before,
+                    &after,
+                    &edge_of,
+                    &arrivals,
+                    w,
+                    options.mode,
+                    options.model_fallback,
+                    cache_ctx,
+                )
+            });
+        drop(eval_span);
         let mut changed = false;
         for (w, candidate) in work[..cutoff].iter().zip(candidates) {
             if let Some(candidate) = candidate {
@@ -650,12 +705,15 @@ fn evaluate_node(
             trigger_kind: kind,
         };
         // The memo key covers everything the models consume (stage
-        // topology, technology stamp, exact slope bits, model, trigger
-        // kind, fallback flag), so a hit is bit-identical to a fresh
-        // evaluation. Failed evaluations are not cached: they are rare
-        // (broken technology tables) and skipping them is cheap.
-        let key = cache.map(|(_, stamp)| {
-            StageKey::new(
+        // topology, technology stamp, slope bucket, model, trigger kind,
+        // fallback flag). With the default exact bucketing a hit is
+        // bit-identical to a fresh evaluation; quantized bucketing trades
+        // a documented rounding error for hit rate
+        // (`memo::SlopeBucketing`). Failed evaluations are not cached:
+        // they are rare (broken technology tables) and skipping them is
+        // cheap.
+        let key = cache.map(|(c, stamp)| {
+            c.key(
                 work.fingerprints[stage_index],
                 stamp,
                 ctx.input_transition,
@@ -1140,6 +1198,65 @@ mod tests {
                 full.arrival(node).is_some(),
                 "partial arrival at {node:?} missing from the full result"
             );
+        }
+    }
+
+    #[test]
+    fn budget_trips_identically_with_cache_hits_serial_and_parallel() {
+        use crate::budget::{AnalysisBudget, BudgetExceeded};
+        use crate::memo::StageCache;
+        // A warm cache turns stage evaluations into hits, but a hit must
+        // charge the budget exactly like a computed evaluation (charges
+        // are committed in node order before dispatch, upstream of the
+        // cache probe): the budget trips at the same point and the
+        // partial prefix is bit-identical across cache off/warm and any
+        // thread count.
+        let net = decoder2to4(Style::Cmos, Farads::from_femto(100.0)).unwrap();
+        let a0 = net.node_by_name("a0").unwrap();
+        let s = Scenario::step(a0, Edge::Rising);
+        let warm = Arc::new(StageCache::new());
+        analyze_with_options(
+            &net,
+            &tech(),
+            ModelKind::Slope,
+            &s,
+            AnalyzerOptions {
+                cache: Some(Arc::clone(&warm)),
+                ..AnalyzerOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(warm.stats().misses > 0, "warm-up populated the cache");
+
+        let budget = AnalysisBudget {
+            max_stage_evals: Some(3),
+            ..AnalysisBudget::default()
+        };
+        let mut partials = Vec::new();
+        for threads in [1, 4] {
+            for cache in [None, Some(Arc::clone(&warm))] {
+                let cached = cache.is_some();
+                let options = AnalyzerOptions {
+                    budget,
+                    threads,
+                    cache,
+                    ..AnalyzerOptions::default()
+                };
+                let err = analyze_with_options(&net, &tech(), ModelKind::Slope, &s, options)
+                    .expect_err("a 3-eval cap cannot finish a decoder");
+                let TimingError::BudgetExhausted { partial } = err else {
+                    panic!("expected BudgetExhausted, got {err:?}");
+                };
+                partials.push((threads, cached, partial));
+            }
+        }
+        let (_, _, first) = &partials[0];
+        assert_eq!(first.exceeded, BudgetExceeded::StageEvals { limit: 3 });
+        for (threads, cached, partial) in &partials[1..] {
+            let tag = format!("threads={threads} cached={cached}");
+            assert_eq!(partial.exceeded, first.exceeded, "{tag}");
+            assert_eq!(partial.rounds_completed, first.rounds_completed, "{tag}");
+            assert_eq!(partial.result, first.result, "{tag}");
         }
     }
 

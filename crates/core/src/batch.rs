@@ -11,6 +11,7 @@
 use crate::analyzer::{analyze_with_options, AnalyzerOptions, Scenario, TimingResult};
 use crate::error::TimingError;
 use crate::models::ModelKind;
+use crate::obs::Phase;
 use crate::pool::ThreadPool;
 use crate::tech::Technology;
 use mosnet::Network;
@@ -208,16 +209,35 @@ pub fn run_batch(
     fail_fast: bool,
 ) -> BatchRun<TimingResult, TimingError> {
     let threads = options.threads;
+    let trace = options.trace.clone();
     let per_scenario = AnalyzerOptions {
         threads: 1,
         ..options
     };
-    run_batch_par_with(
+    let run = run_batch_par_with(
         scenarios,
-        |scenario| analyze_with_options(net, tech, model, scenario, per_scenario.clone()),
+        |scenario| {
+            // One Batch-phase span per scenario; the analyzer's own
+            // phase spans nest inside it chronologically.
+            let _span = trace.as_deref().map(|t| t.span(Phase::Batch, "scenario"));
+            analyze_with_options(net, tech, model, scenario, per_scenario.clone())
+        },
         fail_fast,
         threads,
-    )
+    );
+    if let Some(t) = trace.as_deref() {
+        t.count(
+            Phase::Batch,
+            "scenarios_attempted",
+            run.results.len() as u64,
+        );
+        t.count(
+            Phase::Batch,
+            "scenarios_failed",
+            run.failures().count() as u64,
+        );
+    }
+    run
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -336,6 +356,34 @@ mod tests {
                 assert_eq!(ra, rb);
             }
         }
+    }
+
+    #[test]
+    fn parallel_fail_fast_panic_in_later_chunk_truncates_in_input_order() {
+        // threads=2 → dispatch chunks of 4: the panic at index 6 sits in
+        // the *second* chunk, and the error at index 9 in the third chunk
+        // must never surface — truncation is input-order-first even when
+        // the failure is a panic rather than an ordinary error.
+        let f = |&i: &usize| match i {
+            6 => panic!("late panic {i}"),
+            9 => Err("later failure".to_string()),
+            _ => Ok(i),
+        };
+        let run = run_batch_par_with(&items(16), f, true, 2);
+        assert!(!run.all_ok(), "a panicking scenario fails the batch");
+        assert!(run.aborted_early);
+        assert_eq!(run.results.len(), 7, "truncates right after the panic");
+        let (last_label, last_outcome) = run.results.last().unwrap();
+        assert_eq!(last_label, "item6");
+        assert!(matches!(
+            last_outcome,
+            Err(BatchFailure::Panicked { message }) if message.contains("late panic 6")
+        ));
+        assert!(run.results[..6].iter().all(|(_, r)| r.is_ok()));
+        let summary = run.failure_summary();
+        assert!(summary.contains("1 of 7"), "{summary}");
+        assert!(summary.contains("aborted early"), "{summary}");
+        assert!(summary.contains("item6: panicked"), "{summary}");
     }
 
     #[test]

@@ -7,17 +7,26 @@
 //!                    [--model lumped|rctree|slope] [--transition NS]
 //!                    [--set NAME=0|1]... [--output NAME] [--tech FILE]
 //! crystal-cli sweep  <file.sim> [--model ...] [--transition NS]
+//! crystal-cli batch  <file.sim> [--set NAME=0|1]... [--fail-fast]
+//! crystal-cli check  <file.sim> [--tech FILE] [--sample N]
+//!                    [--inject MODEL=FACTOR] [--input NAME] [--edge ...]
 //! crystal-cli spice  <file.sim>
 //! ```
 //!
-//! Exit status 0 on success, 1 with a message on stderr otherwise.
+//! `report`, `sweep`, `batch` and `check` accept `--trace FILE` (JSON-lines
+//! event trace) and `--metrics` (per-phase timing summary on stdout).
+//!
+//! Exit status 0 on success, 1 with a message on stderr otherwise;
+//! `check` exits non-zero when any divergence is detected.
 
 use crystal::analyzer::{analyze_with_options, AnalyzerOptions, Edge, Scenario};
 use crystal::batch::run_batch;
 use crystal::budget::AnalysisBudget;
 use crystal::memo::StageCache;
 use crystal::models::ModelKind;
+use crystal::obs::TraceSink;
 use crystal::report::{critical_path_report, full_report};
+use crystal::selfcheck::{check_network, standard_scenarios, SelfCheckConfig};
 use crystal::sweep::{
     sweep_exhaustive_with_options, sweep_inputs_with_options, MAX_EXHAUSTIVE_INPUTS,
 };
@@ -45,7 +54,8 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: crystal-cli <lint|logic|report|sweep|batch|spice> <file.sim> [options]
+const USAGE: &str =
+    "usage: crystal-cli <lint|logic|report|sweep|batch|check|spice> <file.sim> [options]
   --input NAME          switching input (report)
   --edge rise|fall      input edge direction (report)
   --model lumped|rctree|slope   delay model (default slope)
@@ -60,6 +70,11 @@ const USAGE: &str = "usage: crystal-cli <lint|logic|report|sweep|batch|spice> <f
   --threads N           worker threads (1 = serial default, 0 = all hardware threads);
                         batch fans out across scenarios, report across trigger nodes
   --no-cache            disable the shared stage-evaluation memo cache
+  --trace FILE          write a JSON-lines trace of every analysis phase to FILE
+  --metrics             print a per-phase timing/counter summary after the output
+  --sample N            check: scenarios given the transient reference comparison (default 4)
+  --inject MODEL=F      check: scale MODEL's predictions by F (fault injection;
+                        a working harness must flag the corrupted model)
 ";
 
 /// Parsed common options.
@@ -75,10 +90,14 @@ struct Options {
     fail_fast: bool,
     threads: usize,
     no_cache: bool,
+    trace: Option<String>,
+    metrics: bool,
+    sample: usize,
+    inject: Option<(ModelKind, f64)>,
 }
 
 impl Options {
-    fn analyzer_options(&self) -> AnalyzerOptions {
+    fn analyzer_options(&self, sink: &Option<Arc<TraceSink>>) -> AnalyzerOptions {
         AnalyzerOptions {
             budget: self.budget,
             threads: self.threads,
@@ -87,8 +106,42 @@ impl Options {
             } else {
                 Some(Arc::new(StageCache::new()))
             },
+            trace: sink.clone(),
             ..AnalyzerOptions::default()
         }
+    }
+
+    /// A shared trace sink when `--trace` or `--metrics` asked for one.
+    fn trace_sink(&self) -> Option<Arc<TraceSink>> {
+        (self.trace.is_some() || self.metrics).then(|| Arc::new(TraceSink::new()))
+    }
+
+    /// Writes the `--trace` file and appends the `--metrics` summary.
+    /// Called on both the success and failure paths so a failing batch or
+    /// a diverging check still leaves its trace behind.
+    fn emit_observability(
+        &self,
+        out: &mut String,
+        sink: &Option<Arc<TraceSink>>,
+    ) -> Result<(), String> {
+        let Some(sink) = sink else { return Ok(()) };
+        if let Some(path) = self.trace.as_deref() {
+            fs::write(path, sink.to_json_lines())
+                .map_err(|e| format!("cannot write trace `{path}`: {e}"))?;
+        }
+        if self.metrics {
+            out.push_str(&sink.metrics().render());
+        }
+        Ok(())
+    }
+}
+
+fn parse_model(name: &str) -> Result<ModelKind, String> {
+    match name {
+        "lumped" => Ok(ModelKind::Lumped),
+        "rctree" | "rc-tree" => Ok(ModelKind::RcTree),
+        "slope" => Ok(ModelKind::Slope),
+        other => Err(format!("unknown model `{other}`")),
     }
 }
 
@@ -105,6 +158,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         fail_fast: false,
         threads: 1,
         no_cache: false,
+        trace: None,
+        metrics: false,
+        sample: 4,
+        inject: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -114,14 +171,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 .ok_or_else(|| format!("{what} needs a value"))
         };
         match arg.as_str() {
-            "--model" => {
-                options.model = match value("--model")?.as_str() {
-                    "lumped" => ModelKind::Lumped,
-                    "rctree" | "rc-tree" => ModelKind::RcTree,
-                    "slope" => ModelKind::Slope,
-                    other => return Err(format!("unknown model `{other}`")),
-                };
-            }
+            "--model" => options.model = parse_model(value("--model")?.as_str())?,
             "--transition" => {
                 let ns: f64 = value("--transition")?
                     .parse()
@@ -171,6 +221,26 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--no-cache" => options.no_cache = true,
             "--fail-fast" => options.fail_fast = true,
+            "--trace" => options.trace = Some(value("--trace")?),
+            "--metrics" => options.metrics = true,
+            "--sample" => {
+                options.sample = value("--sample")?
+                    .parse()
+                    .map_err(|_| "cannot parse --sample".to_string())?;
+            }
+            "--inject" => {
+                let pair = value("--inject")?;
+                let (model, factor) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("--inject expects MODEL=FACTOR, got `{pair}`"))?;
+                let factor: f64 = factor
+                    .parse()
+                    .map_err(|_| format!("cannot parse --inject factor `{factor}`"))?;
+                if !(factor > 0.0 && factor.is_finite()) {
+                    return Err("--inject factor must be a positive number".into());
+                }
+                options.inject = Some((parse_model(model)?, factor));
+            }
             "--input" => options.input = Some(value("--input")?),
             "--tech" => options.tech = Some(value("--tech")?),
             "--output" => options.output = Some(value("--output")?),
@@ -217,6 +287,7 @@ fn run(args: &[String]) -> Result<String, String> {
         .ok_or_else(|| format!("`{command}` needs a netlist file\n{USAGE}"))?;
     let net = load(path)?;
     let options = parse_options(rest)?;
+    let sink = options.trace_sink();
 
     match command.as_str() {
         "lint" => {
@@ -268,22 +339,24 @@ fn run(args: &[String]) -> Result<String, String> {
                 &tech,
                 options.model,
                 &scenario,
-                options.analyzer_options(),
+                options.analyzer_options(&sink),
             )
             .map_err(|e| e.to_string())?;
-            match options.output.as_deref() {
+            let mut out = match options.output.as_deref() {
                 Some(name) => {
                     let output = resolve(&net, name)?;
-                    Ok(critical_path_report(&net, &result, output))
+                    critical_path_report(&net, &result, output)
                 }
-                None => Ok(full_report(&net, &result)),
-            }
+                None => full_report(&net, &result),
+            };
+            options.emit_observability(&mut out, &sink)?;
+            Ok(out)
         }
         "sweep" => {
             let tech = load_technology(&options)?;
             // One shared cache (and thread setting) across the whole
             // sweep: repeated stages amortize beautifully here.
-            let analyzer_options = options.analyzer_options();
+            let analyzer_options = options.analyzer_options(&sink);
             let sweep = if net.inputs().len() <= MAX_EXHAUSTIVE_INPUTS {
                 sweep_exhaustive_with_options(
                     &net,
@@ -324,6 +397,7 @@ fn run(args: &[String]) -> Result<String, String> {
                 }
                 None => out.push_str("no output ever switches\n"),
             }
+            options.emit_observability(&mut out, &sink)?;
             Ok(out)
         }
         "batch" => {
@@ -334,24 +408,7 @@ fn run(args: &[String]) -> Result<String, String> {
             for (name, level) in &options.statics {
                 statics.insert(resolve(&net, name)?, *level);
             }
-            let mut scenarios: Vec<(String, Scenario)> = Vec::new();
-            for input in net.inputs() {
-                for edge in [Edge::Rising, Edge::Falling] {
-                    let label = format!(
-                        "{} {}",
-                        net.node(input).name(),
-                        if edge == Edge::Rising { "rise" } else { "fall" }
-                    );
-                    let mut scenario =
-                        Scenario::step(input, edge).with_input_transition(options.transition);
-                    for (&node, &level) in &statics {
-                        if node != input {
-                            scenario = scenario.with_static(node, level);
-                        }
-                    }
-                    scenarios.push((label, scenario));
-                }
-            }
+            let scenarios = standard_scenarios(&net, &statics, options.transition);
             if scenarios.is_empty() {
                 return Err("netlist has no primary inputs to batch over".into());
             }
@@ -360,7 +417,7 @@ fn run(args: &[String]) -> Result<String, String> {
                 &tech,
                 options.model,
                 &scenarios,
-                options.analyzer_options(),
+                options.analyzer_options(&sink),
                 options.fail_fast,
             );
             let mut out = String::new();
@@ -386,11 +443,56 @@ fn run(args: &[String]) -> Result<String, String> {
             }
             if batch.all_ok() {
                 let _ = writeln!(out, "{} scenarios, all ok", batch.results.len());
+                options.emit_observability(&mut out, &sink)?;
                 Ok(out)
             } else {
                 // Completed scenarios stay visible; the failure summary
-                // drives the non-zero exit.
+                // drives the non-zero exit. The trace file still gets
+                // written — failing runs are the ones worth inspecting.
+                options.emit_observability(&mut out, &sink)?;
                 Err(format!("{out}{}", batch.failure_summary()))
+            }
+        }
+        "check" => {
+            let tech = load_technology(&options)?;
+            let mut statics = HashMap::new();
+            for (name, level) in &options.statics {
+                statics.insert(resolve(&net, name)?, *level);
+            }
+            let mut scenarios = standard_scenarios(&net, &statics, options.transition);
+            // --input / --edge narrow the audit to sensitized transitions
+            // (ratioed or floating scenarios measure the test setup, not
+            // the model; see the selfcheck module docs).
+            if let Some(name) = options.input.as_deref() {
+                let input = resolve(&net, name)?;
+                scenarios.retain(|(_, s)| s.input == input);
+            }
+            if let Some(edge) = options.edge {
+                scenarios.retain(|(_, s)| s.edge == edge);
+            }
+            if scenarios.is_empty() {
+                return Err("no scenarios to check (no inputs, or filters exclude all)".into());
+            }
+            let config = SelfCheckConfig {
+                // The parallel leg needs real parallelism to be a check;
+                // `--threads` overrides, otherwise all hardware threads.
+                threads: if options.threads <= 1 {
+                    0
+                } else {
+                    options.threads
+                },
+                reference_sample: options.sample,
+                inject_scale: options.inject,
+                trace: sink.clone(),
+                ..SelfCheckConfig::default()
+            };
+            let report = check_network(&net, &tech, &scenarios, &config);
+            let mut out = report.render();
+            options.emit_observability(&mut out, &sink)?;
+            if report.ok() {
+                Ok(out)
+            } else {
+                Err(out)
             }
         }
         "spice" => Ok(spice_format::write(&net)),
@@ -615,6 +717,84 @@ mod tests {
         // Bad values are parse errors.
         assert!(cli(&["batch", p, "--threads", "lots"]).is_err());
         assert!(cli(&["batch", p, "--threads"]).is_err());
+    }
+
+    #[test]
+    fn check_exact_legs_pass_on_clean_circuit() {
+        let path = fixture("check_ok", INVERTER_CHAIN);
+        // --sample 0 keeps this to the exact (cache/parallel) legs, which
+        // must hold for any technology; the banded reference legs are
+        // exercised against the calibrated technology in selfcheck tests.
+        let out = cli(&["check", path.to_str().unwrap(), "--sample", "0"]).unwrap();
+        assert!(out.contains("0 divergences"), "{out}");
+        assert!(out.contains("comparisons"), "{out}");
+    }
+
+    #[test]
+    fn check_flags_an_injected_fault_with_nonzero_exit() {
+        let path = fixture("check_inject", INVERTER_CHAIN);
+        let err = cli(&[
+            "check",
+            path.to_str().unwrap(),
+            "--sample",
+            "1",
+            "--inject",
+            "lumped=1000",
+        ])
+        .expect_err("a 1000x corruption must be flagged");
+        assert!(err.contains("DIVERGENCE"), "{err}");
+        assert!(err.contains("lumped"), "{err}");
+        // Malformed injections are parse errors.
+        let p = path.to_str().unwrap();
+        assert!(cli(&["check", p, "--inject", "lumped"]).is_err());
+        assert!(cli(&["check", p, "--inject", "lumped=-2"]).is_err());
+        assert!(cli(&["check", p, "--inject", "bogus=2"]).is_err());
+    }
+
+    #[test]
+    fn trace_file_covers_every_analysis_phase() {
+        let path = fixture("trace", INVERTER_CHAIN);
+        let trace_path =
+            std::env::temp_dir().join(format!("crystal_cli_trace_{}.jsonl", std::process::id()));
+        let out = cli(&[
+            "report",
+            path.to_str().unwrap(),
+            "--input",
+            "a",
+            "--edge",
+            "rise",
+            "--trace",
+            trace_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("arrivals"), "{out}");
+        let trace = fs::read_to_string(&trace_path).expect("trace file written");
+        for line in trace.lines() {
+            assert!(
+                line.starts_with('{') && line.ends_with('}'),
+                "not a JSON object line: {line}"
+            );
+        }
+        for phase in ["logic", "extraction", "evaluation", "propagation", "cache"] {
+            assert!(
+                trace.contains(&format!("\"phase\":\"{phase}\"")),
+                "phase `{phase}` missing from trace:\n{trace}"
+            );
+        }
+        let _ = fs::remove_file(&trace_path);
+    }
+
+    #[test]
+    fn metrics_flag_prints_phase_summary() {
+        let path = fixture("metrics", INVERTER_CHAIN);
+        let out = cli(&["batch", path.to_str().unwrap(), "--metrics"]).unwrap();
+        assert!(out.contains("2 scenarios, all ok"), "{out}");
+        assert!(out.contains("time (ms)"), "{out}");
+        assert!(out.contains("batch"), "{out}");
+        assert!(out.contains("scenarios_attempted=2"), "{out}");
+        // Without the flag the summary stays out of the way.
+        let plain = cli(&["batch", path.to_str().unwrap()]).unwrap();
+        assert!(!plain.contains("time (ms)"), "{plain}");
     }
 
     #[test]

@@ -56,9 +56,11 @@ pub mod extract;
 pub mod logic;
 pub mod memo;
 pub mod models;
+pub mod obs;
 pub mod pool;
 pub mod rctree;
 pub mod report;
+pub mod selfcheck;
 pub mod stage;
 pub mod sweep;
 pub mod tech;
@@ -71,9 +73,11 @@ pub use analyzer::{
 pub use batch::{run_batch, run_batch_par_with, run_batch_with, BatchFailure, BatchRun};
 pub use budget::{AnalysisBudget, BudgetExceeded, PartialTiming};
 pub use error::TimingError;
-pub use memo::{stage_fingerprint, tech_stamp, CacheStats, StageCache};
+pub use memo::{stage_fingerprint, tech_stamp, CacheStats, SlopeBucketing, StageCache};
 pub use models::{estimate_with_fallback, try_estimate, ModelFailure, ModelKind, StageDelay};
+pub use obs::{Metrics, Phase, TraceEvent, TraceSink};
 pub use pool::ThreadPool;
 pub use rctree::RcTree;
+pub use selfcheck::{Divergence, SelfCheckConfig, SelfCheckReport, ToleranceBands};
 pub use stage::Stage;
 pub use tech::{Direction, DriveParams, SlopeTable, Technology};

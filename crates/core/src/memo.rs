@@ -23,11 +23,15 @@
 //!   technology — e.g. [`Technology::set_drive`] after a calibration
 //!   pass — changes the stamp, so stale entries can never be returned;
 //!   they simply stop being referenced and age out by eviction;
-//! * the **slope bucket** ([`slope_bucket`]): the exact bit pattern of
-//!   the input transition time. Exact bits (rather than a coarser
-//!   quantization) guarantee a cache hit returns *bit-identical* results
-//!   to a fresh evaluation; coarsening this one function is the single
-//!   place to trade accuracy for hit rate later;
+//! * the **slope bucket** ([`SlopeBucketing`]): how the input transition
+//!   time is mapped into the key. The default, [`SlopeBucketing::Exact`],
+//!   uses the exact bit pattern (with `-0.0` canonicalized to `+0.0`),
+//!   so a cache hit returns *bit-identical* results to a fresh
+//!   evaluation. [`SlopeBucketing::Quantized`] trades a bounded rounding
+//!   error (two slopes sharing a bucket differ by strictly less than the
+//!   configured width) for a higher hit rate across nearby slopes — the
+//!   width is an explicit [`StageCache`] configuration, not a hidden
+//!   constant;
 //! * the model kind, trigger device kind, and whether model fallback is
 //!   enabled.
 //!
@@ -180,14 +184,81 @@ pub fn tech_stamp(tech: &Technology) -> u64 {
     h.0
 }
 
-/// Maps an input transition time to its cache bucket.
+/// How input transition times are mapped to cache buckets.
 ///
-/// Currently the *exact* bit pattern: a hit therefore returns a result
-/// bit-identical to a fresh evaluation. Coarsening this function (e.g.
-/// rounding the mantissa) is the designated lever for trading a small
-/// accuracy loss for a higher hit rate across slightly different slopes.
+/// The bucket width is part of the [`StageCache`] configuration so the
+/// accuracy/hit-rate trade is explicit and auditable: the self-check
+/// harness compares cached results against exact-slope re-evaluations,
+/// and only a documented, bounded rounding error is acceptable.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum SlopeBucketing {
+    /// The exact bit pattern of the transition time (the default). A hit
+    /// returns a result bit-identical to a fresh evaluation. `-0.0` is
+    /// canonicalized to `+0.0` so the two encodings of a zero-width
+    /// (step) input share one entry instead of duplicating it.
+    #[default]
+    Exact,
+    /// Transition times are rounded to the nearest multiple of `width`
+    /// (half-away-from-zero). Bucket edges sit at `(k ± ½)·width`, so
+    /// two slopes that straddle an edge land in *different* buckets and
+    /// can never alias one entry, while any two slopes sharing a bucket
+    /// differ by strictly less than `width` — the documented maximum
+    /// slope rounding error of a quantized hit. A non-positive or
+    /// non-finite width degenerates to [`SlopeBucketing::Exact`].
+    Quantized {
+        /// The bucket width (maximum slope aliasing distance).
+        width: Seconds,
+    },
+}
+
+impl SlopeBucketing {
+    /// Maps an input transition time to its cache bucket.
+    pub fn bucket(self, input_transition: Seconds) -> u64 {
+        // `+ 0.0` canonicalizes a negative zero to positive zero (IEEE
+        // 754 round-to-nearest), so -0.0 and +0.0 — the same physical
+        // slope — always share a bucket in both modes.
+        let v = input_transition.value() + 0.0;
+        match self {
+            SlopeBucketing::Exact => v.to_bits(),
+            SlopeBucketing::Quantized { width } => {
+                let w = width.value();
+                if !(w > 0.0 && w.is_finite() && v.is_finite()) {
+                    // Zero/negative/non-finite width (or a non-finite
+                    // slope): fall back to exact keying rather than
+                    // collapsing everything into one bucket.
+                    return v.to_bits();
+                }
+                // round() is half-away-from-zero, and the f64→i64 cast
+                // saturates, so extreme slopes stay in extreme buckets
+                // instead of wrapping onto small ones. Negative
+                // transitions (physically impossible, but defensively
+                // handled) bucket symmetrically and never alias a
+                // positive slope more than `width` away.
+                (v / w).round() as i64 as u64
+            }
+        }
+    }
+
+    /// The maximum difference between two transition times that may share
+    /// a bucket (zero for exact bucketing).
+    pub fn max_aliasing(self) -> Seconds {
+        match self {
+            SlopeBucketing::Exact => Seconds::ZERO,
+            SlopeBucketing::Quantized { width } => {
+                if width.value() > 0.0 && width.value().is_finite() {
+                    width
+                } else {
+                    Seconds::ZERO
+                }
+            }
+        }
+    }
+}
+
+/// Maps an input transition time to its exact-bit cache bucket (the
+/// default [`SlopeBucketing::Exact`] behavior).
 pub fn slope_bucket(input_transition: Seconds) -> u64 {
-    input_transition.value().to_bits()
+    SlopeBucketing::Exact.bucket(input_transition)
 }
 
 /// The complete lookup key for one stage evaluation.
@@ -203,7 +274,10 @@ pub struct StageKey {
 
 impl StageKey {
     /// Builds the key for evaluating `stage_fingerprint` under the given
-    /// model, trigger, and technology stamp.
+    /// model, trigger, and technology stamp, with **exact** slope
+    /// bucketing. Keys destined for a [`StageCache`] should be built
+    /// with [`StageCache::key`] instead so the cache's configured
+    /// [`SlopeBucketing`] applies.
     pub fn new(
         fingerprint: u128,
         tech_stamp: u64,
@@ -298,26 +372,63 @@ impl CacheStats {
 pub struct StageCache {
     shards: Vec<Mutex<HashMap<StageKey, CachedEval>>>,
     per_shard_capacity: usize,
+    bucketing: SlopeBucketing,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
 }
 
 impl StageCache {
-    /// A cache with the [`DEFAULT_CAPACITY`].
+    /// A cache with the [`DEFAULT_CAPACITY`] and exact slope keying.
     pub fn new() -> StageCache {
         StageCache::with_capacity(DEFAULT_CAPACITY)
     }
 
     /// A cache holding at most `capacity` entries in total (rounded up
-    /// to a multiple of [`SHARDS`], minimum one entry per shard).
+    /// to a multiple of [`SHARDS`], minimum one entry per shard), with
+    /// exact slope keying.
     pub fn with_capacity(capacity: usize) -> StageCache {
+        StageCache::with_config(capacity, SlopeBucketing::Exact)
+    }
+
+    /// A cache with explicit capacity *and* slope-bucketing policy.
+    pub fn with_config(capacity: usize, bucketing: SlopeBucketing) -> StageCache {
         StageCache {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             per_shard_capacity: capacity.div_ceil(SHARDS).max(1),
+            bucketing,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The slope-bucketing policy keys of this cache are built with.
+    pub fn bucketing(&self) -> SlopeBucketing {
+        self.bucketing
+    }
+
+    /// Builds the lookup key for one stage evaluation under this cache's
+    /// slope-bucketing policy. Always use this (rather than
+    /// [`StageKey::new`], which is fixed to exact bucketing) when the key
+    /// will be looked up in this cache, so quantized configurations
+    /// actually coalesce nearby slopes.
+    pub fn key(
+        &self,
+        fingerprint: u128,
+        tech_stamp: u64,
+        input_transition: Seconds,
+        model: ModelKind,
+        trigger_kind: TransistorKind,
+        fallback: bool,
+    ) -> StageKey {
+        StageKey {
+            fingerprint,
+            tech: tech_stamp,
+            slope: self.bucketing.bucket(input_transition),
+            model: model_tag(model),
+            trigger: trigger_kind.index() as u8,
+            fallback,
         }
     }
 
@@ -541,6 +652,193 @@ mod tests {
         cache.insert(keys[0], sample_value());
         for key in &keys[1..] {
             assert!(cache.lookup(key).is_none(), "{key:?} aliased the base key");
+        }
+    }
+
+    #[test]
+    fn exact_bucketing_canonicalizes_negative_zero() {
+        // -0.0 and +0.0 encode the same physical slope; they must share
+        // one bucket (and therefore one cache entry) instead of
+        // duplicating the evaluation under two keys.
+        assert_eq!(
+            SlopeBucketing::Exact.bucket(Seconds(-0.0)),
+            SlopeBucketing::Exact.bucket(Seconds(0.0)),
+        );
+        // Any genuinely different bit pattern still gets its own bucket.
+        assert_ne!(
+            SlopeBucketing::Exact.bucket(Seconds(1.0e-9)),
+            SlopeBucketing::Exact.bucket(Seconds(1.0000000000000002e-9)),
+        );
+    }
+
+    #[test]
+    fn quantized_bucket_edges_never_alias() {
+        // Bucket edges sit at (k + 1/2)·width: two slopes straddling an
+        // edge — however close together — land in different buckets, so
+        // they can never share a cache entry.
+        let width = Seconds::from_nanos(1.0);
+        let b = SlopeBucketing::Quantized { width };
+        let edge: f64 = 0.5e-9;
+        let below = f64::from_bits(edge.to_bits() - 1);
+        assert_ne!(b.bucket(Seconds(below)), b.bucket(Seconds(edge)));
+        // … and the same at a higher edge (between buckets 2 and 3).
+        let edge: f64 = 2.5e-9;
+        let below = f64::from_bits(edge.to_bits() - 1);
+        assert_ne!(b.bucket(Seconds(below)), b.bucket(Seconds(edge)));
+    }
+
+    #[test]
+    fn quantized_same_bucket_slopes_differ_less_than_width() {
+        // The documented rounding error: two slopes sharing a bucket
+        // differ by strictly less than the configured width.
+        let width = Seconds::from_nanos(1.0);
+        let b = SlopeBucketing::Quantized { width };
+        let samples: Vec<f64> = (0..4000).map(|i| i as f64 * 0.77e-11).collect();
+        let mut by_bucket: HashMap<u64, (f64, f64)> = HashMap::new();
+        for &s in &samples {
+            let entry = by_bucket.entry(b.bucket(Seconds(s))).or_insert((s, s));
+            entry.0 = entry.0.min(s);
+            entry.1 = entry.1.max(s);
+        }
+        for (bucket, (lo, hi)) in by_bucket {
+            assert!(
+                hi - lo < width.value(),
+                "bucket {bucket}: spread {} exceeds width {}",
+                hi - lo,
+                width.value()
+            );
+        }
+        assert_eq!(b.max_aliasing(), width);
+    }
+
+    #[test]
+    fn zero_width_quantization_degenerates_to_exact() {
+        for width in [Seconds::ZERO, Seconds(-1.0e-9), Seconds(f64::NAN)] {
+            let b = SlopeBucketing::Quantized { width };
+            for t in [0.0, 1.3e-9, 7.7e-10] {
+                assert_eq!(
+                    b.bucket(Seconds(t)),
+                    SlopeBucketing::Exact.bucket(Seconds(t)),
+                    "width {width:?}, slope {t}"
+                );
+            }
+            assert_eq!(b.max_aliasing(), Seconds::ZERO);
+        }
+    }
+
+    #[test]
+    fn negative_transitions_never_alias_positive_ones() {
+        // Negative transition times are physically impossible but must
+        // not silently collide with real slopes if one ever leaks in.
+        let quantized = SlopeBucketing::Quantized {
+            width: Seconds::from_nanos(1.0),
+        };
+        for b in [SlopeBucketing::Exact, quantized] {
+            for t in [0.6e-9, 1.4e-9, 3.0e-9] {
+                assert_ne!(
+                    b.bucket(Seconds(-t)),
+                    b.bucket(Seconds(t)),
+                    "{b:?}: -{t} aliased +{t}"
+                );
+            }
+        }
+        // The two encodings of zero are the one exception: same slope,
+        // same bucket.
+        assert_eq!(
+            quantized.bucket(Seconds(-0.0)),
+            quantized.bucket(Seconds(0.0))
+        );
+    }
+
+    #[test]
+    fn cache_key_honors_configured_bucketing() {
+        let width = Seconds::from_nanos(1.0);
+        let cache = StageCache::with_config(1024, SlopeBucketing::Quantized { width });
+        assert_eq!(cache.bucketing(), SlopeBucketing::Quantized { width });
+        let key_at = |t: Seconds| {
+            cache.key(
+                7,
+                42,
+                t,
+                ModelKind::Slope,
+                TransistorKind::NEnhancement,
+                true,
+            )
+        };
+        // Two nearby slopes in one bucket share an entry…
+        cache.insert(key_at(Seconds(1.1e-9)), sample_value());
+        assert!(cache.lookup(&key_at(Seconds(1.3e-9))).is_some());
+        // …while slopes straddling a bucket edge do not.
+        assert!(cache.lookup(&key_at(Seconds(1.6e-9))).is_none());
+        // An exact-config cache keeps every distinct slope separate.
+        let exact = StageCache::new();
+        let exact_key = |t: Seconds| {
+            exact.key(
+                7,
+                42,
+                t,
+                ModelKind::Slope,
+                TransistorKind::NEnhancement,
+                true,
+            )
+        };
+        exact.insert(exact_key(Seconds(1.1e-9)), sample_value());
+        assert!(exact.lookup(&exact_key(Seconds(1.3e-9))).is_none());
+    }
+
+    #[test]
+    fn shard_selection_spreads_slope_only_variation() {
+        // 10k keys identical in every field except the slope bits — the
+        // exact pattern a transition sweep produces. No shard may take
+        // more than twice its fair share, or parallel workers would
+        // serialize on one mutex (and, at capacity, evictions would
+        // concentrate there).
+        let fingerprint = 0xdead_beef_cafe_f00d_u128;
+        let mut counts = [0usize; SHARDS];
+        for i in 0..10_000 {
+            // Realistic slope values: 0..10 ns in 1 ps steps.
+            let slope = Seconds(i as f64 * 1.0e-12);
+            let key = StageKey::new(
+                fingerprint,
+                42,
+                slope,
+                ModelKind::Slope,
+                TransistorKind::NEnhancement,
+                true,
+            );
+            counts[key.shard()] += 1;
+        }
+        let fair = 10_000 / SHARDS;
+        for (shard, &count) in counts.iter().enumerate() {
+            assert!(
+                count <= 2 * fair,
+                "shard {shard} took {count} of 10000 keys (fair share {fair})"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_selection_spreads_fingerprint_variation() {
+        // The same distribution bound for keys differing only in their
+        // stage fingerprint (a batch over many distinct stages).
+        let mut counts = [0usize; SHARDS];
+        for i in 0..10_000u64 {
+            let key = StageKey::new(
+                u128::from(i) << 3 | 0x5,
+                42,
+                Seconds::ZERO,
+                ModelKind::Slope,
+                TransistorKind::NEnhancement,
+                true,
+            );
+            counts[key.shard()] += 1;
+        }
+        let fair = 10_000 / SHARDS;
+        for (shard, &count) in counts.iter().enumerate() {
+            assert!(
+                count <= 2 * fair,
+                "shard {shard} took {count} of 10000 keys (fair share {fair})"
+            );
         }
     }
 

@@ -21,6 +21,7 @@
 //!   left-to-right loop would have surfaced, so `catch_unwind` isolation
 //!   in [`crate::batch`] keeps working unchanged.
 
+use crate::obs::{Phase, TraceSink};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
@@ -136,6 +137,30 @@ impl ThreadPool {
                 Err(_) => unreachable!("panics re-raised above"),
             })
             .collect()
+    }
+
+    /// [`ThreadPool::map`] wrapped in a [`Phase::Pool`] span recording
+    /// the fan-out envelope (worker count, item count, wall time) into
+    /// `trace`. With `trace = None` this is exactly `map`.
+    pub fn map_traced<T, R, F>(
+        &self,
+        trace: Option<&TraceSink>,
+        label: &str,
+        items: &[T],
+        f: F,
+    ) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let _span = trace.map(|t| {
+            let mut span = t.span(Phase::Pool, label.to_string());
+            span.field("workers", self.workers.min(items.len().max(1)));
+            span.field("items", items.len());
+            span
+        });
+        self.map(items, f)
     }
 }
 

@@ -1,0 +1,33 @@
+//! Regenerates the committed seed-corpus netlists in `examples/netlists/`.
+//!
+//! These are the three circuits the self-check harness and CI audit:
+//! an inverter chain, a `ctl`-gated pass-transistor chain, and a
+//! Manchester carry chain. Run from the repository root:
+//!
+//! ```text
+//! cargo run --release --example gen_corpus
+//! ```
+
+use mosnet::generators::{carry_chain, inverter_chain, pass_chain, Style};
+use mosnet::sim_format;
+use mosnet::units::Farads;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let chain = inverter_chain(Style::Cmos, 4, 1.5, Farads::from_femto(100.0))?;
+    let mesh = pass_chain(
+        Style::Cmos,
+        6,
+        Farads::from_femto(50.0),
+        Farads::from_femto(100.0),
+    )?;
+    let adder = carry_chain(Style::Cmos, 4, Farads::from_femto(60.0))?;
+    for (path, net) in [
+        ("examples/netlists/inverter_chain.sim", &chain),
+        ("examples/netlists/pass_mesh.sim", &mesh),
+        ("examples/netlists/adder.sim", &adder),
+    ] {
+        std::fs::write(path, sim_format::write(net))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}

@@ -16,7 +16,7 @@
 //!
 //! Arrival times are 50%-crossing times; stage delays are 50%→50%.
 
-use crate::budget::{AnalysisBudget, BudgetTracker, PartialTiming};
+use crate::budget::{AnalysisBudget, BudgetTracker, CancelToken, PartialTiming};
 use crate::error::TimingError;
 use crate::extract::stages_to_full;
 use crate::logic::{self, LogicState, LogicValue};
@@ -92,6 +92,14 @@ pub struct AnalyzerOptions {
     /// and per-phase counters for the logic, extraction, evaluation,
     /// propagation, and cache phases. Tracing never affects arrivals.
     pub trace: Option<Arc<TraceSink>>,
+    /// External cooperative-cancellation token. `None` (the default)
+    /// never cancels. When the token fires, the analysis stops at its
+    /// next budget checkpoint and returns
+    /// [`TimingError::BudgetExhausted`] whose partial result carries
+    /// [`BudgetExceeded::Cancelled`](crate::budget::BudgetExceeded::Cancelled)
+    /// — the hook the durable batch watchdog uses to impose per-scenario
+    /// wall-clock deadlines from outside the analysis.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for AnalyzerOptions {
@@ -104,6 +112,7 @@ impl Default for AnalyzerOptions {
             threads: 1,
             cache: None,
             trace: None,
+            cancel: None,
         }
     }
 }
@@ -123,6 +132,11 @@ impl PartialEq for AnalyzerOptions {
             && match (&self.trace, &other.trace) {
                 (None, None) => true,
                 (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                _ => false,
+            }
+            && match (&self.cancel, &other.cancel) {
+                (None, None) => true,
+                (Some(a), Some(b)) => std::ptr::eq(a.as_atomic(), b.as_atomic()),
                 _ => false,
             }
     }
@@ -401,7 +415,7 @@ pub fn analyze_with_options(
         cause: None,
         model,
     });
-    let tracker = BudgetTracker::new(options.budget);
+    let tracker = BudgetTracker::new(options.budget, options.cancel.clone());
     let pool = ThreadPool::new(options.threads);
     let cache_ref: Option<&StageCache> = options.cache.as_deref();
     let cache_ctx: Option<(&StageCache, u64)> = cache_ref.map(|c| (c, tech_stamp(tech)));

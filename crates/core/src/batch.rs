@@ -240,7 +240,9 @@ pub fn run_batch(
     run
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+/// Renders a caught panic payload as text (shared with [`crate::durable`],
+/// whose retry ladder records panic messages in journal entries).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -8,6 +8,9 @@
 //!                    [--set NAME=0|1]... [--output NAME] [--tech FILE]
 //! crystal-cli sweep  <file.sim> [--model ...] [--transition NS]
 //! crystal-cli batch  <file.sim> [--set NAME=0|1]... [--fail-fast]
+//!                    [--journal FILE [--resume] [--scenario-timeout MS]
+//!                     [--max-retries N] [--retry-backoff-ms MS]
+//!                     [--selfcheck-resume]]
 //! crystal-cli check  <file.sim> [--tech FILE] [--sample N]
 //!                    [--inject MODEL=FACTOR] [--input NAME] [--edge ...]
 //! crystal-cli spice  <file.sim>
@@ -16,29 +19,113 @@
 //! `report`, `sweep`, `batch` and `check` accept `--trace FILE` (JSON-lines
 //! event trace) and `--metrics` (per-phase timing summary on stdout).
 //!
-//! Exit status 0 on success, 1 with a message on stderr otherwise;
-//! `check` exits non-zero when any divergence is detected.
+//! `batch --journal FILE` turns the batch durable: every scenario outcome
+//! is appended to the journal with an fsync'd write, `--resume` replays
+//! completed scenarios bit-identically after a crash or kill,
+//! `--scenario-timeout` arms a per-scenario watchdog, and retryable
+//! failures climb a bounded retry ladder before being quarantined as
+//! poisoned records. `SIGINT`/`SIGTERM` drain gracefully.
+//!
+//! ## Exit codes
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0 | success |
+//! | 1 | usage or any unclassified error |
+//! | 2 | parse error (netlist or technology file) |
+//! | 3 | analysis budget exhausted |
+//! | 4 | self-check divergence (`check`, `--selfcheck-resume`) |
+//! | 5 | scenario timed out (watchdog, retries disabled) |
+//! | 6 | scenario poisoned (retry ladder exhausted) |
+//! | 7 | I/O error (unreadable input, unwritable trace/journal) |
+//! | 8 | interrupted (graceful shutdown drained the batch early) |
 
 use crystal::analyzer::{analyze_with_options, AnalyzerOptions, Edge, Scenario};
 use crystal::batch::run_batch;
 use crystal::budget::AnalysisBudget;
+use crystal::durable::{
+    install_signal_handlers, run_durable, DurableOptions, FailureKind, Outcome, ShutdownFlag,
+};
 use crystal::memo::StageCache;
 use crystal::models::ModelKind;
 use crystal::obs::TraceSink;
 use crystal::report::{critical_path_report, full_report};
-use crystal::selfcheck::{check_network, standard_scenarios, SelfCheckConfig};
+use crystal::selfcheck::{
+    check_network, check_resume_equivalence, standard_scenarios, SelfCheckConfig,
+};
 use crystal::sweep::{
     sweep_exhaustive_with_options, sweep_inputs_with_options, MAX_EXHAUSTIVE_INPUTS,
 };
 use crystal::tech::Technology;
+use crystal::TimingError;
 use mosnet::units::Seconds;
 use mosnet::{sim_format, spice_format, validate, Network, NodeId};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::fs;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Stable exit-code taxonomy (see the module docs). Scripts and CI key
+/// off these numbers; change them only with a major version bump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ExitKind {
+    Generic,
+    Parse,
+    Budget,
+    Divergence,
+    Timeout,
+    Poisoned,
+    Io,
+    Interrupted,
+}
+
+impl ExitKind {
+    fn code(self) -> u8 {
+        match self {
+            ExitKind::Generic => 1,
+            ExitKind::Parse => 2,
+            ExitKind::Budget => 3,
+            ExitKind::Divergence => 4,
+            ExitKind::Timeout => 5,
+            ExitKind::Poisoned => 6,
+            ExitKind::Io => 7,
+            ExitKind::Interrupted => 8,
+        }
+    }
+}
+
+/// A classified CLI failure: the message goes to stderr, the kind picks
+/// the exit code.
+#[derive(Debug)]
+struct CliError {
+    kind: ExitKind,
+    message: String,
+}
+
+impl CliError {
+    fn new(kind: ExitKind, message: impl Into<String>) -> CliError {
+        CliError {
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
+/// Unclassified errors (usage mistakes, bad flag values) exit 1.
+impl From<String> for CliError {
+    fn from(message: String) -> CliError {
+        CliError::new(ExitKind::Generic, message)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> CliError {
+        CliError::new(ExitKind::Generic, message)
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -47,9 +134,9 @@ fn main() -> ExitCode {
             print!("{output}");
             ExitCode::SUCCESS
         }
-        Err(message) => {
-            eprintln!("crystal-cli: {message}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("crystal-cli: {}", e.message);
+            ExitCode::from(e.kind.code())
         }
     }
 }
@@ -75,6 +162,20 @@ const USAGE: &str =
   --sample N            check: scenarios given the transient reference comparison (default 4)
   --inject MODEL=F      check: scale MODEL's predictions by F (fault injection;
                         a working harness must flag the corrupted model)
+  --journal FILE        batch: append every scenario outcome to FILE (JSON lines,
+                        fsync'd) so a killed run can be resumed
+  --resume              batch: replay scenarios already completed in --journal
+                        (bit-identical output) instead of re-running them
+  --scenario-timeout MS batch: per-scenario wall-clock deadline enforced by a
+                        watchdog (0 = cancel immediately, for fault drills)
+  --max-retries N       batch: retry ladder length for panics/timeouts
+                        (default 2; deterministic errors never retry)
+  --retry-backoff-ms MS batch: base backoff before the first retry, doubling
+                        per further retry (default 25)
+  --selfcheck-resume    batch: after a --journal run, re-analyze journaled
+                        outcomes fresh and fail (exit 4) on any mismatch
+exit codes: 0 ok, 1 usage/other, 2 parse, 3 budget, 4 divergence,
+            5 timeout, 6 poisoned, 7 I/O, 8 interrupted
 ";
 
 /// Parsed common options.
@@ -94,6 +195,12 @@ struct Options {
     metrics: bool,
     sample: usize,
     inject: Option<(ModelKind, f64)>,
+    journal: Option<PathBuf>,
+    resume: bool,
+    scenario_timeout: Option<Duration>,
+    max_retries: usize,
+    retry_backoff: Duration,
+    selfcheck_resume: bool,
 }
 
 impl Options {
@@ -123,11 +230,12 @@ impl Options {
         &self,
         out: &mut String,
         sink: &Option<Arc<TraceSink>>,
-    ) -> Result<(), String> {
+    ) -> Result<(), CliError> {
         let Some(sink) = sink else { return Ok(()) };
         if let Some(path) = self.trace.as_deref() {
-            fs::write(path, sink.to_json_lines())
-                .map_err(|e| format!("cannot write trace `{path}`: {e}"))?;
+            fs::write(path, sink.to_json_lines()).map_err(|e| {
+                CliError::new(ExitKind::Io, format!("cannot write trace `{path}`: {e}"))
+            })?;
         }
         if self.metrics {
             out.push_str(&sink.metrics().render());
@@ -162,6 +270,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         metrics: false,
         sample: 4,
         inject: None,
+        journal: None,
+        resume: false,
+        scenario_timeout: None,
+        max_retries: 2,
+        retry_backoff: Duration::from_millis(25),
+        selfcheck_resume: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -241,6 +355,32 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 }
                 options.inject = Some((parse_model(model)?, factor));
             }
+            "--journal" => options.journal = Some(PathBuf::from(value("--journal")?)),
+            "--resume" => options.resume = true,
+            "--scenario-timeout" => {
+                let ms: f64 = value("--scenario-timeout")?
+                    .parse()
+                    .map_err(|_| "cannot parse --scenario-timeout".to_string())?;
+                if !(ms >= 0.0 && ms.is_finite()) {
+                    return Err("--scenario-timeout must be a non-negative number".into());
+                }
+                options.scenario_timeout = Some(Duration::from_secs_f64(ms / 1e3));
+            }
+            "--max-retries" => {
+                options.max_retries = value("--max-retries")?
+                    .parse()
+                    .map_err(|_| "cannot parse --max-retries".to_string())?;
+            }
+            "--retry-backoff-ms" => {
+                let ms: f64 = value("--retry-backoff-ms")?
+                    .parse()
+                    .map_err(|_| "cannot parse --retry-backoff-ms".to_string())?;
+                if !(ms >= 0.0 && ms.is_finite()) {
+                    return Err("--retry-backoff-ms must be a non-negative number".into());
+                }
+                options.retry_backoff = Duration::from_secs_f64(ms / 1e3);
+            }
+            "--selfcheck-resume" => options.selfcheck_resume = true,
             "--input" => options.input = Some(value("--input")?),
             "--tech" => options.tech = Some(value("--tech")?),
             "--output" => options.output = Some(value("--output")?),
@@ -257,21 +397,33 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     Ok(options)
 }
 
-fn load_technology(options: &Options) -> Result<Technology, String> {
+fn load_technology(options: &Options) -> Result<Technology, CliError> {
     match options.tech.as_deref() {
         None => Ok(Technology::nominal()),
         Some(path) => {
-            let text =
-                fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-            crystal::tech_format::parse(&text).map_err(|e| format!("{path}: {e}"))
+            let text = fs::read_to_string(path)
+                .map_err(|e| CliError::new(ExitKind::Io, format!("cannot read `{path}`: {e}")))?;
+            crystal::tech_format::parse(&text)
+                .map_err(|e| CliError::new(ExitKind::Parse, format!("{path}: {e}")))
         }
     }
 }
 
-fn load(path: &str) -> Result<Network, String> {
-    let text = fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+fn load(path: &str) -> Result<Network, CliError> {
+    let text = fs::read_to_string(path)
+        .map_err(|e| CliError::new(ExitKind::Io, format!("cannot read `{path}`: {e}")))?;
     let name = path.rsplit('/').next().unwrap_or(path);
-    sim_format::parse(&text, name).map_err(|e| format!("{path}: {e}"))
+    sim_format::parse(&text, name)
+        .map_err(|e| CliError::new(ExitKind::Parse, format!("{path}: {e}")))
+}
+
+/// Exit-code classification of an analysis error: budget exhaustion has
+/// its own code, everything else is generic.
+fn timing_exit_kind(e: &TimingError) -> ExitKind {
+    match e {
+        TimingError::BudgetExhausted { .. } => ExitKind::Budget,
+        _ => ExitKind::Generic,
+    }
 }
 
 fn resolve(net: &Network, name: &str) -> Result<NodeId, String> {
@@ -280,7 +432,7 @@ fn resolve(net: &Network, name: &str) -> Result<NodeId, String> {
 }
 
 /// Runs a full CLI invocation; returns the stdout text.
-fn run(args: &[String]) -> Result<String, String> {
+fn run(args: &[String]) -> Result<String, CliError> {
     let (command, rest) = args.split_first().ok_or(USAGE.to_string())?;
     let (path, rest) = rest
         .split_first()
@@ -341,7 +493,7 @@ fn run(args: &[String]) -> Result<String, String> {
                 &scenario,
                 options.analyzer_options(&sink),
             )
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| CliError::new(timing_exit_kind(&e), e.to_string()))?;
             let mut out = match options.output.as_deref() {
                 Some(name) => {
                     let output = resolve(&net, name)?;
@@ -375,7 +527,7 @@ fn run(args: &[String]) -> Result<String, String> {
                     &analyzer_options,
                 )
             }
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| CliError::new(timing_exit_kind(&e), e.to_string()))?;
             let mut out = String::new();
             let _ = writeln!(out, "{} scenarios analyzed", sweep.runs().len());
             match sweep.worst_output_arrival(&net) {
@@ -410,7 +562,12 @@ fn run(args: &[String]) -> Result<String, String> {
             }
             let scenarios = standard_scenarios(&net, &statics, options.transition);
             if scenarios.is_empty() {
-                return Err("netlist has no primary inputs to batch over".into());
+                return Err("netlist has no primary inputs to batch over"
+                    .to_string()
+                    .into());
+            }
+            if options.journal.is_some() {
+                return run_durable_batch(&net, &tech, &options, &scenarios, &sink);
             }
             let batch = run_batch(
                 &net,
@@ -450,7 +607,22 @@ fn run(args: &[String]) -> Result<String, String> {
                 // drives the non-zero exit. The trace file still gets
                 // written — failing runs are the ones worth inspecting.
                 options.emit_observability(&mut out, &sink)?;
-                Err(format!("{out}{}", batch.failure_summary()))
+                let kind = if batch.results.iter().any(|(_, r)| {
+                    matches!(
+                        r,
+                        Err(crystal::BatchFailure::Error(
+                            TimingError::BudgetExhausted { .. }
+                        ))
+                    )
+                }) {
+                    ExitKind::Budget
+                } else {
+                    ExitKind::Generic
+                };
+                Err(CliError::new(
+                    kind,
+                    format!("{out}{}", batch.failure_summary()),
+                ))
             }
         }
         "check" => {
@@ -471,7 +643,9 @@ fn run(args: &[String]) -> Result<String, String> {
                 scenarios.retain(|(_, s)| s.edge == edge);
             }
             if scenarios.is_empty() {
-                return Err("no scenarios to check (no inputs, or filters exclude all)".into());
+                return Err("no scenarios to check (no inputs, or filters exclude all)"
+                    .to_string()
+                    .into());
             }
             let config = SelfCheckConfig {
                 // The parallel leg needs real parallelism to be a check;
@@ -492,11 +666,104 @@ fn run(args: &[String]) -> Result<String, String> {
             if report.ok() {
                 Ok(out)
             } else {
-                Err(out)
+                Err(CliError::new(ExitKind::Divergence, out))
             }
         }
         "spice" => Ok(spice_format::write(&net)),
-        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+        other => Err(format!("unknown command `{other}`\n{USAGE}").into()),
+    }
+}
+
+/// The `batch --journal` path: durable execution with checkpoint/resume,
+/// watchdog timeouts, the retry ladder, and graceful shutdown. See the
+/// module docs for the exit-code precedence.
+fn run_durable_batch(
+    net: &Network,
+    tech: &Technology,
+    options: &Options,
+    scenarios: &[(String, Scenario)],
+    sink: &Option<Arc<TraceSink>>,
+) -> Result<String, CliError> {
+    install_signal_handlers();
+    let journal = options.journal.clone().expect("caller checked --journal");
+    let analyzer_options = options.analyzer_options(sink);
+    let durable = DurableOptions {
+        journal,
+        resume: options.resume,
+        scenario_timeout: options.scenario_timeout,
+        max_retries: options.max_retries,
+        retry_backoff: options.retry_backoff,
+        threads: options.threads,
+        shutdown: Some(ShutdownFlag::new()),
+    };
+    let run = run_durable(
+        net,
+        tech,
+        options.model,
+        scenarios,
+        analyzer_options.clone(),
+        &durable,
+    )
+    .map_err(|e| CliError::new(ExitKind::Io, e.to_string()))?;
+
+    // Scenario lines replay bit-identically on resume: the summary text
+    // comes from the journal record either way.
+    let mut out = String::new();
+    for record in &run.records {
+        let _ = writeln!(out, "{}: {}", record.label, record.summary);
+    }
+    let oks = run.count(Outcome::Ok);
+    if run.all_ok() {
+        let _ = write!(out, "{} scenarios, all ok", run.records.len());
+    } else {
+        let _ = write!(
+            out,
+            "{} scenarios, {oks} ok, {} error, {} timed out, {} poisoned, {} skipped",
+            run.records.len(),
+            run.count(Outcome::Error),
+            run.count(Outcome::TimedOut),
+            run.count(Outcome::Poisoned),
+            run.count(Outcome::Skipped),
+        );
+    }
+    if run.resumed > 0 {
+        let _ = write!(out, " ({} resumed from journal)", run.resumed);
+    }
+    out.push('\n');
+
+    let mut divergences = 0usize;
+    if options.selfcheck_resume {
+        let report =
+            check_resume_equivalence(net, tech, options.model, scenarios, &analyzer_options, &run);
+        divergences = report.divergences.len();
+        out.push_str(&report.render());
+    }
+    options.emit_observability(&mut out, sink)?;
+
+    // Exit precedence: an interrupted drain beats everything (the run is
+    // incomplete), then quarantine, timeout, divergence, budget.
+    let kind = if run.interrupted {
+        Some(ExitKind::Interrupted)
+    } else if run.count(Outcome::Poisoned) > 0 {
+        Some(ExitKind::Poisoned)
+    } else if run.count(Outcome::TimedOut) > 0 {
+        Some(ExitKind::Timeout)
+    } else if divergences > 0 {
+        Some(ExitKind::Divergence)
+    } else if run
+        .records
+        .iter()
+        .any(|r| r.outcome == Outcome::Error && r.taxonomy == Some(FailureKind::Budget))
+    {
+        Some(ExitKind::Budget)
+    } else if run.count(Outcome::Error) > 0 {
+        Some(ExitKind::Generic)
+    } else {
+        None
+    };
+    match kind {
+        None => Ok(out),
+        Some(kind) => Err(CliError::new(kind, out)),
     }
 }
 
@@ -518,7 +785,13 @@ mod tests {
 
     fn cli(parts: &[&str]) -> Result<String, String> {
         let args: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
-        run(&args)
+        run(&args).map_err(|e| e.message)
+    }
+
+    /// Like [`cli`], but keeps the exit-code classification.
+    fn cli_err(parts: &[&str]) -> CliError {
+        let args: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
+        run(&args).expect_err("invocation must fail")
     }
 
     #[test]
@@ -803,6 +1076,163 @@ mod tests {
         let out = cli(&["spice", path.to_str().unwrap()]).unwrap();
         assert!(out.contains(".model NMOS"));
         assert!(out.contains(".end"));
+    }
+
+    fn temp_journal(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "crystal_cli_journal_{name}_{}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn durable_batch_matches_plain_batch_output() {
+        let path = fixture("durable_plain", INVERTER_CHAIN);
+        let journal = temp_journal("plain");
+        let p = path.to_str().unwrap();
+        let plain = cli(&["batch", p]).unwrap();
+        let durable = cli(&["batch", p, "--journal", journal.to_str().unwrap()]).unwrap();
+        assert_eq!(durable, plain, "journaling must not change the output");
+        let _ = fs::remove_file(&journal);
+    }
+
+    #[test]
+    fn durable_batch_resume_replays_bit_identically() {
+        let path = fixture("durable_resume", INVERTER_CHAIN);
+        let journal = temp_journal("resume");
+        let p = path.to_str().unwrap();
+        let j = journal.to_str().unwrap();
+        let first = cli(&["batch", p, "--journal", j]).unwrap();
+        let resumed = cli(&["batch", p, "--journal", j, "--resume"]).unwrap();
+        // Scenario lines are identical; only the final summary carries
+        // the resumed count.
+        let scenario_lines = |s: &str| s.lines().map(String::from).collect::<Vec<_>>();
+        let first_lines = scenario_lines(&first);
+        let resumed_lines = scenario_lines(&resumed);
+        assert_eq!(first_lines.len(), resumed_lines.len());
+        assert_eq!(
+            first_lines[..first_lines.len() - 1],
+            resumed_lines[..resumed_lines.len() - 1]
+        );
+        assert!(resumed.contains("(2 resumed from journal)"), "{resumed}");
+        let _ = fs::remove_file(&journal);
+    }
+
+    #[test]
+    fn durable_batch_selfcheck_resume_passes_on_honest_journal() {
+        let path = fixture("durable_selfcheck", INVERTER_CHAIN);
+        let journal = temp_journal("selfcheck");
+        let p = path.to_str().unwrap();
+        let j = journal.to_str().unwrap();
+        cli(&["batch", p, "--journal", j]).unwrap();
+        let out = cli(&["batch", p, "--journal", j, "--resume", "--selfcheck-resume"]).unwrap();
+        assert!(out.contains("0 divergences"), "{out}");
+        let _ = fs::remove_file(&journal);
+    }
+
+    #[test]
+    fn durable_batch_selfcheck_flags_a_tampered_journal() {
+        let path = fixture("durable_tamper", INVERTER_CHAIN);
+        let journal = temp_journal("tamper");
+        let p = path.to_str().unwrap();
+        let j = journal.to_str().unwrap();
+        cli(&["batch", p, "--journal", j]).unwrap();
+        // Corrupt one journaled digest; the resume self-check must fail
+        // with the divergence exit code.
+        let text = fs::read_to_string(&journal).unwrap();
+        let marker = "\"digest\":\"";
+        let at = text.find(marker).expect("journal carries a digest") + marker.len();
+        let mut tampered = text.clone();
+        let flipped = if &text[at..at + 1] == "0" { "f" } else { "0" };
+        tampered.replace_range(at..at + 1, flipped);
+        fs::write(&journal, tampered).unwrap();
+        let err = cli_err(&["batch", p, "--journal", j, "--resume", "--selfcheck-resume"]);
+        assert_eq!(err.kind, ExitKind::Divergence, "{}", err.message);
+        assert!(err.message.contains("DIVERGENCE"), "{}", err.message);
+        let _ = fs::remove_file(&journal);
+    }
+
+    #[test]
+    fn durable_batch_zero_timeout_classifies_timeout_and_poison() {
+        let path = fixture("durable_timeout", INVERTER_CHAIN);
+        let p = path.to_str().unwrap();
+        // No retries: a pre-cancelled scenario is a plain timeout.
+        let journal = temp_journal("timeout");
+        let err = cli_err(&[
+            "batch",
+            p,
+            "--journal",
+            journal.to_str().unwrap(),
+            "--scenario-timeout",
+            "0",
+            "--max-retries",
+            "0",
+        ]);
+        assert_eq!(err.kind, ExitKind::Timeout, "{}", err.message);
+        assert!(err.message.contains("TIMED OUT"), "{}", err.message);
+        let _ = fs::remove_file(&journal);
+        // With retries: the ladder exhausts and quarantines.
+        let journal = temp_journal("poison");
+        let err = cli_err(&[
+            "batch",
+            p,
+            "--journal",
+            journal.to_str().unwrap(),
+            "--scenario-timeout",
+            "0",
+            "--max-retries",
+            "1",
+            "--retry-backoff-ms",
+            "1",
+        ]);
+        assert_eq!(err.kind, ExitKind::Poisoned, "{}", err.message);
+        assert!(
+            err.message.contains("POISONED after 2 attempts"),
+            "{}",
+            err.message
+        );
+        let _ = fs::remove_file(&journal);
+    }
+
+    #[test]
+    fn exit_kinds_classify_common_failures() {
+        let path = fixture("exit_kinds", INVERTER_CHAIN);
+        let p = path.to_str().unwrap();
+        assert_eq!(
+            cli_err(&["lint", "/nonexistent/file.sim"]).kind,
+            ExitKind::Io
+        );
+        let bad = fixture("exit_kinds_bad", "n a\n");
+        assert_eq!(
+            cli_err(&["lint", bad.to_str().unwrap()]).kind,
+            ExitKind::Parse
+        );
+        assert_eq!(
+            cli_err(&["batch", p, "--max-stages", "0"]).kind,
+            ExitKind::Budget
+        );
+        assert_eq!(
+            cli_err(&[
+                "report",
+                p,
+                "--input",
+                "a",
+                "--edge",
+                "rise",
+                "--max-stages",
+                "0"
+            ])
+            .kind,
+            ExitKind::Budget
+        );
+        assert_eq!(cli_err(&["frobnicate", p]).kind, ExitKind::Generic);
+        let journal = std::env::temp_dir()
+            .join("no_such_dir_crystal")
+            .join("j.jsonl");
+        assert_eq!(
+            cli_err(&["batch", p, "--journal", journal.to_str().unwrap()]).kind,
+            ExitKind::Io
+        );
     }
 
     #[test]

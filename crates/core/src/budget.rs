@@ -16,8 +16,46 @@
 
 use crate::analyzer::TimingResult;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// A shared cooperative-cancellation flag.
+///
+/// Cloning yields a handle to the **same** flag; once [`CancelToken::cancel`]
+/// is called every holder observes it. The analyzer polls the token at the
+/// same points it polls the wall-clock deadline, so a cancelled analysis
+/// stops with [`BudgetExceeded::Cancelled`] and a usable
+/// [`PartialTiming`] prefix — exactly the budget-exhaustion contract.
+/// The durable batch layer's watchdog uses this to impose per-scenario
+/// deadlines from *outside* the analysis.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation; every clone of this token observes it.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// `true` once [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// A borrowed view of the underlying flag, for APIs (like the
+    /// nanospice reference simulator) that poll a plain [`AtomicBool`].
+    pub fn as_atomic(&self) -> &AtomicBool {
+        &self.flag
+    }
+}
 
 /// Caps on the work one analysis may perform. `None` means unlimited;
 /// the default budget is fully unlimited, matching historical behavior.
@@ -66,6 +104,9 @@ pub enum BudgetExceeded {
         /// The configured deadline.
         limit: Duration,
     },
+    /// An external [`CancelToken`] was fired (watchdog timeout or
+    /// shutdown) and the analysis stopped cooperatively.
+    Cancelled,
 }
 
 impl fmt::Display for BudgetExceeded {
@@ -82,6 +123,9 @@ impl fmt::Display for BudgetExceeded {
             }
             BudgetExceeded::Deadline { limit } => {
                 write!(f, "wall-clock deadline of {limit:?} passed")
+            }
+            BudgetExceeded::Cancelled => {
+                write!(f, "analysis cancelled by an external request")
             }
         }
     }
@@ -109,19 +153,29 @@ pub(crate) struct BudgetTracker {
     budget: AnalysisBudget,
     started: Instant,
     stage_evals: AtomicUsize,
+    cancel: Option<CancelToken>,
 }
 
 impl BudgetTracker {
-    pub(crate) fn new(budget: AnalysisBudget) -> BudgetTracker {
+    pub(crate) fn new(budget: AnalysisBudget, cancel: Option<CancelToken>) -> BudgetTracker {
         BudgetTracker {
             budget,
             started: Instant::now(),
             stage_evals: AtomicUsize::new(0),
+            cancel,
         }
     }
 
-    /// Errors once the wall-clock deadline has passed.
+    /// Errors once the wall-clock deadline has passed or the external
+    /// cancel token (if any) has fired. Cancellation is checked first so
+    /// a watchdog-initiated stop is reported as such even when the
+    /// in-analysis deadline would also have expired.
     pub(crate) fn check_deadline(&self) -> Result<(), BudgetExceeded> {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Err(BudgetExceeded::Cancelled);
+            }
+        }
         match self.budget.deadline {
             Some(limit) if self.started.elapsed() >= limit => {
                 Err(BudgetExceeded::Deadline { limit })
@@ -161,6 +215,13 @@ impl BudgetTracker {
 mod tests {
     use super::*;
 
+    impl BudgetTracker {
+        /// Test shorthand: a tracker with no external cancel token.
+        fn new_t(budget: AnalysisBudget) -> BudgetTracker {
+            BudgetTracker::new(budget, None)
+        }
+    }
+
     #[test]
     fn default_budget_is_unlimited() {
         assert!(AnalysisBudget::default().is_unlimited());
@@ -174,7 +235,7 @@ mod tests {
 
     #[test]
     fn tracker_charges_stage_evals() {
-        let t = BudgetTracker::new(AnalysisBudget {
+        let t = BudgetTracker::new_t(AnalysisBudget {
             max_stage_evals: Some(5),
             ..AnalysisBudget::default()
         });
@@ -188,7 +249,7 @@ mod tests {
 
     #[test]
     fn concurrent_charges_count_each_unit_exactly_once() {
-        let t = BudgetTracker::new(AnalysisBudget {
+        let t = BudgetTracker::new_t(AnalysisBudget {
             max_stage_evals: Some(1000),
             ..AnalysisBudget::default()
         });
@@ -211,7 +272,7 @@ mod tests {
 
     #[test]
     fn tracker_checks_paths_per_node() {
-        let t = BudgetTracker::new(AnalysisBudget {
+        let t = BudgetTracker::new_t(AnalysisBudget {
             max_paths_per_node: Some(4),
             ..AnalysisBudget::default()
         });
@@ -224,7 +285,7 @@ mod tests {
 
     #[test]
     fn tracker_enforces_deadline() {
-        let t = BudgetTracker::new(AnalysisBudget {
+        let t = BudgetTracker::new_t(AnalysisBudget {
             deadline: Some(Duration::ZERO),
             ..AnalysisBudget::default()
         });
@@ -232,7 +293,7 @@ mod tests {
             t.check_deadline(),
             Err(BudgetExceeded::Deadline { .. })
         ));
-        let unlimited = BudgetTracker::new(AnalysisBudget::default());
+        let unlimited = BudgetTracker::new(AnalysisBudget::default(), None);
         assert!(unlimited.check_deadline().is_ok());
     }
 
@@ -249,5 +310,39 @@ mod tests {
         }
         .to_string()
         .contains("deadline"));
+        assert!(BudgetExceeded::Cancelled.to_string().contains("cancelled"));
+    }
+
+    #[test]
+    fn cancel_token_is_shared_across_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!token.is_cancelled());
+        assert!(!clone.is_cancelled());
+        clone.cancel();
+        assert!(token.is_cancelled());
+        assert!(token.as_atomic().load(Ordering::Acquire));
+    }
+
+    #[test]
+    fn tracker_reports_cancellation_before_deadline() {
+        let token = CancelToken::new();
+        let t = BudgetTracker::new(
+            AnalysisBudget {
+                deadline: Some(Duration::ZERO),
+                ..AnalysisBudget::default()
+            },
+            Some(token.clone()),
+        );
+        // Deadline already expired, but an explicit cancel wins the race
+        // so the caller can tell a watchdog stop from a budget stop.
+        token.cancel();
+        assert_eq!(t.check_deadline(), Err(BudgetExceeded::Cancelled));
+    }
+
+    #[test]
+    fn uncancelled_token_does_not_trip_tracker() {
+        let t = BudgetTracker::new(AnalysisBudget::default(), Some(CancelToken::new()));
+        assert!(t.check_deadline().is_ok());
     }
 }

@@ -1,0 +1,1623 @@
+//! Durable (crash-safe) batch execution: journaled checkpoint/resume,
+//! per-scenario watchdogs, a bounded retry ladder, and poison quarantine.
+//!
+//! [`crate::batch`] makes a batch *fail-soft* — one panicking scenario
+//! cannot take down its siblings. This module makes it *durable*:
+//!
+//! * every scenario outcome is appended to a JSON-lines **journal** with
+//!   an fsync'd write, so a `SIGKILL`ed run loses at most the in-flight
+//!   scenarios ([`Journal`]);
+//! * a resumed run ([`DurableOptions::resume`]) recovers the journal —
+//!   including a **torn tail** left by a crash mid-append — and replays
+//!   completed scenarios bit-identically instead of re-running them;
+//! * a **watchdog** thread enforces a per-scenario wall-clock deadline
+//!   by firing the scenario's [`CancelToken`], which the analyzer polls
+//!   at its budget checkpoints — a wedged scenario becomes a `timed_out`
+//!   record instead of a stalled worker;
+//! * retryable failures (panics, timeouts) climb a bounded **retry
+//!   ladder** with exponential backoff — retries run under relaxed
+//!   options (no memo cache), mirroring the calibration runner's
+//!   relaxation retry — and are **quarantined** as `poisoned` records
+//!   when the ladder is exhausted, so reruns skip and report them;
+//! * a [`ShutdownFlag`] (wired to `SIGINT`/`SIGTERM` by
+//!   [`install_signal_handlers`]) triggers a **graceful drain**: no new
+//!   scenario starts, in-flight scenarios finish and are journaled, and
+//!   the run reports itself interrupted.
+//!
+//! Determinism contract: a run killed at any point and resumed produces
+//! the same set of `(label, outcome, digest, summary)` records as an
+//! uninterrupted run, at any thread count. The journal header pins a
+//! [`run_fingerprint`] over the netlist, technology, model, and the
+//! result-affecting analyzer options (thread count, cache, and tracing
+//! are excluded — they never change arrivals), so a resume against
+//! different inputs is rejected instead of silently mixing results.
+
+use crate::analyzer::{analyze_with_options, AnalyzerOptions, Scenario, TimingResult};
+use crate::batch::panic_message;
+use crate::budget::CancelToken;
+use crate::error::TimingError;
+use crate::models::ModelKind;
+use crate::obs::{Phase, TraceSink};
+use crate::pool::ThreadPool;
+use crate::tech::Technology;
+use mosnet::{sim_format, Network};
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write as _};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Journal format version written into the run header.
+pub const JOURNAL_VERSION: u64 = 1;
+
+// ---------------------------------------------------------------------------
+// Shutdown
+// ---------------------------------------------------------------------------
+
+/// Set by the process signal handler; merged into every [`ShutdownFlag`].
+static GLOBAL_SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// A graceful-shutdown request flag.
+///
+/// Cloning shares the same flag. [`ShutdownFlag::is_requested`] also
+/// observes the process-global signal flag set by
+/// [`install_signal_handlers`], so one durable run reacts both to an
+/// in-process [`ShutdownFlag::request`] (tests, embedding) and to a
+/// `SIGINT`/`SIGTERM` delivered to the process.
+#[derive(Debug, Clone, Default)]
+pub struct ShutdownFlag {
+    local: Arc<AtomicBool>,
+}
+
+impl ShutdownFlag {
+    /// A fresh flag with no shutdown requested.
+    pub fn new() -> ShutdownFlag {
+        ShutdownFlag::default()
+    }
+
+    /// Requests a graceful drain: stop dispatching, finish in-flight work.
+    pub fn request(&self) {
+        self.local.store(true, Ordering::SeqCst);
+    }
+
+    /// `true` once [`ShutdownFlag::request`] was called on any clone or a
+    /// handled shutdown signal arrived.
+    pub fn is_requested(&self) -> bool {
+        self.local.load(Ordering::SeqCst) || GLOBAL_SHUTDOWN.load(Ordering::SeqCst)
+    }
+}
+
+/// Installs `SIGINT`/`SIGTERM` handlers that set the process-global
+/// shutdown flag observed by every [`ShutdownFlag`]. Safe to call more
+/// than once. On non-Unix platforms this is a no-op (the in-process
+/// [`ShutdownFlag::request`] path still works everywhere).
+#[cfg(unix)]
+pub fn install_signal_handlers() {
+    extern "C" fn handle(_signum: i32) {
+        // Only async-signal-safe work here: one atomic store.
+        GLOBAL_SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        let handler = handle as extern "C" fn(i32) as *const () as usize;
+        let _ = signal(SIGINT, handler);
+        let _ = signal(SIGTERM, handler);
+    }
+}
+
+/// Non-Unix stub; see the Unix version.
+#[cfg(not(unix))]
+pub fn install_signal_handlers() {}
+
+// ---------------------------------------------------------------------------
+// Taxonomy and records
+// ---------------------------------------------------------------------------
+
+/// Failure taxonomy recorded in the journal and used to decide retries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FailureKind {
+    /// The scenario panicked (caught on the worker). Retryable.
+    Panic,
+    /// The watchdog (or shutdown) cancelled the scenario past its
+    /// wall-clock deadline. Retryable.
+    Timeout,
+    /// A configured [`AnalysisBudget`](crate::budget::AnalysisBudget) cap
+    /// fired. Deterministic — never retried.
+    Budget,
+    /// Any other analysis error (unknown node, no fixpoint, ...).
+    /// Deterministic — never retried.
+    Analysis,
+}
+
+impl FailureKind {
+    /// Stable lowercase name used in journal records.
+    pub fn name(self) -> &'static str {
+        match self {
+            FailureKind::Panic => "panic",
+            FailureKind::Timeout => "timeout",
+            FailureKind::Budget => "budget",
+            FailureKind::Analysis => "analysis",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<FailureKind> {
+        Some(match name {
+            "panic" => FailureKind::Panic,
+            "timeout" => FailureKind::Timeout,
+            "budget" => FailureKind::Budget,
+            "analysis" => FailureKind::Analysis,
+            _ => return None,
+        })
+    }
+
+    /// `true` when the retry ladder applies: panics and timeouts are
+    /// environmental, everything else is deterministic and retrying it
+    /// would only reproduce the same failure slower.
+    pub fn is_retryable(self) -> bool {
+        matches!(self, FailureKind::Panic | FailureKind::Timeout)
+    }
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Final disposition of one scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Outcome {
+    /// Analysis succeeded; the record carries the arrival digest.
+    Ok,
+    /// A deterministic analysis error (budget, unknown node, ...).
+    Error,
+    /// Timed out with retries disabled (`max_retries = 0`); kept
+    /// distinct from [`Outcome::Poisoned`] so the exit code can tell a
+    /// plain timeout from an exhausted quarantine.
+    TimedOut,
+    /// Quarantined: a retryable failure survived the whole retry ladder.
+    /// Resumed runs skip and report poisoned scenarios.
+    Poisoned,
+    /// Never started: a shutdown request arrived first. Not journaled —
+    /// a later resume runs the scenario for real.
+    Skipped,
+}
+
+impl Outcome {
+    /// Stable lowercase name used in journal records.
+    pub fn name(self) -> &'static str {
+        match self {
+            Outcome::Ok => "ok",
+            Outcome::Error => "error",
+            Outcome::TimedOut => "timed_out",
+            Outcome::Poisoned => "poisoned",
+            Outcome::Skipped => "skipped",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<Outcome> {
+        Some(match name {
+            "ok" => Outcome::Ok,
+            "error" => Outcome::Error,
+            "timed_out" => Outcome::TimedOut,
+            "poisoned" => Outcome::Poisoned,
+            "skipped" => Outcome::Skipped,
+            _ => return None,
+        })
+    }
+}
+
+/// One journaled (or skipped) scenario outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioRecord {
+    /// The scenario label (journal key for resume).
+    pub label: String,
+    /// Final disposition.
+    pub outcome: Outcome,
+    /// Failure taxonomy for non-`Ok` outcomes.
+    pub taxonomy: Option<FailureKind>,
+    /// FNV-1a digest over the result's arrival bit patterns (`Ok` only);
+    /// the resume-equivalence self-check recomputes and compares it.
+    pub digest: Option<u64>,
+    /// Human-readable outcome, exactly as the CLI prints it after
+    /// `"{label}: "` — stored so a resume replays bit-identical output.
+    pub summary: String,
+    /// Attempts made (1 = first try succeeded or failed undeterred).
+    pub attempts: u32,
+    /// Wall-clock time spent on this scenario, all attempts included.
+    pub wall_ms: u64,
+    /// `true` when this record was replayed from the journal rather than
+    /// computed in this run. Not serialized.
+    pub resumed: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Failures of the durable layer itself (never of a scenario).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DurableError {
+    /// Journal file I/O failed.
+    Io {
+        /// The journal path.
+        path: PathBuf,
+        /// The underlying error text.
+        message: String,
+    },
+    /// A non-tail journal line failed to parse. (A broken *final* line is
+    /// torn-tail damage and recovered silently; damage anywhere else
+    /// means the file is not trustworthy.)
+    CorruptJournal {
+        /// The journal path.
+        path: PathBuf,
+        /// 1-based line number of the first bad line.
+        line: usize,
+    },
+    /// The journal was written by a run over different inputs (netlist,
+    /// technology, model, or result-affecting options).
+    FingerprintMismatch {
+        /// The journal path.
+        path: PathBuf,
+        /// Fingerprint in the journal header.
+        found: u64,
+        /// Fingerprint of the current inputs.
+        expected: u64,
+    },
+}
+
+impl fmt::Display for DurableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurableError::Io { path, message } => {
+                write!(f, "journal `{}`: {message}", path.display())
+            }
+            DurableError::CorruptJournal { path, line } => write!(
+                f,
+                "journal `{}` is corrupt at line {line} (not a torn tail; \
+                 delete the file or run without --resume to start over)",
+                path.display()
+            ),
+            DurableError::FingerprintMismatch {
+                path,
+                found,
+                expected,
+            } => write!(
+                f,
+                "journal `{}` belongs to a different run \
+                 (fingerprint {found:016x}, current inputs {expected:016x})",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {}
+
+// ---------------------------------------------------------------------------
+// Fingerprints and digests
+// ---------------------------------------------------------------------------
+
+/// 64-bit FNV-1a, the same zero-dependency hash the memo cache uses.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Content fingerprint of one durable run: netlist, technology, model,
+/// and the result-affecting analyzer options. Thread count, cache, trace
+/// sink, and cancel token are **excluded** — they never change arrivals,
+/// so a resume may use a different `--threads` and still match.
+pub fn run_fingerprint(
+    net: &Network,
+    tech: &Technology,
+    model: ModelKind,
+    options: &AnalyzerOptions,
+) -> u64 {
+    let mut h = Fnv::new();
+    h.write(sim_format::write(net).as_bytes());
+    h.write_u64(crate::memo::tech_stamp(tech));
+    h.write(format!("{model:?}").as_bytes());
+    h.write_u64(options.non_switching_cap_weight.to_bits());
+    h.write(format!("{:?}", options.mode).as_bytes());
+    h.write(&[u8::from(options.model_fallback)]);
+    let cap = |v: Option<usize>| v.map_or(u64::MAX, |n| n as u64);
+    h.write_u64(cap(options.budget.max_stage_evals));
+    h.write_u64(cap(options.budget.max_paths_per_node));
+    h.write_u64(
+        options
+            .budget
+            .deadline
+            .map_or(u64::MAX, |d| d.as_nanos() as u64),
+    );
+    h.finish()
+}
+
+/// FNV-1a digest over a result's arrivals — exact bit patterns of every
+/// `(node, time, transition, edge, model)` row in node-name order. Two
+/// results digest equal iff the analyses are bit-identical, which is the
+/// property resume and the resume-equivalence self-check verify.
+pub fn result_digest(net: &Network, result: &TimingResult) -> u64 {
+    let mut rows: Vec<(String, u64, u64, bool, String)> = result
+        .arrivals()
+        .map(|(id, a)| {
+            (
+                net.node(id).name().to_string(),
+                a.time.value().to_bits(),
+                a.transition.value().to_bits(),
+                a.edge == crate::analyzer::Edge::Rising,
+                a.model.to_string(),
+            )
+        })
+        .collect();
+    rows.sort();
+    let mut h = Fnv::new();
+    for (name, time, transition, rising, model) in rows {
+        h.write(name.as_bytes());
+        h.write(&[0]);
+        h.write_u64(time);
+        h.write_u64(transition);
+        h.write(&[u8::from(rising)]);
+        h.write(model.as_bytes());
+        h.write(&[0]);
+    }
+    h.finish()
+}
+
+/// The CLI's per-scenario success line suffix (after `"{label}: "`),
+/// shared by the fresh path and the journal so replays are bit-identical.
+pub fn scenario_summary(net: &Network, result: &TimingResult) -> String {
+    match result.max_arrival() {
+        Some((node, arrival)) => format!(
+            "ok, latest `{}` at {:.4} ns",
+            net.node(node).name(),
+            arrival.time.nanos()
+        ),
+        None => "ok, nothing switches".to_string(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON (the workspace is dependency-free)
+// ---------------------------------------------------------------------------
+
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Parses one flat JSON object of string/number/bool values into a
+/// string-valued map. Returns `None` on any malformation — the caller
+/// decides whether that is a torn tail or corruption.
+fn parse_json_object(line: &str) -> Option<HashMap<String, String>> {
+    let mut map = HashMap::new();
+    let bytes = line.as_bytes();
+    let mut i = 0usize;
+    let skip_ws = |i: &mut usize| {
+        while *i < bytes.len() && bytes[*i].is_ascii_whitespace() {
+            *i += 1;
+        }
+    };
+    let parse_string = |i: &mut usize| -> Option<String> {
+        if bytes.get(*i) != Some(&b'"') {
+            return None;
+        }
+        *i += 1;
+        let mut out = String::new();
+        loop {
+            match bytes.get(*i)? {
+                b'"' => {
+                    *i += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    *i += 1;
+                    match bytes.get(*i)? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = line.get(*i + 1..*i + 5)?;
+                            let code = u32::from_str_radix(hex, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                            *i += 4;
+                        }
+                        _ => return None,
+                    }
+                    *i += 1;
+                }
+                &b => {
+                    // Multi-byte UTF-8: copy the whole scalar.
+                    if b < 0x80 {
+                        out.push(b as char);
+                        *i += 1;
+                    } else {
+                        let s = &line[*i..];
+                        let c = s.chars().next()?;
+                        out.push(c);
+                        *i += c.len_utf8();
+                    }
+                }
+            }
+        }
+    };
+    skip_ws(&mut i);
+    if bytes.get(i) != Some(&b'{') {
+        return None;
+    }
+    i += 1;
+    skip_ws(&mut i);
+    if bytes.get(i) == Some(&b'}') {
+        i += 1;
+        skip_ws(&mut i);
+        return (i == bytes.len()).then_some(map);
+    }
+    loop {
+        skip_ws(&mut i);
+        let key = parse_string(&mut i)?;
+        skip_ws(&mut i);
+        if bytes.get(i) != Some(&b':') {
+            return None;
+        }
+        i += 1;
+        skip_ws(&mut i);
+        let value = match bytes.get(i)? {
+            b'"' => parse_string(&mut i)?,
+            b't' if line[i..].starts_with("true") => {
+                i += 4;
+                "true".to_string()
+            }
+            b'f' if line[i..].starts_with("false") => {
+                i += 5;
+                "false".to_string()
+            }
+            b'0'..=b'9' | b'-' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit()
+                        || matches!(bytes[i], b'.' | b'e' | b'E' | b'+' | b'-'))
+                {
+                    i += 1;
+                }
+                line[start..i].to_string()
+            }
+            _ => return None,
+        };
+        map.insert(key, value);
+        skip_ws(&mut i);
+        match bytes.get(i) {
+            Some(b',') => i += 1,
+            Some(b'}') => {
+                i += 1;
+                skip_ws(&mut i);
+                return (i == bytes.len()).then_some(map);
+            }
+            _ => return None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Journal
+// ---------------------------------------------------------------------------
+
+/// An append-only JSON-lines outcome log with fsync'd writes.
+///
+/// Line 1 is a run header pinning the format version and the
+/// [`run_fingerprint`]; every further line is one scenario record. On
+/// resume, a torn final line (crash mid-append) is dropped and the file
+/// truncated back to its valid prefix; damage anywhere earlier is
+/// reported as [`DurableError::CorruptJournal`].
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Creates (truncating) a fresh journal and writes the run header.
+    pub fn create(path: &Path, fingerprint: u64) -> Result<Journal, DurableError> {
+        let io_err = |e: std::io::Error| DurableError::Io {
+            path: path.to_path_buf(),
+            message: e.to_string(),
+        };
+        let file = File::create(path).map_err(io_err)?;
+        let mut journal = Journal {
+            file,
+            path: path.to_path_buf(),
+        };
+        journal.append_line(&header_line(fingerprint))?;
+        Ok(journal)
+    }
+
+    /// Opens an existing journal for resume: validates the header
+    /// fingerprint, recovers a torn tail (dropping and truncating the
+    /// final line if it is damaged or unterminated), and returns the
+    /// replayable records plus the journal reopened for appending.
+    ///
+    /// A missing or empty journal resumes as a fresh run.
+    pub fn open_resume(
+        path: &Path,
+        fingerprint: u64,
+    ) -> Result<(Journal, Vec<ScenarioRecord>), DurableError> {
+        let io_err = |e: std::io::Error| DurableError::Io {
+            path: path.to_path_buf(),
+            message: e.to_string(),
+        };
+        let bytes = match std::fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(io_err(e)),
+        };
+        if bytes.is_empty() {
+            return Ok((Journal::create(path, fingerprint)?, Vec::new()));
+        }
+        let text = String::from_utf8_lossy(&bytes);
+        let mut valid_len = 0usize;
+        let mut records = Vec::new();
+        let lines: Vec<&str> = text.split_inclusive('\n').collect();
+        for (index, raw) in lines.iter().enumerate() {
+            let is_last = index + 1 == lines.len();
+            let torn_tail = |valid_len| {
+                // Only the final line may be damaged (a crash mid-append);
+                // drop it and let the scenario re-run.
+                if is_last {
+                    Ok(valid_len)
+                } else {
+                    Err(DurableError::CorruptJournal {
+                        path: path.to_path_buf(),
+                        line: index + 1,
+                    })
+                }
+            };
+            if !raw.ends_with('\n') {
+                valid_len = torn_tail(valid_len)?;
+                break;
+            }
+            let line = raw.trim_end_matches(['\n', '\r']);
+            let Some(fields) = parse_json_object(line) else {
+                valid_len = torn_tail(valid_len)?;
+                break;
+            };
+            if index == 0 {
+                if fields.get("kind").map(String::as_str) != Some("run") {
+                    return Err(DurableError::CorruptJournal {
+                        path: path.to_path_buf(),
+                        line: 1,
+                    });
+                }
+                let found = fields
+                    .get("fingerprint")
+                    .and_then(|s| u64::from_str_radix(s, 16).ok())
+                    .ok_or(DurableError::CorruptJournal {
+                        path: path.to_path_buf(),
+                        line: 1,
+                    })?;
+                if found != fingerprint {
+                    return Err(DurableError::FingerprintMismatch {
+                        path: path.to_path_buf(),
+                        found,
+                        expected: fingerprint,
+                    });
+                }
+            } else {
+                match record_from_fields(&fields) {
+                    Some(record) => records.push(record),
+                    None => {
+                        valid_len = torn_tail(valid_len)?;
+                        break;
+                    }
+                }
+            }
+            valid_len += raw.len();
+        }
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(io_err)?;
+        file.set_len(valid_len as u64).map_err(io_err)?;
+        let mut file = file;
+        file.seek(SeekFrom::End(0)).map_err(io_err)?;
+        Ok((
+            Journal {
+                file,
+                path: path.to_path_buf(),
+            },
+            records,
+        ))
+    }
+
+    /// Appends one scenario record, fsync'd so it survives a crash that
+    /// happens right after.
+    pub fn append(&mut self, record: &ScenarioRecord) -> Result<(), DurableError> {
+        self.append_line(&record_line(record))
+    }
+
+    fn append_line(&mut self, line: &str) -> Result<(), DurableError> {
+        let io_err = |path: &Path, e: std::io::Error| DurableError::Io {
+            path: path.to_path_buf(),
+            message: e.to_string(),
+        };
+        self.file
+            .write_all(line.as_bytes())
+            .map_err(|e| io_err(&self.path, e))?;
+        self.file.sync_data().map_err(|e| io_err(&self.path, e))
+    }
+}
+
+fn header_line(fingerprint: u64) -> String {
+    format!("{{\"kind\":\"run\",\"v\":{JOURNAL_VERSION},\"fingerprint\":\"{fingerprint:016x}\"}}\n")
+}
+
+fn record_line(record: &ScenarioRecord) -> String {
+    let mut out = String::from("{\"kind\":\"scenario\",\"label\":\"");
+    escape_json(&record.label, &mut out);
+    out.push_str("\",\"outcome\":\"");
+    out.push_str(record.outcome.name());
+    out.push('"');
+    if let Some(kind) = record.taxonomy {
+        out.push_str(",\"taxonomy\":\"");
+        out.push_str(kind.name());
+        out.push('"');
+    }
+    if let Some(digest) = record.digest {
+        out.push_str(&format!(",\"digest\":\"{digest:016x}\""));
+    }
+    out.push_str(",\"summary\":\"");
+    escape_json(&record.summary, &mut out);
+    out.push_str(&format!(
+        "\",\"attempts\":{},\"wall_ms\":{}}}\n",
+        record.attempts, record.wall_ms
+    ));
+    out
+}
+
+fn record_from_fields(fields: &HashMap<String, String>) -> Option<ScenarioRecord> {
+    if fields.get("kind").map(String::as_str) != Some("scenario") {
+        return None;
+    }
+    let outcome = Outcome::from_name(fields.get("outcome")?)?;
+    let taxonomy = match fields.get("taxonomy") {
+        Some(name) => Some(FailureKind::from_name(name)?),
+        None => None,
+    };
+    let digest = match fields.get("digest") {
+        Some(hex) => Some(u64::from_str_radix(hex, 16).ok()?),
+        None => None,
+    };
+    Some(ScenarioRecord {
+        label: fields.get("label")?.clone(),
+        outcome,
+        taxonomy,
+        digest,
+        summary: fields.get("summary")?.clone(),
+        attempts: fields.get("attempts")?.parse().ok()?,
+        wall_ms: fields.get("wall_ms")?.parse().ok()?,
+        resumed: true,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog
+// ---------------------------------------------------------------------------
+
+/// Deadline slots scanned by the watchdog thread. Workers register a
+/// `(deadline, token)` pair per attempt and clear it when the attempt
+/// finishes; the watchdog fires expired tokens and mirrors shutdown
+/// requests into the pool's dispatch-stop flag.
+#[derive(Debug, Default)]
+struct Watchdog {
+    slots: Mutex<Vec<Option<(Instant, CancelToken)>>>,
+    done: AtomicBool,
+}
+
+impl Watchdog {
+    fn register(&self, deadline: Instant, token: CancelToken) -> usize {
+        let mut slots = self.slots.lock().expect("watchdog lock");
+        if let Some(index) = slots.iter().position(Option::is_none) {
+            slots[index] = Some((deadline, token));
+            index
+        } else {
+            slots.push(Some((deadline, token)));
+            slots.len() - 1
+        }
+    }
+
+    fn clear(&self, index: usize) {
+        self.slots.lock().expect("watchdog lock")[index] = None;
+    }
+
+    fn finish(&self) {
+        self.done.store(true, Ordering::Release);
+    }
+
+    fn run(&self, shutdown: Option<&ShutdownFlag>, stop: &AtomicBool) {
+        while !self.done.load(Ordering::Acquire) {
+            if let Some(flag) = shutdown {
+                if flag.is_requested() {
+                    stop.store(true, Ordering::Release);
+                }
+            }
+            let now = Instant::now();
+            {
+                let mut slots = self.slots.lock().expect("watchdog lock");
+                for slot in slots.iter_mut() {
+                    if let Some((deadline, token)) = slot {
+                        if *deadline <= now {
+                            token.cancel();
+                            *slot = None;
+                        }
+                    }
+                }
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Options, run outcome, and the generic executor
+// ---------------------------------------------------------------------------
+
+/// Knobs of one durable run.
+#[derive(Debug, Clone)]
+pub struct DurableOptions {
+    /// Journal file path.
+    pub journal: PathBuf,
+    /// Replay completed scenarios from an existing journal instead of
+    /// truncating it.
+    pub resume: bool,
+    /// Per-scenario wall-clock deadline enforced by the watchdog.
+    /// `None` never times out. `Some(ZERO)` cancels every attempt before
+    /// it starts — a deterministic timeout for tests and fault drills.
+    pub scenario_timeout: Option<Duration>,
+    /// Retry-ladder length for retryable (panic/timeout) failures; `0`
+    /// records the first failure directly.
+    pub max_retries: usize,
+    /// Base backoff before the first retry; doubles per further retry.
+    pub retry_backoff: Duration,
+    /// Worker threads across scenarios (same semantics as
+    /// [`AnalyzerOptions::threads`](crate::analyzer::AnalyzerOptions)).
+    pub threads: usize,
+    /// Graceful-shutdown flag to honor; `None` never drains early.
+    pub shutdown: Option<ShutdownFlag>,
+}
+
+impl Default for DurableOptions {
+    fn default() -> DurableOptions {
+        DurableOptions {
+            journal: PathBuf::from("crystal.journal"),
+            resume: false,
+            scenario_timeout: None,
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(25),
+            threads: 1,
+            shutdown: None,
+        }
+    }
+}
+
+/// What one attempt of one scenario produced (the closure contract of
+/// [`run_durable_with`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttemptOutcome {
+    /// Success: digest plus the display summary to journal.
+    Ok {
+        /// [`result_digest`] of the produced result.
+        digest: u64,
+        /// [`scenario_summary`]-style display text.
+        summary: String,
+    },
+    /// Failure, classified; [`FailureKind::is_retryable`] kinds climb the
+    /// retry ladder.
+    Failed {
+        /// The taxonomy bucket.
+        kind: FailureKind,
+        /// Human-readable error text.
+        message: String,
+    },
+}
+
+/// The assembled outcome of a durable run: one record per input scenario,
+/// in input order, whether computed, replayed, or skipped.
+#[derive(Debug, Clone)]
+pub struct DurableRun {
+    /// One record per scenario, in input order.
+    pub records: Vec<ScenarioRecord>,
+    /// How many records were replayed from the journal.
+    pub resumed: usize,
+    /// `true` when a shutdown request skipped at least one scenario.
+    pub interrupted: bool,
+}
+
+impl DurableRun {
+    /// `true` when every scenario completed with [`Outcome::Ok`].
+    pub fn all_ok(&self) -> bool {
+        !self.interrupted && self.records.iter().all(|r| r.outcome == Outcome::Ok)
+    }
+
+    /// Records with the given outcome.
+    pub fn count(&self, outcome: Outcome) -> usize {
+        self.records.iter().filter(|r| r.outcome == outcome).count()
+    }
+}
+
+/// The generic durable executor: journaling, resume, watchdog, retry
+/// ladder, and graceful drain over an arbitrary attempt closure.
+///
+/// `attempt(item, cancel, attempt_number)` runs one attempt; it should
+/// poll `cancel` (or hand it to the analyzer) so the watchdog can stop
+/// it, and is called with `attempt_number` starting at 1 so retries can
+/// relax their options. Panics inside the closure are caught and
+/// classified [`FailureKind::Panic`].
+///
+/// `fingerprint` pins the journal to the run's inputs — use
+/// [`run_fingerprint`] for real scenarios.
+pub fn run_durable_with<T, F>(
+    items: &[(String, T)],
+    fingerprint: u64,
+    attempt: F,
+    durable: &DurableOptions,
+    trace: Option<&TraceSink>,
+) -> Result<DurableRun, DurableError>
+where
+    T: Sync,
+    F: Fn(&T, &CancelToken, u32) -> AttemptOutcome + Sync,
+{
+    let (journal, prior) = if durable.resume {
+        Journal::open_resume(&durable.journal, fingerprint)?
+    } else {
+        (Journal::create(&durable.journal, fingerprint)?, Vec::new())
+    };
+    // Later records win (a rerun may append a fresh outcome for a label).
+    let mut replay: HashMap<&str, &ScenarioRecord> = HashMap::new();
+    for record in &prior {
+        replay.insert(record.label.as_str(), record);
+    }
+
+    let mut pending: Vec<&(String, T)> = Vec::new();
+    let mut resumed = 0usize;
+    for item in items {
+        if replay.contains_key(item.0.as_str()) {
+            resumed += 1;
+        } else {
+            pending.push(item);
+        }
+    }
+    if let Some(t) = trace {
+        t.count(Phase::Durable, "resumed_skips", resumed as u64);
+    }
+
+    let journal = Mutex::new(journal);
+    let journal_error: Mutex<Option<DurableError>> = Mutex::new(None);
+    let stop = AtomicBool::new(false);
+    let watchdog = Watchdog::default();
+    let pool = ThreadPool::new(durable.threads);
+    let fresh: Vec<Option<ScenarioRecord>> = std::thread::scope(|s| {
+        let watchdog = &watchdog;
+        let ticker = s.spawn(|| watchdog.run(durable.shutdown.as_ref(), &stop));
+        let fresh = pool.map_until(&pending, &stop, |_, item| {
+            let (label, payload) = *item;
+            let record = run_ladder(label, payload, &attempt, durable, watchdog, trace);
+            match journal.lock().expect("journal lock").append(&record) {
+                Ok(()) => {
+                    if let Some(t) = trace {
+                        t.count(Phase::Durable, "journal_appends", 1);
+                    }
+                }
+                Err(e) => {
+                    let mut slot = journal_error.lock().expect("journal error lock");
+                    slot.get_or_insert(e);
+                }
+            }
+            record
+        });
+        watchdog.finish();
+        let _ = ticker.join();
+        fresh
+    });
+    if let Some(e) = journal_error.into_inner().expect("journal error lock") {
+        return Err(e);
+    }
+
+    // Reassemble in input order: replayed + computed + skipped.
+    let mut fresh_iter = fresh.into_iter();
+    let mut records = Vec::with_capacity(items.len());
+    let mut interrupted = false;
+    for (label, _) in items {
+        if let Some(record) = replay.get(label.as_str()) {
+            records.push((*record).clone());
+            continue;
+        }
+        match fresh_iter.next().expect("one slot per pending item") {
+            Some(record) => records.push(record),
+            None => {
+                interrupted = true;
+                if let Some(t) = trace {
+                    t.count(Phase::Durable, "skipped_shutdown", 1);
+                }
+                records.push(ScenarioRecord {
+                    label: label.clone(),
+                    outcome: Outcome::Skipped,
+                    taxonomy: None,
+                    digest: None,
+                    summary: "SKIPPED (shutdown before start)".to_string(),
+                    attempts: 0,
+                    wall_ms: 0,
+                    resumed: false,
+                });
+            }
+        }
+    }
+    Ok(DurableRun {
+        records,
+        resumed,
+        interrupted,
+    })
+}
+
+/// One scenario through the retry ladder; see [`run_durable_with`].
+fn run_ladder<T, F>(
+    label: &str,
+    payload: &T,
+    attempt: &F,
+    durable: &DurableOptions,
+    watchdog: &Watchdog,
+    trace: Option<&TraceSink>,
+) -> ScenarioRecord
+where
+    F: Fn(&T, &CancelToken, u32) -> AttemptOutcome,
+{
+    let started = Instant::now();
+    let max_attempts = durable.max_retries + 1;
+    let mut attempts = 0u32;
+    let mut last_failure = (FailureKind::Panic, String::new());
+    for number in 1..=max_attempts {
+        attempts = number as u32;
+        let token = CancelToken::new();
+        let slot = match durable.scenario_timeout {
+            Some(limit) if limit.is_zero() => {
+                // Deterministic timeout: the attempt sees a fired token
+                // at its very first checkpoint regardless of speed.
+                token.cancel();
+                None
+            }
+            Some(limit) => Some(watchdog.register(Instant::now() + limit, token.clone())),
+            None => None,
+        };
+        let outcome = {
+            let _span = trace.map(|t| {
+                let mut span = t.span(Phase::Durable, "attempt");
+                span.field("scenario", label);
+                span.field("attempt", number);
+                span
+            });
+            match catch_unwind(AssertUnwindSafe(|| attempt(payload, &token, attempts))) {
+                Ok(outcome) => outcome,
+                Err(payload) => AttemptOutcome::Failed {
+                    kind: FailureKind::Panic,
+                    message: panic_message(payload.as_ref()),
+                },
+            }
+        };
+        if let Some(slot) = slot {
+            watchdog.clear(slot);
+        }
+        let wall_ms = || started.elapsed().as_millis() as u64;
+        match outcome {
+            AttemptOutcome::Ok { digest, summary } => {
+                return ScenarioRecord {
+                    label: label.to_string(),
+                    outcome: Outcome::Ok,
+                    taxonomy: None,
+                    digest: Some(digest),
+                    summary,
+                    attempts,
+                    wall_ms: wall_ms(),
+                    resumed: false,
+                };
+            }
+            AttemptOutcome::Failed { kind, message } if kind.is_retryable() => {
+                if let Some(t) = trace {
+                    if kind == FailureKind::Timeout {
+                        t.count(Phase::Durable, "timeouts", 1);
+                    }
+                }
+                last_failure = (kind, message);
+                if number < max_attempts {
+                    if let Some(t) = trace {
+                        t.count(Phase::Durable, "retries", 1);
+                    }
+                    // Exponential backoff: base, 2x, 4x, ...
+                    let backoff = durable
+                        .retry_backoff
+                        .saturating_mul(1 << (number - 1).min(16));
+                    std::thread::sleep(backoff);
+                }
+            }
+            AttemptOutcome::Failed { kind, message } => {
+                // Deterministic failure: record immediately, never retry.
+                return ScenarioRecord {
+                    label: label.to_string(),
+                    outcome: Outcome::Error,
+                    taxonomy: Some(kind),
+                    digest: None,
+                    summary: format!("FAILED ({message})"),
+                    attempts,
+                    wall_ms: wall_ms(),
+                    resumed: false,
+                };
+            }
+        }
+    }
+    // Retry ladder exhausted on a retryable failure.
+    let (kind, message) = last_failure;
+    let wall_ms = started.elapsed().as_millis() as u64;
+    if kind == FailureKind::Timeout && durable.max_retries == 0 {
+        ScenarioRecord {
+            label: label.to_string(),
+            outcome: Outcome::TimedOut,
+            taxonomy: Some(kind),
+            digest: None,
+            summary: format!("TIMED OUT ({message})"),
+            attempts,
+            wall_ms,
+            resumed: false,
+        }
+    } else {
+        if let Some(t) = trace {
+            t.count(Phase::Durable, "quarantined", 1);
+        }
+        ScenarioRecord {
+            label: label.to_string(),
+            outcome: Outcome::Poisoned,
+            taxonomy: Some(kind),
+            digest: None,
+            summary: format!("POISONED after {attempts} attempts ({kind}: {message})"),
+            attempts,
+            wall_ms,
+            resumed: false,
+        }
+    }
+}
+
+/// Classifies one analysis outcome into an [`AttemptOutcome`].
+fn classify(net: &Network, result: Result<TimingResult, TimingError>) -> AttemptOutcome {
+    match result {
+        Ok(result) => AttemptOutcome::Ok {
+            digest: result_digest(net, &result),
+            summary: scenario_summary(net, &result),
+        },
+        Err(e) if e.was_cancelled() => AttemptOutcome::Failed {
+            kind: FailureKind::Timeout,
+            message: e.to_string(),
+        },
+        Err(e @ TimingError::BudgetExhausted { .. }) => AttemptOutcome::Failed {
+            kind: FailureKind::Budget,
+            message: e.to_string(),
+        },
+        Err(e) => AttemptOutcome::Failed {
+            kind: FailureKind::Analysis,
+            message: e.to_string(),
+        },
+    }
+}
+
+/// Durable timing batch: [`run_durable_with`] over real scenarios.
+///
+/// Per-scenario analyses run with `threads: 1` (the durable layer fans
+/// out across scenarios, like [`crate::batch::run_batch`]); retries drop
+/// the memo cache — the relaxed-options rung of the ladder — which is
+/// safe because cached results are bit-identical to fresh ones.
+pub fn run_durable(
+    net: &Network,
+    tech: &Technology,
+    model: ModelKind,
+    scenarios: &[(String, Scenario)],
+    options: AnalyzerOptions,
+    durable: &DurableOptions,
+) -> Result<DurableRun, DurableError> {
+    let fingerprint = run_fingerprint(net, tech, model, &options);
+    let trace = options.trace.clone();
+    let per_scenario = AnalyzerOptions {
+        threads: 1,
+        ..options
+    };
+    run_durable_with(
+        scenarios,
+        fingerprint,
+        |scenario, token, attempt| {
+            let mut attempt_options = per_scenario.clone();
+            attempt_options.cancel = Some(token.clone());
+            if attempt > 1 {
+                attempt_options.cache = None;
+            }
+            classify(
+                net,
+                analyze_with_options(net, tech, model, scenario, attempt_options),
+            )
+        },
+        durable,
+        trace.as_deref(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn temp_journal(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "crystal_durable_{name}_{}_{:?}.journal",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    fn items(labels: &[&str]) -> Vec<(String, usize)> {
+        labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (l.to_string(), i))
+            .collect()
+    }
+
+    fn ok_attempt(i: &usize) -> AttemptOutcome {
+        AttemptOutcome::Ok {
+            digest: *i as u64 + 10,
+            summary: format!("ok, item {i}"),
+        }
+    }
+
+    #[test]
+    fn journal_record_round_trips() {
+        let record = ScenarioRecord {
+            label: "a \"rise\"\nweird".to_string(),
+            outcome: Outcome::Poisoned,
+            taxonomy: Some(FailureKind::Panic),
+            digest: Some(0xdead_beef),
+            summary: "POISONED after 3 attempts (panic: \\boom\\)".to_string(),
+            attempts: 3,
+            wall_ms: 41,
+            resumed: true,
+        };
+        let line = record_line(&record);
+        assert!(line.ends_with('\n'));
+        let fields = parse_json_object(line.trim_end()).expect("parses");
+        let back = record_from_fields(&fields).expect("reconstructs");
+        assert_eq!(back, record);
+    }
+
+    #[test]
+    fn fresh_run_journals_and_resume_replays() {
+        let path = temp_journal("resume");
+        let calls = AtomicUsize::new(0);
+        let run = |resume: bool| {
+            run_durable_with(
+                &items(&["a", "b", "c"]),
+                7,
+                |i, _, _| {
+                    calls.fetch_add(1, Ordering::SeqCst);
+                    ok_attempt(i)
+                },
+                &DurableOptions {
+                    journal: path.clone(),
+                    resume,
+                    ..DurableOptions::default()
+                },
+                None,
+            )
+            .expect("runs")
+        };
+        let first = run(false);
+        assert!(first.all_ok());
+        assert_eq!(first.resumed, 0);
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+        let second = run(true);
+        assert!(second.all_ok());
+        assert_eq!(second.resumed, 3);
+        // Nothing re-ran; the records are bit-identical minus the flag.
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+        for (a, b) in first.records.iter().zip(&second.records) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.digest, b.digest);
+            assert_eq!(a.summary, b.summary);
+            assert!(b.resumed);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_recovered_and_scenario_rerun() {
+        let path = temp_journal("torn");
+        let full = run_durable_with(
+            &items(&["a", "b"]),
+            7,
+            |i, _, _| ok_attempt(i),
+            &DurableOptions {
+                journal: path.clone(),
+                ..DurableOptions::default()
+            },
+            None,
+        )
+        .expect("runs");
+        // Tear the final record mid-line.
+        let bytes = std::fs::read(&path).expect("journal exists");
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).expect("truncates");
+        let calls = AtomicUsize::new(0);
+        let resumed = run_durable_with(
+            &items(&["a", "b"]),
+            7,
+            |i, _, _| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                ok_attempt(i)
+            },
+            &DurableOptions {
+                journal: path.clone(),
+                resume: true,
+                ..DurableOptions::default()
+            },
+            None,
+        )
+        .expect("recovers");
+        // Only the torn scenario re-ran; results match the full run.
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert_eq!(resumed.resumed, 1);
+        assert_eq!(resumed.records.len(), full.records.len());
+        for (a, b) in full.records.iter().zip(&resumed.records) {
+            assert_eq!((a.label.as_str(), a.digest), (b.label.as_str(), b.digest));
+            assert_eq!(a.summary, b.summary);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_middle_line_is_an_error_not_a_recovery() {
+        let path = temp_journal("corrupt");
+        run_durable_with(
+            &items(&["a", "b"]),
+            7,
+            |i, _, _| ok_attempt(i),
+            &DurableOptions {
+                journal: path.clone(),
+                ..DurableOptions::default()
+            },
+            None,
+        )
+        .expect("runs");
+        // Damage line 2 of 3 — not the tail, so not recoverable.
+        let text = std::fs::read_to_string(&path).expect("reads");
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines[1] = "{\"kind\":\"scenario\",busted";
+        std::fs::write(&path, format!("{}\n", lines.join("\n"))).expect("writes");
+        let err = Journal::open_resume(&path, 7).expect_err("corrupt");
+        assert!(
+            matches!(err, DurableError::CorruptJournal { line: 2, .. }),
+            "{err:?}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_rejected() {
+        let path = temp_journal("fp");
+        run_durable_with(
+            &items(&["a"]),
+            7,
+            |i, _, _| ok_attempt(i),
+            &DurableOptions {
+                journal: path.clone(),
+                ..DurableOptions::default()
+            },
+            None,
+        )
+        .expect("runs");
+        let err = Journal::open_resume(&path, 8).expect_err("different inputs");
+        assert!(matches!(
+            err,
+            DurableError::FingerprintMismatch {
+                found: 7,
+                expected: 8,
+                ..
+            }
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn retry_ladder_recovers_from_transient_panics() {
+        let path = temp_journal("retry_panic");
+        let calls = AtomicUsize::new(0);
+        let run = run_durable_with(
+            &items(&["flaky"]),
+            7,
+            |i, _, _| {
+                // Panic on the first two attempts, succeed on the third.
+                if calls.fetch_add(1, Ordering::SeqCst) < 2 {
+                    panic!("injected flake");
+                }
+                ok_attempt(i)
+            },
+            &DurableOptions {
+                journal: path.clone(),
+                max_retries: 2,
+                retry_backoff: Duration::from_millis(1),
+                ..DurableOptions::default()
+            },
+            None,
+        )
+        .expect("runs");
+        assert!(run.all_ok());
+        assert_eq!(run.records[0].attempts, 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn persistent_panic_is_quarantined_with_taxonomy() {
+        let path = temp_journal("poison");
+        let trace = TraceSink::new();
+        let run = run_durable_with(
+            &items(&["bad"]),
+            7,
+            |_: &usize, _: &CancelToken, _| -> AttemptOutcome { panic!("always broken") },
+            &DurableOptions {
+                journal: path.clone(),
+                max_retries: 1,
+                retry_backoff: Duration::from_millis(1),
+                ..DurableOptions::default()
+            },
+            Some(&trace),
+        )
+        .expect("runs");
+        let record = &run.records[0];
+        assert_eq!(record.outcome, Outcome::Poisoned);
+        assert_eq!(record.taxonomy, Some(FailureKind::Panic));
+        assert_eq!(record.attempts, 2);
+        assert!(
+            record.summary.contains("always broken"),
+            "{}",
+            record.summary
+        );
+        let metrics = trace.metrics();
+        assert_eq!(metrics.counter(Phase::Durable, "quarantined"), 1);
+        assert_eq!(metrics.counter(Phase::Durable, "retries"), 1);
+        // A resumed run skips the quarantined scenario entirely.
+        let calls = AtomicUsize::new(0);
+        let resumed = run_durable_with(
+            &items(&["bad"]),
+            7,
+            |i, _, _| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                ok_attempt(i)
+            },
+            &DurableOptions {
+                journal: path.clone(),
+                resume: true,
+                ..DurableOptions::default()
+            },
+            None,
+        )
+        .expect("resumes");
+        assert_eq!(calls.load(Ordering::SeqCst), 0);
+        assert_eq!(resumed.records[0].outcome, Outcome::Poisoned);
+        assert!(resumed.records[0].resumed);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn deterministic_failures_are_not_retried() {
+        let path = temp_journal("noretry");
+        let calls = AtomicUsize::new(0);
+        let run = run_durable_with(
+            &items(&["capped"]),
+            7,
+            |_, _, _| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                AttemptOutcome::Failed {
+                    kind: FailureKind::Budget,
+                    message: "stage cap".to_string(),
+                }
+            },
+            &DurableOptions {
+                journal: path.clone(),
+                max_retries: 5,
+                retry_backoff: Duration::from_millis(1),
+                ..DurableOptions::default()
+            },
+            None,
+        )
+        .expect("runs");
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "budget errors never retry");
+        assert_eq!(run.records[0].outcome, Outcome::Error);
+        assert_eq!(run.records[0].taxonomy, Some(FailureKind::Budget));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn watchdog_cancels_an_overrunning_attempt() {
+        let path = temp_journal("watchdog");
+        let trace = TraceSink::new();
+        let run = run_durable_with(
+            &items(&["wedged"]),
+            7,
+            |_, token, _| {
+                // Simulate a wedged analysis that honors cooperative
+                // cancellation: spin until the watchdog fires the token.
+                let start = Instant::now();
+                while !token.is_cancelled() {
+                    if start.elapsed() > Duration::from_secs(10) {
+                        return AttemptOutcome::Failed {
+                            kind: FailureKind::Analysis,
+                            message: "watchdog never fired".to_string(),
+                        };
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                AttemptOutcome::Failed {
+                    kind: FailureKind::Timeout,
+                    message: "cancelled".to_string(),
+                }
+            },
+            &DurableOptions {
+                journal: path.clone(),
+                scenario_timeout: Some(Duration::from_millis(10)),
+                max_retries: 1,
+                retry_backoff: Duration::from_millis(1),
+                ..DurableOptions::default()
+            },
+            Some(&trace),
+        )
+        .expect("runs");
+        let record = &run.records[0];
+        assert_eq!(record.outcome, Outcome::Poisoned);
+        assert_eq!(record.taxonomy, Some(FailureKind::Timeout));
+        assert_eq!(trace.metrics().counter(Phase::Durable, "timeouts"), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn zero_timeout_with_no_retries_is_a_timed_out_record() {
+        let path = temp_journal("timeout0");
+        let run = run_durable_with(
+            &items(&["instant"]),
+            7,
+            |i, token, _| {
+                if token.is_cancelled() {
+                    AttemptOutcome::Failed {
+                        kind: FailureKind::Timeout,
+                        message: "pre-cancelled".to_string(),
+                    }
+                } else {
+                    ok_attempt(i)
+                }
+            },
+            &DurableOptions {
+                journal: path.clone(),
+                scenario_timeout: Some(Duration::ZERO),
+                max_retries: 0,
+                ..DurableOptions::default()
+            },
+            None,
+        )
+        .expect("runs");
+        assert_eq!(run.records[0].outcome, Outcome::TimedOut);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn shutdown_drains_without_starting_new_scenarios() {
+        let path = temp_journal("shutdown");
+        let shutdown = ShutdownFlag::new();
+        shutdown.request();
+        let calls = AtomicUsize::new(0);
+        let run = run_durable_with(
+            &items(&["a", "b", "c"]),
+            7,
+            |i, _, _| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                ok_attempt(i)
+            },
+            &DurableOptions {
+                journal: path.clone(),
+                threads: 1,
+                shutdown: Some(shutdown),
+                ..DurableOptions::default()
+            },
+            None,
+        )
+        .expect("runs");
+        // Pre-requested shutdown: the watchdog mirrors it into the stop
+        // flag; depending on timing zero or a few scenarios start, but
+        // the run must report interruption and mark the rest skipped.
+        assert!(run.interrupted);
+        assert!(run.count(Outcome::Skipped) >= 1);
+        assert_eq!(
+            calls.load(Ordering::SeqCst) + run.count(Outcome::Skipped),
+            3
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn results_are_identical_at_any_thread_count() {
+        let labels: Vec<String> = (0..12).map(|i| format!("s{i}")).collect();
+        let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+        let baseline_path = temp_journal("threads1");
+        let baseline = run_durable_with(
+            &items(&label_refs),
+            7,
+            |i, _, _| ok_attempt(i),
+            &DurableOptions {
+                journal: baseline_path.clone(),
+                threads: 1,
+                ..DurableOptions::default()
+            },
+            None,
+        )
+        .expect("runs");
+        for threads in [2, 4] {
+            let path = temp_journal(&format!("threads{threads}"));
+            let run = run_durable_with(
+                &items(&label_refs),
+                7,
+                |i, _, _| ok_attempt(i),
+                &DurableOptions {
+                    journal: path.clone(),
+                    threads,
+                    ..DurableOptions::default()
+                },
+                None,
+            )
+            .expect("runs");
+            assert_eq!(run.records, baseline.records, "threads={threads}");
+            let _ = std::fs::remove_file(&path);
+        }
+        let _ = std::fs::remove_file(&baseline_path);
+    }
+}

@@ -53,6 +53,21 @@ pub enum TimingError {
     },
 }
 
+impl TimingError {
+    /// `true` when this error is a cooperative-cancellation stop — a
+    /// [`TimingError::BudgetExhausted`] whose tripped cap is
+    /// [`BudgetExceeded::Cancelled`](crate::budget::BudgetExceeded::Cancelled).
+    /// The durable batch layer uses this to classify a watchdog timeout
+    /// (retryable) apart from a deterministic budget exhaustion (not).
+    pub fn was_cancelled(&self) -> bool {
+        matches!(
+            self,
+            TimingError::BudgetExhausted { partial }
+                if partial.exceeded == crate::budget::BudgetExceeded::Cancelled
+        )
+    }
+}
+
 impl fmt::Display for TimingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -147,6 +162,27 @@ mod tests {
                 assert!(direct.contains(needle), "{direct:?} missing {needle:?}");
             }
         }
+    }
+
+    #[test]
+    fn was_cancelled_only_for_cancelled_budget_stops() {
+        let cancelled = TimingError::BudgetExhausted {
+            partial: Box::new(PartialTiming {
+                result: crate::analyzer::TimingResult::empty_for_tests(),
+                exceeded: BudgetExceeded::Cancelled,
+                rounds_completed: 0,
+            }),
+        };
+        assert!(cancelled.was_cancelled());
+        let budget = TimingError::BudgetExhausted {
+            partial: Box::new(PartialTiming {
+                result: crate::analyzer::TimingResult::empty_for_tests(),
+                exceeded: BudgetExceeded::StageEvals { limit: 1 },
+                rounds_completed: 0,
+            }),
+        };
+        assert!(!budget.was_cancelled());
+        assert!(!TimingError::NoFixpoint { iterations: 2 }.was_cancelled());
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub mod analyzer;
 pub mod batch;
 pub mod budget;
 pub mod charge;
+pub mod durable;
 pub mod error;
 pub mod extract;
 pub mod logic;
@@ -71,7 +72,12 @@ pub use analyzer::{
     TimingResult,
 };
 pub use batch::{run_batch, run_batch_par_with, run_batch_with, BatchFailure, BatchRun};
-pub use budget::{AnalysisBudget, BudgetExceeded, PartialTiming};
+pub use budget::{AnalysisBudget, BudgetExceeded, CancelToken, PartialTiming};
+pub use durable::{
+    install_signal_handlers, run_durable, run_durable_with, run_fingerprint, AttemptOutcome,
+    DurableError, DurableOptions, DurableRun, FailureKind, Journal, Outcome, ScenarioRecord,
+    ShutdownFlag,
+};
 pub use error::TimingError;
 pub use memo::{stage_fingerprint, tech_stamp, CacheStats, SlopeBucketing, StageCache};
 pub use models::{estimate_with_fallback, try_estimate, ModelFailure, ModelKind, StageDelay};

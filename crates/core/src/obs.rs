@@ -64,11 +64,14 @@ pub enum Phase {
     Batch,
     /// Differential self-checking.
     Check,
+    /// Durable execution: journal appends, resume skips, watchdog
+    /// timeouts, retries, and quarantines.
+    Durable,
 }
 
 impl Phase {
     /// Every phase, in reporting order.
-    pub const ALL: [Phase; 8] = [
+    pub const ALL: [Phase; 9] = [
         Phase::Logic,
         Phase::Extraction,
         Phase::Evaluation,
@@ -77,6 +80,7 @@ impl Phase {
         Phase::Pool,
         Phase::Batch,
         Phase::Check,
+        Phase::Durable,
     ];
 
     /// The stable lowercase name used in JSON events and metrics rows.
@@ -90,6 +94,7 @@ impl Phase {
             Phase::Pool => "pool",
             Phase::Batch => "batch",
             Phase::Check => "check",
+            Phase::Durable => "durable",
         }
     }
 }

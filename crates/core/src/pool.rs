@@ -24,6 +24,7 @@
 use crate::obs::{Phase, TraceSink};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
 /// The number of hardware threads, with a serial fallback when the
@@ -135,6 +136,87 @@ impl ThreadPool {
             .map(|s| match s.expect("every index was executed") {
                 Ok(r) => r,
                 Err(_) => unreachable!("panics re-raised above"),
+            })
+            .collect()
+    }
+
+    /// Like [`ThreadPool::map`], but checks `stop` before **starting**
+    /// each item: once the flag is set, not-yet-started items are skipped
+    /// and come back as `None`, while items already running are left to
+    /// finish normally (their results are kept). This is the graceful
+    /// drain the durable batch layer uses on shutdown — stop dispatching,
+    /// finish in-flight work, lose nothing already computed.
+    ///
+    /// Results are in input order; a skipped item is `None`, a completed
+    /// one `Some(r)`.
+    ///
+    /// # Panics
+    /// As with [`ThreadPool::map`], the payload of the lowest-indexed
+    /// panicking item is re-raised after all workers drain.
+    pub fn map_until<T, R, F>(&self, items: &[T], stop: &AtomicBool, f: F) -> Vec<Option<R>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let workers = self.workers.min(items.len());
+        if workers <= 1 {
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    if stop.load(Ordering::Acquire) {
+                        None
+                    } else {
+                        Some(f(i, t))
+                    }
+                })
+                .collect();
+        }
+
+        let queues: Vec<Mutex<VecDeque<usize>>> = split_indices(items.len(), workers)
+            .into_iter()
+            .map(Mutex::new)
+            .collect();
+
+        type Caught = Box<dyn std::any::Any + Send + 'static>;
+        let mut slots: Vec<Option<Result<R, Caught>>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let queues = &queues;
+                    let f = &f;
+                    s.spawn(move || {
+                        let mut out: Vec<(usize, Result<R, Caught>)> = Vec::new();
+                        while !stop.load(Ordering::Acquire) {
+                            let Some(i) = next_job(queues, w) else { break };
+                            out.push((i, catch_unwind(AssertUnwindSafe(|| f(i, &items[i])))));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            let mut slots: Vec<Option<Result<R, Caught>>> =
+                (0..items.len()).map(|_| None).collect();
+            for handle in handles {
+                for (i, r) in handle.join().expect("worker threads never panic") {
+                    slots[i] = Some(r);
+                }
+            }
+            slots
+        });
+
+        if let Some(first_panic) = slots.iter().position(|s| matches!(s, Some(Err(_)))) {
+            match slots.swap_remove(first_panic) {
+                Some(Err(payload)) => resume_unwind(payload),
+                _ => unreachable!("position() found an Err slot"),
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| match s {
+                None => None,
+                Some(Ok(r)) => Some(r),
+                Some(Err(_)) => unreachable!("panics re-raised above"),
             })
             .collect()
     }
@@ -274,6 +356,45 @@ mod tests {
             .cloned()
             .unwrap_or_default();
         assert_eq!(message, "boom 5");
+    }
+
+    #[test]
+    fn map_until_with_clear_flag_matches_map() {
+        let items: Vec<usize> = (0..40).collect();
+        let stop = AtomicBool::new(false);
+        for workers in [1, 4] {
+            let got = ThreadPool::new(workers).map_until(&items, &stop, |_, &x| x * 2);
+            let expect: Vec<Option<usize>> = items.iter().map(|&x| Some(x * 2)).collect();
+            assert_eq!(got, expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn map_until_skips_everything_when_pre_stopped() {
+        let items: Vec<usize> = (0..16).collect();
+        let stop = AtomicBool::new(true);
+        for workers in [1, 4] {
+            let got = ThreadPool::new(workers).map_until(&items, &stop, |_, &x| x);
+            assert!(got.iter().all(Option::is_none), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn map_until_stops_dispatching_after_flag_fires() {
+        // The third item sets the flag; with one worker the remaining
+        // items must be skipped, while everything before it completed.
+        let items: Vec<usize> = (0..10).collect();
+        let stop = AtomicBool::new(false);
+        let got = ThreadPool::new(1).map_until(&items, &stop, |i, &x| {
+            if i == 2 {
+                stop.store(true, Ordering::Release);
+            }
+            x
+        });
+        assert_eq!(got[0], Some(0));
+        assert_eq!(got[1], Some(1));
+        assert_eq!(got[2], Some(2));
+        assert!(got[3..].iter().all(Option::is_none));
     }
 
     #[test]

@@ -173,6 +173,15 @@ pub enum Divergence {
         /// The error text.
         error: String,
     },
+    /// A journal record replayed on resume does not match a fresh
+    /// re-analysis of the same scenario (see
+    /// [`check_resume_equivalence`]).
+    Resume {
+        /// Scenario label.
+        scenario: String,
+        /// What disagreed (digest, summary, or outcome).
+        detail: String,
+    },
 }
 
 impl fmt::Display for Divergence {
@@ -215,6 +224,9 @@ impl fmt::Display for Divergence {
                 leg,
                 error,
             } => write!(f, "[{scenario}] {model}: {leg} leg failed: {error}"),
+            Divergence::Resume { scenario, detail } => {
+                write!(f, "[{scenario}] resumed journal record: {detail}")
+            }
         }
     }
 }
@@ -410,6 +422,107 @@ pub fn check_network(
         t.count(Phase::Check, "comparisons", report.checks_run as u64);
         t.count(Phase::Check, "divergences", report.divergences.len() as u64);
         t.count(Phase::Check, "reference_skips", report.skipped.len() as u64);
+    }
+    report
+}
+
+/// Audits a durable run against fresh re-analysis: every journaled `ok`
+/// record (resumed or just computed) must match a serial, uncached
+/// re-analysis of its scenario bit-for-bit (digest and display summary),
+/// and every journaled deterministic `error` must reproduce. Timed-out,
+/// poisoned, and skipped records have nothing to compare against and are
+/// reported in [`SelfCheckReport::skipped`].
+///
+/// This is the gate behind `crystal-cli batch --journal --resume
+/// --selfcheck-resume` and the CI chaos job: it proves a kill-and-resume
+/// run is equivalent to an uninterrupted one.
+pub fn check_resume_equivalence(
+    net: &Network,
+    tech: &Technology,
+    model: ModelKind,
+    scenarios: &[(String, Scenario)],
+    options: &AnalyzerOptions,
+    run: &crate::durable::DurableRun,
+) -> SelfCheckReport {
+    use crate::durable::Outcome;
+    let trace = options.trace.as_deref();
+    let by_label: HashMap<&str, &Scenario> = scenarios
+        .iter()
+        .map(|(label, scenario)| (label.as_str(), scenario))
+        .collect();
+    let mut report = SelfCheckReport::default();
+    for record in &run.records {
+        let _span = trace.map(|t| {
+            let mut span = t.span(Phase::Check, "resume-equivalence");
+            span.field("scenario", &record.label);
+            span
+        });
+        let Some(scenario) = by_label.get(record.label.as_str()) else {
+            report.divergences.push(Divergence::Resume {
+                scenario: record.label.clone(),
+                detail: "journal names a scenario absent from this run".to_string(),
+            });
+            continue;
+        };
+        // The reference leg: serial, uncached, unbounded by any watchdog —
+        // the most deterministic configuration the analyzer has.
+        let fresh_options = AnalyzerOptions {
+            threads: 1,
+            cache: None,
+            cancel: None,
+            ..options.clone()
+        };
+        match record.outcome {
+            Outcome::Ok => {
+                report.checks_run += 1;
+                match analyze_with_options(net, tech, model, scenario, fresh_options) {
+                    Ok(result) => {
+                        let digest = crate::durable::result_digest(net, &result);
+                        let summary = crate::durable::scenario_summary(net, &result);
+                        if Some(digest) != record.digest {
+                            report.divergences.push(Divergence::Resume {
+                                scenario: record.label.clone(),
+                                detail: format!(
+                                    "digest {:016x} journaled, fresh re-analysis gives {digest:016x}",
+                                    record.digest.unwrap_or(0)
+                                ),
+                            });
+                        } else if summary != record.summary {
+                            report.divergences.push(Divergence::Resume {
+                                scenario: record.label.clone(),
+                                detail: format!(
+                                    "summary `{}` journaled, fresh re-analysis gives `{summary}`",
+                                    record.summary
+                                ),
+                            });
+                        }
+                    }
+                    Err(e) => report.divergences.push(Divergence::Resume {
+                        scenario: record.label.clone(),
+                        detail: format!("journaled ok, but fresh re-analysis fails: {e}"),
+                    }),
+                }
+            }
+            Outcome::Error => {
+                report.checks_run += 1;
+                if analyze_with_options(net, tech, model, scenario, fresh_options).is_ok() {
+                    report.divergences.push(Divergence::Resume {
+                        scenario: record.label.clone(),
+                        detail: "journaled a deterministic error, but fresh re-analysis succeeds"
+                            .to_string(),
+                    });
+                }
+            }
+            _ => report.skipped.push(format!(
+                "{}: journaled `{}` has no deterministic reference",
+                record.label,
+                record.outcome.name()
+            )),
+        }
+    }
+    if let Some(t) = trace {
+        t.count(Phase::Check, "resume_comparisons", report.checks_run as u64);
+        t.count(Phase::Check, "divergences", report.divergences.len() as u64);
     }
     report
 }

@@ -74,17 +74,15 @@ pub fn write(tech: &Technology) -> String {
 /// the same format).
 ///
 /// # Errors
-/// Returns [`TimingError::BadParameter`] with a line number for malformed
-/// records, and for missing `drive`/`reff`/`tout` coverage of any
+/// Returns [`TimingError::BadParameter`] with a line and column for
+/// malformed records (NaN, infinite, or out-of-range values included),
+/// and for missing `drive`/`reff`/`tout` coverage of any
 /// (kind, direction) pair.
 pub fn parse(source: &str) -> Result<Technology, TimingError> {
     let mut tech = Technology::nominal();
     let mut r_square = [[None::<f64>; 2]; 3];
     let mut reff_points: Vec<Vec<(f64, f64)>> = vec![Vec::new(); 6];
     let mut tout_points: Vec<Vec<(f64, f64)>> = vec![Vec::new(); 6];
-    let bad = |line: usize, message: String| TimingError::BadParameter {
-        message: format!("technology file line {line}: {message}"),
-    };
 
     for (idx, raw) in source.lines().enumerate() {
         let line = idx + 1;
@@ -93,20 +91,30 @@ pub fn parse(source: &str) -> Result<Technology, TimingError> {
             continue;
         }
         let fields: Vec<&str> = text.split_whitespace().collect();
+        let cols = field_columns(raw);
+        let bad = |field: usize, message: String| TimingError::BadParameter {
+            message: format!(
+                "technology file line {line}, column {column}: {message}",
+                column = cols.get(field).copied().unwrap_or(1)
+            ),
+        };
         match fields[0] {
             "technology" => {
                 tech.name = fields.get(1..).map(|f| f.join(" ")).unwrap_or_default();
                 if tech.name.is_empty() {
-                    return Err(bad(line, "technology needs a name".into()));
+                    return Err(bad(0, "technology needs a name".into()));
                 }
             }
             "vdd" | "cox" | "cj" => {
                 let value: f64 = fields
                     .get(1)
                     .and_then(|v| v.parse().ok())
-                    .ok_or_else(|| bad(line, format!("{} needs a number", fields[0])))?;
+                    .ok_or_else(|| bad(1, format!("{} needs a number", fields[0])))?;
                 if !(value > 0.0 && value.is_finite()) {
-                    return Err(bad(line, format!("{} must be positive", fields[0])));
+                    return Err(bad(
+                        1,
+                        format!("{} must be positive, got {value}", fields[0]),
+                    ));
                 }
                 match fields[0] {
                     "vdd" => tech.vdd = Volts(value),
@@ -116,40 +124,46 @@ pub fn parse(source: &str) -> Result<Technology, TimingError> {
             }
             "drive" => {
                 if fields.len() != 5 || fields[3] != "r_square" {
-                    return Err(bad(
-                        line,
-                        "expected: drive <k> <dir> r_square <ohms>".into(),
-                    ));
+                    return Err(bad(0, "expected: drive <k> <dir> r_square <ohms>".into()));
                 }
                 let kind = parse_kind(fields[1])
-                    .ok_or_else(|| bad(line, format!("unknown kind `{}`", fields[1])))?;
+                    .ok_or_else(|| bad(1, format!("unknown kind `{}`", fields[1])))?;
                 let direction = parse_direction(fields[2])
-                    .ok_or_else(|| bad(line, format!("unknown direction `{}`", fields[2])))?;
+                    .ok_or_else(|| bad(2, format!("unknown direction `{}`", fields[2])))?;
                 let value: f64 = fields[4]
                     .parse()
-                    .map_err(|_| bad(line, "cannot parse resistance".into()))?;
+                    .map_err(|_| bad(4, "cannot parse resistance".into()))?;
                 if !(value > 0.0 && value.is_finite()) {
-                    return Err(bad(line, "resistance must be positive".into()));
+                    return Err(bad(4, format!("resistance must be positive, got {value}")));
                 }
                 r_square[kind.index()][direction.index()] = Some(value);
             }
             table @ ("reff" | "tout") => {
                 if fields.len() != 5 {
                     return Err(bad(
-                        line,
+                        0,
                         format!("expected: {table} <k> <dir> <ratio> <value>"),
                     ));
                 }
                 let kind = parse_kind(fields[1])
-                    .ok_or_else(|| bad(line, format!("unknown kind `{}`", fields[1])))?;
+                    .ok_or_else(|| bad(1, format!("unknown kind `{}`", fields[1])))?;
                 let direction = parse_direction(fields[2])
-                    .ok_or_else(|| bad(line, format!("unknown direction `{}`", fields[2])))?;
+                    .ok_or_else(|| bad(2, format!("unknown direction `{}`", fields[2])))?;
                 let ratio: f64 = fields[3]
                     .parse()
-                    .map_err(|_| bad(line, "cannot parse ratio".into()))?;
+                    .map_err(|_| bad(3, "cannot parse ratio".into()))?;
+                if !(ratio >= 0.0 && ratio.is_finite()) {
+                    return Err(bad(3, format!("ratio must be non-negative, got {ratio}")));
+                }
                 let value: f64 = fields[4]
                     .parse()
-                    .map_err(|_| bad(line, "cannot parse value".into()))?;
+                    .map_err(|_| bad(4, "cannot parse value".into()))?;
+                if !(value > 0.0 && value.is_finite()) {
+                    return Err(bad(
+                        4,
+                        format!("{table} value must be positive, got {value}"),
+                    ));
+                }
                 let slot = kind.index() * 2 + direction.index();
                 if table == "reff" {
                     reff_points[slot].push((ratio, value));
@@ -157,7 +171,7 @@ pub fn parse(source: &str) -> Result<Technology, TimingError> {
                     tout_points[slot].push((ratio, value));
                 }
             }
-            other => return Err(bad(line, format!("unknown record `{other}`"))),
+            other => return Err(bad(0, format!("unknown record `{other}`"))),
         }
     }
 
@@ -180,8 +194,8 @@ pub fn parse(source: &str) -> Result<Technology, TimingError> {
             if tout.is_empty() {
                 return Err(missing("tout points"));
             }
-            reff.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite ratios"));
-            tout.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite ratios"));
+            reff.sort_by(|a, b| a.0.total_cmp(&b.0));
+            tout.sort_by(|a, b| a.0.total_cmp(&b.0));
             tech.set_drive(
                 kind,
                 direction,
@@ -194,6 +208,21 @@ pub fn parse(source: &str) -> Result<Technology, TimingError> {
         }
     }
     Ok(tech)
+}
+
+/// 1-based byte column of each whitespace-separated field in `text`.
+fn field_columns(text: &str) -> Vec<usize> {
+    let mut cols = Vec::new();
+    let mut in_token = false;
+    for (i, c) in text.char_indices() {
+        if c.is_whitespace() {
+            in_token = false;
+        } else if !in_token {
+            in_token = true;
+            cols.push(i + 1);
+        }
+    }
+    cols
 }
 
 #[cfg(test)]
@@ -215,10 +244,27 @@ mod tests {
         let text = "technology t\nvdd nope\n";
         match parse(text) {
             Err(TimingError::BadParameter { message }) => {
-                assert!(message.contains("line 2"), "{message}");
+                assert!(message.contains("line 2, column 5"), "{message}");
             }
             other => panic!("expected BadParameter, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn rejects_nan_and_infinite_table_points() {
+        // A NaN ratio used to panic in the sort instead of erroring.
+        match parse("reff n up NaN 2.0\n") {
+            Err(TimingError::BadParameter { message }) => {
+                assert!(message.contains("column 11"), "{message}");
+                assert!(message.contains("non-negative"), "{message}");
+            }
+            other => panic!("expected BadParameter, got {other:?}"),
+        }
+        assert!(parse("reff n up 1.0 inf\n").is_err());
+        assert!(parse("tout n up 1.0 NaN\n").is_err());
+        assert!(parse("tout n up -1 2.0\n").is_err());
+        assert!(parse("tout n up 1.0 0\n").is_err());
+        assert!(parse("vdd NaN\n").is_err());
     }
 
     #[test]

@@ -1,0 +1,204 @@
+//! Asserts the CLI's stable exit-code taxonomy against the real binary.
+//!
+//! Scripts and CI depend on these numbers; a change here is a breaking
+//! interface change:
+//!
+//! | code | meaning |
+//! | ---- | ------- |
+//! | 0 | success |
+//! | 1 | generic failure |
+//! | 2 | parse error |
+//! | 3 | analysis budget exhausted |
+//! | 4 | self-check divergence |
+//! | 5 | scenario timeout |
+//! | 6 | scenario poisoned (retry ladder exhausted) |
+//! | 7 | I/O failure |
+//! | 8 | interrupted by SIGINT/SIGTERM |
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const BIN: &str = env!("CARGO_BIN_EXE_crystal-cli");
+
+const INVERTER_CHAIN: &str = "| two inverters\ni a\no y\n\
+    n a m gnd 2 8\np a m vdd 2 16\nC m 20\n\
+    n m y gnd 2 8\np m y vdd 2 16\nC y 100\n";
+
+fn fixture(tag: &str, contents: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "crystal_exit_codes_{tag}_{}.sim",
+        std::process::id()
+    ));
+    std::fs::write(&path, contents).expect("fixture writes");
+    path
+}
+
+fn temp_journal(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "crystal_exit_codes_{tag}_{}.journal",
+        std::process::id()
+    ))
+}
+
+fn exit_code(args: &[&str]) -> i32 {
+    Command::new(BIN)
+        .args(args)
+        .output()
+        .expect("binary runs")
+        .status
+        .code()
+        .expect("binary exits with a code")
+}
+
+#[test]
+fn success_is_zero() {
+    let path = fixture("ok", INVERTER_CHAIN);
+    assert_eq!(exit_code(&["batch", path.to_str().unwrap()]), 0);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn unknown_command_is_one() {
+    let path = fixture("generic", INVERTER_CHAIN);
+    assert_eq!(exit_code(&["frobnicate", path.to_str().unwrap()]), 1);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn parse_error_is_two() {
+    let path = fixture("parse", "n a\n");
+    assert_eq!(exit_code(&["batch", path.to_str().unwrap()]), 2);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn budget_exhaustion_is_three() {
+    let path = fixture("budget", INVERTER_CHAIN);
+    assert_eq!(
+        exit_code(&["batch", path.to_str().unwrap(), "--max-stages", "0"]),
+        3
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn resume_divergence_is_four() {
+    let path = fixture("diverge", INVERTER_CHAIN);
+    let journal = temp_journal("diverge");
+    let journal_s = journal.to_str().unwrap().to_string();
+    assert_eq!(
+        exit_code(&["batch", path.to_str().unwrap(), "--journal", &journal_s]),
+        0
+    );
+    // Flip one hex digit of the first journaled digest: the resumed
+    // record no longer matches a fresh analysis.
+    let mut text = std::fs::read_to_string(&journal).expect("journal exists");
+    let marker = "\"digest\":\"";
+    let at = text.find(marker).expect("journal has a digest") + marker.len();
+    let flipped = if &text[at..at + 1] == "0" { "f" } else { "0" };
+    text.replace_range(at..at + 1, flipped);
+    std::fs::write(&journal, text).expect("tampers journal");
+    assert_eq!(
+        exit_code(&[
+            "batch",
+            path.to_str().unwrap(),
+            "--journal",
+            &journal_s,
+            "--resume",
+            "--selfcheck-resume",
+        ]),
+        4
+    );
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&journal);
+}
+
+#[test]
+fn scenario_timeout_is_five() {
+    let path = fixture("timeout", INVERTER_CHAIN);
+    let journal = temp_journal("timeout");
+    assert_eq!(
+        exit_code(&[
+            "batch",
+            path.to_str().unwrap(),
+            "--journal",
+            journal.to_str().unwrap(),
+            "--scenario-timeout",
+            "0",
+            "--max-retries",
+            "0",
+        ]),
+        5
+    );
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&journal);
+}
+
+#[test]
+fn poisoned_quarantine_is_six() {
+    let path = fixture("poison", INVERTER_CHAIN);
+    let journal = temp_journal("poison");
+    assert_eq!(
+        exit_code(&[
+            "batch",
+            path.to_str().unwrap(),
+            "--journal",
+            journal.to_str().unwrap(),
+            "--scenario-timeout",
+            "0",
+            "--max-retries",
+            "1",
+            "--retry-backoff-ms",
+            "1",
+        ]),
+        6
+    );
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&journal);
+}
+
+#[test]
+fn io_failure_is_seven() {
+    assert_eq!(
+        exit_code(&["batch", "/nonexistent/crystal_exit_codes.sim"]),
+        7
+    );
+}
+
+#[cfg(unix)]
+#[test]
+fn sigterm_drains_and_exits_eight() {
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    const SIGTERM: i32 = 15;
+
+    let path = fixture("sigterm", INVERTER_CHAIN);
+    let journal = temp_journal("sigterm");
+    // A zero deadline times out every attempt, and the backoff ladder
+    // (100+200+400+800+1600 ms) keeps the first scenario busy for
+    // seconds — plenty of runway to land a signal mid-run. The second
+    // scenario is then skipped by the drain.
+    let mut child = Command::new(BIN)
+        .args([
+            "batch",
+            path.to_str().unwrap(),
+            "--journal",
+            journal.to_str().unwrap(),
+            "--scenario-timeout",
+            "0",
+            "--max-retries",
+            "5",
+            "--retry-backoff-ms",
+            "100",
+        ])
+        .spawn()
+        .expect("binary spawns");
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    let rc = unsafe { kill(child.id() as i32, SIGTERM) };
+    assert_eq!(rc, 0, "signal delivered");
+    let status = child.wait().expect("child exits");
+    assert_eq!(status.code(), Some(8), "graceful drain exits 8");
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&journal);
+}

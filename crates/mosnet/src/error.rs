@@ -30,6 +30,9 @@ pub enum NetworkError {
     Parse {
         /// 1-based line number in the input.
         line: usize,
+        /// 1-based column of the offending token within the line (byte
+        /// offset + 1; `1` when the whole line is at fault).
+        column: usize,
         /// Human-readable description of the problem.
         message: String,
     },
@@ -51,8 +54,12 @@ impl fmt::Display for NetworkError {
                 write!(f, "more than one {rail} rail declared")
             }
             NetworkError::MissingRail { rail } => write!(f, "network has no {rail} rail"),
-            NetworkError::Parse { line, message } => {
-                write!(f, "parse error at line {line}: {message}")
+            NetworkError::Parse {
+                line,
+                column,
+                message,
+            } => {
+                write!(f, "parse error at line {line}, column {column}: {message}")
             }
             NetworkError::Invalid { message } => write!(f, "invalid network: {message}"),
         }
@@ -69,9 +76,13 @@ mod tests {
     fn display_messages_are_lowercase_and_specific() {
         let e = NetworkError::Parse {
             line: 3,
+            column: 7,
             message: "expected 6 fields".into(),
         };
-        assert_eq!(e.to_string(), "parse error at line 3: expected 6 fields");
+        assert_eq!(
+            e.to_string(),
+            "parse error at line 3, column 7: expected 6 fields"
+        );
         let e = NetworkError::UnknownNode { name: "x1".into() };
         assert!(e.to_string().contains("x1"));
     }

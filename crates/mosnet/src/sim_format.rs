@@ -43,9 +43,12 @@ use std::fmt::Write as _;
 /// Parses a `.sim` netlist into a [`Network`].
 ///
 /// # Errors
-/// Returns [`NetworkError::Parse`] with a 1-based line number for any
-/// malformed record, and [`NetworkError::MissingRail`] if the netlist never
-/// mentions a power or ground node.
+/// Returns [`NetworkError::Parse`] with a 1-based line number and the
+/// 1-based column of the offending token for any malformed record —
+/// including non-finite, negative, or zero transistor dimensions and
+/// non-finite or negative capacitances — and
+/// [`NetworkError::MissingRail`] if the netlist never mentions a power or
+/// ground node.
 ///
 /// ```
 /// let src = "| tiny inverter\n\
@@ -68,23 +71,22 @@ pub fn parse(source: &str, name: &str) -> Result<Network, NetworkError> {
         if text.is_empty() || text.starts_with('|') || text.starts_with('#') {
             continue;
         }
+        let cols = token_columns(raw);
         let mut fields = text.split_whitespace();
         let record = fields.next().expect("non-empty line has a first field");
         let rest: Vec<&str> = fields.collect();
+        let at = Cursor { line, cols: &cols };
         match record {
             "subckt" => {
                 if current.is_some() {
-                    return Err(parse_err(line, "nested `subckt` definitions".into()));
+                    return Err(at.err(0, "nested `subckt` definitions".into()));
                 }
                 if rest.is_empty() {
-                    return Err(parse_err(line, "`subckt` needs a name".into()));
+                    return Err(at.err(0, "`subckt` needs a name".into()));
                 }
                 let sub_name = rest[0].to_string();
                 if defs.contains_key(&sub_name) {
-                    return Err(parse_err(
-                        line,
-                        format!("subcircuit `{sub_name}` defined twice"),
-                    ));
+                    return Err(at.err(1, format!("subcircuit `{sub_name}` defined twice")));
                 }
                 let ports = rest[1..].iter().map(|s| s.to_string()).collect();
                 current = Some((
@@ -99,37 +101,81 @@ pub fn parse(source: &str, name: &str) -> Result<Network, NetworkError> {
                 Some((sub_name, def)) => {
                     defs.insert(sub_name, def);
                 }
-                None => return Err(parse_err(line, "`ends` without `subckt`".into())),
+                None => return Err(at.err(0, "`ends` without `subckt`".into())),
             },
             _ if current.is_some() => {
                 if matches!(record, "i" | "o" | "v" | "g") {
-                    return Err(parse_err(
-                        line,
+                    return Err(at.err(
+                        0,
                         format!("`{record}` records are not allowed inside a subcircuit body"),
                     ));
                 }
+                // Keep the raw line so body records report true columns.
                 current
                     .as_mut()
                     .expect("checked is_some")
                     .1
                     .body
-                    .push((line, text.to_string()));
+                    .push((line, raw.to_string()));
             }
             "x" => {
-                expand_instance(&mut b, &defs, &rest, line, "", 0)?;
+                expand_instance(&mut b, &defs, &rest, at, "", 0)?;
             }
             _ => {
-                emit_record(&mut b, record, &rest, line, &|n| n.to_string())?;
+                emit_record(&mut b, record, &rest, at, &|n| n.to_string())?;
             }
         }
     }
     if let Some((sub_name, _)) = current {
         return Err(NetworkError::Parse {
             line: source.lines().count(),
+            column: 1,
             message: format!("subcircuit `{sub_name}` is never closed with `ends`"),
         });
     }
     b.build()
+}
+
+/// 1-based starting columns (byte offset + 1) of each whitespace-separated
+/// token of a line; index 0 is the record code, index `i + 1` is field
+/// `i`.
+fn token_columns(text: &str) -> Vec<usize> {
+    let mut cols = Vec::new();
+    let mut in_token = false;
+    for (i, c) in text.char_indices() {
+        if c.is_whitespace() {
+            in_token = false;
+        } else if !in_token {
+            in_token = true;
+            cols.push(i + 1);
+        }
+    }
+    cols
+}
+
+/// The position of one record under parse: its line and the token start
+/// columns (see [`token_columns`]).
+#[derive(Debug, Clone, Copy)]
+struct Cursor<'a> {
+    line: usize,
+    cols: &'a [usize],
+}
+
+impl Cursor<'_> {
+    /// Column of token `index` (0 = record code), falling back to 1 for
+    /// synthesized tokens with no source position.
+    fn col(&self, index: usize) -> usize {
+        self.cols.get(index).copied().unwrap_or(1)
+    }
+
+    /// A parse error anchored at token `index`.
+    fn err(&self, index: usize, message: String) -> NetworkError {
+        NetworkError::Parse {
+            line: self.line,
+            column: self.col(index),
+            message,
+        }
+    }
 }
 
 /// A collected subcircuit definition.
@@ -146,34 +192,31 @@ fn expand_instance(
     b: &mut NetworkBuilder,
     defs: &HashMap<String, SubcktDef>,
     rest: &[&str],
-    line: usize,
+    at: Cursor<'_>,
     prefix: &str,
     depth: usize,
 ) -> Result<(), NetworkError> {
     if depth >= MAX_SUBCKT_DEPTH {
-        return Err(parse_err(
-            line,
+        return Err(at.err(
+            0,
             format!("subcircuit nesting exceeds {MAX_SUBCKT_DEPTH} levels"),
         ));
     }
     if rest.len() < 2 {
-        return Err(parse_err(
-            line,
-            "`x` record needs instance subckt actual...".into(),
-        ));
+        return Err(at.err(0, "`x` record needs instance subckt actual...".into()));
     }
     let instance = rest[0];
     let sub_name = rest[1];
     let def = defs.get(sub_name).ok_or_else(|| {
-        parse_err(
-            line,
+        at.err(
+            2,
             format!("unknown subcircuit `{sub_name}` (definitions must precede use)"),
         )
     })?;
     let actuals = &rest[2..];
     if actuals.len() != def.ports.len() {
-        return Err(parse_err(
-            line,
+        return Err(at.err(
+            0,
             format!(
                 "subcircuit `{sub_name}` has {} ports but {} actuals were given",
                 def.ports.len(),
@@ -197,6 +240,11 @@ fn expand_instance(
     };
 
     for (body_line, text) in &def.body {
+        let body_cols = token_columns(text);
+        let body_at = Cursor {
+            line: *body_line,
+            cols: &body_cols,
+        };
         let mut fields = text.split_whitespace();
         let record = fields.next().expect("collected lines are non-empty");
         let body_rest: Vec<&str> = fields.collect();
@@ -204,17 +252,14 @@ fn expand_instance(
             // Map the nested instance's actuals into this scope, keep the
             // nested instance and subckt names verbatim.
             if body_rest.len() < 2 {
-                return Err(parse_err(
-                    *body_line,
-                    "`x` record needs instance subckt actual...".into(),
-                ));
+                return Err(body_at.err(0, "`x` record needs instance subckt actual...".into()));
             }
             let mapped: Vec<String> = body_rest[2..].iter().map(|a| map(a)).collect();
             let mut nested: Vec<&str> = vec![body_rest[0], body_rest[1]];
             nested.extend(mapped.iter().map(String::as_str));
-            expand_instance(b, defs, &nested, *body_line, &path, depth + 1)?;
+            expand_instance(b, defs, &nested, body_at, &path, depth + 1)?;
         } else {
-            emit_record(b, record, &body_rest, *body_line, &map)?;
+            emit_record(b, record, &body_rest, body_at, &map)?;
         }
     }
     Ok(())
@@ -227,7 +272,7 @@ fn emit_record(
     b: &mut NetworkBuilder,
     record: &str,
     rest: &[&str],
-    line: usize,
+    at: Cursor<'_>,
     map: &dyn Fn(&str) -> String,
 ) -> Result<(), NetworkError> {
     match record {
@@ -235,8 +280,8 @@ fn emit_record(
             let kind = TransistorKind::from_code(record.chars().next().expect("nonempty"))
                 .expect("match arm guarantees a valid code");
             if rest.len() != 5 {
-                return Err(parse_err(
-                    line,
+                return Err(at.err(
+                    0,
                     format!(
                         "`{record}` record needs gate source drain length width, got {} fields",
                         rest.len()
@@ -246,8 +291,8 @@ fn emit_record(
             let gate = b.node(&map(rest[0]), NodeKind::Internal);
             let source_n = b.node(&map(rest[1]), NodeKind::Internal);
             let drain = b.node(&map(rest[2]), NodeKind::Internal);
-            let length = parse_positive(rest[3], "length", line)?;
-            let width = parse_positive(rest[4], "width", line)?;
+            let length = parse_positive(rest[3], "length", at, 4)?;
+            let width = parse_positive(rest[4], "width", at, 5)?;
             b.add_transistor(
                 kind,
                 gate,
@@ -258,24 +303,21 @@ fn emit_record(
         }
         "C" => {
             if rest.len() != 2 {
-                return Err(parse_err(line, "`C` record needs node cap_fF".to_string()));
+                return Err(at.err(0, "`C` record needs node cap_fF".to_string()));
             }
             let node = b.node(&map(rest[0]), NodeKind::Internal);
-            let cap = parse_nonnegative(rest[1], "capacitance", line)?;
+            let cap = parse_nonnegative(rest[1], "capacitance", at, 2)?;
             b.add_capacitance(node, Farads::from_femto(cap));
         }
         "c" => {
             if rest.len() != 3 {
-                return Err(parse_err(
-                    line,
-                    "`c` record needs node1 node2 cap_fF".to_string(),
-                ));
+                return Err(at.err(0, "`c` record needs node1 node2 cap_fF".to_string()));
             }
             let name1 = map(rest[0]);
             let name2 = map(rest[1]);
             let n1 = b.node(&name1, NodeKind::Internal);
             let n2 = b.node(&name2, NodeKind::Internal);
-            let cap = Farads::from_femto(parse_nonnegative(rest[2], "capacitance", line)?);
+            let cap = Farads::from_femto(parse_nonnegative(rest[2], "capacitance", at, 3)?);
             let n1_rail = is_rail_name(&name1);
             let n2_rail = is_rail_name(&name2);
             match (n1_rail, n2_rail) {
@@ -290,30 +332,30 @@ fn emit_record(
         }
         "i" => {
             if rest.len() != 1 {
-                return Err(parse_err(line, "`i` record needs exactly one node".into()));
+                return Err(at.err(0, "`i` record needs exactly one node".into()));
             }
             b.node(&map(rest[0]), NodeKind::Input);
         }
         "o" => {
             if rest.len() != 1 {
-                return Err(parse_err(line, "`o` record needs exactly one node".into()));
+                return Err(at.err(0, "`o` record needs exactly one node".into()));
             }
             b.node(&map(rest[0]), NodeKind::Output);
         }
         "v" => {
             if rest.len() != 1 {
-                return Err(parse_err(line, "`v` record needs exactly one node".into()));
+                return Err(at.err(0, "`v` record needs exactly one node".into()));
             }
             b.declare_power(rest[0]);
         }
         "g" => {
             if rest.len() != 1 {
-                return Err(parse_err(line, "`g` record needs exactly one node".into()));
+                return Err(at.err(0, "`g` record needs exactly one node".into()));
             }
             b.declare_ground(rest[0]);
         }
         other => {
-            return Err(parse_err(line, format!("unknown record type `{other}`")));
+            return Err(at.err(0, format!("unknown record type `{other}`")));
         }
     }
     Ok(())
@@ -323,29 +365,37 @@ fn is_rail_name(name: &str) -> bool {
     crate::network::POWER_NAMES.contains(&name) || crate::network::GROUND_NAMES.contains(&name)
 }
 
-fn parse_err(line: usize, message: String) -> NetworkError {
-    NetworkError::Parse { line, message }
-}
-
-fn parse_positive(text: &str, what: &str, line: usize) -> Result<f64, NetworkError> {
+/// Parses a strictly positive, finite value (transistor dimensions); NaN,
+/// infinities, zero, and negatives are all rejected with the column of
+/// the offending token.
+fn parse_positive(
+    text: &str,
+    what: &str,
+    at: Cursor<'_>,
+    token: usize,
+) -> Result<f64, NetworkError> {
     let v: f64 = text
         .parse()
-        .map_err(|_| parse_err(line, format!("cannot parse {what} `{text}`")))?;
+        .map_err(|_| at.err(token, format!("cannot parse {what} `{text}`")))?;
     if !(v > 0.0 && v.is_finite()) {
-        return Err(parse_err(line, format!("{what} must be positive, got {v}")));
+        return Err(at.err(token, format!("{what} must be positive, got {v}")));
     }
     Ok(v)
 }
 
-fn parse_nonnegative(text: &str, what: &str, line: usize) -> Result<f64, NetworkError> {
+/// Parses a non-negative, finite value (capacitances); NaN, infinities,
+/// and negatives are rejected with the column of the offending token.
+fn parse_nonnegative(
+    text: &str,
+    what: &str,
+    at: Cursor<'_>,
+    token: usize,
+) -> Result<f64, NetworkError> {
     let v: f64 = text
         .parse()
-        .map_err(|_| parse_err(line, format!("cannot parse {what} `{text}`")))?;
+        .map_err(|_| at.err(token, format!("cannot parse {what} `{text}`")))?;
     if !(v >= 0.0 && v.is_finite()) {
-        return Err(parse_err(
-            line,
-            format!("{what} must be non-negative, got {v}"),
-        ));
+        return Err(at.err(token, format!("{what} must be non-negative, got {v}")));
     }
     Ok(v)
 }
@@ -461,9 +511,27 @@ mod tests {
     fn reports_line_numbers_on_errors() {
         let src = "| ok\nn a y gnd 2\n";
         match parse(src, "bad") {
-            Err(NetworkError::Parse { line, message }) => {
+            Err(NetworkError::Parse {
+                line,
+                column,
+                message,
+            }) => {
                 assert_eq!(line, 2);
+                assert_eq!(column, 1);
                 assert!(message.contains("needs gate source drain"));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reports_the_column_of_the_offending_token() {
+        // `nope` is the width field: token 6 on an indented line.
+        let src = "  n a y gnd 2 nope\n";
+        match parse(src, "bad") {
+            Err(NetworkError::Parse { line, column, .. }) => {
+                assert_eq!(line, 1);
+                assert_eq!(column, 15);
             }
             other => panic!("expected parse error, got {other:?}"),
         }
@@ -483,6 +551,17 @@ mod tests {
         assert!(parse("n a y gnd -1 2\nC y 1\n", "bad").is_err());
         assert!(parse("n a y gnd 2 nope\n", "bad").is_err());
         assert!(parse("C y -5\nn a y gnd 2 2\n", "bad").is_err());
+    }
+
+    #[test]
+    fn rejects_nan_zero_and_infinite_dimensions() {
+        // Zero and NaN dimensions would poison every downstream resistance.
+        assert!(parse("n a y gnd 0 2\nC y 1\n", "bad").is_err());
+        assert!(parse("n a y gnd 2 NaN\nC y 1\n", "bad").is_err());
+        assert!(parse("n a y gnd inf 2\nC y 1\n", "bad").is_err());
+        assert!(parse("C y NaN\nn a y gnd 2 2\n", "bad").is_err());
+        // Zero capacitance is legal (a node may be weightless).
+        assert!(parse("C y 0\nn a y gnd 2 2\nv vdd\ng gnd\n", "ok").is_ok());
     }
 
     #[test]

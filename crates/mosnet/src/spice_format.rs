@@ -146,6 +146,12 @@ pub fn parse(source: &str, name: &str) -> Result<Network, NetworkError> {
             continue;
         }
         let fields: Vec<&str> = t.split_whitespace().collect();
+        let cols = field_columns(&text);
+        let err = |field: usize, message: String| NetworkError::Parse {
+            line,
+            column: cols.get(field).copied().unwrap_or(1),
+            message,
+        };
         let card = fields[0]
             .chars()
             .next()
@@ -154,10 +160,7 @@ pub fn parse(source: &str, name: &str) -> Result<Network, NetworkError> {
         match card {
             'M' => {
                 if fields.len() < 6 {
-                    return Err(NetworkError::Parse {
-                        line,
-                        message: "M card needs drain gate source bulk model".into(),
-                    });
+                    return Err(err(0, "M card needs drain gate source bulk model".into()));
                 }
                 let drain = spice_node(&mut b, fields[1]);
                 let gate = spice_node(&mut b, fields[2]);
@@ -167,27 +170,26 @@ pub fn parse(source: &str, name: &str) -> Result<Network, NetworkError> {
                     "NMOS" => TransistorKind::NEnhancement,
                     "PMOS" => TransistorKind::PEnhancement,
                     "DMOS" => TransistorKind::Depletion,
-                    other => {
-                        return Err(NetworkError::Parse {
-                            line,
-                            message: format!("unknown MOS model `{other}`"),
-                        })
-                    }
+                    other => return Err(err(5, format!("unknown MOS model `{other}`"))),
                 };
                 let mut w_um = 4.0;
                 let mut l_um = 4.0;
-                for f in &fields[6..] {
+                for (offset, f) in fields[6..].iter().enumerate() {
                     let up = f.to_ascii_uppercase();
                     if let Some(v) = up.strip_prefix("W=") {
-                        w_um = parse_value(v).ok_or_else(|| NetworkError::Parse {
-                            line,
-                            message: format!("bad width `{f}`"),
-                        })? * 1e6;
+                        w_um = parse_value(v)
+                            .filter(|w| *w > 0.0 && w.is_finite())
+                            .ok_or_else(|| {
+                                err(6 + offset, format!("width must be positive, got `{f}`"))
+                            })?
+                            * 1e6;
                     } else if let Some(v) = up.strip_prefix("L=") {
-                        l_um = parse_value(v).ok_or_else(|| NetworkError::Parse {
-                            line,
-                            message: format!("bad length `{f}`"),
-                        })? * 1e6;
+                        l_um = parse_value(v)
+                            .filter(|l| *l > 0.0 && l.is_finite())
+                            .ok_or_else(|| {
+                                err(6 + offset, format!("length must be positive, got `{f}`"))
+                            })?
+                            * 1e6;
                     }
                 }
                 b.add_transistor(
@@ -200,17 +202,18 @@ pub fn parse(source: &str, name: &str) -> Result<Network, NetworkError> {
             }
             'C' => {
                 if fields.len() < 4 {
-                    return Err(NetworkError::Parse {
-                        line,
-                        message: "C card needs node node value".into(),
-                    });
+                    return Err(err(0, "C card needs node node value".into()));
                 }
                 let n1 = spice_node(&mut b, fields[1]);
                 let n2 = spice_node(&mut b, fields[2]);
-                let value = parse_value(fields[3]).ok_or_else(|| NetworkError::Parse {
-                    line,
-                    message: format!("bad capacitance `{}`", fields[3]),
-                })?;
+                let value = parse_value(fields[3])
+                    .filter(|c| *c >= 0.0 && c.is_finite())
+                    .ok_or_else(|| {
+                        err(
+                            3,
+                            format!("capacitance must be non-negative, got `{}`", fields[3]),
+                        )
+                    })?;
                 let cap = Farads(value);
                 let n1_rail = fields[1] == "0" || crate::network::POWER_NAMES.contains(&fields[1]);
                 let n2_rail = fields[2] == "0" || crate::network::POWER_NAMES.contains(&fields[2]);
@@ -228,10 +231,7 @@ pub fn parse(source: &str, name: &str) -> Result<Network, NetworkError> {
                 // A supply card declares the power rail (the value is
                 // irrelevant at the switch level); `0` is ground.
                 if fields.len() < 3 {
-                    return Err(NetworkError::Parse {
-                        line,
-                        message: "V card needs pos neg [value]".into(),
-                    });
+                    return Err(err(0, "V card needs pos neg [value]".into()));
                 }
                 for terminal in [fields[1], fields[2]] {
                     if terminal == "0" {
@@ -242,14 +242,29 @@ pub fn parse(source: &str, name: &str) -> Result<Network, NetworkError> {
                 }
             }
             other => {
-                return Err(NetworkError::Parse {
-                    line,
-                    message: format!("unsupported card `{other}` at the switch level"),
-                });
+                return Err(err(
+                    0,
+                    format!("unsupported card `{other}` at the switch level"),
+                ));
             }
         }
     }
     b.build()
+}
+
+/// 1-based byte column of each whitespace-separated field in `text`.
+fn field_columns(text: &str) -> Vec<usize> {
+    let mut cols = Vec::new();
+    let mut in_token = false;
+    for (i, c) in text.char_indices() {
+        if c.is_whitespace() {
+            in_token = false;
+        } else if !in_token {
+            in_token = true;
+            cols.push(i + 1);
+        }
+    }
+    cols
 }
 
 fn spice_node(b: &mut NetworkBuilder, name: &str) -> crate::node::NodeId {

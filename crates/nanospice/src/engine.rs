@@ -7,6 +7,7 @@ use crate::error::SimError;
 use crate::matrix::{LuFactors, Matrix};
 use crate::recovery::{RecoveryLog, RecoveryPolicy, RescueStrategy};
 use crate::waveform::Waveform;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Time-integration method for the transient analysis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -122,6 +123,10 @@ struct DynamicCtx<'a> {
 pub struct Simulator<'a> {
     circuit: &'a Circuit,
     options: Options,
+    /// Cooperative-cancellation flag polled between Newton iterations and
+    /// transient steps; lives outside [`Options`] because `Options` is
+    /// `Copy`. See [`Simulator::with_cancel_flag`].
+    cancel: Option<&'a AtomicBool>,
 }
 
 impl<'a> Simulator<'a> {
@@ -130,17 +135,40 @@ impl<'a> Simulator<'a> {
         Simulator {
             circuit,
             options: Options::default(),
+            cancel: None,
         }
     }
 
     /// Creates a simulator with explicit options.
     pub fn with_options(circuit: &'a Circuit, options: Options) -> Simulator<'a> {
-        Simulator { circuit, options }
+        Simulator {
+            circuit,
+            options,
+            cancel: None,
+        }
+    }
+
+    /// Attaches a cooperative-cancellation flag. The solver polls it at
+    /// every Newton iteration and every transient step; once it reads
+    /// `true`, the run stops with [`SimError::Cancelled`]. An external
+    /// watchdog (e.g. the timing analyzer's per-scenario deadline) can
+    /// therefore stop a wedged simulation without killing the thread.
+    pub fn with_cancel_flag(mut self, cancel: &'a AtomicBool) -> Simulator<'a> {
+        self.cancel = Some(cancel);
+        self
     }
 
     /// Solver options in effect.
     pub fn options(&self) -> Options {
         self.options
+    }
+
+    /// `Err(SimError::Cancelled)` once the attached cancel flag fired.
+    fn check_cancelled(&self) -> Result<(), SimError> {
+        match self.cancel {
+            Some(flag) if flag.load(Ordering::Acquire) => Err(SimError::Cancelled),
+            _ => Ok(()),
+        }
     }
 
     /// DC operating point with sources evaluated at `t = 0`.
@@ -368,6 +396,7 @@ impl<'a> Simulator<'a> {
         data.push(x[..n_nodes].to_vec());
 
         for step in 1..=steps {
+            self.check_cancelled()?;
             let t_target = step as f64 * dt;
             let mut t_now = (step - 1) as f64 * dt;
             let mut sub_dt = dt;
@@ -598,6 +627,7 @@ impl<'a> Simulator<'a> {
         let guard_limit = 200_000;
 
         while t < tstop - 1e-18 {
+            self.check_cancelled()?;
             guard += 1;
             if guard > guard_limit {
                 return Err(SimError::NoConvergence {
@@ -744,6 +774,7 @@ impl<'a> Simulator<'a> {
         let mut rhs = vec![0.0; n];
 
         for iteration in 0..budget {
+            self.check_cancelled()?;
             a.clear();
             rhs.fill(0.0);
             self.assemble(t, dynamic, x, gmin, source_scale, &mut a, &mut rhs);
@@ -893,6 +924,40 @@ mod tests {
         ckt.add_resistor(src, out, r);
         ckt.add_capacitor(out, NodeRef::Ground, c);
         ckt
+    }
+
+    #[test]
+    fn pre_fired_cancel_flag_stops_every_analysis() {
+        let ckt = rc_circuit(1e3, 1e-9, Waveshape::Dc(1.0));
+        let cancel = AtomicBool::new(true);
+        let sim = Simulator::new(&ckt).with_cancel_flag(&cancel);
+        assert_eq!(sim.op(), Err(SimError::Cancelled));
+        assert_eq!(
+            sim.transient(1e-6, 1e-9).map(|_| ()),
+            Err(SimError::Cancelled)
+        );
+        assert_eq!(
+            sim.transient_adaptive(1e-6, 1e-9, 1e-8).map(|_| ()),
+            Err(SimError::Cancelled)
+        );
+    }
+
+    #[test]
+    fn clear_cancel_flag_changes_nothing() {
+        let ckt = rc_circuit(1e3, 1e-9, Waveshape::Pwl(vec![(0.0, 0.0), (1e-12, 1.0)]));
+        let cancel = AtomicBool::new(false);
+        let plain = Simulator::new(&ckt).transient(1e-6, 1e-9).unwrap();
+        let flagged = Simulator::new(&ckt)
+            .with_cancel_flag(&cancel)
+            .transient(1e-6, 1e-9)
+            .unwrap();
+        let a = plain.voltage_by_name("out").unwrap().value_at(5e-7);
+        let b = flagged.voltage_by_name("out").unwrap().value_at(5e-7);
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "cancel hook must not perturb results"
+        );
     }
 
     #[test]

@@ -46,6 +46,10 @@ pub enum SimError {
         /// The requested name.
         name: String,
     },
+    /// An attached cooperative-cancellation flag fired mid-solve (see
+    /// [`Simulator::with_cancel_flag`](crate::engine::Simulator::with_cancel_flag));
+    /// typically an external watchdog enforcing a wall-clock deadline.
+    Cancelled,
 }
 
 impl fmt::Display for SimError {
@@ -75,6 +79,9 @@ impl fmt::Display for SimError {
             SimError::BadNode { index } => write!(f, "device references unknown node {index}"),
             SimError::BadParameter { message } => write!(f, "bad parameter: {message}"),
             SimError::UnknownSignal { name } => write!(f, "unknown signal `{name}`"),
+            SimError::Cancelled => {
+                write!(f, "simulation cancelled by an external request")
+            }
         }
     }
 }
@@ -124,6 +131,7 @@ mod tests {
                 SimError::UnknownSignal { name: "out".into() },
                 &["unknown signal", "out"],
             ),
+            (SimError::Cancelled, &["cancelled", "external request"]),
         ];
         for (err, needles) in cases {
             let direct = err.to_string();

@@ -1,0 +1,5 @@
+* NaN capacitance value
+VDD vdd 0 DC 5.0
+M0 y a 0 0 NMOS W=8U L=2U
+C0 y 0 NaN
+.end

@@ -1,0 +1,4 @@
+* resistors have no switch-level meaning
+VDD vdd 0 DC 5.0
+R1 y 0 1K
+.end

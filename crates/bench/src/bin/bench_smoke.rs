@@ -1,10 +1,12 @@
-//! **PR2 smoke bench** — wall-clock and cache behaviour of the parallel
-//! batch engine with the stage-evaluation memo cache.
+//! **Smoke bench** — wall-clock and cache behaviour of the parallel
+//! batch engine with the stage-evaluation memo cache, plus the
+//! incremental-session edit loop.
 //!
 //! Runs the `run_batch` scenario fan-out over three netlists
 //! (inverter chain, random pass mesh, Manchester-carry adder) at 1, 2,
-//! and all hardware threads, and writes the measurements to
-//! `BENCH_pr2.json` for the CI artifact.
+//! and all hardware threads, then replays a 10-edit resize sequence
+//! through an `IncrementalAnalyzer` session against full re-analysis,
+//! and writes the measurements to `BENCH_pr2.json` for the CI artifact.
 //!
 //! ```text
 //! cargo run --release -p bench --bin bench_smoke -- [options]
@@ -16,6 +18,8 @@
 //!   --require-speedup X   gate: pass-mesh batch speedup at max threads
 //!                         must reach X (skipped on hosts with fewer
 //!                         than 4 hardware threads)
+//!   --require-edit-speedup X   gate: the incremental edit loop must beat
+//!                         full re-analysis by X on wall clock
 //!   --trace PREFIX        write a JSON-lines analysis trace per circuit
 //!                         (max threads) to PREFIX.<circuit>.jsonl
 //! ```
@@ -28,6 +32,7 @@
 
 use crystal::analyzer::{AnalyzerOptions, Edge, Scenario};
 use crystal::batch::run_batch;
+use crystal::incremental::IncrementalAnalyzer;
 use crystal::memo::{CacheStats, StageCache};
 use crystal::models::ModelKind;
 use crystal::obs::{Metrics, TraceSink};
@@ -52,6 +57,7 @@ fn main() {
     let mut reps = 3usize;
     let mut check = false;
     let mut require_speedup: Option<f64> = None;
+    let mut require_edit_speedup: Option<f64> = None;
     let mut trace_prefix: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -70,6 +76,13 @@ fn main() {
                     it.next()
                         .and_then(|v| v.parse().ok())
                         .expect("--require-speedup needs a number"),
+                );
+            }
+            "--require-edit-speedup" => {
+                require_edit_speedup = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--require-edit-speedup needs a number"),
                 );
             }
             other => {
@@ -185,6 +198,8 @@ fn main() {
         ));
     }
 
+    let edit_loop = edit_loop_bench(&tech, reps, require_edit_speedup, &mut failures);
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"bench\": \"pr2_smoke\",");
@@ -195,7 +210,8 @@ fn main() {
         let comma = if i + 1 < json_circuits.len() { "," } else { "" };
         let _ = writeln!(json, "    {c}{comma}");
     }
-    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"edit_loop\": {edit_loop}");
     let _ = writeln!(json, "}}");
     std::fs::write(&out_path, &json).expect("bench output file writes");
     println!("wrote {out_path}");
@@ -206,8 +222,161 @@ fn main() {
         }
         std::process::exit(1);
     }
-    if check || require_speedup.is_some() {
+    if check || require_speedup.is_some() || require_edit_speedup.is_some() {
         println!("all gates passed");
+    }
+}
+
+/// The incremental edit loop: a 10-edit resize/cap sequence near the tail
+/// of a 24-stage inverter chain, replayed through a persistent
+/// [`IncrementalAnalyzer`] session versus a fresh full analysis of every
+/// scenario after every edit. Both legs run serially and uncached, so
+/// the difference is pure dependency-tracked invalidation. Returns the
+/// `"edit_loop"` JSON object and appends gate failures.
+fn edit_loop_bench(
+    tech: &Technology,
+    reps: usize,
+    require_speedup: Option<f64>,
+    failures: &mut Vec<String>,
+) -> String {
+    use mosnet::diff::{apply_edit, Edit};
+
+    let load = Farads::from_femto(100.0);
+    let net = inverter_chain(Style::Cmos, 24, 2.0, load).expect("chain generates");
+    let scenarios = transition_scenarios(&net, "in", &[], 4);
+    // Ten edits confined to the last three inverters: a realistic tuning
+    // loop, and the regime incremental analysis exists for — the other
+    // 21 stages replay from the previous result on every edit.
+    let edits: Vec<Edit> = (0..10)
+        .map(|i| {
+            let gate = format!("s{}", 21 + i % 3);
+            if i % 2 == 0 {
+                Edit::Resize {
+                    gate,
+                    source: tail_output(21 + i % 3),
+                    drain: "gnd".to_string(),
+                    geometry: Geometry::from_microns(8.0 + i as f64, 2.0),
+                }
+            } else {
+                Edit::SetCapacitance {
+                    node: tail_output(21 + i % 3),
+                    capacitance: Farads::from_femto(100.0 + 10.0 * i as f64),
+                }
+            }
+        })
+        .collect();
+    let options = AnalyzerOptions::default(); // serial, uncached: both legs
+
+    // Full leg: re-analyze every scenario from scratch after each edit.
+    let mut full_secs = f64::INFINITY;
+    let mut full_final: Vec<(String, crystal::analyzer::TimingResult)> = Vec::new();
+    for _ in 0..reps {
+        let start = Instant::now();
+        let mut edited = net.clone();
+        for edit in &edits {
+            edited = apply_edit(&edited, edit).expect("edit applies");
+            let run = run_batch(
+                &edited,
+                tech,
+                ModelKind::Slope,
+                &scenarios,
+                options.clone(),
+                false,
+            );
+            full_final = run
+                .results
+                .into_iter()
+                .map(|(label, outcome)| (label.clone(), outcome.expect("scenario analyzes")))
+                .collect();
+        }
+        full_secs = full_secs.min(start.elapsed().as_secs_f64());
+    }
+
+    // Incremental leg: one persistent session absorbs the same edits.
+    let mut inc_secs = f64::INFINITY;
+    let mut reevaluated = 0usize;
+    let mut reused = 0usize;
+    let mut session = None;
+    for _ in 0..reps {
+        let mut s = IncrementalAnalyzer::new(
+            net.clone(),
+            tech.clone(),
+            ModelKind::Slope,
+            scenarios.clone(),
+            options.clone(),
+        )
+        .expect("session builds");
+        let start = Instant::now();
+        (reevaluated, reused) = (0, 0);
+        for edit in &edits {
+            let delta = s.apply_edit(edit).expect("edit applies");
+            for sc in &delta.scenarios {
+                reevaluated += sc.stats.invalidated_stages;
+                reused += sc.stats.reused_stages;
+            }
+        }
+        inc_secs = inc_secs.min(start.elapsed().as_secs_f64());
+        session = Some(s);
+    }
+    let session = session.expect("at least one rep");
+
+    // The session's final arrivals must be bit-identical to the last
+    // full analysis — the speedup is worthless otherwise.
+    let inc_final: Vec<(String, crystal::analyzer::TimingResult)> = scenarios
+        .iter()
+        .map(|(label, _)| {
+            (
+                label.clone(),
+                session.result(label).expect("scenario present").clone(),
+            )
+        })
+        .collect();
+    let identical = runs_identical(&full_final, &inc_final);
+    if !identical {
+        failures.push("edit-loop: incremental session diverged from full re-analysis".to_string());
+    }
+
+    let full_ms = full_secs * 1e3;
+    let inc_ms = inc_secs * 1e3;
+    let speedup = if inc_ms > 0.0 { full_ms / inc_ms } else { 1.0 };
+    println!(
+        "edit-loop        {:>8} {:>10.2} {:>7.2}x {:>12} {:>8}   {:>8}",
+        "10 edits",
+        inc_ms,
+        speedup,
+        format!("{reevaluated}/{reused}"),
+        "re/reuse",
+        if identical { "yes" } else { "NO" }
+    );
+    if let Some(min) = require_speedup {
+        if speedup < min {
+            failures.push(format!(
+                "edit-loop: incremental speedup {speedup:.2}x over full re-analysis is below \
+                 the required {min:.2}x"
+            ));
+        }
+    }
+    if reused == 0 {
+        failures.push("edit-loop: no stage was ever reused".to_string());
+    }
+
+    format!(
+        "{{\"circuit\": \"inverter-chain-24\", \"edits\": {}, \"scenarios\": {}, \
+         \"full_ms\": {full_ms:.4}, \"incremental_ms\": {inc_ms:.4}, \
+         \"speedup\": {speedup:.4}, \"stages_reevaluated\": {reevaluated}, \
+         \"stages_reused\": {reused}, \"identical\": {identical}}}",
+        edits.len(),
+        scenarios.len()
+    )
+}
+
+/// The node an inverter of the 24-stage chain drives: `s{i}` for inner
+/// stages, `out` for the last (gate `s23`).
+fn tail_output(gate_index: usize) -> String {
+    if gate_index + 1 >= 24 {
+        "out".to_string()
+    } else {
+        format!("s{}", gate_index + 1)
     }
 }
 

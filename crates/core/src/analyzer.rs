@@ -225,18 +225,39 @@ pub struct Arrival {
     pub model: ModelKind,
 }
 
+/// Accounting of one incremental re-analysis pass over a scenario:
+/// how much work the dependency index invalidated versus replayed.
+/// Attached to a [`TimingResult`] only by
+/// [`IncrementalAnalyzer`](crate::incremental::IncrementalAnalyzer);
+/// plain [`analyze`] runs leave it absent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IncrementalStats {
+    /// Switching targets whose stages were re-extracted and re-evaluated.
+    pub invalidated_targets: usize,
+    /// Switching targets whose previous arrival was replayed untouched.
+    pub reused_targets: usize,
+    /// Stages re-extracted for the invalidated targets.
+    pub invalidated_stages: usize,
+    /// Stages whose previous evaluation was reused via arrival replay.
+    pub reused_stages: usize,
+    /// Propagation rounds of the subset fixpoint.
+    pub rounds: usize,
+}
+
 /// The outcome of a timing analysis.
 ///
-/// Equality compares arrivals and the model only: cache statistics are
-/// observability data whose exact counts depend on thread interleaving
-/// (two workers can miss on the same key simultaneously), so they are
-/// excluded from `==` to keep "same analysis ⇒ equal results" true under
-/// concurrency.
+/// Equality compares arrivals and the model only: cache statistics and
+/// incremental accounting are observability data whose exact counts
+/// depend on thread interleaving (two workers can miss on the same key
+/// simultaneously) or on edit history, so they are excluded from `==` to
+/// keep "same analysis ⇒ equal results" true under concurrency and
+/// under incremental replay.
 #[derive(Debug, Clone)]
 pub struct TimingResult {
     pub(crate) arrivals: Vec<Option<Arrival>>,
     pub(crate) model: ModelKind,
     pub(crate) cache_stats: Option<CacheStats>,
+    pub(crate) incremental: Option<IncrementalStats>,
 }
 
 impl PartialEq for TimingResult {
@@ -253,6 +274,7 @@ impl TimingResult {
             arrivals: Vec::new(),
             model: ModelKind::Slope,
             cache_stats: None,
+            incremental: None,
         }
     }
 }
@@ -268,6 +290,14 @@ impl TimingResult {
     /// analysis ran without a cache.
     pub fn cache_stats(&self) -> Option<CacheStats> {
         self.cache_stats
+    }
+
+    /// Invalidation/reuse accounting when this result was produced by an
+    /// incremental re-analysis
+    /// ([`IncrementalAnalyzer`](crate::incremental::IncrementalAnalyzer));
+    /// `None` for ordinary full analyses.
+    pub fn incremental(&self) -> Option<IncrementalStats> {
+        self.incremental
     }
 
     /// The arrival at `node`, if it switches in this scenario.
@@ -351,6 +381,44 @@ pub fn analyze_with_options(
     scenario: &Scenario,
     options: AnalyzerOptions,
 ) -> Result<TimingResult, TimingError> {
+    analyze_subset(net, tech, model, scenario, options, None).map(|outcome| outcome.result)
+}
+
+/// Restriction of one analysis to a dependency-closed subset of the
+/// switching targets, with every other target's arrival replayed from a
+/// previous result. Built only by [`crate::incremental`], which is
+/// responsible for the closure invariant: every target whose evaluation
+/// can observe a changed input (stage structure, logic state, or the
+/// arrival of another affected target) must be in `affected`.
+pub(crate) struct SubsetSpec {
+    /// Targets to re-extract and re-evaluate, sorted by node id.
+    pub affected: Vec<NodeId>,
+    /// Replayed `(node, arrival)` pairs for the targets outside
+    /// `affected`, installed before propagation starts.
+    pub seeded: Vec<(NodeId, Arrival)>,
+}
+
+/// A [`TimingResult`] plus the per-target accounting the incremental
+/// engine needs to maintain its dependency index across edits.
+pub(crate) struct AnalysisOutcome {
+    pub result: TimingResult,
+    /// `(target, extracted stage count)` for every evaluated target.
+    pub target_stages: Vec<(NodeId, usize)>,
+    /// Propagation rounds until the fixpoint settled.
+    pub rounds: usize,
+}
+
+/// The full analysis pipeline, optionally restricted to a subset of
+/// targets (see [`SubsetSpec`]). `analyze_with_options` is the public
+/// entry point; [`crate::incremental`] calls this directly.
+pub(crate) fn analyze_subset(
+    net: &Network,
+    tech: &Technology,
+    model: ModelKind,
+    scenario: &Scenario,
+    options: AnalyzerOptions,
+    subset: Option<&SubsetSpec>,
+) -> Result<AnalysisOutcome, TimingError> {
     if net.node(scenario.input).kind() != NodeKind::Input {
         return Err(TimingError::NotAnInput {
             name: net.node(scenario.input).name().to_string(),
@@ -415,6 +483,13 @@ pub fn analyze_with_options(
         cause: None,
         model,
     });
+    // Replayed arrivals of untouched targets go in before propagation:
+    // affected targets read them as settled trigger inputs from round 0.
+    if let Some(spec) = subset {
+        for &(node, arrival) in &spec.seeded {
+            arrivals[node.index()] = Some(arrival);
+        }
+    }
     let tracker = BudgetTracker::new(options.budget, options.cancel.clone());
     let pool = ThreadPool::new(options.threads);
     let cache_ref: Option<&StageCache> = options.cache.as_deref();
@@ -445,6 +520,7 @@ pub fn analyze_with_options(
                     arrivals,
                     model,
                     cache_stats: cache_stats_now(),
+                    incremental: None,
                 },
                 exceeded,
                 rounds_completed,
@@ -452,7 +528,9 @@ pub fn analyze_with_options(
         }
     };
 
-    // Targets of stage extraction, in deterministic node order.
+    // Targets of stage extraction, in deterministic node order. Under a
+    // subset restriction only the affected targets are (re-)extracted;
+    // the rest keep their replayed arrivals.
     let mut targets: Vec<(NodeId, Edge)> = edge_of
         .iter()
         .filter(|&(&node, _)| {
@@ -461,6 +539,9 @@ pub fn analyze_with_options(
         .map(|(&node, &edge)| (node, edge))
         .collect();
     targets.sort_by_key(|&(node, _)| node);
+    if let Some(spec) = subset {
+        targets.retain(|(node, _)| spec.affected.binary_search(node).is_ok());
+    }
 
     if let Err(e) = tracker.check_deadline() {
         return Err(exhausted(arrivals, e, 0));
@@ -528,6 +609,8 @@ pub fn analyze_with_options(
         let stages: usize = work.iter().map(|w| w.stages.len()).sum();
         t.count(Phase::Extraction, "stages_extracted", stages as u64);
     }
+    let mut target_stages: Vec<(NodeId, usize)> =
+        work.iter().map(|w| (w.node, w.stages.len())).collect();
 
     // Propagation runs in Jacobi (snapshot) rounds for *every* thread
     // count, serial included: each round evaluates all ready nodes
@@ -606,10 +689,15 @@ pub fn analyze_with_options(
             return Err(exhausted(arrivals, e, round));
         }
         if !changed {
-            return Ok(TimingResult {
-                arrivals,
-                model,
-                cache_stats: cache_stats_now(),
+            return Ok(AnalysisOutcome {
+                result: TimingResult {
+                    arrivals,
+                    model,
+                    cache_stats: cache_stats_now(),
+                    incremental: None,
+                },
+                target_stages: std::mem::take(&mut target_stages),
+                rounds: round,
             });
         }
         if round == max_rounds {

@@ -14,10 +14,21 @@
 //! crystal-cli check  <file.sim> [--tech FILE] [--sample N]
 //!                    [--inject MODEL=FACTOR] [--input NAME] [--edge ...]
 //! crystal-cli spice  <file.sim>
+//! crystal-cli watch  <file.sim> [--edits SCRIPT [--selfcheck]] [--once]
+//!                    [--set NAME=0|1]... [--input NAME] [--edge ...]
 //! ```
 //!
-//! `report`, `sweep`, `batch` and `check` accept `--trace FILE` (JSON-lines
-//! event trace) and `--metrics` (per-phase timing summary on stdout).
+//! `report`, `sweep`, `batch`, `check` and `watch` accept `--trace FILE`
+//! (JSON-lines event trace) and `--metrics` (per-phase timing summary on
+//! stdout).
+//!
+//! `watch` keeps a persistent incremental session over every (input ×
+//! edge) scenario. With `--edits SCRIPT` it applies a scripted edit
+//! sequence (`resize`/`cap`/`add`/`remove` lines) and prints a delta
+//! report per edit; `--selfcheck` additionally proves every edited state
+//! bit-identical to a fresh full analysis (exit 4 on divergence).
+//! Without `--edits` it polls the netlist file and incrementally
+//! re-analyzes on every change (`--once` exits after the first).
 //!
 //! `batch --journal FILE` turns the batch durable: every scenario outcome
 //! is appended to the journal with an fsync'd write, `--resume` replays
@@ -46,20 +57,22 @@ use crystal::budget::AnalysisBudget;
 use crystal::durable::{
     install_signal_handlers, run_durable, DurableOptions, FailureKind, Outcome, ShutdownFlag,
 };
+use crystal::incremental::IncrementalAnalyzer;
 use crystal::memo::StageCache;
 use crystal::models::ModelKind;
 use crystal::obs::TraceSink;
 use crystal::report::{critical_path_report, full_report};
 use crystal::selfcheck::{
-    check_network, check_resume_equivalence, standard_scenarios, SelfCheckConfig,
+    check_incremental, check_network, check_resume_equivalence, standard_scenarios, SelfCheckConfig,
 };
 use crystal::sweep::{
     sweep_exhaustive_with_options, sweep_inputs_with_options, MAX_EXHAUSTIVE_INPUTS,
 };
 use crystal::tech::Technology;
 use crystal::TimingError;
-use mosnet::units::Seconds;
-use mosnet::{sim_format, spice_format, validate, Network, NodeId};
+use mosnet::diff::{Edit, TransistorDesc};
+use mosnet::units::{Farads, Seconds};
+use mosnet::{sim_format, spice_format, validate, Geometry, Network, NodeId, TransistorKind};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::fs;
@@ -142,7 +155,7 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str =
-    "usage: crystal-cli <lint|logic|report|sweep|batch|check|spice> <file.sim> [options]
+    "usage: crystal-cli <lint|logic|report|sweep|batch|check|spice|watch> <file.sim> [options]
   --input NAME          switching input (report)
   --edge rise|fall      input edge direction (report)
   --model lumped|rctree|slope   delay model (default slope)
@@ -174,6 +187,15 @@ const USAGE: &str =
                         per further retry (default 25)
   --selfcheck-resume    batch: after a --journal run, re-analyze journaled
                         outcomes fresh and fail (exit 4) on any mismatch
+  --edits SCRIPT        watch: apply the edit script through the incremental
+                        session (lines: `resize GATE SRC DRN W_UM L_UM`,
+                        `cap NODE FEMTOFARADS`, `add n|p|d GATE SRC DRN W L`,
+                        `remove GATE SRC DRN`; `|` starts a comment)
+  --selfcheck           watch: after the edits, prove every edited state
+                        bit-identical to a fresh full analysis across
+                        serial/parallel and cold/warm-cache sessions;
+                        any mismatch exits 4
+  --once                watch: exit after the first processed file change
 exit codes: 0 ok, 1 usage/other, 2 parse, 3 budget, 4 divergence,
             5 timeout, 6 poisoned, 7 I/O, 8 interrupted
 ";
@@ -201,6 +223,9 @@ struct Options {
     max_retries: usize,
     retry_backoff: Duration,
     selfcheck_resume: bool,
+    edits: Option<String>,
+    watch_selfcheck: bool,
+    once: bool,
 }
 
 impl Options {
@@ -276,6 +301,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         max_retries: 2,
         retry_backoff: Duration::from_millis(25),
         selfcheck_resume: false,
+        edits: None,
+        watch_selfcheck: false,
+        once: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -381,6 +409,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 options.retry_backoff = Duration::from_secs_f64(ms / 1e3);
             }
             "--selfcheck-resume" => options.selfcheck_resume = true,
+            "--edits" => options.edits = Some(value("--edits")?),
+            "--selfcheck" => options.watch_selfcheck = true,
+            "--once" => options.once = true,
             "--input" => options.input = Some(value("--input")?),
             "--tech" => options.tech = Some(value("--tech")?),
             "--output" => options.output = Some(value("--output")?),
@@ -670,8 +701,269 @@ fn run(args: &[String]) -> Result<String, CliError> {
             }
         }
         "spice" => Ok(spice_format::write(&net)),
+        "watch" => {
+            let tech = load_technology(&options)?;
+            let mut statics = HashMap::new();
+            for (name, level) in &options.statics {
+                statics.insert(resolve(&net, name)?, *level);
+            }
+            let mut scenarios = standard_scenarios(&net, &statics, options.transition);
+            // --input / --edge narrow the session, exactly as in `check`.
+            if let Some(name) = options.input.as_deref() {
+                let input = resolve(&net, name)?;
+                scenarios.retain(|(_, s)| s.input == input);
+            }
+            if let Some(edge) = options.edge {
+                scenarios.retain(|(_, s)| s.edge == edge);
+            }
+            if scenarios.is_empty() {
+                return Err("no scenarios to watch (no inputs, or filters exclude all)"
+                    .to_string()
+                    .into());
+            }
+            let session = IncrementalAnalyzer::new(
+                net.clone(),
+                tech.clone(),
+                options.model,
+                scenarios.clone(),
+                options.analyzer_options(&sink),
+            )
+            .map_err(|e| CliError::new(timing_exit_kind(&e), e.to_string()))?;
+            let mut out = String::new();
+            let _ = writeln!(out, "watching `{path}`: {} scenario(s)", scenarios.len());
+            for (label, _) in &scenarios {
+                let result = session.result(label).expect("scenario just analyzed");
+                match result.max_arrival() {
+                    Some((node, arrival)) => {
+                        let _ = writeln!(
+                            out,
+                            "{label}: latest `{}` at {:.4} ns",
+                            session.network().node(node).name(),
+                            arrival.time.nanos()
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(out, "{label}: nothing switches");
+                    }
+                }
+            }
+            match options.edits.clone() {
+                Some(script) => run_scripted_edits(
+                    session, &net, &tech, &options, &scenarios, &script, out, &sink,
+                ),
+                None => run_watch_loop(session, path, &options, out, &sink),
+            }
+        }
         other => Err(format!("unknown command `{other}`\n{USAGE}").into()),
     }
+}
+
+/// The `watch --edits` path: apply a scripted edit sequence through the
+/// incremental session, reporting the invalidation accounting per edit,
+/// and optionally (`--selfcheck`) prove every edited state bit-identical
+/// to fresh full analysis.
+#[allow(clippy::too_many_arguments)]
+fn run_scripted_edits(
+    mut session: IncrementalAnalyzer,
+    net: &Network,
+    tech: &Technology,
+    options: &Options,
+    scenarios: &[(String, Scenario)],
+    script: &str,
+    mut out: String,
+    sink: &Option<Arc<TraceSink>>,
+) -> Result<String, CliError> {
+    let text = fs::read_to_string(script)
+        .map_err(|e| CliError::new(ExitKind::Io, format!("cannot read `{script}`: {e}")))?;
+    let edits = parse_edit_script(&text)?;
+    if edits.is_empty() {
+        return Err(format!("edit script `{script}` contains no edits").into());
+    }
+    let (mut reevaluated, mut reused) = (0usize, 0usize);
+    for (i, edit) in edits.iter().enumerate() {
+        let delta = session
+            .apply_edit(edit)
+            .map_err(|e| CliError::new(timing_exit_kind(&e), format!("edit {}: {e}", i + 1)))?;
+        for s in &delta.scenarios {
+            reevaluated += s.stats.invalidated_stages;
+            reused += s.stats.reused_stages;
+        }
+        // DeltaReport renders as "edit: ..."; number it for the script.
+        out.push_str(
+            &delta
+                .to_string()
+                .replacen("edit:", &format!("edit {}:", i + 1), 1),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{} edit(s) applied: {} stage(s) re-evaluated, {} stage(s) reused",
+        edits.len(),
+        reevaluated,
+        reused
+    );
+    if options.watch_selfcheck {
+        let config = SelfCheckConfig {
+            threads: if options.threads <= 1 {
+                0
+            } else {
+                options.threads
+            },
+            trace: sink.clone(),
+            ..SelfCheckConfig::default()
+        };
+        let report = check_incremental(net, tech, options.model, scenarios, &edits, &config);
+        out.push_str(&report.render());
+        options.emit_observability(&mut out, sink)?;
+        if !report.ok() {
+            return Err(CliError::new(ExitKind::Divergence, out));
+        }
+        return Ok(out);
+    }
+    options.emit_observability(&mut out, sink)?;
+    Ok(out)
+}
+
+/// The plain `watch` path: poll the netlist file and push every change
+/// through the incremental session. `--once` returns after the first
+/// successfully processed change; otherwise the loop streams its reports
+/// to stdout and only ends with the process.
+fn run_watch_loop(
+    mut session: IncrementalAnalyzer,
+    path: &str,
+    options: &Options,
+    mut out: String,
+    sink: &Option<Arc<TraceSink>>,
+) -> Result<String, CliError> {
+    use std::io::Write as _;
+    let poll = Duration::from_millis(100);
+    let stamp = |path: &str| {
+        fs::metadata(path)
+            .and_then(|m| m.modified())
+            .map_err(|e| CliError::new(ExitKind::Io, format!("cannot stat `{path}`: {e}")))
+    };
+    let mut last = stamp(path)?;
+    if !options.once {
+        // Streaming mode: flush eagerly, nothing accumulates.
+        print!("{out}");
+        let _ = std::io::stdout().flush();
+        out.clear();
+    }
+    loop {
+        std::thread::sleep(poll);
+        // A vanished file (editors swap on save) just means "not yet".
+        let Ok(now) = fs::metadata(path).and_then(|m| m.modified()) else {
+            continue;
+        };
+        if now == last {
+            continue;
+        }
+        last = now;
+        let mut chunk = String::new();
+        match load(path)
+            .map_err(|e| e.message)
+            .and_then(|next| session.replace_network(next).map_err(|e| e.to_string()))
+        {
+            // A broken intermediate save keeps the session on the last
+            // good netlist; the next change gets diffed against it.
+            Err(e) => {
+                let _ = writeln!(chunk, "change rejected: {e}");
+            }
+            Ok(delta) => {
+                chunk.push_str(&delta.to_string().replacen("edit:", "change:", 1));
+                if options.once {
+                    out.push_str(&chunk);
+                    options.emit_observability(&mut out, sink)?;
+                    return Ok(out);
+                }
+            }
+        }
+        if options.once {
+            out.push_str(&chunk);
+        } else {
+            print!("{chunk}");
+            let _ = std::io::stdout().flush();
+        }
+    }
+}
+
+/// Parses a `watch --edits` script: one edit per line, `|` starts a
+/// comment, blank lines are skipped.
+///
+/// ```text
+/// resize GATE SOURCE DRAIN W_UM L_UM  | re-size the matching device(s)
+/// cap NODE FEMTOFARADS                | set a node's explicit capacitance
+/// add n|p|d GATE SOURCE DRAIN W_UM L_UM
+/// remove GATE SOURCE DRAIN
+/// ```
+fn parse_edit_script(text: &str) -> Result<Vec<Edit>, String> {
+    let mut edits = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('|').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: String| format!("edit script line {}: {msg}", idx + 1);
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        let micron = |s: &str, what: &str| -> Result<f64, String> {
+            let v: f64 = s
+                .parse()
+                .map_err(|_| err(format!("cannot parse {what} `{s}`")))?;
+            if !(v > 0.0 && v.is_finite()) {
+                return Err(err(format!("{what} must be positive, got `{s}`")));
+            }
+            Ok(v)
+        };
+        let edit = match parts.as_slice() {
+            ["resize", gate, source, drain, w, l] => Edit::Resize {
+                gate: gate.to_string(),
+                source: source.to_string(),
+                drain: drain.to_string(),
+                geometry: Geometry::from_microns(micron(w, "width")?, micron(l, "length")?),
+            },
+            ["cap", node, femto] => {
+                let v: f64 = femto
+                    .parse()
+                    .map_err(|_| err(format!("cannot parse capacitance `{femto}`")))?;
+                if !(v >= 0.0 && v.is_finite()) {
+                    return Err(err(format!(
+                        "capacitance must be non-negative, got `{femto}`"
+                    )));
+                }
+                Edit::SetCapacitance {
+                    node: node.to_string(),
+                    capacitance: Farads::from_femto(v),
+                }
+            }
+            ["add", kind, gate, source, drain, w, l] => {
+                let kind = match *kind {
+                    "n" => TransistorKind::NEnhancement,
+                    "p" => TransistorKind::PEnhancement,
+                    "d" => TransistorKind::Depletion,
+                    other => return Err(err(format!("unknown device kind `{other}`"))),
+                };
+                Edit::Add(TransistorDesc {
+                    kind,
+                    gate: gate.to_string(),
+                    source: source.to_string(),
+                    drain: drain.to_string(),
+                    geometry: Geometry::from_microns(micron(w, "width")?, micron(l, "length")?),
+                })
+            }
+            ["remove", gate, source, drain] => Edit::Remove {
+                gate: gate.to_string(),
+                source: source.to_string(),
+                drain: drain.to_string(),
+            },
+            _ => {
+                return Err(err(format!(
+                    "expected `resize`, `cap`, `add` or `remove`, got `{line}`"
+                )))
+            }
+        };
+        edits.push(edit);
+    }
+    Ok(edits)
 }
 
 /// The `batch --journal` path: durable execution with checkpoint/resume,
@@ -1192,6 +1484,117 @@ mod tests {
             err.message
         );
         let _ = fs::remove_file(&journal);
+    }
+
+    fn edit_script(name: &str, contents: &str) -> PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("crystal_cli_{name}_{}.edits", std::process::id()));
+        fs::write(&path, contents).expect("edit script writes");
+        path
+    }
+
+    #[test]
+    fn watch_applies_an_edit_script_and_reports_reuse() {
+        let path = fixture("watch_edits", INVERTER_CHAIN);
+        let script = edit_script(
+            "watch_edits",
+            "| widen the output pulldown, then trim the load\n\
+             resize m y gnd 12 2\n\
+             cap y 80\n",
+        );
+        let out = cli(&[
+            "watch",
+            path.to_str().unwrap(),
+            "--edits",
+            script.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("watching"), "{out}");
+        // One input × two edges, reported before the edits run.
+        assert!(out.contains("a rise: latest"), "{out}");
+        assert!(out.contains("a fall: latest"), "{out}");
+        assert!(out.contains("edit 1: 1 netlist change(s)"), "{out}");
+        assert!(out.contains("edit 2: 1 netlist change(s)"), "{out}");
+        assert!(out.contains("2 edit(s) applied"), "{out}");
+        // The first stage (`m`) is untouched by both edits: its arrival
+        // replays, so the reused-stage count is non-zero.
+        assert!(!out.contains("0 stage(s) reused"), "{out}");
+        let _ = fs::remove_file(&script);
+    }
+
+    #[test]
+    fn watch_selfcheck_proves_the_session_against_full_analysis() {
+        let path = fixture("watch_check", INVERTER_CHAIN);
+        let script = edit_script(
+            "watch_check",
+            "resize a m gnd 4 2\n\
+             add n a y gnd 8 2\n\
+             remove a y gnd\n\
+             cap m 35\n",
+        );
+        let out = cli(&[
+            "watch",
+            path.to_str().unwrap(),
+            "--edits",
+            script.to_str().unwrap(),
+            "--selfcheck",
+            "--threads",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("0 divergences"), "{out}");
+        let _ = fs::remove_file(&script);
+    }
+
+    #[test]
+    fn watch_rejects_malformed_edit_scripts() {
+        let path = fixture("watch_bad", INVERTER_CHAIN);
+        let p = path.to_str().unwrap();
+        for (body, needle) in [
+            ("resize m y gnd 12\n", "expected"),
+            ("resize m y gnd 0 2\n", "positive"),
+            ("cap y -3\n", "non-negative"),
+            ("add q a y gnd 8 2\n", "device kind"),
+            ("frobnicate y\n", "expected"),
+            ("", "no edits"),
+        ] {
+            let script = edit_script("watch_bad", body);
+            let err = cli(&["watch", p, "--edits", script.to_str().unwrap()])
+                .expect_err("malformed script must fail");
+            assert!(err.contains(needle), "`{body}` -> {err}");
+            let _ = fs::remove_file(&script);
+        }
+        // An edit naming an unknown site is an analysis-time error that
+        // carries the edit number.
+        let script = edit_script("watch_bad_site", "remove zz zz zz\n");
+        let err = cli(&["watch", p, "--edits", script.to_str().unwrap()])
+            .expect_err("unknown site must fail");
+        assert!(err.contains("edit 1"), "{err}");
+        let _ = fs::remove_file(&script);
+    }
+
+    #[test]
+    fn watch_once_picks_up_a_file_change() {
+        let path = fixture("watch_once", INVERTER_CHAIN);
+        let p = path.to_str().unwrap().to_string();
+        let writer = std::thread::spawn({
+            let path = path.clone();
+            move || {
+                std::thread::sleep(std::time::Duration::from_millis(400));
+                // Atomic replace, as editors do, so the watcher never
+                // sees a half-written netlist.
+                let tmp = path.with_extension("tmp");
+                fs::write(&tmp, INVERTER_CHAIN.replace("C y 100", "C y 250")).expect("temp write");
+                fs::rename(&tmp, &path).expect("rename over watched file");
+            }
+        });
+        let out = cli(&["watch", &p, "--once"]).unwrap();
+        writer.join().expect("writer thread");
+        assert!(out.contains("watching"), "{out}");
+        assert!(out.contains("change: 1 netlist change(s)"), "{out}");
+        // The load-cap bump re-evaluates the output stage in both
+        // scenarios and changes its arrival.
+        assert!(out.contains("1 arrival(s) changed"), "{out}");
     }
 
     #[test]

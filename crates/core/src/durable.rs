@@ -274,7 +274,36 @@ pub enum DurableError {
         found: u64,
         /// Fingerprint of the current inputs.
         expected: u64,
+        /// Which input(s) changed, when both the journal header and the
+        /// current run carry component fingerprints. Empty when the
+        /// source cannot be attributed (legacy header or opaque
+        /// fingerprint).
+        sources: Vec<MismatchSource>,
     },
+}
+
+/// Which input a [`DurableError::FingerprintMismatch`] traces back to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MismatchSource {
+    /// The netlist content changed (e.g. the `.sim` file was edited on
+    /// disk after the journal was written).
+    Netlist,
+    /// The technology description changed.
+    Technology,
+    /// The delay model or a result-affecting analyzer option changed.
+    Options,
+}
+
+impl MismatchSource {
+    /// Human-readable name of the changed input.
+    pub fn describe(self) -> &'static str {
+        match self {
+            MismatchSource::Netlist => "netlist",
+            MismatchSource::Technology => "technology",
+            MismatchSource::Options => "model/options",
+        }
+    }
 }
 
 impl fmt::Display for DurableError {
@@ -293,12 +322,24 @@ impl fmt::Display for DurableError {
                 path,
                 found,
                 expected,
-            } => write!(
-                f,
-                "journal `{}` belongs to a different run \
-                 (fingerprint {found:016x}, current inputs {expected:016x})",
-                path.display()
-            ),
+                sources,
+            } => {
+                write!(
+                    f,
+                    "journal `{}` belongs to a different run \
+                     (fingerprint {found:016x}, current inputs {expected:016x})",
+                    path.display()
+                )?;
+                if !sources.is_empty() {
+                    let names: Vec<&str> = sources.iter().map(|s| s.describe()).collect();
+                    write!(
+                        f,
+                        "; the {} changed since the journal was written",
+                        names.join(" and ")
+                    )?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -360,6 +401,78 @@ pub fn run_fingerprint(
             .map_or(u64::MAX, |d| d.as_nanos() as u64),
     );
     h.finish()
+}
+
+/// A run fingerprint with optional per-input components.
+///
+/// The `combined` value is what pins a journal to a run (identical to
+/// [`run_fingerprint`]). The components, when present, let a resume
+/// mismatch *name its source*: a journal written with component
+/// fingerprints that is later opened against edited inputs reports
+/// whether the netlist, the technology, or the model/options changed
+/// instead of a generic mismatch. A bare `u64` converts into an opaque
+/// fingerprint with no components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunFingerprint {
+    /// Combined fingerprint over every result-affecting input.
+    pub combined: u64,
+    /// Hash of the netlist content alone (its `.sim` text), if known.
+    pub netlist: Option<u64>,
+    /// Stamp of the technology description alone, if known.
+    pub tech: Option<u64>,
+    /// Hash of the delay model plus result-affecting analyzer options
+    /// alone, if known.
+    pub options: Option<u64>,
+}
+
+impl RunFingerprint {
+    /// A combined-only fingerprint whose mismatches cannot be attributed.
+    pub fn opaque(combined: u64) -> RunFingerprint {
+        RunFingerprint {
+            combined,
+            netlist: None,
+            tech: None,
+            options: None,
+        }
+    }
+}
+
+impl From<u64> for RunFingerprint {
+    fn from(combined: u64) -> RunFingerprint {
+        RunFingerprint::opaque(combined)
+    }
+}
+
+/// [`run_fingerprint`] plus per-input component fingerprints, so a later
+/// resume against edited inputs can name which input changed.
+pub fn run_fingerprint_parts(
+    net: &Network,
+    tech: &Technology,
+    model: ModelKind,
+    options: &AnalyzerOptions,
+) -> RunFingerprint {
+    let mut net_hash = Fnv::new();
+    net_hash.write(sim_format::write(net).as_bytes());
+    let mut opt_hash = Fnv::new();
+    opt_hash.write(format!("{model:?}").as_bytes());
+    opt_hash.write_u64(options.non_switching_cap_weight.to_bits());
+    opt_hash.write(format!("{:?}", options.mode).as_bytes());
+    opt_hash.write(&[u8::from(options.model_fallback)]);
+    let cap = |v: Option<usize>| v.map_or(u64::MAX, |n| n as u64);
+    opt_hash.write_u64(cap(options.budget.max_stage_evals));
+    opt_hash.write_u64(cap(options.budget.max_paths_per_node));
+    opt_hash.write_u64(
+        options
+            .budget
+            .deadline
+            .map_or(u64::MAX, |d| d.as_nanos() as u64),
+    );
+    RunFingerprint {
+        combined: run_fingerprint(net, tech, model, options),
+        netlist: Some(net_hash.finish()),
+        tech: Some(crate::memo::tech_stamp(tech)),
+        options: Some(opt_hash.finish()),
+    }
 }
 
 /// FNV-1a digest over a result's arrivals — exact bit patterns of every
@@ -560,7 +673,11 @@ pub struct Journal {
 
 impl Journal {
     /// Creates (truncating) a fresh journal and writes the run header.
-    pub fn create(path: &Path, fingerprint: u64) -> Result<Journal, DurableError> {
+    pub fn create(
+        path: &Path,
+        fingerprint: impl Into<RunFingerprint>,
+    ) -> Result<Journal, DurableError> {
+        let fingerprint = fingerprint.into();
         let io_err = |e: std::io::Error| DurableError::Io {
             path: path.to_path_buf(),
             message: e.to_string(),
@@ -570,7 +687,7 @@ impl Journal {
             file,
             path: path.to_path_buf(),
         };
-        journal.append_line(&header_line(fingerprint))?;
+        journal.append_line(&header_line(&fingerprint))?;
         Ok(journal)
     }
 
@@ -580,10 +697,16 @@ impl Journal {
     /// replayable records plus the journal reopened for appending.
     ///
     /// A missing or empty journal resumes as a fresh run.
+    ///
+    /// When both the header and the current `fingerprint` carry
+    /// component fingerprints (see [`run_fingerprint_parts`]), a
+    /// mismatch names which input changed — netlist vs technology vs
+    /// model/options — in [`DurableError::FingerprintMismatch`].
     pub fn open_resume(
         path: &Path,
-        fingerprint: u64,
+        fingerprint: impl Into<RunFingerprint>,
     ) -> Result<(Journal, Vec<ScenarioRecord>), DurableError> {
+        let fingerprint = fingerprint.into();
         let io_err = |e: std::io::Error| DurableError::Io {
             path: path.to_path_buf(),
             message: e.to_string(),
@@ -637,11 +760,30 @@ impl Journal {
                         path: path.to_path_buf(),
                         line: 1,
                     })?;
-                if found != fingerprint {
+                if found != fingerprint.combined {
+                    // Attribute the mismatch wherever both sides carry
+                    // the component fingerprint.
+                    let parts = [
+                        ("net", fingerprint.netlist, MismatchSource::Netlist),
+                        ("tech", fingerprint.tech, MismatchSource::Technology),
+                        ("opts", fingerprint.options, MismatchSource::Options),
+                    ];
+                    let mut sources = Vec::new();
+                    for (key, current, source) in parts {
+                        let recorded = fields
+                            .get(key)
+                            .and_then(|s| u64::from_str_radix(s, 16).ok());
+                        if let (Some(recorded), Some(current)) = (recorded, current) {
+                            if recorded != current {
+                                sources.push(source);
+                            }
+                        }
+                    }
                     return Err(DurableError::FingerprintMismatch {
                         path: path.to_path_buf(),
                         found,
-                        expected: fingerprint,
+                        expected: fingerprint.combined,
+                        sources,
                     });
                 }
             } else {
@@ -690,8 +832,22 @@ impl Journal {
     }
 }
 
-fn header_line(fingerprint: u64) -> String {
-    format!("{{\"kind\":\"run\",\"v\":{JOURNAL_VERSION},\"fingerprint\":\"{fingerprint:016x}\"}}\n")
+fn header_line(fingerprint: &RunFingerprint) -> String {
+    let mut out = format!(
+        "{{\"kind\":\"run\",\"v\":{JOURNAL_VERSION},\"fingerprint\":\"{:016x}\"",
+        fingerprint.combined
+    );
+    for (key, part) in [
+        ("net", fingerprint.netlist),
+        ("tech", fingerprint.tech),
+        ("opts", fingerprint.options),
+    ] {
+        if let Some(part) = part {
+            out.push_str(&format!(",\"{key}\":\"{part:016x}\""));
+        }
+    }
+    out.push_str("}\n");
+    out
 }
 
 fn record_line(record: &ScenarioRecord) -> String {
@@ -897,10 +1053,12 @@ impl DurableRun {
 /// classified [`FailureKind::Panic`].
 ///
 /// `fingerprint` pins the journal to the run's inputs — use
-/// [`run_fingerprint`] for real scenarios.
+/// [`run_fingerprint_parts`] for real scenarios so a later mismatch can
+/// name its source (a bare [`run_fingerprint`] `u64` also works but
+/// reports generic mismatches).
 pub fn run_durable_with<T, F>(
     items: &[(String, T)],
-    fingerprint: u64,
+    fingerprint: impl Into<RunFingerprint>,
     attempt: F,
     durable: &DurableOptions,
     trace: Option<&TraceSink>,
@@ -909,6 +1067,7 @@ where
     T: Sync,
     F: Fn(&T, &CancelToken, u32) -> AttemptOutcome + Sync,
 {
+    let fingerprint = fingerprint.into();
     let (journal, prior) = if durable.resume {
         Journal::open_resume(&durable.journal, fingerprint)?
     } else {
@@ -1162,7 +1321,7 @@ pub fn run_durable(
     options: AnalyzerOptions,
     durable: &DurableOptions,
 ) -> Result<DurableRun, DurableError> {
-    let fingerprint = run_fingerprint(net, tech, model, &options);
+    let fingerprint = run_fingerprint_parts(net, tech, model, &options);
     let trace = options.trace.clone();
     let per_scenario = AnalyzerOptions {
         threads: 1,
@@ -1367,6 +1526,110 @@ mod tests {
                 ..
             }
         ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    const INVERTER: &str = "| one inverter\ni a\no y\n\
+        n a y gnd 2 8\np a y vdd 2 16\nC y 50\n";
+
+    fn tiny_net(text: &str) -> Network {
+        sim_format::parse(text, "tiny").expect("fixture parses")
+    }
+
+    #[test]
+    fn netlist_edited_on_disk_mismatch_names_the_netlist() {
+        let path = temp_journal("fp_net_source");
+        let tech = Technology::nominal();
+        let options = AnalyzerOptions::default();
+        let before = tiny_net(INVERTER);
+        Journal::create(
+            &path,
+            run_fingerprint_parts(&before, &tech, ModelKind::Slope, &options),
+        )
+        .expect("creates");
+        // The netlist file is edited between runs: the load doubles.
+        let after = tiny_net(&INVERTER.replace("C y 50", "C y 100"));
+        let current = run_fingerprint_parts(&after, &tech, ModelKind::Slope, &options);
+        let err = Journal::open_resume(&path, current).expect_err("edited netlist");
+        match &err {
+            DurableError::FingerprintMismatch { sources, .. } => {
+                assert_eq!(sources, &[MismatchSource::Netlist]);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        let text = err.to_string();
+        assert!(
+            text.contains("the netlist changed since the journal was written"),
+            "{text}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn tech_and_option_mismatches_name_their_sources() {
+        let path = temp_journal("fp_other_sources");
+        let tech = Technology::nominal();
+        let options = AnalyzerOptions::default();
+        let net = tiny_net(INVERTER);
+        Journal::create(
+            &path,
+            run_fingerprint_parts(&net, &tech, ModelKind::Slope, &options),
+        )
+        .expect("creates");
+
+        let mut other_tech = tech.clone();
+        other_tech.name = "perturbed".to_string();
+        let err = Journal::open_resume(
+            &path,
+            run_fingerprint_parts(&net, &other_tech, ModelKind::Slope, &options),
+        )
+        .expect_err("tech changed");
+        assert!(
+            matches!(&err, DurableError::FingerprintMismatch { sources, .. }
+                if sources == &[MismatchSource::Technology]),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("the technology changed"), "{err}");
+
+        let err = Journal::open_resume(
+            &path,
+            run_fingerprint_parts(&net, &tech, ModelKind::Lumped, &options),
+        )
+        .expect_err("model changed");
+        assert!(
+            matches!(&err, DurableError::FingerprintMismatch { sources, .. }
+                if sources == &[MismatchSource::Options]),
+            "{err:?}"
+        );
+        assert!(
+            err.to_string().contains("the model/options changed"),
+            "{err}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn legacy_header_mismatch_stays_unattributed() {
+        // A journal written with an opaque fingerprint (no component
+        // fields) still rejects mismatches, just without a source.
+        let path = temp_journal("fp_opaque");
+        Journal::create(&path, 7u64).expect("creates");
+        let net = tiny_net(INVERTER);
+        let current = run_fingerprint_parts(
+            &net,
+            &Technology::nominal(),
+            ModelKind::Slope,
+            &AnalyzerOptions::default(),
+        );
+        let err = Journal::open_resume(&path, current).expect_err("mismatch");
+        match &err {
+            DurableError::FingerprintMismatch { found, sources, .. } => {
+                assert_eq!(*found, 7);
+                assert!(sources.is_empty());
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(!err.to_string().contains("changed since"), "{err}");
         let _ = std::fs::remove_file(&path);
     }
 

@@ -54,6 +54,7 @@ pub mod charge;
 pub mod durable;
 pub mod error;
 pub mod extract;
+pub mod incremental;
 pub mod logic;
 pub mod memo;
 pub mod models;
@@ -68,17 +69,18 @@ pub mod tech;
 pub mod tech_format;
 
 pub use analyzer::{
-    analyze, analyze_with_options, AnalysisMode, AnalyzerOptions, Arrival, Edge, Scenario,
-    TimingResult,
+    analyze, analyze_with_options, AnalysisMode, AnalyzerOptions, Arrival, Edge, IncrementalStats,
+    Scenario, TimingResult,
 };
 pub use batch::{run_batch, run_batch_par_with, run_batch_with, BatchFailure, BatchRun};
 pub use budget::{AnalysisBudget, BudgetExceeded, CancelToken, PartialTiming};
 pub use durable::{
-    install_signal_handlers, run_durable, run_durable_with, run_fingerprint, AttemptOutcome,
-    DurableError, DurableOptions, DurableRun, FailureKind, Journal, Outcome, ScenarioRecord,
-    ShutdownFlag,
+    install_signal_handlers, run_durable, run_durable_with, run_fingerprint, run_fingerprint_parts,
+    AttemptOutcome, DurableError, DurableOptions, DurableRun, FailureKind, Journal, MismatchSource,
+    Outcome, RunFingerprint, ScenarioRecord, ShutdownFlag,
 };
 pub use error::TimingError;
+pub use incremental::{ArrivalChange, DeltaReport, IncrementalAnalyzer, ScenarioDelta};
 pub use memo::{stage_fingerprint, tech_stamp, CacheStats, SlopeBucketing, StageCache};
 pub use models::{estimate_with_fallback, try_estimate, ModelFailure, ModelKind, StageDelay};
 pub use obs::{Metrics, Phase, TraceEvent, TraceSink};

@@ -39,11 +39,25 @@
 //!
 //! The map is split into [`SHARDS`] independently locked shards selected
 //! by key hash, so parallel analyzer workers rarely contend. Hit, miss,
-//! and eviction counters are atomics; note that under concurrency two
-//! workers can miss on the same key simultaneously and both insert —
-//! counters are exact event counts, not a deduplicated key census, and
-//! may differ run to run. Cached *values* never differ: an entry is only
-//! ever written with the result its key deterministically produces.
+//! and eviction counters are atomics updated while the shard lock is
+//! held; note that under concurrency two workers can miss on the same
+//! key simultaneously and both insert — counters are exact event counts,
+//! not a deduplicated key census, and may differ run to run. Cached
+//! *values* never differ: an entry is only ever written with the result
+//! its key deterministically produces.
+//!
+//! ## Counter guarantees
+//!
+//! [`StageCache::stats`] takes a seqlock-consistent snapshot: it never
+//! mixes counter values from before and after a concurrent
+//! [`StageCache::clear`], so `hits + misses` always equals the number of
+//! completed lookups of one epoch and a derived hit rate can never
+//! exceed 100%. `clear` resets the counters to zero *atomically* with
+//! dropping the entries (all shards locked) and bumps a **generation**
+//! recorded in every [`CacheStats`]; [`CacheStats::delta_since`] uses it
+//! to detect a clear between two snapshots and reports the current
+//! epoch's counts instead of silently saturating a negative difference
+//! to zero (which would mask counter regressions).
 
 use crate::models::{ModelKind, StageDelay};
 use crate::stage::Stage;
@@ -195,7 +209,8 @@ pub enum SlopeBucketing {
     /// The exact bit pattern of the transition time (the default). A hit
     /// returns a result bit-identical to a fresh evaluation. `-0.0` is
     /// canonicalized to `+0.0` so the two encodings of a zero-width
-    /// (step) input share one entry instead of duplicating it.
+    /// (step) input share one entry instead of duplicating it, and all
+    /// NaN payloads collapse to one canonical quiet-NaN key.
     #[default]
     Exact,
     /// Transition times are rounded to the nearest multiple of `width`
@@ -211,22 +226,44 @@ pub enum SlopeBucketing {
     },
 }
 
+/// The single bit pattern every NaN slope is keyed under (the standard
+/// quiet NaN). Without this, the 2^52 distinct NaN payloads would each
+/// mint their own cache entry for one and the same (meaningless) slope,
+/// and a poisoned evaluation could never be deduplicated.
+const CANONICAL_NAN_BITS: u64 = 0x7ff8_0000_0000_0000;
+
+/// Canonical bit pattern of a slope value for keying: `-0.0` maps to
+/// `+0.0` (the same physical slope) and every NaN payload maps to one
+/// quiet-NaN pattern. Infinities keep their sign — they are distinct
+/// (if equally impossible) values.
+fn canonical_slope_bits(v: f64) -> u64 {
+    if v.is_nan() {
+        CANONICAL_NAN_BITS
+    } else {
+        // `+ 0.0` turns a negative zero into positive zero (IEEE 754
+        // round-to-nearest) and leaves every other value untouched.
+        (v + 0.0).to_bits()
+    }
+}
+
 impl SlopeBucketing {
     /// Maps an input transition time to its cache bucket.
+    ///
+    /// Non-finite slopes are canonicalized before hashing in **both**
+    /// modes: `-0.0` aliases `+0.0` and every NaN payload shares one
+    /// bucket, so physically identical (or identically meaningless)
+    /// slopes can never mint spurious extra cache entries.
     pub fn bucket(self, input_transition: Seconds) -> u64 {
-        // `+ 0.0` canonicalizes a negative zero to positive zero (IEEE
-        // 754 round-to-nearest), so -0.0 and +0.0 — the same physical
-        // slope — always share a bucket in both modes.
-        let v = input_transition.value() + 0.0;
+        let v = input_transition.value();
         match self {
-            SlopeBucketing::Exact => v.to_bits(),
+            SlopeBucketing::Exact => canonical_slope_bits(v),
             SlopeBucketing::Quantized { width } => {
                 let w = width.value();
                 if !(w > 0.0 && w.is_finite() && v.is_finite()) {
                     // Zero/negative/non-finite width (or a non-finite
                     // slope): fall back to exact keying rather than
                     // collapsing everything into one bucket.
-                    return v.to_bits();
+                    return canonical_slope_bits(v);
                 }
                 // round() is half-away-from-zero, and the f64→i64 cast
                 // saturates, so extreme slopes stay in extreme buckets
@@ -341,11 +378,17 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries displaced to stay under the capacity cap.
     pub evictions: u64,
+    /// Counter epoch: how many times [`StageCache::clear`] had run when
+    /// this snapshot was taken. Two snapshots with different generations
+    /// straddle a clear and their counters are not directly comparable —
+    /// [`CacheStats::delta_since`] uses this to avoid masking resets.
+    pub generation: u64,
 }
 
 impl CacheStats {
     /// Hits as a fraction of all lookups (zero when nothing was looked
-    /// up).
+    /// up). Snapshots are seqlock-consistent, so this can never exceed
+    /// `1.0`.
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
         if total == 0 {
@@ -356,11 +399,22 @@ impl CacheStats {
     }
 
     /// The counter deltas accumulated since `earlier` was snapshot.
+    ///
+    /// When the cache was [cleared](StageCache::clear) between the two
+    /// snapshots (the generations differ), `earlier`'s counts describe a
+    /// dead epoch: the delta returned is everything accumulated in the
+    /// *current* epoch rather than a silently saturated near-zero — a
+    /// per-field `saturating_sub` across a reset would under-report and
+    /// mask counter regressions.
     pub fn delta_since(&self, earlier: &CacheStats) -> CacheStats {
+        if self.generation != earlier.generation {
+            return *self;
+        }
         CacheStats {
             hits: self.hits.saturating_sub(earlier.hits),
             misses: self.misses.saturating_sub(earlier.misses),
             evictions: self.evictions.saturating_sub(earlier.evictions),
+            generation: self.generation,
         }
     }
 }
@@ -376,6 +430,10 @@ pub struct StageCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    /// Seqlock word guarding counter consistency across [`StageCache::clear`]:
+    /// even = stable, odd = a clear is mid-flight. `generation / 2` is
+    /// the number of completed clears (the epoch in [`CacheStats`]).
+    generation: AtomicU64,
 }
 
 impl StageCache {
@@ -400,6 +458,7 @@ impl StageCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
         }
     }
 
@@ -434,15 +493,16 @@ impl StageCache {
 
     /// Looks `key` up, counting a hit or a miss.
     pub fn lookup(&self, key: &StageKey) -> Option<CachedEval> {
-        let found = self.shards[key.shard()]
-            .lock()
-            .expect("cache shard lock")
-            .get(key)
-            .copied();
+        let shard = self.shards[key.shard()].lock().expect("cache shard lock");
+        let found = shard.get(key).copied();
+        // The counter bump happens under the shard lock: `clear()` holds
+        // every shard lock while resetting, so no increment can land
+        // between a reset and the generation bump that publishes it.
         match found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
         };
+        drop(shard);
         found
     }
 
@@ -477,20 +537,53 @@ impl StageCache {
         self.per_shard_capacity * SHARDS
     }
 
-    /// A snapshot of the lifetime hit/miss/eviction counters.
+    /// A seqlock-consistent snapshot of the current epoch's
+    /// hit/miss/eviction counters: the three counts are guaranteed to
+    /// come from one epoch (never mixing values from before and after a
+    /// concurrent [`StageCache::clear`]), so `hits + misses` matches the
+    /// completed lookups of that epoch and derived hit rates cannot
+    /// exceed 100%.
     pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
+        loop {
+            let g1 = self.generation.load(Ordering::Acquire);
+            if g1 % 2 == 1 {
+                // A clear is mid-flight; wait for it to publish.
+                std::hint::spin_loop();
+                continue;
+            }
+            let stats = CacheStats {
+                hits: self.hits.load(Ordering::Relaxed),
+                misses: self.misses.load(Ordering::Relaxed),
+                evictions: self.evictions.load(Ordering::Relaxed),
+                generation: g1 / 2,
+            };
+            if self.generation.load(Ordering::Acquire) == g1 {
+                return stats;
+            }
         }
     }
 
-    /// Drops every resident entry (counters are preserved).
+    /// Drops every resident entry and resets the counters to zero in one
+    /// atomic step (all shard locks held for the duration), bumping the
+    /// counter generation so snapshots from before the clear can never
+    /// be mistaken for the new epoch's counts.
     pub fn clear(&self) {
-        for shard in &self.shards {
-            shard.lock().expect("cache shard lock").clear();
+        // Locking every shard first quiesces all lookups/inserts — their
+        // counter bumps happen under the shard lock — making the counter
+        // reset atomic with respect to cache traffic.
+        let mut guards: Vec<_> = self
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard lock"))
+            .collect();
+        self.generation.fetch_add(1, Ordering::AcqRel); // odd: in progress
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+        for shard in &mut guards {
+            shard.clear();
         }
+        self.generation.fetch_add(1, Ordering::AcqRel); // even: published
     }
 }
 
@@ -883,20 +976,176 @@ mod tests {
             CacheStats {
                 hits: 1,
                 misses: 0,
-                evictions: 0
+                evictions: 0,
+                generation: 0,
             }
         );
     }
 
     #[test]
-    fn clear_keeps_counters() {
+    fn clear_resets_counters_atomically_with_a_generation_bump() {
         let cache = StageCache::new();
         let key = key_n(2);
         cache.insert(key, sample_value());
-        let _ = cache.lookup(&key);
+        let _ = cache.lookup(&key); // hit
+        let before = cache.stats();
+        assert_eq!((before.hits, before.generation), (1, 0));
         cache.clear();
         assert!(cache.is_empty());
-        assert_eq!(cache.stats().hits, 1);
+        // Counters restart from zero in a new epoch.
+        let after = cache.stats();
+        assert_eq!(
+            (after.hits, after.misses, after.evictions, after.generation),
+            (0, 0, 0, 1)
+        );
         assert!(cache.lookup(&key).is_none());
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn delta_across_a_clear_reports_the_new_epoch_instead_of_masking() {
+        // A pre-clear snapshot must not turn the post-clear counts into
+        // a silent near-zero delta: saturating_sub would report 0 misses
+        // here and hide the regression.
+        let cache = StageCache::new();
+        for i in 0..5 {
+            let _ = cache.lookup(&key_n(i)); // 5 misses, epoch 0
+        }
+        let earlier = cache.stats();
+        assert_eq!(earlier.misses, 5);
+        cache.clear();
+        let _ = cache.lookup(&key_n(100)); // 1 miss, epoch 1
+        let _ = cache.lookup(&key_n(101)); // 1 miss, epoch 1
+        let delta = cache.stats().delta_since(&earlier);
+        assert_eq!(delta.misses, 2, "post-clear activity must be visible");
+        assert_eq!(delta.generation, 1);
+        // Hit rates derived from any snapshot stay within [0, 1].
+        assert!(delta.hit_rate() <= 1.0);
+    }
+
+    #[test]
+    fn negative_zero_slope_aliases_positive_zero_in_stage_keys() {
+        // -0.0 and +0.0 are the same physical (step) slope: the full
+        // StageKey — not just the bucket — must be identical, so the two
+        // encodings share one cache entry instead of duplicating the
+        // evaluation and reporting a spurious miss.
+        let at = |t: Seconds| {
+            StageKey::new(
+                7,
+                42,
+                t,
+                ModelKind::Slope,
+                TransistorKind::NEnhancement,
+                true,
+            )
+        };
+        assert_eq!(at(Seconds(-0.0)), at(Seconds(0.0)));
+        let cache = StageCache::new();
+        cache.insert(at(Seconds(0.0)), sample_value());
+        assert!(
+            cache.lookup(&at(Seconds(-0.0))).is_some(),
+            "-0.0 must hit the +0.0 entry"
+        );
+        // The same aliasing holds for keys built through the cache's
+        // configured bucketing (both exact and quantized).
+        let quantized = StageCache::with_config(
+            1024,
+            SlopeBucketing::Quantized {
+                width: Seconds(1e-9),
+            },
+        );
+        let qkey = |t: Seconds| {
+            quantized.key(
+                7,
+                42,
+                t,
+                ModelKind::Slope,
+                TransistorKind::NEnhancement,
+                true,
+            )
+        };
+        assert_eq!(qkey(Seconds(-0.0)), qkey(Seconds(0.0)));
+    }
+
+    #[test]
+    fn nan_slopes_collapse_to_one_hittable_key() {
+        // Every NaN payload is the same "meaningless slope": they must
+        // share one canonical key in both bucketing modes, so a poisoned
+        // evaluation is stored (and found) once instead of minting an
+        // unbounded family of unreachable entries.
+        let payloads = [
+            f64::NAN,
+            -f64::NAN,
+            f64::from_bits(0x7ff8_0000_0000_0001),
+            f64::from_bits(0xfff8_dead_beef_cafe),
+        ];
+        let quantized = SlopeBucketing::Quantized {
+            width: Seconds(1e-9),
+        };
+        for mode in [SlopeBucketing::Exact, quantized] {
+            let canonical = mode.bucket(Seconds(f64::NAN));
+            for &p in &payloads {
+                assert_eq!(mode.bucket(Seconds(p)), canonical, "{mode:?} payload {p:?}");
+            }
+            // NaN never aliases a real slope.
+            assert_ne!(canonical, mode.bucket(Seconds(0.0)), "{mode:?}");
+            assert_ne!(canonical, mode.bucket(Seconds(1e-9)), "{mode:?}");
+        }
+        // Insertion under one NaN payload is found under another.
+        let cache = StageCache::new();
+        let at = |t: Seconds| {
+            cache.key(
+                7,
+                42,
+                t,
+                ModelKind::Slope,
+                TransistorKind::NEnhancement,
+                true,
+            )
+        };
+        cache.insert(at(Seconds(f64::NAN)), sample_value());
+        assert!(cache
+            .lookup(&at(Seconds(f64::from_bits(0x7ff8_0000_0000_0001))))
+            .is_some());
+    }
+
+    #[test]
+    fn concurrent_clear_never_yields_inconsistent_snapshots() {
+        use std::sync::Arc;
+        // Hammer the cache from worker threads while clearing from the
+        // main thread; every snapshot must be internally consistent
+        // (hit rate within [0, 1] — impossible to violate if hits and
+        // misses come from one epoch).
+        let cache = Arc::new(StageCache::new());
+        let stop = Arc::new(AtomicU64::new(0));
+        let workers: Vec<_> = (0..3)
+            .map(|w| {
+                let cache = Arc::clone(&cache);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut i = 0u64;
+                    while stop.load(Ordering::Relaxed) == 0 {
+                        let key = key_n(w * 1000 + (i % 64));
+                        if cache.lookup(&key).is_none() {
+                            cache.insert(key, sample_value());
+                        }
+                        i += 1;
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..200 {
+            let s = cache.stats();
+            assert!(s.hit_rate() <= 1.0);
+            cache.clear();
+            let cleared = cache.stats();
+            // Immediately after our clear, only lookups that completed
+            // in the new epoch may be visible.
+            assert!(cleared.generation >= 1);
+        }
+        stop.store(1, Ordering::Relaxed);
+        for w in workers {
+            w.join().expect("worker");
+        }
     }
 }

@@ -67,11 +67,14 @@ pub enum Phase {
     /// Durable execution: journal appends, resume skips, watchdog
     /// timeouts, retries, and quarantines.
     Durable,
+    /// Incremental re-analysis: netlist diffing, dependency-index
+    /// invalidation, and arrival replay.
+    Incremental,
 }
 
 impl Phase {
     /// Every phase, in reporting order.
-    pub const ALL: [Phase; 9] = [
+    pub const ALL: [Phase; 10] = [
         Phase::Logic,
         Phase::Extraction,
         Phase::Evaluation,
@@ -81,6 +84,7 @@ impl Phase {
         Phase::Batch,
         Phase::Check,
         Phase::Durable,
+        Phase::Incremental,
     ];
 
     /// The stable lowercase name used in JSON events and metrics rows.
@@ -95,6 +99,7 @@ impl Phase {
             Phase::Batch => "batch",
             Phase::Check => "check",
             Phase::Durable => "durable",
+            Phase::Incremental => "incremental",
         }
     }
 }

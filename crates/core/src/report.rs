@@ -87,6 +87,19 @@ pub fn full_report(net: &Network, result: &TimingResult) -> String {
             stats.hit_rate() * 100.0
         );
     }
+    // Likewise, only results produced by an incremental re-analysis
+    // carry invalidation accounting.
+    if let Some(inc) = result.incremental() {
+        let _ = writeln!(
+            out,
+            "incremental: {} target(s)/{} stage(s) re-evaluated, {} target(s)/{} stage(s) reused, {} round(s)",
+            inc.invalidated_targets,
+            inc.invalidated_stages,
+            inc.reused_targets,
+            inc.reused_stages,
+            inc.rounds
+        );
+    }
     out
 }
 
@@ -245,6 +258,41 @@ mod tests {
         assert!(text.contains("stage cache:"), "{text}");
         assert!(text.contains("hit rate"), "{text}");
         // 4 arrivals + 2 headers + 1 cache line.
+        assert_eq!(text.lines().count(), 7);
+    }
+
+    #[test]
+    fn full_report_appends_incremental_line_only_after_edits() {
+        use crate::analyzer::AnalyzerOptions;
+        use crate::incremental::IncrementalAnalyzer;
+        use mosnet::diff::Edit;
+        use mosnet::Geometry;
+        let net = inverter_chain(Style::Cmos, 3, 1.0, Farads::from_femto(100.0)).unwrap();
+        let inp = net.node_by_name("in").unwrap();
+        let scenario = Scenario::step(inp, Edge::Rising);
+        let mut analyzer = IncrementalAnalyzer::new(
+            net,
+            Technology::nominal(),
+            ModelKind::Slope,
+            vec![("t".to_string(), scenario)],
+            AnalyzerOptions::default(),
+        )
+        .unwrap();
+        // The initial full analysis carries no incremental accounting.
+        let text = full_report(analyzer.network(), analyzer.result("t").unwrap());
+        assert!(!text.contains("incremental:"), "{text}");
+        analyzer
+            .apply_edit(&Edit::Resize {
+                gate: "s2".to_string(),
+                source: "out".to_string(),
+                drain: "gnd".to_string(),
+                geometry: Geometry::from_microns(6.0, 2.0),
+            })
+            .unwrap();
+        let text = full_report(analyzer.network(), analyzer.result("t").unwrap());
+        assert!(text.contains("incremental:"), "{text}");
+        assert!(text.contains("reused"), "{text}");
+        // 4 arrivals + 2 headers + 1 incremental line.
         assert_eq!(text.lines().count(), 7);
     }
 }

@@ -182,6 +182,20 @@ pub enum Divergence {
         /// What disagreed (digest, summary, or outcome).
         detail: String,
     },
+    /// An incremental re-analysis differed from a fresh full analysis of
+    /// the same edited network (see [`check_incremental`]).
+    Incremental {
+        /// Scenario label.
+        scenario: String,
+        /// The model being audited.
+        model: ModelKind,
+        /// 1-based index of the edit after which the divergence appeared
+        /// (0 = before any edit, right after session construction).
+        edit: usize,
+        /// Which session variant diverged (`serial`, `parallel`,
+        /// `cache-cold`, `cache-warm`).
+        leg: &'static str,
+    },
 }
 
 impl fmt::Display for Divergence {
@@ -227,6 +241,16 @@ impl fmt::Display for Divergence {
             Divergence::Resume { scenario, detail } => {
                 write!(f, "[{scenario}] resumed journal record: {detail}")
             }
+            Divergence::Incremental {
+                scenario,
+                model,
+                edit,
+                leg,
+            } => write!(
+                f,
+                "[{scenario}] {model}: incremental {leg} session differs from fresh \
+                 full analysis after edit {edit}"
+            ),
         }
     }
 }
@@ -522,6 +546,152 @@ pub fn check_resume_equivalence(
     }
     if let Some(t) = trace {
         t.count(Phase::Check, "resume_comparisons", report.checks_run as u64);
+        t.count(Phase::Check, "divergences", report.divergences.len() as u64);
+    }
+    report
+}
+
+/// Audits the incremental engine over a scripted edit sequence: four
+/// independent [`IncrementalAnalyzer`](crate::incremental::IncrementalAnalyzer)
+/// sessions — serial, parallel
+/// (`config.threads`), cold shared cache, and a cache pre-warmed by a
+/// full pass over every scenario — apply the same edits, and after every
+/// edit (plus once right after construction) each session's result for
+/// every scenario must be **bit-identical** to a fresh serial, uncached
+/// full analysis of the edited network. Any mismatch, and any leg that
+/// errors where the reference succeeds, is a divergence.
+pub fn check_incremental(
+    net: &Network,
+    tech: &Technology,
+    model: ModelKind,
+    scenarios: &[(String, Scenario)],
+    edits: &[mosnet::diff::Edit],
+    config: &SelfCheckConfig,
+) -> SelfCheckReport {
+    use crate::incremental::IncrementalAnalyzer;
+    let trace = config.trace.as_deref();
+    let mut report = SelfCheckReport::default();
+    let base = AnalyzerOptions {
+        threads: 1,
+        cache: None,
+        trace: config.trace.clone(),
+        ..AnalyzerOptions::default()
+    };
+    let warm_cache = Arc::new(StageCache::new());
+    for (_, scenario) in scenarios {
+        // Pre-warm: one full pass per scenario; errors surface later via
+        // the session itself.
+        let _ = analyze_with_options(
+            net,
+            tech,
+            model,
+            scenario,
+            AnalyzerOptions {
+                cache: Some(Arc::clone(&warm_cache)),
+                ..base.clone()
+            },
+        );
+    }
+    let variants: [(&'static str, AnalyzerOptions); 4] = [
+        ("serial", base.clone()),
+        (
+            "parallel",
+            AnalyzerOptions {
+                threads: config.threads,
+                ..base.clone()
+            },
+        ),
+        (
+            "cache-cold",
+            AnalyzerOptions {
+                cache: Some(Arc::new(StageCache::new())),
+                ..base.clone()
+            },
+        ),
+        (
+            "cache-warm",
+            AnalyzerOptions {
+                cache: Some(warm_cache),
+                ..base.clone()
+            },
+        ),
+    ];
+    for (leg, options) in variants {
+        let _span = trace.map(|t| {
+            let mut span = t.span(Phase::Check, "incremental");
+            span.field("leg", leg);
+            span
+        });
+        let mut session = match IncrementalAnalyzer::new(
+            net.clone(),
+            tech.clone(),
+            model,
+            scenarios.to_vec(),
+            options,
+        ) {
+            Ok(session) => session,
+            Err(e) => {
+                report.divergences.push(Divergence::Failed {
+                    scenario: format!("incremental {leg} session"),
+                    model,
+                    leg: "incremental-init",
+                    error: e.to_string(),
+                });
+                continue;
+            }
+        };
+        // Edit 0 is the freshly built session; then one audit per edit.
+        let audit = |session: &IncrementalAnalyzer, edit: usize, report: &mut SelfCheckReport| {
+            for (label, _) in scenarios {
+                report.checks_run += 1;
+                let reference = session.scenario(label).and_then(|scenario| {
+                    analyze_with_options(
+                        session.network(),
+                        tech,
+                        model,
+                        &scenario,
+                        AnalyzerOptions {
+                            trace: config.trace.clone(),
+                            ..AnalyzerOptions::default()
+                        },
+                    )
+                });
+                let diverged = match (session.result(label), &reference) {
+                    (Some(incremental), Ok(fresh)) => incremental != fresh,
+                    _ => true,
+                };
+                if diverged {
+                    report.divergences.push(Divergence::Incremental {
+                        scenario: label.clone(),
+                        model,
+                        edit,
+                        leg,
+                    });
+                }
+            }
+        };
+        audit(&session, 0, &mut report);
+        for (i, edit) in edits.iter().enumerate() {
+            match session.apply_edit(edit) {
+                Ok(_) => audit(&session, i + 1, &mut report),
+                Err(e) => {
+                    report.divergences.push(Divergence::Failed {
+                        scenario: format!("edit {}", i + 1),
+                        model,
+                        leg: "incremental-edit",
+                        error: e.to_string(),
+                    });
+                    break;
+                }
+            }
+        }
+    }
+    if let Some(t) = trace {
+        t.count(
+            Phase::Check,
+            "incremental_comparisons",
+            report.checks_run as u64,
+        );
         t.count(Phase::Check, "divergences", report.divergences.len() as u64);
     }
     report
@@ -910,6 +1080,50 @@ mod tests {
             report.checks_run as u64
         );
         assert!(metrics.phase_total_ns(Phase::Check) > 0);
+    }
+
+    #[test]
+    fn incremental_sessions_match_full_analysis() {
+        use mosnet::diff::Edit;
+        use mosnet::Geometry;
+        let tech = Technology::nominal();
+        let net = carry_chain(Style::Cmos, 4, Farads::from_femto(60.0)).unwrap();
+        let statics: HashMap<NodeId, bool> = net
+            .inputs()
+            .into_iter()
+            .map(|n| (n, net.node(n).name().starts_with('p')))
+            .collect();
+        let scenarios: Vec<(String, Scenario)> =
+            standard_scenarios(&net, &statics, Seconds::from_nanos(0.2))
+                .into_iter()
+                .filter(|(label, _)| label == "cin rise" || label == "g2 rise")
+                .collect();
+        assert_eq!(scenarios.len(), 2);
+        let edits = vec![
+            Edit::Resize {
+                gate: "p2".into(),
+                source: "c1".into(),
+                drain: "c2".into(),
+                geometry: Geometry::from_microns(6.0, 2.0),
+            },
+            Edit::SetCapacitance {
+                node: "c3".into(),
+                capacitance: Farads::from_femto(35.0),
+            },
+            Edit::Remove {
+                gate: "g4".into(),
+                source: "cout".into(),
+                drain: "gnd".into(),
+            },
+        ];
+        let config = SelfCheckConfig {
+            threads: 4,
+            ..SelfCheckConfig::default()
+        };
+        let report = check_incremental(&net, &tech, ModelKind::Slope, &scenarios, &edits, &config);
+        assert!(report.ok(), "{}", report.render());
+        // 4 session variants × 2 scenarios × (1 initial + 3 edits).
+        assert_eq!(report.checks_run, 4 * 2 * 4);
     }
 
     #[test]

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod diff;
 pub mod error;
 pub mod generators;
 pub mod graph;
@@ -47,6 +48,7 @@ pub mod transistor;
 pub mod units;
 pub mod validate;
 
+pub use diff::{Edit, NetworkDiff, TransistorDesc};
 pub use error::NetworkError;
 pub use network::{Network, NetworkBuilder};
 pub use node::{Node, NodeId, NodeKind};

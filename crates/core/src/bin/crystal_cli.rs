@@ -16,6 +16,10 @@
 //! crystal-cli spice  <file.sim>
 //! crystal-cli watch  <file.sim> [--edits SCRIPT [--selfcheck]] [--once]
 //!                    [--set NAME=0|1]... [--input NAME] [--edge ...]
+//! crystal-cli serve  [--addr HOST:PORT] [--max-sessions N] [--max-inflight N]
+//!                    [--journal-dir DIR [--resume]] [--request-timeout MS]
+//!                    [--chaos-ops] [--tech FILE]
+//! crystal-cli client [--addr HOST:PORT] [--script FILE]
 //! ```
 //!
 //! `report`, `sweep`, `batch`, `check` and `watch` accept `--trace FILE`
@@ -37,6 +41,14 @@
 //! failures climb a bounded retry ladder before being quarantined as
 //! poisoned records. `SIGINT`/`SIGTERM` drain gracefully.
 //!
+//! `serve` hosts concurrent journal-backed incremental sessions over a
+//! JSON-lines TCP protocol with admission control, per-request
+//! deadlines, panic isolation, and crash-safe `--resume` recovery (see
+//! the `crystal::server` module docs for the protocol and the
+//! status-to-exit-code table). `client` replays a request script
+//! against a daemon and exits with the analog of the last response's
+//! status.
+//!
 //! ## Exit codes
 //!
 //! | code | meaning |
@@ -50,6 +62,7 @@
 //! | 6 | scenario poisoned (retry ladder exhausted) |
 //! | 7 | I/O error (unreadable input, unwritable trace/journal) |
 //! | 8 | interrupted (graceful shutdown drained the batch early) |
+//! | 9 | overloaded (`client`: the daemon shed the last request) |
 
 use crystal::analyzer::{analyze_with_options, AnalyzerOptions, Edge, Scenario};
 use crystal::batch::run_batch;
@@ -57,6 +70,8 @@ use crystal::budget::AnalysisBudget;
 use crystal::durable::{
     install_signal_handlers, run_durable, DurableOptions, FailureKind, Outcome, ShutdownFlag,
 };
+use crystal::editscript::parse_edit_script;
+use crystal::fingerprint::escape_json_into;
 use crystal::incremental::IncrementalAnalyzer;
 use crystal::memo::StageCache;
 use crystal::models::ModelKind;
@@ -65,17 +80,18 @@ use crystal::report::{critical_path_report, full_report};
 use crystal::selfcheck::{
     check_incremental, check_network, check_resume_equivalence, standard_scenarios, SelfCheckConfig,
 };
+use crystal::server::{serve, ServerOptions, Status};
 use crystal::sweep::{
     sweep_exhaustive_with_options, sweep_inputs_with_options, MAX_EXHAUSTIVE_INPUTS,
 };
 use crystal::tech::Technology;
 use crystal::TimingError;
-use mosnet::diff::{Edit, TransistorDesc};
-use mosnet::units::{Farads, Seconds};
-use mosnet::{sim_format, spice_format, validate, Geometry, Network, NodeId, TransistorKind};
+use mosnet::units::Seconds;
+use mosnet::{sim_format, spice_format, validate, Network, NodeId};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::fs;
+use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -93,6 +109,9 @@ enum ExitKind {
     Poisoned,
     Io,
     Interrupted,
+    /// Server-only: admission control shed the request (`client` exits
+    /// with the analog of the last response's protocol status).
+    Overloaded,
 }
 
 impl ExitKind {
@@ -106,6 +125,23 @@ impl ExitKind {
             ExitKind::Poisoned => 6,
             ExitKind::Io => 7,
             ExitKind::Interrupted => 8,
+            ExitKind::Overloaded => 9,
+        }
+    }
+
+    /// The exit classification of a protocol [`Status`] (`client`).
+    fn from_status(status: Status) -> Option<ExitKind> {
+        match status {
+            Status::Ok => None,
+            Status::ParseError => Some(ExitKind::Parse),
+            Status::Budget => Some(ExitKind::Budget),
+            Status::Divergence => Some(ExitKind::Divergence),
+            Status::Timeout => Some(ExitKind::Timeout),
+            Status::Poisoned => Some(ExitKind::Poisoned),
+            Status::Io => Some(ExitKind::Io),
+            Status::Interrupted => Some(ExitKind::Interrupted),
+            Status::Overloaded => Some(ExitKind::Overloaded),
+            _ => Some(ExitKind::Generic),
         }
     }
 }
@@ -156,6 +192,10 @@ fn main() -> ExitCode {
 
 const USAGE: &str =
     "usage: crystal-cli <lint|logic|report|sweep|batch|check|spice|watch> <file.sim> [options]
+       crystal-cli serve  [--addr HOST:PORT] [--max-sessions N] [--max-inflight N]
+                          [--journal-dir DIR [--resume]] [--request-timeout MS]
+                          [--chaos-ops] [--tech FILE] [--no-cache] [budget flags]
+       crystal-cli client [--addr HOST:PORT] [--script FILE]
   --input NAME          switching input (report)
   --edge rise|fall      input edge direction (report)
   --model lumped|rctree|slope   delay model (default slope)
@@ -196,8 +236,23 @@ const USAGE: &str =
                         serial/parallel and cold/warm-cache sessions;
                         any mismatch exits 4
   --once                watch: exit after the first processed file change
+  --addr HOST:PORT      serve/client: daemon address (default 127.0.0.1:7878;
+                        serve on port 0 picks a free port and prints it)
+  --max-sessions N      serve: concurrent session cap; opens past it are shed
+                        with an `overloaded` response (default 16)
+  --max-inflight N      serve: global in-flight request cap; excess work is
+                        shed with `overloaded` instead of queueing (default 4)
+  --journal-dir DIR     serve: per-session fsync'd journals for crash recovery
+                        (with --resume, sessions replay bit-identically)
+  --request-timeout MS  serve: default per-request deadline (a request's own
+                        `deadline_ms` field wins; 0 cancels immediately)
+  --chaos-ops           serve: enable the fault-injection `sleep`/`crash` ops
+  --script FILE         client: request script (default: stdin); lines:
+                        `open SESSION FILE [k=v...]`, `edit SESSION <edit-line>`,
+                        `report|batch|check|close SESSION`, `ping`, `stats`,
+                        `sleep MS`, `crash [SESSION]`, `wait MS`; `|` comments
 exit codes: 0 ok, 1 usage/other, 2 parse, 3 budget, 4 divergence,
-            5 timeout, 6 poisoned, 7 I/O, 8 interrupted
+            5 timeout, 6 poisoned, 7 I/O, 8 interrupted, 9 overloaded
 ";
 
 /// Parsed common options.
@@ -226,6 +281,13 @@ struct Options {
     edits: Option<String>,
     watch_selfcheck: bool,
     once: bool,
+    addr: String,
+    max_sessions: usize,
+    max_inflight: usize,
+    journal_dir: Option<PathBuf>,
+    request_timeout: Option<Duration>,
+    chaos_ops: bool,
+    script: Option<String>,
 }
 
 impl Options {
@@ -304,6 +366,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         edits: None,
         watch_selfcheck: false,
         once: false,
+        addr: "127.0.0.1:7878".to_string(),
+        max_sessions: 16,
+        max_inflight: 4,
+        journal_dir: None,
+        request_timeout: None,
+        chaos_ops: false,
+        script: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -409,6 +478,28 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 options.retry_backoff = Duration::from_secs_f64(ms / 1e3);
             }
             "--selfcheck-resume" => options.selfcheck_resume = true,
+            "--addr" => options.addr = value("--addr")?,
+            "--max-sessions" => {
+                options.max_sessions = value("--max-sessions")?
+                    .parse()
+                    .map_err(|_| "cannot parse --max-sessions".to_string())?;
+            }
+            "--max-inflight" => {
+                options.max_inflight = value("--max-inflight")?
+                    .parse()
+                    .map_err(|_| "cannot parse --max-inflight".to_string())?;
+            }
+            "--journal-dir" => {
+                options.journal_dir = Some(PathBuf::from(value("--journal-dir")?));
+            }
+            "--request-timeout" => {
+                let ms: u64 = value("--request-timeout")?
+                    .parse()
+                    .map_err(|_| "cannot parse --request-timeout".to_string())?;
+                options.request_timeout = Some(Duration::from_millis(ms));
+            }
+            "--chaos-ops" => options.chaos_ops = true,
+            "--script" => options.script = Some(value("--script")?),
             "--edits" => options.edits = Some(value("--edits")?),
             "--selfcheck" => options.watch_selfcheck = true,
             "--once" => options.once = true,
@@ -465,6 +556,12 @@ fn resolve(net: &Network, name: &str) -> Result<NodeId, String> {
 /// Runs a full CLI invocation; returns the stdout text.
 fn run(args: &[String]) -> Result<String, CliError> {
     let (command, rest) = args.split_first().ok_or(USAGE.to_string())?;
+    // The daemon commands take no netlist file — sessions upload theirs.
+    match command.as_str() {
+        "serve" => return run_serve(rest),
+        "client" => return run_client(rest),
+        _ => {}
+    }
     let (path, rest) = rest
         .split_first()
         .ok_or_else(|| format!("`{command}` needs a netlist file\n{USAGE}"))?;
@@ -887,83 +984,207 @@ fn run_watch_loop(
     }
 }
 
-/// Parses a `watch --edits` script: one edit per line, `|` starts a
-/// comment, blank lines are skipped.
-///
-/// ```text
-/// resize GATE SOURCE DRAIN W_UM L_UM  | re-size the matching device(s)
-/// cap NODE FEMTOFARADS                | set a node's explicit capacitance
-/// add n|p|d GATE SOURCE DRAIN W_UM L_UM
-/// remove GATE SOURCE DRAIN
-/// ```
-fn parse_edit_script(text: &str) -> Result<Vec<Edit>, String> {
-    let mut edits = Vec::new();
-    for (idx, raw) in text.lines().enumerate() {
+// The `watch --edits` / server edit-script grammar lives in
+// `crystal::editscript` (the server journals the same text verbatim).
+
+/// The `serve` command: start the timing-analysis daemon, print the
+/// bound address (parsed by scripts when `--addr` ends in `:0`), block
+/// until a `SIGINT`/`SIGTERM` drain, then print the final counters.
+fn run_serve(args: &[String]) -> Result<String, CliError> {
+    let options = parse_options(args)?;
+    install_signal_handlers();
+    let tech = load_technology(&options)?;
+    let sink = options.trace_sink();
+    let server_options = ServerOptions {
+        addr: options.addr.clone(),
+        max_sessions: options.max_sessions,
+        max_inflight: options.max_inflight,
+        journal_dir: options.journal_dir.clone(),
+        resume: options.resume,
+        request_timeout: options.request_timeout,
+        budget: options.budget,
+        tech,
+        threads: options.threads,
+        cache: if options.no_cache {
+            None
+        } else {
+            Some(Arc::new(StageCache::new()))
+        },
+        trace: sink.clone(),
+        shutdown: ShutdownFlag::new(),
+        chaos_ops: options.chaos_ops,
+    };
+    let handle = serve(server_options)
+        .map_err(|e| CliError::new(ExitKind::Io, format!("cannot start server: {e}")))?;
+
+    // Streamed (not returned) so scripts can read the port immediately.
+    println!("crystal-cli: listening on {}", handle.addr());
+    for id in &handle.recovery().recovered {
+        println!("crystal-cli: recovered session `{id}`");
+    }
+    for (path, reason) in &handle.recovery().failed {
+        eprintln!(
+            "crystal-cli: skipped journal `{}`: {reason}",
+            path.display()
+        );
+    }
+    let _ = std::io::stdout().flush();
+
+    let stats = handle.join();
+    let mut out = format!(
+        "drained: {} connection(s), {} request(s), {} shed, {} cancelled, \
+         {} panic(s), {} interrupted, {} session(s) recovered\n",
+        stats.accepted,
+        stats.requests,
+        stats.shed,
+        stats.cancelled,
+        stats.panics,
+        stats.interrupted,
+        stats.recovered,
+    );
+    options.emit_observability(&mut out, &sink)?;
+    Ok(out)
+}
+
+/// The `client` command: replay a request script against a daemon,
+/// streaming raw response lines to stdout. The process exit code is the
+/// exit analog of the **last** response's protocol status, so shell
+/// scripts compose with the daemon exactly like with `batch`.
+fn run_client(args: &[String]) -> Result<String, CliError> {
+    use std::io::{BufRead as _, BufReader, Read as _};
+
+    let options = parse_options(args)?;
+    let script = match options.script.as_deref() {
+        Some(path) => fs::read_to_string(path)
+            .map_err(|e| CliError::new(ExitKind::Io, format!("cannot read `{path}`: {e}")))?,
+        None => {
+            let mut text = String::new();
+            std::io::stdin()
+                .read_to_string(&mut text)
+                .map_err(|e| CliError::new(ExitKind::Io, format!("cannot read stdin: {e}")))?;
+            text
+        }
+    };
+    let stream = std::net::TcpStream::connect(&options.addr).map_err(|e| {
+        CliError::new(
+            ExitKind::Io,
+            format!("cannot connect to `{}`: {e}", options.addr),
+        )
+    })?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| CliError::new(ExitKind::Io, format!("cannot clone connection: {e}")))?;
+    let mut reader = BufReader::new(stream);
+
+    let mut out = String::new();
+    let mut last_status = Status::Ok;
+    for (index, raw) in script.lines().enumerate() {
         let line = raw.split('|').next().unwrap_or("").trim();
         if line.is_empty() {
             continue;
         }
-        let err = |msg: String| format!("edit script line {}: {msg}", idx + 1);
-        let parts: Vec<&str> = line.split_whitespace().collect();
-        let micron = |s: &str, what: &str| -> Result<f64, String> {
-            let v: f64 = s
+        let err = |msg: String| CliError::from(format!("client script line {}: {msg}", index + 1));
+        // `wait MS` is client-side pacing, not a request.
+        if let Some(ms) = line.strip_prefix("wait ") {
+            let ms: u64 = ms
+                .trim()
                 .parse()
-                .map_err(|_| err(format!("cannot parse {what} `{s}`")))?;
-            if !(v > 0.0 && v.is_finite()) {
-                return Err(err(format!("{what} must be positive, got `{s}`")));
-            }
-            Ok(v)
-        };
-        let edit = match parts.as_slice() {
-            ["resize", gate, source, drain, w, l] => Edit::Resize {
-                gate: gate.to_string(),
-                source: source.to_string(),
-                drain: drain.to_string(),
-                geometry: Geometry::from_microns(micron(w, "width")?, micron(l, "length")?),
-            },
-            ["cap", node, femto] => {
-                let v: f64 = femto
-                    .parse()
-                    .map_err(|_| err(format!("cannot parse capacitance `{femto}`")))?;
-                if !(v >= 0.0 && v.is_finite()) {
-                    return Err(err(format!(
-                        "capacitance must be non-negative, got `{femto}`"
-                    )));
-                }
-                Edit::SetCapacitance {
-                    node: node.to_string(),
-                    capacitance: Farads::from_femto(v),
-                }
-            }
-            ["add", kind, gate, source, drain, w, l] => {
-                let kind = match *kind {
-                    "n" => TransistorKind::NEnhancement,
-                    "p" => TransistorKind::PEnhancement,
-                    "d" => TransistorKind::Depletion,
-                    other => return Err(err(format!("unknown device kind `{other}`"))),
-                };
-                Edit::Add(TransistorDesc {
-                    kind,
-                    gate: gate.to_string(),
-                    source: source.to_string(),
-                    drain: drain.to_string(),
-                    geometry: Geometry::from_microns(micron(w, "width")?, micron(l, "length")?),
-                })
-            }
-            ["remove", gate, source, drain] => Edit::Remove {
-                gate: gate.to_string(),
-                source: source.to_string(),
-                drain: drain.to_string(),
-            },
-            _ => {
-                return Err(err(format!(
-                    "expected `resize`, `cap`, `add` or `remove`, got `{line}`"
-                )))
-            }
-        };
-        edits.push(edit);
+                .map_err(|_| err(format!("cannot parse wait `{}`", ms.trim())))?;
+            std::thread::sleep(Duration::from_millis(ms));
+            continue;
+        }
+        let request = client_request(line).map_err(err)?;
+        writer
+            .write_all(request.as_bytes())
+            .and_then(|_| writer.write_all(b"\n"))
+            .and_then(|_| writer.flush())
+            .map_err(|e| CliError::new(ExitKind::Io, format!("cannot send request: {e}")))?;
+        let mut response = String::new();
+        let n = reader
+            .read_line(&mut response)
+            .map_err(|e| CliError::new(ExitKind::Io, format!("cannot read response: {e}")))?;
+        if n == 0 {
+            return Err(CliError::new(
+                ExitKind::Io,
+                format!("{out}server closed the connection"),
+            ));
+        }
+        let response = response.trim_end();
+        let _ = writeln!(out, "{response}");
+        last_status = crystal::fingerprint::parse_json_object(response)
+            .and_then(|fields| fields.get("status").cloned())
+            .and_then(|name| Status::from_name(&name))
+            .unwrap_or(Status::Error);
     }
-    Ok(edits)
+    match ExitKind::from_status(last_status) {
+        None => Ok(out),
+        Some(kind) => Err(CliError::new(kind, out)),
+    }
+}
+
+/// Translates one client-script line into a wire request. The grammar
+/// mirrors the ops table in the `crystal::server` docs; trailing
+/// `key=value` words pass through as extra request fields (`model=`,
+/// `deadline_ms=`, `set=a=1`, ...).
+fn client_request(line: &str) -> Result<String, String> {
+    let mut request = String::from("{\"op\":\"");
+    let push_field = |request: &mut String, key: &str, value: &str| {
+        request.push_str("\",\"");
+        request.push_str(key);
+        request.push_str("\":\"");
+        let mut escaped = String::new();
+        escape_json_into(value, &mut escaped);
+        request.push_str(&escaped);
+    };
+    let push_extras = |request: &mut String, words: &[&str]| -> Result<(), String> {
+        for word in words {
+            let (key, value) = word
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, got `{word}`"))?;
+            let mut escaped = String::new();
+            escape_json_into(value, &mut escaped);
+            request.push_str(&format!("\",\"{key}\":\"{escaped}"));
+        }
+        Ok(())
+    };
+    let words: Vec<&str> = line.split_whitespace().collect();
+    match words.as_slice() {
+        ["ping"] => request.push_str("ping"),
+        ["stats"] => request.push_str("stats"),
+        ["open", session, file, extras @ ..] => {
+            let netlist = fs::read_to_string(file)
+                .map_err(|e| format!("cannot read netlist `{file}`: {e}"))?;
+            let name = file.rsplit('/').next().unwrap_or(file);
+            request.push_str("open");
+            push_field(&mut request, "session", session);
+            push_field(&mut request, "name", name);
+            push_field(&mut request, "netlist", &netlist);
+            push_extras(&mut request, extras)?;
+        }
+        ["edit", session, edit_line @ ..] if !edit_line.is_empty() => {
+            request.push_str("edit");
+            push_field(&mut request, "session", session);
+            push_field(&mut request, "script", &edit_line.join(" "));
+        }
+        [op @ ("report" | "batch" | "check" | "close"), session, extras @ ..] => {
+            request.push_str(op);
+            push_field(&mut request, "session", session);
+            push_extras(&mut request, extras)?;
+        }
+        ["sleep", ms, extras @ ..] => {
+            request.push_str("sleep");
+            push_field(&mut request, "ms", ms);
+            push_extras(&mut request, extras)?;
+        }
+        ["crash"] => request.push_str("crash"),
+        ["crash", session] => {
+            request.push_str("crash");
+            push_field(&mut request, "session", session);
+        }
+        _ => return Err(format!("cannot parse client command `{line}`")),
+    }
+    request.push_str("\"}");
+    Ok(request)
 }
 
 /// The `batch --journal` path: durable execution with checkpoint/resume,

@@ -40,7 +40,7 @@ use crate::models::ModelKind;
 use crate::obs::{Phase, TraceSink};
 use crate::pool::ThreadPool;
 use crate::tech::Technology;
-use mosnet::{sim_format, Network};
+use mosnet::Network;
 use std::collections::HashMap;
 use std::fmt;
 use std::fs::{File, OpenOptions};
@@ -347,167 +347,20 @@ impl fmt::Display for DurableError {
 impl std::error::Error for DurableError {}
 
 // ---------------------------------------------------------------------------
-// Fingerprints and digests
+// Fingerprints and digests (shared helpers live in `crate::fingerprint`)
 // ---------------------------------------------------------------------------
 
-/// 64-bit FNV-1a, the same zero-dependency hash the memo cache uses.
-struct Fnv(u64);
+// Re-exported under their historical `durable::` paths: the fingerprint
+// code is shared with server sessions now and lives in one place.
+pub use crate::fingerprint::{
+    result_digest, run_fingerprint, run_fingerprint_parts, RunFingerprint,
+};
 
-impl Fnv {
-    fn new() -> Fnv {
-        Fnv(0xcbf2_9ce4_8422_2325)
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-
-    fn write_u64(&mut self, v: u64) {
-        self.write(&v.to_le_bytes());
-    }
-
-    fn finish(&self) -> u64 {
-        self.0
-    }
-}
-
-/// Content fingerprint of one durable run: netlist, technology, model,
-/// and the result-affecting analyzer options. Thread count, cache, trace
-/// sink, and cancel token are **excluded** — they never change arrivals,
-/// so a resume may use a different `--threads` and still match.
-pub fn run_fingerprint(
-    net: &Network,
-    tech: &Technology,
-    model: ModelKind,
-    options: &AnalyzerOptions,
-) -> u64 {
-    let mut h = Fnv::new();
-    h.write(sim_format::write(net).as_bytes());
-    h.write_u64(crate::memo::tech_stamp(tech));
-    h.write(format!("{model:?}").as_bytes());
-    h.write_u64(options.non_switching_cap_weight.to_bits());
-    h.write(format!("{:?}", options.mode).as_bytes());
-    h.write(&[u8::from(options.model_fallback)]);
-    let cap = |v: Option<usize>| v.map_or(u64::MAX, |n| n as u64);
-    h.write_u64(cap(options.budget.max_stage_evals));
-    h.write_u64(cap(options.budget.max_paths_per_node));
-    h.write_u64(
-        options
-            .budget
-            .deadline
-            .map_or(u64::MAX, |d| d.as_nanos() as u64),
-    );
-    h.finish()
-}
-
-/// A run fingerprint with optional per-input components.
-///
-/// The `combined` value is what pins a journal to a run (identical to
-/// [`run_fingerprint`]). The components, when present, let a resume
-/// mismatch *name its source*: a journal written with component
-/// fingerprints that is later opened against edited inputs reports
-/// whether the netlist, the technology, or the model/options changed
-/// instead of a generic mismatch. A bare `u64` converts into an opaque
-/// fingerprint with no components.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct RunFingerprint {
-    /// Combined fingerprint over every result-affecting input.
-    pub combined: u64,
-    /// Hash of the netlist content alone (its `.sim` text), if known.
-    pub netlist: Option<u64>,
-    /// Stamp of the technology description alone, if known.
-    pub tech: Option<u64>,
-    /// Hash of the delay model plus result-affecting analyzer options
-    /// alone, if known.
-    pub options: Option<u64>,
-}
-
-impl RunFingerprint {
-    /// A combined-only fingerprint whose mismatches cannot be attributed.
-    pub fn opaque(combined: u64) -> RunFingerprint {
-        RunFingerprint {
-            combined,
-            netlist: None,
-            tech: None,
-            options: None,
-        }
-    }
-}
-
-impl From<u64> for RunFingerprint {
-    fn from(combined: u64) -> RunFingerprint {
-        RunFingerprint::opaque(combined)
-    }
-}
-
-/// [`run_fingerprint`] plus per-input component fingerprints, so a later
-/// resume against edited inputs can name which input changed.
-pub fn run_fingerprint_parts(
-    net: &Network,
-    tech: &Technology,
-    model: ModelKind,
-    options: &AnalyzerOptions,
-) -> RunFingerprint {
-    let mut net_hash = Fnv::new();
-    net_hash.write(sim_format::write(net).as_bytes());
-    let mut opt_hash = Fnv::new();
-    opt_hash.write(format!("{model:?}").as_bytes());
-    opt_hash.write_u64(options.non_switching_cap_weight.to_bits());
-    opt_hash.write(format!("{:?}", options.mode).as_bytes());
-    opt_hash.write(&[u8::from(options.model_fallback)]);
-    let cap = |v: Option<usize>| v.map_or(u64::MAX, |n| n as u64);
-    opt_hash.write_u64(cap(options.budget.max_stage_evals));
-    opt_hash.write_u64(cap(options.budget.max_paths_per_node));
-    opt_hash.write_u64(
-        options
-            .budget
-            .deadline
-            .map_or(u64::MAX, |d| d.as_nanos() as u64),
-    );
-    RunFingerprint {
-        combined: run_fingerprint(net, tech, model, options),
-        netlist: Some(net_hash.finish()),
-        tech: Some(crate::memo::tech_stamp(tech)),
-        options: Some(opt_hash.finish()),
-    }
-}
-
-/// FNV-1a digest over a result's arrivals — exact bit patterns of every
-/// `(node, time, transition, edge, model)` row in node-name order. Two
-/// results digest equal iff the analyses are bit-identical, which is the
-/// property resume and the resume-equivalence self-check verify.
-pub fn result_digest(net: &Network, result: &TimingResult) -> u64 {
-    let mut rows: Vec<(String, u64, u64, bool, String)> = result
-        .arrivals()
-        .map(|(id, a)| {
-            (
-                net.node(id).name().to_string(),
-                a.time.value().to_bits(),
-                a.transition.value().to_bits(),
-                a.edge == crate::analyzer::Edge::Rising,
-                a.model.to_string(),
-            )
-        })
-        .collect();
-    rows.sort();
-    let mut h = Fnv::new();
-    for (name, time, transition, rising, model) in rows {
-        h.write(name.as_bytes());
-        h.write(&[0]);
-        h.write_u64(time);
-        h.write_u64(transition);
-        h.write(&[u8::from(rising)]);
-        h.write(model.as_bytes());
-        h.write(&[0]);
-    }
-    h.finish()
-}
+use crate::fingerprint::{escape_json_into as escape_json, parse_json_object};
 
 /// The CLI's per-scenario success line suffix (after `"{label}: "`),
-/// shared by the fresh path and the journal so replays are bit-identical.
+/// shared by the fresh path, the journal, and the server's report op so
+/// replays are bit-identical.
 pub fn scenario_summary(net: &Network, result: &TimingResult) -> String {
     match result.max_arrival() {
         Some((node, arrival)) => format!(
@@ -516,141 +369,6 @@ pub fn scenario_summary(net: &Network, result: &TimingResult) -> String {
             arrival.time.nanos()
         ),
         None => "ok, nothing switches".to_string(),
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Minimal JSON (the workspace is dependency-free)
-// ---------------------------------------------------------------------------
-
-fn escape_json(s: &str, out: &mut String) {
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-}
-
-/// Parses one flat JSON object of string/number/bool values into a
-/// string-valued map. Returns `None` on any malformation — the caller
-/// decides whether that is a torn tail or corruption.
-fn parse_json_object(line: &str) -> Option<HashMap<String, String>> {
-    let mut map = HashMap::new();
-    let bytes = line.as_bytes();
-    let mut i = 0usize;
-    let skip_ws = |i: &mut usize| {
-        while *i < bytes.len() && bytes[*i].is_ascii_whitespace() {
-            *i += 1;
-        }
-    };
-    let parse_string = |i: &mut usize| -> Option<String> {
-        if bytes.get(*i) != Some(&b'"') {
-            return None;
-        }
-        *i += 1;
-        let mut out = String::new();
-        loop {
-            match bytes.get(*i)? {
-                b'"' => {
-                    *i += 1;
-                    return Some(out);
-                }
-                b'\\' => {
-                    *i += 1;
-                    match bytes.get(*i)? {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b'r' => out.push('\r'),
-                        b't' => out.push('\t'),
-                        b'u' => {
-                            let hex = line.get(*i + 1..*i + 5)?;
-                            let code = u32::from_str_radix(hex, 16).ok()?;
-                            out.push(char::from_u32(code)?);
-                            *i += 4;
-                        }
-                        _ => return None,
-                    }
-                    *i += 1;
-                }
-                &b => {
-                    // Multi-byte UTF-8: copy the whole scalar.
-                    if b < 0x80 {
-                        out.push(b as char);
-                        *i += 1;
-                    } else {
-                        let s = &line[*i..];
-                        let c = s.chars().next()?;
-                        out.push(c);
-                        *i += c.len_utf8();
-                    }
-                }
-            }
-        }
-    };
-    skip_ws(&mut i);
-    if bytes.get(i) != Some(&b'{') {
-        return None;
-    }
-    i += 1;
-    skip_ws(&mut i);
-    if bytes.get(i) == Some(&b'}') {
-        i += 1;
-        skip_ws(&mut i);
-        return (i == bytes.len()).then_some(map);
-    }
-    loop {
-        skip_ws(&mut i);
-        let key = parse_string(&mut i)?;
-        skip_ws(&mut i);
-        if bytes.get(i) != Some(&b':') {
-            return None;
-        }
-        i += 1;
-        skip_ws(&mut i);
-        let value = match bytes.get(i)? {
-            b'"' => parse_string(&mut i)?,
-            b't' if line[i..].starts_with("true") => {
-                i += 4;
-                "true".to_string()
-            }
-            b'f' if line[i..].starts_with("false") => {
-                i += 5;
-                "false".to_string()
-            }
-            b'0'..=b'9' | b'-' => {
-                let start = i;
-                i += 1;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_digit()
-                        || matches!(bytes[i], b'.' | b'e' | b'E' | b'+' | b'-'))
-                {
-                    i += 1;
-                }
-                line[start..i].to_string()
-            }
-            _ => return None,
-        };
-        map.insert(key, value);
-        skip_ws(&mut i);
-        match bytes.get(i) {
-            Some(b',') => i += 1,
-            Some(b'}') => {
-                i += 1;
-                skip_ws(&mut i);
-                return (i == bytes.len()).then_some(map);
-            }
-            _ => return None,
-        }
     }
 }
 
@@ -906,14 +624,17 @@ fn record_from_fields(fields: &HashMap<String, String>) -> Option<ScenarioRecord
 /// `(deadline, token)` pair per attempt and clear it when the attempt
 /// finishes; the watchdog fires expired tokens and mirrors shutdown
 /// requests into the pool's dispatch-stop flag.
+///
+/// Shared with [`crate::server`], which registers one slot per in-flight
+/// request to enforce per-request deadlines.
 #[derive(Debug, Default)]
-struct Watchdog {
+pub(crate) struct Watchdog {
     slots: Mutex<Vec<Option<(Instant, CancelToken)>>>,
     done: AtomicBool,
 }
 
 impl Watchdog {
-    fn register(&self, deadline: Instant, token: CancelToken) -> usize {
+    pub(crate) fn register(&self, deadline: Instant, token: CancelToken) -> usize {
         let mut slots = self.slots.lock().expect("watchdog lock");
         if let Some(index) = slots.iter().position(Option::is_none) {
             slots[index] = Some((deadline, token));
@@ -924,15 +645,15 @@ impl Watchdog {
         }
     }
 
-    fn clear(&self, index: usize) {
+    pub(crate) fn clear(&self, index: usize) {
         self.slots.lock().expect("watchdog lock")[index] = None;
     }
 
-    fn finish(&self) {
+    pub(crate) fn finish(&self) {
         self.done.store(true, Ordering::Release);
     }
 
-    fn run(&self, shutdown: Option<&ShutdownFlag>, stop: &AtomicBool) {
+    pub(crate) fn run(&self, shutdown: Option<&ShutdownFlag>, stop: &AtomicBool) {
         while !self.done.load(Ordering::Acquire) {
             if let Some(flag) = shutdown {
                 if flag.is_requested() {
@@ -1349,6 +1070,7 @@ pub fn run_durable(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mosnet::sim_format;
     use std::sync::atomic::AtomicUsize;
 
     fn temp_journal(name: &str) -> PathBuf {

@@ -1,0 +1,127 @@
+//! The one-line edit grammar shared by `crystal-cli watch --edits` and
+//! the server's `edit` request.
+//!
+//! One edit per line, `|` starts a comment, blank lines are skipped:
+//!
+//! ```text
+//! resize GATE SOURCE DRAIN W_UM L_UM  | re-size the matching device(s)
+//! cap NODE FEMTOFARADS                | set a node's explicit capacitance
+//! add n|p|d GATE SOURCE DRAIN W_UM L_UM
+//! remove GATE SOURCE DRAIN
+//! ```
+//!
+//! The same text is journaled verbatim by [`crate::session`] so a
+//! recovered session replays exactly the edits the client sent: the
+//! grammar is the durable representation, not just the CLI surface.
+
+use mosnet::diff::{Edit, TransistorDesc};
+use mosnet::units::Farads;
+use mosnet::{Geometry, TransistorKind};
+
+/// Parses an edit script: one [`Edit`] per non-blank line.
+///
+/// Errors are prefixed with the 1-based line number inside the script
+/// (`"edit script line 3: …"`), which the CLI and the server both
+/// surface verbatim.
+pub fn parse_edit_script(text: &str) -> Result<Vec<Edit>, String> {
+    let mut edits = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('|').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: String| format!("edit script line {}: {msg}", idx + 1);
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        let micron = |s: &str, what: &str| -> Result<f64, String> {
+            let v: f64 = s
+                .parse()
+                .map_err(|_| err(format!("cannot parse {what} `{s}`")))?;
+            if !(v > 0.0 && v.is_finite()) {
+                return Err(err(format!("{what} must be positive, got `{s}`")));
+            }
+            Ok(v)
+        };
+        let edit = match parts.as_slice() {
+            ["resize", gate, source, drain, w, l] => Edit::Resize {
+                gate: gate.to_string(),
+                source: source.to_string(),
+                drain: drain.to_string(),
+                geometry: Geometry::from_microns(micron(w, "width")?, micron(l, "length")?),
+            },
+            ["cap", node, femto] => {
+                let v: f64 = femto
+                    .parse()
+                    .map_err(|_| err(format!("cannot parse capacitance `{femto}`")))?;
+                if !(v >= 0.0 && v.is_finite()) {
+                    return Err(err(format!(
+                        "capacitance must be non-negative, got `{femto}`"
+                    )));
+                }
+                Edit::SetCapacitance {
+                    node: node.to_string(),
+                    capacitance: Farads::from_femto(v),
+                }
+            }
+            ["add", kind, gate, source, drain, w, l] => {
+                let kind = match *kind {
+                    "n" => TransistorKind::NEnhancement,
+                    "p" => TransistorKind::PEnhancement,
+                    "d" => TransistorKind::Depletion,
+                    other => return Err(err(format!("unknown device kind `{other}`"))),
+                };
+                Edit::Add(TransistorDesc {
+                    kind,
+                    gate: gate.to_string(),
+                    source: source.to_string(),
+                    drain: drain.to_string(),
+                    geometry: Geometry::from_microns(micron(w, "width")?, micron(l, "length")?),
+                })
+            }
+            ["remove", gate, source, drain] => Edit::Remove {
+                gate: gate.to_string(),
+                source: source.to_string(),
+                drain: drain.to_string(),
+            },
+            _ => {
+                return Err(err(format!(
+                    "expected `resize`, `cap`, `add` or `remove`, got `{line}`"
+                )))
+            }
+        };
+        edits.push(edit);
+    }
+    Ok(edits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_edit_kind() {
+        let edits = parse_edit_script(
+            "| header comment\n\
+             resize a m gnd 4 2\n\
+             cap y 120   | bump the load\n\
+             add p a y vdd 8 2\n\
+             \n\
+             remove a m gnd\n",
+        )
+        .expect("parses");
+        assert_eq!(edits.len(), 4);
+        assert!(matches!(edits[0], Edit::Resize { .. }));
+        assert!(matches!(edits[1], Edit::SetCapacitance { .. }));
+        assert!(matches!(edits[2], Edit::Add(_)));
+        assert!(matches!(edits[3], Edit::Remove { .. }));
+    }
+
+    #[test]
+    fn errors_carry_the_line_number() {
+        let err = parse_edit_script("cap y 10\nbogus line here\n").expect_err("rejects");
+        assert!(err.contains("line 2"), "{err}");
+        let err = parse_edit_script("resize a m gnd -4 2").expect_err("rejects");
+        assert!(err.contains("width must be positive"), "{err}");
+        let err = parse_edit_script("add q a y vdd 8 2").expect_err("rejects");
+        assert!(err.contains("unknown device kind"), "{err}");
+    }
+}

@@ -1,0 +1,430 @@
+//! Shared run identity: content fingerprints, run IDs, result digests,
+//! and the minimal JSON-lines codec every journal and wire format uses.
+//!
+//! Three subsystems need to answer "is this the same run?" with bits:
+//!
+//! * [`crate::durable`] pins its journal to a [`run_fingerprint`] so a
+//!   resume against edited inputs is rejected instead of mixing results;
+//! * [`crate::session`] pins each server session journal to a
+//!   [`session`-style fingerprint](crate::session::Session) built from
+//!   the same hasher, and verifies replayed edits against recorded
+//!   [`result_digest`]s;
+//! * the [`crate::server`] wire protocol reports those digests to
+//!   clients so *they* can assert bit-identical recovery.
+//!
+//! Before this module existed the FNV-1a hasher and the flat JSON codec
+//! were private copies inside `durable` and `memo`; they live here once
+//! now, and `durable` re-exports its old names for compatibility.
+//!
+//! Everything here is dependency-free, like the rest of the workspace.
+
+use crate::analyzer::AnalyzerOptions;
+use crate::models::ModelKind;
+use crate::tech::Technology;
+use mosnet::{sim_format, Network};
+use std::collections::HashMap;
+
+/// FNV-1a 64-bit offset basis, shared with the memo cache's hashers.
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime, shared with the memo cache's hashers.
+pub(crate) const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A 64-bit FNV-1a content hash stream.
+///
+/// The zero-dependency hasher behind [`run_fingerprint`],
+/// [`result_digest`], the memo cache's stage fingerprints, and the
+/// session journal fingerprints. Deterministic across processes and
+/// platforms (no randomized state), which is what lets a journal written
+/// before a crash be verified by the process that resumes it.
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    /// A fresh stream at the FNV offset basis.
+    pub fn new() -> Fnv64 {
+        Fnv64(FNV_OFFSET)
+    }
+
+    /// Feeds one byte.
+    pub fn write_u8(&mut self, byte: u8) {
+        self.0 = (self.0 ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+    }
+
+    /// Feeds a byte slice.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
+    /// Feeds a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Feeds the exact bit pattern of an `f64` (no rounding, `-0.0` and
+    /// `0.0` hash differently — bit-identity is the point).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Fnv64 {
+        Fnv64::new()
+    }
+}
+
+/// Formats a fingerprint or digest the way every journal and wire
+/// message spells it: 16 lowercase hex digits, zero-padded.
+pub fn hex64(v: u64) -> String {
+    format!("{v:016x}")
+}
+
+/// Parses what [`hex64`] wrote (any hex string up to 16 digits).
+pub fn parse_hex64(s: &str) -> Option<u64> {
+    u64::from_str_radix(s, 16).ok()
+}
+
+/// A stable run identifier: `"{prefix}-{fingerprint:016x}"`.
+///
+/// Durable journals and server sessions both derive their identity from
+/// a content fingerprint; this helper gives that identity one printable
+/// spelling (`"run-3f9a…"`, `"session-90b1…"`) shared by journal
+/// headers, log lines, and protocol responses.
+pub fn run_id(prefix: &str, fingerprint: u64) -> String {
+    format!("{prefix}-{}", hex64(fingerprint))
+}
+
+/// Content fingerprint of one durable run: netlist, technology, model,
+/// and the result-affecting analyzer options. Thread count, cache, trace
+/// sink, and cancel token are **excluded** — they never change arrivals,
+/// so a resume may use a different `--threads` and still match.
+pub fn run_fingerprint(
+    net: &Network,
+    tech: &Technology,
+    model: ModelKind,
+    options: &AnalyzerOptions,
+) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(sim_format::write(net).as_bytes());
+    h.write_u64(crate::memo::tech_stamp(tech));
+    h.write(format!("{model:?}").as_bytes());
+    h.write_u64(options.non_switching_cap_weight.to_bits());
+    h.write(format!("{:?}", options.mode).as_bytes());
+    h.write(&[u8::from(options.model_fallback)]);
+    let cap = |v: Option<usize>| v.map_or(u64::MAX, |n| n as u64);
+    h.write_u64(cap(options.budget.max_stage_evals));
+    h.write_u64(cap(options.budget.max_paths_per_node));
+    h.write_u64(
+        options
+            .budget
+            .deadline
+            .map_or(u64::MAX, |d| d.as_nanos() as u64),
+    );
+    h.finish()
+}
+
+/// A run fingerprint with optional per-input components.
+///
+/// The `combined` value is what pins a journal to a run (identical to
+/// [`run_fingerprint`]). The components, when present, let a resume
+/// mismatch *name its source*: a journal written with component
+/// fingerprints that is later opened against edited inputs reports
+/// whether the netlist, the technology, or the model/options changed
+/// instead of a generic mismatch. A bare `u64` converts into an opaque
+/// fingerprint with no components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunFingerprint {
+    /// Combined fingerprint over every result-affecting input.
+    pub combined: u64,
+    /// Hash of the netlist content alone (its `.sim` text), if known.
+    pub netlist: Option<u64>,
+    /// Stamp of the technology description alone, if known.
+    pub tech: Option<u64>,
+    /// Hash of the delay model plus result-affecting analyzer options
+    /// alone, if known.
+    pub options: Option<u64>,
+}
+
+impl RunFingerprint {
+    /// A combined-only fingerprint whose mismatches cannot be attributed.
+    pub fn opaque(combined: u64) -> RunFingerprint {
+        RunFingerprint {
+            combined,
+            netlist: None,
+            tech: None,
+            options: None,
+        }
+    }
+}
+
+impl From<u64> for RunFingerprint {
+    fn from(combined: u64) -> RunFingerprint {
+        RunFingerprint::opaque(combined)
+    }
+}
+
+/// [`run_fingerprint`] plus per-input component fingerprints, so a later
+/// resume against edited inputs can name which input changed.
+pub fn run_fingerprint_parts(
+    net: &Network,
+    tech: &Technology,
+    model: ModelKind,
+    options: &AnalyzerOptions,
+) -> RunFingerprint {
+    let mut net_hash = Fnv64::new();
+    net_hash.write(sim_format::write(net).as_bytes());
+    let mut opt_hash = Fnv64::new();
+    opt_hash.write(format!("{model:?}").as_bytes());
+    opt_hash.write_u64(options.non_switching_cap_weight.to_bits());
+    opt_hash.write(format!("{:?}", options.mode).as_bytes());
+    opt_hash.write(&[u8::from(options.model_fallback)]);
+    let cap = |v: Option<usize>| v.map_or(u64::MAX, |n| n as u64);
+    opt_hash.write_u64(cap(options.budget.max_stage_evals));
+    opt_hash.write_u64(cap(options.budget.max_paths_per_node));
+    opt_hash.write_u64(
+        options
+            .budget
+            .deadline
+            .map_or(u64::MAX, |d| d.as_nanos() as u64),
+    );
+    RunFingerprint {
+        combined: run_fingerprint(net, tech, model, options),
+        netlist: Some(net_hash.finish()),
+        tech: Some(crate::memo::tech_stamp(tech)),
+        options: Some(opt_hash.finish()),
+    }
+}
+
+/// FNV-1a digest over a result's arrivals — exact bit patterns of every
+/// `(node, time, transition, edge, model)` row in node-name order. Two
+/// results digest equal iff the analyses are bit-identical, which is the
+/// property resume and the resume-equivalence self-check verify.
+pub fn result_digest(net: &Network, result: &crate::analyzer::TimingResult) -> u64 {
+    let mut rows: Vec<(String, u64, u64, bool, String)> = result
+        .arrivals()
+        .map(|(id, a)| {
+            (
+                net.node(id).name().to_string(),
+                a.time.value().to_bits(),
+                a.transition.value().to_bits(),
+                a.edge == crate::analyzer::Edge::Rising,
+                a.model.to_string(),
+            )
+        })
+        .collect();
+    rows.sort();
+    let mut h = Fnv64::new();
+    for (name, time, transition, rising, model) in rows {
+        h.write(name.as_bytes());
+        h.write(&[0]);
+        h.write_u64(time);
+        h.write_u64(transition);
+        h.write(&[u8::from(rising)]);
+        h.write(model.as_bytes());
+        h.write(&[0]);
+    }
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON (the workspace is dependency-free)
+// ---------------------------------------------------------------------------
+
+/// Appends `s` to `out` with JSON string escaping.
+pub fn escape_json_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// JSON string escaping, returning a fresh `String`.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    escape_json_into(s, &mut out);
+    out
+}
+
+/// Parses one flat JSON object of string/number/bool values into a
+/// string-valued map. Returns `None` on any malformation — the caller
+/// decides whether that is a torn tail, corruption, or a bad request.
+///
+/// This is the entire wire format of the [`crate::server`] protocol and
+/// the journal line format of [`crate::durable`] and [`crate::session`]:
+/// one flat object per line, no nesting, no arrays.
+pub fn parse_json_object(line: &str) -> Option<HashMap<String, String>> {
+    let mut map = HashMap::new();
+    let bytes = line.as_bytes();
+    let mut i = 0usize;
+    let skip_ws = |i: &mut usize| {
+        while *i < bytes.len() && bytes[*i].is_ascii_whitespace() {
+            *i += 1;
+        }
+    };
+    let parse_string = |i: &mut usize| -> Option<String> {
+        if bytes.get(*i) != Some(&b'"') {
+            return None;
+        }
+        *i += 1;
+        let mut out = String::new();
+        loop {
+            match bytes.get(*i)? {
+                b'"' => {
+                    *i += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    *i += 1;
+                    match bytes.get(*i)? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = line.get(*i + 1..*i + 5)?;
+                            let code = u32::from_str_radix(hex, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                            *i += 4;
+                        }
+                        _ => return None,
+                    }
+                    *i += 1;
+                }
+                &b => {
+                    // Multi-byte UTF-8: copy the whole scalar.
+                    if b < 0x80 {
+                        out.push(b as char);
+                        *i += 1;
+                    } else {
+                        let s = &line[*i..];
+                        let c = s.chars().next()?;
+                        out.push(c);
+                        *i += c.len_utf8();
+                    }
+                }
+            }
+        }
+    };
+    skip_ws(&mut i);
+    if bytes.get(i) != Some(&b'{') {
+        return None;
+    }
+    i += 1;
+    skip_ws(&mut i);
+    if bytes.get(i) == Some(&b'}') {
+        i += 1;
+        skip_ws(&mut i);
+        return (i == bytes.len()).then_some(map);
+    }
+    loop {
+        skip_ws(&mut i);
+        let key = parse_string(&mut i)?;
+        skip_ws(&mut i);
+        if bytes.get(i) != Some(&b':') {
+            return None;
+        }
+        i += 1;
+        skip_ws(&mut i);
+        let value = match bytes.get(i)? {
+            b'"' => parse_string(&mut i)?,
+            b't' if line[i..].starts_with("true") => {
+                i += 4;
+                "true".to_string()
+            }
+            b'f' if line[i..].starts_with("false") => {
+                i += 5;
+                "false".to_string()
+            }
+            b'0'..=b'9' | b'-' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit()
+                        || matches!(bytes[i], b'.' | b'e' | b'E' | b'+' | b'-'))
+                {
+                    i += 1;
+                }
+                line[start..i].to_string()
+            }
+            _ => return None,
+        };
+        map.insert(key, value);
+        skip_ws(&mut i);
+        match bytes.get(i) {
+            Some(b',') => i += 1,
+            Some(b'}') => {
+                i += 1;
+                skip_ws(&mut i);
+                return (i == bytes.len()).then_some(map);
+            }
+            _ => return None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv64_matches_reference_vectors() {
+        // Classic FNV-1a test vectors.
+        let hash = |s: &str| {
+            let mut h = Fnv64::new();
+            h.write(s.as_bytes());
+            h.finish()
+        };
+        assert_eq!(hash(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(hash("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(hash("foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn hex64_round_trips() {
+        for v in [0u64, 1, 0xdead_beef, u64::MAX] {
+            assert_eq!(parse_hex64(&hex64(v)), Some(v));
+        }
+        assert_eq!(parse_hex64("not hex"), None);
+    }
+
+    #[test]
+    fn run_id_is_prefix_plus_hex() {
+        assert_eq!(run_id("session", 0xab), "session-00000000000000ab");
+    }
+
+    #[test]
+    fn escape_and_parse_round_trip() {
+        let nasty = "line1\nline2\t\"quoted\" \\slash\\ μ";
+        let mut line = String::from("{\"k\":\"");
+        escape_json_into(nasty, &mut line);
+        line.push_str("\"}");
+        let map = parse_json_object(&line).expect("parses");
+        assert_eq!(map.get("k").map(String::as_str), Some(nasty));
+    }
+
+    #[test]
+    fn parse_rejects_trailing_garbage_and_nesting() {
+        assert!(parse_json_object("{\"a\":\"b\"} extra").is_none());
+        assert!(parse_json_object("{\"a\":{\"nested\":1}}").is_none());
+        assert!(parse_json_object("{\"a\":\"unterminated").is_none());
+        assert!(parse_json_object("{}").is_some());
+    }
+}

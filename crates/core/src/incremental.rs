@@ -208,6 +208,27 @@ impl IncrementalAnalyzer {
         &self.net
     }
 
+    /// Replaces the per-analysis [`AnalysisBudget`] and
+    /// [`CancelToken`](crate::budget::CancelToken) used by subsequent
+    /// edits.
+    ///
+    /// This is the server's per-request admission-control hook: each
+    /// request brings its own budget and a watchdog-armed token, and a
+    /// budget- or deadline-aborted edit leaves the session untouched.
+    /// Only these two knobs are exposed — result-affecting options
+    /// (model, mode, cap weight) stay fixed for the session's lifetime
+    /// so its journal fingerprint remains valid. Budgets and tokens can
+    /// only *abort* an edit, never change a successful result, so a
+    /// journaled replay without them still reproduces identical bits.
+    pub fn set_request_controls(
+        &mut self,
+        budget: crate::budget::AnalysisBudget,
+        cancel: Option<crate::budget::CancelToken>,
+    ) {
+        self.options.budget = budget;
+        self.options.cancel = cancel;
+    }
+
     /// The scenario labels, in session order.
     pub fn labels(&self) -> impl Iterator<Item = &str> {
         self.scenarios.iter().map(|s| s.label.as_str())

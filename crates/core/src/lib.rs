@@ -52,8 +52,10 @@ pub mod batch;
 pub mod budget;
 pub mod charge;
 pub mod durable;
+pub mod editscript;
 pub mod error;
 pub mod extract;
+pub mod fingerprint;
 pub mod incremental;
 pub mod logic;
 pub mod memo;
@@ -63,6 +65,8 @@ pub mod pool;
 pub mod rctree;
 pub mod report;
 pub mod selfcheck;
+pub mod server;
+pub mod session;
 pub mod stage;
 pub mod sweep;
 pub mod tech;
@@ -79,7 +83,9 @@ pub use durable::{
     AttemptOutcome, DurableError, DurableOptions, DurableRun, FailureKind, Journal, MismatchSource,
     Outcome, RunFingerprint, ScenarioRecord, ShutdownFlag,
 };
+pub use editscript::parse_edit_script;
 pub use error::TimingError;
+pub use fingerprint::Fnv64;
 pub use incremental::{ArrivalChange, DeltaReport, IncrementalAnalyzer, ScenarioDelta};
 pub use memo::{stage_fingerprint, tech_stamp, CacheStats, SlopeBucketing, StageCache};
 pub use models::{estimate_with_fallback, try_estimate, ModelFailure, ModelKind, StageDelay};
@@ -87,5 +93,7 @@ pub use obs::{Metrics, Phase, TraceEvent, TraceSink};
 pub use pool::ThreadPool;
 pub use rctree::RcTree;
 pub use selfcheck::{Divergence, SelfCheckConfig, SelfCheckReport, ToleranceBands};
+pub use server::{serve, ServerHandle, ServerOptions, ServerStats, Status};
+pub use session::{Session, SessionConfig, SessionError, SessionManager};
 pub use stage::Stage;
 pub use tech::{Direction, DriveParams, SlopeTable, Technology};

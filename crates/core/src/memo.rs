@@ -59,6 +59,7 @@
 //! epoch's counts instead of silently saturating a negative difference
 //! to zero (which would mask counter regressions).
 
+use crate::fingerprint::{Fnv64, FNV_OFFSET, FNV_PRIME};
 use crate::models::{ModelKind, StageDelay};
 use crate::stage::Stage;
 use crate::tech::{Direction, Technology};
@@ -73,9 +74,6 @@ pub const SHARDS: usize = 16;
 
 /// Default total entry capacity of a [`StageCache`].
 pub const DEFAULT_CAPACITY: usize = 65_536;
-
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 /// A dual-stream FNV-1a hasher producing 128 bits: the second stream
 /// uses a different offset basis and folds the byte position in, so the
@@ -117,29 +115,6 @@ impl Fnv128 {
 
     fn finish(&self) -> u128 {
         (u128::from(self.a) << 64) | u128::from(self.b)
-    }
-}
-
-/// A 64-bit FNV-1a content hash stream.
-struct Fnv64(u64);
-
-impl Fnv64 {
-    fn new() -> Fnv64 {
-        Fnv64(FNV_OFFSET)
-    }
-
-    fn write_u8(&mut self, byte: u8) {
-        self.0 = (self.0 ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
-    }
-
-    fn write_u64(&mut self, v: u64) {
-        for byte in v.to_le_bytes() {
-            self.write_u8(byte);
-        }
-    }
-
-    fn write_f64(&mut self, v: f64) {
-        self.write_u64(v.to_bits());
     }
 }
 
@@ -195,7 +170,7 @@ pub fn tech_stamp(tech: &Technology) -> u64 {
             }
         }
     }
-    h.0
+    h.finish()
 }
 
 /// How input transition times are mapped to cache buckets.

@@ -35,6 +35,8 @@
 //! * `phase` — one of the [`Phase`] names;
 //! * `fields` — free-form string key/value annotations.
 
+// JSON string escaping is shared with the journal and wire formats.
+use crate::fingerprint::escape_json;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -70,11 +72,14 @@ pub enum Phase {
     /// Incremental re-analysis: netlist diffing, dependency-index
     /// invalidation, and arrival replay.
     Incremental,
+    /// The analysis daemon: connections accepted, requests served or
+    /// shed, deadlines fired, panics isolated, sessions recovered.
+    Server,
 }
 
 impl Phase {
     /// Every phase, in reporting order.
-    pub const ALL: [Phase; 10] = [
+    pub const ALL: [Phase; 11] = [
         Phase::Logic,
         Phase::Extraction,
         Phase::Evaluation,
@@ -85,6 +90,7 @@ impl Phase {
         Phase::Check,
         Phase::Durable,
         Phase::Incremental,
+        Phase::Server,
     ];
 
     /// The stable lowercase name used in JSON events and metrics rows.
@@ -100,6 +106,7 @@ impl Phase {
             Phase::Check => "check",
             Phase::Durable => "durable",
             Phase::Incremental => "incremental",
+            Phase::Server => "server",
         }
     }
 }
@@ -443,25 +450,6 @@ impl Metrics {
         }
         out
     }
-}
-
-/// Escapes a string for embedding in a JSON string literal.
-fn escape_json(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
 }
 
 #[cfg(test)]

@@ -1,0 +1,1248 @@
+//! Journal-backed analysis sessions: the crash-safe state behind the
+//! [`crate::server`] daemon.
+//!
+//! A **session** is one [`IncrementalAnalyzer`] owned by a client: a
+//! netlist uploaded once, analyzed over its standard scenarios, then
+//! edited incrementally request by request. Sessions are the unit of
+//! isolation (a panicking request poisons its session, nothing else)
+//! and the unit of durability:
+//!
+//! * every session journals its *inputs* — the uploaded netlist text,
+//!   the session configuration, and each applied edit script — to an
+//!   fsync'd JSON-lines file, pinned by a fingerprint built from the
+//!   shared [`crate::fingerprint`] hasher;
+//! * each edit record also stores the post-edit [`Session::digest`], so
+//!   a recovery does not just rebuild state, it **proves** the rebuild:
+//!   [`Session::resume`] re-parses the journaled netlist, re-applies
+//!   every edit, and verifies each recorded digest bit-for-bit;
+//! * a torn tail (daemon killed mid-append) drops exactly the final,
+//!   unacknowledged record — the same recovery rule as
+//!   [`crate::durable::Journal`] — while damage anywhere earlier marks
+//!   the whole journal untrustworthy ([`SessionError::Corrupt`]).
+//!
+//! The journal stores inputs rather than results because results are
+//! deterministic: the netlist plus the edit sequence *is* the state.
+//! That keeps records small, makes recovery self-verifying, and reuses
+//! the bit-identity contract the incremental engine already proves.
+//!
+//! [`SessionManager`] adds the concurrency layer: a name-keyed map of
+//! sessions behind per-session locks, so requests against distinct
+//! sessions run in parallel while requests against one session
+//! serialize, plus a session cap and directory-wide recovery.
+
+use crate::analyzer::{AnalyzerOptions, Edge};
+use crate::budget::{AnalysisBudget, CancelToken};
+use crate::durable::scenario_summary;
+use crate::editscript::parse_edit_script;
+use crate::error::TimingError;
+use crate::fingerprint::{
+    escape_json_into, hex64, parse_hex64, parse_json_object, result_digest, run_id, Fnv64,
+};
+use crate::incremental::{DeltaReport, IncrementalAnalyzer};
+use crate::models::ModelKind;
+use crate::selfcheck::standard_scenarios;
+use crate::tech::Technology;
+use mosnet::sim_format;
+use mosnet::units::Seconds;
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Session journal format version written into the header record.
+pub const SESSION_JOURNAL_VERSION: u64 = 1;
+
+/// File extension of per-session journals inside `--journal-dir`.
+pub const SESSION_JOURNAL_EXT: &str = "session";
+
+// ---------------------------------------------------------------------------
+// Configuration and errors
+// ---------------------------------------------------------------------------
+
+/// What a session analyzes: the delay model plus the scenario shape.
+///
+/// Scenarios are the same standard corpus the CLI's `batch`/`check`
+/// commands use — every `(input × edge)` pair under the given static
+/// levels — optionally narrowed to one input and/or one edge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionConfig {
+    /// Delay model for every scenario.
+    pub model: ModelKind,
+    /// Input 10–90% transition time.
+    pub transition: Seconds,
+    /// Static input levels by node name (unlisted inputs sit at 0).
+    pub statics: Vec<(String, bool)>,
+    /// Restrict scenarios to this switching input, when set.
+    pub input: Option<String>,
+    /// Restrict scenarios to this edge, when set.
+    pub edge: Option<Edge>,
+}
+
+impl Default for SessionConfig {
+    fn default() -> SessionConfig {
+        SessionConfig {
+            model: ModelKind::Slope,
+            transition: Seconds::ZERO,
+            statics: Vec::new(),
+            input: None,
+            edge: None,
+        }
+    }
+}
+
+/// Failures of the session layer, classified the way the wire protocol
+/// needs them.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SessionError {
+    /// The uploaded netlist failed to parse; the message carries the
+    /// parser's line and column.
+    Parse(String),
+    /// An analysis failed (budget, cancellation, bad edit target, ...).
+    /// [`TimingError::was_cancelled`] distinguishes deadline kills.
+    Timing(TimingError),
+    /// A malformed request: bad session id, unknown node name, empty or
+    /// unparseable edit script.
+    BadRequest(String),
+    /// The session cap is reached; retry after closing a session.
+    Limit {
+        /// Sessions currently open.
+        active: usize,
+        /// The configured cap.
+        max: usize,
+    },
+    /// The session was poisoned by an earlier panicking request; the
+    /// message describes the panic. Close and re-open to recover.
+    Poisoned(String),
+    /// Journal file I/O failed.
+    Io {
+        /// The journal path.
+        path: PathBuf,
+        /// The underlying error text.
+        message: String,
+    },
+    /// A journal failed verification during recovery: damaged beyond
+    /// the torn tail, fingerprint mismatch, or a replay digest that no
+    /// longer matches what was recorded.
+    Corrupt {
+        /// The journal path.
+        path: PathBuf,
+        /// What failed to verify.
+        message: String,
+    },
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Parse(m) => write!(f, "netlist parse error: {m}"),
+            SessionError::Timing(e) => write!(f, "{e}"),
+            SessionError::BadRequest(m) => f.write_str(m),
+            SessionError::Limit { active, max } => {
+                write!(f, "session limit reached ({active} of {max} open)")
+            }
+            SessionError::Poisoned(m) => {
+                write!(f, "session poisoned by an earlier panic: {m}")
+            }
+            SessionError::Io { path, message } => {
+                write!(f, "session journal `{}`: {message}", path.display())
+            }
+            SessionError::Corrupt { path, message } => {
+                write!(
+                    f,
+                    "session journal `{}` failed verification: {message}",
+                    path.display()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<TimingError> for SessionError {
+    fn from(e: TimingError) -> SessionError {
+        SessionError::Timing(e)
+    }
+}
+
+/// `true` when `id` is usable as a session id (and thus a journal file
+/// stem): 1–64 characters from `[A-Za-z0-9_.-]`, not starting with a
+/// dot or dash. Rejecting everything else keeps ids printable and makes
+/// path traversal through a client-chosen id impossible.
+pub fn valid_session_id(id: &str) -> bool {
+    (1..=64).contains(&id.len())
+        && !id.starts_with(['.', '-'])
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'_' | b'.' | b'-'))
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprint
+// ---------------------------------------------------------------------------
+
+/// Content fingerprint of a session: the uploaded netlist text, the
+/// technology stamp, and every result-affecting piece of the
+/// [`SessionConfig`]. Built from the same [`Fnv64`] stream as
+/// [`crate::fingerprint::run_fingerprint`]; per-request budgets and
+/// cancel tokens are excluded, because they can only abort a request,
+/// never change a successful result.
+pub fn session_fingerprint(netlist_text: &str, tech: &Technology, config: &SessionConfig) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(netlist_text.as_bytes());
+    h.write_u64(crate::memo::tech_stamp(tech));
+    h.write(format!("{:?}", config.model).as_bytes());
+    h.write_f64(config.transition.value());
+    let mut statics = config.statics.clone();
+    statics.sort();
+    for (name, level) in &statics {
+        h.write(name.as_bytes());
+        h.write(&[0, u8::from(*level)]);
+    }
+    h.write(config.input.as_deref().unwrap_or("").as_bytes());
+    h.write(&[0]);
+    h.write(match config.edge {
+        None => b"any".as_slice(),
+        Some(Edge::Rising) => b"rise",
+        Some(Edge::Falling) => b"fall",
+    });
+    h.finish()
+}
+
+pub(crate) fn model_name(model: ModelKind) -> &'static str {
+    match model {
+        ModelKind::Lumped => "lumped",
+        ModelKind::RcTree => "rctree",
+        ModelKind::Slope => "slope",
+    }
+}
+
+pub(crate) fn model_from_name(name: &str) -> Option<ModelKind> {
+    Some(match name {
+        "lumped" => ModelKind::Lumped,
+        "rctree" | "rc-tree" => ModelKind::RcTree,
+        "slope" => ModelKind::Slope,
+        _ => return None,
+    })
+}
+
+pub(crate) fn edge_name(edge: Edge) -> &'static str {
+    if edge == Edge::Rising {
+        "rise"
+    } else {
+        "fall"
+    }
+}
+
+pub(crate) fn edge_from_name(name: &str) -> Option<Edge> {
+    Some(match name {
+        "rise" | "rising" => Edge::Rising,
+        "fall" | "falling" => Edge::Falling,
+        _ => return None,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Journal records
+// ---------------------------------------------------------------------------
+
+/// The fsync'd append-only file behind one session.
+#[derive(Debug)]
+struct SessionJournal {
+    file: File,
+    path: PathBuf,
+}
+
+impl SessionJournal {
+    fn append_line(&mut self, line: &str) -> Result<(), SessionError> {
+        let io_err = |path: &Path, e: std::io::Error| SessionError::Io {
+            path: path.to_path_buf(),
+            message: e.to_string(),
+        };
+        self.file
+            .write_all(line.as_bytes())
+            .map_err(|e| io_err(&self.path, e))?;
+        self.file.sync_data().map_err(|e| io_err(&self.path, e))
+    }
+}
+
+fn session_header_line(
+    id: &str,
+    fingerprint: u64,
+    netlist_name: &str,
+    netlist_text: &str,
+    config: &SessionConfig,
+) -> String {
+    let mut out = format!(
+        "{{\"kind\":\"session\",\"v\":{SESSION_JOURNAL_VERSION},\"id\":\"{}\",\"run\":\"{}\",\
+         \"fingerprint\":\"{}\",\"model\":\"{}\",\"transition\":\"{}\"",
+        id,
+        run_id("session", fingerprint),
+        hex64(fingerprint),
+        model_name(config.model),
+        hex64(config.transition.value().to_bits()),
+    );
+    let mut statics = config.statics.clone();
+    statics.sort();
+    let statics: Vec<String> = statics
+        .iter()
+        .map(|(name, level)| format!("{name}={}", u8::from(*level)))
+        .collect();
+    out.push_str(&format!(",\"statics\":\"{}\"", statics.join(",")));
+    if let Some(input) = &config.input {
+        out.push_str(",\"input\":\"");
+        escape_json_into(input, &mut out);
+        out.push('"');
+    }
+    if let Some(edge) = config.edge {
+        out.push_str(&format!(",\"edge\":\"{}\"", edge_name(edge)));
+    }
+    out.push_str(",\"name\":\"");
+    escape_json_into(netlist_name, &mut out);
+    out.push_str("\",\"netlist\":\"");
+    escape_json_into(netlist_text, &mut out);
+    out.push_str("\"}\n");
+    out
+}
+
+fn edit_record_line(seq: u64, script: &str, digest: u64) -> String {
+    let mut out = format!("{{\"kind\":\"edit\",\"seq\":{seq},\"script\":\"");
+    escape_json_into(script, &mut out);
+    out.push_str(&format!("\",\"digest\":\"{}\"}}\n", hex64(digest)));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+/// One client's persistent, journal-backed incremental analysis.
+///
+/// See the [module docs](self) for the durability contract. All methods
+/// take `&mut self`; concurrent access is the [`SessionManager`]'s job.
+#[derive(Debug)]
+pub struct Session {
+    id: String,
+    config: SessionConfig,
+    fingerprint: u64,
+    analyzer: IncrementalAnalyzer,
+    journal: Option<SessionJournal>,
+    seq: u64,
+    poisoned: Option<String>,
+}
+
+impl Session {
+    /// Opens a fresh session: parses `netlist_text`, analyzes every
+    /// standard scenario the config selects, and (when `journal_path`
+    /// is given) creates the journal with the session header. The
+    /// journal file is created with `create_new`, so two opens racing
+    /// on one id cannot silently share a file.
+    ///
+    /// # Errors
+    /// [`SessionError::Parse`] on netlist errors (message carries line
+    /// and column); [`SessionError::BadRequest`] on bad ids, unknown
+    /// node names, or an empty scenario set; [`SessionError::Timing`]
+    /// when the initial analysis fails (including budget/deadline
+    /// aborts — no session or journal is left behind);
+    /// [`SessionError::Io`] when the journal cannot be written.
+    pub fn open(
+        id: &str,
+        netlist_text: &str,
+        netlist_name: &str,
+        tech: &Technology,
+        config: &SessionConfig,
+        options: AnalyzerOptions,
+        journal_path: Option<&Path>,
+    ) -> Result<Session, SessionError> {
+        if !valid_session_id(id) {
+            return Err(SessionError::BadRequest(format!(
+                "invalid session id `{id}` (want 1-64 chars of [A-Za-z0-9_.-], \
+                 not starting with `.` or `-`)"
+            )));
+        }
+        for (name, _) in &config.statics {
+            if name.contains(['=', ',']) {
+                return Err(SessionError::BadRequest(format!(
+                    "static input name `{name}` may not contain `=` or `,`"
+                )));
+            }
+        }
+        let analyzer = build_analyzer(netlist_text, netlist_name, tech, config, options)?;
+        let fingerprint = session_fingerprint(netlist_text, tech, config);
+        let journal = match journal_path {
+            None => None,
+            Some(path) => {
+                let io_err = |e: std::io::Error| SessionError::Io {
+                    path: path.to_path_buf(),
+                    message: e.to_string(),
+                };
+                let file = OpenOptions::new()
+                    .write(true)
+                    .create_new(true)
+                    .open(path)
+                    .map_err(io_err)?;
+                let mut journal = SessionJournal {
+                    file,
+                    path: path.to_path_buf(),
+                };
+                journal.append_line(&session_header_line(
+                    id,
+                    fingerprint,
+                    netlist_name,
+                    netlist_text,
+                    config,
+                ))?;
+                Some(journal)
+            }
+        };
+        Ok(Session {
+            id: id.to_string(),
+            config: config.clone(),
+            fingerprint,
+            analyzer,
+            journal,
+            seq: 0,
+            poisoned: None,
+        })
+    }
+
+    /// Recovers a session from its journal: re-parses the recorded
+    /// netlist, re-applies every journaled edit, and verifies each
+    /// recorded digest bit-for-bit. A torn final line (daemon killed
+    /// mid-append) is dropped and truncated away — that edit was never
+    /// acknowledged; any earlier damage, a fingerprint mismatch (the
+    /// server's technology changed), or a digest that fails to
+    /// reproduce is [`SessionError::Corrupt`].
+    pub fn resume(
+        path: &Path,
+        tech: &Technology,
+        options: AnalyzerOptions,
+    ) -> Result<Session, SessionError> {
+        let io_err = |e: std::io::Error| SessionError::Io {
+            path: path.to_path_buf(),
+            message: e.to_string(),
+        };
+        let corrupt = |message: String| SessionError::Corrupt {
+            path: path.to_path_buf(),
+            message,
+        };
+        let bytes = std::fs::read(path).map_err(io_err)?;
+        let text = String::from_utf8_lossy(&bytes);
+        let lines: Vec<&str> = text.split_inclusive('\n').collect();
+        if lines.is_empty() {
+            return Err(corrupt("empty journal".to_string()));
+        }
+
+        // Pass 1: split into (header, edit records), recovering a torn
+        // tail exactly like the durable journal does.
+        let mut valid_len = 0usize;
+        let mut header: Option<HashMap<String, String>> = None;
+        let mut edits: Vec<(u64, String, u64)> = Vec::new();
+        for (index, raw) in lines.iter().enumerate() {
+            let is_last = index + 1 == lines.len();
+            let torn = |valid_len: usize| {
+                if is_last && index > 0 {
+                    Ok(valid_len)
+                } else {
+                    Err(corrupt(format!("damaged at line {}", index + 1)))
+                }
+            };
+            let mut fields = None;
+            if raw.ends_with('\n') {
+                fields = parse_json_object(raw.trim_end_matches(['\n', '\r']));
+            }
+            let Some(fields) = fields else {
+                valid_len = torn(valid_len)?;
+                break;
+            };
+            if index == 0 {
+                if fields.get("kind").map(String::as_str) != Some("session")
+                    || fields.get("v").map(String::as_str)
+                        != Some(&SESSION_JOURNAL_VERSION.to_string())
+                {
+                    return Err(corrupt("not a session journal header".to_string()));
+                }
+                header = Some(fields);
+            } else {
+                let record = (|| {
+                    if fields.get("kind").map(String::as_str) != Some("edit") {
+                        return None;
+                    }
+                    let seq: u64 = fields.get("seq")?.parse().ok()?;
+                    let script = fields.get("script")?.clone();
+                    let digest = parse_hex64(fields.get("digest")?)?;
+                    Some((seq, script, digest))
+                })();
+                match record {
+                    Some(record) => edits.push(record),
+                    None => {
+                        valid_len = torn(valid_len)?;
+                        break;
+                    }
+                }
+            }
+            valid_len += raw.len();
+        }
+        let header = header.ok_or_else(|| corrupt("missing header".to_string()))?;
+
+        // Rebuild the configuration from the self-contained header.
+        let field = |key: &str| {
+            header
+                .get(key)
+                .cloned()
+                .ok_or_else(|| corrupt(format!("header missing `{key}`")))
+        };
+        let id = field("id")?;
+        if !valid_session_id(&id) {
+            return Err(corrupt(format!("invalid session id `{id}`")));
+        }
+        let recorded_fingerprint =
+            parse_hex64(&field("fingerprint")?).ok_or_else(|| corrupt("bad fingerprint".into()))?;
+        let model = model_from_name(&field("model")?)
+            .ok_or_else(|| corrupt("unknown model in header".to_string()))?;
+        let transition = Seconds(f64::from_bits(
+            parse_hex64(&field("transition")?).ok_or_else(|| corrupt("bad transition".into()))?,
+        ));
+        let mut statics = Vec::new();
+        let statics_text = field("statics")?;
+        for pair in statics_text.split(',').filter(|p| !p.is_empty()) {
+            let (name, level) = pair
+                .split_once('=')
+                .ok_or_else(|| corrupt(format!("bad static `{pair}`")))?;
+            let level = match level {
+                "0" => false,
+                "1" => true,
+                other => return Err(corrupt(format!("bad static level `{other}`"))),
+            };
+            statics.push((name.to_string(), level));
+        }
+        let config = SessionConfig {
+            model,
+            transition,
+            statics,
+            input: header.get("input").cloned(),
+            edge: match header.get("edge") {
+                None => None,
+                Some(name) => Some(
+                    edge_from_name(name).ok_or_else(|| corrupt(format!("bad edge `{name}`")))?,
+                ),
+            },
+        };
+        let netlist_name = field("name")?;
+        let netlist_text = field("netlist")?;
+
+        // The journal is self-contained except for the technology, which
+        // belongs to the daemon: recompute the fingerprint and refuse to
+        // resume a session whose inputs no longer hash the same.
+        let fingerprint = session_fingerprint(&netlist_text, tech, &config);
+        if fingerprint != recorded_fingerprint {
+            return Err(corrupt(format!(
+                "fingerprint {} does not match recorded {} \
+                 (the server technology changed since the journal was written?)",
+                hex64(fingerprint),
+                hex64(recorded_fingerprint)
+            )));
+        }
+
+        // Rebuild and verify: replay is only a recovery if the digests
+        // prove bit-identity with what the client was told.
+        let analyzer = build_analyzer(&netlist_text, &netlist_name, tech, &config, options)
+            .map_err(|e| corrupt(format!("journaled netlist no longer analyzes: {e}")))?;
+        let mut session = Session {
+            id,
+            config,
+            fingerprint,
+            analyzer,
+            journal: None,
+            seq: 0,
+            poisoned: None,
+        };
+        for (seq, script, recorded_digest) in edits {
+            let parsed = parse_edit_script(&script)
+                .map_err(|e| corrupt(format!("edit {seq} no longer parses: {e}")))?;
+            session
+                .analyzer
+                .apply_edits(&parsed)
+                .map_err(|e| corrupt(format!("edit {seq} no longer applies: {e}")))?;
+            let digest = session.digest();
+            if digest != recorded_digest {
+                return Err(corrupt(format!(
+                    "edit {seq} replayed to digest {} but the journal recorded {}",
+                    hex64(digest),
+                    hex64(recorded_digest)
+                )));
+            }
+            session.seq = seq;
+        }
+
+        // Reopen for appending, truncating any torn tail away.
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(io_err)?;
+        file.set_len(valid_len as u64).map_err(io_err)?;
+        let mut file = file;
+        file.seek(SeekFrom::End(0)).map_err(io_err)?;
+        session.journal = Some(SessionJournal {
+            file,
+            path: path.to_path_buf(),
+        });
+        Ok(session)
+    }
+
+    /// The session id.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// The session fingerprint pinning its journal.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Number of edit records applied (and journaled) so far.
+    pub fn edits_applied(&self) -> u64 {
+        self.seq
+    }
+
+    /// The panic message that poisoned this session, if any.
+    pub fn poisoned(&self) -> Option<&str> {
+        self.poisoned.as_deref()
+    }
+
+    /// Marks the session poisoned: a request against it panicked, so
+    /// its in-memory state can no longer be trusted. Every subsequent
+    /// operation fails with [`SessionError::Poisoned`] until the client
+    /// closes it. The journal keeps only acknowledged edits, so a
+    /// daemon restart recovers the pre-panic state.
+    pub fn poison(&mut self, message: impl Into<String>) {
+        self.poisoned.get_or_insert(message.into());
+    }
+
+    /// The underlying analyzer (current network, per-scenario results).
+    pub fn analyzer(&self) -> &IncrementalAnalyzer {
+        &self.analyzer
+    }
+
+    /// Sets the per-request budget and cancel token for the next
+    /// operation; see [`IncrementalAnalyzer::set_request_controls`].
+    pub fn set_request_controls(&mut self, budget: AnalysisBudget, cancel: Option<CancelToken>) {
+        self.analyzer.set_request_controls(budget, cancel);
+    }
+
+    /// Applies an edit script (one or more grammar lines) as a single
+    /// journaled step and returns the incremental delta.
+    ///
+    /// Ordering is the durability contract: the edit is journaled
+    /// (fsync'd) *before* the caller can acknowledge it, so a crash
+    /// after the response loses nothing and a crash before the append
+    /// loses only an unacknowledged edit.
+    ///
+    /// # Errors
+    /// [`SessionError::Poisoned`] after an earlier panic;
+    /// [`SessionError::BadRequest`] when the script does not parse or
+    /// is empty (session untouched); [`SessionError::Timing`] when the
+    /// re-analysis fails or is cancelled (session untouched);
+    /// [`SessionError::Io`] when the journal append fails (the edit is
+    /// applied in memory but MUST be treated as failed by the caller —
+    /// the response status is what the client keys on).
+    pub fn apply_script(&mut self, script: &str) -> Result<DeltaReport, SessionError> {
+        if let Some(message) = &self.poisoned {
+            return Err(SessionError::Poisoned(message.clone()));
+        }
+        let edits = parse_edit_script(script).map_err(SessionError::BadRequest)?;
+        if edits.is_empty() {
+            return Err(SessionError::BadRequest(
+                "edit script contains no edits".to_string(),
+            ));
+        }
+        let delta = self.analyzer.apply_edits(&edits)?;
+        self.seq += 1;
+        let digest = self.digest();
+        if let Some(journal) = &mut self.journal {
+            journal.append_line(&edit_record_line(self.seq, script, digest))?;
+        }
+        Ok(delta)
+    }
+
+    /// Combined digest over every scenario's [`result_digest`], in
+    /// session order — the value journaled per edit, reported to
+    /// clients, and verified on recovery.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv64::new();
+        for (label, digest, _) in self.scenario_rows() {
+            h.write(label.as_bytes());
+            h.write(&[0]);
+            h.write_u64(digest);
+        }
+        h.finish()
+    }
+
+    /// Per-scenario `(label, digest, summary)` rows in session order —
+    /// the payload of the server's `report` op.
+    pub fn scenario_rows(&self) -> Vec<(String, u64, String)> {
+        let net = self.analyzer.network();
+        let labels: Vec<String> = self.analyzer.labels().map(str::to_string).collect();
+        labels
+            .into_iter()
+            .map(|label| {
+                let result = self
+                    .analyzer
+                    .result(&label)
+                    .expect("every session label has a result");
+                (
+                    label.clone(),
+                    result_digest(net, result),
+                    scenario_summary(net, result),
+                )
+            })
+            .collect()
+    }
+
+    /// Deletes the journal file (used when the client closes the
+    /// session — a closed session has nothing to recover).
+    pub fn remove_journal(&mut self) -> Result<(), SessionError> {
+        if let Some(journal) = self.journal.take() {
+            let path = journal.path.clone();
+            drop(journal);
+            std::fs::remove_file(&path).map_err(|e| SessionError::Io {
+                path,
+                message: e.to_string(),
+            })?;
+        }
+        Ok(())
+    }
+}
+
+/// Parses the netlist and builds the analyzer over the configured
+/// scenario subset — shared by [`Session::open`] and
+/// [`Session::resume`].
+fn build_analyzer(
+    netlist_text: &str,
+    netlist_name: &str,
+    tech: &Technology,
+    config: &SessionConfig,
+    options: AnalyzerOptions,
+) -> Result<IncrementalAnalyzer, SessionError> {
+    let net = sim_format::parse(netlist_text, netlist_name)
+        .map_err(|e| SessionError::Parse(format!("{netlist_name}: {e}")))?;
+    let mut statics = HashMap::new();
+    for (name, level) in &config.statics {
+        let id = net.node_by_name(name).ok_or_else(|| {
+            SessionError::BadRequest(format!("no node named `{name}` in the netlist"))
+        })?;
+        statics.insert(id, *level);
+    }
+    let mut scenarios = standard_scenarios(&net, &statics, config.transition);
+    if let Some(name) = config.input.as_deref() {
+        let input = net.node_by_name(name).ok_or_else(|| {
+            SessionError::BadRequest(format!("no node named `{name}` in the netlist"))
+        })?;
+        scenarios.retain(|(_, s)| s.input == input);
+    }
+    if let Some(edge) = config.edge {
+        scenarios.retain(|(_, s)| s.edge == edge);
+    }
+    if scenarios.is_empty() {
+        return Err(SessionError::BadRequest(
+            "no scenarios to analyze (no inputs, or filters exclude all)".to_string(),
+        ));
+    }
+    IncrementalAnalyzer::new(net, tech.clone(), config.model, scenarios, options)
+        .map_err(SessionError::Timing)
+}
+
+// ---------------------------------------------------------------------------
+// Manager
+// ---------------------------------------------------------------------------
+
+/// What a directory-wide recovery found: sessions restored and journals
+/// that failed verification (skipped, never fatal to the daemon).
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Ids of sessions recovered and re-registered.
+    pub recovered: Vec<String>,
+    /// `(journal path, reason)` for every journal that failed.
+    pub failed: Vec<(PathBuf, String)>,
+}
+
+/// The daemon's name-keyed session table.
+///
+/// The map lock is held only for lookups and registration; each session
+/// sits behind its own mutex, so requests against distinct sessions run
+/// concurrently while requests against one session serialize.
+#[derive(Debug)]
+pub struct SessionManager {
+    tech: Technology,
+    journal_dir: Option<PathBuf>,
+    max_sessions: usize,
+    sessions: Mutex<HashMap<String, Arc<Mutex<Session>>>>,
+    next_id: AtomicU64,
+}
+
+impl SessionManager {
+    /// Creates the manager, creating `journal_dir` if it does not exist.
+    ///
+    /// # Errors
+    /// [`SessionError::Io`] when the directory cannot be created.
+    pub fn new(
+        tech: Technology,
+        journal_dir: Option<PathBuf>,
+        max_sessions: usize,
+    ) -> Result<SessionManager, SessionError> {
+        if let Some(dir) = &journal_dir {
+            std::fs::create_dir_all(dir).map_err(|e| SessionError::Io {
+                path: dir.clone(),
+                message: e.to_string(),
+            })?;
+        }
+        Ok(SessionManager {
+            tech,
+            journal_dir,
+            max_sessions,
+            sessions: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+        })
+    }
+
+    /// The daemon technology sessions analyze against.
+    pub fn technology(&self) -> &Technology {
+        &self.tech
+    }
+
+    /// Number of open sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.lock().expect("session map lock").len()
+    }
+
+    /// Open session ids, sorted.
+    pub fn ids(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self
+            .sessions
+            .lock()
+            .expect("session map lock")
+            .keys()
+            .cloned()
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// The journal path a session id maps to, when journaling is on.
+    pub fn journal_path(&self, id: &str) -> Option<PathBuf> {
+        self.journal_dir
+            .as_ref()
+            .map(|dir| dir.join(format!("{id}.{SESSION_JOURNAL_EXT}")))
+    }
+
+    /// Opens a new session and registers it; `id: None` allocates
+    /// `s1`, `s2`, … skipping taken names.
+    ///
+    /// # Errors
+    /// [`SessionError::Limit`] at the session cap;
+    /// [`SessionError::BadRequest`] when the id is taken or invalid;
+    /// plus everything [`Session::open`] returns.
+    pub fn open(
+        &self,
+        id: Option<&str>,
+        netlist_text: &str,
+        netlist_name: &str,
+        config: &SessionConfig,
+        options: AnalyzerOptions,
+    ) -> Result<(String, Arc<Mutex<Session>>), SessionError> {
+        // Cheap pre-checks under the map lock; the expensive analysis
+        // runs unlocked and registration re-validates.
+        let id = {
+            let sessions = self.sessions.lock().expect("session map lock");
+            if sessions.len() >= self.max_sessions {
+                return Err(SessionError::Limit {
+                    active: sessions.len(),
+                    max: self.max_sessions,
+                });
+            }
+            match id {
+                Some(id) => {
+                    if sessions.contains_key(id) {
+                        return Err(SessionError::BadRequest(format!(
+                            "session `{id}` already exists"
+                        )));
+                    }
+                    id.to_string()
+                }
+                None => loop {
+                    let n = self.next_id.fetch_add(1, Ordering::Relaxed);
+                    let candidate = format!("s{n}");
+                    if !sessions.contains_key(&candidate) {
+                        break candidate;
+                    }
+                },
+            }
+        };
+        let journal_path = self.journal_path(&id);
+        let session = Session::open(
+            &id,
+            netlist_text,
+            netlist_name,
+            &self.tech,
+            config,
+            options,
+            journal_path.as_deref(),
+        )?;
+        let session = Arc::new(Mutex::new(session));
+        let mut sessions = self.sessions.lock().expect("session map lock");
+        if sessions.len() >= self.max_sessions {
+            // Lost a race to the cap while analyzing: shed, and leave no
+            // journal behind for a session that never existed.
+            drop(sessions);
+            let _ = session.lock().expect("fresh session lock").remove_journal();
+            return Err(SessionError::Limit {
+                active: self.max_sessions,
+                max: self.max_sessions,
+            });
+        }
+        if sessions.contains_key(&id) {
+            drop(sessions);
+            let _ = session.lock().expect("fresh session lock").remove_journal();
+            return Err(SessionError::BadRequest(format!(
+                "session `{id}` already exists"
+            )));
+        }
+        sessions.insert(id.clone(), session.clone());
+        Ok((id, session))
+    }
+
+    /// Looks up an open session.
+    pub fn get(&self, id: &str) -> Option<Arc<Mutex<Session>>> {
+        self.sessions
+            .lock()
+            .expect("session map lock")
+            .get(id)
+            .cloned()
+    }
+
+    /// Closes a session: unregisters it and deletes its journal. An
+    /// operation already in flight on the session finishes on its own
+    /// `Arc`.
+    ///
+    /// # Errors
+    /// [`SessionError::BadRequest`] for an unknown id.
+    pub fn close(&self, id: &str) -> Result<(), SessionError> {
+        let session = self
+            .sessions
+            .lock()
+            .expect("session map lock")
+            .remove(id)
+            .ok_or_else(|| SessionError::BadRequest(format!("unknown session `{id}`")))?;
+        let removed = session
+            .lock()
+            .expect("closing session lock")
+            .remove_journal();
+        removed
+    }
+
+    /// Deletes every `*.{SESSION_JOURNAL_EXT}` file in the journal
+    /// directory — the non-`--resume` daemon start, mirroring how
+    /// [`crate::durable::Journal::create`] truncates: a journal dir
+    /// belongs to one daemon lineage, and starting fresh means fresh.
+    pub fn discard_journals(&self) -> usize {
+        let Some(dir) = &self.journal_dir else {
+            return 0;
+        };
+        let mut removed = 0usize;
+        for path in session_journal_files(dir) {
+            if std::fs::remove_file(&path).is_ok() {
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    /// Recovers every session journal in the directory. Failures are
+    /// collected, never fatal: one corrupt journal must not keep the
+    /// daemon (or the other sessions) down.
+    pub fn recover(&self, options: &AnalyzerOptions) -> RecoveryReport {
+        let mut report = RecoveryReport::default();
+        let Some(dir) = &self.journal_dir else {
+            return report;
+        };
+        for path in session_journal_files(dir) {
+            match Session::resume(&path, &self.tech, options.clone()) {
+                Ok(session) => {
+                    let id = session.id().to_string();
+                    let mut sessions = self.sessions.lock().expect("session map lock");
+                    if sessions.contains_key(&id) {
+                        report
+                            .failed
+                            .push((path, format!("duplicate session id `{id}`")));
+                    } else {
+                        sessions.insert(id.clone(), Arc::new(Mutex::new(session)));
+                        report.recovered.push(id);
+                    }
+                }
+                Err(e) => report.failed.push((path, e.to_string())),
+            }
+        }
+        report.recovered.sort();
+        report
+    }
+}
+
+/// The session journal files in `dir`, sorted for deterministic
+/// recovery order.
+fn session_journal_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|entry| entry.path())
+        .filter(|path| {
+            path.extension().and_then(|e| e.to_str()) == Some(SESSION_JOURNAL_EXT) && path.is_file()
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const INVERTER_CHAIN: &str = "| two inverters\ni a\no y\n\
+        n a m gnd 2 8\np a m vdd 2 16\nC m 20\n\
+        n m y gnd 2 8\np m y vdd 2 16\nC y 100\n";
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "crystal_session_{name}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir
+    }
+
+    fn open_session(dir: &Path, id: &str) -> Session {
+        Session::open(
+            id,
+            INVERTER_CHAIN,
+            "chain.sim",
+            &Technology::nominal(),
+            &SessionConfig::default(),
+            AnalyzerOptions::default(),
+            Some(&dir.join(format!("{id}.{SESSION_JOURNAL_EXT}"))),
+        )
+        .expect("opens")
+    }
+
+    #[test]
+    fn session_ids_are_validated() {
+        assert!(valid_session_id("s1"));
+        assert!(valid_session_id("client_7.retry-2"));
+        assert!(!valid_session_id(""));
+        assert!(!valid_session_id(".hidden"));
+        assert!(!valid_session_id("-dash"));
+        assert!(!valid_session_id("a/b"));
+        assert!(!valid_session_id("x".repeat(65).as_str()));
+    }
+
+    #[test]
+    fn open_edit_resume_replays_bit_identically() {
+        let dir = temp_dir("resume");
+        let mut session = open_session(&dir, "s1");
+        let digest0 = session.digest();
+        session.apply_script("resize a m gnd 4 8").expect("edit 1");
+        session.apply_script("cap y 150").expect("edit 2");
+        let digest2 = session.digest();
+        assert_ne!(digest0, digest2);
+        let rows = session.scenario_rows();
+        drop(session);
+
+        let resumed = Session::resume(
+            &dir.join(format!("s1.{SESSION_JOURNAL_EXT}")),
+            &Technology::nominal(),
+            AnalyzerOptions::default(),
+        )
+        .expect("resumes");
+        assert_eq!(resumed.id(), "s1");
+        assert_eq!(resumed.edits_applied(), 2);
+        assert_eq!(resumed.digest(), digest2, "bit-identical replay");
+        assert_eq!(resumed.scenario_rows(), rows);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_drops_only_the_unacknowledged_edit() {
+        let dir = temp_dir("torn");
+        let mut session = open_session(&dir, "s1");
+        session.apply_script("cap y 150").expect("edit 1");
+        let digest1 = session.digest();
+        session.apply_script("cap y 200").expect("edit 2");
+        drop(session);
+        let path = dir.join(format!("s1.{SESSION_JOURNAL_EXT}"));
+        // Tear the final record mid-line, as a crash mid-append would.
+        let text = std::fs::read_to_string(&path).expect("journal reads");
+        let torn = &text[..text.len() - 7];
+        std::fs::write(&path, torn).expect("tears");
+
+        let resumed = Session::resume(&path, &Technology::nominal(), AnalyzerOptions::default())
+            .expect("resumes");
+        assert_eq!(resumed.edits_applied(), 1, "torn edit dropped");
+        assert_eq!(resumed.digest(), digest1);
+        // The torn bytes are truncated away, so a re-resume is clean.
+        let replay = Session::resume(&path, &Technology::nominal(), AnalyzerOptions::default())
+            .expect("re-resumes");
+        assert_eq!(replay.digest(), digest1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mid_file_damage_and_tech_changes_are_corrupt() {
+        let dir = temp_dir("corrupt");
+        let mut session = open_session(&dir, "s1");
+        session.apply_script("cap y 150").expect("edit 1");
+        session.apply_script("cap y 200").expect("edit 2");
+        drop(session);
+        let path = dir.join(format!("s1.{SESSION_JOURNAL_EXT}"));
+        let text = std::fs::read_to_string(&path).expect("journal reads");
+
+        // Damage a non-tail line: corruption, not recovery.
+        let mut lines: Vec<&str> = text.split_inclusive('\n').collect();
+        let damaged = format!("{}garbage\n", lines[1].trim_end());
+        lines[1] = &damaged;
+        std::fs::write(&path, lines.concat()).expect("writes");
+        let err = Session::resume(&path, &Technology::nominal(), AnalyzerOptions::default())
+            .expect_err("corrupt");
+        assert!(matches!(err, SessionError::Corrupt { .. }), "{err}");
+
+        // Restore, then resume under a different technology: refused.
+        std::fs::write(&path, &text).expect("restores");
+        let mut other = Technology::nominal();
+        other.name = "other".to_string();
+        let err =
+            Session::resume(&path, &other, AnalyzerOptions::default()).expect_err("tech mismatch");
+        assert!(err.to_string().contains("fingerprint"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_edits_leave_session_and_journal_untouched() {
+        let dir = temp_dir("atomic");
+        let mut session = open_session(&dir, "s1");
+        let digest0 = session.digest();
+        // Unparseable script.
+        let err = session
+            .apply_script("flip everything")
+            .expect_err("rejects");
+        assert!(matches!(err, SessionError::BadRequest(_)), "{err}");
+        // Parseable but inapplicable (no such device).
+        let err = session
+            .apply_script("remove zz zz zz")
+            .expect_err("rejects");
+        assert!(matches!(err, SessionError::Timing(_)), "{err}");
+        assert_eq!(session.digest(), digest0);
+        assert_eq!(session.edits_applied(), 0);
+        drop(session);
+        let path = dir.join(format!("s1.{SESSION_JOURNAL_EXT}"));
+        let resumed = Session::resume(&path, &Technology::nominal(), AnalyzerOptions::default())
+            .expect("resumes");
+        assert_eq!(resumed.digest(), digest0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn poisoned_sessions_refuse_work_but_recover_from_journal() {
+        let dir = temp_dir("poison");
+        let mut session = open_session(&dir, "s1");
+        session.apply_script("cap y 150").expect("edit 1");
+        let digest1 = session.digest();
+        session.poison("injected panic");
+        let err = session.apply_script("cap y 200").expect_err("poisoned");
+        assert!(matches!(err, SessionError::Poisoned(_)), "{err}");
+        drop(session);
+        let path = dir.join(format!("s1.{SESSION_JOURNAL_EXT}"));
+        let resumed = Session::resume(&path, &Technology::nominal(), AnalyzerOptions::default())
+            .expect("resumes");
+        assert!(resumed.poisoned().is_none(), "poison is not durable");
+        assert_eq!(resumed.digest(), digest1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manager_enforces_cap_uniqueness_and_close() {
+        let dir = temp_dir("manager");
+        let manager =
+            SessionManager::new(Technology::nominal(), Some(dir.clone()), 2).expect("creates");
+        let open = |id: Option<&str>| {
+            manager.open(
+                id,
+                INVERTER_CHAIN,
+                "chain.sim",
+                &SessionConfig::default(),
+                AnalyzerOptions::default(),
+            )
+        };
+        let (id1, _s1) = open(None).expect("first");
+        assert_eq!(id1, "s1");
+        let err = open(Some("s1")).expect_err("duplicate");
+        assert!(matches!(err, SessionError::BadRequest(_)), "{err}");
+        let (_id2, _s2) = open(Some("other")).expect("second");
+        let err = open(None).expect_err("cap");
+        assert!(matches!(err, SessionError::Limit { max: 2, .. }), "{err}");
+        // Close frees the slot and deletes the journal.
+        manager.close("other").expect("closes");
+        assert!(!dir.join(format!("other.{SESSION_JOURNAL_EXT}")).exists());
+        assert_eq!(manager.session_count(), 1);
+        let _ = open(None).expect("slot freed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manager_recovers_good_journals_and_skips_bad_ones() {
+        let dir = temp_dir("recover");
+        let manager =
+            SessionManager::new(Technology::nominal(), Some(dir.clone()), 8).expect("creates");
+        let (_, s1) = manager
+            .open(
+                Some("good"),
+                INVERTER_CHAIN,
+                "chain.sim",
+                &SessionConfig::default(),
+                AnalyzerOptions::default(),
+            )
+            .expect("opens");
+        s1.lock()
+            .expect("lock")
+            .apply_script("cap y 175")
+            .expect("edit");
+        let digest = s1.lock().expect("lock").digest();
+        drop(s1);
+        std::fs::write(
+            dir.join(format!("bad.{SESSION_JOURNAL_EXT}")),
+            "not a journal\n",
+        )
+        .expect("writes");
+
+        let fresh =
+            SessionManager::new(Technology::nominal(), Some(dir.clone()), 8).expect("creates");
+        let report = fresh.recover(&AnalyzerOptions::default());
+        assert_eq!(report.recovered, vec!["good".to_string()]);
+        assert_eq!(report.failed.len(), 1);
+        let recovered = fresh.get("good").expect("registered");
+        assert_eq!(recovered.lock().expect("lock").digest(), digest);
+        // discard_journals wipes the directory for a non-resume start.
+        assert_eq!(fresh.discard_journals(), 2);
+        assert!(session_journal_files(&dir).is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,292 @@
+//! In-process protocol tests for `crystal::server`: the malformed
+//! corpus through the upload path, the wire status taxonomy, admission
+//! control (session cap and in-flight cap), panic isolation, and
+//! graceful drain. Servers here use a *local* `ShutdownFlag` — never
+//! `install_signal_handlers` — so tests cannot poison each other
+//! through the process-global flag.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use crystal::fingerprint::{escape_json, parse_json_object};
+use crystal::{serve, ServerHandle, ServerOptions};
+
+const INVERTER_CHAIN: &str = "| two inverters\n\
+i a\n\
+o y\n\
+n a m gnd 2 8\n\
+p a m vdd 2 16\n\
+C m 20\n\
+n m y gnd 2 8\n\
+p m y vdd 2 16\n\
+C y 100\n";
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/netlists/malformed")
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(handle: &ServerHandle) -> Client {
+        let stream = TcpStream::connect(handle.addr()).expect("connect to test server");
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Client {
+            reader,
+            writer: stream,
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.writer.write_all(line.as_bytes()).expect("send");
+        self.writer.write_all(b"\n").expect("send newline");
+        self.writer.flush().expect("flush");
+    }
+
+    fn recv(&mut self) -> HashMap<String, String> {
+        let mut response = String::new();
+        self.reader.read_line(&mut response).expect("read response");
+        assert!(
+            !response.is_empty(),
+            "server closed the connection instead of responding"
+        );
+        parse_json_object(response.trim_end())
+            .unwrap_or_else(|| panic!("response is not flat JSON: {response}"))
+    }
+
+    fn request(&mut self, line: &str) -> HashMap<String, String> {
+        self.send(line);
+        self.recv()
+    }
+}
+
+fn open_request(session: &str, name: &str, netlist: &str) -> String {
+    format!(
+        "{{\"op\":\"open\",\"session\":\"{session}\",\"name\":\"{}\",\"netlist\":\"{}\"}}",
+        escape_json(name),
+        escape_json(netlist)
+    )
+}
+
+fn status(response: &HashMap<String, String>) -> &str {
+    response.get("status").map_or("<missing>", String::as_str)
+}
+
+#[test]
+fn malformed_corpus_uploads_all_return_located_parse_errors() {
+    let handle = serve(ServerOptions::default()).expect("server starts");
+    let mut client = Client::connect(&handle);
+    let mut checked = 0usize;
+    for entry in fs::read_dir(corpus_dir()).expect("malformed corpus directory exists") {
+        let path = entry.expect("readable entry").path();
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        // The upload path is .sim-only; hostile .sp/.tech text must
+        // still come back as a located parse error, not a hang/panic.
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("sim" | "sp" | "tech") => {}
+            _ => continue,
+        }
+        let text = fs::read_to_string(&path).expect("readable corpus file");
+        let response = client.request(&open_request("bad", &name, &text));
+        assert_eq!(
+            status(&response),
+            "parse_error",
+            "{name}: expected parse_error, got {response:?}"
+        );
+        let error = response.get("error").expect("error field");
+        assert!(
+            error.contains("line ") && error.contains("column "),
+            "{name}: diagnostic lacks line/column: {error}"
+        );
+        assert_eq!(response.get("retryable").map(String::as_str), Some("false"));
+        // The daemon must keep serving after each hostile upload.
+        assert_eq!(status(&client.request("{\"op\":\"ping\"}")), "ok");
+        checked += 1;
+    }
+    assert!(checked >= 13, "corpus shrank: only {checked} files checked");
+    // No session leaked from any rejected upload.
+    let stats = client.request("{\"op\":\"stats\"}");
+    assert_eq!(stats.get("sessions").map(String::as_str), Some("0"));
+    assert_eq!(stats.get("sessions_opened").map(String::as_str), Some("0"));
+    handle.stop();
+    handle.join();
+}
+
+#[test]
+fn wire_taxonomy_distinguishes_retryable_from_fatal() {
+    let options = ServerOptions {
+        max_sessions: 1,
+        ..ServerOptions::default()
+    };
+    let handle = serve(options).expect("server starts");
+    let mut client = Client::connect(&handle);
+
+    // Not JSON at all → parse_error, fatal.
+    let response = client.request("this is not json");
+    assert_eq!(status(&response), "parse_error");
+    assert_eq!(response.get("retryable").map(String::as_str), Some("false"));
+
+    // Unknown op and missing fields → error, fatal.
+    assert_eq!(status(&client.request("{\"op\":\"frobnicate\"}")), "error");
+    assert_eq!(status(&client.request("{\"op\":\"open\"}")), "error");
+    assert_eq!(
+        status(&client.request("{\"op\":\"edit\",\"session\":\"nope\",\"script\":\"cap y 1\"}")),
+        "error"
+    );
+
+    // A starved budget → budget, fatal (retrying cannot help).
+    let mut open = open_request("b", "chain.sim", INVERTER_CHAIN);
+    open.truncate(open.len() - 1);
+    open.push_str(",\"max_stage_evals\":\"1\"}");
+    let response = client.request(&open);
+    assert_eq!(status(&response), "budget", "got {response:?}");
+    assert_eq!(response.get("retryable").map(String::as_str), Some("false"));
+
+    // deadline_ms=0 pre-cancels: deterministic timeout, retryable.
+    let mut open = open_request("t", "chain.sim", INVERTER_CHAIN);
+    open.truncate(open.len() - 1);
+    open.push_str(",\"deadline_ms\":\"0\"}");
+    let response = client.request(&open);
+    assert_eq!(status(&response), "timeout", "got {response:?}");
+    assert_eq!(response.get("retryable").map(String::as_str), Some("true"));
+
+    // Neither failed open occupied the single session slot.
+    let response = client.request(&open_request("s1", "chain.sim", INVERTER_CHAIN));
+    assert_eq!(status(&response), "ok", "got {response:?}");
+
+    // Session cap exceeded → overloaded, retryable (a slot may free up).
+    let response = client.request(&open_request("s2", "chain.sim", INVERTER_CHAIN));
+    assert_eq!(status(&response), "overloaded", "got {response:?}");
+    assert_eq!(response.get("retryable").map(String::as_str), Some("true"));
+
+    // Closing the session frees the slot: the retry then succeeds.
+    assert_eq!(
+        status(&client.request("{\"op\":\"close\",\"session\":\"s1\"}")),
+        "ok"
+    );
+    let response = client.request(&open_request("s2", "chain.sim", INVERTER_CHAIN));
+    assert_eq!(status(&response), "ok", "got {response:?}");
+
+    // Correlation ids are echoed back verbatim.
+    let response = client.request("{\"op\":\"ping\",\"id\":\"req-42\"}");
+    assert_eq!(response.get("id").map(String::as_str), Some("req-42"));
+
+    handle.stop();
+    let stats = handle.join();
+    assert!(stats.cancelled >= 1, "timeout should count as cancelled");
+}
+
+#[test]
+fn inflight_cap_sheds_load_instead_of_queueing() {
+    let options = ServerOptions {
+        max_inflight: 1,
+        chaos_ops: true,
+        ..ServerOptions::default()
+    };
+    let handle = serve(options).expect("server starts");
+
+    let mut slow = Client::connect(&handle);
+    slow.send("{\"op\":\"sleep\",\"ms\":\"600\"}");
+    std::thread::sleep(Duration::from_millis(150));
+
+    // The slot is held by the sleeper: work is shed, never queued.
+    let mut fast = Client::connect(&handle);
+    let response = fast.request(&open_request("s1", "chain.sim", INVERTER_CHAIN));
+    assert_eq!(status(&response), "overloaded", "got {response:?}");
+    assert_eq!(response.get("retryable").map(String::as_str), Some("true"));
+
+    // Ungated ops keep responding under full load.
+    assert_eq!(status(&fast.request("{\"op\":\"ping\"}")), "ok");
+
+    // Once the sleeper finishes, the same request is admitted.
+    let response = slow.recv();
+    assert_eq!(status(&response), "ok", "got {response:?}");
+    let response = fast.request(&open_request("s1", "chain.sim", INVERTER_CHAIN));
+    assert_eq!(status(&response), "ok", "got {response:?}");
+
+    handle.stop();
+    let stats = handle.join();
+    assert!(stats.shed >= 1, "expected at least one shed request");
+}
+
+#[test]
+fn a_panicking_request_poisons_only_its_session() {
+    let options = ServerOptions {
+        chaos_ops: true,
+        ..ServerOptions::default()
+    };
+    let handle = serve(options).expect("server starts");
+    let mut client = Client::connect(&handle);
+    assert_eq!(
+        status(&client.request(&open_request("victim", "chain.sim", INVERTER_CHAIN))),
+        "ok"
+    );
+    assert_eq!(
+        status(&client.request(&open_request("bystander", "chain.sim", INVERTER_CHAIN))),
+        "ok"
+    );
+
+    let response = client.request("{\"op\":\"crash\",\"session\":\"victim\"}");
+    assert_eq!(status(&response), "poisoned", "got {response:?}");
+    assert_eq!(response.get("retryable").map(String::as_str), Some("false"));
+
+    // The victim refuses further work; the bystander and the daemon
+    // itself are untouched.
+    let response = client.request("{\"op\":\"report\",\"session\":\"victim\"}");
+    assert_eq!(status(&response), "poisoned", "got {response:?}");
+    let response = client.request("{\"op\":\"report\",\"session\":\"bystander\"}");
+    assert_eq!(status(&response), "ok", "got {response:?}");
+    assert_eq!(status(&client.request("{\"op\":\"ping\"}")), "ok");
+
+    handle.stop();
+    let stats = handle.join();
+    assert_eq!(stats.panics, 1);
+}
+
+#[test]
+fn drain_finishes_inflight_work_and_interrupts_the_rest() {
+    let options = ServerOptions {
+        chaos_ops: true,
+        ..ServerOptions::default()
+    };
+    let handle = serve(options).expect("server starts");
+    let mut client = Client::connect(&handle);
+
+    // Three buffered requests: the sleep is in flight when the drain
+    // starts, the open arrives during it, and ping is ungated. The
+    // drain contract: in-flight work finishes, later gated work is
+    // interrupted (retryable), ungated ops still answer.
+    let open = open_request("late", "chain.sim", INVERTER_CHAIN);
+    let script = format!("{{\"op\":\"sleep\",\"ms\":\"400\"}}\n{open}\n{{\"op\":\"ping\"}}\n");
+    client.writer.write_all(script.as_bytes()).expect("send");
+    client.writer.flush().expect("flush");
+    std::thread::sleep(Duration::from_millis(100));
+    handle.stop();
+
+    let response = client.recv();
+    assert_eq!(status(&response), "ok", "sleep should finish: {response:?}");
+    assert_eq!(response.get("slept_ms").map(String::as_str), Some("400"));
+    let response = client.recv();
+    assert_eq!(status(&response), "interrupted", "got {response:?}");
+    assert_eq!(response.get("retryable").map(String::as_str), Some("true"));
+    let response = client.recv();
+    assert_eq!(status(&response), "ok", "ping is ungated: {response:?}");
+
+    // join() returning proves the daemon exits instead of hanging, and
+    // the dropped listener then refuses new connections.
+    let addr = handle.addr();
+    let stats = handle.join();
+    assert!(stats.interrupted >= 1);
+    assert!(
+        TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err(),
+        "drained server still accepts connections"
+    );
+}

@@ -6,11 +6,15 @@
 //! (inverter chain, random pass mesh, Manchester-carry adder) at 1, 2,
 //! and all hardware threads, then replays a 10-edit resize sequence
 //! through an `IncrementalAnalyzer` session against full re-analysis,
-//! and writes the measurements to `BENCH_pr2.json` for the CI artifact.
+//! and writes the measurements to `BENCH.json` for the CI artifact.
 //!
 //! ```text
 //! cargo run --release -p bench --bin bench_smoke -- [options]
-//!   --out PATH            output file (default BENCH_pr2.json)
+//!   --out PATH            output file (default BENCH.json)
+//!   --run-db DIR          also append a run record (one scenario row per
+//!                         circuit x thread-count plus the edit loop) to
+//!                         the persistent run database, so
+//!                         `crystal-cli diff-runs` can compare bench runs
 //!   --reps N              timing repetitions, best-of (default 3)
 //!   --check               gate: parallel runs must not be slower than
 //!                         serial beyond a noise tolerance, and parallel
@@ -51,9 +55,14 @@ use std::time::Instant;
 /// only fail when it costs more than this factor.
 const SLOWDOWN_TOLERANCE: f64 = 1.35;
 
+/// The bench label embedded in the JSON and run records: derived from
+/// the crate version so regenerated artifacts never claim a stale PR.
+const BENCH_LABEL: &str = concat!("bench_smoke v", env!("CARGO_PKG_VERSION"));
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut out_path = "BENCH_pr2.json".to_string();
+    let mut out_path = "BENCH.json".to_string();
+    let mut run_db: Option<String> = None;
     let mut reps = 3usize;
     let mut check = false;
     let mut require_speedup: Option<f64> = None;
@@ -63,6 +72,7 @@ fn main() {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--out" => out_path = it.next().expect("--out needs a value").clone(),
+            "--run-db" => run_db = Some(it.next().expect("--run-db needs a value").clone()),
             "--trace" => trace_prefix = Some(it.next().expect("--trace needs a value").clone()),
             "--reps" => {
                 reps = it
@@ -102,8 +112,10 @@ fn main() {
     let circuits = circuits();
     let mut failures: Vec<String> = Vec::new();
     let mut json_circuits: Vec<String> = Vec::new();
+    let bench_started = Instant::now();
+    let mut rows: Vec<crystal::runstore::ScenarioRow> = Vec::new();
 
-    println!("PR2 smoke bench — {hw} hardware thread(s), best of {reps} rep(s)");
+    println!("{BENCH_LABEL} — {hw} hardware thread(s), best of {reps} rep(s)");
     println!(
         "{:<16} {:>8} {:>10} {:>8} {:>12} {:>9} {:>10}",
         "circuit", "threads", "wall (ms)", "speedup", "cache h/m", "hit rate", "identical"
@@ -189,6 +201,16 @@ fn main() {
                 stats.hit_rate(),
                 phases_json(&metrics)
             ));
+            rows.push(crystal::runstore::ScenarioRow {
+                label: format!("{name} x{threads}"),
+                outcome: if identical { "ok" } else { "error" }.to_string(),
+                digest: None,
+                summary: format!(
+                    "wall {wall_ms:.2} ms, speedup {speedup:.2}x, cache {}/{}",
+                    stats.hits, stats.misses
+                ),
+                wall_us: (secs * 1e6) as u64,
+            });
         }
         json_circuits.push(format!(
             "{{\"name\": \"{name}\", \"transistors\": {}, \"scenarios\": {}, \"runs\": [{}]}}",
@@ -198,11 +220,11 @@ fn main() {
         ));
     }
 
-    let edit_loop = edit_loop_bench(&tech, reps, require_edit_speedup, &mut failures);
+    let edit_loop = edit_loop_bench(&tech, reps, require_edit_speedup, &mut failures, &mut rows);
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"bench\": \"pr2_smoke\",");
+    let _ = writeln!(json, "  \"bench\": \"{BENCH_LABEL}\",");
     let _ = writeln!(json, "  \"hardware_threads\": {hw},");
     let _ = writeln!(json, "  \"reps\": {reps},");
     let _ = writeln!(json, "  \"circuits\": [");
@@ -215,6 +237,25 @@ fn main() {
     let _ = writeln!(json, "}}");
     std::fs::write(&out_path, &json).expect("bench output file writes");
     println!("wrote {out_path}");
+
+    if let Some(db) = &run_db {
+        use crystal::runstore::{new_meta, ExitRow, RunRecord, RunStore};
+        let mut record = RunRecord::new(new_meta("bench_smoke", 0, "slope", hw));
+        record.scenarios = rows;
+        let (status, code) = if failures.is_empty() {
+            ("ok", 0)
+        } else {
+            ("error", 1)
+        };
+        record.exit = Some(ExitRow {
+            status: status.to_string(),
+            code,
+            wall_us: bench_started.elapsed().as_micros() as u64,
+        });
+        let store = RunStore::open(std::path::Path::new(db)).expect("run database opens");
+        let path = store.record(&record).expect("run record writes");
+        println!("run-db: recorded {} -> {}", record.meta.id, path.display());
+    }
 
     if !failures.is_empty() {
         for f in &failures {
@@ -238,6 +279,7 @@ fn edit_loop_bench(
     reps: usize,
     require_speedup: Option<f64>,
     failures: &mut Vec<String>,
+    rows: &mut Vec<crystal::runstore::ScenarioRow>,
 ) -> String {
     use mosnet::diff::{apply_edit, Edit};
 
@@ -359,6 +401,15 @@ fn edit_loop_bench(
     if reused == 0 {
         failures.push("edit-loop: no stage was ever reused".to_string());
     }
+    rows.push(crystal::runstore::ScenarioRow {
+        label: "edit-loop".to_string(),
+        outcome: if identical { "ok" } else { "error" }.to_string(),
+        digest: None,
+        summary: format!(
+            "incremental {inc_ms:.2} ms vs full {full_ms:.2} ms, speedup {speedup:.2}x"
+        ),
+        wall_us: (inc_secs * 1e6) as u64,
+    });
 
     format!(
         "{{\"circuit\": \"inverter-chain-24\", \"edits\": {}, \"scenarios\": {}, \

@@ -20,6 +20,9 @@
 //!                    [--journal-dir DIR [--resume]] [--request-timeout MS]
 //!                    [--chaos-ops] [--tech FILE]
 //! crystal-cli client [--addr HOST:PORT] [--script FILE]
+//! crystal-cli diff-runs <A> <B> [--run-db DIR] [--json FILE]
+//!                    [--fail-on-timing-regression PCT]
+//!                    [--fail-on-perf-regression PCT] [--fail-on-digest-mismatch]
 //! ```
 //!
 //! `report`, `sweep`, `batch`, `check` and `watch` accept `--trace FILE`
@@ -40,6 +43,19 @@
 //! `--scenario-timeout` arms a per-scenario watchdog, and retryable
 //! failures climb a bounded retry ladder before being quarantined as
 //! poisoned records. `SIGINT`/`SIGTERM` drain gracefully.
+//!
+//! `batch`, `check`, and `serve` accept `--run-db DIR`: every run appends
+//! a persistent record (per-scenario arrival digests and times, phase
+//! timings, cache counters, git/host/hardware provenance, exit status)
+//! to the run database. `diff-runs A B` compares two records — per-node
+//! timing deltas, digest mismatches, per-phase and wall-clock perf
+//! deltas, cache-stat deltas — where `A`/`B` are record paths, run IDs,
+//! or unique ID prefixes. `--fail-on-timing-regression PCT` exits 4 on a
+//! timing regression, `--fail-on-perf-regression PCT` exits 1 on a
+//! comparable wall-clock regression (threshold precedence: timing >
+//! digest > perf; see `crystal::runstore`). `batch --inject MODEL=FACTOR`
+//! corrupts the *recorded* arrivals of one model — a drill proving the
+//! regression gate fires.
 //!
 //! `serve` hosts concurrent journal-backed incremental sessions over a
 //! JSON-lines TCP protocol with admission control, per-request
@@ -77,6 +93,7 @@ use crystal::memo::StageCache;
 use crystal::models::ModelKind;
 use crystal::obs::TraceSink;
 use crystal::report::{critical_path_report, full_report};
+use crystal::runstore::{self, DiffThresholds, DiffVerdict, RunRecord, RunStore, RunStoreError};
 use crystal::selfcheck::{
     check_incremental, check_network, check_resume_equivalence, standard_scenarios, SelfCheckConfig,
 };
@@ -92,10 +109,10 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::fs;
 use std::io::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Stable exit-code taxonomy (see the module docs). Scripts and CI key
 /// off these numbers; change them only with a major version bump.
@@ -196,6 +213,9 @@ const USAGE: &str =
                           [--journal-dir DIR [--resume]] [--request-timeout MS]
                           [--chaos-ops] [--tech FILE] [--no-cache] [budget flags]
        crystal-cli client [--addr HOST:PORT] [--script FILE]
+       crystal-cli diff-runs <A> <B> [--run-db DIR] [--json FILE]
+                          [--fail-on-timing-regression PCT]
+                          [--fail-on-perf-regression PCT] [--fail-on-digest-mismatch]
   --input NAME          switching input (report)
   --edge rise|fall      input edge direction (report)
   --model lumped|rctree|slope   delay model (default slope)
@@ -250,7 +270,19 @@ const USAGE: &str =
   --script FILE         client: request script (default: stdin); lines:
                         `open SESSION FILE [k=v...]`, `edit SESSION <edit-line>`,
                         `report|batch|check|close SESSION`, `ping`, `stats`,
-                        `sleep MS`, `crash [SESSION]`, `wait MS`; `|` comments
+                        `history`, `diff A B [k=v...]`, `sleep MS`,
+                        `crash [SESSION]`, `wait MS`; `|` comments
+  --run-db DIR          batch/check/serve/diff-runs: persistent run database —
+                        every run appends a record (scenario digests + arrival
+                        times, phase timings, cache stats, provenance, exit
+                        status) that diff-runs can compare later
+  --json FILE           diff-runs: write the machine-readable diff report
+  --fail-on-timing-regression PCT   diff-runs: exit 4 when any node's arrival
+                        moved by more than PCT percent (or appeared/vanished)
+  --fail-on-perf-regression PCT     diff-runs: exit 1 when comparable wall
+                        clocks regressed by more than PCT percent (skipped
+                        with a note when the runs saw different hardware)
+  --fail-on-digest-mismatch         diff-runs: exit 4 on any digest mismatch
 exit codes: 0 ok, 1 usage/other, 2 parse, 3 budget, 4 divergence,
             5 timeout, 6 poisoned, 7 I/O, 8 interrupted, 9 overloaded
 ";
@@ -288,6 +320,11 @@ struct Options {
     request_timeout: Option<Duration>,
     chaos_ops: bool,
     script: Option<String>,
+    run_db: Option<PathBuf>,
+    json_out: Option<String>,
+    fail_timing: Option<f64>,
+    fail_perf: Option<f64>,
+    fail_digest: bool,
 }
 
 impl Options {
@@ -305,9 +342,11 @@ impl Options {
         }
     }
 
-    /// A shared trace sink when `--trace` or `--metrics` asked for one.
+    /// A shared trace sink when `--trace` or `--metrics` asked for one —
+    /// or when `--run-db` did: run records always carry phase timings.
     fn trace_sink(&self) -> Option<Arc<TraceSink>> {
-        (self.trace.is_some() || self.metrics).then(|| Arc::new(TraceSink::new()))
+        (self.trace.is_some() || self.metrics || self.run_db.is_some())
+            .then(|| Arc::new(TraceSink::new()))
     }
 
     /// Writes the `--trace` file and appends the `--metrics` summary.
@@ -373,6 +412,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         request_timeout: None,
         chaos_ops: false,
         script: None,
+        run_db: None,
+        json_out: None,
+        fail_timing: None,
+        fail_perf: None,
+        fail_digest: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -500,6 +544,31 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--chaos-ops" => options.chaos_ops = true,
             "--script" => options.script = Some(value("--script")?),
+            "--run-db" => options.run_db = Some(PathBuf::from(value("--run-db")?)),
+            "--json" => options.json_out = Some(value("--json")?),
+            "--fail-on-timing-regression" => {
+                let pct: f64 = value("--fail-on-timing-regression")?
+                    .parse()
+                    .map_err(|_| "cannot parse --fail-on-timing-regression".to_string())?;
+                if !(pct >= 0.0 && pct.is_finite()) {
+                    return Err(
+                        "--fail-on-timing-regression must be a non-negative percentage".into(),
+                    );
+                }
+                options.fail_timing = Some(pct);
+            }
+            "--fail-on-perf-regression" => {
+                let pct: f64 = value("--fail-on-perf-regression")?
+                    .parse()
+                    .map_err(|_| "cannot parse --fail-on-perf-regression".to_string())?;
+                if !(pct >= 0.0 && pct.is_finite()) {
+                    return Err(
+                        "--fail-on-perf-regression must be a non-negative percentage".into(),
+                    );
+                }
+                options.fail_perf = Some(pct);
+            }
+            "--fail-on-digest-mismatch" => options.fail_digest = true,
             "--edits" => options.edits = Some(value("--edits")?),
             "--selfcheck" => options.watch_selfcheck = true,
             "--once" => options.once = true,
@@ -556,10 +625,12 @@ fn resolve(net: &Network, name: &str) -> Result<NodeId, String> {
 /// Runs a full CLI invocation; returns the stdout text.
 fn run(args: &[String]) -> Result<String, CliError> {
     let (command, rest) = args.split_first().ok_or(USAGE.to_string())?;
-    // The daemon commands take no netlist file — sessions upload theirs.
+    // The daemon commands take no netlist file — sessions upload theirs
+    // — and `diff-runs` compares stored records, not netlists.
     match command.as_str() {
         "serve" => return run_serve(rest),
         "client" => return run_client(rest),
+        "diff-runs" => return run_diff_runs(rest),
         _ => {}
     }
     let (path, rest) = rest
@@ -697,12 +768,15 @@ fn run(args: &[String]) -> Result<String, CliError> {
             if options.journal.is_some() {
                 return run_durable_batch(&net, &tech, &options, &scenarios, &sink);
             }
+            let started = Instant::now();
+            let analyzer_options = options.analyzer_options(&sink);
+            let cache = analyzer_options.cache.clone();
             let batch = run_batch(
                 &net,
                 &tech,
                 options.model,
                 &scenarios,
-                options.analyzer_options(&sink),
+                analyzer_options.clone(),
                 options.fail_fast,
             );
             let mut out = String::new();
@@ -726,31 +800,64 @@ fn run(args: &[String]) -> Result<String, CliError> {
                     }
                 }
             }
+            let kind = if batch.all_ok() {
+                None
+            } else if batch.results.iter().any(|(_, r)| {
+                matches!(
+                    r,
+                    Err(crystal::BatchFailure::Error(
+                        TimingError::BudgetExhausted { .. }
+                    ))
+                )
+            }) {
+                Some(ExitKind::Budget)
+            } else {
+                Some(ExitKind::Generic)
+            };
             if batch.all_ok() {
                 let _ = writeln!(out, "{} scenarios, all ok", batch.results.len());
-                options.emit_observability(&mut out, &sink)?;
-                Ok(out)
-            } else {
-                // Completed scenarios stay visible; the failure summary
-                // drives the non-zero exit. The trace file still gets
-                // written — failing runs are the ones worth inspecting.
-                options.emit_observability(&mut out, &sink)?;
-                let kind = if batch.results.iter().any(|(_, r)| {
-                    matches!(
-                        r,
-                        Err(crystal::BatchFailure::Error(
-                            TimingError::BudgetExhausted { .. }
-                        ))
-                    )
-                }) {
-                    ExitKind::Budget
-                } else {
-                    ExitKind::Generic
-                };
-                Err(CliError::new(
+            }
+            if let Some(db) = options.run_db.clone() {
+                let fp = crystal::fingerprint::run_fingerprint(
+                    &net,
+                    &tech,
+                    options.model,
+                    &analyzer_options,
+                );
+                let mut record = RunRecord::new(runstore::new_meta(
+                    "batch",
+                    fp,
+                    &options.model.to_string(),
+                    options.threads,
+                ));
+                for (label, outcome) in &batch.results {
+                    match outcome {
+                        Ok(result) => {
+                            let summary = crystal::durable::scenario_summary(&net, result);
+                            record.push_result(&net, label, result, &summary, options.inject);
+                        }
+                        Err(failure) => record.scenarios.push(runstore::ScenarioRow {
+                            label: label.clone(),
+                            outcome: "error".to_string(),
+                            digest: None,
+                            summary: failure.to_string(),
+                            wall_us: 0,
+                        }),
+                    }
+                }
+                record.cache = cache.as_ref().map(|c| c.stats());
+                record_run(&db, record, &sink, kind, started, &mut out)?;
+            }
+            // Completed scenarios stay visible either way; the failure
+            // summary drives the non-zero exit. The trace file still
+            // gets written — failing runs are the ones worth inspecting.
+            options.emit_observability(&mut out, &sink)?;
+            match kind {
+                None => Ok(out),
+                Some(kind) => Err(CliError::new(
                     kind,
                     format!("{out}{}", batch.failure_summary()),
-                ))
+                )),
             }
         }
         "check" => {
@@ -788,13 +895,43 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 trace: sink.clone(),
                 ..SelfCheckConfig::default()
             };
+            let started = Instant::now();
             let report = check_network(&net, &tech, &scenarios, &config);
             let mut out = report.render();
+            let kind = (!report.ok()).then_some(ExitKind::Divergence);
+            if let Some(db) = options.run_db.clone() {
+                let fp = crystal::fingerprint::run_fingerprint(
+                    &net,
+                    &tech,
+                    options.model,
+                    &options.analyzer_options(&sink),
+                );
+                let mut record = RunRecord::new(runstore::new_meta(
+                    "check",
+                    fp,
+                    &options.model.to_string(),
+                    options.threads,
+                ));
+                // The harness compares legs instead of producing one
+                // result set, so the record carries its verdict counters
+                // rather than arrivals.
+                for (name, value) in [
+                    ("checks_run", report.checks_run as u64),
+                    ("divergences", report.divergences.len() as u64),
+                    ("skipped", report.skipped.len() as u64),
+                ] {
+                    record.counters.push(runstore::CounterRow {
+                        phase: "check".to_string(),
+                        name: name.to_string(),
+                        value,
+                    });
+                }
+                record_run(&db, record, &sink, kind, started, &mut out)?;
+            }
             options.emit_observability(&mut out, &sink)?;
-            if report.ok() {
-                Ok(out)
-            } else {
-                Err(CliError::new(ExitKind::Divergence, out))
+            match kind {
+                None => Ok(out),
+                Some(kind) => Err(CliError::new(kind, out)),
             }
         }
         "spice" => Ok(spice_format::write(&net)),
@@ -995,6 +1132,7 @@ fn run_serve(args: &[String]) -> Result<String, CliError> {
     install_signal_handlers();
     let tech = load_technology(&options)?;
     let sink = options.trace_sink();
+    let started = Instant::now();
     let server_options = ServerOptions {
         addr: options.addr.clone(),
         max_sessions: options.max_sessions,
@@ -1013,6 +1151,7 @@ fn run_serve(args: &[String]) -> Result<String, CliError> {
         trace: sink.clone(),
         shutdown: ShutdownFlag::new(),
         chaos_ops: options.chaos_ops,
+        run_db: options.run_db.clone(),
     };
     let handle = serve(server_options)
         .map_err(|e| CliError::new(ExitKind::Io, format!("cannot start server: {e}")))?;
@@ -1042,6 +1181,29 @@ fn run_serve(args: &[String]) -> Result<String, CliError> {
         stats.interrupted,
         stats.recovered,
     );
+    if let Some(db) = &options.run_db {
+        let mut record = RunRecord::new(runstore::new_meta("serve", 0, "-", options.threads));
+        for (name, value) in [
+            ("accepted", stats.accepted),
+            ("requests", stats.requests),
+            ("shed", stats.shed),
+            ("cancelled", stats.cancelled),
+            ("panics", stats.panics),
+            ("interrupted", stats.interrupted),
+            ("parse_errors", stats.parse_errors),
+            ("sessions_opened", stats.sessions_opened),
+            ("sessions_closed", stats.sessions_closed),
+            ("recovered", stats.recovered),
+            ("recovery_failed", stats.recovery_failed),
+        ] {
+            record.counters.push(runstore::CounterRow {
+                phase: "server".to_string(),
+                name: name.to_string(),
+                value,
+            });
+        }
+        record_run(db, record, &sink, None, started, &mut out)?;
+    }
     options.emit_observability(&mut out, &sink)?;
     Ok(out)
 }
@@ -1151,6 +1313,13 @@ fn client_request(line: &str) -> Result<String, String> {
     match words.as_slice() {
         ["ping"] => request.push_str("ping"),
         ["stats"] => request.push_str("stats"),
+        ["history"] => request.push_str("history"),
+        ["diff", a, b, extras @ ..] => {
+            request.push_str("diff");
+            push_field(&mut request, "a", a);
+            push_field(&mut request, "b", b);
+            push_extras(&mut request, extras)?;
+        }
         ["open", session, file, extras @ ..] => {
             let netlist = fs::read_to_string(file)
                 .map_err(|e| format!("cannot read netlist `{file}`: {e}"))?;
@@ -1187,6 +1356,140 @@ fn client_request(line: &str) -> Result<String, String> {
     Ok(request)
 }
 
+/// The wire-taxonomy status name and exit code a run record stores for a
+/// CLI outcome (`None` = success).
+fn exit_status(kind: Option<ExitKind>) -> (&'static str, u8) {
+    match kind {
+        None => ("ok", 0),
+        Some(ExitKind::Generic) => ("error", 1),
+        Some(ExitKind::Parse) => ("parse_error", 2),
+        Some(ExitKind::Budget) => ("budget", 3),
+        Some(ExitKind::Divergence) => ("divergence", 4),
+        Some(ExitKind::Timeout) => ("timeout", 5),
+        Some(ExitKind::Poisoned) => ("poisoned", 6),
+        Some(ExitKind::Io) => ("io_error", 7),
+        Some(ExitKind::Interrupted) => ("interrupted", 8),
+        Some(ExitKind::Overloaded) => ("overloaded", 9),
+    }
+}
+
+/// Classifies a run-store failure: damaged records parse-error, missing
+/// or ambiguous specs are usage errors, the rest is I/O.
+fn runstore_exit_kind(e: &RunStoreError) -> ExitKind {
+    match e {
+        RunStoreError::Io { .. } => ExitKind::Io,
+        RunStoreError::Corrupt { .. } => ExitKind::Parse,
+        _ => ExitKind::Generic,
+    }
+}
+
+/// Finalizes and persists one run record: stamps the phase/counter
+/// metrics from the shared sink, the exit footer, and the wall clock,
+/// then appends the record to the `--run-db` database and echoes its ID.
+fn record_run(
+    db: &Path,
+    mut record: RunRecord,
+    sink: &Option<Arc<TraceSink>>,
+    kind: Option<ExitKind>,
+    started: Instant,
+    out: &mut String,
+) -> Result<(), CliError> {
+    if let Some(sink) = sink {
+        sink.count(crystal::obs::Phase::RunStore, "runs_recorded", 1);
+        record.set_metrics(&sink.metrics());
+    }
+    let (status, code) = exit_status(kind);
+    record.exit = Some(runstore::ExitRow {
+        status: status.to_string(),
+        code,
+        wall_us: started.elapsed().as_micros() as u64,
+    });
+    let store =
+        RunStore::open(db).map_err(|e| CliError::new(runstore_exit_kind(&e), e.to_string()))?;
+    let path = store
+        .record(&record)
+        .map_err(|e| CliError::new(runstore_exit_kind(&e), e.to_string()))?;
+    let _ = writeln!(
+        out,
+        "run-db: recorded {} -> {}",
+        record.meta.id,
+        path.display()
+    );
+    Ok(())
+}
+
+/// The `diff-runs` command: resolve two run records (paths, run IDs, or
+/// unique ID prefixes against `--run-db`), diff them, apply the
+/// regression thresholds, and optionally write the JSON report. Exit
+/// codes follow the threshold precedence: timing regression and digest
+/// mismatch exit 4 (the divergence analog), perf regression exits 1.
+fn run_diff_runs(args: &[String]) -> Result<String, CliError> {
+    let spec = |args: &[String], which: &str| -> Result<(String, Vec<String>), CliError> {
+        match args.split_first() {
+            Some((first, rest)) if !first.starts_with("--") => Ok((first.clone(), rest.to_vec())),
+            _ => Err(format!("`diff-runs` needs two run specs ({which} missing)\n{USAGE}").into()),
+        }
+    };
+    let (a_spec, rest) = spec(args, "baseline A")?;
+    let (b_spec, rest) = spec(&rest, "candidate B")?;
+    let options = parse_options(&rest)?;
+    let store = RunStore::open(options.run_db.as_deref().unwrap_or(Path::new(".")))
+        .map_err(|e| CliError::new(runstore_exit_kind(&e), e.to_string()))?;
+    let read = |spec: &str| -> Result<RunRecord, CliError> {
+        let path = store
+            .resolve(spec)
+            .map_err(|e| CliError::new(runstore_exit_kind(&e), e.to_string()))?;
+        runstore::read_run(&path).map_err(|e| CliError::new(runstore_exit_kind(&e), e.to_string()))
+    };
+    let a = read(&a_spec)?;
+    let b = read(&b_spec)?;
+    let thresholds = DiffThresholds {
+        timing_pct: options.fail_timing,
+        perf_pct: options.fail_perf,
+        digest: options.fail_digest,
+    };
+    let d = runstore::diff(&a, &b);
+    let mut out = d.render();
+    if let Some(path) = options.json_out.as_deref() {
+        fs::write(path, d.to_json(&thresholds)).map_err(|e| {
+            CliError::new(ExitKind::Io, format!("cannot write report `{path}`: {e}"))
+        })?;
+        let _ = writeln!(out, "json report: {path}");
+    }
+    match d.verdict(&thresholds) {
+        DiffVerdict::Clean => {
+            let _ = writeln!(out, "verdict: clean");
+            Ok(out)
+        }
+        DiffVerdict::TimingRegression => {
+            let _ = writeln!(
+                out,
+                "verdict: TIMING REGRESSION ({:.4}% worst arrival change exceeds {}%)",
+                d.max_timing_pct,
+                options.fail_timing.unwrap_or(0.0)
+            );
+            Err(CliError::new(ExitKind::Divergence, out))
+        }
+        DiffVerdict::DigestMismatch => {
+            let _ = writeln!(
+                out,
+                "verdict: DIGEST MISMATCH ({} scenario(s))",
+                d.digest_mismatches.len() + d.only_in_a.len() + d.only_in_b.len()
+            );
+            Err(CliError::new(ExitKind::Divergence, out))
+        }
+        DiffVerdict::PerfRegression => {
+            let _ = writeln!(
+                out,
+                "verdict: PERF REGRESSION ({:+.1}% worst comparable wall-clock change exceeds {}%)",
+                d.max_perf_pct,
+                options.fail_perf.unwrap_or(0.0)
+            );
+            Err(CliError::new(ExitKind::Generic, out))
+        }
+    }
+}
+
 /// The `batch --journal` path: durable execution with checkpoint/resume,
 /// watchdog timeouts, the retry ladder, and graceful shutdown. See the
 /// module docs for the exit-code precedence.
@@ -1198,8 +1501,10 @@ fn run_durable_batch(
     sink: &Option<Arc<TraceSink>>,
 ) -> Result<String, CliError> {
     install_signal_handlers();
+    let started = Instant::now();
     let journal = options.journal.clone().expect("caller checked --journal");
     let analyzer_options = options.analyzer_options(sink);
+    let cache = analyzer_options.cache.clone();
     let durable = DurableOptions {
         journal,
         resume: options.resume,
@@ -1274,6 +1579,36 @@ fn run_durable_batch(
     } else {
         None
     };
+    if let Some(db) = options.run_db.clone() {
+        let fp = crystal::fingerprint::run_fingerprint(net, tech, options.model, &analyzer_options);
+        let mut record = RunRecord::new(runstore::new_meta(
+            "batch",
+            fp,
+            &options.model.to_string(),
+            options.threads,
+        ));
+        // Durable records carry digests and per-scenario wall clocks but
+        // not retained arrivals — the journal is the arrival source.
+        for scenario in &run.records {
+            record.scenarios.push(runstore::ScenarioRow {
+                label: scenario.label.clone(),
+                outcome: match scenario.outcome {
+                    Outcome::Ok => "ok",
+                    Outcome::Error => "error",
+                    Outcome::TimedOut => "timeout",
+                    Outcome::Poisoned => "poisoned",
+                    Outcome::Skipped => "skipped",
+                    _ => "error",
+                }
+                .to_string(),
+                digest: scenario.digest,
+                summary: scenario.summary.clone(),
+                wall_us: scenario.wall_ms.saturating_mul(1000),
+            });
+        }
+        record.cache = cache.as_ref().map(|c| c.stats());
+        record_run(&db, record, sink, kind, started, &mut out)?;
+    }
     match kind {
         None => Ok(out),
         Some(kind) => Err(CliError::new(kind, out)),
@@ -1873,5 +2208,154 @@ mod tests {
         assert!(cli(&["frobnicate", p]).is_err());
         assert!(cli(&["lint", p, "--set", "a"]).is_err());
         assert!(cli(&["lint", p, "--transition", "-1"]).is_err());
+    }
+
+    /// Runs `batch` against a run database and returns the recorded id.
+    fn batch_into(db: &str, netlist: &str, extra: &[&str]) -> String {
+        let mut parts = vec!["batch", netlist, "--run-db", db];
+        parts.extend_from_slice(extra);
+        let out = cli(&parts).unwrap();
+        out.lines()
+            .find_map(|l| l.strip_prefix("run-db: recorded "))
+            .unwrap_or_else(|| panic!("no run-db line in {out}"))
+            .split_whitespace()
+            .next()
+            .expect("run id")
+            .to_string()
+    }
+
+    fn temp_db(tag: &str) -> PathBuf {
+        let db =
+            std::env::temp_dir().join(format!("crystal_cli_rundb_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&db);
+        db
+    }
+
+    #[test]
+    fn diff_runs_identical_batches_are_clean() {
+        let path = fixture("rundb_clean", INVERTER_CHAIN);
+        let db = temp_db("clean");
+        let db = db.to_str().unwrap();
+        let a = batch_into(db, path.to_str().unwrap(), &[]);
+        let b = batch_into(db, path.to_str().unwrap(), &[]);
+        let out = cli(&[
+            "diff-runs",
+            &a,
+            &b,
+            "--run-db",
+            db,
+            "--fail-on-timing-regression",
+            "0.5",
+            "--fail-on-digest-mismatch",
+        ])
+        .unwrap();
+        assert!(out.contains("0 mismatch(es)"), "{out}");
+        assert!(out.contains("verdict: clean"), "{out}");
+        let _ = fs::remove_dir_all(db);
+    }
+
+    #[test]
+    fn diff_runs_injected_fault_exits_divergence() {
+        let path = fixture("rundb_inject", INVERTER_CHAIN);
+        let db = temp_db("inject");
+        let db = db.to_str().unwrap();
+        let p = path.to_str().unwrap();
+        let a = batch_into(db, p, &["--model", "lumped"]);
+        let b = batch_into(db, p, &["--model", "lumped", "--inject", "lumped=2"]);
+        let err = cli_err(&[
+            "diff-runs",
+            &a,
+            &b,
+            "--run-db",
+            db,
+            "--fail-on-timing-regression",
+            "0.5",
+        ]);
+        assert_eq!(err.kind, ExitKind::Divergence, "{}", err.message);
+        assert!(err.message.contains("TIMING REGRESSION"), "{}", err.message);
+        // A doubled lumped model doubles every non-zero arrival: the
+        // per-node delta section must spell out the +100% moves.
+        assert!(err.message.contains("+100.0000%"), "{}", err.message);
+        assert!(err.message.contains("digest mismatch"), "{}", err.message);
+        let _ = fs::remove_dir_all(db);
+    }
+
+    #[test]
+    fn diff_runs_resolves_prefixes_and_rejects_ambiguity() {
+        let path = fixture("rundb_resolve", INVERTER_CHAIN);
+        let db = temp_db("resolve");
+        let db_s = db.to_str().unwrap();
+        let a = batch_into(db_s, path.to_str().unwrap(), &[]);
+        let b = batch_into(db_s, path.to_str().unwrap(), &[]);
+        // Unique prefix resolves; the shared "run-" prefix is ambiguous.
+        let out = cli(&["diff-runs", &a[..12], &b, "--run-db", db_s]).unwrap();
+        assert!(out.contains("verdict: clean"), "{out}");
+        let err = cli_err(&["diff-runs", "run-", &b, "--run-db", db_s]);
+        assert_eq!(err.kind, ExitKind::Generic, "{}", err.message);
+        assert!(err.message.contains("ambiguous"), "{}", err.message);
+        // A literal record path bypasses the store entirely.
+        let literal = db.join(format!("{a}.run"));
+        let out = cli(&["diff-runs", literal.to_str().unwrap(), &b, "--run-db", db_s]).unwrap();
+        assert!(out.contains("verdict: clean"), "{out}");
+        let _ = fs::remove_dir_all(&db);
+    }
+
+    #[test]
+    fn diff_runs_json_report_is_written() {
+        let path = fixture("rundb_json", INVERTER_CHAIN);
+        let db = temp_db("json");
+        let db_s = db.to_str().unwrap();
+        let a = batch_into(db_s, path.to_str().unwrap(), &[]);
+        let b = batch_into(db_s, path.to_str().unwrap(), &[]);
+        let report = db.join("diff.json");
+        let out = cli(&[
+            "diff-runs",
+            &a,
+            &b,
+            "--run-db",
+            db_s,
+            "--json",
+            report.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("json report:"), "{out}");
+        let text = fs::read_to_string(&report).expect("json report exists");
+        assert!(text.contains("\"verdict\""), "{text}");
+        assert!(text.contains(&a), "{text}");
+        assert!(text.contains(&b), "{text}");
+        let _ = fs::remove_dir_all(&db);
+    }
+
+    #[test]
+    fn check_records_runs_with_counters() {
+        let path = fixture("rundb_check", INVERTER_CHAIN);
+        let db = temp_db("check");
+        let db_s = db.to_str().unwrap();
+        // The tiny fixture may legitimately diverge from the transient
+        // reference; the run is recorded either way.
+        let out = match cli(&["check", path.to_str().unwrap(), "--run-db", db_s]) {
+            Ok(out) => out,
+            Err(message) => message,
+        };
+        let id = out
+            .lines()
+            .find_map(|l| l.strip_prefix("run-db: recorded "))
+            .unwrap_or_else(|| panic!("no run-db line in {out}"))
+            .split_whitespace()
+            .next()
+            .unwrap();
+        let record =
+            crystal::runstore::read_run(&db.join(format!("{id}.run"))).expect("record reads");
+        assert_eq!(record.meta.command, "check");
+        assert!(record.complete(), "check record must carry an exit footer");
+        assert!(
+            record
+                .counters
+                .iter()
+                .any(|c| c.phase == "check" && c.name == "checks_run" && c.value > 0),
+            "{:?}",
+            record.counters
+        );
+        let _ = fs::remove_dir_all(&db);
     }
 }

@@ -208,7 +208,7 @@ impl IncrementalAnalyzer {
         &self.net
     }
 
-    /// Replaces the per-analysis [`AnalysisBudget`] and
+    /// Replaces the per-analysis [`AnalysisBudget`](crate::budget::AnalysisBudget) and
     /// [`CancelToken`](crate::budget::CancelToken) used by subsequent
     /// edits.
     ///

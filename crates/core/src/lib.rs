@@ -64,6 +64,7 @@ pub mod obs;
 pub mod pool;
 pub mod rctree;
 pub mod report;
+pub mod runstore;
 pub mod selfcheck;
 pub mod server;
 pub mod session;
@@ -92,6 +93,10 @@ pub use models::{estimate_with_fallback, try_estimate, ModelFailure, ModelKind, 
 pub use obs::{Metrics, Phase, TraceEvent, TraceSink};
 pub use pool::ThreadPool;
 pub use rctree::RcTree;
+pub use runstore::{
+    diff as diff_runs, read_run, DiffThresholds, DiffVerdict, RunDiff, RunRecord, RunStore,
+    RunStoreError,
+};
 pub use selfcheck::{Divergence, SelfCheckConfig, SelfCheckReport, ToleranceBands};
 pub use server::{serve, ServerHandle, ServerOptions, ServerStats, Status};
 pub use session::{Session, SessionConfig, SessionError, SessionManager};

@@ -75,11 +75,14 @@ pub enum Phase {
     /// The analysis daemon: connections accepted, requests served or
     /// shed, deadlines fired, panics isolated, sessions recovered.
     Server,
+    /// The cross-run result store: records written, read, resumed, and
+    /// diffed.
+    RunStore,
 }
 
 impl Phase {
     /// Every phase, in reporting order.
-    pub const ALL: [Phase; 11] = [
+    pub const ALL: [Phase; 12] = [
         Phase::Logic,
         Phase::Extraction,
         Phase::Evaluation,
@@ -91,6 +94,7 @@ impl Phase {
         Phase::Durable,
         Phase::Incremental,
         Phase::Server,
+        Phase::RunStore,
     ];
 
     /// The stable lowercase name used in JSON events and metrics rows.
@@ -107,6 +111,7 @@ impl Phase {
             Phase::Durable => "durable",
             Phase::Incremental => "incremental",
             Phase::Server => "server",
+            Phase::RunStore => "runstore",
         }
     }
 }

@@ -52,10 +52,17 @@
 //! | `close`  | `session` | unregister + delete the journal |
 //! | `sleep`  | `ms` | *(chaos builds)* hold an in-flight slot |
 //! | `crash`  | opt `session` | *(chaos builds)* deliberate panic |
+//! | `history`| — | list the `--run-db` records (ID, command, completeness) |
+//! | `diff`   | `a`, `b`, opt `fail_on_timing_pct`, `fail_on_perf_pct`, `fail_on_digest` | regression-diff two run records |
 //!
-//! Work-carrying ops (`open`/`edit`/`report`/`batch`/`check`/`sleep`/
-//! `crash`) pass admission control; `ping`/`stats`/`close` always run,
-//! so health checks and cleanup work even under full load or drain.
+//! Work-carrying ops (`open`/`edit`/`report`/`batch`/`check`/`history`/
+//! `diff`/`sleep`/`crash`) pass admission control; `ping`/`stats`/
+//! `close` always run, so health checks and cleanup work even under
+//! full load or drain. `history`/`diff` answer [`Status::Error`] unless
+//! the daemon was started with `--run-db`; a diff that trips a timing
+//! or digest threshold answers [`Status::Divergence`] (the same status
+//! a failing `check` earns), a tripped perf threshold answers
+//! [`Status::Error`].
 
 use std::collections::HashMap;
 use std::fmt;
@@ -75,6 +82,7 @@ use crate::error::TimingError;
 use crate::fingerprint::{escape_json_into, hex64, parse_json_object, result_digest};
 use crate::memo::StageCache;
 use crate::obs::{Phase, TraceSink};
+use crate::runstore::{self, DiffThresholds, DiffVerdict, RunStore, RunStoreError};
 use crate::selfcheck::{check_network, SelfCheckConfig};
 use crate::session::{
     edge_from_name, model_from_name, model_name, RecoveryReport, Session, SessionConfig,
@@ -267,6 +275,9 @@ pub struct ServerOptions {
     /// chaos gate; off by default so production daemons cannot be
     /// crashed or stalled by request.
     pub chaos_ops: bool,
+    /// Run database the `history`/`diff` ops read (and the CLI records
+    /// the serve run into); `None` disables both ops.
+    pub run_db: Option<PathBuf>,
 }
 
 impl Default for ServerOptions {
@@ -285,6 +296,7 @@ impl Default for ServerOptions {
             trace: None,
             shutdown: ShutdownFlag::new(),
             chaos_ops: false,
+            run_db: None,
         }
     }
 }
@@ -346,6 +358,7 @@ struct Inner {
     trace: Option<Arc<TraceSink>>,
     shutdown: ShutdownFlag,
     chaos_ops: bool,
+    run_db: Option<PathBuf>,
     counters: Counters,
 }
 
@@ -496,6 +509,7 @@ pub fn serve(options: ServerOptions) -> std::io::Result<ServerHandle> {
         trace: options.trace.clone(),
         shutdown: options.shutdown.clone(),
         chaos_ops: options.chaos_ops,
+        run_db: options.run_db.clone(),
         counters: Counters::default(),
     });
 
@@ -709,12 +723,15 @@ fn handle_line(inner: &Arc<Inner>, line: &str) -> String {
         "ping" => Response::new(Status::Ok).field("op", "ping"),
         "stats" => stats_response(inner),
         "close" => op_close(inner, &request),
-        "open" | "edit" | "report" | "batch" | "check" | "sleep" | "crash" => {
+        "open" | "edit" | "report" | "batch" | "check" | "history" | "diff" | "sleep" | "crash" => {
             gated_request(inner, op, &request)
         }
         other => Response::new(Status::Error).field(
             "error",
-            &format!("unknown op `{other}` (want ping/stats/open/edit/report/batch/check/close)"),
+            &format!(
+                "unknown op `{other}` \
+                 (want ping/stats/open/edit/report/batch/check/history/diff/close)"
+            ),
         ),
     };
     if response.status == Status::Timeout {
@@ -816,6 +833,8 @@ fn execute_op(
         "report" => op_report(inner, request),
         "batch" => op_batch(inner, request, token),
         "check" => op_check(inner, request),
+        "history" => op_history(inner),
+        "diff" => op_diff(inner, request),
         "sleep" => op_sleep(request, token),
         "crash" => panic!("injected crash via the `crash` op"),
         _ => unreachable!("gated_request only dispatches known ops"),
@@ -838,6 +857,115 @@ fn stats_response(inner: &Arc<Inner>) -> Response {
         .num("recovery_failed", stats.recovery_failed)
         .num("sessions", inner.manager.session_count() as u64)
         .num("inflight", inner.inflight.load(Ordering::SeqCst) as u64)
+}
+
+/// The protocol status of a run-store failure: damaged records are
+/// parse errors, I/O is I/O, bad specs are plain errors.
+fn runstore_error(e: &RunStoreError) -> Response {
+    let status = match e {
+        RunStoreError::Io { .. } => Status::Io,
+        RunStoreError::Corrupt { .. } => Status::ParseError,
+        _ => Status::Error,
+    };
+    Response::new(status).field("error", &e.to_string())
+}
+
+/// The `history` op: one row per record in the daemon's run database,
+/// using the same `prefix.N.key` multi-row idiom as `report`.
+fn op_history(inner: &Arc<Inner>) -> Response {
+    let Some(db) = &inner.run_db else {
+        return Response::new(Status::Error).field(
+            "error",
+            "history requires the daemon to run with --run-db DIR",
+        );
+    };
+    let store = match RunStore::open(db) {
+        Ok(store) => store,
+        Err(e) => return runstore_error(&e),
+    };
+    match store.list() {
+        Err(e) => runstore_error(&e),
+        Ok(runs) => {
+            let mut response = Response::new(Status::Ok).num("runs", runs.len() as u64);
+            for (index, run) in runs.iter().enumerate() {
+                response = response
+                    .field(&format!("run.{index}.id"), &run.id)
+                    .field(&format!("run.{index}.command"), &run.command)
+                    .num(&format!("run.{index}.started_unix"), run.started_unix)
+                    .num(&format!("run.{index}.scenarios"), run.scenarios as u64)
+                    .field(
+                        &format!("run.{index}.complete"),
+                        if run.complete { "true" } else { "false" },
+                    );
+            }
+            response
+        }
+    }
+}
+
+/// The `diff` op: regression-diff run `a` against run `b` (record
+/// paths, run IDs, or unique ID prefixes). Threshold fields mirror the
+/// CLI flags; a tripped timing/digest threshold answers
+/// [`Status::Divergence`], a tripped perf threshold [`Status::Error`].
+fn op_diff(inner: &Arc<Inner>, request: &HashMap<String, String>) -> Response {
+    let Some(db) = &inner.run_db else {
+        return Response::new(Status::Error)
+            .field("error", "diff requires the daemon to run with --run-db DIR");
+    };
+    let (Some(a_spec), Some(b_spec)) = (request.get("a"), request.get("b")) else {
+        return Response::new(Status::Error).field("error", "diff requires `a` and `b` run specs");
+    };
+    let mut thresholds = DiffThresholds::default();
+    for (field, slot) in [
+        ("fail_on_timing_pct", &mut thresholds.timing_pct),
+        ("fail_on_perf_pct", &mut thresholds.perf_pct),
+    ] {
+        if let Some(raw) = request.get(field) {
+            match raw.parse::<f64>() {
+                Ok(pct) if pct >= 0.0 && pct.is_finite() => *slot = Some(pct),
+                _ => {
+                    return Response::new(Status::Error)
+                        .field("error", &format!("cannot parse {field} `{raw}`"))
+                }
+            }
+        }
+    }
+    thresholds.digest = request.get("fail_on_digest").map(String::as_str) == Some("true");
+    let store = match RunStore::open(db) {
+        Ok(store) => store,
+        Err(e) => return runstore_error(&e),
+    };
+    let read = |spec: &str| {
+        store
+            .resolve(spec)
+            .and_then(|path| runstore::read_run(&path))
+    };
+    let (a, b) = match (read(a_spec), read(b_spec)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => return runstore_error(&e),
+    };
+    let d = runstore::diff(&a, &b);
+    let verdict = d.verdict(&thresholds);
+    let (status, verdict_name) = match verdict {
+        DiffVerdict::Clean => (Status::Ok, "clean"),
+        DiffVerdict::TimingRegression => (Status::Divergence, "timing_regression"),
+        DiffVerdict::DigestMismatch => (Status::Divergence, "digest_mismatch"),
+        DiffVerdict::PerfRegression => (Status::Error, "perf_regression"),
+    };
+    Response::new(status)
+        .field("a", &d.a_id)
+        .field("b", &d.b_id)
+        .field("verdict", verdict_name)
+        .num("digest_mismatches", d.digest_mismatches.len() as u64)
+        .num("only_in_a", d.only_in_a.len() as u64)
+        .num("only_in_b", d.only_in_b.len() as u64)
+        .num("node_deltas", d.node_deltas.len() as u64)
+        .field("max_timing_pct", &format!("{:.4}", d.max_timing_pct))
+        .field("max_perf_pct", &format!("{:.4}", d.max_perf_pct))
+        .field(
+            "perf_comparable",
+            if d.perf_comparable { "true" } else { "false" },
+        )
 }
 
 /// Parses the `model`/`transition_ns`/`set`/`input`/`edge` request

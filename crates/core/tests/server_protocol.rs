@@ -290,3 +290,131 @@ fn drain_finishes_inflight_work_and_interrupts_the_rest() {
         "drained server still accepts connections"
     );
 }
+
+#[test]
+fn history_and_diff_require_a_run_database() {
+    let handle = serve(ServerOptions::default()).expect("server starts");
+    let mut client = Client::connect(&handle);
+    let response = client.request("{\"op\":\"history\"}");
+    assert_eq!(status(&response), "error", "got {response:?}");
+    assert!(
+        response
+            .get("error")
+            .is_some_and(|e| e.contains("--run-db")),
+        "got {response:?}"
+    );
+    let response = client.request("{\"op\":\"diff\",\"a\":\"x\",\"b\":\"y\"}");
+    assert_eq!(status(&response), "error", "got {response:?}");
+    handle.stop();
+    handle.join();
+}
+
+#[test]
+fn history_lists_runs_and_diff_gates_on_thresholds() {
+    use crystal::runstore::{self, RunStore};
+
+    // Seed a run database with a clean pair and an injected 2x-fault
+    // record, exactly what `crystal-cli batch --run-db` writes.
+    let db = std::env::temp_dir().join(format!("crystal_server_rundb_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&db);
+    let net = mosnet::sim_format::parse(INVERTER_CHAIN, "chain").expect("fixture parses");
+    let tech = crystal::tech::Technology::nominal();
+    let store = RunStore::open(&db).expect("store opens");
+    let mut ids = Vec::new();
+    for inject in [None, None, Some((crystal::ModelKind::Slope, 2.0))] {
+        let mut record = runstore::RunRecord::new(runstore::new_meta("batch", 0, "slope", 1));
+        for (label, scenario) in crystal::selfcheck::standard_scenarios(
+            &net,
+            &HashMap::new(),
+            mosnet::units::Seconds::ZERO,
+        ) {
+            let result = crystal::analyze(&net, &tech, crystal::ModelKind::Slope, &scenario)
+                .expect("analysis succeeds");
+            record.push_result(
+                &net,
+                &label,
+                &result,
+                &crystal::durable::scenario_summary(&net, &result),
+                inject,
+            );
+        }
+        record.exit = Some(runstore::ExitRow {
+            status: "ok".to_string(),
+            code: 0,
+            wall_us: 1,
+        });
+        store.record(&record).expect("record writes");
+        ids.push(record.meta.id.clone());
+    }
+
+    let options = ServerOptions {
+        run_db: Some(db.clone()),
+        ..ServerOptions::default()
+    };
+    let handle = serve(options).expect("server starts");
+    let mut client = Client::connect(&handle);
+
+    let response = client.request("{\"op\":\"history\"}");
+    assert_eq!(status(&response), "ok", "got {response:?}");
+    assert_eq!(response.get("runs").map(String::as_str), Some("3"));
+    for index in 0..3 {
+        assert_eq!(
+            response
+                .get(&format!("run.{index}.command"))
+                .map(String::as_str),
+            Some("batch"),
+            "got {response:?}"
+        );
+        assert_eq!(
+            response
+                .get(&format!("run.{index}.complete"))
+                .map(String::as_str),
+            Some("true"),
+            "got {response:?}"
+        );
+    }
+
+    // Identical runs diff clean even under a tight timing threshold.
+    let response = client.request(&format!(
+        "{{\"op\":\"diff\",\"a\":\"{}\",\"b\":\"{}\",\"fail_on_timing_pct\":\"0.5\"}}",
+        ids[0], ids[1]
+    ));
+    assert_eq!(status(&response), "ok", "got {response:?}");
+    assert_eq!(response.get("verdict").map(String::as_str), Some("clean"));
+    assert_eq!(
+        response.get("digest_mismatches").map(String::as_str),
+        Some("0")
+    );
+
+    // The injected run trips the timing gate: divergence on the wire.
+    let response = client.request(&format!(
+        "{{\"op\":\"diff\",\"a\":\"{}\",\"b\":\"{}\",\"fail_on_timing_pct\":\"0.5\"}}",
+        ids[0], ids[2]
+    ));
+    assert_eq!(status(&response), "divergence", "got {response:?}");
+    assert_eq!(
+        response.get("verdict").map(String::as_str),
+        Some("timing_regression")
+    );
+    assert!(
+        response
+            .get("digest_mismatches")
+            .is_some_and(|n| n.parse::<u64>().unwrap_or(0) > 0),
+        "got {response:?}"
+    );
+
+    // Without thresholds the same pair reports but does not gate.
+    let response = client.request(&format!(
+        "{{\"op\":\"diff\",\"a\":\"{}\",\"b\":\"{}\"}}",
+        ids[0], ids[2]
+    ));
+    assert_eq!(status(&response), "ok", "got {response:?}");
+
+    // Unknown specs answer with a plain error, not a hang or crash.
+    let response = client.request("{\"op\":\"diff\",\"a\":\"run-nope\",\"b\":\"run-nada\"}");
+    assert_eq!(status(&response), "error", "got {response:?}");
+
+    handle.stop();
+    handle.join();
+    let _ = fs::remove_dir_all(&db);
+}

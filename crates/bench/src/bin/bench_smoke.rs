@@ -24,6 +24,11 @@
 //!                         than 4 hardware threads)
 //!   --require-edit-speedup X   gate: the incremental edit loop must beat
 //!                         full re-analysis by X on wall clock
+//!   --max-eval-ratio X    gate: charged stage evaluations per extracted
+//!                         stage must stay at or below X on every run —
+//!                         the dirty-set propagation regression gate (a
+//!                         full-Jacobi engine re-evaluates every stage
+//!                         every round and blows straight through it)
 //!   --trace PREFIX        write a JSON-lines analysis trace per circuit
 //!                         (max threads) to PREFIX.<circuit>.jsonl
 //! ```
@@ -67,6 +72,7 @@ fn main() {
     let mut check = false;
     let mut require_speedup: Option<f64> = None;
     let mut require_edit_speedup: Option<f64> = None;
+    let mut max_eval_ratio: Option<f64> = None;
     let mut trace_prefix: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -93,6 +99,13 @@ fn main() {
                     it.next()
                         .and_then(|v| v.parse().ok())
                         .expect("--require-edit-speedup needs a number"),
+                );
+            }
+            "--max-eval-ratio" => {
+                max_eval_ratio = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--max-eval-ratio needs a number"),
                 );
             }
             other => {
@@ -190,10 +203,29 @@ fn main() {
                 std::fs::write(&path, trace_lines).expect("trace file writes");
                 println!("  wrote {path}");
             }
+            let extracted = metrics.counter(crystal::obs::Phase::Extraction, "stages_extracted");
+            let charged = metrics.counter(crystal::obs::Phase::Evaluation, "stage_evals_charged");
+            let eval_ratio = if extracted > 0 {
+                charged as f64 / extracted as f64
+            } else {
+                0.0
+            };
+            if let Some(max) = max_eval_ratio {
+                if eval_ratio > max {
+                    failures.push(format!(
+                        "{name}: {charged} charged evaluations over {extracted} extracted \
+                         stages at {threads} threads ({eval_ratio:.2} per stage, max {max:.2}) \
+                         — dirty-set propagation has regressed"
+                    ));
+                }
+            }
+            let oversub = threads > hw;
             json_runs.push(format!(
-                "{{\"threads\": {threads}, \"wall_ms\": {wall_ms:.4}, \
+                "{{\"threads\": {threads}, \"oversubscribed\": {oversub}, \
+                 \"wall_ms\": {wall_ms:.4}, \
                  \"speedup\": {speedup:.4}, \"cache_hits\": {}, \"cache_misses\": {}, \
                  \"cache_evictions\": {}, \"cache_hit_rate\": {:.4}, \
+                 \"eval_ratio\": {eval_ratio:.4}, \
                  \"identical_to_serial\": {identical}, \"phases\": {}}}",
                 stats.hits,
                 stats.misses,
@@ -210,6 +242,7 @@ fn main() {
                     stats.hits, stats.misses
                 ),
                 wall_us: (secs * 1e6) as u64,
+                oversubscribed: oversub,
             });
         }
         json_circuits.push(format!(
@@ -268,12 +301,20 @@ fn main() {
     }
 }
 
+/// Chain length of the edit-loop circuit. Sized so dependency-tracked
+/// invalidation has something to skip: with event-driven propagation a
+/// full re-analysis is linear in the chain, so on a short chain both
+/// legs cost about the same and the measurement is noise — the regime
+/// incremental analysis exists for is the large design with local edits.
+const EDIT_CHAIN_STAGES: usize = 192;
+
 /// The incremental edit loop: a 10-edit resize/cap sequence near the tail
-/// of a 24-stage inverter chain, replayed through a persistent
-/// [`IncrementalAnalyzer`] session versus a fresh full analysis of every
-/// scenario after every edit. Both legs run serially and uncached, so
-/// the difference is pure dependency-tracked invalidation. Returns the
-/// `"edit_loop"` JSON object and appends gate failures.
+/// of a [`EDIT_CHAIN_STAGES`]-stage inverter chain, replayed through a
+/// persistent [`IncrementalAnalyzer`] session versus a fresh full
+/// analysis of every scenario after every edit. Both legs run serially
+/// and uncached, so the difference is pure dependency-tracked
+/// invalidation. Returns the `"edit_loop"` JSON object and appends gate
+/// failures.
 fn edit_loop_bench(
     tech: &Technology,
     reps: usize,
@@ -284,24 +325,24 @@ fn edit_loop_bench(
     use mosnet::diff::{apply_edit, Edit};
 
     let load = Farads::from_femto(100.0);
-    let net = inverter_chain(Style::Cmos, 24, 2.0, load).expect("chain generates");
+    let net = inverter_chain(Style::Cmos, EDIT_CHAIN_STAGES, 2.0, load).expect("chain generates");
     let scenarios = transition_scenarios(&net, "in", &[], 4);
     // Ten edits confined to the last three inverters: a realistic tuning
-    // loop, and the regime incremental analysis exists for — the other
-    // 21 stages replay from the previous result on every edit.
+    // loop — all the stages before them replay from the previous result
+    // on every edit.
     let edits: Vec<Edit> = (0..10)
         .map(|i| {
-            let gate = format!("s{}", 21 + i % 3);
+            let gate_index = EDIT_CHAIN_STAGES - 3 + i % 3;
             if i % 2 == 0 {
                 Edit::Resize {
-                    gate,
-                    source: tail_output(21 + i % 3),
+                    gate: format!("s{gate_index}"),
+                    source: tail_output(gate_index),
                     drain: "gnd".to_string(),
                     geometry: Geometry::from_microns(8.0 + i as f64, 2.0),
                 }
             } else {
                 Edit::SetCapacitance {
-                    node: tail_output(21 + i % 3),
+                    node: tail_output(gate_index),
                     capacitance: Farads::from_femto(100.0 + 10.0 * i as f64),
                 }
             }
@@ -409,10 +450,11 @@ fn edit_loop_bench(
             "incremental {inc_ms:.2} ms vs full {full_ms:.2} ms, speedup {speedup:.2}x"
         ),
         wall_us: (inc_secs * 1e6) as u64,
+        oversubscribed: false, // both legs run serially
     });
 
     format!(
-        "{{\"circuit\": \"inverter-chain-24\", \"edits\": {}, \"scenarios\": {}, \
+        "{{\"circuit\": \"inverter-chain-{EDIT_CHAIN_STAGES}\", \"edits\": {}, \"scenarios\": {}, \
          \"full_ms\": {full_ms:.4}, \"incremental_ms\": {inc_ms:.4}, \
          \"speedup\": {speedup:.4}, \"stages_reevaluated\": {reevaluated}, \
          \"stages_reused\": {reused}, \"identical\": {identical}}}",
@@ -421,10 +463,10 @@ fn edit_loop_bench(
     )
 }
 
-/// The node an inverter of the 24-stage chain drives: `s{i}` for inner
-/// stages, `out` for the last (gate `s23`).
+/// The node an inverter of the edit-loop chain drives: `s{i}` for inner
+/// stages, `out` for the last.
 fn tail_output(gate_index: usize) -> String {
-    if gate_index + 1 >= 24 {
+    if gate_index + 1 >= EDIT_CHAIN_STAGES {
         "out".to_string()
     } else {
         format!("s{}", gate_index + 1)
@@ -493,8 +535,9 @@ fn traced_metrics(
     (sink.metrics(), sink.to_json_lines())
 }
 
-/// The `"phases"` JSON array for one run: span counts, total span time
-/// and counters per analysis phase.
+/// The `"phases"` JSON array for one run: span counts, summed span time
+/// (`total_ms`, CPU-like — concurrent workers count multiply), span-union
+/// time (`wall_ms`, overlap counts once) and counters per analysis phase.
 fn phases_json(metrics: &Metrics) -> String {
     let entries: Vec<String> = metrics
         .phases
@@ -508,10 +551,11 @@ fn phases_json(metrics: &Metrics) -> String {
                 .join(", ");
             format!(
                 "{{\"phase\": \"{}\", \"spans\": {}, \"total_ms\": {:.4}, \
-                 \"counters\": {{{counters}}}}}",
+                 \"wall_ms\": {:.4}, \"counters\": {{{counters}}}}}",
                 p.phase.name(),
                 p.spans,
-                p.total_ns as f64 / 1e6
+                p.total_ns as f64 / 1e6,
+                p.wall_ns as f64 / 1e6
             )
         })
         .collect();

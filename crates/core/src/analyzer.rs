@@ -29,6 +29,7 @@ use crate::tech::{Direction, Technology};
 use mosnet::units::Seconds;
 use mosnet::{Network, NodeId, NodeKind, TransistorKind};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Weight applied to the capacitance of stage nodes whose logic value is
@@ -54,6 +55,26 @@ pub enum AnalysisMode {
     BestCase,
 }
 
+/// How the fixpoint loop picks the nodes to evaluate each round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PropagationMode {
+    /// Event-driven dirty sets (the default): after each round's merge,
+    /// only the nodes observing a changed arrival are re-examined next
+    /// round — Crystal's rule. The dirty set is derived from the merged
+    /// updates alone, so it is identical at every thread count, and a
+    /// node outside it would have reproduced its previous candidate bit
+    /// for bit, so the fixpoint (and the round count) matches
+    /// [`PropagationMode::FullJacobi`] exactly.
+    #[default]
+    DirtySet,
+    /// Re-evaluate every target every round — the pre-dirty-set
+    /// behavior, kept as the reference implementation for equivalence
+    /// tests. O(targets × rounds) stage evaluations; only the budget
+    /// charge sequence differs from [`PropagationMode::DirtySet`]
+    /// (more is charged per round), never the arrivals.
+    FullJacobi,
+}
+
 /// Tunable knobs of the analysis; [`AnalyzerOptions::default`] matches
 /// the behavior of [`analyze`].
 #[derive(Debug, Clone)]
@@ -77,9 +98,15 @@ pub struct AnalyzerOptions {
     /// `1` (the default) runs serially, `0` uses every hardware thread,
     /// any other value is taken literally. Arrivals — including partial
     /// results from a tripped budget — are **bit-identical for every
-    /// thread count**: propagation always uses snapshot (Jacobi) rounds
-    /// and budgets are committed in node order before parallel dispatch.
+    /// thread count**: propagation always evaluates against the previous
+    /// round's arrival snapshot, merges in node order, and commits
+    /// budgets in node order before parallel dispatch.
     pub threads: usize,
+    /// Which nodes each propagation round evaluates (see
+    /// [`PropagationMode`]). Both modes produce bit-identical arrivals;
+    /// the default dirty-set mode does O(changes) work per round instead
+    /// of O(targets).
+    pub propagation: PropagationMode,
     /// Shared stage-evaluation memo cache. `None` (the default) disables
     /// memoization; pass a clone of one [`Arc<StageCache>`] to every
     /// analysis that should pool its evaluations. Cached results are
@@ -110,6 +137,7 @@ impl Default for AnalyzerOptions {
             budget: AnalysisBudget::unlimited(),
             model_fallback: true,
             threads: 1,
+            propagation: PropagationMode::default(),
             cache: None,
             trace: None,
             cancel: None,
@@ -124,6 +152,7 @@ impl PartialEq for AnalyzerOptions {
             && self.budget == other.budget
             && self.model_fallback == other.model_fallback
             && self.threads == other.threads
+            && self.propagation == other.propagation
             && match (&self.cache, &other.cache) {
                 (None, None) => true,
                 (Some(a), Some(b)) => Arc::ptr_eq(a, b),
@@ -493,13 +522,23 @@ pub(crate) fn analyze_subset(
     let tracker = BudgetTracker::new(options.budget, options.cancel.clone());
     let pool = ThreadPool::new(options.threads);
     let cache_ref: Option<&StageCache> = options.cache.as_deref();
-    let cache_ctx: Option<(&StageCache, u64)> = cache_ref.map(|c| (c, tech_stamp(tech)));
-    let stats_before = cache_ref.map(|c| c.stats()).unwrap_or_default();
-    // This analysis's share of the cache counters (a delta, since the
-    // cache is typically shared across a whole batch). Recorded into the
-    // trace sink on every exit path, success or budget-exhausted alike.
+    // This analysis's share of the cache traffic is counted in private
+    // atomics bumped at the probe site — *not* as a start/end delta of
+    // the shared cache's lifetime counters. The cache typically serves a
+    // whole batch of concurrent analyses, and a window delta also counts
+    // every probe the neighbors made in the meantime (observed as ~1.6×
+    // inflated hit counts at threads ≥ 2 for identical work).
+    let cache_ctx: Option<CacheCtx<'_>> = cache_ref.map(|c| CacheCtx {
+        cache: c,
+        stamp: tech_stamp(tech),
+        hits: AtomicU64::new(0),
+        misses: AtomicU64::new(0),
+        evictions: AtomicU64::new(0),
+    });
+    // Recorded into the trace sink on every exit path, success or
+    // budget-exhausted alike.
     let cache_stats_now = || {
-        let stats = cache_ref.map(|c| c.stats().delta_since(&stats_before));
+        let stats = cache_ctx.as_ref().map(CacheCtx::stats);
         if let (Some(t), Some(s)) = (trace, stats.as_ref()) {
             t.count(Phase::Cache, "hits", s.hits);
             t.count(Phase::Cache, "misses", s.misses);
@@ -612,38 +651,80 @@ pub(crate) fn analyze_subset(
     let mut target_stages: Vec<(NodeId, usize)> =
         work.iter().map(|w| (w.node, w.stages.len())).collect();
 
-    // Propagation runs in Jacobi (snapshot) rounds for *every* thread
-    // count, serial included: each round evaluates all ready nodes
-    // against the previous round's arrivals, then merges the updates in
-    // node order. In-round (Gauss-Seidel) updates would make results
-    // depend on evaluation order and thus on the worker count; snapshot
-    // rounds cost at most a few extra rounds and make `threads = N`
-    // bit-identical to `threads = 1`.
+    // Reverse dependency map for the event-driven dirty sets: for every
+    // work item, the switching nodes whose arrivals `evaluate_node`
+    // actually reads — the gates along its stage paths plus the gates of
+    // its "releasing" transistors. An item is re-examined in round r+1
+    // only when one of those changed in round r (Crystal's rule): an
+    // item whose observed arrivals did not change would reproduce its
+    // previous candidate bit for bit, so skipping it cannot alter the
+    // fixpoint or the round count.
+    let mut dependents: HashMap<NodeId, Vec<usize>> = HashMap::new();
+    if options.propagation == PropagationMode::DirtySet {
+        for (wi, w) in work.iter().enumerate() {
+            let mut observed: Vec<NodeId> = Vec::new();
+            for stage in &w.stages {
+                for &gate in &stage.path_gates {
+                    if gate != w.node && edge_of.contains_key(&gate) {
+                        observed.push(gate);
+                    }
+                }
+            }
+            for &tid in net.channel_neighbors(w.node) {
+                if before.transistor_on(net, tid) && !after.transistor_on(net, tid) {
+                    let gate = net.transistor(tid).gate();
+                    if gate != w.node && edge_of.contains_key(&gate) {
+                        observed.push(gate);
+                    }
+                }
+            }
+            observed.sort_unstable();
+            observed.dedup();
+            for gate in observed {
+                dependents.entry(gate).or_default().push(wi);
+            }
+        }
+    }
+
+    // Propagation evaluates against the previous round's arrival
+    // snapshot for *every* thread count, serial included, then merges
+    // the updates in node order. In-round (Gauss-Seidel) updates would
+    // make results depend on evaluation order and thus on the worker
+    // count; snapshot rounds cost at most a few extra rounds and make
+    // `threads = N` bit-identical to `threads = 1`. Round 0 examines
+    // every target; under the default dirty-set mode each later round
+    // examines only the targets observing an arrival the previous
+    // round's merge changed — a set derived from the merged updates
+    // alone, hence equally thread-count independent.
     let max_rounds = work.len() + 2;
+    let mut dirty: Vec<usize> = (0..work.len()).collect();
     for round in 0..=max_rounds {
         let _round_span = trace.map(|t| {
             let mut span = t.span(Phase::Propagation, "round");
             span.field("round", round);
+            span.field("dirty", dirty.len());
             span
         });
         if let Err(e) = tracker.check_deadline() {
             return Err(exhausted(arrivals, e, round));
         }
-        // Budget is committed serially, in node order, *before* parallel
-        // dispatch: the round evaluates exactly the prefix of nodes whose
-        // charges fit, so a tripped budget yields the same partial result
-        // at any thread count.
-        let mut cutoff = work.len();
+        // Budget is committed serially, in node order (`dirty` holds
+        // ascending work indices and `work` is sorted by node id),
+        // *before* parallel dispatch: the round evaluates exactly the
+        // prefix of dirty nodes whose charges fit, so a tripped budget
+        // yields the same partial result at any thread count.
+        let mut cutoff = dirty.len();
         let mut tripped = None;
-        for (i, w) in work.iter().enumerate() {
-            if let Err(e) = tracker.charge_stage_evals(w.stages.len()) {
+        for (i, &wi) in dirty.iter().enumerate() {
+            if let Err(e) = tracker.charge_stage_evals(work[wi].stages.len()) {
                 cutoff = i;
                 tripped = Some(e);
                 break;
             }
         }
+        let ready = &dirty[..cutoff];
         if let Some(t) = trace {
-            let evals: usize = work[..cutoff].iter().map(|w| w.stages.len()).sum();
+            let evals: usize = ready.iter().map(|&wi| work[wi].stages.len()).sum();
             t.count(Phase::Evaluation, "stage_evals_charged", evals as u64);
         }
         let eval_span = trace.map(|t| {
@@ -652,7 +733,7 @@ pub(crate) fn analyze_subset(
             span
         });
         let candidates: Vec<Option<Arrival>> =
-            pool.map_traced(trace, "evaluate_fanout", &work[..cutoff], |_, w| {
+            pool.map_traced(trace, "evaluate_fanout", ready, |_, &wi| {
                 evaluate_node(
                     net,
                     tech,
@@ -661,17 +742,19 @@ pub(crate) fn analyze_subset(
                     &after,
                     &edge_of,
                     &arrivals,
-                    w,
+                    &work[wi],
                     options.mode,
                     options.model_fallback,
-                    cache_ctx,
+                    cache_ctx.as_ref(),
                 )
             });
         drop(eval_span);
         let mut changed = false;
-        for (w, candidate) in work[..cutoff].iter().zip(candidates) {
+        let mut next_dirty: Vec<usize> = Vec::new();
+        for (&wi, candidate) in ready.iter().zip(candidates) {
             if let Some(candidate) = candidate {
-                let update = match &arrivals[w.node.index()] {
+                let node = work[wi].node;
+                let update = match &arrivals[node.index()] {
                     None => true,
                     Some(prev) => {
                         (candidate.time.value() - prev.time.value()).abs() > 1e-18
@@ -680,8 +763,11 @@ pub(crate) fn analyze_subset(
                     }
                 };
                 if update {
-                    arrivals[w.node.index()] = Some(candidate);
+                    arrivals[node.index()] = Some(candidate);
                     changed = true;
+                    if let Some(deps) = dependents.get(&node) {
+                        next_dirty.extend_from_slice(deps);
+                    }
                 }
             }
         }
@@ -705,8 +791,41 @@ pub(crate) fn analyze_subset(
                 iterations: max_rounds,
             });
         }
+        dirty = match options.propagation {
+            PropagationMode::DirtySet => {
+                next_dirty.sort_unstable();
+                next_dirty.dedup();
+                next_dirty
+            }
+            PropagationMode::FullJacobi => (0..work.len()).collect(),
+        };
     }
     unreachable!("loop always returns");
+}
+
+/// Shared stage-memo handle plus this analysis's private probe counters
+/// (see `analyze_subset` for why the counters are not read off the
+/// shared cache).
+struct CacheCtx<'a> {
+    cache: &'a StageCache,
+    stamp: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl CacheCtx<'_> {
+    /// Exact per-analysis counts; the generation is the shared cache's,
+    /// so `CacheStats::delta_since` keeps treating a concurrent `clear`
+    /// as an epoch break.
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            generation: self.cache.stats().generation,
+        }
+    }
 }
 
 /// One switching node's propagation work: its driving stages plus (when
@@ -732,7 +851,7 @@ fn evaluate_node(
     work: &NodeWork,
     mode: AnalysisMode,
     model_fallback: bool,
-    cache: Option<(&StageCache, u64)>,
+    cache: Option<&CacheCtx<'_>>,
 ) -> Option<Arrival> {
     let node = work.node;
     let _edge = work.edge;
@@ -814,10 +933,10 @@ fn evaluate_node(
         // (`memo::SlopeBucketing`). Failed evaluations are not cached:
         // they are rare (broken technology tables) and skipping them is
         // cheap.
-        let key = cache.map(|(c, stamp)| {
-            c.key(
+        let key = cache.map(|cc| {
+            cc.cache.key(
                 work.fingerprints[stage_index],
-                stamp,
+                cc.stamp,
                 ctx.input_transition,
                 model,
                 ctx.trigger_kind,
@@ -825,7 +944,16 @@ fn evaluate_node(
             )
         });
         let memoized = match (cache, &key) {
-            (Some((c, _)), Some(k)) => c.lookup(k).map(|v| (v.delay, v.used_model)),
+            (Some(cc), Some(k)) => match cc.cache.lookup(k) {
+                Some(v) => {
+                    cc.hits.fetch_add(1, Ordering::Relaxed);
+                    Some((v.delay, v.used_model))
+                }
+                None => {
+                    cc.misses.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
+            },
             _ => None,
         };
         let (d, used_model) = match memoized {
@@ -843,14 +971,17 @@ fn evaluate_node(
                 } else {
                     (estimate(model, tech, stage, ctx), model)
                 };
-                if let (Some((c, _)), Some(k)) = (cache, &key) {
-                    c.insert(
+                if let (Some(cc), Some(k)) = (cache, &key) {
+                    let evicted = cc.cache.insert(
                         *k,
                         CachedEval {
                             delay: computed.0,
                             used_model: computed.1,
                         },
                     );
+                    if evicted {
+                        cc.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
                 computed
             }

@@ -194,12 +194,25 @@ where
     }
 }
 
+/// Transistor count at which [`run_batch`] switches its parallelism
+/// grain from scenario-level to intra-analysis. Below it, whole
+/// scenarios are the unit of work (coarse jobs, zero per-round fan-out
+/// overhead — always the win for the small seed circuits); at or above
+/// it, one circuit's extraction/evaluation fan-out dominates a scenario,
+/// so scenarios run one at a time with the workers inside the analysis.
+/// Either grain produces bit-identical arrivals; only wall time differs.
+pub const INTRA_ANALYSIS_TRANSISTORS: usize = 512;
+
 /// Analyzes every labelled scenario against one network, fail-soft.
 ///
-/// `options.threads` parallelizes across *scenarios* (the coarsest, most
-/// profitable grain); each individual analysis then runs serially so the
-/// workers don't oversubscribe the machine. A shared `options.cache`
-/// pools stage evaluations across all scenarios of the batch.
+/// `options.threads` sets the worker budget; the grain is picked
+/// automatically from the circuit size (see
+/// [`INTRA_ANALYSIS_TRANSISTORS`]): small circuits parallelize across
+/// *scenarios* with each analysis serial inside, large circuits run
+/// scenarios serially with the workers parallelizing each analysis —
+/// never both at once, so the machine is not oversubscribed. A shared
+/// `options.cache` pools stage evaluations across all scenarios of the
+/// batch.
 pub fn run_batch(
     net: &Network,
     tech: &Technology,
@@ -210,8 +223,10 @@ pub fn run_batch(
 ) -> BatchRun<TimingResult, TimingError> {
     let threads = options.threads;
     let trace = options.trace.clone();
+    let intra = net.transistor_count() >= INTRA_ANALYSIS_TRANSISTORS;
+    let (outer_threads, inner_threads) = if intra { (1, threads) } else { (threads, 1) };
     let per_scenario = AnalyzerOptions {
-        threads: 1,
+        threads: inner_threads,
         ..options
     };
     let run = run_batch_par_with(
@@ -223,7 +238,7 @@ pub fn run_batch(
             analyze_with_options(net, tech, model, scenario, per_scenario.clone())
         },
         fail_fast,
-        threads,
+        outer_threads,
     );
     if let Some(t) = trace.as_deref() {
         t.count(

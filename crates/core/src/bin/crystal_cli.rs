@@ -588,6 +588,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     Ok(options)
 }
 
+/// Whether the configured worker count exceeds the machine's hardware
+/// threads. Such runs' wall clocks measure scheduler contention, so the
+/// run-db marks them and `diff-runs` keeps them out of perf gates.
+fn oversubscribed(threads: usize) -> bool {
+    crystal::pool::resolve_threads(threads) > crystal::pool::available_parallelism()
+}
+
 fn load_technology(options: &Options) -> Result<Technology, CliError> {
     match options.tech.as_deref() {
         None => Ok(Technology::nominal()),
@@ -842,6 +849,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
                             digest: None,
                             summary: failure.to_string(),
                             wall_us: 0,
+                            oversubscribed: oversubscribed(options.threads),
                         }),
                     }
                 }
@@ -1604,6 +1612,7 @@ fn run_durable_batch(
                 digest: scenario.digest,
                 summary: scenario.summary.clone(),
                 wall_us: scenario.wall_ms.saturating_mul(1000),
+                oversubscribed: oversubscribed(options.threads),
             });
         }
         record.cache = cache.as_ref().map(|c| c.stats());
@@ -1910,12 +1919,13 @@ mod tests {
         let path = fixture("metrics", INVERTER_CHAIN);
         let out = cli(&["batch", path.to_str().unwrap(), "--metrics"]).unwrap();
         assert!(out.contains("2 scenarios, all ok"), "{out}");
-        assert!(out.contains("time (ms)"), "{out}");
+        assert!(out.contains("cpu (ms)"), "{out}");
+        assert!(out.contains("wall (ms)"), "{out}");
         assert!(out.contains("batch"), "{out}");
         assert!(out.contains("scenarios_attempted=2"), "{out}");
         // Without the flag the summary stays out of the way.
         let plain = cli(&["batch", path.to_str().unwrap()]).unwrap();
-        assert!(!plain.contains("time (ms)"), "{plain}");
+        assert!(!plain.contains("cpu (ms)"), "{plain}");
     }
 
     #[test]

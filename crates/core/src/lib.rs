@@ -75,9 +75,12 @@ pub mod tech_format;
 
 pub use analyzer::{
     analyze, analyze_with_options, AnalysisMode, AnalyzerOptions, Arrival, Edge, IncrementalStats,
-    Scenario, TimingResult,
+    PropagationMode, Scenario, TimingResult,
 };
-pub use batch::{run_batch, run_batch_par_with, run_batch_with, BatchFailure, BatchRun};
+pub use batch::{
+    run_batch, run_batch_par_with, run_batch_with, BatchFailure, BatchRun,
+    INTRA_ANALYSIS_TRANSISTORS,
+};
 pub use budget::{AnalysisBudget, BudgetExceeded, CancelToken, PartialTiming};
 pub use durable::{
     install_signal_handlers, run_durable, run_durable_with, run_fingerprint, run_fingerprint_parts,

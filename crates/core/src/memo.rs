@@ -483,15 +483,21 @@ impl StageCache {
 
     /// Inserts an evaluation, displacing an arbitrary resident entry of
     /// the same shard when the shard is full (counted as an eviction).
-    pub fn insert(&self, key: StageKey, value: CachedEval) {
+    /// Returns `true` when an entry was evicted, so callers keeping
+    /// per-analysis accounting (the analyzer's [`CacheStats`] delta) can
+    /// attribute the eviction without re-reading the shared counters.
+    pub fn insert(&self, key: StageKey, value: CachedEval) -> bool {
         let mut shard = self.shards[key.shard()].lock().expect("cache shard lock");
+        let mut evicted = false;
         if shard.len() >= self.per_shard_capacity && !shard.contains_key(&key) {
             if let Some(&victim) = shard.keys().next() {
                 shard.remove(&victim);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
+                evicted = true;
             }
         }
         shard.insert(key, value);
+        evicted
     }
 
     /// Current resident entry count across all shards.

@@ -263,14 +263,23 @@ impl TraceSink {
     }
 
     /// Aggregates spans and counters into per-phase metrics.
+    ///
+    /// Two time totals are produced per phase: `total_ns` sums every
+    /// span (CPU-like — overlapping workers count multiply) and
+    /// `wall_ns` is the union of the span intervals (elapsed time the
+    /// phase was active at all). With one worker the two coincide; at N
+    /// workers `total_ns` can approach `N × wall_ns`, which is why perf
+    /// gates must compare `wall_ns`.
     pub fn metrics(&self) -> Metrics {
         let events = self.events.lock().expect("trace event lock");
         let mut per_phase: BTreeMap<Phase, PhaseMetrics> = BTreeMap::new();
+        let mut intervals: BTreeMap<Phase, Vec<(u64, u64)>> = BTreeMap::new();
         fn entry(map: &mut BTreeMap<Phase, PhaseMetrics>, phase: Phase) -> &mut PhaseMetrics {
             map.entry(phase).or_insert_with(|| PhaseMetrics {
                 phase,
                 spans: 0,
                 total_ns: 0,
+                wall_ns: 0,
                 counters: Vec::new(),
             })
         }
@@ -279,9 +288,16 @@ impl TraceSink {
                 let m = entry(&mut per_phase, event.phase);
                 m.spans += 1;
                 m.total_ns = m.total_ns.saturating_add(event.dur_ns);
+                intervals
+                    .entry(event.phase)
+                    .or_default()
+                    .push((event.t_ns, event.t_ns.saturating_add(event.dur_ns)));
             }
         }
         drop(events);
+        for (phase, spans) in intervals {
+            entry(&mut per_phase, phase).wall_ns = interval_union_ns(spans);
+        }
         for ((phase, name), value) in self.counters.lock().expect("trace counter lock").iter() {
             entry(&mut per_phase, *phase)
                 .counters
@@ -393,10 +409,36 @@ pub struct PhaseMetrics {
     pub phase: Phase,
     /// Number of spans recorded for the phase.
     pub spans: u64,
-    /// Total span time in nanoseconds.
+    /// Total span time in nanoseconds (sum over spans; overlapping
+    /// concurrent spans count multiply, like CPU time).
     pub total_ns: u64,
+    /// Span-union time in nanoseconds: the elapsed time during which at
+    /// least one span of the phase was open. Overlap counts once, so
+    /// `wall_ns <= total_ns` always holds.
+    pub wall_ns: u64,
     /// `(name, total)` counters of the phase, name-sorted.
     pub counters: Vec<(String, u64)>,
+}
+
+/// Length of the union of `[start, end)` intervals, in nanoseconds.
+fn interval_union_ns(mut intervals: Vec<(u64, u64)>) -> u64 {
+    intervals.sort_unstable();
+    let mut union = 0u64;
+    let mut cur: Option<(u64, u64)> = None;
+    for (start, end) in intervals {
+        match cur {
+            Some((cs, ce)) if start <= ce => cur = Some((cs, ce.max(end))),
+            Some((cs, ce)) => {
+                union = union.saturating_add(ce - cs);
+                cur = Some((start, end));
+            }
+            None => cur = Some((start, end)),
+        }
+    }
+    if let Some((cs, ce)) = cur {
+        union = union.saturating_add(ce - cs);
+    }
+    union
 }
 
 /// A full metrics snapshot ([`TraceSink::metrics`]).
@@ -417,6 +459,14 @@ impl Metrics {
             .map_or(0, |m| m.total_ns)
     }
 
+    /// Span-union (wall) nanoseconds recorded for `phase` (0 when absent).
+    pub fn phase_wall_ns(&self, phase: Phase) -> u64 {
+        self.phases
+            .iter()
+            .find(|m| m.phase == phase)
+            .map_or(0, |m| m.wall_ns)
+    }
+
     /// The value of a `(phase, name)` counter (0 when absent).
     pub fn counter(&self, phase: Phase, name: &str) -> u64 {
         self.phases
@@ -431,8 +481,8 @@ impl Metrics {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<12} {:>8} {:>12}  counters",
-            "phase", "spans", "time (ms)"
+            "{:<12} {:>8} {:>12} {:>12}  counters",
+            "phase", "spans", "cpu (ms)", "wall (ms)"
         );
         for m in &self.phases {
             let counters = m
@@ -443,10 +493,11 @@ impl Metrics {
                 .join(" ");
             let _ = writeln!(
                 out,
-                "{:<12} {:>8} {:>12.3}  {}",
+                "{:<12} {:>8} {:>12.3} {:>12.3}  {}",
                 m.phase.name(),
                 m.spans,
                 m.total_ns as f64 / 1e6,
+                m.wall_ns as f64 / 1e6,
                 counters
             );
         }
@@ -532,6 +583,41 @@ mod tests {
         for needle in ["extraction", "propagation", "cache", "hits=5"] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn wall_ns_counts_overlap_once() {
+        // Two fully overlapping unit intervals, one adjacent, one disjoint.
+        assert_eq!(interval_union_ns(vec![(0, 10), (0, 10)]), 10);
+        assert_eq!(interval_union_ns(vec![(0, 10), (10, 20)]), 20);
+        assert_eq!(interval_union_ns(vec![(0, 10), (5, 15), (30, 40)]), 25);
+        assert_eq!(interval_union_ns(vec![]), 0);
+    }
+
+    #[test]
+    fn overlapping_spans_report_wall_below_total() {
+        let sink = TraceSink::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let sink = &sink;
+                s.spawn(move || {
+                    let span = sink.span(Phase::Evaluation, "eval");
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    span.finish();
+                });
+            }
+        });
+        let metrics = sink.metrics();
+        let total = metrics.phase_total_ns(Phase::Evaluation);
+        let wall = metrics.phase_wall_ns(Phase::Evaluation);
+        assert!(wall > 0);
+        assert!(wall <= total, "wall {wall} > total {total}");
+        // Four concurrent ~20ms spans: total is ~80ms, wall ~20ms. Leave
+        // generous slack for scheduling noise, but overlap must show.
+        assert!(
+            wall < total * 3 / 4,
+            "expected clear overlap: wall {wall}, total {total}"
+        );
     }
 
     #[test]

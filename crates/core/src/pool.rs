@@ -2,10 +2,17 @@
 //!
 //! The build environment is offline, so no `rayon`: this module provides
 //! the small slice of data parallelism crystal needs — an ordered
-//! parallel map over a slice — on plain [`std::thread::scope`] workers.
+//! parallel map over a slice — on plain [`std`] threads.
 //!
 //! Design:
 //!
+//! * workers are **persistent**: [`ThreadPool::new`] spawns `workers - 1`
+//!   long-lived OS threads once, and every [`ThreadPool::map`] call hands
+//!   them a batch over a condition-variable epoch instead of re-spawning.
+//!   The analyzer calls `map` once per propagation round (tens of times
+//!   per scenario), so per-call spawn/join was a real tax on small
+//!   circuits; the calling thread always participates as worker 0, so a
+//!   1-worker pool spawns nothing and degenerates to a serial loop;
 //! * jobs (item indices) are pre-split into one contiguous deque per
 //!   worker; a worker pops from the **front** of its own deque and, once
 //!   empty, steals from the **back** of its siblings', so imbalanced
@@ -25,7 +32,7 @@ use crate::obs::{Phase, TraceSink};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// The number of hardware threads, with a serial fallback when the
 /// platform cannot say.
@@ -45,31 +52,137 @@ pub fn resolve_threads(threads: usize) -> usize {
     }
 }
 
+/// The batch handed to the persistent workers for one epoch: a type- and
+/// lifetime-erased `Fn(worker_index)`. The pointee lives on the stack of
+/// the `map` call that published it; erasure is sound because `map`
+/// blocks until every worker has finished the epoch (and clears the
+/// pointer) before its frame unwinds.
+#[derive(Clone, Copy)]
+struct TaskRef(*const (dyn Fn(usize) + Sync));
+
+// The pointee is `Sync` and the protocol guarantees it outlives every
+// access, so shipping the pointer to the workers is safe.
+unsafe impl Send for TaskRef {}
+
+/// Epoch state shared between the submitting thread and the workers.
+struct PoolState {
+    /// Bumped once per batch; a worker runs the task when it observes an
+    /// epoch it has not seen yet.
+    epoch: u64,
+    /// The current batch, present exactly while an epoch is in flight.
+    task: Option<TaskRef>,
+    /// Persistent workers still inside the current epoch.
+    running: usize,
+    /// Set by `Drop`; workers exit at the next wakeup.
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Workers park here between batches.
+    work_ready: Condvar,
+    /// The submitter parks here until `running` drains to zero.
+    work_done: Condvar,
+}
+
 /// A configured worker count plus the machinery to fan a slice across it.
 ///
-/// The pool is scoped: workers are spawned per [`ThreadPool::map`] call
-/// with [`std::thread::scope`], so closures may borrow from the caller's
-/// stack freely and no worker outlives the call. For the coarse jobs this
-/// workspace runs (whole timing scenarios, whole stage extractions) the
-/// spawn cost is noise; what matters is the stealing, which keeps the
-/// last slow job from serializing the tail.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// With more than one worker the pool owns `workers - 1` long-lived OS
+/// threads; the thread calling [`ThreadPool::map`] is always worker 0.
+/// Batches are serialized — the pool is not re-entrant, and a closure
+/// running on the pool must not call back into the same pool instance
+/// (the analyzer gives every analysis its own pool, and
+/// [`crate::batch`] runs per-scenario analyses with an inner worker
+/// count of 1, so this does not arise in practice).
 pub struct ThreadPool {
     workers: usize,
+    shared: Option<Arc<PoolShared>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    /// Serializes `map` calls so epochs never overlap.
+    submit: Mutex<()>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("workers", &self.workers)
+            .finish()
+    }
 }
 
 impl ThreadPool {
     /// A pool with exactly `workers` workers (clamped to at least 1).
-    /// `0` resolves to the hardware thread count.
+    /// `0` resolves to the hardware thread count. Spawns `workers - 1`
+    /// persistent threads; a 1-worker pool spawns none.
     pub fn new(workers: usize) -> ThreadPool {
+        let workers = resolve_threads(workers).max(1);
+        if workers <= 1 {
+            return ThreadPool {
+                workers,
+                shared: None,
+                handles: Vec::new(),
+                submit: Mutex::new(()),
+            };
+        }
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                task: None,
+                running: 0,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            work_done: Condvar::new(),
+        });
+        let handles = (1..workers)
+            .map(|id| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("crystal-pool-{id}"))
+                    .spawn(move || worker_loop(&shared, id))
+                    .expect("spawn pool worker")
+            })
+            .collect();
         ThreadPool {
-            workers: resolve_threads(workers).max(1),
+            workers,
+            shared: Some(shared),
+            handles,
+            submit: Mutex::new(()),
         }
     }
 
     /// The configured worker count.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Runs `body(worker_index)` once on every worker (persistent workers
+    /// plus the calling thread as worker 0) and returns after all of them
+    /// finish. This is the sole point where the task reference crosses
+    /// threads; see [`TaskRef`] for the lifetime argument.
+    fn run_on_all(&self, body: &(dyn Fn(usize) + Sync)) {
+        let Some(shared) = &self.shared else {
+            body(0);
+            return;
+        };
+        let _submit = self.submit.lock().expect("pool submit lock");
+        // Erase the borrow's lifetime: the wait loop below guarantees no
+        // worker holds the pointer once this function returns.
+        let erased: *const (dyn Fn(usize) + Sync + 'static) =
+            unsafe { std::mem::transmute(body as *const (dyn Fn(usize) + Sync)) };
+        {
+            let mut state = shared.state.lock().expect("pool state lock");
+            state.task = Some(TaskRef(erased));
+            state.epoch += 1;
+            state.running = self.handles.len();
+            shared.work_ready.notify_all();
+        }
+        body(0);
+        let mut state = shared.state.lock().expect("pool state lock");
+        while state.running > 0 {
+            state = shared.work_done.wait(state).expect("pool state lock");
+        }
+        state.task = None;
     }
 
     /// Applies `f` to every item and returns the results **in input
@@ -85,58 +198,16 @@ impl ThreadPool {
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
     {
-        let workers = self.workers.min(items.len());
-        if workers <= 1 {
+        let parts = self.workers.min(items.len());
+        if parts <= 1 {
             return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
         }
-
-        // One deque of item indices per worker, pre-filled with contiguous
-        // chunks so unstolen work retains memory locality.
-        let queues: Vec<Mutex<VecDeque<usize>>> = split_indices(items.len(), workers)
-            .into_iter()
-            .map(Mutex::new)
-            .collect();
-
-        type Caught = Box<dyn std::any::Any + Send + 'static>;
-        let mut slots: Vec<Option<Result<R, Caught>>> = std::thread::scope(|s| {
-            let handles: Vec<_> = (0..workers)
-                .map(|w| {
-                    let queues = &queues;
-                    let f = &f;
-                    s.spawn(move || {
-                        let mut out: Vec<(usize, Result<R, Caught>)> = Vec::new();
-                        while let Some(i) = next_job(queues, w) {
-                            out.push((i, catch_unwind(AssertUnwindSafe(|| f(i, &items[i])))));
-                        }
-                        out
-                    })
-                })
-                .collect();
-            let mut slots: Vec<Option<Result<R, Caught>>> =
-                (0..items.len()).map(|_| None).collect();
-            for handle in handles {
-                // A worker thread itself cannot panic: the closure runs
-                // under catch_unwind. join() errors are thus unreachable.
-                for (i, r) in handle.join().expect("worker threads never panic") {
-                    slots[i] = Some(r);
-                }
-            }
-            slots
+        let slots = self.fan_out(items.len(), parts, |i| {
+            catch_unwind(AssertUnwindSafe(|| f(i, &items[i])))
         });
-
-        // Re-raise the earliest panic, matching serial left-to-right order.
-        if let Some(first_panic) = slots.iter().position(|s| matches!(s, Some(Err(_)))) {
-            match slots.swap_remove(first_panic) {
-                Some(Err(payload)) => resume_unwind(payload),
-                _ => unreachable!("position() found an Err slot"),
-            }
-        }
-        slots
+        collect_in_order(slots)
             .into_iter()
-            .map(|s| match s.expect("every index was executed") {
-                Ok(r) => r,
-                Err(_) => unreachable!("panics re-raised above"),
-            })
+            .map(|s| s.expect("every index was executed"))
             .collect()
     }
 
@@ -159,8 +230,8 @@ impl ThreadPool {
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
     {
-        let workers = self.workers.min(items.len());
-        if workers <= 1 {
+        let parts = self.workers.min(items.len());
+        if parts <= 1 {
             return items
                 .iter()
                 .enumerate()
@@ -173,52 +244,55 @@ impl ThreadPool {
                 })
                 .collect();
         }
+        let slots = self.fan_out(items.len(), parts, |i| {
+            if stop.load(Ordering::Acquire) {
+                None
+            } else {
+                Some(catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))))
+            }
+        });
+        collect_in_order(slots.into_iter().map(Option::flatten).collect())
+    }
 
-        let queues: Vec<Mutex<VecDeque<usize>>> = split_indices(items.len(), workers)
+    /// The shared fan-out: splits `0..len` into per-worker deques, runs
+    /// `job` for every index across the workers (stealing included), and
+    /// returns the raw per-index outcomes in input order (`None` for an
+    /// index no worker produced — only possible when `job` itself chose
+    /// to return nothing, as in the drained tail of `map_until`).
+    fn fan_out<R, J>(&self, len: usize, parts: usize, job: J) -> Vec<Option<R>>
+    where
+        R: Send,
+        J: Fn(usize) -> R + Sync,
+    {
+        // One deque of item indices per participating worker, pre-filled
+        // with contiguous chunks so unstolen work retains memory locality.
+        let queues: Vec<Mutex<VecDeque<usize>>> = split_indices(len, parts)
             .into_iter()
             .map(Mutex::new)
             .collect();
-
-        type Caught = Box<dyn std::any::Any + Send + 'static>;
-        let mut slots: Vec<Option<Result<R, Caught>>> = std::thread::scope(|s| {
-            let handles: Vec<_> = (0..workers)
-                .map(|w| {
-                    let queues = &queues;
-                    let f = &f;
-                    s.spawn(move || {
-                        let mut out: Vec<(usize, Result<R, Caught>)> = Vec::new();
-                        while !stop.load(Ordering::Acquire) {
-                            let Some(i) = next_job(queues, w) else { break };
-                            out.push((i, catch_unwind(AssertUnwindSafe(|| f(i, &items[i])))));
-                        }
-                        out
-                    })
-                })
-                .collect();
-            let mut slots: Vec<Option<Result<R, Caught>>> =
-                (0..items.len()).map(|_| None).collect();
-            for handle in handles {
-                for (i, r) in handle.join().expect("worker threads never panic") {
-                    slots[i] = Some(r);
-                }
+        let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(len));
+        self.run_on_all(&|w: usize| {
+            // With fewer items than workers the surplus workers sit the
+            // epoch out (their deques do not exist).
+            if w >= parts {
+                return;
             }
-            slots
+            let mut local: Vec<(usize, R)> = Vec::new();
+            while let Some(i) = next_job(&queues, w) {
+                local.push((i, job(i)));
+            }
+            if !local.is_empty() {
+                collected
+                    .lock()
+                    .expect("pool results lock")
+                    .append(&mut local);
+            }
         });
-
-        if let Some(first_panic) = slots.iter().position(|s| matches!(s, Some(Err(_)))) {
-            match slots.swap_remove(first_panic) {
-                Some(Err(payload)) => resume_unwind(payload),
-                _ => unreachable!("position() found an Err slot"),
-            }
+        let mut slots: Vec<Option<R>> = (0..len).map(|_| None).collect();
+        for (i, r) in collected.into_inner().expect("pool results lock") {
+            slots[i] = Some(r);
         }
         slots
-            .into_iter()
-            .map(|s| match s {
-                None => None,
-                Some(Ok(r)) => Some(r),
-                Some(Err(_)) => unreachable!("panics re-raised above"),
-            })
-            .collect()
     }
 
     /// [`ThreadPool::map`] wrapped in a [`Phase::Pool`] span recording
@@ -246,10 +320,73 @@ impl ThreadPool {
     }
 }
 
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        if let Some(shared) = &self.shared {
+            shared.state.lock().expect("pool state lock").shutdown = true;
+            shared.work_ready.notify_all();
+            for handle in self.handles.drain(..) {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
 impl Default for ThreadPool {
     fn default() -> ThreadPool {
         ThreadPool::new(0)
     }
+}
+
+/// The persistent worker body: wait for a new epoch (or shutdown), run
+/// the batch once, report done, repeat.
+fn worker_loop(shared: &PoolShared, id: usize) {
+    let mut seen = 0u64;
+    loop {
+        let task = {
+            let mut state = shared.state.lock().expect("pool state lock");
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if state.epoch != seen {
+                    seen = state.epoch;
+                    break state.task.expect("task set while epoch is in flight");
+                }
+                state = shared.work_ready.wait(state).expect("pool state lock");
+            }
+        };
+        // Item panics are already caught inside the batch closure; this
+        // outer catch is defense in depth so a worker can never die while
+        // holding the epoch open (which would deadlock the submitter).
+        let _ = catch_unwind(AssertUnwindSafe(|| unsafe { (&*task.0)(id) }));
+        let mut state = shared.state.lock().expect("pool state lock");
+        state.running -= 1;
+        if state.running == 0 {
+            shared.work_done.notify_all();
+        }
+    }
+}
+
+type Caught = Box<dyn std::any::Any + Send + 'static>;
+
+/// Unwraps per-index `catch_unwind` outcomes, re-raising the payload of
+/// the lowest-indexed panic (matching serial left-to-right order).
+fn collect_in_order<R>(mut slots: Vec<Option<Result<R, Caught>>>) -> Vec<Option<R>> {
+    if let Some(first_panic) = slots.iter().position(|s| matches!(s, Some(Err(_)))) {
+        match slots.swap_remove(first_panic) {
+            Some(Err(payload)) => resume_unwind(payload),
+            _ => unreachable!("position() found an Err slot"),
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| match s {
+            None => None,
+            Some(Ok(r)) => Some(r),
+            Some(Err(_)) => unreachable!("panics re-raised above"),
+        })
+        .collect()
 }
 
 /// Splits `0..len` into `workers` contiguous runs (sizes differing by at
@@ -321,6 +458,20 @@ mod tests {
     }
 
     #[test]
+    fn workers_are_reused_across_map_calls() {
+        // The whole point of the persistent pool: back-to-back batches on
+        // one instance (the analyzer runs one per propagation round) are
+        // served by the same worker set, and every batch stays correct.
+        let pool = ThreadPool::new(4);
+        for round in 0..50usize {
+            let items: Vec<usize> = (0..round + 1).collect();
+            let got = pool.map(&items, |_, &x| x + round);
+            let expect: Vec<usize> = items.iter().map(|&x| x + round).collect();
+            assert_eq!(got, expect, "round {round}");
+        }
+    }
+
+    #[test]
     fn unbalanced_work_is_stolen() {
         // One expensive item at the front of worker 0's chunk: the rest of
         // the chunk must be stolen while worker 0 grinds. We can't observe
@@ -356,6 +507,26 @@ mod tests {
             .cloned()
             .unwrap_or_default();
         assert_eq!(message, "boom 5");
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_batch() {
+        // A panic re-raised on the caller must leave the persistent
+        // workers parked and healthy for the next batch.
+        let pool = ThreadPool::new(3);
+        let items: Vec<usize> = (0..16).collect();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.map(&items, |_, &i| {
+                if i == 2 {
+                    panic!("boom");
+                }
+                i
+            })
+        }));
+        assert!(result.is_err());
+        let got = pool.map(&items, |_, &x| x * 2);
+        let expect: Vec<usize> = items.iter().map(|&x| x * 2).collect();
+        assert_eq!(got, expect);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! {"kind":"run","v":1,"id":"run-3f…","command":"batch","fingerprint":"…",…}
 //! {"kind":"scenario","label":"a rise","outcome":"ok","digest":"…",…}
 //! {"kind":"arrival","scenario":"a rise","node":"y","time":"…","time_ns":0.54,…}
-//! {"kind":"phase","phase":"evaluation","spans":64,"total_ns":282200}
+//! {"kind":"phase","phase":"evaluation","spans":64,"total_ns":282200,"wall_ns":141100}
 //! {"kind":"counter","phase":"cache","name":"hits","value":663}
 //! {"kind":"cache","hits":663,"misses":39,"evictions":0}
 //! {"kind":"exit","status":"ok","code":0,"wall_us":1285}
@@ -182,6 +182,10 @@ pub struct ScenarioRow {
     pub summary: String,
     /// Scenario wall clock in microseconds (0 when not measured).
     pub wall_us: u64,
+    /// The run asked for more worker threads than the machine has
+    /// hardware threads. Wall clocks from oversubscribed rows measure
+    /// scheduler contention, not the engine, so perf gates skip them.
+    pub oversubscribed: bool,
 }
 
 /// One recorded arrival: the exact bit pattern of a node's
@@ -216,8 +220,11 @@ pub struct PhaseRow {
     pub phase: String,
     /// Spans recorded.
     pub spans: u64,
-    /// Total span nanoseconds.
+    /// Total span nanoseconds (CPU-like: concurrent spans sum).
     pub total_ns: u64,
+    /// Span-union nanoseconds (wall: overlap counts once). Old records
+    /// without the field read back as `total_ns`.
+    pub wall_ns: u64,
 }
 
 /// One observability counter total.
@@ -290,6 +297,7 @@ impl RunRecord {
             phase: p.phase.name().to_string(),
             spans: p.spans,
             total_ns: p.total_ns,
+            wall_ns: p.wall_ns,
         }));
         self.counters.extend(metrics.phases.iter().flat_map(|p| {
             p.counters.iter().map(|(name, value)| CounterRow {
@@ -320,6 +328,7 @@ impl RunRecord {
             digest: Some(digest),
             summary: summary.to_string(),
             wall_us: 0,
+            oversubscribed: false,
         });
     }
 
@@ -356,10 +365,14 @@ impl RunRecord {
             }
             let _ = write!(
                 line,
-                ",\"summary\":\"{}\",\"wall_us\":{}}}",
+                ",\"summary\":\"{}\",\"wall_us\":{}",
                 escape(&s.summary),
                 s.wall_us
             );
+            if s.oversubscribed {
+                line.push_str(",\"oversubscribed\":true");
+            }
+            line.push('}');
             lines.push(line);
         }
         for a in &self.arrivals {
@@ -378,10 +391,11 @@ impl RunRecord {
         }
         for p in &self.phases {
             lines.push(format!(
-                "{{\"kind\":\"phase\",\"phase\":\"{}\",\"spans\":{},\"total_ns\":{}}}",
+                "{{\"kind\":\"phase\",\"phase\":\"{}\",\"spans\":{},\"total_ns\":{},\"wall_ns\":{}}}",
                 escape(&p.phase),
                 p.spans,
-                p.total_ns
+                p.total_ns,
+                p.wall_ns
             ));
         }
         for c in &self.counters {
@@ -780,6 +794,7 @@ pub fn read_run(path: &Path) -> Result<RunRecord, RunStoreError> {
                 },
                 summary: get(fields, "summary", line)?,
                 wall_us: num(fields, "wall_us", line)?,
+                oversubscribed: fields.get("oversubscribed").map(String::as_str) == Some("true"),
             }),
             Some("arrival") => record.arrivals.push(ArrivalRow {
                 scenario: get(fields, "scenario", line)?,
@@ -793,11 +808,20 @@ pub fn read_run(path: &Path) -> Result<RunRecord, RunStoreError> {
                 },
                 model: get(fields, "model", line)?,
             }),
-            Some("phase") => record.phases.push(PhaseRow {
-                phase: get(fields, "phase", line)?,
-                spans: num(fields, "spans", line)?,
-                total_ns: num(fields, "total_ns", line)?,
-            }),
+            Some("phase") => {
+                let total_ns = num(fields, "total_ns", line)?;
+                record.phases.push(PhaseRow {
+                    phase: get(fields, "phase", line)?,
+                    spans: num(fields, "spans", line)?,
+                    total_ns,
+                    // Records predating the field: wall was unmeasured,
+                    // total is the conservative stand-in.
+                    wall_ns: match fields.get("wall_ns") {
+                        Some(v) => v.parse::<u64>().map_err(|_| corrupt(line))?,
+                        None => total_ns,
+                    },
+                })
+            }
             Some("counter") => record.counters.push(CounterRow {
                 phase: get(fields, "phase", line)?,
                 name: get(fields, "name", line)?,
@@ -870,14 +894,16 @@ pub struct NodeDelta {
     pub pct: f64,
 }
 
-/// One phase's span time in both runs.
+/// One phase's span time in both runs. Compared on the wall (span-union)
+/// clock, not summed span time — summed time scales with worker count
+/// and would flag a parallel run as a regression.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PhaseDelta {
     /// Phase name.
     pub phase: String,
-    /// Total span nanoseconds in run A.
+    /// Wall (span-union) nanoseconds in run A.
     pub a_ns: u64,
-    /// Total span nanoseconds in run B.
+    /// Wall (span-union) nanoseconds in run B.
     pub b_ns: u64,
 }
 
@@ -1060,8 +1086,8 @@ pub fn diff(a: &RunRecord, b: &RunRecord) -> RunDiff {
         .into_iter()
         .map(|name| PhaseDelta {
             phase: name.to_string(),
-            a_ns: a_phases.get(name).map_or(0, |p| p.total_ns),
-            b_ns: b_phases.get(name).map_or(0, |p| p.total_ns),
+            a_ns: a_phases.get(name).map_or(0, |p| p.wall_ns),
+            b_ns: b_phases.get(name).map_or(0, |p| p.wall_ns),
         })
         .collect();
 
@@ -1083,6 +1109,7 @@ pub fn diff(a: &RunRecord, b: &RunRecord) -> RunDiff {
     }
     let mut scenario_perf = Vec::new();
     let mut max_perf_pct = 0.0f64;
+    let mut oversubscribed_skipped = 0usize;
     for (label, sa) in &a_scenarios {
         let Some(sb) = b_scenarios.get(label) else {
             continue;
@@ -1095,10 +1122,20 @@ pub fn diff(a: &RunRecord, b: &RunRecord) -> RunDiff {
             a_us: sa.wall_us,
             b_us: sb.wall_us,
         };
-        if perf_comparable {
+        // Oversubscribed rows (threads > hardware threads) measure
+        // scheduler contention; report them but never gate on them.
+        if sa.oversubscribed || sb.oversubscribed {
+            oversubscribed_skipped += 1;
+        } else if perf_comparable {
             max_perf_pct = max_perf_pct.max(delta.pct());
         }
         scenario_perf.push(delta);
+    }
+    if oversubscribed_skipped > 0 {
+        notes.push(format!(
+            "perf gate skipped {oversubscribed_skipped} oversubscribed scenario(s) \
+             (threads > hardware threads)"
+        ));
     }
     scenario_perf.sort_by(|x, y| {
         y.pct()
@@ -1463,12 +1500,14 @@ mod tests {
             digest: Some(arrival_digest(&rows)),
             summary: "ok, latest `y` at 2.5000 ns".to_string(),
             wall_us: 1500,
+            oversubscribed: false,
         });
         record.arrivals = rows;
         record.phases.push(PhaseRow {
             phase: "evaluation".to_string(),
             spans: 8,
             total_ns: 420_000,
+            wall_ns: 300_000,
         });
         record.counters.push(CounterRow {
             phase: "cache".to_string(),
@@ -1504,6 +1543,62 @@ mod tests {
         let back = read_run(&path).expect("reads");
         assert_eq!(back, record);
         assert!(back.complete());
+    }
+
+    #[test]
+    fn phase_rows_without_wall_ns_read_back_as_total() {
+        // A record written before the wall_ns field existed.
+        let dir =
+            std::env::temp_dir().join(format!("crystal_runstore_oldfmt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("run-old.run");
+        std::fs::write(
+            &path,
+            "{\"kind\":\"run\",\"v\":1,\"id\":\"run-old\",\"command\":\"batch\",\
+             \"fingerprint\":\"feed\",\"git\":\"g\",\"host\":\"h\",\"hardware_threads\":4,\
+             \"threads\":2,\"model\":\"slope\",\"started_unix\":1}\n\
+             {\"kind\":\"phase\",\"phase\":\"evaluation\",\"spans\":8,\"total_ns\":420000}\n\
+             {\"kind\":\"exit\",\"status\":\"ok\",\"code\":0,\"wall_us\":10}\n",
+        )
+        .expect("writes");
+        let back = read_run(&path).expect("reads");
+        assert_eq!(back.phases[0].total_ns, 420_000);
+        assert_eq!(back.phases[0].wall_ns, 420_000);
+        // Scenario rows without the flag default to not oversubscribed.
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oversubscribed_scenarios_round_trip_and_skip_the_perf_gate() {
+        let store = temp_store("oversub");
+        let mut a = sample_record("run-00000000000000aa", 1.0);
+        let mut b = sample_record("run-00000000000000ab", 1.0);
+        a.scenarios[0].oversubscribed = true;
+        b.scenarios[0].oversubscribed = true;
+        b.scenarios[0].wall_us = a.scenarios[0].wall_us * 10; // huge "regression"
+        let path = store.record(&a).expect("records");
+        let back = read_run(&path).expect("reads");
+        assert!(back.scenarios[0].oversubscribed);
+        assert_eq!(back, a);
+        let d = diff(&a, &b);
+        // The only measured scenario is oversubscribed: the row is shown
+        // but never gates, and the skip is noted.
+        assert_eq!(d.scenario_perf.len(), 1);
+        assert_eq!(d.max_perf_pct, 0.0);
+        assert!(
+            d.notes.iter().any(|n| n.contains("oversubscribed")),
+            "{:?}",
+            d.notes
+        );
+        assert_eq!(
+            d.verdict(&DiffThresholds {
+                timing_pct: None,
+                perf_pct: Some(50.0),
+                digest: false,
+            }),
+            DiffVerdict::Clean
+        );
     }
 
     #[test]

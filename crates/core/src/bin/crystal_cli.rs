@@ -18,8 +18,12 @@
 //!                    [--set NAME=0|1]... [--input NAME] [--edge ...]
 //! crystal-cli serve  [--addr HOST:PORT] [--max-sessions N] [--max-inflight N]
 //!                    [--journal-dir DIR [--resume]] [--request-timeout MS]
-//!                    [--chaos-ops] [--tech FILE]
+//!                    [--session-ttl MS] [--compact-after K] [--chaos-ops]
+//!                    [--tech FILE]
 //! crystal-cli client [--addr HOST:PORT] [--script FILE]
+//!                    [--retries N] [--backoff-ms MS]
+//! crystal-cli chaos-proxy --upstream HOST:PORT [--listen HOST:PORT]
+//!                    [--drop P] [--delay-ms D] [--truncate P] [--seed N]
 //! crystal-cli diff-runs <A> <B> [--run-db DIR] [--json FILE]
 //!                    [--fail-on-timing-regression PCT]
 //!                    [--fail-on-perf-regression PCT] [--fail-on-digest-mismatch]
@@ -76,18 +80,20 @@
 //! | 4 | self-check divergence (`check`, `--selfcheck-resume`) |
 //! | 5 | scenario timed out (watchdog, retries disabled) |
 //! | 6 | scenario poisoned (retry ladder exhausted) |
-//! | 7 | I/O error (unreadable input, unwritable trace/journal) |
+//! | 7 | I/O error (unreadable input, unwritable trace/journal, `client` transport failure) |
 //! | 8 | interrupted (graceful shutdown drained the batch early) |
 //! | 9 | overloaded (`client`: the daemon shed the last request) |
+//! | 10 | storage error (`client`: a session journal write failed; the session degraded) |
 
 use crystal::analyzer::{analyze_with_options, AnalyzerOptions, Edge, Scenario};
 use crystal::batch::run_batch;
 use crystal::budget::AnalysisBudget;
 use crystal::durable::{
-    install_signal_handlers, run_durable, DurableOptions, FailureKind, Outcome, ShutdownFlag,
+    install_signal_handlers, run_durable, DurableOptions, FailureKind, JournalFaultPlan, Outcome,
+    ShutdownFlag,
 };
 use crystal::editscript::parse_edit_script;
-use crystal::fingerprint::escape_json_into;
+use crystal::fingerprint::{escape_json_into, SplitMix64};
 use crystal::incremental::IncrementalAnalyzer;
 use crystal::memo::StageCache;
 use crystal::models::ModelKind;
@@ -129,6 +135,9 @@ enum ExitKind {
     /// Server-only: admission control shed the request (`client` exits
     /// with the analog of the last response's protocol status).
     Overloaded,
+    /// Server-only: a journal write or compaction failed and the
+    /// session degraded to ephemeral (`storage_error`, not retryable).
+    Storage,
 }
 
 impl ExitKind {
@@ -143,6 +152,7 @@ impl ExitKind {
             ExitKind::Io => 7,
             ExitKind::Interrupted => 8,
             ExitKind::Overloaded => 9,
+            ExitKind::Storage => 10,
         }
     }
 
@@ -158,6 +168,7 @@ impl ExitKind {
             Status::Io => Some(ExitKind::Io),
             Status::Interrupted => Some(ExitKind::Interrupted),
             Status::Overloaded => Some(ExitKind::Overloaded),
+            Status::Storage => Some(ExitKind::Storage),
             _ => Some(ExitKind::Generic),
         }
     }
@@ -211,8 +222,12 @@ const USAGE: &str =
     "usage: crystal-cli <lint|logic|report|sweep|batch|check|spice|watch> <file.sim> [options]
        crystal-cli serve  [--addr HOST:PORT] [--max-sessions N] [--max-inflight N]
                           [--journal-dir DIR [--resume]] [--request-timeout MS]
-                          [--chaos-ops] [--tech FILE] [--no-cache] [budget flags]
+                          [--session-ttl MS] [--compact-after K] [--chaos-ops]
+                          [--tech FILE] [--no-cache] [budget flags]
        crystal-cli client [--addr HOST:PORT] [--script FILE]
+                          [--retries N] [--backoff-ms MS]
+       crystal-cli chaos-proxy --upstream HOST:PORT [--listen HOST:PORT]
+                          [--drop P] [--delay-ms D] [--truncate P] [--seed N]
        crystal-cli diff-runs <A> <B> [--run-db DIR] [--json FILE]
                           [--fail-on-timing-regression PCT]
                           [--fail-on-perf-regression PCT] [--fail-on-digest-mismatch]
@@ -266,12 +281,36 @@ const USAGE: &str =
                         (with --resume, sessions replay bit-identically)
   --request-timeout MS  serve: default per-request deadline (a request's own
                         `deadline_ms` field wins; 0 cancels immediately)
+  --session-ttl MS      serve: evict sessions idle past MS (journal kept;
+                        re-attachable by id — the lease model)
+  --compact-after K     serve: auto-compact a session journal once K edits
+                        accumulated since the last checkpoint
+  --fault-writes-after N  serve: inject a journal write failure after N good
+                        writes (disk-fault drills; requires --chaos-ops)
+  --fault-syncs-after N serve: inject an fsync failure after N good syncs
+                        (requires --chaos-ops)
+  --fault-count M       serve: cap the injected failures at M, then heal
   --chaos-ops           serve: enable the fault-injection `sleep`/`crash` ops
+                        and the --fault-* flags
   --script FILE         client: request script (default: stdin); lines:
                         `open SESSION FILE [k=v...]`, `edit SESSION <edit-line>`,
-                        `report|batch|check|close SESSION`, `ping`, `stats`,
-                        `history`, `diff A B [k=v...]`, `sleep MS`,
-                        `crash [SESSION]`, `wait MS`; `|` comments
+                        `report|batch|check|compact|close SESSION`, `ping`,
+                        `stats`, `health`, `history`, `diff A B [k=v...]`,
+                        `sleep MS`, `crash [SESSION]`, `wait MS`; `|` comments
+  --retries N           client: re-send retryable requests up to N times,
+                        reconnecting on refused/reset/timed-out transport
+                        (edits carry req_id so a retry never double-applies)
+  --backoff-ms MS       client: base retry backoff, doubling per attempt
+                        with jitter (default 100)
+  --listen HOST:PORT    chaos-proxy: listen address (default 127.0.0.1:0;
+                        port 0 picks a free port and prints it)
+  --upstream HOST:PORT  chaos-proxy: the daemon to forward to
+  --drop P              chaos-proxy: probability a forwarded line is dropped
+                        and its connection cut (default 0)
+  --delay-ms D          chaos-proxy: fixed delay before each forwarded line
+  --truncate P          chaos-proxy: probability a line is cut mid-byte and
+                        the connection closed (default 0)
+  --seed N              chaos-proxy: fault-sequence seed (default 1)
   --run-db DIR          batch/check/serve/diff-runs: persistent run database —
                         every run appends a record (scenario digests + arrival
                         times, phase timings, cache stats, provenance, exit
@@ -284,7 +323,8 @@ const USAGE: &str =
                         with a note when the runs saw different hardware)
   --fail-on-digest-mismatch         diff-runs: exit 4 on any digest mismatch
 exit codes: 0 ok, 1 usage/other, 2 parse, 3 budget, 4 divergence,
-            5 timeout, 6 poisoned, 7 I/O, 8 interrupted, 9 overloaded
+            5 timeout, 6 poisoned, 7 I/O, 8 interrupted, 9 overloaded,
+            10 storage
 ";
 
 /// Parsed common options.
@@ -318,8 +358,21 @@ struct Options {
     max_inflight: usize,
     journal_dir: Option<PathBuf>,
     request_timeout: Option<Duration>,
+    session_ttl: Option<Duration>,
+    compact_after: Option<u64>,
+    fault_writes_after: Option<u64>,
+    fault_syncs_after: Option<u64>,
+    fault_count: Option<u64>,
     chaos_ops: bool,
     script: Option<String>,
+    retries: u32,
+    backoff_ms: u64,
+    listen: String,
+    upstream: Option<String>,
+    drop_p: f64,
+    delay_ms: u64,
+    truncate_p: f64,
+    seed: u64,
     run_db: Option<PathBuf>,
     json_out: Option<String>,
     fail_timing: Option<f64>,
@@ -410,8 +463,21 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         max_inflight: 4,
         journal_dir: None,
         request_timeout: None,
+        session_ttl: None,
+        compact_after: None,
+        fault_writes_after: None,
+        fault_syncs_after: None,
+        fault_count: None,
         chaos_ops: false,
         script: None,
+        retries: 0,
+        backoff_ms: 100,
+        listen: "127.0.0.1:0".to_string(),
+        upstream: None,
+        drop_p: 0.0,
+        delay_ms: 0,
+        truncate_p: 0.0,
+        seed: 1,
         run_db: None,
         json_out: None,
         fail_timing: None,
@@ -542,8 +608,84 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .map_err(|_| "cannot parse --request-timeout".to_string())?;
                 options.request_timeout = Some(Duration::from_millis(ms));
             }
+            "--session-ttl" => {
+                let ms: u64 = value("--session-ttl")?
+                    .parse()
+                    .map_err(|_| "cannot parse --session-ttl".to_string())?;
+                options.session_ttl = Some(Duration::from_millis(ms));
+            }
+            "--compact-after" => {
+                let k: u64 = value("--compact-after")?
+                    .parse()
+                    .map_err(|_| "cannot parse --compact-after".to_string())?;
+                if k == 0 {
+                    return Err("--compact-after must be at least 1".into());
+                }
+                options.compact_after = Some(k);
+            }
+            "--fault-writes-after" => {
+                options.fault_writes_after = Some(
+                    value("--fault-writes-after")?
+                        .parse()
+                        .map_err(|_| "cannot parse --fault-writes-after".to_string())?,
+                );
+            }
+            "--fault-syncs-after" => {
+                options.fault_syncs_after = Some(
+                    value("--fault-syncs-after")?
+                        .parse()
+                        .map_err(|_| "cannot parse --fault-syncs-after".to_string())?,
+                );
+            }
+            "--fault-count" => {
+                options.fault_count = Some(
+                    value("--fault-count")?
+                        .parse()
+                        .map_err(|_| "cannot parse --fault-count".to_string())?,
+                );
+            }
             "--chaos-ops" => options.chaos_ops = true,
             "--script" => options.script = Some(value("--script")?),
+            "--retries" => {
+                options.retries = value("--retries")?
+                    .parse()
+                    .map_err(|_| "cannot parse --retries".to_string())?;
+            }
+            "--backoff-ms" => {
+                options.backoff_ms = value("--backoff-ms")?
+                    .parse()
+                    .map_err(|_| "cannot parse --backoff-ms".to_string())?;
+            }
+            "--listen" => options.listen = value("--listen")?,
+            "--upstream" => options.upstream = Some(value("--upstream")?),
+            "--drop" => {
+                let p: f64 = value("--drop")?
+                    .parse()
+                    .map_err(|_| "cannot parse --drop".to_string())?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err("--drop must be a probability in [0, 1]".into());
+                }
+                options.drop_p = p;
+            }
+            "--delay-ms" => {
+                options.delay_ms = value("--delay-ms")?
+                    .parse()
+                    .map_err(|_| "cannot parse --delay-ms".to_string())?;
+            }
+            "--truncate" => {
+                let p: f64 = value("--truncate")?
+                    .parse()
+                    .map_err(|_| "cannot parse --truncate".to_string())?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err("--truncate must be a probability in [0, 1]".into());
+                }
+                options.truncate_p = p;
+            }
+            "--seed" => {
+                options.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "cannot parse --seed".to_string())?;
+            }
             "--run-db" => options.run_db = Some(PathBuf::from(value("--run-db")?)),
             "--json" => options.json_out = Some(value("--json")?),
             "--fail-on-timing-regression" => {
@@ -637,6 +779,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
     match command.as_str() {
         "serve" => return run_serve(rest),
         "client" => return run_client(rest),
+        "chaos-proxy" => return run_chaos_proxy(rest),
         "diff-runs" => return run_diff_runs(rest),
         _ => {}
     }
@@ -1141,6 +1284,26 @@ fn run_serve(args: &[String]) -> Result<String, CliError> {
     let tech = load_technology(&options)?;
     let sink = options.trace_sink();
     let started = Instant::now();
+    let fault_flags = options.fault_writes_after.is_some()
+        || options.fault_syncs_after.is_some()
+        || options.fault_count.is_some();
+    if fault_flags && !options.chaos_ops {
+        return Err(
+            "--fault-writes-after/--fault-syncs-after/--fault-count require --chaos-ops"
+                .to_string()
+                .into(),
+        );
+    }
+    let mut journal_faults = JournalFaultPlan::none();
+    if let Some(n) = options.fault_writes_after {
+        journal_faults = journal_faults.fail_writes_after(n);
+    }
+    if let Some(n) = options.fault_syncs_after {
+        journal_faults = journal_faults.fail_syncs_after(n);
+    }
+    if let Some(m) = options.fault_count {
+        journal_faults = journal_faults.fail_count(m);
+    }
     let server_options = ServerOptions {
         addr: options.addr.clone(),
         max_sessions: options.max_sessions,
@@ -1160,6 +1323,9 @@ fn run_serve(args: &[String]) -> Result<String, CliError> {
         shutdown: ShutdownFlag::new(),
         chaos_ops: options.chaos_ops,
         run_db: options.run_db.clone(),
+        session_ttl: options.session_ttl,
+        compact_after: options.compact_after,
+        journal_faults,
     };
     let handle = serve(server_options)
         .map_err(|e| CliError::new(ExitKind::Io, format!("cannot start server: {e}")))?;
@@ -1203,6 +1369,12 @@ fn run_serve(args: &[String]) -> Result<String, CliError> {
             ("sessions_closed", stats.sessions_closed),
             ("recovered", stats.recovered),
             ("recovery_failed", stats.recovery_failed),
+            ("compactions", stats.compactions),
+            ("dedup_hits", stats.dedup_hits),
+            ("leases_expired", stats.leases_expired),
+            ("degraded_sessions", stats.degraded_sessions),
+            ("edits_replayed", stats.edits_replayed),
+            ("retries", stats.retries),
         ] {
             record.counters.push(runstore::CounterRow {
                 phase: "server".to_string(),
@@ -1223,6 +1395,30 @@ fn run_serve(args: &[String]) -> Result<String, CliError> {
 fn run_client(args: &[String]) -> Result<String, CliError> {
     use std::io::{BufRead as _, BufReader, Read as _};
 
+    /// One live connection: a cloned writer plus a buffered reader.
+    struct Conn {
+        writer: std::net::TcpStream,
+        reader: BufReader<std::net::TcpStream>,
+    }
+
+    fn connect(addr: &str) -> std::io::Result<Conn> {
+        let stream = std::net::TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Conn {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Marks a transport failure retryable for scripts: the hint goes to
+    /// stderr with the error, mirroring the wire `retryable` field.
+    fn transport_error(out: &str, what: &str) -> CliError {
+        CliError::new(
+            ExitKind::Io,
+            format!("{out}{what} (retryable: true; use --retries N to auto-retry)"),
+        )
+    }
+
     let options = parse_options(args)?;
     let script = match options.script.as_deref() {
         Some(path) => fs::read_to_string(path)
@@ -1235,16 +1431,15 @@ fn run_client(args: &[String]) -> Result<String, CliError> {
             text
         }
     };
-    let stream = std::net::TcpStream::connect(&options.addr).map_err(|e| {
-        CliError::new(
-            ExitKind::Io,
-            format!("cannot connect to `{}`: {e}", options.addr),
-        )
-    })?;
-    let mut writer = stream
-        .try_clone()
-        .map_err(|e| CliError::new(ExitKind::Io, format!("cannot clone connection: {e}")))?;
-    let mut reader = BufReader::new(stream);
+    let mut rng = SplitMix64::new(options.seed ^ u64::from(std::process::id()));
+    let backoff = |attempt: u32, rng: &mut SplitMix64| {
+        let base = options
+            .backoff_ms
+            .saturating_mul(1u64 << attempt.min(6))
+            .min(5_000);
+        std::thread::sleep(Duration::from_millis(base + rng.next_below(base / 2 + 1)));
+    };
+    let mut conn: Option<Conn> = None;
 
     let mut out = String::new();
     let mut last_status = Status::Ok;
@@ -1264,24 +1459,106 @@ fn run_client(args: &[String]) -> Result<String, CliError> {
             continue;
         }
         let request = client_request(line).map_err(err)?;
-        writer
-            .write_all(request.as_bytes())
-            .and_then(|_| writer.write_all(b"\n"))
-            .and_then(|_| writer.flush())
-            .map_err(|e| CliError::new(ExitKind::Io, format!("cannot send request: {e}")))?;
-        let mut response = String::new();
-        let n = reader
-            .read_line(&mut response)
-            .map_err(|e| CliError::new(ExitKind::Io, format!("cannot read response: {e}")))?;
-        if n == 0 {
-            return Err(CliError::new(
-                ExitKind::Io,
-                format!("{out}server closed the connection"),
-            ));
-        }
-        let response = response.trim_end();
+        let op = line.split_whitespace().next().unwrap_or("");
+        // A lost response to `close` or `crash` must not be re-sent:
+        // neither is idempotent (edits carry `req_id`, `open` dedups on
+        // fingerprint, reads are naturally safe).
+        let resend_safe = !matches!(op, "close" | "crash");
+        // `req_id` makes an edit retry dedupe server-side instead of
+        // double-applying; deterministic per line so re-runs correlate.
+        let request = if options.retries > 0 && op == "edit" {
+            let mut with_id = request[..request.len() - 1].to_string();
+            let _ = write!(
+                with_id,
+                ",\"req_id\":\"q{}-{}\"}}",
+                std::process::id(),
+                index + 1
+            );
+            with_id
+        } else {
+            request
+        };
+
+        let mut attempt: u32 = 0;
+        let response = loop {
+            if conn.is_none() {
+                match connect(&options.addr) {
+                    Ok(c) => conn = Some(c),
+                    Err(e) => {
+                        if attempt < options.retries {
+                            attempt += 1;
+                            backoff(attempt, &mut rng);
+                            continue;
+                        }
+                        return Err(transport_error(
+                            &out,
+                            &format!("cannot connect to `{}`: {e}", options.addr),
+                        ));
+                    }
+                }
+            }
+            let live = conn.as_mut().expect("connection just established");
+            // Retransmissions are marked so the daemon's `retries`
+            // counter sees them.
+            let wire = if attempt > 0 {
+                format!(
+                    "{},\"retry\":\"{attempt}\"}}",
+                    &request[..request.len() - 1]
+                )
+            } else {
+                request.clone()
+            };
+            let sent = live
+                .writer
+                .write_all(wire.as_bytes())
+                .and_then(|_| live.writer.write_all(b"\n"))
+                .and_then(|_| live.writer.flush());
+            let mut response = String::new();
+            let received = match sent {
+                Ok(()) => live.reader.read_line(&mut response),
+                Err(e) => Err(e),
+            };
+            // A frame is only a response if the line is complete (the
+            // trailing newline arrived) and parses as a flat JSON
+            // object; a connection cut mid-line yields a partial read
+            // that must count as a transport failure, not an answer.
+            let complete = response.ends_with('\n')
+                && crystal::fingerprint::parse_json_object(response.trim_end()).is_some();
+            match received {
+                Ok(n) if n > 0 && complete => {
+                    let response = response.trim_end().to_string();
+                    let status = crystal::fingerprint::parse_json_object(&response)
+                        .and_then(|fields| fields.get("status").cloned())
+                        .and_then(|name| Status::from_name(&name))
+                        .unwrap_or(Status::Error);
+                    if status.is_retryable() && attempt < options.retries {
+                        attempt += 1;
+                        backoff(attempt, &mut rng);
+                        continue;
+                    }
+                    break response;
+                }
+                // Reset, refused, timed out, a clean close mid-script,
+                // or a torn frame: reconnect and re-send when the op
+                // permits it.
+                Ok(_) | Err(_) => {
+                    conn = None;
+                    let what = match received {
+                        Ok(0) => "server closed the connection".to_string(),
+                        Ok(_) => "server sent a torn response frame".to_string(),
+                        Err(e) => format!("transport failure: {e}"),
+                    };
+                    if resend_safe && attempt < options.retries {
+                        attempt += 1;
+                        backoff(attempt, &mut rng);
+                        continue;
+                    }
+                    return Err(transport_error(&out, &what));
+                }
+            }
+        };
         let _ = writeln!(out, "{response}");
-        last_status = crystal::fingerprint::parse_json_object(response)
+        last_status = crystal::fingerprint::parse_json_object(&response)
             .and_then(|fields| fields.get("status").cloned())
             .and_then(|name| Status::from_name(&name))
             .unwrap_or(Status::Error);
@@ -1290,6 +1567,142 @@ fn run_client(args: &[String]) -> Result<String, CliError> {
         None => Ok(out),
         Some(kind) => Err(CliError::new(kind, out)),
     }
+}
+
+/// The `chaos-proxy` command: a line-oriented TCP proxy that injects
+/// network faults between a client and the daemon — per-line drop
+/// (connection cut), fixed delay, and mid-line truncation — all from a
+/// seeded deterministic schedule so a failing soak reproduces exactly.
+fn run_chaos_proxy(args: &[String]) -> Result<String, CliError> {
+    use std::io::{BufRead as _, BufReader};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    let options = parse_options(args)?;
+    let Some(upstream) = options.upstream.clone() else {
+        return Err("chaos-proxy requires --upstream HOST:PORT".into());
+    };
+    install_signal_handlers();
+    let shutdown = ShutdownFlag::new();
+    let listener = std::net::TcpListener::bind(&options.listen).map_err(|e| {
+        CliError::new(
+            ExitKind::Io,
+            format!("cannot listen on `{}`: {e}", options.listen),
+        )
+    })?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| CliError::new(ExitKind::Io, format!("cannot configure listener: {e}")))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| CliError::new(ExitKind::Io, format!("cannot resolve listen address: {e}")))?;
+    // Streamed (not returned) so scripts can read the port immediately,
+    // same contract as `serve`.
+    println!("crystal-cli: chaos-proxy listening on {local} -> {upstream}");
+    let _ = std::io::stdout().flush();
+
+    // One pump per direction per connection; each draws from its own
+    // seeded stream so fault schedules are stable per (connection,
+    // direction) regardless of thread interleaving.
+    fn pump(
+        from: std::net::TcpStream,
+        mut to: std::net::TcpStream,
+        mut rng: SplitMix64,
+        drop_p: f64,
+        delay: Duration,
+        truncate_p: f64,
+    ) {
+        let _ = from.set_read_timeout(Some(Duration::from_millis(100)));
+        let mut reader = BufReader::new(from);
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) => return,
+                Ok(_) => {
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                    let roll = rng.next_f64();
+                    if roll < drop_p {
+                        // Drop: swallow the line and cut the connection —
+                        // the harshest honest failure a network gives.
+                        let _ = to.shutdown(std::net::Shutdown::Both);
+                        return;
+                    }
+                    if roll < drop_p + truncate_p {
+                        let cut = line.len() / 2;
+                        let _ = to.write_all(&line.as_bytes()[..cut]);
+                        let _ = to.flush();
+                        let _ = to.shutdown(std::net::Shutdown::Both);
+                        return;
+                    }
+                    if to
+                        .write_all(line.as_bytes())
+                        .and_then(|_| to.flush())
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    continue;
+                }
+                Err(_) => return,
+            }
+        }
+    }
+
+    let connection_seq = AtomicU64::new(0);
+    while !shutdown.is_requested() {
+        match listener.accept() {
+            Ok((client, _peer)) => {
+                let Ok(server) = std::net::TcpStream::connect(&upstream) else {
+                    drop(client);
+                    continue;
+                };
+                let n = connection_seq.fetch_add(1, Ordering::Relaxed);
+                let (Ok(client_r), Ok(server_r)) = (client.try_clone(), server.try_clone()) else {
+                    continue;
+                };
+                let seed = options.seed;
+                let (drop_p, delay, truncate_p) = (
+                    options.drop_p,
+                    Duration::from_millis(options.delay_ms),
+                    options.truncate_p,
+                );
+                std::thread::spawn(move || {
+                    pump(
+                        client_r,
+                        server,
+                        SplitMix64::new(seed ^ (n << 1)),
+                        drop_p,
+                        delay,
+                        truncate_p,
+                    );
+                });
+                std::thread::spawn(move || {
+                    pump(
+                        server_r,
+                        client,
+                        SplitMix64::new(seed ^ (n << 1) ^ 1),
+                        drop_p,
+                        delay,
+                        truncate_p,
+                    );
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    Ok("chaos-proxy: drained\n".to_string())
 }
 
 /// Translates one client-script line into a wire request. The grammar
@@ -1321,6 +1734,7 @@ fn client_request(line: &str) -> Result<String, String> {
     match words.as_slice() {
         ["ping"] => request.push_str("ping"),
         ["stats"] => request.push_str("stats"),
+        ["health"] => request.push_str("health"),
         ["history"] => request.push_str("history"),
         ["diff", a, b, extras @ ..] => {
             request.push_str("diff");
@@ -1343,7 +1757,7 @@ fn client_request(line: &str) -> Result<String, String> {
             push_field(&mut request, "session", session);
             push_field(&mut request, "script", &edit_line.join(" "));
         }
-        [op @ ("report" | "batch" | "check" | "close"), session, extras @ ..] => {
+        [op @ ("report" | "batch" | "check" | "compact" | "close"), session, extras @ ..] => {
             request.push_str(op);
             push_field(&mut request, "session", session);
             push_extras(&mut request, extras)?;
@@ -1378,6 +1792,7 @@ fn exit_status(kind: Option<ExitKind>) -> (&'static str, u8) {
         Some(ExitKind::Io) => ("io_error", 7),
         Some(ExitKind::Interrupted) => ("interrupted", 8),
         Some(ExitKind::Overloaded) => ("overloaded", 9),
+        Some(ExitKind::Storage) => ("storage_error", 10),
     }
 }
 

@@ -47,7 +47,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write as _};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -370,6 +370,140 @@ pub fn scenario_summary(net: &Network, result: &TimingResult) -> String {
         ),
         None => "ok, nothing switches".to_string(),
     }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection & atomic replacement
+// ---------------------------------------------------------------------------
+
+/// A disk-fault injection plan threaded through journal I/O.
+///
+/// Cloned handles share one countdown, so a plan armed once covers the
+/// whole daemon. `fail_writes_after(n)` lets the next `n` journal
+/// writes succeed, then fails subsequent ones (likewise
+/// `fail_syncs_after(n)` for fsync); `fail_count(m)` bounds how many
+/// injected failures fire in total (default: unlimited), which lets a
+/// drill degrade exactly one session while its siblings keep
+/// journaling. The default plan never fires and costs one relaxed
+/// atomic load per check, so production paths run it unconditionally —
+/// fault drills exercise the *exact* production code, not a test
+/// double.
+#[derive(Clone, Debug, Default)]
+pub struct JournalFaultPlan {
+    inner: Arc<FaultInner>,
+}
+
+#[derive(Debug)]
+struct FaultInner {
+    writes_before_failure: AtomicI64,
+    syncs_before_failure: AtomicI64,
+    failures_remaining: AtomicI64,
+}
+
+impl Default for FaultInner {
+    fn default() -> FaultInner {
+        FaultInner {
+            writes_before_failure: AtomicI64::new(i64::MAX),
+            syncs_before_failure: AtomicI64::new(i64::MAX),
+            failures_remaining: AtomicI64::new(i64::MAX),
+        }
+    }
+}
+
+impl JournalFaultPlan {
+    /// A plan that never injects a fault.
+    pub fn none() -> JournalFaultPlan {
+        JournalFaultPlan::default()
+    }
+
+    /// Arms the plan: the next `n` checked writes succeed, later ones
+    /// fail (until the [`JournalFaultPlan::fail_count`] budget runs dry).
+    pub fn fail_writes_after(self, n: u64) -> JournalFaultPlan {
+        self.inner
+            .writes_before_failure
+            .store(n.min(i64::MAX as u64) as i64, Ordering::Relaxed);
+        self
+    }
+
+    /// Arms the plan: the next `n` checked fsyncs succeed, later ones fail.
+    pub fn fail_syncs_after(self, n: u64) -> JournalFaultPlan {
+        self.inner
+            .syncs_before_failure
+            .store(n.min(i64::MAX as u64) as i64, Ordering::Relaxed);
+        self
+    }
+
+    /// Caps the total number of injected failures (write and sync
+    /// combined); after `m` faults the plan goes quiet and I/O heals.
+    pub fn fail_count(self, m: u64) -> JournalFaultPlan {
+        self.inner
+            .failures_remaining
+            .store(m.min(i64::MAX as u64) as i64, Ordering::Relaxed);
+        self
+    }
+
+    /// `true` when any fault is armed (used to skip the hint in docs/UI,
+    /// never to skip the checks themselves).
+    pub fn is_armed(&self) -> bool {
+        self.inner.writes_before_failure.load(Ordering::Relaxed) != i64::MAX
+            || self.inner.syncs_before_failure.load(Ordering::Relaxed) != i64::MAX
+    }
+
+    fn check(&self, budget: &AtomicI64, what: &str, path: &Path) -> std::io::Result<()> {
+        if budget.load(Ordering::Relaxed) == i64::MAX {
+            return Ok(());
+        }
+        if budget.fetch_sub(1, Ordering::Relaxed) > 0 {
+            return Ok(());
+        }
+        // The per-operation budget is exhausted; spend one failure from
+        // the total cap (if it has one).
+        let remaining = &self.inner.failures_remaining;
+        if remaining.load(Ordering::Relaxed) != i64::MAX
+            && remaining.fetch_sub(1, Ordering::Relaxed) <= 0
+        {
+            return Ok(());
+        }
+        Err(std::io::Error::other(format!(
+            "injected {what} fault on `{}`",
+            path.display()
+        )))
+    }
+
+    /// Point of injection for a journal write. Call before `write_all`.
+    pub fn check_write(&self, path: &Path) -> std::io::Result<()> {
+        self.check(&self.inner.writes_before_failure, "write", path)
+    }
+
+    /// Point of injection for a journal fsync. Call before `sync_data`.
+    pub fn check_sync(&self, path: &Path) -> std::io::Result<()> {
+        self.check(&self.inner.syncs_before_failure, "fsync", path)
+    }
+}
+
+/// Atomically replaces `path` with `bytes`: write `{path}.tmp`, fsync
+/// the file, rename over `path`, fsync the directory. A crash at any
+/// byte leaves either the old file or the new one — never a mix — which
+/// is the invariant journal compaction rests on. The fault plan is
+/// checked at the write and fsync points so disk-fault drills cover
+/// this path too.
+pub fn atomic_replace(path: &Path, bytes: &[u8], faults: &JournalFaultPlan) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    faults.check_write(&tmp)?;
+    let mut file = File::create(&tmp)?;
+    file.write_all(bytes)?;
+    faults.check_sync(&tmp)?;
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        if let Ok(dir) = File::open(dir) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------

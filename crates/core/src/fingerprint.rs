@@ -80,6 +80,44 @@ impl Default for Fnv64 {
     }
 }
 
+/// SplitMix64: the small deterministic PRNG the robustness tooling
+/// shares — client retry jitter and the chaos proxy's fault schedule.
+/// Seeded runs reproduce the exact same fault sequence, which is what
+/// makes a chaos soak debuggable; this is **not** a cryptographic
+/// generator and must never gate anything security-relevant.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// A generator whose whole stream is determined by `seed`.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64(seed)
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw from `[0, 1)` (53 mantissa bits).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A uniform draw from `[0, bound)`; `0` when `bound` is `0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+}
+
 /// Formats a fingerprint or digest the way every journal and wire
 /// message spells it: 16 lowercase hex digits, zero-padded.
 pub fn hex64(v: u64) -> String {
@@ -426,5 +464,23 @@ mod tests {
         assert!(parse_json_object("{\"a\":{\"nested\":1}}").is_none());
         assert!(parse_json_object("{\"a\":\"unterminated").is_none());
         assert!(parse_json_object("{}").is_some());
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_in_range() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64(), "same seed, same stream");
+        }
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..1000 {
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f));
+            assert!(rng.next_below(10) < 10);
+        }
+        assert_eq!(SplitMix64::new(9).next_below(0), 0);
+        // Different seeds diverge immediately.
+        assert_ne!(SplitMix64::new(1).next_u64(), SplitMix64::new(2).next_u64());
     }
 }

@@ -118,11 +118,17 @@ impl fmt::Display for RunStoreError {
                     "no run matches `{spec}` (not a file, run ID, or unique ID prefix)"
                 )
             }
-            RunStoreError::Ambiguous { spec, matches } => write!(
-                f,
-                "run spec `{spec}` is ambiguous: matches {}",
-                matches.join(", ")
-            ),
+            RunStoreError::Ambiguous { spec, matches } => {
+                write!(
+                    f,
+                    "run spec `{spec}` is ambiguous: {} runs match:",
+                    matches.len()
+                )?;
+                for id in matches {
+                    write!(f, "\n  {id}")?;
+                }
+                write!(f, "\nuse a longer prefix or the full run ID")
+            }
         }
     }
 }
@@ -1722,6 +1728,30 @@ mod tests {
             store.resolve("run-ffff"),
             Err(RunStoreError::NotFound { .. })
         ));
+    }
+
+    /// Pins the ambiguous-prefix message shape: scripts grep for the
+    /// word "ambiguous", and operators need every matching ID listed so
+    /// they can pick a longer prefix without a second lookup.
+    #[test]
+    fn ambiguous_prefix_error_lists_every_match() {
+        let store = temp_store("ambiguous");
+        store
+            .record(&sample_record("run-00000000000000aa", 1.0))
+            .expect("records");
+        store
+            .record(&sample_record("run-00000000000000ab", 1.0))
+            .expect("records");
+        let err = store
+            .resolve("run-00000000000000a")
+            .expect_err("two matches");
+        let message = err.to_string();
+        assert_eq!(
+            message,
+            "run spec `run-00000000000000a` is ambiguous: 2 runs match:\n  \
+             run-00000000000000aa\n  run-00000000000000ab\n\
+             use a longer prefix or the full run ID"
+        );
     }
 
     #[test]

@@ -77,7 +77,7 @@ use std::time::{Duration, Instant};
 
 use crate::analyzer::{analyze_with_options, AnalyzerOptions};
 use crate::budget::{AnalysisBudget, CancelToken};
-use crate::durable::{ShutdownFlag, Watchdog};
+use crate::durable::{JournalFaultPlan, ShutdownFlag, Watchdog};
 use crate::error::TimingError;
 use crate::fingerprint::{escape_json_into, hex64, parse_json_object, result_digest};
 use crate::memo::StageCache;
@@ -85,8 +85,8 @@ use crate::obs::{Phase, TraceSink};
 use crate::runstore::{self, DiffThresholds, DiffVerdict, RunStore, RunStoreError};
 use crate::selfcheck::{check_network, SelfCheckConfig};
 use crate::session::{
-    edge_from_name, model_from_name, model_name, RecoveryReport, Session, SessionConfig,
-    SessionError, SessionManager,
+    edge_from_name, model_from_name, model_name, session_fingerprint, RecoveryReport, Session,
+    SessionConfig, SessionError, SessionManager,
 };
 use crate::tech::Technology;
 use mosnet::units::Seconds;
@@ -135,11 +135,17 @@ pub enum Status {
     /// Admission control shed the request: the global in-flight cap is
     /// reached (exit analog 9, server-only). Retryable after backoff.
     Overloaded,
+    /// A journal write or compaction failed after the session state
+    /// changed: the session is now degraded (journaling suspended,
+    /// ephemeral) — exit analog 10. **Not** retryable: the request
+    /// already took effect in memory; re-sending cannot restore
+    /// durability.
+    Storage,
 }
 
 impl Status {
     /// Every status, in exit-code order.
-    pub const ALL: [Status; 10] = [
+    pub const ALL: [Status; 11] = [
         Status::Ok,
         Status::Error,
         Status::ParseError,
@@ -150,6 +156,7 @@ impl Status {
         Status::Io,
         Status::Interrupted,
         Status::Overloaded,
+        Status::Storage,
     ];
 
     /// The wire name carried in the `status` response field.
@@ -165,6 +172,7 @@ impl Status {
             Status::Io => "io",
             Status::Interrupted => "interrupted",
             Status::Overloaded => "overloaded",
+            Status::Storage => "storage_error",
         }
     }
 
@@ -187,6 +195,7 @@ impl Status {
             Status::Io => 7,
             Status::Interrupted => 8,
             Status::Overloaded => 9,
+            Status::Storage => 10,
         }
     }
 
@@ -223,6 +232,7 @@ fn status_for(err: &SessionError) -> Status {
         SessionError::Limit { .. } => Status::Overloaded,
         SessionError::Poisoned(_) => Status::Poisoned,
         SessionError::Io { .. } => Status::Io,
+        SessionError::Storage { .. } => Status::Storage,
         SessionError::Corrupt { .. } => Status::Io,
     }
 }
@@ -278,6 +288,16 @@ pub struct ServerOptions {
     /// Run database the `history`/`diff` ops read (and the CLI records
     /// the serve run into); `None` disables both ops.
     pub run_db: Option<PathBuf>,
+    /// Lease TTL: sessions idle past it are evicted from memory
+    /// (journal kept; re-attachable by id). `None` disables leases.
+    pub session_ttl: Option<Duration>,
+    /// Auto-compact a session's journal once this many edits have
+    /// accumulated since the last checkpoint. `None` disables
+    /// auto-compaction (the explicit `compact` op still works).
+    pub compact_after: Option<u64>,
+    /// Fault-injection plan for journal writes/fsyncs (tests and chaos
+    /// drills); [`JournalFaultPlan::none`] in production.
+    pub journal_faults: JournalFaultPlan,
 }
 
 impl Default for ServerOptions {
@@ -297,6 +317,9 @@ impl Default for ServerOptions {
             shutdown: ShutdownFlag::new(),
             chaos_ops: false,
             run_db: None,
+            session_ttl: None,
+            compact_after: None,
+            journal_faults: JournalFaultPlan::none(),
         }
     }
 }
@@ -327,6 +350,19 @@ pub struct ServerStats {
     pub recovered: u64,
     /// Journals that failed verification at startup (skipped).
     pub recovery_failed: u64,
+    /// Journal checkpoints written (explicit `compact` + automatic).
+    pub compactions: u64,
+    /// Duplicate `req_id` deliveries answered from the reply cache.
+    pub dedup_hits: u64,
+    /// Sessions evicted by the idle-lease sweep.
+    pub leases_expired: u64,
+    /// Sessions that entered degraded mode (journaling suspended).
+    pub degraded_sessions: u64,
+    /// Edits replayed through the engine during recovery/reattach —
+    /// the observable cost compaction bounds.
+    pub edits_replayed: u64,
+    /// Requests that declared themselves retransmissions (`retry` field).
+    pub retries: u64,
 }
 
 #[derive(Debug, Default)]
@@ -342,6 +378,12 @@ struct Counters {
     sessions_closed: AtomicU64,
     recovered: AtomicU64,
     recovery_failed: AtomicU64,
+    compactions: AtomicU64,
+    dedup_hits: AtomicU64,
+    leases_expired: AtomicU64,
+    degraded_sessions: AtomicU64,
+    edits_replayed: AtomicU64,
+    retries: AtomicU64,
 }
 
 #[derive(Debug)]
@@ -359,6 +401,8 @@ struct Inner {
     shutdown: ShutdownFlag,
     chaos_ops: bool,
     run_db: Option<PathBuf>,
+    session_ttl: Option<Duration>,
+    compact_after: Option<u64>,
     counters: Counters,
 }
 
@@ -402,6 +446,12 @@ impl Inner {
             sessions_closed: get(&c.sessions_closed),
             recovered: get(&c.recovered),
             recovery_failed: get(&c.recovery_failed),
+            compactions: get(&c.compactions),
+            dedup_hits: get(&c.dedup_hits),
+            leases_expired: get(&c.leases_expired),
+            degraded_sessions: get(&c.degraded_sessions),
+            edits_replayed: get(&c.edits_replayed),
+            retries: get(&c.retries),
         }
     }
 }
@@ -493,6 +543,7 @@ pub fn serve(options: ServerOptions) -> std::io::Result<ServerHandle> {
         options.tech.clone(),
         options.journal_dir.clone(),
         options.max_sessions,
+        options.journal_faults.clone(),
     )
     .map_err(|e| std::io::Error::other(e.to_string()))?;
 
@@ -510,6 +561,8 @@ pub fn serve(options: ServerOptions) -> std::io::Result<ServerHandle> {
         shutdown: options.shutdown.clone(),
         chaos_ops: options.chaos_ops,
         run_db: options.run_db.clone(),
+        session_ttl: options.session_ttl,
+        compact_after: options.compact_after,
         counters: Counters::default(),
     });
 
@@ -525,6 +578,13 @@ pub fn serve(options: ServerOptions) -> std::io::Result<ServerHandle> {
         }
         for _ in &report.failed {
             inner.bump(&inner.counters.recovery_failed, "recovery_failed");
+        }
+        inner
+            .counters
+            .edits_replayed
+            .fetch_add(report.edits_replayed, Ordering::Relaxed);
+        if let Some(trace) = &inner.trace {
+            trace.count(Phase::Server, "edits_replayed", report.edits_replayed);
         }
         report
     } else {
@@ -572,7 +632,18 @@ impl Drop for SlotGuard<'_> {
 }
 
 fn accept_loop(inner: &Arc<Inner>, listener: TcpListener) {
+    let mut last_sweep = Instant::now();
     while !inner.shutdown.is_requested() {
+        // Lease sweep: piggybacks on the accept poll so no extra thread
+        // is needed; ~4 sweeps per second is plenty for TTLs ≥ 1ms.
+        if let Some(ttl) = inner.session_ttl {
+            if last_sweep.elapsed() >= Duration::from_millis(250).min(ttl) {
+                last_sweep = Instant::now();
+                for _ in inner.manager.evict_idle(ttl) {
+                    inner.bump(&inner.counters.leases_expired, "leases_expired");
+                }
+            }
+        }
         match listener.accept() {
             Ok((stream, _peer)) => {
                 inner.bump(&inner.counters.accepted, "accepted");
@@ -627,7 +698,8 @@ fn handle_connection(inner: &Arc<Inner>, mut stream: TcpStream) {
             return;
         }
         if pending.len() > MAX_REQUEST_BYTES {
-            let response = Response::new(Status::Error)
+            inner.bump(&inner.counters.parse_errors, "parse_errors");
+            let response = Response::new(Status::ParseError)
                 .field("error", "request line exceeds the size limit")
                 .finish(None);
             let _ = stream.write_all(response.as_bytes());
@@ -716,21 +788,24 @@ fn handle_line(inner: &Arc<Inner>, line: &str) -> String {
             .finish(None);
     };
     let correlation = request.get("id").cloned();
+    if request.contains_key("retry") {
+        inner.bump(&inner.counters.retries, "retries");
+    }
     let op = request.get("op").map(String::as_str).unwrap_or("");
     let response = match op {
         // Ungated ops: health checks and cleanup must work even under
         // full load and during drain.
         "ping" => Response::new(Status::Ok).field("op", "ping"),
         "stats" => stats_response(inner),
+        "health" => health_response(inner),
         "close" => op_close(inner, &request),
-        "open" | "edit" | "report" | "batch" | "check" | "history" | "diff" | "sleep" | "crash" => {
-            gated_request(inner, op, &request)
-        }
+        "open" | "edit" | "report" | "batch" | "check" | "compact" | "history" | "diff"
+        | "sleep" | "crash" => gated_request(inner, op, &request),
         other => Response::new(Status::Error).field(
             "error",
             &format!(
                 "unknown op `{other}` \
-                 (want ping/stats/open/edit/report/batch/check/history/diff/close)"
+                 (want ping/stats/health/open/edit/report/batch/check/compact/history/diff/close)"
             ),
         ),
     };
@@ -833,6 +908,7 @@ fn execute_op(
         "report" => op_report(inner, request),
         "batch" => op_batch(inner, request, token),
         "check" => op_check(inner, request),
+        "compact" => op_compact(inner, request),
         "history" => op_history(inner),
         "diff" => op_diff(inner, request),
         "sleep" => op_sleep(request, token),
@@ -855,8 +931,39 @@ fn stats_response(inner: &Arc<Inner>) -> Response {
         .num("sessions_closed", stats.sessions_closed)
         .num("recovered", stats.recovered)
         .num("recovery_failed", stats.recovery_failed)
+        .num("compactions", stats.compactions)
+        .num("dedup_hits", stats.dedup_hits)
+        .num("leases_expired", stats.leases_expired)
+        .num("degraded_sessions", stats.degraded_sessions)
+        .num("edits_replayed", stats.edits_replayed)
+        .num("retries", stats.retries)
+        .num("degraded", inner.manager.degraded_ids().len() as u64)
         .num("sessions", inner.manager.session_count() as u64)
         .num("inflight", inner.inflight.load(Ordering::SeqCst) as u64)
+}
+
+/// The `health` op: ungated liveness + degradation summary. A daemon
+/// under full load or drain still answers it, so operators can always
+/// see which sessions lost durability.
+fn health_response(inner: &Arc<Inner>) -> Response {
+    let degraded = inner.manager.degraded_ids();
+    let mut response = Response::new(Status::Ok)
+        .field("op", "health")
+        .field(
+            "draining",
+            if inner.shutdown.is_requested() {
+                "true"
+            } else {
+                "false"
+            },
+        )
+        .num("sessions", inner.manager.session_count() as u64)
+        .num("inflight", inner.inflight.load(Ordering::SeqCst) as u64)
+        .num("degraded", degraded.len() as u64);
+    for (index, id) in degraded.iter().enumerate() {
+        response = response.field(&format!("degraded.{index}"), id);
+    }
+    response
 }
 
 /// The protocol status of a run-store failure: damaged records are
@@ -1033,10 +1140,26 @@ fn resolve_session(
     let id = request
         .get("session")
         .ok_or_else(|| Response::new(Status::Error).field("error", "missing `session` field"))?;
-    let session = inner.manager.get(id).ok_or_else(|| {
-        Response::new(Status::Error).field("error", &format!("unknown session `{id}`"))
-    })?;
-    Ok((id.clone(), session))
+    if let Some(session) = inner.manager.get(id) {
+        return Ok((id.clone(), session));
+    }
+    // Lease fallback: an evicted session left its journal behind, so a
+    // client coming back after the TTL transparently reattaches.
+    let options = inner.request_options(AnalysisBudget::unlimited(), None);
+    match inner.manager.reattach(id, &options) {
+        Ok((session, replayed)) => {
+            inner.bump(&inner.counters.recovered, "recovered");
+            inner
+                .counters
+                .edits_replayed
+                .fetch_add(replayed, Ordering::Relaxed);
+            if let Some(trace) = &inner.trace {
+                trace.count(Phase::Server, "edits_replayed", replayed);
+            }
+            Ok((id.clone(), session))
+        }
+        Err(e) => Err(error_response(&e)),
+    }
 }
 
 fn op_open(inner: &Arc<Inner>, request: &HashMap<String, String>, token: &CancelToken) -> Response {
@@ -1053,6 +1176,31 @@ fn op_open(inner: &Arc<Inner>, request: &HashMap<String, String>, token: &Cancel
         Ok(budget) => budget,
         Err(message) => return Response::new(Status::Error).field("error", &message),
     };
+    // Idempotent re-open: a retried `open` whose original response was
+    // lost finds the session already live with the same fingerprint —
+    // answer from current state instead of failing on the duplicate id.
+    if let Some(id) = request.get("session") {
+        if let Some(session) = inner.manager.get(id) {
+            // Sessions pin their fingerprint to the canonical netlist
+            // text; canonicalize the submitted text the same way so a
+            // byte-different but structurally identical retry matches.
+            let canonical = crate::session::canonical_netlist(netlist, name)
+                .unwrap_or_else(|_| netlist.to_string());
+            let fingerprint = session_fingerprint(&canonical, inner.manager.technology(), &config);
+            let mut guard = lock_session(&session);
+            if guard.poisoned().is_none() && guard.fingerprint() == fingerprint {
+                inner.bump(&inner.counters.dedup_hits, "dedup_hits");
+                guard.touch();
+                return Response::new(Status::Ok)
+                    .field("session", id)
+                    .field("model", model_name(guard.config().model))
+                    .num("scenarios", guard.scenario_rows().len() as u64)
+                    .field("fingerprint", &hex64(guard.fingerprint()))
+                    .field("digest", &hex64(guard.digest()))
+                    .field("dedup", "true");
+            }
+        }
+    }
     let options = inner.request_options(budget, Some(token.clone()));
     match inner.manager.open(
         request.get("session").map(String::as_str),
@@ -1090,9 +1238,24 @@ fn op_edit(inner: &Arc<Inner>, request: &HashMap<String, String>, token: &Cancel
         Ok(budget) => budget,
         Err(message) => return Response::new(Status::Error).field("error", &message),
     };
+    let req_id = request.get("req_id").map(String::as_str);
     let mut guard = lock_session(&session);
+    guard.touch();
+    // Idempotent retry: a duplicate `req_id` means the edit was already
+    // applied and journaled but the response was lost in transit —
+    // answer from the reply cache instead of re-applying.
+    if let Some(rid) = req_id {
+        if let Some((seq, digest)) = guard.cached_reply(rid) {
+            inner.bump(&inner.counters.dedup_hits, "dedup_hits");
+            return Response::new(Status::Ok)
+                .field("session", &id)
+                .num("seq", seq)
+                .field("digest", &hex64(digest))
+                .field("dedup", "true");
+        }
+    }
     guard.set_request_controls(budget, Some(token.clone()));
-    match guard.apply_script(script) {
+    match guard.apply_script(script, req_id) {
         Ok(delta) => {
             let changed: usize = delta.scenarios.iter().map(|s| s.changed.len()).sum();
             let invalidated: usize = delta
@@ -1101,16 +1264,70 @@ fn op_edit(inner: &Arc<Inner>, request: &HashMap<String, String>, token: &Cancel
                 .map(|s| s.stats.invalidated_targets)
                 .sum();
             let reused: usize = delta.scenarios.iter().map(|s| s.stats.reused_targets).sum();
-            Response::new(Status::Ok)
+            let response = Response::new(Status::Ok)
                 .field("session", &id)
                 .num("seq", guard.edits_applied())
                 .num("netlist_changes", delta.netlist_changes as u64)
                 .num("changed", changed as u64)
                 .num("invalidated_targets", invalidated as u64)
                 .num("reused_targets", reused as u64)
+                .field("digest", &hex64(guard.digest()));
+            // Auto-compaction: once enough edits accumulated since the
+            // last checkpoint, fold them into one. The edit above is
+            // already acknowledged-by-journal, so a compaction failure
+            // here degrades the session (visible in `health`) without
+            // turning the successful edit into an error.
+            if let Some(after) = inner.compact_after {
+                if guard.degraded().is_none() && guard.edits_since_checkpoint() >= after {
+                    match guard.compact(inner.manager.technology()) {
+                        Ok(()) => inner.bump(&inner.counters.compactions, "compactions"),
+                        // Only a storage failure degrades; a declined
+                        // compaction (e.g. the round-trip self-check)
+                        // leaves the journal intact and keeps growing.
+                        Err(SessionError::Storage { .. }) => {
+                            inner.bump(&inner.counters.degraded_sessions, "degraded_sessions")
+                        }
+                        Err(_) => {}
+                    }
+                }
+            }
+            response
+        }
+        Err(e) => {
+            if matches!(e, SessionError::Storage { .. }) {
+                inner.bump(&inner.counters.degraded_sessions, "degraded_sessions");
+            }
+            error_response(&e)
+        }
+    }
+}
+
+/// The `compact` op: fold the session's journaled history into one
+/// checkpoint header via write-temp/fsync/rename, re-pinning the
+/// fingerprint to the canonical netlist text. Replay cost after this is
+/// O(edits since checkpoint).
+fn op_compact(inner: &Arc<Inner>, request: &HashMap<String, String>) -> Response {
+    let (id, session) = match resolve_session(inner, request) {
+        Ok(found) => found,
+        Err(response) => return response,
+    };
+    let mut guard = lock_session(&session);
+    guard.touch();
+    match guard.compact(inner.manager.technology()) {
+        Ok(()) => {
+            inner.bump(&inner.counters.compactions, "compactions");
+            Response::new(Status::Ok)
+                .field("session", &id)
+                .num("base_seq", guard.base_seq())
+                .field("fingerprint", &hex64(guard.fingerprint()))
                 .field("digest", &hex64(guard.digest()))
         }
-        Err(e) => error_response(&e),
+        Err(e) => {
+            if matches!(e, SessionError::Storage { .. }) {
+                inner.bump(&inner.counters.degraded_sessions, "degraded_sessions");
+            }
+            error_response(&e)
+        }
     }
 }
 
@@ -1119,7 +1336,8 @@ fn op_report(inner: &Arc<Inner>, request: &HashMap<String, String>) -> Response 
         Ok(found) => found,
         Err(response) => return response,
     };
-    let guard = lock_session(&session);
+    let mut guard = lock_session(&session);
+    guard.touch();
     if let Some(message) = guard.poisoned() {
         return error_response(&SessionError::Poisoned(message.to_string()));
     }
@@ -1155,7 +1373,8 @@ fn op_batch(
         Ok(budget) => budget,
         Err(message) => return Response::new(Status::Error).field("error", &message),
     };
-    let guard = lock_session(&session);
+    let mut guard = lock_session(&session);
+    guard.touch();
     if let Some(message) = guard.poisoned() {
         return error_response(&SessionError::Poisoned(message.to_string()));
     }
@@ -1211,7 +1430,8 @@ fn op_check(inner: &Arc<Inner>, request: &HashMap<String, String>) -> Response {
         Ok(found) => found,
         Err(response) => return response,
     };
-    let guard = lock_session(&session);
+    let mut guard = lock_session(&session);
+    guard.touch();
     if let Some(message) = guard.poisoned() {
         return error_response(&SessionError::Poisoned(message.to_string()));
     }
@@ -1316,6 +1536,11 @@ mod tests {
         assert!(Status::Interrupted.is_retryable());
         assert!(!Status::Poisoned.is_retryable());
         assert!(!Status::ParseError.is_retryable());
+        // storage_error must never invite a retry: the edit already took
+        // effect in memory, only its durability was lost.
+        assert!(!Status::Storage.is_retryable());
+        assert_eq!(Status::Storage.exit_code(), 10);
+        assert_eq!(Status::from_name("storage_error"), Some(Status::Storage));
     }
 
     #[test]
@@ -1355,6 +1580,13 @@ mod tests {
                 message: "x".into()
             }),
             Status::Io
+        );
+        assert_eq!(
+            status_for(&SessionError::Storage {
+                path: PathBuf::from("j"),
+                message: "fsync failed".into()
+            }),
+            Status::Storage
         );
     }
 }

@@ -32,7 +32,7 @@
 
 use crate::analyzer::{AnalyzerOptions, Edge};
 use crate::budget::{AnalysisBudget, CancelToken};
-use crate::durable::scenario_summary;
+use crate::durable::{atomic_replace, scenario_summary, JournalFaultPlan};
 use crate::editscript::parse_edit_script;
 use crate::error::TimingError;
 use crate::fingerprint::{
@@ -44,19 +44,27 @@ use crate::selfcheck::standard_scenarios;
 use crate::tech::Technology;
 use mosnet::sim_format;
 use mosnet::units::Seconds;
-use std::collections::HashMap;
+use mosnet::Network;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Session journal format version written into the header record.
 pub const SESSION_JOURNAL_VERSION: u64 = 1;
 
 /// File extension of per-session journals inside `--journal-dir`.
 pub const SESSION_JOURNAL_EXT: &str = "session";
+
+/// How many `(req_id, seq, digest)` replies each session retains for
+/// duplicate-delivery detection. Bounded so a chatty client cannot grow
+/// the daemon without bound; 64 comfortably covers any realistic retry
+/// window (a client re-sends at most the in-flight request).
+pub const REPLY_CACHE_LIMIT: usize = 64;
 
 // ---------------------------------------------------------------------------
 // Configuration and errors
@@ -124,6 +132,17 @@ pub enum SessionError {
         /// The underlying error text.
         message: String,
     },
+    /// A journal write or compaction failed *after* the session state
+    /// changed: the session transitioned to degraded (journaling
+    /// suspended, state ephemeral). Not retryable — retrying cannot
+    /// restore durability; the client must decide whether ephemeral
+    /// results are acceptable or re-open the session elsewhere.
+    Storage {
+        /// The journal path that failed.
+        path: PathBuf,
+        /// The underlying error text.
+        message: String,
+    },
     /// A journal failed verification during recovery: damaged beyond
     /// the torn tail, fingerprint mismatch, or a replay digest that no
     /// longer matches what was recorded.
@@ -149,6 +168,14 @@ impl fmt::Display for SessionError {
             }
             SessionError::Io { path, message } => {
                 write!(f, "session journal `{}`: {message}", path.display())
+            }
+            SessionError::Storage { path, message } => {
+                write!(
+                    f,
+                    "session storage failure on `{}`: {message} \
+                     (session degraded: journaling suspended, state is now ephemeral)",
+                    path.display()
+                )
             }
             SessionError::Corrupt { path, message } => {
                 write!(
@@ -258,24 +285,37 @@ struct SessionJournal {
 }
 
 impl SessionJournal {
-    fn append_line(&mut self, line: &str) -> Result<(), SessionError> {
+    fn append_line(&mut self, line: &str, faults: &JournalFaultPlan) -> Result<(), SessionError> {
         let io_err = |path: &Path, e: std::io::Error| SessionError::Io {
             path: path.to_path_buf(),
             message: e.to_string(),
         };
+        faults
+            .check_write(&self.path)
+            .map_err(|e| io_err(&self.path, e))?;
         self.file
             .write_all(line.as_bytes())
+            .map_err(|e| io_err(&self.path, e))?;
+        faults
+            .check_sync(&self.path)
             .map_err(|e| io_err(&self.path, e))?;
         self.file.sync_data().map_err(|e| io_err(&self.path, e))
     }
 }
 
+/// The self-contained header record. `base_seq`/`checkpoint` are only
+/// written by compaction (`base_seq > 0`), so fresh journals stay
+/// byte-compatible with the v1 format and old journals resume
+/// unchanged: a header without them is a checkpoint at seq 0 whose
+/// digest needs no verification (the netlist *is* the state).
 fn session_header_line(
     id: &str,
     fingerprint: u64,
     netlist_name: &str,
     netlist_text: &str,
     config: &SessionConfig,
+    base_seq: u64,
+    checkpoint: Option<u64>,
 ) -> String {
     let mut out = format!(
         "{{\"kind\":\"session\",\"v\":{SESSION_JOURNAL_VERSION},\"id\":\"{}\",\"run\":\"{}\",\
@@ -301,6 +341,12 @@ fn session_header_line(
     if let Some(edge) = config.edge {
         out.push_str(&format!(",\"edge\":\"{}\"", edge_name(edge)));
     }
+    if base_seq > 0 {
+        out.push_str(&format!(",\"base_seq\":{base_seq}"));
+        if let Some(digest) = checkpoint {
+            out.push_str(&format!(",\"checkpoint\":\"{}\"", hex64(digest)));
+        }
+    }
     out.push_str(",\"name\":\"");
     escape_json_into(netlist_name, &mut out);
     out.push_str("\",\"netlist\":\"");
@@ -309,10 +355,16 @@ fn session_header_line(
     out
 }
 
-fn edit_record_line(seq: u64, script: &str, digest: u64) -> String {
+fn edit_record_line(seq: u64, script: &str, digest: u64, req_id: Option<&str>) -> String {
     let mut out = format!("{{\"kind\":\"edit\",\"seq\":{seq},\"script\":\"");
     escape_json_into(script, &mut out);
-    out.push_str(&format!("\",\"digest\":\"{}\"}}\n", hex64(digest)));
+    out.push_str(&format!("\",\"digest\":\"{}\"", hex64(digest)));
+    if let Some(req_id) = req_id {
+        out.push_str(",\"req\":\"");
+        escape_json_into(req_id, &mut out);
+        out.push('"');
+    }
+    out.push_str("}\n");
     out
 }
 
@@ -329,10 +381,25 @@ pub struct Session {
     id: String,
     config: SessionConfig,
     fingerprint: u64,
+    netlist_name: String,
     analyzer: IncrementalAnalyzer,
     journal: Option<SessionJournal>,
+    faults: JournalFaultPlan,
     seq: u64,
+    /// Seq of the journal's checkpoint header: replay after a restart
+    /// starts here, so recovery work is O(seq - base_seq).
+    base_seq: u64,
+    /// Edit records replayed by the last [`Session::resume`].
+    replayed: u64,
     poisoned: Option<String>,
+    /// Why journaling was suspended, when a storage fault degraded the
+    /// session. A degraded session keeps answering (ephemeral state)
+    /// but is no longer durable.
+    degraded: Option<String>,
+    /// Bounded `(req_id, seq, digest)` history for duplicate-delivery
+    /// detection; rebuilt from the journal tail on resume.
+    replies: VecDeque<(String, u64, u64)>,
+    last_used: Instant,
 }
 
 impl Session {
@@ -349,6 +416,7 @@ impl Session {
     /// when the initial analysis fails (including budget/deadline
     /// aborts — no session or journal is left behind);
     /// [`SessionError::Io`] when the journal cannot be written.
+    #[allow(clippy::too_many_arguments)]
     pub fn open(
         id: &str,
         netlist_text: &str,
@@ -357,6 +425,7 @@ impl Session {
         config: &SessionConfig,
         options: AnalyzerOptions,
         journal_path: Option<&Path>,
+        faults: &JournalFaultPlan,
     ) -> Result<Session, SessionError> {
         if !valid_session_id(id) {
             return Err(SessionError::BadRequest(format!(
@@ -371,6 +440,14 @@ impl Session {
                 )));
             }
         }
+        // Pin the session to the *canonical* netlist text from the
+        // start. Edits preserve node ids, and `sim_format::write` is a
+        // fixed point on its own output, so the canonical text a later
+        // checkpoint writes rebuilds this exact network — same node
+        // order, same capacitance bits — which is what makes a
+        // compacted resume bit-identical.
+        let netlist_text = canonical_netlist(netlist_text, netlist_name)?;
+        let netlist_text = netlist_text.as_str();
         let analyzer = build_analyzer(netlist_text, netlist_name, tech, config, options)?;
         let fingerprint = session_fingerprint(netlist_text, tech, config);
         let journal = match journal_path {
@@ -389,13 +466,18 @@ impl Session {
                     file,
                     path: path.to_path_buf(),
                 };
-                journal.append_line(&session_header_line(
-                    id,
-                    fingerprint,
-                    netlist_name,
-                    netlist_text,
-                    config,
-                ))?;
+                journal.append_line(
+                    &session_header_line(
+                        id,
+                        fingerprint,
+                        netlist_name,
+                        netlist_text,
+                        config,
+                        0,
+                        None,
+                    ),
+                    faults,
+                )?;
                 Some(journal)
             }
         };
@@ -403,10 +485,17 @@ impl Session {
             id: id.to_string(),
             config: config.clone(),
             fingerprint,
+            netlist_name: netlist_name.to_string(),
             analyzer,
             journal,
+            faults: faults.clone(),
             seq: 0,
+            base_seq: 0,
+            replayed: 0,
             poisoned: None,
+            degraded: None,
+            replies: VecDeque::new(),
+            last_used: Instant::now(),
         })
     }
 
@@ -421,6 +510,7 @@ impl Session {
         path: &Path,
         tech: &Technology,
         options: AnalyzerOptions,
+        faults: &JournalFaultPlan,
     ) -> Result<Session, SessionError> {
         let io_err = |e: std::io::Error| SessionError::Io {
             path: path.to_path_buf(),
@@ -441,7 +531,7 @@ impl Session {
         // tail exactly like the durable journal does.
         let mut valid_len = 0usize;
         let mut header: Option<HashMap<String, String>> = None;
-        let mut edits: Vec<(u64, String, u64)> = Vec::new();
+        let mut edits: Vec<(u64, String, u64, Option<String>)> = Vec::new();
         for (index, raw) in lines.iter().enumerate() {
             let is_last = index + 1 == lines.len();
             let torn = |valid_len: usize| {
@@ -475,7 +565,7 @@ impl Session {
                     let seq: u64 = fields.get("seq")?.parse().ok()?;
                     let script = fields.get("script")?.clone();
                     let digest = parse_hex64(fields.get("digest")?)?;
-                    Some((seq, script, digest))
+                    Some((seq, script, digest, fields.get("req").cloned()))
                 })();
                 match record {
                     Some(record) => edits.push(record),
@@ -534,6 +624,18 @@ impl Session {
         };
         let netlist_name = field("name")?;
         let netlist_text = field("netlist")?;
+        let base_seq: u64 = match header.get("base_seq") {
+            None => 0,
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| corrupt(format!("bad base_seq `{raw}`")))?,
+        };
+        let checkpoint = match header.get("checkpoint") {
+            None => None,
+            Some(raw) => {
+                Some(parse_hex64(raw).ok_or_else(|| corrupt("bad checkpoint digest".into()))?)
+            }
+        };
 
         // The journal is self-contained except for the technology, which
         // belongs to the daemon: recompute the fingerprint and refuse to
@@ -556,12 +658,32 @@ impl Session {
             id,
             config,
             fingerprint,
+            netlist_name,
             analyzer,
             journal: None,
-            seq: 0,
+            faults: faults.clone(),
+            seq: base_seq,
+            base_seq,
+            replayed: 0,
             poisoned: None,
+            degraded: None,
+            replies: VecDeque::new(),
+            last_used: Instant::now(),
         };
-        for (seq, script, recorded_digest) in edits {
+        // A compacted header *is* a verified state: the checkpoint
+        // digest proves the rewritten netlist reproduces what the
+        // client was last told, bit for bit.
+        if let Some(recorded) = checkpoint {
+            let digest = session.digest();
+            if digest != recorded {
+                return Err(corrupt(format!(
+                    "checkpoint rebuilt to digest {} but the journal recorded {}",
+                    hex64(digest),
+                    hex64(recorded)
+                )));
+            }
+        }
+        for (seq, script, recorded_digest, req_id) in edits {
             let parsed = parse_edit_script(&script)
                 .map_err(|e| corrupt(format!("edit {seq} no longer parses: {e}")))?;
             session
@@ -577,6 +699,10 @@ impl Session {
                 )));
             }
             session.seq = seq;
+            session.replayed += 1;
+            if let Some(req_id) = req_id {
+                session.record_reply(&req_id, seq, digest);
+            }
         }
 
         // Reopen for appending, truncating any torn tail away.
@@ -615,9 +741,77 @@ impl Session {
         self.seq
     }
 
+    /// Seq of the journal's checkpoint header (0 for a never-compacted
+    /// session): a restart replays only `edits_applied() - base_seq()`
+    /// edits.
+    pub fn base_seq(&self) -> u64 {
+        self.base_seq
+    }
+
+    /// Edits the journal tail still carries — the replay cost a restart
+    /// would pay right now.
+    pub fn edits_since_checkpoint(&self) -> u64 {
+        self.seq - self.base_seq
+    }
+
+    /// Edit records the last [`Session::resume`] actually replayed
+    /// through the engine (0 for a freshly opened session).
+    pub fn edits_replayed(&self) -> u64 {
+        self.replayed
+    }
+
+    /// The name the netlist was uploaded under.
+    pub fn netlist_name(&self) -> &str {
+        &self.netlist_name
+    }
+
     /// The panic message that poisoned this session, if any.
     pub fn poisoned(&self) -> Option<&str> {
         self.poisoned.as_deref()
+    }
+
+    /// Why the session is degraded (journaling suspended after a
+    /// storage fault), if it is.
+    pub fn degraded(&self) -> Option<&str> {
+        self.degraded.as_deref()
+    }
+
+    /// Marks the session as touched by a request; leases count idleness
+    /// from here.
+    pub fn touch(&mut self) {
+        self.last_used = Instant::now();
+    }
+
+    /// Time since the last [`Session::touch`] (or open/resume).
+    pub fn idle_for(&self) -> Duration {
+        self.last_used.elapsed()
+    }
+
+    /// The journaled reply for a previously applied request id: a
+    /// duplicate delivery (client retry after a lost response) gets the
+    /// original `(seq, digest)` back instead of a second application.
+    pub fn cached_reply(&self, req_id: &str) -> Option<(u64, u64)> {
+        self.replies
+            .iter()
+            .rev()
+            .find(|(id, _, _)| id == req_id)
+            .map(|(_, seq, digest)| (*seq, *digest))
+    }
+
+    fn record_reply(&mut self, req_id: &str, seq: u64, digest: u64) {
+        if self.replies.len() >= REPLY_CACHE_LIMIT {
+            self.replies.pop_front();
+        }
+        self.replies.push_back((req_id.to_string(), seq, digest));
+    }
+
+    /// Suspends journaling after a storage fault: the journal handle is
+    /// dropped (the on-disk file keeps its last consistent state), the
+    /// session keeps answering, and every later response can see the
+    /// degradation via [`Session::degraded`].
+    fn degrade(&mut self, message: impl Into<String>) {
+        self.degraded.get_or_insert(message.into());
+        self.journal = None;
     }
 
     /// Marks the session poisoned: a request against it panicked, so
@@ -653,10 +847,20 @@ impl Session {
     /// [`SessionError::BadRequest`] when the script does not parse or
     /// is empty (session untouched); [`SessionError::Timing`] when the
     /// re-analysis fails or is cancelled (session untouched);
-    /// [`SessionError::Io`] when the journal append fails (the edit is
-    /// applied in memory but MUST be treated as failed by the caller —
-    /// the response status is what the client keys on).
-    pub fn apply_script(&mut self, script: &str) -> Result<DeltaReport, SessionError> {
+    /// [`SessionError::Storage`] when the journal append fails: the
+    /// edit *is* applied in memory, but durability is gone — the
+    /// session degrades (journaling suspended, ephemeral) and the
+    /// caller must surface the non-retryable failure to the client.
+    ///
+    /// A `req_id` (when the client sends one) is journaled with the
+    /// edit and remembered in the bounded reply cache, so a duplicate
+    /// delivery of the same request returns the original `(seq,
+    /// digest)` instead of re-applying — see [`Session::cached_reply`].
+    pub fn apply_script(
+        &mut self,
+        script: &str,
+        req_id: Option<&str>,
+    ) -> Result<DeltaReport, SessionError> {
         if let Some(message) = &self.poisoned {
             return Err(SessionError::Poisoned(message.clone()));
         }
@@ -670,9 +874,100 @@ impl Session {
         self.seq += 1;
         let digest = self.digest();
         if let Some(journal) = &mut self.journal {
-            journal.append_line(&edit_record_line(self.seq, script, digest))?;
+            let line = edit_record_line(self.seq, script, digest, req_id);
+            let faults = self.faults.clone();
+            if let Err(e) = journal.append_line(&line, &faults) {
+                let path = journal.path.clone();
+                self.degrade(e.to_string());
+                return Err(SessionError::Storage {
+                    path,
+                    message: format!("edit {} applied but not journaled: {e}", self.seq),
+                });
+            }
+        }
+        if let Some(req_id) = req_id {
+            self.record_reply(req_id, self.seq, digest);
         }
         Ok(delta)
+    }
+
+    /// Compacts the journal: atomically rewrites it as one checkpoint
+    /// header — the *current* netlist text, configuration, fingerprint,
+    /// and result digest — with an empty edit tail, via
+    /// write-temp/fsync/rename ([`atomic_replace`]). A crash at any
+    /// byte leaves either the old journal or the new one, both valid;
+    /// a resume afterwards replays O(edits since checkpoint) instead of
+    /// the session's lifetime. On success the session fingerprint is
+    /// re-pinned to the checkpoint netlist and `base_seq` advances to
+    /// the current seq.
+    ///
+    /// # Errors
+    /// [`SessionError::BadRequest`] when the session has no journal
+    /// (never had one, or already degraded);
+    /// [`SessionError::Poisoned`] after an earlier panic;
+    /// [`SessionError::Storage`] when the rewrite fails — the session
+    /// degrades, but the on-disk journal keeps its pre-compaction
+    /// state, so a restart still recovers everything acknowledged.
+    pub fn compact(&mut self, tech: &Technology) -> Result<(), SessionError> {
+        if let Some(message) = &self.poisoned {
+            return Err(SessionError::Poisoned(message.clone()));
+        }
+        let Some(journal) = &self.journal else {
+            return Err(SessionError::BadRequest(match &self.degraded {
+                Some(reason) => format!("session is degraded ({reason}); nothing to compact"),
+                None => "session has no journal to compact".to_string(),
+            }));
+        };
+        let path = journal.path.clone();
+        let netlist_text = sim_format::write(self.analyzer.network());
+        // Prove the checkpoint rebuilds this exact network before
+        // committing to it: sessions open on canonical text and edits
+        // preserve node ids, so this always holds — but if it ever did
+        // not (a capacitance with no exact decimal preimage, say), a
+        // committed checkpoint would refuse to resume. Declining is
+        // harmless: the session keeps journaling, replay just stays
+        // longer.
+        match sim_format::parse(&netlist_text, &self.netlist_name) {
+            Ok(reparsed) if networks_identical(self.analyzer.network(), &reparsed) => {}
+            _ => {
+                return Err(SessionError::BadRequest(
+                    "checkpoint text does not rebuild the network bit-identically; \
+                     compaction skipped (the journal is intact)"
+                        .to_string(),
+                ));
+            }
+        }
+        let fingerprint = session_fingerprint(&netlist_text, tech, &self.config);
+        let header = session_header_line(
+            &self.id,
+            fingerprint,
+            &self.netlist_name,
+            &netlist_text,
+            &self.config,
+            self.seq,
+            Some(self.digest()),
+        );
+        if let Err(e) = atomic_replace(&path, header.as_bytes(), &self.faults) {
+            self.degrade(e.to_string());
+            return Err(SessionError::Storage {
+                path,
+                message: format!("compaction failed: {e}"),
+            });
+        }
+        // The old handle points at the replaced inode; reopen.
+        match OpenOptions::new().append(true).open(&path) {
+            Ok(file) => self.journal = Some(SessionJournal { file, path }),
+            Err(e) => {
+                self.degrade(e.to_string());
+                return Err(SessionError::Storage {
+                    path,
+                    message: format!("compacted journal did not reopen: {e}"),
+                });
+            }
+        }
+        self.fingerprint = fingerprint;
+        self.base_seq = self.seq;
+        Ok(())
     }
 
     /// Combined digest over every scenario's [`result_digest`], in
@@ -722,6 +1017,47 @@ impl Session {
         }
         Ok(())
     }
+}
+
+/// Parses a netlist and re-serializes it in canonical `.sim` form — the
+/// text [`Session::open`] pins its state to, and the form a journal
+/// checkpoint stores. The canonical form is a fixed point of
+/// write∘parse (rails first, then declared inputs/outputs, transistors,
+/// capacitances; round-trip-exact decimals), so open, compaction, and
+/// resume all rebuild the identical network, node ids and all.
+///
+/// # Errors
+/// [`SessionError::Parse`] when the text does not parse.
+pub fn canonical_netlist(netlist_text: &str, netlist_name: &str) -> Result<String, SessionError> {
+    let net = sim_format::parse(netlist_text, netlist_name)
+        .map_err(|e| SessionError::Parse(format!("{netlist_name}: {e}")))?;
+    Ok(sim_format::write(&net))
+}
+
+/// Bitwise structural equality: same node ids, names, kinds, and
+/// capacitance bits; same transistors with the same terminals and
+/// geometry bits. This is the property a checkpoint needs — anything
+/// weaker and the rebuilt analyzer could hash results differently.
+fn networks_identical(a: &Network, b: &Network) -> bool {
+    a.node_count() == b.node_count()
+        && a.transistor_count() == b.transistor_count()
+        && a.power() == b.power()
+        && a.ground() == b.ground()
+        && a.nodes().zip(b.nodes()).all(|((ia, na), (ib, nb))| {
+            ia == ib
+                && na.name() == nb.name()
+                && na.kind() == nb.kind()
+                && na.capacitance() == nb.capacitance()
+        })
+        && a.transistors()
+            .zip(b.transistors())
+            .all(|((_, ta), (_, tb))| {
+                ta.kind() == tb.kind()
+                    && ta.gate() == tb.gate()
+                    && ta.source() == tb.source()
+                    && ta.drain() == tb.drain()
+                    && ta.geometry() == tb.geometry()
+            })
 }
 
 /// Parses the netlist and builds the analyzer over the configured
@@ -774,6 +1110,9 @@ pub struct RecoveryReport {
     pub recovered: Vec<String>,
     /// `(journal path, reason)` for every journal that failed.
     pub failed: Vec<(PathBuf, String)>,
+    /// Total edit records replayed through the engine — the work
+    /// compaction exists to bound.
+    pub edits_replayed: u64,
 }
 
 /// The daemon's name-keyed session table.
@@ -786,6 +1125,7 @@ pub struct SessionManager {
     tech: Technology,
     journal_dir: Option<PathBuf>,
     max_sessions: usize,
+    faults: JournalFaultPlan,
     sessions: Mutex<HashMap<String, Arc<Mutex<Session>>>>,
     next_id: AtomicU64,
 }
@@ -799,6 +1139,7 @@ impl SessionManager {
         tech: Technology,
         journal_dir: Option<PathBuf>,
         max_sessions: usize,
+        faults: JournalFaultPlan,
     ) -> Result<SessionManager, SessionError> {
         if let Some(dir) = &journal_dir {
             std::fs::create_dir_all(dir).map_err(|e| SessionError::Io {
@@ -810,6 +1151,7 @@ impl SessionManager {
             tech,
             journal_dir,
             max_sessions,
+            faults,
             sessions: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
         })
@@ -897,6 +1239,7 @@ impl SessionManager {
             config,
             options,
             journal_path.as_deref(),
+            &self.faults,
         )?;
         let session = Arc::new(Mutex::new(session));
         let mut sessions = self.sessions.lock().expect("session map lock");
@@ -969,16 +1312,22 @@ impl SessionManager {
 
     /// Recovers every session journal in the directory. Failures are
     /// collected, never fatal: one corrupt journal must not keep the
-    /// daemon (or the other sessions) down.
+    /// daemon (or the other sessions) down. Stray `.tmp` files left by
+    /// a compaction interrupted before its rename are swept away first —
+    /// the journal at the real path is the authoritative state.
     pub fn recover(&self, options: &AnalyzerOptions) -> RecoveryReport {
         let mut report = RecoveryReport::default();
         let Some(dir) = &self.journal_dir else {
             return report;
         };
+        for path in stray_compaction_temps(dir) {
+            let _ = std::fs::remove_file(&path);
+        }
         for path in session_journal_files(dir) {
-            match Session::resume(&path, &self.tech, options.clone()) {
+            match Session::resume(&path, &self.tech, options.clone(), &self.faults) {
                 Ok(session) => {
                     let id = session.id().to_string();
+                    report.edits_replayed += session.edits_replayed();
                     let mut sessions = self.sessions.lock().expect("session map lock");
                     if sessions.contains_key(&id) {
                         report
@@ -995,6 +1344,112 @@ impl SessionManager {
         report.recovered.sort();
         report
     }
+
+    /// Evicts sessions idle past `ttl`, freeing their admission slots.
+    /// Journals are **kept**: an evicted session is re-attachable by id
+    /// via [`SessionManager::reattach`]. Sessions with a request in
+    /// flight (their mutex is held) are never evicted. Returns the
+    /// evicted ids, sorted.
+    pub fn evict_idle(&self, ttl: Duration) -> Vec<String> {
+        let mut evicted = Vec::new();
+        let mut sessions = self.sessions.lock().expect("session map lock");
+        sessions.retain(|id, slot| {
+            let Ok(session) = slot.try_lock() else {
+                return true;
+            };
+            if session.idle_for() < ttl {
+                return true;
+            }
+            evicted.push(id.clone());
+            false
+        });
+        drop(sessions);
+        evicted.sort();
+        evicted
+    }
+
+    /// Re-attaches an evicted (or crashed-out) session from its kept
+    /// journal: resumes it, verifies every digest, and re-registers it
+    /// under the same id — the lease counterpart of [`Self::recover`].
+    ///
+    /// # Errors
+    /// [`SessionError::BadRequest`] when no journal exists for the id;
+    /// [`SessionError::Limit`] at the session cap; plus everything
+    /// [`Session::resume`] returns.
+    pub fn reattach(
+        &self,
+        id: &str,
+        options: &AnalyzerOptions,
+    ) -> Result<(Arc<Mutex<Session>>, u64), SessionError> {
+        let path = self
+            .journal_path(id)
+            .filter(|p| p.exists())
+            .ok_or_else(|| SessionError::BadRequest(format!("unknown session `{id}`")))?;
+        {
+            let sessions = self.sessions.lock().expect("session map lock");
+            if let Some(existing) = sessions.get(id) {
+                return Ok((existing.clone(), 0));
+            }
+            if sessions.len() >= self.max_sessions {
+                return Err(SessionError::Limit {
+                    active: sessions.len(),
+                    max: self.max_sessions,
+                });
+            }
+        }
+        let session = Session::resume(&path, &self.tech, options.clone(), &self.faults)?;
+        let replayed = session.edits_replayed();
+        let slot = Arc::new(Mutex::new(session));
+        let mut sessions = self.sessions.lock().expect("session map lock");
+        if let Some(existing) = sessions.get(id) {
+            // Lost a re-attach race; the winner's state is as good.
+            return Ok((existing.clone(), 0));
+        }
+        if sessions.len() >= self.max_sessions {
+            return Err(SessionError::Limit {
+                active: sessions.len(),
+                max: self.max_sessions,
+            });
+        }
+        sessions.insert(id.to_string(), slot.clone());
+        Ok((slot, replayed))
+    }
+
+    /// Ids of currently degraded sessions (journaling suspended),
+    /// sorted. Sessions with a request in flight are skipped rather
+    /// than waited on — this feeds ungated `health`/`stats` responses,
+    /// which must never block behind analysis.
+    pub fn degraded_ids(&self) -> Vec<String> {
+        let sessions = self.sessions.lock().expect("session map lock");
+        let mut ids: Vec<String> = sessions
+            .iter()
+            .filter_map(|(id, slot)| {
+                let session = slot.try_lock().ok()?;
+                session.degraded().map(|_| id.clone())
+            })
+            .collect();
+        drop(sessions);
+        ids.sort();
+        ids
+    }
+}
+
+/// Stray `{id}.session.tmp` files: a compaction's temp file whose
+/// rename never happened. Ignored by [`session_journal_files`] (their
+/// extension is `tmp`), swept by recovery.
+fn stray_compaction_temps(dir: &Path) -> Vec<PathBuf> {
+    std::fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|entry| entry.path())
+        .filter(|path| {
+            path.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.ends_with(&format!(".{SESSION_JOURNAL_EXT}.tmp")))
+                && path.is_file()
+        })
+        .collect()
 }
 
 /// The session journal files in `dir`, sorted for deterministic
@@ -1041,6 +1496,7 @@ mod tests {
             &SessionConfig::default(),
             AnalyzerOptions::default(),
             Some(&dir.join(format!("{id}.{SESSION_JOURNAL_EXT}"))),
+            &JournalFaultPlan::none(),
         )
         .expect("opens")
     }
@@ -1061,8 +1517,10 @@ mod tests {
         let dir = temp_dir("resume");
         let mut session = open_session(&dir, "s1");
         let digest0 = session.digest();
-        session.apply_script("resize a m gnd 4 8").expect("edit 1");
-        session.apply_script("cap y 150").expect("edit 2");
+        session
+            .apply_script("resize a m gnd 4 8", None)
+            .expect("edit 1");
+        session.apply_script("cap y 150", None).expect("edit 2");
         let digest2 = session.digest();
         assert_ne!(digest0, digest2);
         let rows = session.scenario_rows();
@@ -1072,6 +1530,7 @@ mod tests {
             &dir.join(format!("s1.{SESSION_JOURNAL_EXT}")),
             &Technology::nominal(),
             AnalyzerOptions::default(),
+            &JournalFaultPlan::none(),
         )
         .expect("resumes");
         assert_eq!(resumed.id(), "s1");
@@ -1085,9 +1544,9 @@ mod tests {
     fn torn_tail_drops_only_the_unacknowledged_edit() {
         let dir = temp_dir("torn");
         let mut session = open_session(&dir, "s1");
-        session.apply_script("cap y 150").expect("edit 1");
+        session.apply_script("cap y 150", None).expect("edit 1");
         let digest1 = session.digest();
-        session.apply_script("cap y 200").expect("edit 2");
+        session.apply_script("cap y 200", None).expect("edit 2");
         drop(session);
         let path = dir.join(format!("s1.{SESSION_JOURNAL_EXT}"));
         // Tear the final record mid-line, as a crash mid-append would.
@@ -1095,13 +1554,23 @@ mod tests {
         let torn = &text[..text.len() - 7];
         std::fs::write(&path, torn).expect("tears");
 
-        let resumed = Session::resume(&path, &Technology::nominal(), AnalyzerOptions::default())
-            .expect("resumes");
+        let resumed = Session::resume(
+            &path,
+            &Technology::nominal(),
+            AnalyzerOptions::default(),
+            &JournalFaultPlan::none(),
+        )
+        .expect("resumes");
         assert_eq!(resumed.edits_applied(), 1, "torn edit dropped");
         assert_eq!(resumed.digest(), digest1);
         // The torn bytes are truncated away, so a re-resume is clean.
-        let replay = Session::resume(&path, &Technology::nominal(), AnalyzerOptions::default())
-            .expect("re-resumes");
+        let replay = Session::resume(
+            &path,
+            &Technology::nominal(),
+            AnalyzerOptions::default(),
+            &JournalFaultPlan::none(),
+        )
+        .expect("re-resumes");
         assert_eq!(replay.digest(), digest1);
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -1110,8 +1579,8 @@ mod tests {
     fn mid_file_damage_and_tech_changes_are_corrupt() {
         let dir = temp_dir("corrupt");
         let mut session = open_session(&dir, "s1");
-        session.apply_script("cap y 150").expect("edit 1");
-        session.apply_script("cap y 200").expect("edit 2");
+        session.apply_script("cap y 150", None).expect("edit 1");
+        session.apply_script("cap y 200", None).expect("edit 2");
         drop(session);
         let path = dir.join(format!("s1.{SESSION_JOURNAL_EXT}"));
         let text = std::fs::read_to_string(&path).expect("journal reads");
@@ -1121,16 +1590,26 @@ mod tests {
         let damaged = format!("{}garbage\n", lines[1].trim_end());
         lines[1] = &damaged;
         std::fs::write(&path, lines.concat()).expect("writes");
-        let err = Session::resume(&path, &Technology::nominal(), AnalyzerOptions::default())
-            .expect_err("corrupt");
+        let err = Session::resume(
+            &path,
+            &Technology::nominal(),
+            AnalyzerOptions::default(),
+            &JournalFaultPlan::none(),
+        )
+        .expect_err("corrupt");
         assert!(matches!(err, SessionError::Corrupt { .. }), "{err}");
 
         // Restore, then resume under a different technology: refused.
         std::fs::write(&path, &text).expect("restores");
         let mut other = Technology::nominal();
         other.name = "other".to_string();
-        let err =
-            Session::resume(&path, &other, AnalyzerOptions::default()).expect_err("tech mismatch");
+        let err = Session::resume(
+            &path,
+            &other,
+            AnalyzerOptions::default(),
+            &JournalFaultPlan::none(),
+        )
+        .expect_err("tech mismatch");
         assert!(err.to_string().contains("fingerprint"), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -1142,20 +1621,25 @@ mod tests {
         let digest0 = session.digest();
         // Unparseable script.
         let err = session
-            .apply_script("flip everything")
+            .apply_script("flip everything", None)
             .expect_err("rejects");
         assert!(matches!(err, SessionError::BadRequest(_)), "{err}");
         // Parseable but inapplicable (no such device).
         let err = session
-            .apply_script("remove zz zz zz")
+            .apply_script("remove zz zz zz", None)
             .expect_err("rejects");
         assert!(matches!(err, SessionError::Timing(_)), "{err}");
         assert_eq!(session.digest(), digest0);
         assert_eq!(session.edits_applied(), 0);
         drop(session);
         let path = dir.join(format!("s1.{SESSION_JOURNAL_EXT}"));
-        let resumed = Session::resume(&path, &Technology::nominal(), AnalyzerOptions::default())
-            .expect("resumes");
+        let resumed = Session::resume(
+            &path,
+            &Technology::nominal(),
+            AnalyzerOptions::default(),
+            &JournalFaultPlan::none(),
+        )
+        .expect("resumes");
         assert_eq!(resumed.digest(), digest0);
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -1164,15 +1648,22 @@ mod tests {
     fn poisoned_sessions_refuse_work_but_recover_from_journal() {
         let dir = temp_dir("poison");
         let mut session = open_session(&dir, "s1");
-        session.apply_script("cap y 150").expect("edit 1");
+        session.apply_script("cap y 150", None).expect("edit 1");
         let digest1 = session.digest();
         session.poison("injected panic");
-        let err = session.apply_script("cap y 200").expect_err("poisoned");
+        let err = session
+            .apply_script("cap y 200", None)
+            .expect_err("poisoned");
         assert!(matches!(err, SessionError::Poisoned(_)), "{err}");
         drop(session);
         let path = dir.join(format!("s1.{SESSION_JOURNAL_EXT}"));
-        let resumed = Session::resume(&path, &Technology::nominal(), AnalyzerOptions::default())
-            .expect("resumes");
+        let resumed = Session::resume(
+            &path,
+            &Technology::nominal(),
+            AnalyzerOptions::default(),
+            &JournalFaultPlan::none(),
+        )
+        .expect("resumes");
         assert!(resumed.poisoned().is_none(), "poison is not durable");
         assert_eq!(resumed.digest(), digest1);
         let _ = std::fs::remove_dir_all(&dir);
@@ -1181,8 +1672,13 @@ mod tests {
     #[test]
     fn manager_enforces_cap_uniqueness_and_close() {
         let dir = temp_dir("manager");
-        let manager =
-            SessionManager::new(Technology::nominal(), Some(dir.clone()), 2).expect("creates");
+        let manager = SessionManager::new(
+            Technology::nominal(),
+            Some(dir.clone()),
+            2,
+            JournalFaultPlan::none(),
+        )
+        .expect("creates");
         let open = |id: Option<&str>| {
             manager.open(
                 id,
@@ -1210,8 +1706,13 @@ mod tests {
     #[test]
     fn manager_recovers_good_journals_and_skips_bad_ones() {
         let dir = temp_dir("recover");
-        let manager =
-            SessionManager::new(Technology::nominal(), Some(dir.clone()), 8).expect("creates");
+        let manager = SessionManager::new(
+            Technology::nominal(),
+            Some(dir.clone()),
+            8,
+            JournalFaultPlan::none(),
+        )
+        .expect("creates");
         let (_, s1) = manager
             .open(
                 Some("good"),
@@ -1223,7 +1724,7 @@ mod tests {
             .expect("opens");
         s1.lock()
             .expect("lock")
-            .apply_script("cap y 175")
+            .apply_script("cap y 175", None)
             .expect("edit");
         let digest = s1.lock().expect("lock").digest();
         drop(s1);
@@ -1233,8 +1734,13 @@ mod tests {
         )
         .expect("writes");
 
-        let fresh =
-            SessionManager::new(Technology::nominal(), Some(dir.clone()), 8).expect("creates");
+        let fresh = SessionManager::new(
+            Technology::nominal(),
+            Some(dir.clone()),
+            8,
+            JournalFaultPlan::none(),
+        )
+        .expect("creates");
         let report = fresh.recover(&AnalyzerOptions::default());
         assert_eq!(report.recovered, vec!["good".to_string()]);
         assert_eq!(report.failed.len(), 1);

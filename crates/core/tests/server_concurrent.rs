@@ -131,10 +131,13 @@ fn concurrent_cached_sessions_match_a_serial_uncached_run_bit_for_bit() {
         &SessionConfig::default(),
         AnalyzerOptions::default(),
         None,
+        &crystal::durable::JournalFaultPlan::none(),
     )
     .expect("serial reference opens");
     for edit in EDITS {
-        reference.apply_script(edit).expect("serial edit applies");
+        reference
+            .apply_script(edit, None)
+            .expect("serial edit applies");
     }
     let expected_digest = hex64(reference.digest());
     let expected_rows: Vec<(String, String)> = reference

@@ -121,6 +121,80 @@ fn malformed_corpus_uploads_all_return_located_parse_errors() {
 }
 
 #[test]
+fn malformed_wire_frames_answer_errors_without_killing_the_daemon() {
+    let handle = serve(ServerOptions::default()).expect("server starts");
+
+    // Invalid UTF-8 bytes in a frame: decoded lossily, rejected as
+    // not-JSON, and the connection keeps serving.
+    let mut client = Client::connect(&handle);
+    client
+        .writer
+        .write_all(b"\xff\xfe{\"op\":\"ping\"}\x80\n")
+        .expect("send invalid utf-8");
+    client.writer.flush().expect("flush");
+    let response = client.recv();
+    assert_eq!(status(&response), "parse_error", "got {response:?}");
+    assert_eq!(response.get("retryable").map(String::as_str), Some("false"));
+    assert_eq!(status(&client.request("{\"op\":\"ping\"}")), "ok");
+
+    // Unterminated JSON: the newline ends the frame mid-object.
+    let response = client.request("{\"op\":\"ping\"");
+    assert_eq!(status(&response), "parse_error", "got {response:?}");
+    assert_eq!(status(&client.request("{\"op\":\"ping\"}")), "ok");
+
+    // Binary garbage before a valid frame: the garbage line errors, the
+    // valid frame after it still answers.
+    client
+        .writer
+        .write_all(b"\x00\x01\x02\xde\xad\xbe\xef\n{\"op\":\"ping\"}\n")
+        .expect("send garbage then ping");
+    client.writer.flush().expect("flush");
+    let response = client.recv();
+    assert_eq!(status(&response), "parse_error", "got {response:?}");
+    let response = client.recv();
+    assert_eq!(status(&response), "ok", "got {response:?}");
+
+    // Oversized frame (no newline until past the cap): answered with a
+    // located parse_error, then the connection is cut to stop the flood.
+    let mut hostile = Client::connect(&handle);
+    let chunk = vec![b'a'; 64 * 1024];
+    let mut sent = 0usize;
+    while sent <= crystal::server::MAX_REQUEST_BYTES {
+        if hostile.writer.write_all(&chunk).is_err() {
+            break; // The server may already have cut us off mid-flood.
+        }
+        sent += chunk.len();
+    }
+    let _ = hostile.writer.flush();
+    let mut response = String::new();
+    if hostile.reader.read_line(&mut response).is_ok() && !response.is_empty() {
+        let response = parse_json_object(response.trim_end()).expect("flat JSON");
+        assert_eq!(status(&response), "parse_error", "got {response:?}");
+        assert!(
+            response
+                .get("error")
+                .is_some_and(|e| e.contains("size limit")),
+            "got {response:?}"
+        );
+    }
+
+    // The daemon survived all of it with no leaked sessions.
+    let mut fresh = Client::connect(&handle);
+    let stats = fresh.request("{\"op\":\"stats\"}");
+    assert_eq!(status(&stats), "ok");
+    assert_eq!(stats.get("sessions").map(String::as_str), Some("0"));
+    assert_eq!(stats.get("sessions_opened").map(String::as_str), Some("0"));
+    let parse_errors: u64 = stats
+        .get("parse_errors")
+        .and_then(|n| n.parse().ok())
+        .unwrap_or(0);
+    assert!(parse_errors >= 3, "got {stats:?}");
+
+    handle.stop();
+    handle.join();
+}
+
+#[test]
 fn wire_taxonomy_distinguishes_retryable_from_fatal() {
     let options = ServerOptions {
         max_sessions: 1,

@@ -1,0 +1,340 @@
+//! Operational-robustness drills for `crystal::server`: storage-fault
+//! degradation, idempotent `req_id` retries, session leases with
+//! transparent reattach, and journal compaction bounding replay work —
+//! each observed through the wire protocol and the `stats`/`health`
+//! ops, exactly as an operator would see them. Servers use a local
+//! `ShutdownFlag` (never `install_signal_handlers`).
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use crystal::durable::JournalFaultPlan;
+use crystal::fingerprint::{escape_json, parse_json_object};
+use crystal::{serve, ServerHandle, ServerOptions};
+
+const INVERTER_CHAIN: &str = "| two inverters\n\
+i a\n\
+o y\n\
+n a m gnd 2 8\n\
+p a m vdd 2 16\n\
+C m 20\n\
+n m y gnd 2 8\n\
+p m y vdd 2 16\n\
+C y 100\n";
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(handle: &ServerHandle) -> Client {
+        let stream = TcpStream::connect(handle.addr()).expect("connect to test server");
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Client {
+            reader,
+            writer: stream,
+        }
+    }
+
+    fn request(&mut self, line: &str) -> HashMap<String, String> {
+        self.writer.write_all(line.as_bytes()).expect("send");
+        self.writer.write_all(b"\n").expect("send newline");
+        self.writer.flush().expect("flush");
+        let mut response = String::new();
+        self.reader.read_line(&mut response).expect("read response");
+        assert!(!response.is_empty(), "server closed the connection");
+        parse_json_object(response.trim_end())
+            .unwrap_or_else(|| panic!("response is not flat JSON: {response}"))
+    }
+}
+
+fn open_request(session: &str) -> String {
+    format!(
+        "{{\"op\":\"open\",\"session\":\"{session}\",\"name\":\"chain.sim\",\"netlist\":\"{}\"}}",
+        escape_json(INVERTER_CHAIN)
+    )
+}
+
+fn edit_request(session: &str, script: &str) -> String {
+    format!(
+        "{{\"op\":\"edit\",\"session\":\"{session}\",\"script\":\"{}\"}}",
+        escape_json(script)
+    )
+}
+
+fn status(response: &HashMap<String, String>) -> &str {
+    response.get("status").map_or("<missing>", String::as_str)
+}
+
+fn num(response: &HashMap<String, String>, key: &str) -> u64 {
+    response
+        .get(key)
+        .unwrap_or_else(|| panic!("missing `{key}` in {response:?}"))
+        .parse()
+        .unwrap_or_else(|_| panic!("`{key}` is not a number in {response:?}"))
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "crystal_robust_{name}_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn journaled_options(dir: &Path) -> ServerOptions {
+    ServerOptions {
+        journal_dir: Some(dir.to_path_buf()),
+        ..ServerOptions::default()
+    }
+}
+
+/// A journal write fault turns into `storage_error` on the wire, the
+/// session shows up degraded in `health`, and the daemon keeps serving
+/// the sibling session — durability loss is contained, not fatal.
+#[test]
+fn storage_fault_degrades_one_session_while_others_serve() {
+    let dir = temp_dir("degrade");
+    // Two session headers write fine; the third journal write (the
+    // first edit) fails once, then I/O heals — but the degraded
+    // session must stay ephemeral even after the fault clears.
+    let options = ServerOptions {
+        journal_faults: JournalFaultPlan::none().fail_writes_after(2).fail_count(1),
+        ..journaled_options(&dir)
+    };
+    let handle = serve(options).expect("server starts");
+    let mut client = Client::connect(&handle);
+    assert_eq!(status(&client.request(&open_request("victim"))), "ok");
+    assert_eq!(status(&client.request(&open_request("bystander"))), "ok");
+
+    let failed = client.request(&edit_request("victim", "cap y 150"));
+    assert_eq!(status(&failed), "storage_error", "got {failed:?}");
+    assert_eq!(failed.get("retryable").map(String::as_str), Some("false"));
+    let error = failed.get("error").expect("error field");
+    assert!(
+        error.contains("degraded"),
+        "error lacks state hint: {error}"
+    );
+
+    // The daemon is healthy; the victim is named in `health`.
+    let health = client.request("{\"op\":\"health\"}");
+    assert_eq!(status(&health), "ok");
+    assert_eq!(num(&health, "degraded"), 1);
+    assert_eq!(
+        health.get("degraded.0").map(String::as_str),
+        Some("victim"),
+        "health: {health:?}"
+    );
+
+    // The sibling session still journals and serves.
+    assert_eq!(
+        status(&client.request(&edit_request("bystander", "cap y 150"))),
+        "ok"
+    );
+    // The victim keeps answering too — ephemeral, but usable.
+    assert_eq!(
+        status(&client.request(&edit_request("victim", "cap y 175"))),
+        "ok"
+    );
+
+    let stats = client.request("{\"op\":\"stats\"}");
+    assert_eq!(num(&stats, "degraded_sessions"), 1);
+    assert_eq!(num(&stats, "degraded"), 1);
+
+    handle.stop();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A duplicate `req_id` (a client retry whose original response was
+/// lost) answers from the reply cache: same seq, same digest, marked
+/// `dedup`, and the edit is not applied twice.
+#[test]
+fn duplicate_req_id_answers_from_the_reply_cache() {
+    let dir = temp_dir("dedup");
+    let handle = serve(journaled_options(&dir)).expect("server starts");
+    let mut client = Client::connect(&handle);
+    assert_eq!(status(&client.request(&open_request("s1"))), "ok");
+
+    let edit = format!(
+        "{{\"op\":\"edit\",\"session\":\"s1\",\"req_id\":\"q1-1\",\"script\":\"{}\"}}",
+        escape_json("cap y 150")
+    );
+    let first = client.request(&edit);
+    assert_eq!(status(&first), "ok");
+    assert_eq!(num(&first, "seq"), 1);
+    let digest = first.get("digest").expect("digest").clone();
+    assert_eq!(first.get("dedup"), None);
+
+    // Retransmission: identical request, identical answer, no re-apply.
+    let second = client.request(&edit);
+    assert_eq!(status(&second), "ok", "got {second:?}");
+    assert_eq!(num(&second, "seq"), 1, "edit applied twice: {second:?}");
+    assert_eq!(second.get("digest"), Some(&digest));
+    assert_eq!(second.get("dedup").map(String::as_str), Some("true"));
+
+    // A retried `open` of a live session with the same content also
+    // dedups instead of failing on the duplicate id.
+    let reopened = client.request(&open_request("s1"));
+    assert_eq!(status(&reopened), "ok", "got {reopened:?}");
+    assert_eq!(reopened.get("dedup").map(String::as_str), Some("true"));
+
+    let stats = client.request("{\"op\":\"stats\"}");
+    assert_eq!(num(&stats, "dedup_hits"), 2);
+    // The next real edit lands at seq 2: exactly one apply happened.
+    let third = client.request(&edit_request("s1", "cap y 175"));
+    assert_eq!(num(&third, "seq"), 2);
+
+    handle.stop();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Idle sessions are lease-evicted (journal kept) and transparently
+/// reattached by the next request that names them, bit-identically.
+#[test]
+fn lease_eviction_keeps_the_journal_and_reattach_restores_state() {
+    let dir = temp_dir("lease");
+    let options = ServerOptions {
+        session_ttl: Some(Duration::from_millis(50)),
+        ..journaled_options(&dir)
+    };
+    let handle = serve(options).expect("server starts");
+    let mut client = Client::connect(&handle);
+    assert_eq!(status(&client.request(&open_request("s1"))), "ok");
+    let edited = client.request(&edit_request("s1", "cap y 150"));
+    assert_eq!(status(&edited), "ok");
+    let digest = edited.get("digest").expect("digest").clone();
+
+    // Wait out the lease; the sweeper runs every min(250ms, ttl).
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let stats = client.request("{\"op\":\"stats\"}");
+        if num(&stats, "sessions") == 0 {
+            assert!(num(&stats, "leases_expired") >= 1, "stats: {stats:?}");
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "session never lease-evicted: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert!(
+        dir.join("s1.session").exists(),
+        "eviction must keep the journal"
+    );
+
+    // The next request reattaches transparently: same digest, and the
+    // replayed edit shows up in the observability counters.
+    let report = client.request("{\"op\":\"report\",\"session\":\"s1\"}");
+    assert_eq!(status(&report), "ok", "got {report:?}");
+    assert_eq!(report.get("digest"), Some(&digest), "state diverged");
+    let stats = client.request("{\"op\":\"stats\"}");
+    assert!(num(&stats, "recovered") >= 1, "stats: {stats:?}");
+    assert!(num(&stats, "edits_replayed") >= 1, "stats: {stats:?}");
+
+    handle.stop();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Compaction bounds replay: a daemon restarted over a compacted
+/// journal replays O(edits since checkpoint) — observed as `stats
+/// edits_replayed` — while an uncompacted control replays the full
+/// history. Both resume to the same digest.
+#[test]
+fn compaction_bounds_restart_replay_work() {
+    const EDITS: [&str; 4] = ["cap y 150", "cap y 175", "cap m 40", "cap y 200"];
+    let mut digests: Vec<(String, u64)> = Vec::new();
+    for compact_after in [None, Some(2)] {
+        let dir = temp_dir(if compact_after.is_some() {
+            "compacted"
+        } else {
+            "control"
+        });
+        let options = ServerOptions {
+            compact_after,
+            ..journaled_options(&dir)
+        };
+        let handle = serve(options).expect("server starts");
+        let mut client = Client::connect(&handle);
+        assert_eq!(status(&client.request(&open_request("s1"))), "ok");
+        let mut digest = String::new();
+        for edit in EDITS {
+            let response = client.request(&edit_request("s1", edit));
+            assert_eq!(status(&response), "ok", "got {response:?}");
+            digest = response.get("digest").expect("digest").clone();
+        }
+        let stats = client.request("{\"op\":\"stats\"}");
+        let compactions = num(&stats, "compactions");
+        if compact_after.is_some() {
+            assert!(compactions >= 1, "auto-compaction never ran: {stats:?}");
+        } else {
+            assert_eq!(compactions, 0);
+        }
+        drop(client);
+        handle.stop();
+        handle.join();
+
+        // Restart over the same journal directory with `resume`.
+        let restarted = serve(ServerOptions {
+            resume: true,
+            ..journaled_options(&dir)
+        })
+        .expect("daemon restarts");
+        let mut client = Client::connect(&restarted);
+        let report = client.request("{\"op\":\"report\",\"session\":\"s1\"}");
+        assert_eq!(status(&report), "ok", "got {report:?}");
+        assert_eq!(report.get("digest").map(String::as_str), Some(&*digest));
+        let stats = client.request("{\"op\":\"stats\"}");
+        digests.push((digest, num(&stats, "edits_replayed")));
+        restarted.stop();
+        restarted.join();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    let [(control_digest, control_replayed), (compacted_digest, compacted_replayed)] =
+        digests.as_slice()
+    else {
+        unreachable!("two runs recorded");
+    };
+    assert_eq!(
+        control_digest, compacted_digest,
+        "compaction changed observable results"
+    );
+    assert_eq!(
+        *control_replayed, 4,
+        "uncompacted control must replay the full history"
+    );
+    assert_eq!(
+        *compacted_replayed, 0,
+        "auto-compaction at every 2nd edit leaves an empty tail"
+    );
+
+    // The explicit `compact` op is also exposed (chaos/ops tooling).
+    let dir = temp_dir("explicit");
+    let handle = serve(journaled_options(&dir)).expect("server starts");
+    let mut client = Client::connect(&handle);
+    assert_eq!(status(&client.request(&open_request("s1"))), "ok");
+    assert_eq!(
+        status(&client.request(&edit_request("s1", "cap y 150"))),
+        "ok"
+    );
+    let compacted = client.request("{\"op\":\"compact\",\"session\":\"s1\"}");
+    assert_eq!(status(&compacted), "ok", "got {compacted:?}");
+    assert_eq!(num(&compacted, "base_seq"), 1);
+    let stats = client.request("{\"op\":\"stats\"}");
+    assert_eq!(num(&stats, "compactions"), 1);
+    handle.stop();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}

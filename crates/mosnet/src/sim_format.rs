@@ -36,7 +36,7 @@ use crate::error::NetworkError;
 use crate::network::{Network, NetworkBuilder};
 use crate::node::NodeKind;
 use crate::transistor::{Geometry, TransistorKind};
-use crate::units::Farads;
+use crate::units::{Farads, Metres};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
@@ -400,11 +400,51 @@ fn parse_nonnegative(
     Ok(v)
 }
 
+/// Picks the decimal to print for a value stored in SI units but
+/// serialized in a display unit (femtofarads, microns).
+///
+/// `converted` is the display-unit value and `back` the parser's
+/// reconstruction (`from_femto`/`from_microns`, returning SI bits). The
+/// two unit conversions are float multiplications and not exact
+/// inverses, so printing `converted` as-is can reparse to a value one
+/// ulp away from `target` — and worse, re-serializing *that* drifts
+/// again, so repeated write/parse cycles never reach a fixed point.
+/// Scanning the few ulp-neighbours of `converted` finds a decimal whose
+/// reconstruction lands on exactly `target`'s bits whenever one exists
+/// (Rust's `{}` float formatting is shortest-round-trip, so the printed
+/// text reparses to the candidate itself). When no preimage exists —
+/// possible for values that never came from the display unit, e.g. sums
+/// of lumped coupling caps — the nearest value is printed and callers
+/// that need bit-identity must verify the round-trip themselves.
+fn unit_exact(converted: f64, target: f64, back: impl Fn(f64) -> f64) -> f64 {
+    let step = |v: f64, up: bool| -> f64 {
+        if v <= 0.0 || !v.is_finite() {
+            return v;
+        }
+        let bits = v.to_bits();
+        f64::from_bits(if up { bits + 1 } else { bits.saturating_sub(1) })
+    };
+    let down = step(converted, false);
+    let up = step(converted, true);
+    for candidate in [converted, down, up, step(down, false), step(up, true)] {
+        if back(candidate) == target {
+            return candidate;
+        }
+    }
+    converted
+}
+
 /// Serializes a network to the `.sim` dialect accepted by [`parse`].
 ///
 /// Round-tripping through `write`/`parse` preserves nodes, kinds,
 /// capacitances, and transistors (coupling caps are already lumped in the
 /// in-memory form, so they come back out as `C` records).
+///
+/// Capacitances and geometries are printed so that reparsing
+/// reconstructs the stored values **bit-identically** whenever a decimal
+/// with that property exists (see `unit_exact`); `write` of a network
+/// parsed from its own output is then a fixed point, which is what lets
+/// a session checkpoint rebuild byte-for-byte identical state.
 pub fn write(net: &Network) -> String {
     let mut out = String::new();
     let _ = writeln!(
@@ -429,6 +469,12 @@ pub fn write(net: &Network) -> String {
     }
     for (_, t) in net.transistors() {
         let g = t.geometry();
+        let length = unit_exact(g.length.microns(), g.length.value(), |um| {
+            Metres::from_microns(um).value()
+        });
+        let width = unit_exact(g.width.microns(), g.width.value(), |um| {
+            Metres::from_microns(um).value()
+        });
         let _ = writeln!(
             out,
             "{} {} {} {} {} {}",
@@ -436,13 +482,17 @@ pub fn write(net: &Network) -> String {
             net.node(t.gate()).name(),
             net.node(t.source()).name(),
             net.node(t.drain()).name(),
-            g.length.microns(),
-            g.width.microns(),
+            length,
+            width,
         );
     }
     for (_, node) in net.nodes() {
-        if node.capacitance() > Farads::ZERO {
-            let _ = writeln!(out, "C {} {}", node.name(), node.capacitance().femto());
+        let cap = node.capacitance();
+        if cap > Farads::ZERO {
+            let femto = unit_exact(cap.femto(), cap.value(), |ff| {
+                Farads::from_femto(ff).value()
+            });
+            let _ = writeln!(out, "C {} {}", node.name(), femto);
         }
     }
     out

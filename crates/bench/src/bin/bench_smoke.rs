@@ -10,6 +10,16 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin bench_smoke -- [options]
+//!   --tier NAME           which tier to run: `smoke` (the default batch
+//!                         and edit-loop suite), `large` (the sparse-
+//!                         solver scaling tier: dense-vs-sparse circuit
+//!                         simulation on mid-size chains plus sparse-only
+//!                         operating points on 10k+ transistor
+//!                         generators), or `all`
+//!   --max-rss-mb X        gate (large tier): the process peak RSS after
+//!                         the 10k+ transistor legs must stay at or
+//!                         below X MB (skipped where /proc/self/status
+//!                         is unreadable)
 //!   --out PATH            output file (default BENCH.json)
 //!   --run-db DIR          also append a run record (one scenario row per
 //!                         circuit x thread-count plus the edit loop) to
@@ -39,6 +49,8 @@
 //!
 //! Exit status 0 when all requested gates pass, 1 otherwise.
 
+use std::collections::HashMap;
+
 use crystal::analyzer::{AnalyzerOptions, Edge, Scenario};
 use crystal::batch::run_batch;
 use crystal::incremental::IncrementalAnalyzer;
@@ -47,10 +59,15 @@ use crystal::models::ModelKind;
 use crystal::obs::{Metrics, TraceSink};
 use crystal::pool::available_parallelism;
 use crystal::tech::Technology;
-use mosnet::generators::{carry_chain, inverter_chain, Style};
+use mosnet::generators::{
+    barrel_shifter, carry_chain, decoder, inverter_chain, memory_array, pass_chain, Style,
+};
 use mosnet::network::NetworkBuilder;
 use mosnet::units::{Farads, Seconds};
 use mosnet::{Geometry, Network, NodeKind, TransistorKind};
+use nanospice::circuit::MosModelSet;
+use nanospice::devices::Waveshape;
+use nanospice::{elaborate, Circuit, Options, Simulator, SolverChoice};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
@@ -64,6 +81,23 @@ const SLOWDOWN_TOLERANCE: f64 = 1.35;
 /// the crate version so regenerated artifacts never claim a stale PR.
 const BENCH_LABEL: &str = concat!("bench_smoke v", env!("CARGO_PKG_VERSION"));
 
+/// Which benchmark tiers a run covers.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Tier {
+    Smoke,
+    Large,
+    All,
+}
+
+impl Tier {
+    fn runs_smoke(self) -> bool {
+        self != Tier::Large
+    }
+    fn runs_large(self) -> bool {
+        self != Tier::Smoke
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = "BENCH.json".to_string();
@@ -74,10 +108,30 @@ fn main() {
     let mut require_edit_speedup: Option<f64> = None;
     let mut max_eval_ratio: Option<f64> = None;
     let mut trace_prefix: Option<String> = None;
+    let mut tier = Tier::Smoke;
+    let mut max_rss_mb: Option<f64> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--out" => out_path = it.next().expect("--out needs a value").clone(),
+            "--tier" => {
+                tier = match it.next().expect("--tier needs a value").as_str() {
+                    "smoke" => Tier::Smoke,
+                    "large" => Tier::Large,
+                    "all" => Tier::All,
+                    other => {
+                        eprintln!("bench_smoke: unknown tier `{other}` (smoke|large|all)");
+                        std::process::exit(1);
+                    }
+                };
+            }
+            "--max-rss-mb" => {
+                max_rss_mb = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--max-rss-mb needs a number"),
+                );
+            }
             "--run-db" => run_db = Some(it.next().expect("--run-db needs a value").clone()),
             "--trace" => trace_prefix = Some(it.next().expect("--trace needs a value").clone()),
             "--reps" => {
@@ -122,7 +176,11 @@ fn main() {
     thread_counts.dedup();
 
     let tech = Technology::nominal();
-    let circuits = circuits();
+    let circuits = if tier.runs_smoke() {
+        circuits()
+    } else {
+        Vec::new()
+    };
     let mut failures: Vec<String> = Vec::new();
     let mut json_circuits: Vec<String> = Vec::new();
     let bench_started = Instant::now();
@@ -253,7 +311,16 @@ fn main() {
         ));
     }
 
-    let edit_loop = edit_loop_bench(&tech, reps, require_edit_speedup, &mut failures, &mut rows);
+    let edit_loop = if tier.runs_smoke() {
+        edit_loop_bench(&tech, reps, require_edit_speedup, &mut failures, &mut rows)
+    } else {
+        "null".to_string()
+    };
+    let large = if tier.runs_large() {
+        large_tier_bench(reps, max_rss_mb, &mut failures, &mut rows)
+    } else {
+        "null".to_string()
+    };
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
@@ -266,7 +333,8 @@ fn main() {
         let _ = writeln!(json, "    {c}{comma}");
     }
     let _ = writeln!(json, "  ],");
-    let _ = writeln!(json, "  \"edit_loop\": {edit_loop}");
+    let _ = writeln!(json, "  \"edit_loop\": {edit_loop},");
+    let _ = writeln!(json, "  \"large\": {large}");
     let _ = writeln!(json, "}}");
     std::fs::write(&out_path, &json).expect("bench output file writes");
     println!("wrote {out_path}");
@@ -299,6 +367,284 @@ fn main() {
     if check || require_speedup.is_some() || require_edit_speedup.is_some() {
         println!("all gates passed");
     }
+}
+
+/// Pass-chain lengths for the dense-vs-sparse comparison legs: both
+/// above the auto-dispatch threshold so the dense path is genuinely the
+/// O(n³) regime it left behind, far enough apart that the sparse win
+/// must grow with circuit size to pass the super-linear gate. Pass
+/// chains (every gate driven directly by an input) keep the DC solve
+/// well-conditioned at any length, unlike long inverter cascades whose
+/// Newton trajectory passes through an exponentially ill-conditioned
+/// uniform-bias amplifier state.
+const LARGE_COMPARE_STAGES: [usize; 2] = [200, 800];
+
+/// Transient horizon for the comparison legs: long enough for a few
+/// implicit steps through the factor/solve path, short enough that the
+/// dense leg at 800 unknowns stays in CI budget.
+const LARGE_TRAN_STOP: f64 = 1.0e-9;
+const LARGE_TRAN_DT: f64 = 2.0e-10;
+
+/// The sparse-solver scaling tier: dense-vs-sparse operating points and
+/// short transients on mid-size inverter chains (the super-linear gate:
+/// the sparse speedup must grow with circuit size), then sparse-only
+/// operating points on the 10k+ transistor generators dense LU cannot
+/// hold in memory, with the process peak RSS recorded after them.
+/// Returns the `"large"` JSON object and appends gate failures.
+fn large_tier_bench(
+    reps: usize,
+    max_rss_mb: Option<f64>,
+    failures: &mut Vec<String>,
+    rows: &mut Vec<crystal::runstore::ScenarioRow>,
+) -> String {
+    let models = MosModelSet::default();
+    let mut compare_json: Vec<String> = Vec::new();
+    let mut speedups: Vec<(usize, f64)> = Vec::new();
+
+    for &stages in &LARGE_COMPARE_STAGES {
+        let net = pass_chain(
+            Style::Cmos,
+            stages,
+            Farads::from_femto(10.0),
+            Farads::from_femto(50.0),
+        )
+        .expect("chain generates");
+        // `ctl` high keeps the whole chain conducting; `in` ramps low to
+        // high early in the transient window so the driver switches.
+        let mut drives = HashMap::new();
+        drives.insert(
+            net.node_by_name("ctl").expect("generated"),
+            Waveshape::Dc(models.vdd),
+        );
+        drives.insert(
+            net.node_by_name("in").expect("generated"),
+            Waveshape::Pwl(vec![(0.0, 0.0), (2.0e-10, models.vdd)]),
+        );
+        let elab = elaborate(&net, &models, &drives);
+        let n = elab.circuit.unknown_count();
+        let name = format!("pass-chain-{stages}");
+
+        let (dense_op_s, dense_x) = time_op(&elab.circuit, SolverChoice::Dense, reps);
+        let (sparse_op_s, sparse_x) = time_op(&elab.circuit, SolverChoice::Sparse, reps);
+        let agree = max_abs_diff(&dense_x, &sparse_x) < 1e-6;
+        if !agree {
+            failures.push(format!(
+                "large {name}: dense and sparse operating points diverge"
+            ));
+        }
+        let dense_tran_s = time_tran(&elab.circuit, SolverChoice::Dense);
+        let sparse_tran_s = time_tran(&elab.circuit, SolverChoice::Sparse);
+
+        let op_speedup = dense_op_s / sparse_op_s.max(1e-9);
+        let tran_speedup = dense_tran_s / sparse_tran_s.max(1e-9);
+        speedups.push((n, op_speedup));
+        println!(
+            "large {:<10} {:>6} unknowns  op {:>9.2} ms dense / {:>8.2} ms sparse ({:>6.1}x)  \
+             tran {:>9.2} ms / {:>8.2} ms ({:>6.1}x)",
+            name,
+            n,
+            dense_op_s * 1e3,
+            sparse_op_s * 1e3,
+            op_speedup,
+            dense_tran_s * 1e3,
+            sparse_tran_s * 1e3,
+            tran_speedup,
+        );
+        compare_json.push(format!(
+            "{{\"circuit\": \"{name}\", \"unknowns\": {n}, \"transistors\": {}, \
+             \"dense_op_ms\": {:.4}, \"sparse_op_ms\": {:.4}, \"op_speedup\": {op_speedup:.4}, \
+             \"dense_tran_ms\": {:.4}, \"sparse_tran_ms\": {:.4}, \
+             \"tran_speedup\": {tran_speedup:.4}, \"agree\": {agree}}}",
+            net.transistor_count(),
+            dense_op_s * 1e3,
+            sparse_op_s * 1e3,
+            dense_tran_s * 1e3,
+            sparse_tran_s * 1e3,
+        ));
+        rows.push(crystal::runstore::ScenarioRow {
+            label: format!("large {name}"),
+            outcome: if agree { "ok" } else { "error" }.to_string(),
+            digest: None,
+            summary: format!(
+                "op dense {:.2} ms vs sparse {:.2} ms ({op_speedup:.1}x), \
+                 tran {:.2} ms vs {:.2} ms",
+                dense_op_s * 1e3,
+                sparse_op_s * 1e3,
+                dense_tran_s * 1e3,
+                sparse_tran_s * 1e3,
+            ),
+            wall_us: (sparse_op_s * 1e6) as u64,
+            oversubscribed: false,
+        });
+    }
+
+    // The super-linear gate: dense LU grows as n³ against the sparse
+    // path's near-linear chain factorization, so the speedup itself must
+    // grow with circuit size — if it flattens, pattern reuse or the
+    // ordering has regressed.
+    let (small_n, small_speedup) = speedups[0];
+    let (large_n, large_speedup) = speedups[1];
+    let superlinear = large_speedup > small_speedup;
+    if !superlinear {
+        failures.push(format!(
+            "large: sparse op speedup did not scale super-linearly \
+             ({small_speedup:.2}x at {small_n} unknowns vs {large_speedup:.2}x at {large_n})"
+        ));
+    }
+
+    // The 10k+ transistor generators: dense LU at these sizes would need
+    // hundreds of megabytes for the matrix alone; only the sparse path
+    // runs them.
+    let big: Vec<(&str, Network)> = vec![
+        (
+            "decoder-9",
+            decoder(Style::Cmos, 9, Farads::from_femto(100.0)).expect("decoder generates"),
+        ),
+        (
+            "sram-64x64",
+            memory_array(Style::Cmos, 64, 64, Farads::from_femto(400.0)).expect("array generates"),
+        ),
+        (
+            "barrel-128",
+            barrel_shifter(Style::Cmos, 128, Farads::from_femto(100.0)).expect("barrel generates"),
+        ),
+    ];
+    let mut sparse_only_json: Vec<String> = Vec::new();
+    for (name, net) in &big {
+        let elab = elaborate(net, &models, &drive_inputs(net, &models));
+        let n = elab.circuit.unknown_count();
+        let start = Instant::now();
+        let opts = Options {
+            solver: SolverChoice::Sparse,
+            ..Options::default()
+        };
+        let converged = Simulator::with_options(&elab.circuit, opts).op().is_ok();
+        let secs = start.elapsed().as_secs_f64();
+        if !converged {
+            failures.push(format!("large {name}: sparse operating point failed"));
+        }
+        println!(
+            "large {:<10} {:>6} unknowns  {:>6} transistors  sparse op {:>9.2} ms  {}",
+            name,
+            n,
+            net.transistor_count(),
+            secs * 1e3,
+            if converged { "ok" } else { "FAILED" }
+        );
+        sparse_only_json.push(format!(
+            "{{\"circuit\": \"{name}\", \"unknowns\": {n}, \"transistors\": {}, \
+             \"sparse_op_ms\": {:.4}, \"converged\": {converged}}}",
+            net.transistor_count(),
+            secs * 1e3,
+        ));
+        rows.push(crystal::runstore::ScenarioRow {
+            label: format!("large {name}"),
+            outcome: if converged { "ok" } else { "error" }.to_string(),
+            digest: None,
+            summary: format!(
+                "sparse op {:.2} ms, {} unknowns, {} transistors",
+                secs * 1e3,
+                n,
+                net.transistor_count()
+            ),
+            wall_us: (secs * 1e6) as u64,
+            oversubscribed: false,
+        });
+    }
+
+    // Peak RSS after the big legs: the memory-scaling record (and gate).
+    let rss = peak_rss_mb();
+    match (rss, max_rss_mb) {
+        (Some(mb), Some(max)) if mb > max => failures.push(format!(
+            "large: peak RSS {mb:.1} MB exceeds the {max:.1} MB ceiling"
+        )),
+        (Some(mb), _) => println!("large peak RSS: {mb:.1} MB"),
+        (None, Some(_)) => {
+            println!("  (peak-RSS gate skipped: /proc/self/status unreadable on this host)");
+        }
+        (None, None) => {}
+    }
+
+    format!(
+        "{{\"comparison\": [{}], \
+         \"superlinear\": {{\"small_unknowns\": {small_n}, \"small_speedup\": {small_speedup:.4}, \
+         \"large_unknowns\": {large_n}, \"large_speedup\": {large_speedup:.4}, \
+         \"pass\": {superlinear}}}, \
+         \"sparse_only\": [{}], \"peak_rss_mb\": {}}}",
+        compare_json.join(", "),
+        sparse_only_json.join(", "),
+        rss.map_or("null".to_string(), |mb| format!("{mb:.1}")),
+    )
+}
+
+/// DC drives for every declared input of a generator network: power is
+/// driven by [`elaborate`] itself; inputs alternate between the rails so
+/// both polarities of every stage see bias current.
+fn drive_inputs(net: &Network, models: &MosModelSet) -> HashMap<mosnet::NodeId, Waveshape> {
+    net.inputs()
+        .into_iter()
+        .enumerate()
+        .map(|(k, input)| {
+            let level = if k % 2 == 0 { models.vdd } else { 0.0 };
+            (input, Waveshape::Dc(level))
+        })
+        .collect()
+}
+
+/// Best-of-`reps` wall time for one operating point under `choice`,
+/// plus the solved node voltages for cross-backend agreement checks.
+fn time_op(circuit: &Circuit, choice: SolverChoice, reps: usize) -> (f64, Vec<f64>) {
+    let opts = Options {
+        solver: choice,
+        ..Options::default()
+    };
+    let mut best = f64::INFINITY;
+    let mut x = Vec::new();
+    for _ in 0..reps {
+        let start = Instant::now();
+        x = Simulator::with_options(circuit, opts)
+            .op()
+            .expect("operating point converges");
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, x)
+}
+
+/// Wall time of one short fixed-step transient under `choice` (single
+/// rep: the dense leg at the larger comparison size dominates the tier's
+/// budget already).
+fn time_tran(circuit: &Circuit, choice: SolverChoice) -> f64 {
+    let opts = Options {
+        solver: choice,
+        ..Options::default()
+    };
+    let start = Instant::now();
+    Simulator::with_options(circuit, opts)
+        .transient(LARGE_TRAN_STOP, LARGE_TRAN_DT)
+        .expect("transient completes");
+    start.elapsed().as_secs_f64()
+}
+
+fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .fold(0.0f64, |m, (x, y)| m.max((x - y).abs()))
+}
+
+/// The process peak resident-set size in megabytes, from the `VmHWM`
+/// line of `/proc/self/status` (`None` off Linux or in a container
+/// that masks procfs).
+fn peak_rss_mb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line
+        .trim_start_matches("VmHWM:")
+        .trim()
+        .trim_end_matches("kB")
+        .trim()
+        .parse()
+        .ok()?;
+    Some(kb / 1024.0)
 }
 
 /// Chain length of the edit-loop circuit. Sized so dependency-tracked

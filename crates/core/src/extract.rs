@@ -160,7 +160,7 @@ fn build_stage(
     cap_scale: &dyn Fn(NodeId) -> f64,
     reservoir: &dyn Fn(NodeId) -> bool,
 ) -> Stage {
-    let mut tree = RcTree::new();
+    let mut tree = RcTree::with_capacity(path.len() + 1);
     let mut on_main_path = vec![false; net.node_count()];
     on_main_path[rail.index()] = true;
 
@@ -222,6 +222,7 @@ fn build_stage(
         }
     }
 
+    tree.shrink_to_fit();
     Stage {
         target,
         direction,

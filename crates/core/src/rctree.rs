@@ -16,28 +16,61 @@
 use mosnet::units::{Farads, Ohms, Seconds};
 use mosnet::NodeId;
 
+/// Sentinel in the compact parent/label arrays: "no parent" (the root)
+/// or "no label". Kept internal — the public API speaks `Option`.
+const NONE: u32 = u32::MAX;
+
 /// An RC tree rooted at the stage's driving source.
 ///
 /// Tree index `0` is the root (the rail or driving node); it carries no
 /// series resistance and, conventionally, no capacitance (rail capacitance
 /// is irrelevant to the transition).
+///
+/// Storage is column-compact: parents and node labels are interned as
+/// `u32` indices (24 bytes per tree node total), so the analyzer can hold
+/// stage trees for 10k+ transistor circuits without the `Option<usize>`
+/// overhead the naive layout pays.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RcTree {
-    parent: Vec<Option<usize>>,
+    /// Parent tree index per node; [`NONE`] for the root.
+    parent: Vec<u32>,
     resistance: Vec<Ohms>,
     capacitance: Vec<Farads>,
-    label: Vec<Option<NodeId>>,
+    /// Interned network-node index per tree node; [`NONE`] when
+    /// unlabeled.
+    label: Vec<u32>,
 }
 
 impl RcTree {
     /// Creates a tree containing only the root.
     pub fn new() -> RcTree {
-        RcTree {
-            parent: vec![None],
-            resistance: vec![Ohms::ZERO],
-            capacitance: vec![Farads::ZERO],
-            label: vec![None],
-        }
+        RcTree::with_capacity(1)
+    }
+
+    /// Creates a tree containing only the root, with room reserved for
+    /// `nodes` tree nodes in every column.
+    pub fn with_capacity(nodes: usize) -> RcTree {
+        let nodes = nodes.max(1);
+        let mut tree = RcTree {
+            parent: Vec::with_capacity(nodes),
+            resistance: Vec::with_capacity(nodes),
+            capacitance: Vec::with_capacity(nodes),
+            label: Vec::with_capacity(nodes),
+        };
+        tree.parent.push(NONE);
+        tree.resistance.push(Ohms::ZERO);
+        tree.capacitance.push(Farads::ZERO);
+        tree.label.push(NONE);
+        tree
+    }
+
+    /// Drops the slack capacity of every column — call once a tree is
+    /// fully built and will be kept around.
+    pub fn shrink_to_fit(&mut self) {
+        self.parent.shrink_to_fit();
+        self.resistance.shrink_to_fit();
+        self.capacitance.shrink_to_fit();
+        self.label.shrink_to_fit();
     }
 
     /// The root index (always `0`).
@@ -74,10 +107,11 @@ impl RcTree {
         assert!(parent < self.parent.len(), "parent index out of range");
         assert!(resistance.value() >= 0.0, "resistance must be non-negative");
         let idx = self.parent.len();
-        self.parent.push(Some(parent));
+        assert!(idx < NONE as usize, "RC tree exceeds u32 node indices");
+        self.parent.push(parent as u32);
         self.resistance.push(resistance);
         self.capacitance.push(capacitance);
-        self.label.push(label);
+        self.label.push(label.map_or(NONE, |n| n.index() as u32));
         idx
     }
 
@@ -91,12 +125,18 @@ impl RcTree {
 
     /// The network node a tree node represents, if labeled.
     pub fn label(&self, index: usize) -> Option<NodeId> {
-        self.label[index]
+        match self.label[index] {
+            NONE => None,
+            i => Some(NodeId::from_index(i as usize)),
+        }
     }
 
     /// The parent of `index` (`None` for the root).
     pub fn parent(&self, index: usize) -> Option<usize> {
-        self.parent[index]
+        match self.parent[index] {
+            NONE => None,
+            p => Some(p as usize),
+        }
     }
 
     /// Series resistance of the edge entering `index` from its parent
@@ -112,7 +152,8 @@ impl RcTree {
 
     /// Finds the tree index labeled with `node`.
     pub fn find_label(&self, node: NodeId) -> Option<usize> {
-        self.label.iter().position(|&l| l == Some(node))
+        let want = node.index() as u32;
+        self.label.iter().position(|&l| l == want)
     }
 
     /// Total capacitance of the whole tree.
@@ -124,9 +165,9 @@ impl RcTree {
     pub fn path_resistance(&self, index: usize) -> Ohms {
         let mut r = Ohms::ZERO;
         let mut at = index;
-        while let Some(p) = self.parent[at] {
+        while self.parent[at] != NONE {
             r += self.resistance[at];
-            at = p;
+            at = self.parent[at] as usize;
         }
         r
     }
@@ -138,20 +179,19 @@ impl RcTree {
         let mut a_chain = Vec::new();
         let mut at = a;
         a_chain.push(at);
-        while let Some(p) = self.parent[at] {
-            a_chain.push(p);
-            at = p;
+        while self.parent[at] != NONE {
+            at = self.parent[at] as usize;
+            a_chain.push(at);
         }
         let mut bt = b;
         loop {
-            if let Some(pos) = a_chain.iter().position(|&x| x == bt) {
+            if a_chain.contains(&bt) {
                 // bt is the LCA; shared resistance is root→LCA.
-                let _ = pos;
                 return self.path_resistance(bt);
             }
             match self.parent[bt] {
-                Some(p) => bt = p,
-                None => return Ohms::ZERO,
+                NONE => return Ohms::ZERO,
+                p => bt = p as usize,
             }
         }
     }
@@ -163,7 +203,8 @@ impl RcTree {
         // Children always have larger indices than their parents.
         for k in (index + 1)..self.len() {
             let mut at = k;
-            while let Some(p) = self.parent[at] {
+            while self.parent[at] != NONE {
+                let p = self.parent[at] as usize;
                 if p == index {
                     total += self.capacitance[k];
                     break;

@@ -21,11 +21,12 @@ use crate::units::Farads;
 /// Node names: `d<i>`, `bus<i>`, `q<j>`, `sh<s>` for `i, j, s ∈ 0..m`.
 ///
 /// # Errors
-/// Returns [`NetworkError::Invalid`] unless `2 <= m <= 32`.
+/// Returns [`NetworkError::Invalid`] unless `2 <= m <= 128` (the m²
+/// pass matrix puts m = 128 at ~16.6k transistors).
 pub fn barrel_shifter(style: Style, m: usize, load: Farads) -> Result<Network, NetworkError> {
-    if !(2..=32).contains(&m) {
+    if !(2..=128).contains(&m) {
         return Err(NetworkError::Invalid {
-            message: format!("barrel shifter size must be 2..=32, got {m}"),
+            message: format!("barrel shifter size must be 2..=128, got {m}"),
         });
     }
     let s = Sizing::default();
@@ -119,6 +120,13 @@ mod tests {
     #[test]
     fn rejects_degenerate_sizes() {
         assert!(barrel_shifter(Style::Cmos, 1, Farads::ZERO).is_err());
-        assert!(barrel_shifter(Style::Cmos, 33, Farads::ZERO).is_err());
+        assert!(barrel_shifter(Style::Cmos, 129, Farads::ZERO).is_err());
+    }
+
+    #[test]
+    fn full_width_shifter_reaches_benchmark_scale() {
+        let net = barrel_shifter(Style::Cmos, 128, Farads::from_femto(100.0)).unwrap();
+        assert_eq!(net.transistor_count(), 2 * 128 + 128 * 128);
+        assert!(net.transistor_count() > 16_000);
     }
 }

@@ -1,5 +1,7 @@
-//! A 2-to-4 address decoder (NAND + inverter per output line) — part of the
-//! Table 4 experiments (E5).
+//! Address decoders (NAND + inverter per output line) — the 2-to-4 case
+//! is part of the Table 4 experiments (E5); the generalized `bits`-input
+//! form scales the same structure to the 10k–50k transistor range for
+//! large-circuit benchmarking (a 9-bit decoder is ~10k devices).
 
 use super::{emit_inverter, Sizing, Style};
 use crate::error::NetworkError;
@@ -8,36 +10,41 @@ use crate::node::{NodeId, NodeKind};
 use crate::transistor::{Geometry, TransistorKind};
 use crate::units::Farads;
 
-/// Emits a 2-input NAND with inputs `a`, `b` and output `y`.
-fn emit_nand2(
+/// Emits an n-input NAND with gate inputs `ins` and output `y`: a series
+/// nMOS stack (internal stack nodes named `<stack_name>_<i>`) and, per
+/// style, parallel pMOS pull-ups or a depletion load.
+fn emit_nand(
     b: &mut NetworkBuilder,
     style: Style,
     s: Sizing,
-    a: NodeId,
-    bb: NodeId,
+    ins: &[NodeId],
     y: NodeId,
     stack_name: &str,
 ) {
     let vdd = b.power();
     let gnd = b.ground();
-    let mid = b.node(stack_name, NodeKind::Internal);
-    b.add_transistor(
-        TransistorKind::NEnhancement,
-        a,
-        y,
-        mid,
-        Geometry::from_microns(s.n_width_um * 2.0, s.length_um),
-    );
-    b.add_transistor(
-        TransistorKind::NEnhancement,
-        bb,
-        mid,
-        gnd,
-        Geometry::from_microns(s.n_width_um * 2.0, s.length_um),
-    );
+    // Series stack sized up by fan-in to keep pull-down strength roughly
+    // that of a unit inverter.
+    let nw = s.n_width_um * ins.len() as f64;
+    let mut upper = y;
+    for (i, &g) in ins.iter().enumerate() {
+        let lower = if i + 1 == ins.len() {
+            gnd
+        } else {
+            b.node(&format!("{stack_name}_{i}"), NodeKind::Internal)
+        };
+        b.add_transistor(
+            TransistorKind::NEnhancement,
+            g,
+            upper,
+            lower,
+            Geometry::from_microns(nw, s.length_um),
+        );
+        upper = lower;
+    }
     match style {
         Style::Cmos => {
-            for &g in &[a, bb] {
+            for &g in ins {
                 b.add_transistor(
                     TransistorKind::PEnhancement,
                     g,
@@ -59,6 +66,63 @@ fn emit_nand2(
     }
 }
 
+/// A `bits`-to-`2^bits` address decoder.
+///
+/// Address inputs `a<i>` feed inverters producing complements `na<i>`;
+/// each word line `w<k>` is the NAND of the bit polarities selected by
+/// `k` (input `a<i>` when bit `i` of `k` is set, else `na<i>`) followed
+/// by a 2× inverting word-line driver.
+///
+/// Node names: `a<i>`, `na<i>` for `i ∈ 0..bits`; `nw<k>` (NAND
+/// outputs) and `w<k>` (decoded outputs, each loaded with `load`) for
+/// `k ∈ 0..2^bits`.
+///
+/// # Errors
+/// Returns [`NetworkError::Invalid`] unless `1 <= bits <= 12` (a 12-bit
+/// decoder is already ~100k transistors).
+pub fn decoder(style: Style, bits: usize, load: Farads) -> Result<Network, NetworkError> {
+    if !(1..=12).contains(&bits) {
+        return Err(NetworkError::Invalid {
+            message: format!("decoder needs 1..=12 address bits, got {bits}"),
+        });
+    }
+    let s = Sizing::default();
+    let mut b = NetworkBuilder::new(format!(
+        "decoder{bits}to{}_{}",
+        1usize << bits,
+        if style == Style::Cmos { "cmos" } else { "nmos" }
+    ));
+    b.power();
+    b.ground();
+
+    let mut addr = Vec::with_capacity(bits);
+    let mut naddr = Vec::with_capacity(bits);
+    for i in 0..bits {
+        let a = b.node(&format!("a{i}"), NodeKind::Input);
+        let na = b.node(&format!("na{i}"), NodeKind::Internal);
+        // The complement line crosses the whole decode array.
+        b.add_capacitance(na, Farads::from_femto(5.0 * (1usize << bits) as f64 / 2.0));
+        emit_inverter(&mut b, style, s, a, na, 1.0);
+        addr.push(a);
+        naddr.push(na);
+    }
+
+    let mut ins = Vec::with_capacity(bits);
+    for k in 0..1usize << bits {
+        ins.clear();
+        for i in 0..bits {
+            ins.push(if k & (1 << i) != 0 { addr[i] } else { naddr[i] });
+        }
+        let nw = b.node(&format!("nw{k}"), NodeKind::Internal);
+        b.add_capacitance(nw, Farads::from_femto(8.0));
+        emit_nand(&mut b, style, s, &ins, nw, &format!("dst{k}"));
+        let w = b.node(&format!("w{k}"), NodeKind::Output);
+        b.add_capacitance(w, load);
+        emit_inverter(&mut b, style, s, nw, w, 2.0);
+    }
+    Ok(b.build().expect("generator produces a valid network"))
+}
+
 /// A 2-to-4 decoder: address inputs `a0`, `a1`; complement lines `na0`,
 /// `na1` (through inverters); each word line `w<k>` is NAND of the selected
 /// polarities followed by an inverting word-line driver.
@@ -70,34 +134,7 @@ fn emit_nand2(
 /// This generator is fixed-size and currently always succeeds; the
 /// `Result` return keeps its signature uniform with the other generators.
 pub fn decoder2to4(style: Style, load: Farads) -> Result<Network, NetworkError> {
-    let s = Sizing::default();
-    let mut b = NetworkBuilder::new(format!(
-        "decoder2to4_{}",
-        if style == Style::Cmos { "cmos" } else { "nmos" }
-    ));
-    b.power();
-    b.ground();
-
-    let a0 = b.node("a0", NodeKind::Input);
-    let a1 = b.node("a1", NodeKind::Input);
-    let na0 = b.node("na0", NodeKind::Internal);
-    let na1 = b.node("na1", NodeKind::Internal);
-    b.add_capacitance(na0, Farads::from_femto(10.0));
-    b.add_capacitance(na1, Farads::from_femto(10.0));
-    emit_inverter(&mut b, style, s, a0, na0, 1.0);
-    emit_inverter(&mut b, style, s, a1, na1, 1.0);
-
-    for k in 0..4usize {
-        let in0 = if k & 1 == 0 { na0 } else { a0 };
-        let in1 = if k & 2 == 0 { na1 } else { a1 };
-        let nw = b.node(&format!("nw{k}"), NodeKind::Internal);
-        b.add_capacitance(nw, Farads::from_femto(8.0));
-        emit_nand2(&mut b, style, s, in0, in1, nw, &format!("dst{k}"));
-        let w = b.node(&format!("w{k}"), NodeKind::Output);
-        b.add_capacitance(w, load);
-        emit_inverter(&mut b, style, s, nw, w, 2.0);
-    }
-    Ok(b.build().expect("generator produces a valid network"))
+    decoder(style, 2, load)
 }
 
 #[cfg(test)]
@@ -133,5 +170,38 @@ mod tests {
             .iter()
             .any(|&tid| net.transistor(tid).touches_channel(nw3));
         assert!(drives_nw3);
+    }
+
+    #[test]
+    fn wide_decoder_counts() {
+        for (bits, style) in [(4usize, Style::Cmos), (6, Style::Nmos)] {
+            let lines = 1usize << bits;
+            let net = decoder(style, bits, Farads::from_femto(50.0)).unwrap();
+            let nand_devices = match style {
+                Style::Cmos => 2 * bits, // series n + parallel p per line
+                Style::Nmos => bits + 1, // series n + depletion load
+            };
+            let inv = 2; // every inverter is two devices in either style
+            assert_eq!(
+                net.transistor_count(),
+                bits * inv + lines * (nand_devices + inv)
+            );
+            assert!(validate(&net).unwrap().is_empty());
+            assert_eq!(net.outputs().len(), lines);
+        }
+    }
+
+    #[test]
+    fn nine_bit_decoder_reaches_benchmark_scale() {
+        let net = decoder(Style::Cmos, 9, Farads::from_femto(100.0)).unwrap();
+        // 9 inverters + 512 × (NAND9: 18 devices + driver: 2 devices)
+        assert_eq!(net.transistor_count(), 9 * 2 + 512 * (18 + 2));
+        assert!(net.transistor_count() > 10_000);
+    }
+
+    #[test]
+    fn rejects_degenerate_widths() {
+        assert!(decoder(Style::Cmos, 0, Farads::ZERO).is_err());
+        assert!(decoder(Style::Cmos, 13, Farads::ZERO).is_err());
     }
 }

@@ -1,0 +1,164 @@
+//! A static RAM array: 6-transistor cells on a wordline/bitline grid with
+//! per-row wordline drivers — the benchmark generator for the 10k+
+//! transistor range (a 64×64 array is ~25k devices) with the RC
+//! structure memory designers care about: long, heavily loaded
+//! wordlines crossing long, diffusion-loaded bitlines.
+
+use super::{emit_inverter, Sizing, Style};
+use crate::error::NetworkError;
+use crate::network::{Network, NetworkBuilder};
+use crate::node::{NodeId, NodeKind};
+use crate::transistor::{Geometry, TransistorKind};
+use crate::units::Farads;
+
+/// Emits one 6T cell at (`row`, `col`): a cross-coupled inverter pair on
+/// internal nodes `m<r>_<c>` / `mb<r>_<c>`, plus two access transistors
+/// gated by `wl` connecting them to the column's bitlines.
+#[allow(clippy::too_many_arguments)]
+fn emit_cell(
+    b: &mut NetworkBuilder,
+    style: Style,
+    s: Sizing,
+    wl: NodeId,
+    bit: NodeId,
+    nbit: NodeId,
+    row: usize,
+    col: usize,
+) {
+    let m = b.node(&format!("m{row}_{col}"), NodeKind::Internal);
+    let mb = b.node(&format!("mb{row}_{col}"), NodeKind::Internal);
+    b.add_capacitance(m, Farads::from_femto(4.0));
+    b.add_capacitance(mb, Farads::from_femto(4.0));
+    // Cross-coupled pair at half unit strength (cells are drawn minimal).
+    emit_inverter(b, style, s, m, mb, 0.5);
+    emit_inverter(b, style, s, mb, m, 0.5);
+    let access = Geometry::from_microns(s.n_width_um * 0.5, s.length_um);
+    b.add_transistor(TransistorKind::NEnhancement, wl, bit, m, access);
+    b.add_transistor(TransistorKind::NEnhancement, wl, nbit, mb, access);
+}
+
+/// A `rows × cols` SRAM array with wordline drivers.
+///
+/// Row-select inputs `row<r>` each drive a 4× wordline driver (inverter)
+/// onto wordline `wl<r>`; the wordline crosses all `cols` columns,
+/// picking up two access-gate loads per cell plus 2 fF of wire per
+/// column. Column bitlines `bl<c>` / `blb<c>` are outputs, loaded with
+/// `load` plus the diffusion of `rows` access transistors and 1.5 fF of
+/// wire per row. Cell internals are `m<r>_<c>` / `mb<r>_<c>`.
+///
+/// The cell count is `rows × cols` at six transistors per cell, plus
+/// one two-transistor driver per row: a 64×64 array is 24 704 devices.
+///
+/// # Errors
+/// Returns [`NetworkError::Invalid`] unless both dimensions are in
+/// `2..=256`.
+pub fn memory_array(
+    style: Style,
+    rows: usize,
+    cols: usize,
+    load: Farads,
+) -> Result<Network, NetworkError> {
+    for (what, v) in [("rows", rows), ("cols", cols)] {
+        if !(2..=256).contains(&v) {
+            return Err(NetworkError::Invalid {
+                message: format!("memory array needs 2..=256 {what}, got {v}"),
+            });
+        }
+    }
+    let s = Sizing::default();
+    let mut b = NetworkBuilder::new(format!(
+        "sram_{}x{cols}_{}",
+        rows,
+        if style == Style::Cmos { "cmos" } else { "nmos" }
+    ));
+    b.power();
+    b.ground();
+
+    let mut bitlines = Vec::with_capacity(cols);
+    for c in 0..cols {
+        let bit = b.node(&format!("bl{c}"), NodeKind::Output);
+        let nbit = b.node(&format!("blb{c}"), NodeKind::Output);
+        let wire = Farads::from_femto(1.5 * rows as f64);
+        b.add_capacitance(bit, load + wire);
+        b.add_capacitance(nbit, load + wire);
+        bitlines.push((bit, nbit));
+    }
+
+    for r in 0..rows {
+        let sel = b.node(&format!("row{r}"), NodeKind::Input);
+        let wl = b.node(&format!("wl{r}"), NodeKind::Internal);
+        emit_inverter(&mut b, style, s, sel, wl, 4.0);
+        b.add_capacitance(wl, Farads::from_femto(2.0 * cols as f64));
+        for (c, &(bit, nbit)) in bitlines.iter().enumerate() {
+            emit_cell(&mut b, style, s, wl, bit, nbit, r, c);
+        }
+    }
+    Ok(b.build().expect("generator produces a valid network"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+
+    #[test]
+    fn array_counts() {
+        for style in Style::ALL {
+            let (rows, cols) = (4usize, 8usize);
+            let net = memory_array(style, rows, cols, Farads::from_femto(200.0)).unwrap();
+            // 6 devices per cell + 2 per wordline driver.
+            assert_eq!(net.transistor_count(), 6 * rows * cols + 2 * rows);
+            assert!(validate(&net).unwrap().is_empty());
+            // Two bitline outputs per column.
+            assert_eq!(net.outputs().len(), 2 * cols);
+        }
+    }
+
+    #[test]
+    fn wordline_gates_access_transistors_across_all_columns() {
+        let cols = 8;
+        let net = memory_array(Style::Cmos, 4, cols, Farads::ZERO).unwrap();
+        let wl2 = net.node_by_name("wl2").unwrap();
+        // wl2 gates exactly 2 access transistors per column.
+        assert_eq!(net.gated_by(wl2).len(), 2 * cols);
+    }
+
+    #[test]
+    fn cell_is_cross_coupled() {
+        let net = memory_array(Style::Cmos, 2, 2, Farads::ZERO).unwrap();
+        let m = net.node_by_name("m1_1").unwrap();
+        let mb = net.node_by_name("mb1_1").unwrap();
+        // m gates transistors whose channels touch mb and vice versa.
+        let m_drives_mb = net
+            .gated_by(m)
+            .iter()
+            .any(|&tid| net.transistor(tid).touches_channel(mb));
+        let mb_drives_m = net
+            .gated_by(mb)
+            .iter()
+            .any(|&tid| net.transistor(tid).touches_channel(m));
+        assert!(m_drives_mb && mb_drives_m);
+    }
+
+    #[test]
+    fn bitline_loading_scales_with_rows() {
+        let small = memory_array(Style::Cmos, 4, 4, Farads::ZERO).unwrap();
+        let tall = memory_array(Style::Cmos, 64, 4, Farads::ZERO).unwrap();
+        let c_small = small.node(small.node_by_name("bl0").unwrap()).capacitance();
+        let c_tall = tall.node(tall.node_by_name("bl0").unwrap()).capacitance();
+        assert!(c_tall > c_small);
+    }
+
+    #[test]
+    fn sixty_four_square_reaches_benchmark_scale() {
+        let net = memory_array(Style::Cmos, 64, 64, Farads::from_femto(400.0)).unwrap();
+        assert_eq!(net.transistor_count(), 6 * 64 * 64 + 2 * 64);
+        assert!(net.transistor_count() > 24_000);
+    }
+
+    #[test]
+    fn rejects_degenerate_sizes() {
+        assert!(memory_array(Style::Cmos, 1, 8, Farads::ZERO).is_err());
+        assert!(memory_array(Style::Cmos, 8, 257, Farads::ZERO).is_err());
+    }
+}

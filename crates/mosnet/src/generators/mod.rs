@@ -13,6 +13,7 @@ mod carry_chain;
 mod decoder;
 mod gates;
 mod inverter_chain;
+mod memory_array;
 mod mux_tree;
 mod pass_chain;
 mod random;
@@ -22,9 +23,10 @@ mod xor_gate;
 
 pub use barrel_shifter::barrel_shifter;
 pub use carry_chain::carry_chain;
-pub use decoder::decoder2to4;
+pub use decoder::{decoder, decoder2to4};
 pub use gates::{nand, nor};
 pub use inverter_chain::{inverter, inverter_chain};
+pub use memory_array::memory_array;
 pub use mux_tree::mux_tree;
 pub use pass_chain::pass_chain;
 pub use random::{random_network, RandomNetworkConfig};

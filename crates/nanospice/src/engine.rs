@@ -4,8 +4,8 @@
 use crate::circuit::Circuit;
 use crate::devices::{Device, NodeRef};
 use crate::error::SimError;
-use crate::matrix::{LuFactors, Matrix};
 use crate::recovery::{RecoveryLog, RecoveryPolicy, RescueStrategy};
+use crate::solver::{create_solver, LinearSolver, SolverChoice};
 use crate::waveform::Waveform;
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -37,6 +37,9 @@ pub struct Options {
     pub max_voltage_step: f64,
     /// Maximum times a transient step may be halved before giving up.
     pub max_step_halvings: u32,
+    /// Linear-solver backend: dense LU, sparse LU with pattern reuse, or
+    /// automatic selection by unknown count.
+    pub solver: SolverChoice,
 }
 
 impl Default for Options {
@@ -49,6 +52,7 @@ impl Default for Options {
             gmin: 1e-10,
             max_voltage_step: 2.0,
             max_step_halvings: 12,
+            solver: SolverChoice::Auto,
         }
     }
 }
@@ -189,15 +193,27 @@ impl<'a> Simulator<'a> {
         self.circuit.check()?;
         let budget = self.options.max_nr_iterations;
         let n = self.circuit.unknown_count();
+        // One solver for the whole DC ladder: the sparsity pattern is
+        // identical at every gmin rung, so the sparse backend analyzes
+        // once and refactors values-only from the second solve on.
+        let mut solver = self.new_solver();
         let mut x = vec![0.0; n];
-        match self.newton(t, None, &mut x, self.options.gmin, budget, 1.0) {
+        match self.newton(
+            t,
+            None,
+            &mut x,
+            self.options.gmin,
+            budget,
+            1.0,
+            solver.as_mut(),
+        ) {
             Ok(()) => Ok(x),
             Err(_) => {
                 // gmin stepping: start heavily damped, relax gradually.
                 x.fill(0.0);
                 let mut gmin = 1e-2;
                 while gmin > self.options.gmin {
-                    self.newton(t, None, &mut x, gmin, budget, 1.0)
+                    self.newton(t, None, &mut x, gmin, budget, 1.0, solver.as_mut())
                         .map_err(|e| match e {
                             SimError::NoConvergence { .. } => SimError::NoConvergence {
                                 time: t,
@@ -207,7 +223,15 @@ impl<'a> Simulator<'a> {
                         })?;
                     gmin *= 1e-2;
                 }
-                self.newton(t, None, &mut x, self.options.gmin, budget, 1.0)?;
+                self.newton(
+                    t,
+                    None,
+                    &mut x,
+                    self.options.gmin,
+                    budget,
+                    1.0,
+                    solver.as_mut(),
+                )?;
                 Ok(x)
             }
         }
@@ -251,12 +275,17 @@ impl<'a> Simulator<'a> {
         }
         let n = self.circuit.unknown_count();
         let budget = policy.nr_iterations.max(1);
+        // Both rescue rungs assemble the same DC pattern — share a solver.
+        let mut solver = self.new_solver();
 
         // Rung 1: gmin stepping with the policy's (boosted) budget.
         let mut x = vec![0.0; n];
         let mut gmin = policy.gmin_start;
         let rung = loop {
-            if self.newton(t, None, &mut x, gmin, budget, 1.0).is_err() {
+            if self
+                .newton(t, None, &mut x, gmin, budget, 1.0, solver.as_mut())
+                .is_err()
+            {
                 break Err(());
             }
             if gmin <= self.options.gmin {
@@ -275,8 +304,16 @@ impl<'a> Simulator<'a> {
         let steps = policy.source_steps.max(1);
         let rung = (1..=steps).try_for_each(|k| {
             let scale = k as f64 / steps as f64;
-            self.newton(t, None, &mut x, self.options.gmin, budget, scale)
-                .map_err(|_| ())
+            self.newton(
+                t,
+                None,
+                &mut x,
+                self.options.gmin,
+                budget,
+                scale,
+                solver.as_mut(),
+            )
+            .map_err(|_| ())
         });
         log.record(RescueStrategy::SourceStepping, rung.is_ok(), t);
         if rung.is_ok() {
@@ -394,6 +431,10 @@ impl<'a> Simulator<'a> {
         let mut data = Vec::with_capacity(steps + 1);
         times.push(0.0);
         data.push(x[..n_nodes].to_vec());
+        // One solver for every implicit step (and every rescue rung): the
+        // dynamic stamp pattern is fixed for the whole run, so the sparse
+        // backend analyzes on the first step only.
+        let mut solver = self.new_solver();
 
         for step in 1..=steps {
             self.check_cancelled()?;
@@ -433,6 +474,7 @@ impl<'a> Simulator<'a> {
                     self.options.gmin,
                     budget,
                     1.0,
+                    solver.as_mut(),
                 ) {
                     Ok(()) => {
                         if in_reduction {
@@ -468,7 +510,8 @@ impl<'a> Simulator<'a> {
                         let policy = *policy;
                         if !gmin_rescue_tried {
                             gmin_rescue_tried = true;
-                            let rescued = self.step_gmin_rescue(t_next, ctx, policy);
+                            let rescued =
+                                self.step_gmin_rescue(t_next, ctx, policy, solver.as_mut());
                             log.record(RescueStrategy::GminStepping, rescued.is_some(), t_next);
                             if let Some(x_new) = rescued {
                                 self.update_cap_currents(
@@ -526,12 +569,13 @@ impl<'a> Simulator<'a> {
         t: f64,
         ctx: DynamicCtx<'_>,
         policy: &RecoveryPolicy,
+        solver: &mut dyn LinearSolver,
     ) -> Option<Vec<f64>> {
         let budget = policy.nr_iterations.max(1);
         let mut x_try = ctx.prev.to_vec();
         let mut gmin = policy.gmin_start;
         loop {
-            self.newton(t, Some(ctx), &mut x_try, gmin, budget, 1.0)
+            self.newton(t, Some(ctx), &mut x_try, gmin, budget, 1.0, solver)
                 .ok()?;
             if gmin <= self.options.gmin {
                 return Some(x_try);
@@ -606,6 +650,8 @@ impl<'a> Simulator<'a> {
         let mut x = self.op()?;
         let mut cap_currents = vec![0.0; n_caps];
         let mut first_step = true;
+        // Shared across every trial step of the run (same dynamic pattern).
+        let mut solver = self.new_solver();
 
         // Voltage LTE tolerance, deliberately looser than the Newton
         // tolerance so the controller reacts to integration error only.
@@ -642,7 +688,8 @@ impl<'a> Simulator<'a> {
                 self.options.integration
             };
             // Full step.
-            let attempt = |target_x: &mut Vec<f64>,
+            let attempt = |solver: &mut dyn LinearSolver,
+                           target_x: &mut Vec<f64>,
                            from_x: &[f64],
                            from_i: &[f64],
                            step: f64,
@@ -662,21 +709,43 @@ impl<'a> Simulator<'a> {
                     self.options.gmin,
                     self.options.max_nr_iterations,
                     1.0,
+                    solver,
                 )
             };
             let mut x_full = Vec::new();
-            let full = attempt(&mut x_full, &x, &cap_currents, h_eff, t + h_eff);
+            let full = attempt(
+                solver.as_mut(),
+                &mut x_full,
+                &x,
+                &cap_currents,
+                h_eff,
+                t + h_eff,
+            );
             // Two half steps.
             let half_result = full.as_ref().ok().map(|()| {
                 let mut x_half = Vec::new();
                 let mut i_half = cap_currents.clone();
-                let r1 = attempt(&mut x_half, &x, &cap_currents, h_eff / 2.0, t + h_eff / 2.0);
+                let r1 = attempt(
+                    solver.as_mut(),
+                    &mut x_half,
+                    &x,
+                    &cap_currents,
+                    h_eff / 2.0,
+                    t + h_eff / 2.0,
+                );
                 if r1.is_err() {
                     return Err(r1.expect_err("checked"));
                 }
                 self.update_cap_currents(&x, &x_half, h_eff / 2.0, method, &mut i_half);
                 let mut x_half2 = Vec::new();
-                let r2 = attempt(&mut x_half2, &x_half, &i_half, h_eff / 2.0, t + h_eff);
+                let r2 = attempt(
+                    solver.as_mut(),
+                    &mut x_half2,
+                    &x_half,
+                    &i_half,
+                    h_eff / 2.0,
+                    t + h_eff,
+                );
                 r2.map(|()| (x_half2, x_half, i_half))
             });
 
@@ -753,12 +822,23 @@ impl<'a> Simulator<'a> {
         })
     }
 
+    /// Creates the linear-solver backend for this circuit according to
+    /// [`Options::solver`].
+    fn new_solver(&self) -> Box<dyn LinearSolver> {
+        create_solver(self.options.solver, self.circuit.unknown_count())
+    }
+
     /// One Newton solve at time `t`. `dynamic` carries the previous
     /// solution and the step size for capacitor companions; `None` means DC
     /// (capacitors open). `budget` caps the iterations (rescue rungs pass
     /// a boosted budget independent of the base options) and
     /// `source_scale` scales every independent source (1.0 outside the
-    /// source-stepping rescue rung).
+    /// source-stepping rescue rung). `solver` is stamped, factored in
+    /// place, and solved every iteration — no matrix copies on the hot
+    /// path (the historical `factor(a.clone())` cost one full dense copy
+    /// per iteration), and a caller-shared solver lets the sparse backend
+    /// reuse its symbolic analysis across iterations and time steps.
+    #[allow(clippy::too_many_arguments)]
     fn newton(
         &self,
         t: f64,
@@ -767,18 +847,21 @@ impl<'a> Simulator<'a> {
         gmin: f64,
         budget: usize,
         source_scale: f64,
+        solver: &mut dyn LinearSolver,
     ) -> Result<(), SimError> {
         let n = self.circuit.unknown_count();
         let n_nodes = self.circuit.node_count();
-        let mut a = Matrix::zeros(n, n);
+        debug_assert_eq!(solver.dim(), n);
         let mut rhs = vec![0.0; n];
 
         for iteration in 0..budget {
             self.check_cancelled()?;
-            a.clear();
+            solver.begin();
             rhs.fill(0.0);
-            self.assemble(t, dynamic, x, gmin, source_scale, &mut a, &mut rhs);
-            let x_new = LuFactors::factor(a.clone())?.solve(&rhs);
+            self.assemble(t, dynamic, x, gmin, source_scale, solver, &mut rhs);
+            solver.factor()?;
+            solver.solve_in_place(&mut rhs);
+            let x_new = &rhs;
 
             // Damped update with convergence check on node voltages.
             let mut max_dv = 0.0f64;
@@ -820,7 +903,7 @@ impl<'a> Simulator<'a> {
         x: &[f64],
         gmin: f64,
         source_scale: f64,
-        a: &mut Matrix,
+        a: &mut dyn LinearSolver,
         rhs: &mut [f64],
     ) {
         let n_nodes = self.circuit.node_count();
@@ -889,13 +972,13 @@ impl<'a> Simulator<'a> {
     }
 }
 
-fn add_term(a: &mut Matrix, row: usize, col: NodeRef, g: f64) {
+fn add_term(a: &mut dyn LinearSolver, row: usize, col: NodeRef, g: f64) {
     if let Some(c) = col.index() {
         a.add(row, c, g);
     }
 }
 
-fn stamp_conductance(a: &mut Matrix, p: NodeRef, q: NodeRef, g: f64) {
+fn stamp_conductance(a: &mut dyn LinearSolver, p: NodeRef, q: NodeRef, g: f64) {
     if let Some(i) = p.index() {
         a.add(i, i, g);
         if let Some(j) = q.index() {
@@ -1506,5 +1589,82 @@ mod tests {
             result.voltage_by_name("nope"),
             Err(SimError::UnknownSignal { .. })
         ));
+    }
+
+    #[test]
+    fn newton_loop_never_copies_the_matrix() {
+        // The nonlinear inverter takes several Newton iterations; the old
+        // hot loop cloned the full dense matrix on every one of them
+        // (`LuFactors::factor(a.clone())`). The counter is thread-local,
+        // so parallel tests cannot perturb the delta.
+        let ckt = inverter_circuit(2.5);
+        let sim = Simulator::new(&ckt);
+        let before = crate::matrix::matrix_copy_count();
+        let x = sim.op().unwrap();
+        assert!(x[2] > 0.5 && x[2] < 4.5, "sanity: mid-transition output");
+        let copies = crate::matrix::matrix_copy_count() - before;
+        assert_eq!(copies, 0, "Newton loop made {copies} matrix copies");
+
+        // Transient steps must not copy either.
+        let before = crate::matrix::matrix_copy_count();
+        let ckt2 = rc_circuit(1e3, 1e-9, Waveshape::Pwl(vec![(0.0, 0.0), (1e-12, 1.0)]));
+        Simulator::new(&ckt2).transient(1e-6, 1e-8).unwrap();
+        let copies = crate::matrix::matrix_copy_count() - before;
+        assert_eq!(copies, 0, "transient made {copies} matrix copies");
+    }
+
+    #[test]
+    fn sparse_solver_matches_dense_on_nonlinear_op_and_transient() {
+        // Same circuit solved with both backends explicitly: voltages
+        // must agree to far better than the Newton tolerance.
+        use crate::devices::MosParams;
+        let mut ckt = Circuit::new();
+        let vdd = ckt.add_node("vdd");
+        let inp = ckt.add_node("in");
+        let mid = ckt.add_node("mid");
+        let out = ckt.add_node("out");
+        ckt.add_vsource(vdd, NodeRef::Ground, Waveshape::Dc(5.0));
+        ckt.add_vsource(inp, NodeRef::Ground, Waveshape::ramp(0.0, 5.0, 1e-9, 5e-10));
+        for (i, o) in [(inp, mid), (mid, out)] {
+            ckt.add_mosfet(o, i, NodeRef::Ground, 8e-6, 2e-6, MosParams::nmos_default());
+            ckt.add_mosfet(o, i, vdd, 16e-6, 2e-6, MosParams::pmos_default());
+        }
+        ckt.add_capacitor(mid, NodeRef::Ground, 50e-15);
+        ckt.add_capacitor(out, NodeRef::Ground, 100e-15);
+
+        let dense = Simulator::with_options(
+            &ckt,
+            Options {
+                solver: SolverChoice::Dense,
+                ..Options::default()
+            },
+        );
+        let sparse = Simulator::with_options(
+            &ckt,
+            Options {
+                solver: SolverChoice::Sparse,
+                ..Options::default()
+            },
+        );
+        let xd = dense.op().unwrap();
+        let xs = sparse.op().unwrap();
+        for (i, (a, b)) in xd.iter().zip(&xs).enumerate() {
+            assert!((a - b).abs() < 1e-9, "op unknown {i}: dense {a} sparse {b}");
+        }
+        let td = dense.transient(4e-9, 20e-12).unwrap();
+        let ts = sparse.transient(4e-9, 20e-12).unwrap();
+        for probe in ["mid", "out"] {
+            let wd = td.voltage_by_name(probe).unwrap();
+            let ws = ts.voltage_by_name(probe).unwrap();
+            for k in 1..=8 {
+                let t = k as f64 * 0.5e-9;
+                assert!(
+                    (wd.value_at(t) - ws.value_at(t)).abs() < 1e-6,
+                    "{probe} at {t:e}: dense {} sparse {}",
+                    wd.value_at(t),
+                    ws.value_at(t)
+                );
+            }
+        }
     }
 }

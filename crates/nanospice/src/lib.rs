@@ -4,7 +4,9 @@
 //! original paper calibrates and evaluates its switch-level delay models
 //! against SPICE; this crate plays that role, implementing
 //!
-//! * modified nodal analysis with a dense LU solver ([`matrix`]);
+//! * modified nodal analysis behind a [`solver::LinearSolver`] trait:
+//!   dense LU for small circuits ([`matrix`]) and CSC sparse LU with
+//!   symbolic-pattern reuse for large ones ([`sparse`]);
 //! * device models ([`devices`]): resistors, capacitors, independent
 //!   voltage sources (DC / pulse / PWL), and a symmetric Shichman–Hodges
 //!   (level-1) MOSFET with channel-length modulation;
@@ -56,6 +58,8 @@ pub mod engine;
 pub mod error;
 pub mod matrix;
 pub mod recovery;
+pub mod solver;
+pub mod sparse;
 pub mod waveform;
 
 pub use analysis::{
@@ -66,4 +70,6 @@ pub use circuit::{elaborate, Circuit, Elaboration, MosModelSet};
 pub use engine::{Integration, Options, Simulator, TranResult};
 pub use error::SimError;
 pub use recovery::{RecoveryAttempt, RecoveryLog, RecoveryPolicy, RescueStrategy};
+pub use solver::{create_solver, LinearSolver, SolverChoice, DENSE_SPARSE_THRESHOLD};
+pub use sparse::SparseLu;
 pub use waveform::Waveform;

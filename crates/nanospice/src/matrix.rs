@@ -1,16 +1,61 @@
-//! Dense linear algebra: just enough for modified nodal analysis.
+//! Dense linear algebra: the small-circuit fast path for modified nodal
+//! analysis.
 //!
-//! Circuit matrices at this scale (tens to a few hundred unknowns) are
-//! fastest with a cache-friendly dense LU; no external solver is needed.
+//! Circuit matrices up to a few dozen unknowns are fastest with a
+//! cache-friendly dense LU; larger systems go through the CSC sparse LU
+//! in [`sparse`](crate::sparse). Both backends share the pivot policy
+//! defined here ([`REL_PIVOT_MIN`]) and are selected behind the
+//! [`LinearSolver`](crate::solver::LinearSolver) trait.
 
 use crate::error::SimError;
+use std::cell::Cell;
+
+/// Relative singular-pivot threshold shared by the dense and sparse LU
+/// paths: a column counts as numerically singular when the best available
+/// pivot is smaller than this fraction of the column's largest original
+/// magnitude. Conductance matrices in femtofarad/picosecond units sit
+/// many orders of magnitude from 1.0, so an absolute cutoff would be
+/// scale-blind: it would pass a pivot that is pure cancellation noise in
+/// a large-magnitude system, and (with a larger constant) reject a
+/// perfectly well-conditioned but uniformly tiny one.
+pub const REL_PIVOT_MIN: f64 = 1e-12;
+
+/// Hard floor below which a pivot is rejected regardless of column scale;
+/// dividing by a subnormal this small produces infinities anyway.
+pub(crate) const ABS_PIVOT_MIN: f64 = 1e-300;
+
+thread_local! {
+    static MATRIX_COPIES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of deep [`Matrix`] copies (`clone()` calls) made **on the
+/// current thread** since it started.
+///
+/// The Newton hot loop is required to stamp, factor, and solve without
+/// ever copying the system matrix; regression tests read this counter
+/// around a solve to pin that down. Thread-local so concurrently running
+/// tests cannot perturb each other's deltas.
+pub fn matrix_copy_count() -> u64 {
+    MATRIX_COPIES.with(|c| c.get())
+}
 
 /// A dense row-major square-capable matrix of `f64`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f64>,
+}
+
+impl Clone for Matrix {
+    fn clone(&self) -> Matrix {
+        MATRIX_COPIES.with(|c| c.set(c.get() + 1));
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.clone(),
+        }
+    }
 }
 
 impl Matrix {
@@ -38,30 +83,46 @@ impl Matrix {
     /// Reads entry `(r, c)`.
     ///
     /// # Panics
-    /// Panics if out of bounds.
+    /// Panics if out of bounds (checked in release builds too: a
+    /// wrong-but-in-range flat index would silently alias another entry).
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f64 {
-        debug_assert!(r < self.rows && c < self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "matrix index ({r}, {c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         self.data[r * self.cols + c]
     }
 
     /// Writes entry `(r, c)`.
     ///
     /// # Panics
-    /// Panics if out of bounds.
+    /// Panics if out of bounds (checked in release builds too).
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f64) {
-        debug_assert!(r < self.rows && c < self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "matrix index ({r}, {c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         self.data[r * self.cols + c] = v;
     }
 
     /// Adds `v` to entry `(r, c)` — the MNA "stamp" primitive.
     ///
     /// # Panics
-    /// Panics if out of bounds.
+    /// Panics if out of bounds (checked in release builds too).
     #[inline]
     pub fn add(&mut self, r: usize, c: usize, v: f64) {
-        debug_assert!(r < self.rows && c < self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "matrix index ({r}, {c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         self.data[r * self.cols + c] += v;
     }
 
@@ -86,6 +147,111 @@ impl Matrix {
     }
 }
 
+/// Factors `a` in place with partial pivoting: on success `a` holds L
+/// (unit diagonal, strictly below) and U (on and above the diagonal),
+/// and `perm` the row permutation. `col_scale` is workspace for the
+/// per-column original magnitudes the relative singular test needs; both
+/// vectors are resized to fit, so a caller that keeps them across solves
+/// pays no per-factor allocation.
+// The negated `>=` in the singular test is deliberate: it sends NaN
+// pivots to the error arm too.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+pub(crate) fn lu_factor_in_place(
+    a: &mut Matrix,
+    perm: &mut Vec<usize>,
+    col_scale: &mut Vec<f64>,
+) -> Result<(), SimError> {
+    assert_eq!(a.rows, a.cols, "LU needs a square matrix");
+    let n = a.rows;
+    perm.clear();
+    perm.extend(0..n);
+    col_scale.clear();
+    col_scale.resize(n, 0.0);
+    for r in 0..n {
+        let row = &a.data[r * n..(r + 1) * n];
+        for (c, v) in row.iter().enumerate() {
+            let m = v.abs();
+            if m > col_scale[c] {
+                col_scale[c] = m;
+            }
+        }
+    }
+    for k in 0..n {
+        // Partial pivot: largest magnitude in column k at or below row k.
+        let mut pivot_row = k;
+        let mut pivot_mag = a.data[k * n + k].abs();
+        for r in (k + 1)..n {
+            let mag = a.data[r * n + k].abs();
+            if mag > pivot_mag {
+                pivot_mag = mag;
+                pivot_row = r;
+            }
+        }
+        // Singular when the whole remaining column is cancellation noise
+        // relative to the column's original magnitude (negated comparison
+        // so NaN also lands in the error arm).
+        if pivot_mag < ABS_PIVOT_MIN || !(pivot_mag >= REL_PIVOT_MIN * col_scale[k]) {
+            return Err(SimError::SingularMatrix { column: k });
+        }
+        if pivot_row != k {
+            let (head, tail) = a.data.split_at_mut(pivot_row * n);
+            head[k * n..k * n + n].swap_with_slice(&mut tail[..n]);
+            perm.swap(k, pivot_row);
+        }
+        let (head, tail) = a.data.split_at_mut((k + 1) * n);
+        let pivot_row_data = &head[k * n..];
+        let pivot = pivot_row_data[k];
+        for r in (k + 1)..n {
+            let row = &mut tail[(r - k - 1) * n..(r - k) * n];
+            let factor = row[k] / pivot;
+            row[k] = factor;
+            if factor != 0.0 {
+                for c in (k + 1)..n {
+                    row[c] -= factor * pivot_row_data[c];
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Solves `A·x = b` in place from factors produced by
+/// [`lu_factor_in_place`]: `b` is overwritten with the solution.
+/// `scratch` holds the permuted right-hand side so `b` itself never
+/// aliases the substitution.
+pub(crate) fn lu_solve_in_place(
+    lu: &Matrix,
+    perm: &[usize],
+    b: &mut [f64],
+    scratch: &mut Vec<f64>,
+) {
+    let n = lu.rows;
+    assert_eq!(b.len(), n);
+    assert_eq!(perm.len(), n);
+    scratch.clear();
+    scratch.extend(perm.iter().map(|&p| b[p]));
+    let x = &mut scratch[..];
+    // Forward substitution (L has implicit unit diagonal).
+    for r in 1..n {
+        let row = &lu.data[r * n..r * n + r];
+        let mut sum = x[r];
+        for (c, l) in row.iter().enumerate() {
+            sum -= l * x[c];
+        }
+        x[r] = sum;
+    }
+    // Back substitution.
+    for r in (0..n).rev() {
+        let row = &lu.data[r * n..(r + 1) * n];
+        let mut sum = x[r];
+        for c in (r + 1)..n {
+            sum -= row[c] * x[c];
+        }
+        x[r] = sum / row[r];
+    }
+    b.copy_from_slice(x);
+}
+
 /// An LU factorization with partial pivoting of a square matrix.
 #[derive(Debug, Clone)]
 pub struct LuFactors {
@@ -98,46 +264,13 @@ impl LuFactors {
     ///
     /// # Errors
     /// Returns [`SimError::SingularMatrix`] when no usable pivot exists in
-    /// some column (the circuit matrix is structurally or numerically
-    /// singular, e.g. a floating subcircuit).
+    /// some column — none at all, or only pivots below [`REL_PIVOT_MIN`]
+    /// of the column's original magnitude (the circuit matrix is
+    /// structurally or numerically singular, e.g. a floating subcircuit).
     pub fn factor(mut a: Matrix) -> Result<LuFactors, SimError> {
-        assert_eq!(a.rows, a.cols, "LU needs a square matrix");
-        let n = a.rows;
-        let mut perm: Vec<usize> = (0..n).collect();
-        for k in 0..n {
-            // Partial pivot: largest magnitude in column k at or below row k.
-            let mut pivot_row = k;
-            let mut pivot_mag = a.get(k, k).abs();
-            for r in (k + 1)..n {
-                let mag = a.get(r, k).abs();
-                if mag > pivot_mag {
-                    pivot_mag = mag;
-                    pivot_row = r;
-                }
-            }
-            if pivot_mag < 1e-300 {
-                return Err(SimError::SingularMatrix { column: k });
-            }
-            if pivot_row != k {
-                for c in 0..n {
-                    let tmp = a.get(k, c);
-                    a.set(k, c, a.get(pivot_row, c));
-                    a.set(pivot_row, c, tmp);
-                }
-                perm.swap(k, pivot_row);
-            }
-            let pivot = a.get(k, k);
-            for r in (k + 1)..n {
-                let factor = a.get(r, k) / pivot;
-                a.set(r, k, factor);
-                if factor != 0.0 {
-                    for c in (k + 1)..n {
-                        let v = a.get(r, c) - factor * a.get(k, c);
-                        a.set(r, c, v);
-                    }
-                }
-            }
-        }
+        let mut perm = Vec::new();
+        let mut col_scale = Vec::new();
+        lu_factor_in_place(&mut a, &mut perm, &mut col_scale)?;
         Ok(LuFactors { lu: a, perm })
     }
 
@@ -145,28 +278,10 @@ impl LuFactors {
     ///
     /// # Panics
     /// Panics if `b.len()` does not match the matrix dimension.
-    #[allow(clippy::needless_range_loop)] // index loops mirror the math
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
-        let n = self.lu.rows;
-        assert_eq!(b.len(), n);
-        // Apply permutation.
-        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
-        // Forward substitution (L has implicit unit diagonal).
-        for r in 1..n {
-            let mut sum = x[r];
-            for c in 0..r {
-                sum -= self.lu.get(r, c) * x[c];
-            }
-            x[r] = sum;
-        }
-        // Back substitution.
-        for r in (0..n).rev() {
-            let mut sum = x[r];
-            for c in (r + 1)..n {
-                sum -= self.lu.get(r, c) * x[c];
-            }
-            x[r] = sum / self.lu.get(r, r);
-        }
+        let mut x = b.to_vec();
+        let mut scratch = Vec::with_capacity(b.len());
+        lu_solve_in_place(&self.lu, &self.perm, &mut x, &mut scratch);
         x
     }
 }
@@ -230,6 +345,31 @@ mod tests {
     }
 
     #[test]
+    fn detects_singular_at_large_scale() {
+        // Rows nearly dependent in a matrix scaled to 1e8: elimination
+        // leaves a second pivot of 1e-6, which an absolute threshold
+        // (the old `1e-300`) would happily divide by, silently producing
+        // garbage. The relative test sees 1e-6 ≪ 1e-12 × 6e8 and rejects.
+        let a = mat(&[&[1e8, 2e8], &[3e8, 6e8 + 1e-6]]);
+        assert!(matches!(
+            solve(a, &[1.0, 2.0]),
+            Err(SimError::SingularMatrix { column: 1 })
+        ));
+    }
+
+    #[test]
+    fn uniformly_tiny_system_still_solves() {
+        // Well-conditioned, just uniformly scaled to 1e-250 — legal for a
+        // femtofarad/picosecond-scaled conductance matrix. The relative
+        // pivot test must not reject it.
+        let s = 1e-250;
+        let a = mat(&[&[2.0 * s, 1.0 * s], &[1.0 * s, 3.0 * s]]);
+        let x = solve(a, &[5.0 * s, 10.0 * s]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-9, "{}", x[0]);
+        assert!((x[1] - 3.0).abs() < 1e-9, "{}", x[1]);
+    }
+
+    #[test]
     #[allow(clippy::needless_range_loop)]
     fn residual_is_small_for_random_spd_like_system() {
         // Build a diagonally dominant system (like a conductance matrix).
@@ -274,11 +414,90 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics_in_release_too() {
+        let a = Matrix::zeros(2, 3);
+        // (0, 3) flattens to index 3, inside the backing vec — the old
+        // debug_assert-only check silently read entry (1, 0) in release.
+        let _ = a.get(0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn set_out_of_bounds_panics_in_release_too() {
+        let mut a = Matrix::zeros(2, 3);
+        a.set(0, 5, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn add_out_of_bounds_panics_in_release_too() {
+        let mut a = Matrix::zeros(3, 3);
+        a.add(3, 0, 1.0);
+    }
+
+    #[test]
+    fn clone_bumps_copy_counter() {
+        let a = Matrix::zeros(4, 4);
+        let before = matrix_copy_count();
+        let _b = a.clone();
+        assert_eq!(matrix_copy_count(), before + 1);
+    }
+
+    #[test]
     fn solve_after_clear_reuses_allocation() {
+        // Stamp → solve → clear → restamp → solve: the exact lifecycle
+        // the engine's Newton loop runs, and the one the sparse solver's
+        // pattern reuse depends on.
         let mut a = Matrix::zeros(2, 2);
-        a.set(0, 0, 2.0);
-        a.set(1, 1, 4.0);
+        a.add(0, 0, 2.0);
+        a.add(1, 1, 4.0);
         let x = solve(a.clone(), &[2.0, 8.0]).unwrap();
         assert_eq!(x, vec![1.0, 2.0]);
+
+        let ptr_before = a.data.as_ptr();
+        a.clear();
+        assert_eq!(a.get(0, 0), 0.0);
+        assert_eq!(a.get(1, 1), 0.0);
+
+        // Restamp a different system into the same storage.
+        a.add(0, 0, 1.0);
+        a.add(0, 1, 2.0);
+        a.add(1, 0, 1.0);
+        a.add(1, 1, 3.0);
+        assert_eq!(
+            a.data.as_ptr(),
+            ptr_before,
+            "clear() must keep the allocation"
+        );
+        let x = solve(a, &[5.0, 7.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn in_place_path_matches_owned_factor_bit_for_bit() {
+        // DenseSolver drives the in-place entry points; LuFactors is the
+        // documented oracle. Same arithmetic, same bits.
+        let build = || {
+            mat(&[
+                &[4.0, -1.0, 0.0, -0.3],
+                &[-1.0, 3.7, -1.2, 0.0],
+                &[0.0, -1.2, 5.1, -2.0],
+                &[-0.3, 0.0, -2.0, 4.4],
+            ])
+        };
+        let b = [1.0, -2.0, 0.5, 3.25];
+        let via_factors = LuFactors::factor(build()).unwrap().solve(&b);
+        let mut a = build();
+        let mut perm = Vec::new();
+        let mut scale = Vec::new();
+        lu_factor_in_place(&mut a, &mut perm, &mut scale).unwrap();
+        let mut x = b.to_vec();
+        let mut scratch = Vec::new();
+        lu_solve_in_place(&a, &perm, &mut x, &mut scratch);
+        for (p, q) in via_factors.iter().zip(&x) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
     }
 }

@@ -1,0 +1,229 @@
+//! The `LinearSolver` trait: one assembly/factor/solve interface over
+//! interchangeable dense and sparse LU backends.
+//!
+//! The MNA system's sparsity pattern is fixed per (circuit, analysis
+//! mode), so the lifecycle is: create one solver per analysis, then per
+//! Newton iteration call [`LinearSolver::begin`], stamp with
+//! [`LinearSolver::add`], [`LinearSolver::factor`], and
+//! [`LinearSolver::solve_in_place`]. Backends exploit the repetition —
+//! the dense path reuses its matrix and permutation allocations, the
+//! sparse path ([`SparseLu`]) additionally reuses its symbolic
+//! analysis (fill pattern, elimination order, pivot sequence) so that
+//! iterations after the first are value-only refactorizations.
+
+use crate::error::SimError;
+use crate::matrix::{lu_factor_in_place, lu_solve_in_place, Matrix};
+use crate::sparse::SparseLu;
+
+/// Unknown count at or below which [`SolverChoice::Auto`] picks the
+/// dense backend. Dense LU is O(n³) but cache-friendly with zero
+/// symbolic overhead; profiling across the generator circuits puts the
+/// crossover in the dozens of unknowns.
+pub const DENSE_SPARSE_THRESHOLD: usize = 64;
+
+/// Which linear-solver backend the engine uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SolverChoice {
+    /// Dense at or below [`DENSE_SPARSE_THRESHOLD`] unknowns, sparse above.
+    #[default]
+    Auto,
+    /// Always dense LU — the small-circuit fast path and the differential
+    /// test oracle.
+    Dense,
+    /// Always CSC sparse LU with pattern reuse.
+    Sparse,
+}
+
+/// A direct solver for one fixed-size linear system `A·x = b`, reused
+/// across many assemble/factor/solve rounds.
+pub trait LinearSolver {
+    /// Dimension of the square system.
+    fn dim(&self) -> usize;
+
+    /// Starts a fresh assembly: every coefficient returns to zero while
+    /// allocations (and, for the sparse backend, the symbolic pattern)
+    /// are kept.
+    fn begin(&mut self);
+
+    /// Adds `v` to entry `(r, c)` — the MNA stamp primitive.
+    ///
+    /// # Panics
+    /// Panics if `r` or `c` is out of bounds.
+    fn add(&mut self, r: usize, c: usize, v: f64);
+
+    /// Factors the assembled matrix.
+    ///
+    /// # Errors
+    /// Returns [`SimError::SingularMatrix`] when some column has no
+    /// usable pivot relative to its scale (see
+    /// [`REL_PIVOT_MIN`](crate::matrix::REL_PIVOT_MIN)).
+    fn factor(&mut self) -> Result<(), SimError>;
+
+    /// Solves with the factors from the last successful [`Self::factor`],
+    /// overwriting `b` with the solution.
+    ///
+    /// # Panics
+    /// Panics if `b.len() != self.dim()` or no factorization is current.
+    fn solve_in_place(&mut self, b: &mut [f64]);
+
+    /// Short backend name for diagnostics ("dense" / "sparse").
+    fn name(&self) -> &'static str;
+}
+
+impl std::fmt::Debug for dyn LinearSolver + '_ {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LinearSolver({}, n={})", self.name(), self.dim())
+    }
+}
+
+/// Creates the backend for an `n`-unknown system according to `choice`.
+pub fn create_solver(choice: SolverChoice, n: usize) -> Box<dyn LinearSolver> {
+    match choice {
+        SolverChoice::Dense => Box::new(DenseSolver::new(n)),
+        SolverChoice::Sparse => Box::new(SparseLu::new(n)),
+        SolverChoice::Auto if n <= DENSE_SPARSE_THRESHOLD => Box::new(DenseSolver::new(n)),
+        SolverChoice::Auto => Box::new(SparseLu::new(n)),
+    }
+}
+
+/// Dense LU behind the [`LinearSolver`] interface: owns the matrix, the
+/// permutation, and the substitution scratch, so the whole
+/// begin/stamp/factor/solve round trip allocates nothing.
+#[derive(Debug)]
+pub struct DenseSolver {
+    a: Matrix,
+    perm: Vec<usize>,
+    col_scale: Vec<f64>,
+    scratch: Vec<f64>,
+    factored: bool,
+}
+
+impl DenseSolver {
+    /// Creates a dense solver for an `n × n` system.
+    pub fn new(n: usize) -> DenseSolver {
+        DenseSolver {
+            a: Matrix::zeros(n, n),
+            perm: Vec::with_capacity(n),
+            col_scale: Vec::with_capacity(n),
+            scratch: Vec::with_capacity(n),
+            factored: false,
+        }
+    }
+}
+
+impl LinearSolver for DenseSolver {
+    fn dim(&self) -> usize {
+        self.a.rows()
+    }
+
+    fn begin(&mut self) {
+        self.a.clear();
+        self.factored = false;
+    }
+
+    fn add(&mut self, r: usize, c: usize, v: f64) {
+        self.a.add(r, c, v);
+    }
+
+    fn factor(&mut self) -> Result<(), SimError> {
+        lu_factor_in_place(&mut self.a, &mut self.perm, &mut self.col_scale)?;
+        self.factored = true;
+        Ok(())
+    }
+
+    fn solve_in_place(&mut self, b: &mut [f64]) {
+        assert!(self.factored, "solve_in_place before a successful factor");
+        lu_solve_in_place(&self.a, &self.perm, b, &mut self.scratch);
+    }
+
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::{matrix_copy_count, LuFactors};
+
+    #[test]
+    fn auto_picks_dense_small_sparse_large() {
+        assert_eq!(create_solver(SolverChoice::Auto, 8).name(), "dense");
+        assert_eq!(
+            create_solver(SolverChoice::Auto, DENSE_SPARSE_THRESHOLD).name(),
+            "dense"
+        );
+        assert_eq!(
+            create_solver(SolverChoice::Auto, DENSE_SPARSE_THRESHOLD + 1).name(),
+            "sparse"
+        );
+        assert_eq!(create_solver(SolverChoice::Dense, 1000).name(), "dense");
+        assert_eq!(create_solver(SolverChoice::Sparse, 2).name(), "sparse");
+    }
+
+    #[test]
+    fn dense_round_trip_matches_lufactors_bitwise() {
+        // The trait path must produce the identical bits to the historical
+        // LuFactors oracle — small-circuit arrivals depend on it.
+        let stamps = [
+            (0usize, 0usize, 2.0),
+            (0, 1, -1.0),
+            (1, 0, -1.0),
+            (1, 1, 3.0),
+            (1, 2, -0.5),
+            (2, 1, -0.5),
+            (2, 2, 1.25),
+        ];
+        let b = [1.0, 0.25, -2.0];
+
+        let mut reference = Matrix::zeros(3, 3);
+        for &(r, c, v) in &stamps {
+            reference.add(r, c, v);
+        }
+        let oracle = LuFactors::factor(reference).unwrap().solve(&b);
+
+        let mut solver = DenseSolver::new(3);
+        for round in 0..3 {
+            solver.begin();
+            for &(r, c, v) in &stamps {
+                solver.add(r, c, v);
+            }
+            solver.factor().unwrap();
+            let mut x = b.to_vec();
+            solver.solve_in_place(&mut x);
+            for (p, q) in oracle.iter().zip(&x) {
+                assert_eq!(p.to_bits(), q.to_bits(), "round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_round_trip_never_copies_the_matrix() {
+        let mut solver = DenseSolver::new(4);
+        let before = matrix_copy_count();
+        for _ in 0..5 {
+            solver.begin();
+            for i in 0..4 {
+                solver.add(i, i, 2.0 + i as f64);
+            }
+            solver.factor().unwrap();
+            let mut x = vec![1.0; 4];
+            solver.solve_in_place(&mut x);
+        }
+        assert_eq!(matrix_copy_count(), before);
+    }
+
+    #[test]
+    fn dense_reports_singular() {
+        let mut solver = DenseSolver::new(2);
+        solver.begin();
+        solver.add(0, 0, 1.0);
+        solver.add(0, 1, 2.0);
+        solver.add(1, 0, 2.0);
+        solver.add(1, 1, 4.0);
+        assert!(matches!(
+            solver.factor(),
+            Err(SimError::SingularMatrix { .. })
+        ));
+    }
+}

@@ -1,0 +1,947 @@
+//! CSC sparse LU: the large-circuit path for modified nodal analysis.
+//!
+//! Left-looking Gilbert–Peierls factorization with partial pivoting over
+//! a minimum-degree column ordering, plus KLU-style numeric
+//! *refactorization*: the first `factor()` records the fill pattern, the
+//! per-column reach sets, and the pivot sequence; subsequent factors
+//! replay them value-only — no graph traversal, no reallocation — with a
+//! pivot-stability check that falls back to a full re-pivoting pass when
+//! the operating point drifts far enough to invalidate the recorded
+//! pivots.
+//!
+//! Assembly reuses the engine's determinism the same way: the first
+//! assembly records the `(row, col)` stamp sequence; `analyze` maps each
+//! stamp event to its CSC value slot, so every later assembly replays
+//! through a cursor in O(1) per stamp. A sequence that stops matching
+//! (never the case for a fixed circuit and analysis mode, but handled
+//! anyway) triggers a pattern rebuild instead of wrong answers.
+
+use crate::error::SimError;
+use crate::matrix::{ABS_PIVOT_MIN, REL_PIVOT_MIN};
+use crate::solver::LinearSolver;
+
+/// Sentinel for "row not yet pivoted" in `pinv`.
+const UNSET: u32 = u32::MAX;
+
+/// A recorded pivot must stay within this factor of its column's current
+/// candidate maximum for the value-only refactorization to be accepted;
+/// otherwise the factor falls back to full re-pivoting. 1e-3 mirrors
+/// KLU's default partial-pivoting tolerance.
+const REFACTOR_PIVOT_TOL: f64 = 1e-3;
+
+/// Threshold pivoting bias toward the structural diagonal: the diagonal
+/// row is taken whenever its magnitude is at least this fraction of the
+/// best off-diagonal candidate. MNA matrices are near diagonally
+/// dominant, and keeping rows paired with their own columns prevents
+/// *pivot stranding* — partial pivoting stealing a weakly-coupled row's
+/// natural pivot, leaving that row to surface at a late elimination step
+/// as a catastrophically cancelled (spuriously "singular") Schur entry.
+const DIAG_PIVOT_PREF: f64 = 0.1;
+
+/// CSC sparse LU with symbolic-pattern reuse, behind [`LinearSolver`].
+#[derive(Debug)]
+pub struct SparseLu {
+    n: usize,
+
+    // --- assembly ---
+    /// True until the first `factor()`: stamps are recorded as triplets.
+    recording: bool,
+    /// The recorded stamp sequence: `(row, col)` per stamp event.
+    trip: Vec<(u32, u32)>,
+    /// Stamp values for the recording assembly only.
+    trip_v: Vec<f64>,
+    /// CSC slot for each stamp event, filled by `analyze`.
+    seq_slot: Vec<u32>,
+    /// Replay position in `trip` for the current assembly.
+    cursor: usize,
+    /// The current assembly stopped matching the recorded sequence.
+    diverged: bool,
+    /// Out-of-sequence stamps collected after divergence.
+    pending: Vec<(u32, u32, f64)>,
+
+    // --- the assembled matrix, compressed sparse column ---
+    ap: Vec<usize>,
+    ai: Vec<u32>,
+    av: Vec<f64>,
+    /// Per-column max magnitude of the assembled values, for the relative
+    /// singular test (same policy as the dense path).
+    col_scale: Vec<f64>,
+
+    // --- symbolic analysis ---
+    /// Column elimination order: step `j` eliminates original column
+    /// `q[j]` (minimum degree on the pattern of A + Aᵀ).
+    q: Vec<u32>,
+
+    // --- factors ---
+    // L column-wise in *original* row indices, unit diagonal entry first;
+    // U column-wise in pivot-step indices, diagonal entry last. Keeping L
+    // in original row space avoids a rename pass and lets the refactor
+    // replay reach sets directly.
+    lp: Vec<usize>,
+    li: Vec<u32>,
+    lx: Vec<f64>,
+    up: Vec<usize>,
+    ui: Vec<u32>,
+    ux: Vec<f64>,
+    /// Original row → pivot step ([`UNSET`] while unpivoted).
+    pinv: Vec<u32>,
+    /// Pivot step → original row.
+    prow: Vec<u32>,
+    /// Concatenated per-column reach sets (topological order), replayed
+    /// by the value-only refactorization.
+    reach: Vec<u32>,
+    reach_p: Vec<usize>,
+    have_factors: bool,
+    factored: bool,
+
+    // --- workspaces (allocated once) ---
+    work: Vec<f64>,
+    mark: Vec<u32>,
+    mark_gen: u32,
+    stack: Vec<(u32, usize)>,
+    topo: Vec<u32>,
+    y: Vec<f64>,
+    z: Vec<f64>,
+}
+
+impl SparseLu {
+    /// Creates a sparse solver for an `n × n` system.
+    pub fn new(n: usize) -> SparseLu {
+        SparseLu {
+            n,
+            recording: true,
+            trip: Vec::new(),
+            trip_v: Vec::new(),
+            seq_slot: Vec::new(),
+            cursor: 0,
+            diverged: false,
+            pending: Vec::new(),
+            ap: Vec::new(),
+            ai: Vec::new(),
+            av: Vec::new(),
+            col_scale: Vec::new(),
+            q: Vec::new(),
+            lp: Vec::new(),
+            li: Vec::new(),
+            lx: Vec::new(),
+            up: Vec::new(),
+            ui: Vec::new(),
+            ux: Vec::new(),
+            pinv: Vec::new(),
+            prow: Vec::new(),
+            reach: Vec::new(),
+            reach_p: Vec::new(),
+            have_factors: false,
+            factored: false,
+            work: Vec::new(),
+            mark: vec![0; n],
+            mark_gen: 0,
+            stack: Vec::new(),
+            topo: Vec::new(),
+            y: Vec::new(),
+            z: Vec::new(),
+        }
+    }
+
+    /// Number of stored nonzeros in the assembled matrix (after the first
+    /// `factor`).
+    pub fn nnz(&self) -> usize {
+        self.ai.len()
+    }
+
+    /// Number of stored nonzeros in the L and U factors combined.
+    pub fn factor_nnz(&self) -> usize {
+        self.li.len() + self.ui.len()
+    }
+
+    /// Compresses the recorded triplets into CSC (duplicates merged, rows
+    /// sorted within each column), maps every stamp event to its value
+    /// slot, and computes the column elimination order.
+    fn analyze(&mut self) {
+        let n = self.n;
+        let mut order: Vec<u32> = (0..self.trip.len() as u32).collect();
+        {
+            let trip = &self.trip;
+            order.sort_unstable_by_key(|&t| {
+                let (r, c) = trip[t as usize];
+                ((c as u64) << 32) | r as u64
+            });
+        }
+        self.ai.clear();
+        self.av.clear();
+        self.seq_slot.clear();
+        self.seq_slot.resize(self.trip.len(), 0);
+        let mut counts = vec![0usize; n];
+        let mut last: Option<(u32, u32)> = None;
+        for &t in &order {
+            let (r, c) = self.trip[t as usize];
+            if last != Some((r, c)) {
+                self.ai.push(r);
+                self.av.push(0.0);
+                counts[c as usize] += 1;
+                last = Some((r, c));
+            }
+            let slot = self.ai.len() - 1;
+            self.seq_slot[t as usize] = slot as u32;
+            self.av[slot] += self.trip_v[t as usize];
+        }
+        self.ap.clear();
+        self.ap.push(0);
+        let mut total = 0usize;
+        for &cnt in &counts {
+            total += cnt;
+            self.ap.push(total);
+        }
+        self.trip_v.clear();
+        self.trip_v.shrink_to_fit();
+        self.q = min_degree(n, &self.ap, &self.ai);
+        self.have_factors = false;
+    }
+
+    /// Rebuilds the pattern when an assembly diverged from the recorded
+    /// stamp sequence: the matrix is the currently assembled values plus
+    /// the out-of-sequence stamps.
+    fn rebuild_from_current(&mut self) {
+        let mut trip = Vec::with_capacity(self.ai.len() + self.pending.len());
+        let mut trip_v = Vec::with_capacity(trip.capacity());
+        for c in 0..self.n {
+            for p in self.ap[c]..self.ap[c + 1] {
+                trip.push((self.ai[p], c as u32));
+                trip_v.push(self.av[p]);
+            }
+        }
+        for &(r, c, v) in &self.pending {
+            trip.push((r, c));
+            trip_v.push(v);
+        }
+        self.trip = trip;
+        self.trip_v = trip_v;
+        self.pending.clear();
+        self.diverged = false;
+        self.cursor = self.trip.len();
+        self.analyze();
+    }
+
+    fn compute_col_scales(&mut self) {
+        self.col_scale.clear();
+        self.col_scale.resize(self.n, 0.0);
+        for c in 0..self.n {
+            let mut m = 0.0f64;
+            for p in self.ap[c]..self.ap[c + 1] {
+                m = m.max(self.av[p].abs());
+            }
+            self.col_scale[c] = m;
+        }
+    }
+
+    /// Fills `self.topo` with the topological order of the nonzero
+    /// pattern of `L⁻¹·A(:, col)` — the rows this column's triangular
+    /// solve touches — by DFS over the partially built L.
+    fn compute_reach(&mut self, col: usize) {
+        self.topo.clear();
+        self.mark_gen += 1;
+        let gen = self.mark_gen;
+        let SparseLu {
+            ref ap,
+            ref ai,
+            ref lp,
+            ref li,
+            ref pinv,
+            ref mut stack,
+            ref mut mark,
+            ref mut topo,
+            ..
+        } = *self;
+        let child_start = |node: u32| -> usize {
+            let k = pinv[node as usize];
+            if k == UNSET {
+                0
+            } else {
+                lp[k as usize] + 1
+            }
+        };
+        let child_end = |node: u32| -> usize {
+            let k = pinv[node as usize];
+            if k == UNSET {
+                0
+            } else {
+                lp[k as usize + 1]
+            }
+        };
+        for &root in &ai[ap[col]..ap[col + 1]] {
+            if mark[root as usize] == gen {
+                continue;
+            }
+            mark[root as usize] = gen;
+            stack.push((root, child_start(root)));
+            while let Some(&(node, ptr)) = stack.last() {
+                let end = child_end(node);
+                let mut next_ptr = ptr;
+                let mut descend = None;
+                while next_ptr < end {
+                    let child = li[next_ptr];
+                    next_ptr += 1;
+                    if mark[child as usize] != gen {
+                        mark[child as usize] = gen;
+                        descend = Some(child);
+                        break;
+                    }
+                }
+                stack.last_mut().expect("nonempty").1 = next_ptr;
+                match descend {
+                    Some(child) => stack.push((child, child_start(child))),
+                    None => {
+                        topo.push(node);
+                        stack.pop();
+                    }
+                }
+            }
+        }
+        // Reverse finish order = parents before the rows they update.
+        topo.reverse();
+    }
+
+    /// Full Gilbert–Peierls factorization with partial pivoting,
+    /// recording the reach sets and pivot sequence for later value-only
+    /// refactorization.
+    // The negated `>=` in the singular test is deliberate: it sends NaN
+    // pivots to the error arm too.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    fn factor_full(&mut self) -> Result<(), SimError> {
+        let n = self.n;
+        self.lp.clear();
+        self.li.clear();
+        self.lx.clear();
+        self.up.clear();
+        self.ui.clear();
+        self.ux.clear();
+        self.reach.clear();
+        self.reach_p.clear();
+        self.lp.push(0);
+        self.up.push(0);
+        self.reach_p.push(0);
+        self.pinv.clear();
+        self.pinv.resize(n, UNSET);
+        self.prow.clear();
+        self.prow.resize(n, 0);
+        self.work.clear();
+        self.work.resize(n, 0.0);
+        self.have_factors = false;
+        self.compute_col_scales();
+        for j in 0..n {
+            let col = self.q[j] as usize;
+            self.compute_reach(col);
+            // Scatter A(:, col), then eliminate in topological order: a
+            // sparse triangular solve x = L⁻¹·A(:, col).
+            for p in self.ap[col]..self.ap[col + 1] {
+                self.work[self.ai[p] as usize] = self.av[p];
+            }
+            for t in 0..self.topo.len() {
+                let i = self.topo[t] as usize;
+                let k = self.pinv[i];
+                if k == UNSET {
+                    continue;
+                }
+                let xk = self.work[i];
+                for p in self.lp[k as usize] + 1..self.lp[k as usize + 1] {
+                    self.work[self.li[p] as usize] -= self.lx[p] * xk;
+                }
+            }
+            // Threshold pivot among the rows not yet assigned to a column:
+            // largest magnitude wins, except that the structural diagonal
+            // is preferred whenever it is within [`DIAG_PIVOT_PREF`] of it.
+            let mut pmag = -1.0f64;
+            let mut choice = UNSET;
+            for t in 0..self.topo.len() {
+                let i = self.topo[t] as usize;
+                if self.pinv[i] == UNSET {
+                    let m = self.work[i].abs();
+                    if m > pmag {
+                        pmag = m;
+                        choice = i as u32;
+                    }
+                }
+            }
+            if choice != col as u32 && self.pinv[col] == UNSET {
+                let dm = self.work[col].abs();
+                if dm >= DIAG_PIVOT_PREF * pmag {
+                    pmag = dm;
+                    choice = col as u32;
+                }
+            }
+            if choice == UNSET
+                || pmag < ABS_PIVOT_MIN
+                || !(pmag >= REL_PIVOT_MIN * self.col_scale[col])
+            {
+                for t in 0..self.topo.len() {
+                    self.work[self.topo[t] as usize] = 0.0;
+                }
+                return Err(SimError::SingularMatrix { column: col });
+            }
+            // Emit U column j (already-pivoted rows in topo order, then
+            // the diagonal) and L column j (unit diagonal first, then the
+            // remaining rows divided by the pivot).
+            for t in 0..self.topo.len() {
+                let i = self.topo[t] as usize;
+                let k = self.pinv[i];
+                if k != UNSET {
+                    self.ui.push(k);
+                    self.ux.push(self.work[i]);
+                }
+            }
+            let pivot = self.work[choice as usize];
+            self.ui.push(j as u32);
+            self.ux.push(pivot);
+            self.up.push(self.ui.len());
+            self.li.push(choice);
+            self.lx.push(1.0);
+            for t in 0..self.topo.len() {
+                let i = self.topo[t];
+                if self.pinv[i as usize] == UNSET && i != choice {
+                    self.li.push(i);
+                    self.lx.push(self.work[i as usize] / pivot);
+                }
+            }
+            self.lp.push(self.li.len());
+            self.pinv[choice as usize] = j as u32;
+            self.prow[j] = choice;
+            for t in 0..self.topo.len() {
+                let i = self.topo[t];
+                self.reach.push(i);
+                self.work[i as usize] = 0.0;
+            }
+            self.reach_p.push(self.reach.len());
+        }
+        self.have_factors = true;
+        Ok(())
+    }
+
+    /// Value-only refactorization along the recorded pattern and pivot
+    /// sequence. Returns `false` (without touching the recorded pattern)
+    /// when a recorded pivot went numerically stale, in which case the
+    /// caller runs [`Self::factor_full`] again.
+    fn refactor(&mut self) -> bool {
+        let n = self.n;
+        self.compute_col_scales();
+        self.work.clear();
+        self.work.resize(n, 0.0);
+        for j in 0..n {
+            let col = self.q[j] as usize;
+            for p in self.ap[col]..self.ap[col + 1] {
+                self.work[self.ai[p] as usize] = self.av[p];
+            }
+            let (rs, re) = (self.reach_p[j], self.reach_p[j + 1]);
+            let mut uslot = self.up[j];
+            for rp in rs..re {
+                let i = self.reach[rp] as usize;
+                let k = self.pinv[i];
+                if (k as usize) < j {
+                    let xk = self.work[i];
+                    self.ux[uslot] = xk;
+                    uslot += 1;
+                    for p in self.lp[k as usize] + 1..self.lp[k as usize + 1] {
+                        self.work[self.li[p] as usize] -= self.lx[p] * xk;
+                    }
+                }
+            }
+            let pivot = self.work[self.prow[j] as usize];
+            let pmag = pivot.abs();
+            let mut cmax = 0.0f64;
+            for rp in rs..re {
+                let i = self.reach[rp] as usize;
+                if (self.pinv[i] as usize) >= j {
+                    cmax = cmax.max(self.work[i].abs());
+                }
+            }
+            let stable = pmag >= ABS_PIVOT_MIN
+                && pmag >= REL_PIVOT_MIN * self.col_scale[col]
+                && pmag >= REFACTOR_PIVOT_TOL * cmax;
+            if !stable {
+                for rp in rs..re {
+                    self.work[self.reach[rp] as usize] = 0.0;
+                }
+                return false;
+            }
+            debug_assert_eq!(uslot, self.up[j + 1] - 1);
+            self.ux[uslot] = pivot;
+            let mut lslot = self.lp[j] + 1;
+            for rp in rs..re {
+                let i = self.reach[rp] as usize;
+                if (self.pinv[i] as usize) > j {
+                    self.lx[lslot] = self.work[i] / pivot;
+                    lslot += 1;
+                }
+            }
+            debug_assert_eq!(lslot, self.lp[j + 1]);
+            for rp in rs..re {
+                self.work[self.reach[rp] as usize] = 0.0;
+            }
+        }
+        true
+    }
+}
+
+impl LinearSolver for SparseLu {
+    fn dim(&self) -> usize {
+        self.n
+    }
+
+    fn begin(&mut self) {
+        self.factored = false;
+        if self.recording {
+            self.trip.clear();
+            self.trip_v.clear();
+        } else {
+            self.av.fill(0.0);
+            self.cursor = 0;
+            self.diverged = false;
+            self.pending.clear();
+        }
+    }
+
+    fn add(&mut self, r: usize, c: usize, v: f64) {
+        assert!(
+            r < self.n && c < self.n,
+            "sparse stamp ({r}, {c}) out of bounds for n = {}",
+            self.n
+        );
+        if self.recording {
+            self.trip.push((r as u32, c as u32));
+            self.trip_v.push(v);
+        } else if !self.diverged
+            && self.cursor < self.trip.len()
+            && self.trip[self.cursor] == (r as u32, c as u32)
+        {
+            self.av[self.seq_slot[self.cursor] as usize] += v;
+            self.cursor += 1;
+        } else {
+            self.diverged = true;
+            self.pending.push((r as u32, c as u32, v));
+        }
+    }
+
+    fn factor(&mut self) -> Result<(), SimError> {
+        if self.recording {
+            self.analyze();
+            self.recording = false;
+        } else if self.diverged {
+            self.rebuild_from_current();
+        }
+        if self.have_factors && self.refactor() {
+            self.factored = true;
+            return Ok(());
+        }
+        self.factor_full()?;
+        self.factored = true;
+        Ok(())
+    }
+
+    fn solve_in_place(&mut self, b: &mut [f64]) {
+        assert!(self.factored, "solve_in_place before a successful factor");
+        let n = self.n;
+        assert_eq!(b.len(), n);
+        // Forward solve L·z = b with L in original row space: z lives in
+        // pivot order, the running right-hand side in original order.
+        self.y.clear();
+        self.y.extend_from_slice(b);
+        self.z.clear();
+        self.z.resize(n, 0.0);
+        for j in 0..n {
+            let zj = self.y[self.prow[j] as usize];
+            self.z[j] = zj;
+            if zj != 0.0 {
+                for p in self.lp[j] + 1..self.lp[j + 1] {
+                    self.y[self.li[p] as usize] -= self.lx[p] * zj;
+                }
+            }
+        }
+        // Back solve U·w = z (columns in reverse, diagonal stored last).
+        for j in (0..n).rev() {
+            let zj = self.z[j] / self.ux[self.up[j + 1] - 1];
+            self.z[j] = zj;
+            if zj != 0.0 {
+                for p in self.up[j]..self.up[j + 1] - 1 {
+                    self.z[self.ui[p] as usize] -= self.ux[p] * zj;
+                }
+            }
+        }
+        // Undo the column permutation.
+        for j in 0..n {
+            b[self.q[j] as usize] = self.z[j];
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "sparse"
+    }
+}
+
+/// Minimum-degree ordering on the symmetrized pattern of the assembled
+/// matrix (A + Aᵀ, diagonal ignored): repeatedly eliminates a node of
+/// minimum current degree and forms the resulting clique among its live
+/// neighbors. Clique formation is budget-capped so pathological dense
+/// rows degrade to plain degree ordering instead of quadratic blowup.
+fn min_degree(n: usize, ap: &[usize], ai: &[u32]) -> Vec<u32> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for c in 0..n {
+        for &row in &ai[ap[c]..ap[c + 1]] {
+            let r = row as usize;
+            if r != c {
+                adj[r].push(c as u32);
+                adj[c].push(r as u32);
+            }
+        }
+    }
+    let mut edges = 0usize;
+    for l in adj.iter_mut() {
+        l.sort_unstable();
+        l.dedup();
+        edges += l.len();
+    }
+    let mut cur_deg: Vec<u32> = adj.iter().map(|l| l.len() as u32).collect();
+    let mut heap: BinaryHeap<Reverse<(u32, u32)>> =
+        (0..n).map(|i| Reverse((cur_deg[i], i as u32))).collect();
+    let mut eliminated = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut budget = 32 * edges + 4096;
+    let mut scratch: Vec<u32> = Vec::new();
+    while let Some(Reverse((d, v))) = heap.pop() {
+        let vu = v as usize;
+        if eliminated[vu] || d != cur_deg[vu] {
+            continue;
+        }
+        eliminated[vu] = true;
+        order.push(v);
+        if budget == 0 {
+            continue;
+        }
+        let live: Vec<u32> = adj[vu]
+            .iter()
+            .copied()
+            .filter(|&u| !eliminated[u as usize])
+            .collect();
+        for &u in &live {
+            let uu = u as usize;
+            scratch.clear();
+            scratch.extend(adj[uu].iter().copied().filter(|&w| !eliminated[w as usize]));
+            scratch.extend(live.iter().copied().filter(|&w| w != u));
+            scratch.sort_unstable();
+            scratch.dedup();
+            budget = budget.saturating_sub(scratch.len());
+            std::mem::swap(&mut adj[uu], &mut scratch);
+            cur_deg[uu] = adj[uu].len() as u32;
+            heap.push(Reverse((cur_deg[uu], u)));
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::{solve as dense_solve, Matrix};
+
+    /// Stamps the same triplets into a dense matrix and a sparse solver,
+    /// solves both, and checks agreement to tight tolerance.
+    fn check_against_dense(n: usize, stamps: &[(usize, usize, f64)], b: &[f64]) -> Vec<f64> {
+        let mut dense = Matrix::zeros(n, n);
+        for &(r, c, v) in stamps {
+            dense.add(r, c, v);
+        }
+        let reference = dense_solve(dense, b).unwrap();
+
+        let mut sp = SparseLu::new(n);
+        sp.begin();
+        for &(r, c, v) in stamps {
+            sp.add(r, c, v);
+        }
+        sp.factor().unwrap();
+        let mut x = b.to_vec();
+        sp.solve_in_place(&mut x);
+        for (i, (p, q)) in reference.iter().zip(&x).enumerate() {
+            assert!(
+                (p - q).abs() <= 1e-9 * (1.0 + p.abs()),
+                "x[{i}]: dense {p} vs sparse {q}"
+            );
+        }
+        x
+    }
+
+    #[test]
+    fn matches_dense_on_small_system() {
+        check_against_dense(
+            3,
+            &[
+                (0, 0, 2.0),
+                (0, 1, -1.0),
+                (1, 0, -1.0),
+                (1, 1, 3.0),
+                (1, 2, -0.5),
+                (2, 1, -0.5),
+                (2, 2, 1.25),
+            ],
+            &[1.0, 0.25, -2.0],
+        );
+    }
+
+    #[test]
+    fn handles_zero_diagonal_rows_like_vsource_branches() {
+        // MNA with an ideal source: the branch row/column has a
+        // structurally zero diagonal, so pivoting is mandatory.
+        check_against_dense(
+            3,
+            &[
+                (0, 0, 1e-3),
+                (0, 2, 1.0),
+                (2, 0, 1.0),
+                (0, 1, -1e-3),
+                (1, 0, -1e-3),
+                (1, 1, 2e-3),
+            ],
+            &[0.0, 1e-3, 5.0],
+        );
+    }
+
+    #[test]
+    fn pattern_reuse_replays_new_values() {
+        let n = 4;
+        let stamps = |g: f64| {
+            vec![
+                (0usize, 0usize, 1.0 + g),
+                (0, 1, -g),
+                (1, 0, -g),
+                (1, 1, 2.0 * g + 0.5),
+                (1, 2, -g),
+                (2, 1, -g),
+                (2, 2, g + 0.25),
+                (3, 3, 1.0),
+                (0, 3, 0.125),
+            ]
+        };
+        let b = [1.0, -1.0, 0.5, 2.0];
+        let mut sp = SparseLu::new(n);
+        for round in 0..5 {
+            let g = 0.5 + round as f64;
+            sp.begin();
+            for &(r, c, v) in &stamps(g) {
+                sp.add(r, c, v);
+            }
+            sp.factor().unwrap();
+            let mut x = b.to_vec();
+            sp.solve_in_place(&mut x);
+
+            let mut dense = Matrix::zeros(n, n);
+            for &(r, c, v) in &stamps(g) {
+                dense.add(r, c, v);
+            }
+            let reference = dense_solve(dense, &b).unwrap();
+            for (p, q) in reference.iter().zip(&x) {
+                assert!((p - q).abs() < 1e-12, "round {round}: {p} vs {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn refactor_falls_back_when_pivot_order_goes_stale() {
+        // First factor pivots column 0 on row 1 (|3| > |1|); the second
+        // assembly flips the magnitudes so the recorded pivot is 1e4×
+        // smaller than the new candidate — refactor must bail and a full
+        // re-pivoting factor must still produce the right answer.
+        let b = [1.0, 2.0];
+        let mut sp = SparseLu::new(2);
+        sp.begin();
+        sp.add(0, 0, 1.0);
+        sp.add(0, 1, 2.0);
+        sp.add(1, 0, 3.0);
+        sp.add(1, 1, 4.0);
+        sp.factor().unwrap();
+        let mut x = b.to_vec();
+        sp.solve_in_place(&mut x);
+        // [[1,2],[3,4]]·x = [1,2] → x = [0, 0.5]
+        assert!(x[0].abs() < 1e-12 && (x[1] - 0.5).abs() < 1e-12, "{x:?}");
+
+        sp.begin();
+        sp.add(0, 0, 10.0);
+        sp.add(0, 1, 2.0);
+        sp.add(1, 0, 1e-3);
+        sp.add(1, 1, 4.0);
+        sp.factor().unwrap();
+        let mut x = [24.0, 4.0003];
+        sp.solve_in_place(&mut x);
+        let mut dense = Matrix::zeros(2, 2);
+        dense.add(0, 0, 10.0);
+        dense.add(0, 1, 2.0);
+        dense.add(1, 0, 1e-3);
+        dense.add(1, 1, 4.0);
+        let reference = dense_solve(dense, &[24.0, 4.0003]).unwrap();
+        for (p, q) in reference.iter().zip(&x) {
+            assert!((p - q).abs() < 1e-12, "{p} vs {q}");
+        }
+    }
+
+    #[test]
+    fn diverged_stamp_sequence_rebuilds_pattern() {
+        let b = [1.0, 2.0, 3.0];
+        let mut sp = SparseLu::new(3);
+        sp.begin();
+        sp.add(0, 0, 2.0);
+        sp.add(1, 1, 3.0);
+        sp.add(2, 2, 4.0);
+        sp.factor().unwrap();
+        let mut x = b.to_vec();
+        sp.solve_in_place(&mut x);
+        assert!((x[0] - 0.5).abs() < 1e-12);
+
+        // New assembly with a different sequence and an extra entry.
+        sp.begin();
+        sp.add(1, 1, 3.0);
+        sp.add(0, 0, 2.0);
+        sp.add(0, 1, -1.0);
+        sp.add(2, 2, 4.0);
+        sp.factor().unwrap();
+        let mut x = b.to_vec();
+        sp.solve_in_place(&mut x);
+        let mut dense = Matrix::zeros(3, 3);
+        dense.add(1, 1, 3.0);
+        dense.add(0, 0, 2.0);
+        dense.add(0, 1, -1.0);
+        dense.add(2, 2, 4.0);
+        let reference = dense_solve(dense, &b).unwrap();
+        for (p, q) in reference.iter().zip(&x) {
+            assert!((p - q).abs() < 1e-12, "{p} vs {q}");
+        }
+    }
+
+    #[test]
+    fn structurally_singular_reports_column() {
+        // Column 1 has no entries at all.
+        let mut sp = SparseLu::new(3);
+        sp.begin();
+        sp.add(0, 0, 1.0);
+        sp.add(2, 2, 1.0);
+        sp.add(0, 2, 0.5);
+        assert_eq!(sp.factor(), Err(SimError::SingularMatrix { column: 1 }));
+    }
+
+    #[test]
+    fn detects_singular_at_large_scale_like_dense() {
+        let mut sp = SparseLu::new(2);
+        sp.begin();
+        sp.add(0, 0, 1e8);
+        sp.add(0, 1, 2e8);
+        sp.add(1, 0, 3e8);
+        sp.add(1, 1, 6e8 + 1e-6);
+        assert!(matches!(sp.factor(), Err(SimError::SingularMatrix { .. })));
+    }
+
+    #[test]
+    fn diagonal_preference_avoids_pivot_stranding() {
+        // Newton Jacobian of a 12-stage CMOS inverter chain at a
+        // gmin-rescue rung, captured from the engine. Pure partial
+        // pivoting steals row 2's natural pivot (column 2's off-diagonal
+        // is 1.05× its diagonal), strands row 2 until the last
+        // elimination step, and lands on a catastrophically cancelled
+        // ~5e-17 Schur entry — a spurious singular verdict on a matrix
+        // the dense path factors. Diagonal-preference threshold pivoting
+        // must keep row 2 paired with column 2 and factor it.
+        let stamps: &[(usize, usize, f64)] = &[
+            (0, 0, 0.06359240667920467),
+            (2, 0, 0.0),
+            (3, 0, -0.0005461881826892369),
+            (4, 0, -0.0007963339066800706),
+            (5, 0, -0.0011789902425160038),
+            (6, 0, -0.001732513642059966),
+            (7, 0, -0.0025237565619911848),
+            (8, 0, -0.0036332583373447657),
+            (9, 0, -0.0051530622530034376),
+            (10, 0, -0.007180974487468129),
+            (11, 0, -0.009818655776366172),
+            (12, 0, -0.01319624415311309),
+            (13, 0, -0.017732429135972613),
+            (14, 0, 1.0),
+            (0, 1, 0.0),
+            (1, 1, 0.0001),
+            (2, 1, 0.0),
+            (15, 1, 1.0),
+            (0, 2, -0.0005269881826892368),
+            (2, 2, 0.0005),
+            (3, 2, 0.0005269881826892368),
+            (0, 3, -0.0007882316370549976),
+            (3, 3, 0.00011920000000000001),
+            (4, 3, 0.0007690316370549976),
+            (0, 4, -0.0011662666397694666),
+            (4, 4, 0.00012730226962507298),
+            (5, 4, 0.0011389643701443936),
+            (0, 5, -0.0017146489779710252),
+            (5, 5, 0.00014002587237161034),
+            (6, 5, 0.001674623105599415),
+            (0, 6, -0.0024992233761252022),
+            (6, 6, 0.000157890536460551),
+            (7, 6, 0.0024413328396646512),
+            (0, 7, -0.0036008174827751446),
+            (7, 7, 0.00018242372232653368),
+            (8, 7, 0.003518393760448611),
+            (0, 8, -0.005112192558799465),
+            (8, 8, 0.0002148645768961548),
+            (9, 8, 0.00499732798190331),
+            (0, 9, -0.0071324135800083675),
+            (9, 9, 0.00025573427110012756),
+            (10, 9, 0.00697667930890824),
+            (0, 10, -0.009764505197743434),
+            (10, 10, 0.0003042951785598896),
+            (11, 10, 0.009959738495211017),
+            (0, 11, -0.013138907994343372),
+            (11, 11, 0.0003588389122668803),
+            (12, 11, 0.015165521653874383),
+            (0, 12, -0.017663178095821453),
+            (12, 12, 0.0004242704121514973),
+            (13, 12, 0.02309958535023213),
+            (0, 13, -0.0003850329561035009),
+            (13, 13, 0.0005205887655440257),
+            (0, 14, 1.0),
+            (1, 15, 1.0),
+        ];
+        let b: Vec<f64> = (0..16).map(|i| 0.25 * (i as f64) - 1.0).collect();
+        check_against_dense(16, stamps, &b);
+    }
+
+    #[test]
+    fn random_diagonally_dominant_systems_match_dense() {
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed % 10_000) as f64 / 10_000.0
+        };
+        for &n in &[5usize, 17, 40, 90] {
+            let mut stamps = Vec::new();
+            let mut b = vec![0.0; n];
+            for (r, rhs) in b.iter_mut().enumerate() {
+                // A few off-diagonal couplings per row, diagonally dominant.
+                for _ in 0..3 {
+                    let c = (next() * n as f64) as usize % n;
+                    if c != r {
+                        let g = 0.01 + next();
+                        stamps.push((r, c, -g));
+                        stamps.push((r, r, g));
+                    }
+                }
+                stamps.push((r, r, 1.0 + next()));
+                *rhs = next() - 0.5;
+            }
+            check_against_dense(n, &stamps, &b);
+        }
+    }
+
+    #[test]
+    fn empty_system_is_trivial() {
+        let mut sp = SparseLu::new(0);
+        sp.begin();
+        sp.factor().unwrap();
+        let mut x: Vec<f64> = vec![];
+        sp.solve_in_place(&mut x);
+    }
+}
